@@ -1,0 +1,306 @@
+//! Larger predictors for Table 1 of the paper: "can we fix
+//! out-of-distribution failure by just using a bigger model?"
+//!
+//! The paper scales the direct-latency approach two ways — deeper MLPs
+//! (8 / 16 layers) and a transformer (3 / 6 layers) — and shows all of
+//! them still exceed 70 % error out of distribution. This module provides
+//! the same four predictor variants over the same raw features as the
+//! Habitat baseline, plus the error-evaluation helper that produces the
+//! table's two columns.
+
+use crate::OpLatencyPredictor;
+use neusight_core::{CoreError, Result};
+use neusight_gpu::{DType, GpuSpec, KernelDataset, OpDesc};
+use neusight_nn::attention::{TransformerConfig, TransformerRegressor};
+use neusight_nn::head::DirectHead;
+use neusight_nn::{Dataset, Loss, Mlp, Sample, StandardScaler, TrainConfig, Trainer};
+use neusight_sim::SimulatedGpu;
+
+/// The predictor architectures of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BigArchitecture {
+    /// Direct-latency MLP with the given number of hidden layers.
+    Mlp {
+        /// Hidden-layer count (8 or 16 in the paper).
+        layers: usize,
+    },
+    /// Direct-latency transformer with the given number of blocks.
+    Transformer {
+        /// Transformer block count (3 or 6 in the paper).
+        layers: usize,
+    },
+}
+
+impl BigArchitecture {
+    /// Table 1's four rows.
+    #[must_use]
+    pub fn table1() -> [BigArchitecture; 4] {
+        [
+            BigArchitecture::Mlp { layers: 8 },
+            BigArchitecture::Mlp { layers: 16 },
+            BigArchitecture::Transformer { layers: 3 },
+            BigArchitecture::Transformer { layers: 6 },
+        ]
+    }
+
+    /// Display label, e.g. `"MLP-8"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            BigArchitecture::Mlp { layers } => format!("MLP-{layers}"),
+            BigArchitecture::Transformer { layers } => format!("Transformer-{layers}"),
+        }
+    }
+}
+
+enum BigModel {
+    Mlp(Box<Mlp>),
+    Transformer(Box<TransformerRegressor>),
+}
+
+/// A big direct-latency predictor (Table 1 row).
+pub struct BigPredictor {
+    arch: BigArchitecture,
+    label: String,
+    model: BigModel,
+    scaler: StandardScaler,
+}
+
+const NUM_FEATURES: usize = 9;
+
+/// Habitat-style raw features (see [`crate::habitat`]): absolute GPU
+/// datasheet numbers plus kernel dimensions, log-compressed.
+fn featurize(op: &OpDesc, spec: &GpuSpec) -> Vec<f32> {
+    let dims: [u64; 4] = match *op {
+        OpDesc::Bmm { batch, m, n, k } => [batch, m, n, k],
+        OpDesc::Fc {
+            batch,
+            in_features,
+            out_features,
+        } => [batch, in_features, out_features, 1],
+        _ => [op.output_numel(), 1, 1, 1],
+    };
+    #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+    let mut f: Vec<f32> = vec![
+        (spec.memory_gb() as f32).ln(),
+        (spec.memory_gbps() as f32).ln(),
+        (f64::from(spec.num_sms()) as f32).ln(),
+        (spec.peak_tflops() as f32).ln(),
+        (spec.l2_mb() as f32).ln(),
+    ];
+    for d in dims {
+        #[allow(clippy::cast_precision_loss)]
+        f.push((d as f32).max(1.0).ln());
+    }
+    f
+}
+
+impl BigPredictor {
+    /// Trains one Table 1 predictor on measured BMM records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyTrainingSet`] for an empty dataset.
+    pub fn train(
+        arch: BigArchitecture,
+        dataset: &KernelDataset,
+        epochs: usize,
+        seed: u64,
+    ) -> Result<BigPredictor> {
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for record in dataset.records() {
+            let Ok(spec) = neusight_gpu::catalog::gpu(&record.gpu) else {
+                continue;
+            };
+            features.push(featurize(&record.op, &spec));
+            #[allow(clippy::cast_possible_truncation)]
+            targets.push((record.mean_latency_s * 1e3) as f32);
+        }
+        if features.is_empty() {
+            return Err(CoreError::EmptyTrainingSet(arch.label()));
+        }
+        let scaler = StandardScaler::fit(&features, NUM_FEATURES);
+        let samples: Vec<Sample> = features
+            .into_iter()
+            .zip(targets)
+            .map(|(f, t)| Sample::new(scaler.transform(&f), vec![], t))
+            .collect();
+        let data = Dataset::new(samples);
+
+        let model = match arch {
+            BigArchitecture::Mlp { layers } => {
+                let hidden = vec![64usize; layers];
+                let mut mlp = Mlp::new(NUM_FEATURES, &hidden, 1, seed);
+                Trainer::new(TrainConfig {
+                    epochs,
+                    batch_size: 64,
+                    lr: 1e-3,
+                    weight_decay: 1e-4,
+                    grad_clip: Some(5.0),
+                    lr_schedule: neusight_nn::LrSchedule::Constant,
+                    early_stop_patience: None,
+                    seed,
+                })
+                .fit(&mut mlp, &DirectHead, Loss::Mape, &data);
+                BigModel::Mlp(Box::new(mlp))
+            }
+            BigArchitecture::Transformer { layers } => {
+                let cfg = TransformerConfig {
+                    num_blocks: layers,
+                    model_dim: 16,
+                    ff_dim: 32,
+                    lr: 1e-3,
+                    epochs,
+                    batch_size: 64,
+                    seed,
+                };
+                let mut model = TransformerRegressor::new(NUM_FEATURES, &cfg);
+                model.fit(&data, Loss::Mape, &cfg);
+                BigModel::Transformer(Box::new(model))
+            }
+        };
+        Ok(BigPredictor {
+            label: arch.label(),
+            arch,
+            model,
+            scaler,
+        })
+    }
+
+    /// The architecture of this predictor.
+    #[must_use]
+    pub fn architecture(&self) -> BigArchitecture {
+        self.arch
+    }
+}
+
+impl OpLatencyPredictor for BigPredictor {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn predict_op(&self, op: &OpDesc, spec: &GpuSpec) -> f64 {
+        let feats = self.scaler.transform(&featurize(op, spec));
+        let ms = match &self.model {
+            BigModel::Mlp(mlp) => {
+                let sample = Sample::new(feats, vec![], 0.0);
+                neusight_nn::trainer::predict(mlp, &DirectHead, &sample)
+            }
+            BigModel::Transformer(model) => model.predict(&feats),
+        };
+        f64::from(ms).max(1e-3) * 1e-3
+    }
+}
+
+/// In-distribution vs out-of-distribution mean percentage error of a
+/// predictor on BMM kernels, measured against a simulated GPU — the two
+/// columns of Table 1. `is_ood` labels each evaluation op.
+#[must_use]
+pub fn table1_errors(
+    predictor: &dyn OpLatencyPredictor,
+    eval_ops: &[(OpDesc, bool)],
+    gpu: &SimulatedGpu,
+) -> (f64, f64) {
+    let (mut in_sum, mut in_n, mut out_sum, mut out_n) = (0.0f64, 0u32, 0.0f64, 0u32);
+    for (op, is_ood) in eval_ops {
+        let predicted = predictor.predict_op(op, gpu.spec());
+        let measured = gpu.measure(op, DType::F32, 5).mean_latency_s;
+        let err = (predicted - measured).abs() / measured * 100.0;
+        if *is_ood {
+            out_sum += err;
+            out_n += 1;
+        } else {
+            in_sum += err;
+            in_n += 1;
+        }
+    }
+    (
+        if in_n > 0 {
+            in_sum / f64::from(in_n)
+        } else {
+            f64::NAN
+        },
+        if out_n > 0 {
+            out_sum / f64::from(out_n)
+        } else {
+            f64::NAN
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_gpu::KernelRecord;
+
+    fn bmm_dataset() -> KernelDataset {
+        let mut records = Vec::new();
+        for name in ["P100", "V100"] {
+            let gpu = SimulatedGpu::from_catalog(name).unwrap();
+            for &b in &[1u64, 8, 64] {
+                for &d in &[64u64, 128, 256, 512] {
+                    let op = OpDesc::bmm(b, d, d, d);
+                    let m = gpu.measure(&op, DType::F32, 3);
+                    records.push(KernelRecord {
+                        gpu: name.to_owned(),
+                        op,
+                        launch: m.launch,
+                        mean_latency_s: m.mean_latency_s,
+                    });
+                }
+            }
+        }
+        KernelDataset::new(records)
+    }
+
+    #[test]
+    fn all_architectures_train_and_predict() {
+        let ds = bmm_dataset();
+        for arch in BigArchitecture::table1() {
+            let p = BigPredictor::train(arch, &ds, 3, 1).unwrap();
+            let spec = neusight_gpu::catalog::gpu("V100").unwrap();
+            let lat = p.predict_op(&OpDesc::bmm(4, 128, 128, 128), &spec);
+            assert!(lat > 0.0 && lat.is_finite(), "{}", p.name());
+            assert_eq!(p.name(), arch.label());
+        }
+    }
+
+    #[test]
+    fn labels_match_table1_rows() {
+        let labels: Vec<String> = BigArchitecture::table1()
+            .iter()
+            .map(BigArchitecture::label)
+            .collect();
+        assert_eq!(
+            labels,
+            ["MLP-8", "MLP-16", "Transformer-3", "Transformer-6"]
+        );
+    }
+
+    #[test]
+    fn error_helper_splits_in_and_out() {
+        let ds = bmm_dataset();
+        let p = BigPredictor::train(BigArchitecture::Mlp { layers: 8 }, &ds, 5, 1).unwrap();
+        let gpu = SimulatedGpu::from_catalog("V100").unwrap();
+        let eval = vec![
+            (OpDesc::bmm(4, 128, 128, 128), false),
+            (OpDesc::bmm(4, 2048, 2048, 2048), true),
+        ];
+        let (in_err, out_err) = table1_errors(&p, &eval, &gpu);
+        assert!(in_err.is_finite() && out_err.is_finite());
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        assert!(matches!(
+            BigPredictor::train(
+                BigArchitecture::Mlp { layers: 8 },
+                &KernelDataset::default(),
+                1,
+                0
+            ),
+            Err(CoreError::EmptyTrainingSet(_))
+        ));
+    }
+}

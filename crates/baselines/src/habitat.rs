@@ -1,0 +1,326 @@
+//! Habitat-style baseline (Yu et al., USENIX ATC'21).
+//!
+//! Habitat splits operators in two:
+//!
+//! - **kernel-varying** ops (matrix multiplications) get an MLP that
+//!   regresses *latency directly* from raw GPU features (memory size,
+//!   bandwidth, SM count, peak FLOPS) and kernel dimensions — the approach
+//!   §3 of the NeuSight paper shows fails to extrapolate;
+//! - **kernel-alike** ops (vector operators) are *measured on a reference
+//!   GPU in hand* and scaled by the ratio of memory bandwidths.
+//!
+//! Per the paper's evaluation setup (§6.1), the reference GPU is a V100;
+//! when predicting *for* the V100 itself the reference is a P100.
+
+use crate::OpLatencyPredictor;
+use neusight_core::{CoreError, Result};
+use neusight_gpu::{DType, GpuSpec, KernelDataset, OpClass, OpDesc};
+use neusight_nn::head::DirectHead;
+use neusight_nn::{Dataset, Loss, Mlp, Sample, StandardScaler, TrainConfig, Trainer};
+use neusight_sim::SimulatedGpu;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Training hyper-parameters for the Habitat baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HabitatConfig {
+    /// Hidden widths of each direct-latency MLP.
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Init/shuffle seed.
+    pub seed: u64,
+}
+
+impl HabitatConfig {
+    /// Standard evaluation configuration (mirrors NeuSight's MLP budget
+    /// for a fair comparison, as the paper does).
+    #[must_use]
+    pub fn standard() -> HabitatConfig {
+        HabitatConfig {
+            hidden: vec![128, 128, 128, 128],
+            epochs: 40,
+            batch_size: 128,
+            lr: 1e-3,
+            seed: 11,
+        }
+    }
+
+    /// Tiny test configuration.
+    #[must_use]
+    pub fn tiny() -> HabitatConfig {
+        HabitatConfig {
+            hidden: vec![32, 32],
+            epochs: 30,
+            batch_size: 32,
+            lr: 3e-3,
+            seed: 11,
+        }
+    }
+}
+
+/// Raw-feature vector: datasheet numbers and dimensions, log-compressed
+/// (Habitat feeds absolute device features; unlike NeuSight there is no
+/// per-SM normalization and no performance-law bounding).
+fn featurize(op: &OpDesc, spec: &GpuSpec) -> Vec<f32> {
+    let dims = op_dims(op);
+    #[allow(clippy::cast_possible_truncation)]
+    let mut f: Vec<f32> = vec![
+        (spec.memory_gb() as f32).ln(),
+        (spec.memory_gbps() as f32).ln(),
+        (f64::from(spec.num_sms()) as f32).ln(),
+        (spec.peak_tflops() as f32).ln(),
+        (spec.l2_mb() as f32).ln(),
+    ];
+    for d in dims {
+        #[allow(clippy::cast_precision_loss)]
+        f.push((d as f32).max(1.0).ln());
+    }
+    f
+}
+
+/// Four kernel dimensions per family (padded with 1).
+fn op_dims(op: &OpDesc) -> [u64; 4] {
+    match *op {
+        OpDesc::Bmm { batch, m, n, k } => [batch, m, n, k],
+        OpDesc::Fc {
+            batch,
+            in_features,
+            out_features,
+        } => [batch, in_features, out_features, 1],
+        OpDesc::Conv2d {
+            batch,
+            in_channels,
+            out_channels,
+            kernel,
+            ..
+        } => [batch, in_channels, out_channels, kernel],
+        OpDesc::Elementwise { numel, .. } => [numel, 1, 1, 1],
+        OpDesc::Softmax { rows, dim } | OpDesc::LayerNorm { rows, dim } => [rows, dim, 1, 1],
+        OpDesc::Embedding { tokens, dim, vocab } => [tokens, dim, vocab, 1],
+        OpDesc::Fused(ref fused) => op_dims(fused.head()),
+    }
+}
+
+const NUM_FEATURES: usize = 9;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DirectMlp {
+    mlp: Mlp,
+    scaler: StandardScaler,
+}
+
+/// The Habitat baseline, trained on the same dataset as NeuSight.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HabitatBaseline {
+    kernel_varying: BTreeMap<String, DirectMlp>,
+    reference: SimulatedGpu,
+    fallback_reference: SimulatedGpu,
+    dtype: DType,
+}
+
+impl HabitatBaseline {
+    /// Trains the direct-latency MLPs (one for BMM, one for FC) and
+    /// prepares the reference devices for kernel-alike scaling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyTrainingSet`] if the dataset has no
+    /// matrix-multiplication records at all.
+    pub fn train(
+        dataset: &KernelDataset,
+        dtype: DType,
+        config: &HabitatConfig,
+    ) -> Result<HabitatBaseline> {
+        let mut kernel_varying = BTreeMap::new();
+        for class in [OpClass::Bmm, OpClass::FullyConnected] {
+            let mut features = Vec::new();
+            let mut targets = Vec::new();
+            for record in dataset.records() {
+                if record.op.op_class() != class {
+                    continue;
+                }
+                let Ok(spec) = neusight_gpu::catalog::gpu(&record.gpu) else {
+                    continue;
+                };
+                features.push(featurize(&record.op, &spec));
+                // Latency in milliseconds — Habitat regresses the raw value.
+                #[allow(clippy::cast_possible_truncation)]
+                targets.push((record.mean_latency_s * 1e3) as f32);
+            }
+            if features.is_empty() {
+                continue;
+            }
+            let scaler = StandardScaler::fit(&features, NUM_FEATURES);
+            let samples: Vec<Sample> = features
+                .into_iter()
+                .zip(targets)
+                .map(|(f, t)| Sample::new(scaler.transform(&f), vec![], t))
+                .collect();
+            let mut mlp = Mlp::new(NUM_FEATURES, &config.hidden, 1, config.seed);
+            Trainer::new(TrainConfig {
+                epochs: config.epochs,
+                batch_size: config.batch_size,
+                lr: config.lr,
+                weight_decay: 1e-4,
+                grad_clip: Some(5.0),
+                lr_schedule: neusight_nn::LrSchedule::Constant,
+                early_stop_patience: None,
+                seed: config.seed,
+            })
+            .fit(&mut mlp, &DirectHead, Loss::Mape, &Dataset::new(samples));
+            kernel_varying.insert(class.name().to_owned(), DirectMlp { mlp, scaler });
+        }
+        if kernel_varying.is_empty() {
+            return Err(CoreError::EmptyTrainingSet("habitat matmuls".to_owned()));
+        }
+        Ok(HabitatBaseline {
+            kernel_varying,
+            reference: SimulatedGpu::from_catalog("V100").expect("V100 in catalog"),
+            fallback_reference: SimulatedGpu::from_catalog("P100").expect("P100 in catalog"),
+            dtype,
+        })
+    }
+
+    /// Kernel-alike path: measure on the reference GPU, scale by the
+    /// bandwidth ratio.
+    fn scale_from_reference(&self, op: &OpDesc, spec: &GpuSpec) -> f64 {
+        let reference = if spec.name() == self.reference.spec().name() {
+            &self.fallback_reference
+        } else {
+            &self.reference
+        };
+        let measured = reference.measure(op, self.dtype, 5).mean_latency_s;
+        measured * (reference.spec().memory_bw() / spec.memory_bw())
+    }
+}
+
+impl OpLatencyPredictor for HabitatBaseline {
+    fn name(&self) -> &str {
+        "Habitat"
+    }
+
+    fn predict_op(&self, op: &OpDesc, spec: &GpuSpec) -> f64 {
+        let class = op.op_class();
+        match class {
+            OpClass::Bmm | OpClass::FullyConnected => {
+                let Some(model) = self.kernel_varying.get(class.name()) else {
+                    return self.scale_from_reference(op, spec);
+                };
+                let feats = model.scaler.transform(&featurize(op, spec));
+                let sample = Sample::new(feats, vec![], 0.0);
+                let ms = neusight_nn::trainer::predict(&model.mlp, &DirectHead, &sample);
+                // Direct regression can go negative far out of distribution;
+                // floor at a microsecond to keep latencies physical. The
+                // *magnitude* errors remain, as in the paper.
+                f64::from(ms).max(1e-3) * 1e-3
+            }
+            _ => self.scale_from_reference(op, spec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_gpu::catalog;
+    use neusight_gpu::KernelRecord;
+
+    fn bmm_dataset(gpus: &[&str]) -> KernelDataset {
+        let mut records = Vec::new();
+        for name in gpus {
+            let gpu = SimulatedGpu::from_catalog(name).unwrap();
+            for &b in &[1u64, 8, 64] {
+                for &d in &[64u64, 128, 256, 512] {
+                    let op = OpDesc::bmm(b, d, d, d);
+                    let m = gpu.measure(&op, DType::F32, 5);
+                    records.push(KernelRecord {
+                        gpu: (*name).to_owned(),
+                        op,
+                        launch: m.launch,
+                        mean_latency_s: m.mean_latency_s,
+                    });
+                }
+            }
+        }
+        KernelDataset::new(records)
+    }
+
+    #[test]
+    fn trains_and_predicts_in_distribution() {
+        let ds = bmm_dataset(&["P100", "V100", "T4"]);
+        let cfg = HabitatConfig {
+            epochs: 120,
+            ..HabitatConfig::tiny()
+        };
+        let habitat = HabitatBaseline::train(&ds, DType::F32, &cfg).unwrap();
+        let spec = catalog::gpu("V100").unwrap();
+        let gpu = SimulatedGpu::new(spec.clone());
+        let op = OpDesc::bmm(8, 256, 256, 256);
+        let predicted = habitat.predict_op(&op, &spec);
+        let measured = gpu.measure(&op, DType::F32, 25).mean_latency_s;
+        let err = (predicted - measured).abs() / measured;
+        assert!(err < 1.0, "in-distribution error {err} too extreme");
+    }
+
+    #[test]
+    fn kernel_alike_scales_by_bandwidth() {
+        let ds = bmm_dataset(&["P100"]);
+        let habitat = HabitatBaseline::train(&ds, DType::F32, &HabitatConfig::tiny()).unwrap();
+        let op = OpDesc::elementwise(neusight_gpu::EwKind::Add, 1 << 22);
+        let h100 = catalog::gpu("H100").unwrap();
+        let t4 = catalog::gpu("T4").unwrap();
+        let fast = habitat.predict_op(&op, &h100);
+        let slow = habitat.predict_op(&op, &t4);
+        // 3430 vs 320 GB/s reference scaling.
+        let ratio = slow / fast;
+        assert!((ratio - 3430.0 / 320.0).abs() / ratio < 1e-6);
+    }
+
+    #[test]
+    fn v100_predictions_use_p100_reference() {
+        let ds = bmm_dataset(&["P100"]);
+        let habitat = HabitatBaseline::train(&ds, DType::F32, &HabitatConfig::tiny()).unwrap();
+        let op = OpDesc::softmax(8192, 1024);
+        let v100 = catalog::gpu("V100").unwrap();
+        let predicted = habitat.predict_op(&op, &v100);
+        let p100 = SimulatedGpu::from_catalog("P100").unwrap();
+        let expected = p100.measure(&op, DType::F32, 5).mean_latency_s
+            * (p100.spec().memory_bw() / v100.memory_bw());
+        assert!((predicted - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn predictions_are_floored_positive() {
+        let ds = bmm_dataset(&["P100"]);
+        let habitat = HabitatBaseline::train(
+            &ds,
+            DType::F32,
+            &HabitatConfig {
+                epochs: 1,
+                ..HabitatConfig::tiny()
+            },
+        )
+        .unwrap();
+        // Far out of distribution — whatever the raw MLP says, the
+        // baseline reports something positive.
+        let spec = catalog::gpu("H100").unwrap();
+        let lat = habitat.predict_op(&OpDesc::bmm(128, 8192, 8192, 8192), &spec);
+        assert!(lat > 0.0);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let err = HabitatBaseline::train(
+            &KernelDataset::default(),
+            DType::F32,
+            &HabitatConfig::tiny(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::EmptyTrainingSet(_)));
+    }
+}

@@ -1,0 +1,289 @@
+//! Li et al. baseline (MICRO'23): linear-regression performance
+//! prediction.
+//!
+//! Per training GPU, a least-squares line `latency = flops / perf + c` is
+//! fitted (equivalently, achieved FLOPS performance is extracted). Across
+//! GPUs, the paper observes achieved performance to be roughly linear in
+//! memory bandwidth, so a second regression `perf = a × bandwidth + b`
+//! extrapolates to GPUs outside the training set. The NeuSight paper
+//! (§3.1) shows both halves break down: on small kernels the latency/FLOPs
+//! relation is not linear (under-utilization), and the bandwidth ratio is
+//! too crude for unseen GPUs.
+
+use crate::OpLatencyPredictor;
+use neusight_core::{CoreError, Result};
+use neusight_gpu::{GpuSpec, KernelDataset, OpClass, OpDesc};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Least-squares fit of `y = slope × x + intercept`.
+fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(!points.is_empty(), "cannot fit zero points");
+    #[allow(clippy::cast_precision_loss)]
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-30 {
+        return (0.0, sy / n);
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    (slope, intercept)
+}
+
+/// Per-GPU fit of one operator family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct GpuFit {
+    /// Seconds per FLOP (inverse achieved performance).
+    sec_per_flop: f64,
+    /// Fixed overhead, seconds.
+    overhead_s: f64,
+    /// Bandwidth of the GPU this fit came from, bytes/s.
+    bandwidth: f64,
+}
+
+/// The Li et al. baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LiBaseline {
+    /// family name → (gpu name → fit).
+    per_gpu: BTreeMap<String, BTreeMap<String, GpuFit>>,
+    /// family name → (slope, intercept) of perf-vs-bandwidth.
+    cross_gpu: BTreeMap<String, (f64, f64)>,
+    /// family name → mean fixed overhead across training GPUs.
+    mean_overhead: BTreeMap<String, f64>,
+}
+
+impl LiBaseline {
+    /// Fits the per-GPU and cross-GPU regressions from a measured dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyTrainingSet`] when the dataset has no
+    /// usable (positive-FLOP) records.
+    pub fn train(dataset: &KernelDataset) -> Result<LiBaseline> {
+        let mut per_gpu: BTreeMap<String, BTreeMap<String, GpuFit>> = BTreeMap::new();
+        let mut cross_gpu = BTreeMap::new();
+        let mut mean_overhead = BTreeMap::new();
+
+        for class in OpClass::trained() {
+            let family = dataset.of_class(class);
+            if family.is_empty() {
+                continue;
+            }
+            let mut fits: BTreeMap<String, GpuFit> = BTreeMap::new();
+            for gpu_name in family.gpus() {
+                let Ok(spec) = neusight_gpu::catalog::gpu(&gpu_name) else {
+                    continue;
+                };
+                let points: Vec<(f64, f64)> = family
+                    .of_gpu(&gpu_name)
+                    .records()
+                    .iter()
+                    .filter(|r| r.op.flops() > 0.0)
+                    .map(|r| (r.op.flops(), r.mean_latency_s))
+                    .collect();
+                if points.len() < 2 {
+                    continue;
+                }
+                let (slope, intercept) = linear_fit(&points);
+                fits.insert(
+                    gpu_name.clone(),
+                    GpuFit {
+                        sec_per_flop: slope.max(1e-18),
+                        overhead_s: intercept.max(0.0),
+                        bandwidth: spec.memory_bw(),
+                    },
+                );
+            }
+            if fits.is_empty() {
+                continue;
+            }
+            // Cross-GPU: achieved FLOPS (1/slope) vs memory bandwidth.
+            let perf_points: Vec<(f64, f64)> = fits
+                .values()
+                .map(|f| (f.bandwidth, 1.0 / f.sec_per_flop))
+                .collect();
+            let fit = linear_fit(&perf_points);
+            #[allow(clippy::cast_precision_loss)]
+            let overhead = fits.values().map(|f| f.overhead_s).sum::<f64>() / fits.len() as f64;
+            cross_gpu.insert(class.name().to_owned(), fit);
+            mean_overhead.insert(class.name().to_owned(), overhead);
+            per_gpu.insert(class.name().to_owned(), fits);
+        }
+        if per_gpu.is_empty() {
+            return Err(CoreError::EmptyTrainingSet("li regression".to_owned()));
+        }
+        Ok(LiBaseline {
+            per_gpu,
+            cross_gpu,
+            mean_overhead,
+        })
+    }
+
+    /// The achieved-FLOPS performance assumed for a family on a GPU: the
+    /// per-GPU fit when the GPU was in the training set, otherwise the
+    /// bandwidth extrapolation.
+    #[must_use]
+    pub fn achieved_flops(&self, family: &str, spec: &GpuSpec) -> Option<f64> {
+        let fits = self.per_gpu.get(family)?;
+        if let Some(fit) = fits.get(spec.name()) {
+            return Some(1.0 / fit.sec_per_flop);
+        }
+        let &(slope, intercept) = self.cross_gpu.get(family)?;
+        let perf = slope * spec.memory_bw() + intercept;
+        // Extrapolation can go non-physical on exotic bandwidths; keep a
+        // tiny positive floor (the error this causes is the baseline's own).
+        Some(perf.max(1e6))
+    }
+}
+
+impl OpLatencyPredictor for LiBaseline {
+    fn name(&self) -> &str {
+        "Li et al."
+    }
+
+    fn predict_op(&self, op: &OpDesc, spec: &GpuSpec) -> f64 {
+        let class = op.op_class();
+        let flops = op.flops();
+        if flops <= 0.0 {
+            // The regression is FLOPs-based; data movement falls back to a
+            // bandwidth estimate.
+            return op.memory_bytes(neusight_gpu::DType::F32) / spec.memory_bw();
+        }
+        // Route fused and memory-bound classes through the nearest family.
+        let family = match class {
+            OpClass::MemoryBound => OpClass::Elementwise,
+            other => other,
+        };
+        match self.achieved_flops(family.name(), spec) {
+            Some(perf) => {
+                let overhead = self
+                    .mean_overhead
+                    .get(family.name())
+                    .copied()
+                    .unwrap_or(0.0);
+                flops / perf + overhead
+            }
+            None => op.memory_bytes(neusight_gpu::DType::F32) / spec.memory_bw(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_gpu::{catalog, DType, KernelRecord};
+    use neusight_sim::SimulatedGpu;
+
+    fn dataset(gpus: &[&str]) -> KernelDataset {
+        let mut records = Vec::new();
+        for name in gpus {
+            let gpu = SimulatedGpu::from_catalog(name).unwrap();
+            for &b in &[1u64, 8, 32, 128] {
+                for &d in &[128u64, 256, 512, 1024] {
+                    let op = OpDesc::bmm(b, d, d, d);
+                    let m = gpu.measure(&op, DType::F32, 5);
+                    records.push(KernelRecord {
+                        gpu: (*name).to_owned(),
+                        op,
+                        launch: m.launch,
+                        mean_latency_s: m.mean_latency_s,
+                    });
+                }
+            }
+        }
+        KernelDataset::new(records)
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let points: Vec<(f64, f64)> = (0..10)
+            .map(|i| {
+                let x = f64::from(i);
+                (x, 3.0 * x + 2.0)
+            })
+            .collect();
+        let (slope, intercept) = linear_fit(&points);
+        assert!((slope - 3.0).abs() < 1e-9);
+        assert!((intercept - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_training_gpu_uses_its_own_fit() {
+        let li = LiBaseline::train(&dataset(&["P100", "V100", "T4", "A100-40GB"])).unwrap();
+        let spec = catalog::gpu("V100").unwrap();
+        let gpu = SimulatedGpu::new(spec.clone());
+        // Large compute-bound kernel: the linear model is at its best.
+        let op = OpDesc::bmm(64, 1024, 1024, 1024);
+        let predicted = li.predict_op(&op, &spec);
+        let measured = gpu.measure(&op, DType::F32, 25).mean_latency_s;
+        let err = (predicted - measured).abs() / measured;
+        assert!(err < 0.6, "error {err} too extreme for the sweet spot");
+    }
+
+    #[test]
+    fn unseen_gpu_uses_bandwidth_extrapolation() {
+        let li = LiBaseline::train(&dataset(&["P100", "V100", "T4", "A100-40GB"])).unwrap();
+        let h100 = catalog::gpu("H100").unwrap();
+        let perf = li.achieved_flops("bmm", &h100).unwrap();
+        // Extrapolated achieved performance must differ from every
+        // training GPU's own fit (it is a pure bandwidth line).
+        for name in ["P100", "V100", "T4", "A100-40GB"] {
+            let spec = catalog::gpu(name).unwrap();
+            let own = li.achieved_flops("bmm", &spec).unwrap();
+            assert_ne!(perf, own);
+        }
+        assert!(perf > 0.0);
+    }
+
+    #[test]
+    fn small_kernels_overpredicted_relative_error() {
+        // §3.1: linearity fails on small kernels (GPU under-utilization),
+        // so the error on a tiny BMM is much larger than on a big one.
+        let li = LiBaseline::train(&dataset(&["P100", "V100", "T4", "A100-40GB"])).unwrap();
+        let spec = catalog::gpu("V100").unwrap();
+        let gpu = SimulatedGpu::new(spec.clone());
+        let err = |op: &OpDesc| {
+            let p = li.predict_op(op, &spec);
+            let m = gpu.measure(op, DType::F32, 25).mean_latency_s;
+            (p - m).abs() / m
+        };
+        let small = err(&OpDesc::bmm(1, 32, 32, 32));
+        let large = err(&OpDesc::bmm(64, 1024, 1024, 1024));
+        assert!(
+            small > large,
+            "expected worse error on small kernels: small {small} vs large {large}"
+        );
+    }
+
+    #[test]
+    fn zero_flop_ops_fall_back_to_bandwidth() {
+        let li = LiBaseline::train(&dataset(&["P100", "V100"])).unwrap();
+        let spec = catalog::gpu("T4").unwrap();
+        let op = OpDesc::embedding(4096, 512, 30000);
+        let lat = li.predict_op(&op, &spec);
+        let expected = op.memory_bytes(DType::F32) / spec.memory_bw();
+        assert!((lat - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        assert!(matches!(
+            LiBaseline::train(&KernelDataset::default()),
+            Err(CoreError::EmptyTrainingSet(_))
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let li = LiBaseline::train(&dataset(&["P100", "V100"])).unwrap();
+        let json = serde_json::to_string(&li).unwrap();
+        let back: LiBaseline = serde_json::from_str(&json).unwrap();
+        let spec = catalog::gpu("H100").unwrap();
+        let op = OpDesc::bmm(8, 512, 512, 512);
+        assert_eq!(li.predict_op(&op, &spec), back.predict_op(&op, &spec));
+    }
+}

@@ -1,0 +1,70 @@
+//! The roofline baseline: latency estimated as work divided by the
+//! roofline bound (Eq. 1). Always optimistic — it assumes 100 %
+//! utilization — which is why the paper reports a persistent ~32 % error
+//! for it.
+
+use crate::OpLatencyPredictor;
+use neusight_gpu::{roofline, DType, GpuSpec, OpDesc};
+
+/// Analytical roofline latency estimator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RooflineBaseline {
+    dtype: DType,
+}
+
+impl RooflineBaseline {
+    /// Creates the estimator for the given element type.
+    #[must_use]
+    pub fn new(dtype: DType) -> RooflineBaseline {
+        RooflineBaseline { dtype }
+    }
+}
+
+impl OpLatencyPredictor for RooflineBaseline {
+    fn name(&self) -> &str {
+        "Roofline"
+    }
+
+    fn predict_op(&self, op: &OpDesc, spec: &GpuSpec) -> f64 {
+        roofline::ideal_latency(op, self.dtype, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_gpu::catalog;
+    use neusight_sim::SimulatedGpu;
+
+    #[test]
+    fn roofline_is_always_optimistic() {
+        // On the simulated hardware (which obeys performance laws), the
+        // roofline estimate is a true lower bound.
+        let baseline = RooflineBaseline::new(DType::F32);
+        for name in ["P100", "V100", "A100-40GB", "H100"] {
+            let spec = catalog::gpu(name).unwrap();
+            let gpu = SimulatedGpu::new(spec.clone()).with_noise_sigma(0.0);
+            for op in [
+                OpDesc::bmm(16, 1024, 1024, 512),
+                OpDesc::fc(2048, 2048, 2048),
+                OpDesc::softmax(8192, 1024),
+            ] {
+                let predicted = baseline.predict_op(&op, &spec);
+                let measured = gpu.ideal_latency(&op, DType::F32);
+                assert!(
+                    predicted <= measured,
+                    "{op} on {name}: roofline {predicted} > measured {measured}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roofline_tracks_scale() {
+        let baseline = RooflineBaseline::new(DType::F32);
+        let spec = catalog::gpu("V100").unwrap();
+        let small = baseline.predict_op(&OpDesc::bmm(1, 256, 256, 256), &spec);
+        let large = baseline.predict_op(&OpDesc::bmm(8, 256, 256, 256), &spec);
+        assert!((large / small - 8.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the prediction path: per-kernel
+//! forecasts, feature extraction, launch planning, and whole-graph
+//! forecasts. NeuSight's selling point over cycle-accurate simulation is
+//! speed — these benches quantify it (the paper cites 18 h of Accel-Sim
+//! for one ResNet; NeuSight-rs forecasts a GPT-2 graph in microseconds to
+//! milliseconds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neusight_core::{features, NeuSight, NeuSightConfig};
+use neusight_data::{collect_training_set, training_gpus, SweepScale};
+use neusight_gpu::{catalog, DType, OpDesc};
+use neusight_graph::{config, inference_graph};
+use neusight_sim::SimulatedGpu;
+use std::hint::black_box;
+
+fn trained() -> NeuSight {
+    let data = collect_training_set(&training_gpus(), SweepScale::Tiny, DType::F32);
+    NeuSight::train(&data, &NeuSightConfig::tiny()).expect("tiny training")
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let ns = trained();
+    let h100 = catalog::gpu("H100").expect("catalog");
+    let op = OpDesc::bmm(16, 2048, 2048, 2048);
+
+    c.bench_function("predict_single_bmm", |b| {
+        b.iter(|| ns.predict_op(black_box(&op), black_box(&h100)).unwrap());
+    });
+
+    let launch = ns.plan_launch(&op, &h100).expect("launch");
+    c.bench_function("feature_extraction", |b| {
+        b.iter(|| features::extract(black_box(&op), black_box(&launch), DType::F32, &h100));
+    });
+
+    c.bench_function("plan_launch_tiledb_lookup", |b| {
+        b.iter(|| ns.plan_launch(black_box(&op), black_box(&h100)).unwrap());
+    });
+
+    let graph = inference_graph(&config::bert_large(), 8);
+    c.bench_function("predict_bert_inference_graph", |b| {
+        b.iter(|| {
+            ns.predict_graph(black_box(&graph), black_box(&h100))
+                .unwrap()
+        });
+    });
+
+    let gpu = SimulatedGpu::new(h100.clone());
+    c.bench_function("simulate_bert_inference_graph", |b| {
+        b.iter(|| gpu.execute_graph(black_box(&graph), DType::F32));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_prediction
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks of the simulated-hardware substrate: kernel
+//! dispatch, single-kernel timing, the 25-run measurement protocol, graph
+//! lowering and the fusion pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neusight_gpu::{catalog, DType, OpDesc};
+use neusight_graph::{config, fuse_graph, inference_graph, training_graph};
+use neusight_sim::{dispatch, SimulatedGpu};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let spec = catalog::gpu("A100-40GB").expect("catalog");
+    let gpu = SimulatedGpu::new(spec.clone());
+    let op = OpDesc::bmm(32, 1024, 1024, 512);
+
+    c.bench_function("kernel_dispatch", |b| {
+        b.iter(|| dispatch(black_box(&op), black_box(&spec)));
+    });
+
+    c.bench_function("kernel_measure_25_runs", |b| {
+        b.iter(|| gpu.measure(black_box(&op), DType::F32, 25));
+    });
+
+    c.bench_function("lower_gpt2_inference_graph", |b| {
+        b.iter(|| inference_graph(black_box(&config::gpt2_large()), 4));
+    });
+
+    c.bench_function("lower_gpt2_training_graph", |b| {
+        b.iter(|| training_graph(black_box(&config::gpt2_large()), 4));
+    });
+
+    let graph = inference_graph(&config::gpt2_large(), 4);
+    c.bench_function("fusion_pass_gpt2", |b| {
+        b.iter(|| fuse_graph(black_box(&graph)));
+    });
+
+    let train = training_graph(&config::bert_large(), 4);
+    c.bench_function("simulate_bert_training_graph", |b| {
+        b.iter(|| gpu.execute_graph(black_box(&train), DType::F32));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulator
+}
+criterion_main!(benches);

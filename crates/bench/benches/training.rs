@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the learning substrate: MLP
+//! forward/backward throughput, one AdamW epoch, the transformer
+//! regressor, and a full tiny NeuSight training run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neusight_core::{NeuSight, NeuSightConfig};
+use neusight_data::{collect_training_set, training_gpus, SweepScale};
+use neusight_gpu::DType;
+use neusight_nn::attention::{TransformerConfig, TransformerRegressor};
+use neusight_nn::head::DirectHead;
+use neusight_nn::{Dataset, Loss, Matrix, Mlp, Sample, TrainConfig, Trainer};
+use std::hint::black_box;
+
+fn regression_data(n: usize) -> Dataset {
+    (0..n)
+        .map(|i| {
+            #[allow(clippy::cast_precision_loss)]
+            let x = i as f32 / n as f32;
+            Sample::new(vec![x, x * x, 1.0 - x], vec![], 2.0 * x + 0.5)
+        })
+        .collect()
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mlp = Mlp::new(8, &[128, 128, 128, 128], 2, 0);
+    let x = Matrix::from_fn(128, 8, |r, col| (r * 8 + col) as f32 * 1e-3);
+    c.bench_function("mlp_forward_batch128", |b| {
+        b.iter(|| mlp.forward(black_box(&x)));
+    });
+
+    c.bench_function("mlp_epoch_512_samples", |b| {
+        let data = regression_data(512);
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 64,
+            ..TrainConfig::default()
+        };
+        b.iter_batched(
+            || Mlp::new(3, &[64, 64], 1, 1),
+            |mut net| Trainer::new(cfg.clone()).fit(&mut net, &DirectHead, Loss::Mse, &data),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("transformer_epoch_128_samples", |b| {
+        let data = regression_data(128);
+        let cfg = TransformerConfig {
+            num_blocks: 2,
+            model_dim: 16,
+            ff_dim: 32,
+            epochs: 1,
+            ..TransformerConfig::default()
+        };
+        b.iter_batched(
+            || TransformerRegressor::new(3, &cfg),
+            |mut net| net.fit(&data, Loss::Mape, &cfg),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("neusight_tiny_end_to_end_training", |b| {
+        let data = collect_training_set(&training_gpus(), SweepScale::Tiny, DType::F32);
+        b.iter(|| NeuSight::train(black_box(&data), &NeuSightConfig::tiny()).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training
+}
+criterion_main!(benches);

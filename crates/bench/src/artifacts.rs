@@ -1,0 +1,164 @@
+//! Train-once artifact caching.
+//!
+//! Training the standard predictors takes CPU minutes, so every experiment
+//! binary shares one cached build under `artifacts/` at the workspace
+//! root: the measured kernel dataset, the trained NeuSight framework, and
+//! the trained baselines. Deleting the directory forces a rebuild.
+
+use neusight_baselines::habitat::HabitatConfig;
+use neusight_baselines::{HabitatBaseline, LiBaseline, RooflineBaseline};
+use neusight_core::{NeuSight, NeuSightConfig};
+use neusight_data::{collect_training_set, SweepScale};
+use neusight_gpu::{DType, KernelDataset};
+use neusight_sim::SimulatedGpu;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Root of the artifact cache (`<workspace>/artifacts`).
+#[must_use]
+pub fn artifacts_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../artifacts")
+        .components()
+        .collect()
+}
+
+/// A trained predictor suite sharing one measured dataset.
+pub struct Suite {
+    /// The measured kernel dataset the predictors were trained on.
+    pub dataset: KernelDataset,
+    /// NeuSight, trained on the dataset.
+    pub neusight: NeuSight,
+    /// The Habitat-style baseline, trained on the same dataset.
+    pub habitat: HabitatBaseline,
+    /// The Li et al. regression baseline, fitted on the same dataset.
+    pub li: LiBaseline,
+    /// The analytical roofline baseline (no training).
+    pub roofline: RooflineBaseline,
+}
+
+fn log(msg: &str) {
+    eprintln!("[artifacts] {msg}");
+}
+
+fn load_json<T: serde::de::DeserializeOwned>(path: &Path) -> Option<T> {
+    let text = fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn save_json<T: serde::Serialize>(path: &Path, value: &T) {
+    if let Some(parent) = path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    match serde_json::to_string(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(path, json) {
+                log(&format!("warning: could not cache {}: {e}", path.display()));
+            }
+        }
+        Err(e) => log(&format!(
+            "warning: could not serialize {}: {e}",
+            path.display()
+        )),
+    }
+}
+
+/// Loads (or measures) the kernel dataset for a named GPU fleet.
+fn dataset_for(tag: &str, gpus: &[SimulatedGpu]) -> KernelDataset {
+    let path = artifacts_dir().join(tag).join("dataset.json");
+    if let Ok(ds) = KernelDataset::load_json(&path) {
+        log(&format!("loaded {} ({} records)", path.display(), ds.len()));
+        return ds;
+    }
+    log(&format!(
+        "measuring the §6.1 sweep on {} GPUs (one-time)…",
+        gpus.len()
+    ));
+    let start = Instant::now();
+    let ds = collect_training_set(gpus, SweepScale::Standard, DType::F32);
+    log(&format!(
+        "collected {} records in {:.1}s",
+        ds.len(),
+        start.elapsed().as_secs_f64()
+    ));
+    if let Err(e) = ds.save_json(&path) {
+        log(&format!("warning: could not cache dataset: {e}"));
+    }
+    ds
+}
+
+/// Loads or trains one predictor, caching it as JSON under `tag/name`.
+fn cached<T, F>(tag: &str, name: &str, build: F) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+    F: FnOnce() -> T,
+{
+    let path = artifacts_dir().join(tag).join(name);
+    if let Some(value) = load_json::<T>(&path) {
+        log(&format!("loaded {}", path.display()));
+        return value;
+    }
+    log(&format!("training {name} (one-time)…"));
+    let start = Instant::now();
+    let value = build();
+    log(&format!(
+        "trained {name} in {:.1}s",
+        start.elapsed().as_secs_f64()
+    ));
+    save_json(&path, &value);
+    value
+}
+
+/// The standard suite: §6.1 sweep measured on all five training GPUs,
+/// NeuSight + Habitat + Li trained on it. Cached under
+/// `artifacts/standard/`.
+#[must_use]
+pub fn standard_suite() -> Suite {
+    let gpus = neusight_data::training_gpus();
+    suite_for("standard", &gpus)
+}
+
+/// The pre-Ampere suite of Figure 2: trained only on P4, P100, V100 and
+/// T4 (every Ampere-and-later GPU is out of distribution). Cached under
+/// `artifacts/pre-ampere/`.
+#[must_use]
+pub fn pre_ampere_suite() -> Suite {
+    let gpus: Vec<SimulatedGpu> = neusight_data::training_gpus()
+        .into_iter()
+        .filter(|g| g.spec().year() < 2020)
+        .collect();
+    suite_for("pre-ampere", &gpus)
+}
+
+fn suite_for(tag: &str, gpus: &[SimulatedGpu]) -> Suite {
+    let dataset = dataset_for(tag, gpus);
+    let neusight = cached(tag, "neusight.json", || {
+        NeuSight::train(&dataset, &NeuSightConfig::standard()).expect("standard training set")
+    });
+    let habitat = cached(tag, "habitat.json", || {
+        HabitatBaseline::train(&dataset, DType::F32, &HabitatConfig::standard())
+            .expect("standard training set")
+    });
+    let li = cached(tag, "li.json", || {
+        LiBaseline::train(&dataset).expect("standard training set")
+    });
+    Suite {
+        dataset,
+        neusight,
+        habitat,
+        li,
+        roofline: RooflineBaseline::new(DType::F32),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_dir_is_workspace_relative() {
+        let dir = artifacts_dir();
+        assert!(dir.ends_with("artifacts"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 8: prediction error per operator family (BMM, fully-connected,
+//! element-wise, softmax, layer norm), averaged over the evaluated
+//! workloads, for every predictor, split in- vs out-of-distribution.
+
+use neusight_bench::evaluation::{self, Mode};
+use neusight_bench::{artifacts, evalsets, report};
+use neusight_gpu::OpClass;
+use std::collections::BTreeMap;
+
+fn main() {
+    println!("Figure 8 — Per-operator prediction error, averaged over workloads\n");
+    let suite = artifacts::standard_suite();
+    let predictors = evaluation::standard_predictors(&suite);
+
+    // (predictor, class, ood) -> errors
+    let mut buckets: BTreeMap<(String, String, bool), Vec<f64>> = BTreeMap::new();
+    for model in evalsets::models() {
+        let batch = evalsets::inference_batches(&model)[0];
+        for spec in evalsets::gpus() {
+            if !evalsets::feasible(&model, batch, &spec, false) {
+                continue;
+            }
+            let ood = neusight_gpu::catalog::is_out_of_distribution(spec.name())
+                || evalsets::is_ood_model(&model);
+            for predictor in &predictors {
+                let errors =
+                    evaluation::per_class_errors(&model, batch, &spec, Mode::Inference, *predictor);
+                for (class, err) in errors {
+                    if class == OpClass::MemoryBound {
+                        continue; // embeddings: no trained family, both sides fall back
+                    }
+                    buckets
+                        .entry((predictor.name().to_owned(), class.name().to_owned(), ood))
+                        .or_default()
+                        .push(err);
+                }
+            }
+        }
+        eprintln!("[figure8] {} done", model.name);
+    }
+
+    for ood in [false, true] {
+        println!(
+            "=== {} ===",
+            if ood {
+                "out-of-distribution"
+            } else {
+                "in-distribution"
+            }
+        );
+        let classes = ["bmm", "fc", "elementwise", "softmax", "layernorm"];
+        let mut header = vec!["Predictor"];
+        header.extend(classes.iter().map(|c| match *c {
+            "bmm" => "BMM",
+            "fc" => "FC",
+            "elementwise" => "EW",
+            "softmax" => "Softmax",
+            _ => "LN",
+        }));
+        let mut table = report::Table::new(&header);
+        for predictor in &predictors {
+            let mut row = vec![predictor.name().to_owned()];
+            for class in classes {
+                let errs = buckets
+                    .get(&(predictor.name().to_owned(), class.to_owned(), ood))
+                    .map_or(&[][..], Vec::as_slice);
+                row.push(report::pct(report::mean(errs)));
+            }
+            table.row(row);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "Shape to match the paper: baselines degrade sharply on the matmul\n\
+         families out of distribution; NeuSight stays in the low tens of\n\
+         percent on every family."
+    );
+}

@@ -1,0 +1,40 @@
+//! Table 3: the GPUs used to train and test the frameworks.
+
+use neusight_bench::report::Table;
+use neusight_gpu::catalog::{self, SplitRole};
+
+fn main() {
+    println!("Table 3 — GPUs used to train and test the frameworks\n");
+    let mut table = Table::new(&[
+        "Split",
+        "GPU",
+        "Year",
+        "Peak FLOPS (TFLOPS)",
+        "Memory (GB)",
+        "Memory BW (GB/s)",
+        "# SMs",
+        "L2 (MB)",
+    ]);
+    for entry in catalog::all() {
+        let split = match entry.role {
+            SplitRole::Train => "Training",
+            SplitRole::Test => "Test",
+        };
+        let s = entry.spec;
+        table.row(vec![
+            split.to_owned(),
+            s.name().to_owned(),
+            s.year().to_string(),
+            format!("{:.1}", s.peak_tflops()),
+            format!("{:.0}", s.memory_gb()),
+            format!("{:.0}", s.memory_gbps()),
+            s.num_sms().to_string(),
+            format!("{:.0}", s.l2_mb()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Note: the published Table 3 transposes the V100/T4 peak-FLOPS cells;\n\
+         this catalog uses the datasheet values (V100 15.7, T4 8.1 TFLOPS)."
+    );
+}

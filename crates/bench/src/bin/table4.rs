@@ -1,0 +1,47 @@
+//! Table 4: the evaluated deep learning workloads.
+
+use neusight_bench::report::Table;
+use neusight_graph::config;
+
+fn main() {
+    println!("Table 4 — Workloads evaluated\n");
+    let mut table = Table::new(&[
+        "Model",
+        "Year",
+        "Params (approx)",
+        "# Layers",
+        "# Heads",
+        "Hidden",
+        "Seq Len",
+        "Task",
+        "MoE",
+    ]);
+    for model in config::table4() {
+        #[allow(clippy::cast_precision_loss)]
+        let params = model.approx_params() as f64;
+        let params_str = if params >= 1e9 {
+            format!("{:.1}B", params / 1e9)
+        } else {
+            format!("{:.0}M", params / 1e6)
+        };
+        table.row(vec![
+            model.name.clone(),
+            model.year.to_string(),
+            params_str,
+            model.num_layers.to_string(),
+            model.num_heads.to_string(),
+            model.hidden_dim.to_string(),
+            model.seq_len.to_string(),
+            format!("{:?}", model.task),
+            model.moe.map_or("-".to_owned(), |m| {
+                format!("{} experts / {} active", m.num_experts, m.active_experts)
+            }),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Configs follow the models' published papers; inference latency is\n\
+         time-to-first-token for the generation models and end-to-end for the\n\
+         BERT classification task (§6.1)."
+    );
+}

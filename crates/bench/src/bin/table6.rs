@@ -1,0 +1,85 @@
+//! Table 6: distributed training latency prediction on the two 4-GPU
+//! servers (A100 NVLink, H100 DGX) for GPT2-Large and GPT3-XL under data,
+//! tensor and pipeline parallelism. OOM configurations are marked.
+
+use neusight_bench::{artifacts, report};
+use neusight_dist::{
+    a100_nvlink_4x, fits_server, h100_dgx_4x, plan_training, DistForecaster, ParallelStrategy,
+    SimServer,
+};
+use neusight_gpu::DType;
+use neusight_graph::config;
+
+fn main() {
+    println!("Table 6 — Distributed training latency prediction (4-GPU servers)\n");
+    let suite = artifacts::standard_suite();
+    let forecaster = DistForecaster::new(&suite.neusight);
+    let servers = [
+        a100_nvlink_4x().expect("catalog"),
+        h100_dgx_4x().expect("catalog"),
+    ];
+    let strategies = [
+        ParallelStrategy::Data,
+        ParallelStrategy::Tensor,
+        ParallelStrategy::gpipe(4),
+    ];
+    let workloads = [
+        (config::gpt2_large(), vec![8u64, 16]),
+        (config::gpt3_xl(), vec![4]),
+    ];
+
+    let mut errors = Vec::new();
+    for server in &servers {
+        println!("=== {server} ===");
+        let sim = SimServer::new(server.clone());
+        let mut table = report::Table::new(&[
+            "Model",
+            "Global batch",
+            "Strategy",
+            "Measured (ms)",
+            "NeuSight (ms)",
+            "err",
+        ]);
+        for (model, batches) in &workloads {
+            for &batch in batches {
+                for strategy in strategies {
+                    let mut row = vec![
+                        model.name.clone(),
+                        batch.to_string(),
+                        strategy.label().to_owned(),
+                    ];
+                    if !fits_server(model, batch, strategy, server, DType::F32) {
+                        row.extend(["OOM".to_owned(), "-".to_owned(), "-".to_owned()]);
+                        table.row(row);
+                        continue;
+                    }
+                    let plan = plan_training(model, batch, server.num_gpus, strategy, DType::F32)
+                        .expect("feasible plan");
+                    let measured = sim.measure_iteration(&plan, DType::F32);
+                    let predicted = forecaster.predict_iteration(&plan, server);
+                    let err = report::pct_err(predicted, measured);
+                    errors.push(err);
+                    row.extend([
+                        report::ms(measured),
+                        report::ms(predicted),
+                        report::pct(err),
+                    ]);
+                    table.row(row);
+                }
+                eprintln!("[table6] {} b{} on {} done", model.name, batch, server.name);
+            }
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "Mean distributed prediction error: {} over {} runnable cells.\n\
+         Shape to match the paper: single-digit average error; pipeline\n\
+         parallel slowest (GPipe bubbles at 4 micro-batches); batch-16 and\n\
+         GPT3-XL configurations OOM on the 40 GB A100 server.\n\
+         Known divergence from the paper: our memory model fits DP GPT3-XL\n\
+         (batch 4, per-GPU batch 1) on the 80 GB H100 server, which the\n\
+         paper reports as OOM (see EXPERIMENTS.md).",
+        report::pct(report::mean(&errors)),
+        errors.len()
+    );
+}

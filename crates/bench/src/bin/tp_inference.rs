@@ -1,0 +1,67 @@
+//! Tensor-parallel *inference* forecasting (extension): the §2.2 use case
+//! of serving a model too large or too slow for one device. Forecasts
+//! GPT3-2.7B and GPT3-XL first-token latency on 1 GPU vs 4-way Megatron
+//! tensor parallelism, against the simulated servers.
+
+use neusight_bench::{artifacts, report};
+use neusight_dist::{a100_nvlink_4x, h100_dgx_4x, plan_inference, SimServer};
+use neusight_gpu::DType;
+use neusight_graph::{config, inference_graph};
+use neusight_sim::SimulatedGpu;
+
+fn main() {
+    println!("Tensor-parallel inference — 1 GPU vs 4-way Megatron sharding\n");
+    let suite = artifacts::standard_suite();
+    let forecaster = neusight_dist::DistForecaster::new(&suite.neusight);
+
+    let mut table = report::Table::new(&[
+        "Model",
+        "Batch",
+        "Server",
+        "1-GPU meas (ms)",
+        "1-GPU pred (ms)",
+        "TP4 meas (ms)",
+        "TP4 pred (ms)",
+        "TP4 err",
+        "Speedup",
+    ]);
+    let mut errors = Vec::new();
+    for (model, batch) in [(config::gpt3_xl(), 4u64), (config::gpt3_2_7b(), 2)] {
+        let single = inference_graph(&model, batch);
+        for server in [a100_nvlink_4x().unwrap(), h100_dgx_4x().unwrap()] {
+            let device = SimulatedGpu::new(server.gpu.clone());
+            let single_meas = device.execute_graph(&single, DType::F32).total_s;
+            let single_pred = suite
+                .neusight
+                .predict_graph(&single, &server.gpu)
+                .expect("prediction")
+                .total_s;
+
+            let plan = plan_inference(&model, batch, server.num_gpus, DType::F32)
+                .expect("divisible widths");
+            let sim = SimServer::new(server.clone());
+            let tp_meas = sim.measure_iteration(&plan, DType::F32);
+            let tp_pred = forecaster.predict_iteration(&plan, &server);
+            let err = report::pct_err(tp_pred, tp_meas);
+            errors.push(err);
+            table.row(vec![
+                model.name.clone(),
+                batch.to_string(),
+                server.gpu.name().to_owned(),
+                report::ms(single_meas),
+                report::ms(single_pred),
+                report::ms(tp_meas),
+                report::ms(tp_pred),
+                report::pct(err),
+                format!("{:.2}x", single_meas / tp_meas),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Mean TP-inference prediction error: {}. Sharding the first-token\n\
+         pass 4 ways wins ~2-3x (not 4x: layer norms and residuals are\n\
+         replicated and every layer pays two all-reduces).",
+        report::pct(report::mean(&errors))
+    );
+}

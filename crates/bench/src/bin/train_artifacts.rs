@@ -1,0 +1,29 @@
+//! Pre-builds the shared artifact cache (datasets + trained predictors)
+//! so the table/figure binaries start instantly. Running it is optional —
+//! every experiment binary builds what it is missing on first use.
+
+use neusight_bench::artifacts;
+
+fn main() {
+    eprintln!("building the standard suite (5 training GPUs)…");
+    let standard = artifacts::standard_suite();
+    eprintln!(
+        "standard suite ready: {} records, NeuSight families: {:?}",
+        standard.dataset.len(),
+        standard.neusight.trained_classes()
+    );
+    for (class, smape) in standard.neusight.validation_report() {
+        eprintln!("  validation SMAPE[{class}] = {smape:.3}");
+    }
+    eprintln!("building the pre-Ampere suite (Figure 2)…");
+    let restricted = artifacts::pre_ampere_suite();
+    eprintln!(
+        "pre-Ampere suite ready: {} records from {:?}",
+        restricted.dataset.len(),
+        restricted.dataset.gpus()
+    );
+    println!(
+        "artifact cache ready under {}",
+        artifacts::artifacts_dir().display()
+    );
+}

@@ -1,0 +1,106 @@
+//! The evaluation grids of Figures 7–8: which models, batch sizes and
+//! GPUs each end-to-end experiment covers.
+//!
+//! Batch sizes are chosen per model so the larger configurations stress
+//! the GPUs without blowing past the memory of the ≥24 GB devices the
+//! paper measures training on (§6.1).
+
+use neusight_gpu::{catalog, DType, GpuSpec};
+use neusight_graph::{config, ModelConfig};
+use neusight_sim::memory;
+
+/// Inference batch sizes evaluated for a model.
+#[must_use]
+pub fn inference_batches(model: &ModelConfig) -> Vec<u64> {
+    match model.name.as_str() {
+        "BERT-Large" => vec![8, 16],
+        "GPT2-Large" => vec![4, 8],
+        "SwitchTrans" => vec![4, 8],
+        "GPT3-XL" | "OPT-1.3B" => vec![2, 4],
+        _ => vec![1, 2], // GPT3-2.7B
+    }
+}
+
+/// Training batch sizes evaluated for a model.
+#[must_use]
+pub fn training_batches(model: &ModelConfig) -> Vec<u64> {
+    match model.name.as_str() {
+        "BERT-Large" => vec![4, 8],
+        "GPT2-Large" | "SwitchTrans" => vec![2, 4],
+        "GPT3-XL" | "OPT-1.3B" => vec![1, 2],
+        _ => vec![1], // GPT3-2.7B
+    }
+}
+
+/// The six Table 4 workloads.
+#[must_use]
+pub fn models() -> Vec<ModelConfig> {
+    config::table4()
+}
+
+/// All eight Table 3 GPUs, training set first.
+#[must_use]
+pub fn gpus() -> Vec<GpuSpec> {
+    catalog::all().into_iter().map(|e| e.spec).collect()
+}
+
+/// Whether a model is out-of-distribution for the trained predictors:
+/// GPT-3 and OPT kernels contain operand dimensions beyond the ≤1024 BMM
+/// training sweep (§6.2).
+#[must_use]
+pub fn is_ood_model(model: &ModelConfig) -> bool {
+    model.seq_len > 1024 || model.hidden_dim > 1024
+}
+
+/// Whether an (inference/training, model, batch, GPU) cell is feasible:
+/// the workload fits in device memory, and training additionally follows
+/// the paper's ≥24 GB rule.
+#[must_use]
+pub fn feasible(model: &ModelConfig, batch: u64, gpu: &GpuSpec, training: bool) -> bool {
+    if training && gpu.memory_gb() < 24.0 {
+        return false;
+    }
+    memory::fits(model, batch, DType::F32, training, gpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_nonempty() {
+        assert_eq!(models().len(), 6);
+        assert_eq!(gpus().len(), 8);
+        for m in models() {
+            assert!(!inference_batches(&m).is_empty());
+            assert!(!training_batches(&m).is_empty());
+        }
+    }
+
+    #[test]
+    fn ood_models_flagged() {
+        assert!(is_ood_model(&config::gpt3_xl()));
+        assert!(is_ood_model(&config::gpt3_2_7b()));
+        assert!(is_ood_model(&config::opt_1_3b()));
+        assert!(is_ood_model(&config::gpt2_large())); // hidden 1280 > 1024
+        assert!(!is_ood_model(&config::switch_transformer()));
+    }
+
+    #[test]
+    fn training_respects_24gb_rule() {
+        let t4 = catalog::gpu("T4").unwrap(); // 16 GB
+        assert!(!feasible(&config::bert_large(), 4, &t4, true));
+        assert!(feasible(&config::bert_large(), 4, &t4, false));
+    }
+
+    #[test]
+    fn big_models_oom_small_gpus() {
+        let p4 = catalog::gpu("P4").unwrap(); // 8 GB
+        assert!(!feasible(&config::gpt3_2_7b(), 2, &p4, false));
+        let h100 = catalog::gpu("H100").unwrap();
+        assert!(feasible(&config::gpt3_2_7b(), 1, &h100, false));
+        // Training the 2.7B model needs multiple GPUs (Figure 7 omits the
+        // OOM cells; Table 6 covers the distributed path).
+        assert!(!feasible(&config::gpt3_2_7b(), 1, &h100, true));
+    }
+}

@@ -1,0 +1,190 @@
+//! The shared end-to-end evaluation loop behind Figures 7 and 8: measure
+//! every feasible (model, batch, GPU, mode) cell on the simulator and
+//! compare each predictor's forecast.
+
+use crate::artifacts::Suite;
+use crate::evalsets;
+use crate::report;
+use neusight_baselines::OpLatencyPredictor;
+use neusight_gpu::{DType, GpuSpec, OpClass};
+use neusight_graph::{inference_graph, training_graph, Graph, ModelConfig};
+use neusight_sim::SimulatedGpu;
+
+/// Inference or training measurement mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Time-to-first-token / classification forward pass.
+    Inference,
+    /// One forward + backward iteration.
+    Training,
+}
+
+impl Mode {
+    /// Lowercase label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Inference => "inference",
+            Mode::Training => "training",
+        }
+    }
+}
+
+/// One evaluated cell: a workload on a GPU, with the measured latency and
+/// each predictor's error.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Workload name.
+    pub model: String,
+    /// Batch size.
+    pub batch: u64,
+    /// GPU name.
+    pub gpu: String,
+    /// Inference or training.
+    pub mode: Mode,
+    /// Whether the GPU or the model is out-of-distribution.
+    pub ood: bool,
+    /// Simulator-measured latency, seconds.
+    pub measured_s: f64,
+    /// (predictor name, predicted seconds, percentage error), in the
+    /// order the predictors were supplied.
+    pub predictions: Vec<(String, f64, f64)>,
+}
+
+/// Builds the graph for a cell.
+#[must_use]
+pub fn cell_graph(model: &ModelConfig, batch: u64, mode: Mode) -> Graph {
+    match mode {
+        Mode::Inference => inference_graph(model, batch),
+        Mode::Training => training_graph(model, batch),
+    }
+}
+
+/// Evaluates every feasible cell of the Figure 7 grid against the given
+/// predictors, logging progress to stderr.
+#[must_use]
+pub fn evaluate_grid(predictors: &[&dyn OpLatencyPredictor]) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for model in evalsets::models() {
+        for mode in [Mode::Inference, Mode::Training] {
+            let batches = match mode {
+                Mode::Inference => evalsets::inference_batches(&model),
+                Mode::Training => evalsets::training_batches(&model),
+            };
+            for batch in batches {
+                for spec in evalsets::gpus() {
+                    if !evalsets::feasible(&model, batch, &spec, mode == Mode::Training) {
+                        continue;
+                    }
+                    cells.push(evaluate_cell(&model, batch, &spec, mode, predictors));
+                }
+            }
+            eprintln!("[figure7] {} {} done", model.name, mode.label());
+        }
+    }
+    cells
+}
+
+/// Measures one cell and runs every predictor on it.
+#[must_use]
+pub fn evaluate_cell(
+    model: &ModelConfig,
+    batch: u64,
+    spec: &GpuSpec,
+    mode: Mode,
+    predictors: &[&dyn OpLatencyPredictor],
+) -> Cell {
+    let graph = cell_graph(model, batch, mode);
+    let measured_s = SimulatedGpu::new(spec.clone())
+        .execute_graph(&graph, DType::F32)
+        .total_s;
+    let predictions = predictors
+        .iter()
+        .map(|p| {
+            let predicted = p.predict_graph(&graph, spec).total_s;
+            (
+                p.name().to_owned(),
+                predicted,
+                report::pct_err(predicted, measured_s),
+            )
+        })
+        .collect();
+    Cell {
+        model: model.name.clone(),
+        batch,
+        gpu: spec.name().to_owned(),
+        mode,
+        ood: neusight_gpu::catalog::is_out_of_distribution(spec.name())
+            || evalsets::is_ood_model(model),
+        measured_s,
+        predictions,
+    }
+}
+
+/// The four standard predictors of the figure, in paper order.
+#[must_use]
+pub fn standard_predictors(suite: &Suite) -> Vec<&dyn OpLatencyPredictor> {
+    vec![&suite.roofline, &suite.habitat, &suite.li, &suite.neusight]
+}
+
+/// Mean error of one predictor over a cell subset.
+#[must_use]
+pub fn mean_error<'a>(cells: impl Iterator<Item = &'a Cell>, predictor_index: usize) -> f64 {
+    let errs: Vec<f64> = cells.map(|c| c.predictions[predictor_index].2).collect();
+    report::mean(&errs)
+}
+
+/// Per-operator-class error of a predictor on one cell's graph (Figure 8):
+/// the graph is re-measured per node and each node's prediction error is
+/// bucketed by its family.
+#[must_use]
+pub fn per_class_errors(
+    model: &ModelConfig,
+    batch: u64,
+    spec: &GpuSpec,
+    mode: Mode,
+    predictor: &dyn OpLatencyPredictor,
+) -> Vec<(OpClass, f64)> {
+    let graph = cell_graph(model, batch, mode);
+    let run = SimulatedGpu::new(spec.clone()).execute_graph(&graph, DType::F32);
+    graph
+        .iter()
+        .zip(&run.per_node_s)
+        .map(|(node, &measured)| {
+            let predicted = predictor.predict_op(&node.op, spec);
+            (node.op.op_class(), report::pct_err(predicted, measured))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_baselines::RooflineBaseline;
+    use neusight_graph::config;
+
+    #[test]
+    fn evaluate_cell_produces_errors_for_all_predictors() {
+        let roofline = RooflineBaseline::new(DType::F32);
+        let predictors: Vec<&dyn OpLatencyPredictor> = vec![&roofline];
+        let spec = neusight_gpu::catalog::gpu("V100").unwrap();
+        let mut model = config::bert_large();
+        model.num_layers = 2;
+        let cell = evaluate_cell(&model, 2, &spec, Mode::Inference, &predictors);
+        assert_eq!(cell.predictions.len(), 1);
+        assert!(cell.measured_s > 0.0);
+        assert!(cell.predictions[0].2.is_finite());
+        assert!(!cell.ood);
+    }
+
+    #[test]
+    fn per_class_errors_cover_graph() {
+        let roofline = RooflineBaseline::new(DType::F32);
+        let spec = neusight_gpu::catalog::gpu("T4").unwrap();
+        let mut model = config::bert_large();
+        model.num_layers = 1;
+        let errs = per_class_errors(&model, 1, &spec, Mode::Inference, &roofline);
+        let graph = cell_graph(&model, 1, Mode::Inference);
+        assert_eq!(errs.len(), graph.len());
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment harness for NeuSight-rs.
+//!
+//! Each table and figure of the paper's evaluation has a dedicated binary
+//! in `src/bin/` (run with `cargo run --release -p neusight-bench --bin
+//! figure7`, etc.). Shared machinery lives here:
+//!
+//! - [`artifacts`]: train-once/reuse caching of datasets and predictors
+//!   under `artifacts/` at the workspace root;
+//! - [`report`]: percentage-error metrics and fixed-width table rendering;
+//! - [`evalsets`]: the model / batch-size / GPU grids of Figures 7–8.
+
+pub mod artifacts;
+pub mod evalsets;
+pub mod evaluation;
+pub mod report;

@@ -1,0 +1,165 @@
+//! Error metrics and plain-text table rendering for the experiment
+//! binaries.
+
+/// Absolute percentage error of a prediction against a measurement.
+///
+/// # Panics
+///
+/// Panics if `measured` is zero.
+#[must_use]
+pub fn pct_err(predicted: f64, measured: f64) -> f64 {
+    assert!(measured != 0.0, "measured latency cannot be zero");
+    (predicted - measured).abs() / measured.abs() * 100.0
+}
+
+/// Mean of a slice (NaN for empty input).
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        f64::NAN
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Maximum of a slice (NaN for empty input).
+#[must_use]
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::NAN, f64::max)
+}
+
+/// A fixed-width plain-text table accumulated row by row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|&h| h.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a header rule.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+        let render_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map_or("", String::as_str);
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}"));
+            }
+            line.trim_end().to_owned()
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats seconds as milliseconds with one decimal, e.g. `"212.1"`.
+#[must_use]
+pub fn ms(seconds: f64) -> String {
+    format!("{:.1}", seconds * 1e3)
+}
+
+/// Formats a percentage with one decimal, e.g. `"8.9%"`.
+#[must_use]
+pub fn pct(value: f64) -> String {
+    format!("{value:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_err_basics() {
+        assert!((pct_err(110.0, 100.0) - 10.0).abs() < 1e-12);
+        assert!((pct_err(90.0, 100.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((max(&[1.0, 5.0, 3.0]) - 5.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["gpu", "latency"]);
+        t.row(vec!["V100".into(), "1.5".into()]);
+        t.row(vec!["A100-40GB".into(), "0.9".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("gpu"));
+        assert!(lines[3].starts_with("A100-40GB"));
+        // Latency column aligned in both rows.
+        let col = lines[2].find("1.5").unwrap();
+        assert_eq!(lines[3].find("0.9").unwrap(), col);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(0.2121), "212.1");
+        assert_eq!(pct(8.94), "8.9%");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be zero")]
+    fn zero_measurement_panics() {
+        let _ = pct_err(1.0, 0.0);
+    }
+}

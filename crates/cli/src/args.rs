@@ -1,0 +1,136 @@
+//! A small dependency-free argument parser: `--key value` pairs and
+//! positional arguments, with typed accessors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parse error with a user-facing message.
+#[derive(Debug)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed command-line arguments: positionals plus `--key value` options
+/// (`--flag` with no value stores an empty string).
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on a dangling `--`.
+    pub fn parse(raw: impl Iterator<Item = String>) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut raw = raw.peekable();
+        while let Some(token) = raw.next() {
+            if let Some(key) = token.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(ArgError("dangling `--`".to_owned()));
+                }
+                let value = match raw.peek() {
+                    Some(next) if !next.starts_with("--") => raw.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
+                args.options.insert(key.to_owned(), value);
+            } else {
+                args.positional.push(token);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional argument by index.
+    #[must_use]
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positional.get(index).map(String::as_str)
+    }
+
+    /// Option value by key.
+    #[must_use]
+    pub fn option(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a flag/option is present.
+    #[must_use]
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// Required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when absent.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.option(key)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))
+    }
+
+    /// Typed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.option(key) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value `{text}` for --{key}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| (*s).to_owned())).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let args = parse(&[
+            "predict",
+            "--model",
+            "gpt2-large",
+            "--batch",
+            "4",
+            "--train",
+        ]);
+        assert_eq!(args.positional(0), Some("predict"));
+        assert_eq!(args.option("model"), Some("gpt2-large"));
+        assert_eq!(args.get_or("batch", 1u64).unwrap(), 4);
+        assert!(args.has("train"));
+        assert!(!args.has("gpu"));
+    }
+
+    #[test]
+    fn typed_defaults_and_errors() {
+        let args = parse(&["--batch", "oops"]);
+        assert!(args.get_or("batch", 1u64).is_err());
+        assert_eq!(args.get_or("missing", 7u64).unwrap(), 7);
+        assert!(args.require("gpu").is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_option() {
+        let args = parse(&["--fused", "--gpu", "H100"]);
+        assert!(args.has("fused"));
+        assert_eq!(args.option("fused"), Some(""));
+        assert_eq!(args.option("gpu"), Some("H100"));
+    }
+}

@@ -1,0 +1,430 @@
+//! `neusight` — the command-line interface to NeuSight-rs.
+//!
+//! ```text
+//! neusight train [--scale tiny|standard] [--out FILE]
+//! neusight gpus
+//! neusight models
+//! neusight predict --model NAME --gpu NAME [--batch N] [--train] [--fused]
+//!                  [--predictor FILE]
+//! neusight kernel  --gpu NAME --op bmm:B,M,N,K | fc:B,I,O | softmax:R,D
+//!                  [--predictor FILE]
+//! neusight distributed --model NAME --server a100|h100 --batch N
+//!                      --strategy dp|tp|pp|pp-1f1b [--microbatches N] [--predictor FILE]
+//! neusight compare --model NAME [--batch N] [--train] [--predictor FILE]
+//! neusight serving --model NAME [--batch N] [--tokens N] [--predictor FILE]
+//! neusight export-dot --model NAME [--batch N] [--train] [--fused]
+//! ```
+//!
+//! A trained predictor is cached at `neusight-predictor.json` in the
+//! working directory by default; `train` creates it, everything else loads
+//! it (training on the fly if missing).
+
+mod args;
+
+use args::{ArgError, Args};
+use neusight_core::{NeuSight, NeuSightConfig};
+use neusight_data::SweepScale;
+use neusight_dist::{
+    a100_nvlink_4x, fits_server, h100_dgx_4x, plan_training, DistForecaster, ParallelStrategy,
+};
+use neusight_gpu::{catalog, DType, OpDesc};
+use neusight_graph::{config, fuse_graph, inference_graph, training_graph};
+use std::path::Path;
+use std::process::ExitCode;
+
+const DEFAULT_PREDICTOR: &str = "neusight-predictor.json";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let result = match args.positional(0) {
+        Some("train") => cmd_train(&args),
+        Some("gpus") => cmd_gpus(),
+        Some("models") => cmd_models(),
+        Some("predict") => cmd_predict(&args),
+        Some("kernel") => cmd_kernel(&args),
+        Some("distributed") => cmd_distributed(&args),
+        Some("compare") => cmd_compare(&args),
+        Some("serving") => cmd_serving(&args),
+        Some("export-dot") => cmd_export_dot(&args),
+        Some(other) => Err(ArgError(format!("unknown command `{other}`")).into()),
+        None => {
+            print_usage();
+            Ok(())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("run `neusight` with no arguments for usage");
+    ExitCode::FAILURE
+}
+
+fn print_usage() {
+    println!(
+        "neusight — forecast deep learning latency on GPUs you don't have\n\n\
+         commands:\n\
+           train        measure the training sweep and fit the predictors\n\
+           gpus         list the GPU catalog (Table 3)\n\
+           models       list the workload zoo (Table 4)\n\
+           predict      forecast a model graph on a GPU\n\
+           kernel       forecast a single kernel on a GPU\n\
+           distributed  forecast multi-GPU training on a 4-GPU server\n\
+           compare      forecast one model across the whole GPU catalog\n\
+           serving      forecast TTFT and tokens/second for generation\n\
+           export-dot   print a model's kernel graph in Graphviz DOT\n\n\
+         see the crate docs for per-command options"
+    );
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load_or_train(args: &Args) -> Result<NeuSight, Box<dyn std::error::Error>> {
+    let path = args.option("predictor").unwrap_or(DEFAULT_PREDICTOR);
+    if Path::new(path).exists() {
+        return Ok(NeuSight::load(Path::new(path))?);
+    }
+    eprintln!("no predictor at {path}; training one (use `neusight train` to control this)…");
+    let ns = train_new(SweepScale::Standard)?;
+    ns.save(Path::new(path))?;
+    eprintln!("saved to {path}");
+    Ok(ns)
+}
+
+fn train_new(scale: SweepScale) -> Result<NeuSight, Box<dyn std::error::Error>> {
+    let gpus = neusight_data::training_gpus();
+    eprintln!(
+        "measuring the operator sweep on {} training GPUs…",
+        gpus.len()
+    );
+    let data = neusight_data::collect_training_set(&gpus, scale, DType::F32);
+    eprintln!("training on {} records…", data.len());
+    let config = match scale {
+        SweepScale::Tiny => NeuSightConfig::tiny(),
+        SweepScale::Standard => NeuSightConfig::standard(),
+    };
+    Ok(NeuSight::train(&data, &config)?)
+}
+
+fn cmd_train(args: &Args) -> CliResult {
+    let scale = match args.option("scale").unwrap_or("standard") {
+        "tiny" => SweepScale::Tiny,
+        "standard" => SweepScale::Standard,
+        other => return Err(ArgError(format!("unknown scale `{other}`")).into()),
+    };
+    let out = args.option("out").unwrap_or(DEFAULT_PREDICTOR);
+    let ns = train_new(scale)?;
+    for (family, smape) in ns.validation_report() {
+        println!("validation SMAPE[{family}] = {smape:.3}");
+    }
+    ns.save(Path::new(out))?;
+    println!("saved predictor to {out}");
+    Ok(())
+}
+
+fn cmd_gpus() -> CliResult {
+    for entry in catalog::all() {
+        let role = match entry.role {
+            catalog::SplitRole::Train => "train",
+            catalog::SplitRole::Test => "held-out",
+        };
+        println!("{:<10} [{role:^8}] {}", entry.spec.name(), entry.spec);
+    }
+    Ok(())
+}
+
+fn cmd_models() -> CliResult {
+    for model in config::table4() {
+        println!("{model}");
+    }
+    println!("ResNet50 / VGG16 are available through `predict --model resnet50|vgg16`");
+    Ok(())
+}
+
+fn resolve_gpu(args: &Args) -> Result<neusight_gpu::GpuSpec, Box<dyn std::error::Error>> {
+    Ok(catalog::gpu(args.require("gpu")?)?)
+}
+
+fn cmd_predict(args: &Args) -> CliResult {
+    let ns = load_or_train(args)?;
+    let spec = resolve_gpu(args)?;
+    let name = args.require("model")?;
+    let batch: u64 = args.get_or("batch", 1)?;
+    let training = args.has("train");
+
+    let mut graph = match name.to_ascii_lowercase().as_str() {
+        "resnet50" if training => neusight_graph::cnn::resnet50_training(batch),
+        "resnet50" => neusight_graph::cnn::resnet50_inference(batch),
+        "vgg16" => neusight_graph::cnn::vgg16_inference(batch),
+        _ => {
+            let model =
+                config::by_name(name).ok_or_else(|| ArgError(format!("unknown model `{name}`")))?;
+            if training {
+                training_graph(&model, batch)
+            } else {
+                inference_graph(&model, batch)
+            }
+        }
+    };
+    if args.has("fused") {
+        graph = fuse_graph(&graph);
+    }
+    let forecast = ns.predict_graph(&graph, &spec)?;
+    println!(
+        "{} on {} (batch {batch}{}{}): {:.2} ms across {} kernels",
+        name,
+        spec.name(),
+        if training {
+            ", training"
+        } else {
+            ", inference"
+        },
+        if args.has("fused") { ", fused" } else { "" },
+        forecast.total_s * 1e3,
+        graph.len()
+    );
+    if training {
+        println!(
+            "  forward {:.2} ms / backward {:.2} ms",
+            forecast.forward_s * 1e3,
+            forecast.backward_s * 1e3
+        );
+    }
+    Ok(())
+}
+
+/// Parses `family:dims` kernel specs, e.g. `bmm:8,512,512,512`.
+fn parse_op(text: &str) -> Result<OpDesc, ArgError> {
+    let (family, dims_text) = text
+        .split_once(':')
+        .ok_or_else(|| ArgError(format!("expected FAMILY:DIMS, got `{text}`")))?;
+    let dims: Vec<u64> = dims_text
+        .split(',')
+        .map(|d| {
+            d.trim()
+                .parse()
+                .map_err(|_| ArgError(format!("bad dimension `{d}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    let need = |n: usize| -> Result<(), ArgError> {
+        if dims.len() == n {
+            Ok(())
+        } else {
+            Err(ArgError(format!(
+                "{family} takes {n} dims, got {}",
+                dims.len()
+            )))
+        }
+    };
+    match family {
+        "bmm" => {
+            need(4)?;
+            Ok(OpDesc::bmm(dims[0], dims[1], dims[2], dims[3]))
+        }
+        "fc" => {
+            need(3)?;
+            Ok(OpDesc::fc(dims[0], dims[1], dims[2]))
+        }
+        "softmax" => {
+            need(2)?;
+            Ok(OpDesc::softmax(dims[0], dims[1]))
+        }
+        "layernorm" => {
+            need(2)?;
+            Ok(OpDesc::layer_norm(dims[0], dims[1]))
+        }
+        "conv2d" => {
+            need(7)?;
+            Ok(OpDesc::conv2d(
+                dims[0], dims[1], dims[2], dims[3], dims[4], dims[5], dims[6],
+            ))
+        }
+        other => Err(ArgError(format!("unknown kernel family `{other}`"))),
+    }
+}
+
+fn cmd_kernel(args: &Args) -> CliResult {
+    let ns = load_or_train(args)?;
+    let spec = resolve_gpu(args)?;
+    let op = parse_op(args.require("op")?)?;
+    let launch = ns.plan_launch(&op, &spec)?;
+    let latency = ns.predict_op(&op, &spec)?;
+    println!(
+        "{op} on {}: {:.3} ms (tile {}, {} tiles, {} waves{})",
+        spec.name(),
+        latency * 1e3,
+        launch.tile,
+        launch.num_tiles,
+        launch.num_waves,
+        if launch.split_k > 1 {
+            format!(", split-K {}", launch.split_k)
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
+fn cmd_distributed(args: &Args) -> CliResult {
+    let ns = load_or_train(args)?;
+    let name = args.require("model")?;
+    let model = config::by_name(name).ok_or_else(|| ArgError(format!("unknown model `{name}`")))?;
+    let server = match args.require("server")? {
+        "a100" => a100_nvlink_4x()?,
+        "h100" => h100_dgx_4x()?,
+        other => return Err(ArgError(format!("unknown server `{other}`")).into()),
+    };
+    let batch: u64 = args.get_or("batch", 8)?;
+    let microbatches: u64 = args.get_or("microbatches", 4)?;
+    let strategy = match args.require("strategy")? {
+        "dp" => ParallelStrategy::Data,
+        "tp" => ParallelStrategy::Tensor,
+        "pp" => ParallelStrategy::gpipe(microbatches),
+        "pp-1f1b" => ParallelStrategy::one_f_one_b(microbatches),
+        other => return Err(ArgError(format!("unknown strategy `{other}`")).into()),
+    };
+    if !fits_server(&model, batch, strategy, &server, DType::F32) {
+        println!(
+            "{} batch {batch} with {} does not fit the {} — OOM",
+            model.name,
+            strategy.label(),
+            server.name
+        );
+        return Ok(());
+    }
+    let plan = plan_training(&model, batch, server.num_gpus, strategy, DType::F32)?;
+    let forecast = DistForecaster::new(&ns).predict_iteration(&plan, &server);
+    println!(
+        "{} batch {batch}, {} on {}: {:.1} ms per training iteration",
+        model.name,
+        strategy.label(),
+        server.name,
+        forecast * 1e3
+    );
+    Ok(())
+}
+
+/// Builds the graph a `--model NAME` argument refers to.
+fn graph_for(name: &str, batch: u64, training: bool) -> Result<neusight_graph::Graph, ArgError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "resnet50" if training => neusight_graph::cnn::resnet50_training(batch),
+        "resnet50" => neusight_graph::cnn::resnet50_inference(batch),
+        "vgg16" => neusight_graph::cnn::vgg16_inference(batch),
+        _ => {
+            let model =
+                config::by_name(name).ok_or_else(|| ArgError(format!("unknown model `{name}`")))?;
+            if training {
+                training_graph(&model, batch)
+            } else {
+                inference_graph(&model, batch)
+            }
+        }
+    })
+}
+
+fn cmd_compare(args: &Args) -> CliResult {
+    let ns = load_or_train(args)?;
+    let name = args.require("model")?;
+    let batch: u64 = args.get_or("batch", 1)?;
+    let training = args.has("train");
+    let graph = graph_for(name, batch, training)?;
+    println!(
+        "{name} batch {batch} ({}) across the catalog:\n",
+        if training { "training" } else { "inference" }
+    );
+    println!("{:<12} {:>14} {:>10}", "GPU", "Forecast (ms)", "vs best");
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for entry in catalog::all() {
+        let forecast = ns.predict_graph(&graph, &entry.spec)?.total_s * 1e3;
+        rows.push((entry.spec.name().to_owned(), forecast));
+    }
+    let best = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    for (gpu, ms) in rows {
+        println!("{gpu:<12} {ms:>14.1} {:>9.2}x", ms / best);
+    }
+    Ok(())
+}
+
+fn cmd_serving(args: &Args) -> CliResult {
+    let ns = load_or_train(args)?;
+    let name = args.require("model")?;
+    let model = config::by_name(name).ok_or_else(|| ArgError(format!("unknown model `{name}`")))?;
+    let batch: u64 = args.get_or("batch", 1)?;
+    let tokens: u64 = args.get_or("tokens", 128)?;
+    println!(
+        "{} batch {batch}: {}-token prompts, {tokens} generated tokens\n",
+        model.name, model.seq_len
+    );
+    let prefill = inference_graph(&model, batch);
+    println!(
+        "{:<12} {:>11} {:>15} {:>11}",
+        "GPU", "TTFT (ms)", "per-token (ms)", "tokens/s"
+    );
+    for entry in catalog::all() {
+        let spec = entry.spec;
+        if !neusight_sim::memory::fits(&model, batch, DType::F32, false, &spec) {
+            println!("{:<12} {:>11}", spec.name(), "OOM");
+            continue;
+        }
+        let ttft = ns.predict_graph(&prefill, &spec)?.total_s * 1e3;
+        let decode = neusight_graph::decode_graph(&model, batch, model.seq_len + tokens / 2);
+        let per_token = ns.predict_graph(&decode, &spec)?.total_s * 1e3;
+        #[allow(clippy::cast_precision_loss)]
+        let tps = batch as f64 * 1e3 / per_token;
+        println!(
+            "{:<12} {:>11.1} {:>15.2} {:>11.0}",
+            spec.name(),
+            ttft,
+            per_token,
+            tps
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export_dot(args: &Args) -> CliResult {
+    let name = args.require("model")?;
+    let batch: u64 = args.get_or("batch", 1)?;
+    let mut graph = graph_for(name, batch, args.has("train"))?;
+    if args.has("fused") {
+        graph = fuse_graph(&graph);
+    }
+    print!("{}", neusight_graph::dot::to_dot(&graph));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_spec_parsing() {
+        assert_eq!(
+            parse_op("bmm:8,512,512,64").unwrap(),
+            OpDesc::bmm(8, 512, 512, 64)
+        );
+        assert_eq!(
+            parse_op("fc:128,1024,4096").unwrap(),
+            OpDesc::fc(128, 1024, 4096)
+        );
+        assert_eq!(
+            parse_op("softmax:4096,512").unwrap(),
+            OpDesc::softmax(4096, 512)
+        );
+        assert_eq!(
+            parse_op("conv2d:8,64,64,56,3,1,1").unwrap(),
+            OpDesc::conv2d(8, 64, 64, 56, 3, 1, 1)
+        );
+        assert!(parse_op("bmm:8,512").is_err());
+        assert!(parse_op("nope:1").is_err());
+        assert!(parse_op("fc:1,x,3").is_err());
+        assert!(parse_op("justtext").is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the NeuSight prediction framework.
+
+use neusight_gpu::GpuError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors from training, persisting or running NeuSight predictors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Underlying GPU-vocabulary error (unknown GPU, bad tiling, …).
+    Gpu(GpuError),
+    /// A predictor for the required operator family has not been trained.
+    MissingPredictor(String),
+    /// The training dataset had no usable records for a family.
+    EmptyTrainingSet(String),
+    /// Persistence I/O failure.
+    Io(io::Error),
+    /// Artifact deserialization failure.
+    Format(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Gpu(e) => write!(f, "gpu error: {e}"),
+            CoreError::MissingPredictor(class) => {
+                write!(f, "no trained predictor for operator family `{class}`")
+            }
+            CoreError::EmptyTrainingSet(class) => {
+                write!(f, "no training records for operator family `{class}`")
+            }
+            CoreError::Io(e) => write!(f, "i/o error: {e}"),
+            CoreError::Format(detail) => write!(f, "artifact format error: {detail}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Gpu(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for CoreError {
+    fn from(e: GpuError) -> CoreError {
+        CoreError::Gpu(e)
+    }
+}
+
+impl From<io::Error> for CoreError {
+    fn from(e: io::Error) -> CoreError {
+        CoreError::Io(e)
+    }
+}
+
+/// Result alias for the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::MissingPredictor("bmm".into())
+            .to_string()
+            .contains("bmm"));
+        assert!(CoreError::from(GpuError::UnknownGpu("X".into()))
+            .to_string()
+            .contains("gpu error"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let err = CoreError::from(io::Error::other("disk on fire"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,353 @@
+//! The NeuSight framework: five family predictors + tile database +
+//! memory-bound fallback, composed into kernel-, operator- and model-level
+//! latency forecasting (§5).
+
+use crate::error::{CoreError, Result};
+use crate::predictor::{KernelPredictor, PredictorConfig};
+use crate::tiledb::TileDatabase;
+use neusight_gpu::{
+    num_tiles, num_waves, DType, GpuSpec, KernelDataset, KernelLaunch, OpClass, OpDesc,
+};
+use neusight_graph::{Graph, Phase};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Training configuration for the whole framework: one
+/// [`PredictorConfig`] per family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuSightConfig {
+    /// Per-family training settings, keyed by [`OpClass::name`].
+    pub per_class: BTreeMap<String, PredictorConfig>,
+    /// Element type assumed for traffic accounting.
+    pub dtype: DType,
+}
+
+impl NeuSightConfig {
+    /// The standard evaluation configuration.
+    #[must_use]
+    pub fn standard() -> NeuSightConfig {
+        let per_class = OpClass::trained()
+            .iter()
+            .map(|&c| (c.name().to_owned(), PredictorConfig::standard(c)))
+            .collect();
+        NeuSightConfig {
+            per_class,
+            dtype: DType::F32,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    #[must_use]
+    pub fn tiny() -> NeuSightConfig {
+        let per_class = OpClass::trained()
+            .iter()
+            .map(|&c| (c.name().to_owned(), PredictorConfig::tiny()))
+            .collect();
+        NeuSightConfig {
+            per_class,
+            dtype: DType::F32,
+        }
+    }
+}
+
+/// Aggregated latency prediction for a dataflow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphPrediction {
+    /// Total predicted latency, seconds.
+    pub total_s: f64,
+    /// Forward-phase portion, seconds.
+    pub forward_s: f64,
+    /// Backward-phase portion, seconds.
+    pub backward_s: f64,
+    /// Per-node predictions in execution order, seconds.
+    pub per_node_s: Vec<f64>,
+}
+
+/// The trained NeuSight framework.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NeuSight {
+    predictors: BTreeMap<String, KernelPredictor>,
+    tiledb: TileDatabase,
+    dtype: DType,
+}
+
+impl NeuSight {
+    /// Trains all family predictors from a measured dataset and builds the
+    /// tile database from the same profiles.
+    ///
+    /// Families with no records in the dataset are skipped (their kernels
+    /// will use the memory-bound fallback at prediction time).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if *no* family could be trained.
+    pub fn train(dataset: &KernelDataset, config: &NeuSightConfig) -> Result<NeuSight> {
+        let mut predictors = BTreeMap::new();
+        for class in OpClass::trained() {
+            let Some(cfg) = config.per_class.get(class.name()) else {
+                continue;
+            };
+            match KernelPredictor::train(class, dataset, config.dtype, cfg) {
+                Ok(p) => {
+                    predictors.insert(class.name().to_owned(), p);
+                }
+                Err(CoreError::EmptyTrainingSet(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if predictors.is_empty() {
+            return Err(CoreError::EmptyTrainingSet("all families".to_owned()));
+        }
+        Ok(NeuSight {
+            predictors,
+            tiledb: TileDatabase::from_records(dataset),
+            dtype: config.dtype,
+        })
+    }
+
+    /// The element type used for traffic accounting.
+    #[must_use]
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Families with a trained predictor.
+    #[must_use]
+    pub fn trained_classes(&self) -> Vec<String> {
+        self.predictors.keys().cloned().collect()
+    }
+
+    /// Validation SMAPE per trained family.
+    #[must_use]
+    pub fn validation_report(&self) -> BTreeMap<String, f32> {
+        self.predictors
+            .iter()
+            .map(|(name, p)| (name.clone(), p.validation_smape()))
+            .collect()
+    }
+
+    /// The tile database built during training.
+    #[must_use]
+    pub fn tile_database(&self) -> &TileDatabase {
+        &self.tiledb
+    }
+
+    /// Reconstructs launch geometry for a kernel on a (possibly unseen)
+    /// GPU: tile from the nearest database match, then Eq. 2–3.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tiling error if the database tile cannot cover the output
+    /// (cannot happen for database-derived tiles, which are clamped).
+    pub fn plan_launch(&self, op: &OpDesc, spec: &GpuSpec) -> Result<KernelLaunch> {
+        let (tile, split_k) = self.tiledb.launch_for(op, spec);
+        let dims = op.output_dims();
+        let tiles = num_tiles(&dims, &tile)? * split_k;
+        let waves = num_waves(tiles, spec.num_sms());
+        Ok(KernelLaunch {
+            kernel_name: format!("planned_{}_{tile}", op.op_class()),
+            tile,
+            num_tiles: tiles,
+            num_waves: waves,
+            split_k,
+        })
+    }
+
+    /// Predicts the latency of one kernel on a GPU, in seconds.
+    ///
+    /// Kernels without a trained family predictor — and all zero-FLOP /
+    /// memory-bound-class kernels such as embeddings — use the paper's
+    /// fallback: memory traffic divided by peak bandwidth (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch-planning errors.
+    pub fn predict_op(&self, op: &OpDesc, spec: &GpuSpec) -> Result<f64> {
+        let class = op.op_class();
+        if class == OpClass::MemoryBound || op.flops() <= 0.0 {
+            return Ok(op.memory_bytes(self.dtype) / spec.memory_bw());
+        }
+        let Some(predictor) = self.predictors.get(class.name()) else {
+            return Ok(op.memory_bytes(self.dtype) / spec.memory_bw());
+        };
+        let launch = self.plan_launch(op, spec)?;
+        Ok(predictor.predict_latency(op, &launch, self.dtype, spec))
+    }
+
+    /// Predicts per-device latency of a whole dataflow graph by summing
+    /// kernel predictions in execution order (§5: kernels run
+    /// sequentially per device).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-kernel errors.
+    pub fn predict_graph(&self, graph: &Graph, spec: &GpuSpec) -> Result<GraphPrediction> {
+        let mut per_node_s = Vec::with_capacity(graph.len());
+        let (mut forward_s, mut backward_s) = (0.0, 0.0);
+        for node in graph.iter() {
+            let lat = self.predict_op(&node.op, spec)?;
+            per_node_s.push(lat);
+            match node.phase {
+                Phase::Forward => forward_s += lat,
+                Phase::Backward => backward_s += lat,
+            }
+        }
+        Ok(GraphPrediction {
+            total_s: forward_s + backward_s,
+            forward_s,
+            backward_s,
+            per_node_s,
+        })
+    }
+
+    /// Persists the trained framework (predictor weights, scalers, tile
+    /// database) to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or serialization errors.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string(self).map_err(|e| CoreError::Format(e.to_string()))?;
+        fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a framework saved by [`NeuSight::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors or a [`CoreError::Format`] for corrupt files.
+    pub fn load(path: &Path) -> Result<NeuSight> {
+        let json = fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(|e| CoreError::Format(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_data::{collect_training_set, training_gpus, SweepScale};
+    use neusight_gpu::catalog;
+    use neusight_graph::{config, inference_graph, training_graph};
+    use neusight_sim::SimulatedGpu;
+
+    fn tiny_framework() -> NeuSight {
+        let gpus = training_gpus();
+        let ds = collect_training_set(&gpus, SweepScale::Tiny, DType::F32);
+        NeuSight::train(&ds, &NeuSightConfig::tiny()).expect("trainable")
+    }
+
+    #[test]
+    fn trains_all_five_families() {
+        let ns = tiny_framework();
+        assert_eq!(ns.trained_classes().len(), 5);
+        assert_eq!(ns.validation_report().len(), 5);
+        assert!(!ns.tile_database().is_empty());
+    }
+
+    #[test]
+    fn predicts_every_model_kernel() {
+        let ns = tiny_framework();
+        let spec = catalog::gpu("V100").unwrap();
+        let graph = inference_graph(&config::bert_large(), 2);
+        let pred = ns.predict_graph(&graph, &spec).unwrap();
+        assert_eq!(pred.per_node_s.len(), graph.len());
+        assert!(pred.per_node_s.iter().all(|&l| l.is_finite() && l > 0.0));
+        assert!(pred.total_s > 0.0);
+        assert_eq!(pred.backward_s, 0.0);
+    }
+
+    #[test]
+    fn training_graph_prediction_splits_phases() {
+        let ns = tiny_framework();
+        let spec = catalog::gpu("A100-40GB").unwrap();
+        let graph = training_graph(&config::bert_large(), 2);
+        let pred = ns.predict_graph(&graph, &spec).unwrap();
+        assert!(pred.backward_s > 0.0 && pred.forward_s > 0.0);
+        assert!((pred.total_s - pred.forward_s - pred.backward_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embedding_uses_memory_bound_fallback() {
+        let ns = tiny_framework();
+        let spec = catalog::gpu("T4").unwrap();
+        let op = OpDesc::embedding(4096, 1024, 50000);
+        let lat = ns.predict_op(&op, &spec).unwrap();
+        let expected = op.memory_bytes(DType::F32) / spec.memory_bw();
+        assert!((lat - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn predictions_work_on_unseen_gpus() {
+        let ns = tiny_framework();
+        let h100 = catalog::gpu("H100").unwrap();
+        let op = OpDesc::bmm(16, 2048, 2048, 2048); // OOD dims and GPU
+        let lat = ns.predict_op(&op, &h100).unwrap();
+        assert!(lat.is_finite() && lat > 0.0);
+        // Bounded below by physics: cannot beat the roofline.
+        let floor = op.flops() / neusight_gpu::roofline::roofline_flops_for(&op, DType::F32, &h100);
+        assert!(lat >= floor * 0.5, "lat {lat} vs floor {floor}");
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let ns = tiny_framework();
+        let dir = std::env::temp_dir().join("neusight-test-framework");
+        let path = dir.join("ns.json");
+        ns.save(&path).unwrap();
+        let back = NeuSight::load(&path).unwrap();
+        let spec = catalog::gpu("P100").unwrap();
+        let op = OpDesc::fc(512, 512, 2048);
+        assert_eq!(
+            ns.predict_op(&op, &spec).unwrap(),
+            back.predict_op(&op, &spec).unwrap()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = NeuSight::load(Path::new("/nonexistent/ns.json")).unwrap_err();
+        assert!(matches!(err, CoreError::Io(_)));
+    }
+
+    #[test]
+    fn fused_ops_route_to_head_family() {
+        let ns = tiny_framework();
+        let spec = catalog::gpu("V100").unwrap();
+        let rows = 2048u64;
+        let dim = 1024u64;
+        let add = OpDesc::elementwise(neusight_gpu::EwKind::Add, rows * dim);
+        let ln = OpDesc::layer_norm(rows, dim);
+        let fused = OpDesc::fused(vec![add.clone(), ln.clone()]).unwrap();
+        let fused_lat = ns.predict_op(&fused, &spec).unwrap();
+        let separate = ns.predict_op(&add, &spec).unwrap() + ns.predict_op(&ln, &spec).unwrap();
+        assert!(
+            fused_lat < separate,
+            "fusion should predict faster: {fused_lat} vs {separate}"
+        );
+    }
+
+    #[test]
+    fn graph_prediction_simulator_agreement_smoke() {
+        // Even the tiny training budget should land within a loose factor
+        // of the simulator on an in-distribution-ish workload.
+        let ns = tiny_framework();
+        let spec = catalog::gpu("V100").unwrap();
+        let graph = inference_graph(&config::bert_large(), 2);
+        let predicted = ns.predict_graph(&graph, &spec).unwrap().total_s;
+        let measured = SimulatedGpu::new(spec)
+            .execute_graph(&graph, DType::F32)
+            .total_s;
+        let ratio = predicted / measured;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "prediction {predicted} vs measurement {measured}"
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! The tile-size database (§6.1 "Tile size").
+//!
+//! During data collection on training-set GPUs, the profiler reports each
+//! kernel's tile shape. NeuSight records `(kernel family, input dimensions,
+//! GPU features) → tile` and, at prediction time — possibly for a GPU or
+//! shape it has never seen — estimates the tile by nearest-match lookup in
+//! log-space over the dimensions and the GPU's per-SM features.
+
+use neusight_gpu::{GpuSpec, KernelDataset, OpClass, OpDesc, TileShape};
+use serde::{Deserialize, Serialize};
+
+/// One database row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileEntry {
+    /// Kernel family.
+    pub class: OpClass,
+    /// Output dimensions of the recorded kernel.
+    pub output_dims: Vec<u64>,
+    /// GEMM contraction depth, if the family has one.
+    pub gemm_k: Option<u64>,
+    /// Number of SMs of the GPU the tile was observed on.
+    pub num_sms: u32,
+    /// L2 cache bytes of that GPU.
+    pub l2_bytes: f64,
+    /// The observed tile.
+    pub tile: TileShape,
+    /// The observed split-K factor (inferred from thread-block counts).
+    #[serde(default = "default_split_k")]
+    pub split_k: u64,
+}
+
+fn default_split_k() -> u64 {
+    1
+}
+
+/// Nearest-match tile database.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TileDatabase {
+    entries: Vec<TileEntry>,
+}
+
+fn gemm_k_of(op: &OpDesc) -> Option<u64> {
+    match *op {
+        OpDesc::Bmm { k, .. } => Some(k),
+        OpDesc::Fc { in_features, .. } => Some(in_features),
+        OpDesc::Conv2d {
+            in_channels,
+            kernel,
+            ..
+        } => Some(in_channels * kernel * kernel),
+        OpDesc::Fused(ref fused) => gemm_k_of(fused.head()),
+        _ => None,
+    }
+}
+
+/// Squared log-distance between two positive values.
+#[allow(clippy::cast_precision_loss)]
+fn log_dist(a: f64, b: f64) -> f64 {
+    let d = (a.max(1e-12) / b.max(1e-12)).ln();
+    d * d
+}
+
+impl TileDatabase {
+    /// Builds the database from profiled kernel records.
+    #[must_use]
+    pub fn from_records(dataset: &KernelDataset) -> TileDatabase {
+        let mut entries = Vec::with_capacity(dataset.len());
+        for record in dataset.records() {
+            let Ok(spec) = neusight_gpu::catalog::gpu(&record.gpu) else {
+                continue;
+            };
+            entries.push(TileEntry {
+                class: record.op.op_class(),
+                output_dims: record.op.output_dims(),
+                gemm_k: gemm_k_of(&record.op),
+                num_sms: spec.num_sms(),
+                l2_bytes: spec.l2_bytes(),
+                tile: record.launch.tile.clone(),
+                split_k: record.launch.split_k,
+            });
+        }
+        TileDatabase { entries }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Finds the tile of the closest recorded kernel (log-space distance
+    /// over output dims, GEMM depth, SM count and L2 size), clamped to the
+    /// query's output. Returns `None` when no same-family, same-rank entry
+    /// exists.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn lookup(&self, op: &OpDesc, spec: &GpuSpec) -> Option<TileShape> {
+        let class = op.op_class();
+        let dims = op.output_dims();
+        let k = gemm_k_of(op);
+        let mut best: Option<(f64, &TileEntry)> = None;
+        for entry in &self.entries {
+            if entry.class != class || entry.output_dims.len() != dims.len() {
+                continue;
+            }
+            let mut dist = 0.0;
+            for (&a, &b) in dims.iter().zip(&entry.output_dims) {
+                dist += log_dist(a as f64, b as f64);
+            }
+            if let (Some(ka), Some(kb)) = (k, entry.gemm_k) {
+                dist += log_dist(ka as f64, kb as f64);
+            }
+            dist += log_dist(f64::from(spec.num_sms()), f64::from(entry.num_sms));
+            dist += log_dist(spec.l2_bytes(), entry.l2_bytes);
+            if best.as_ref().is_none_or(|(bd, _)| dist < *bd) {
+                best = Some((dist, entry));
+            }
+        }
+        best.map(|(_, entry)| entry.tile.clamped_to(&dims))
+    }
+
+    /// Like [`TileDatabase::lookup`] but also returns the nearest entry's
+    /// split-K factor (1 when falling back to the family default).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn launch_for(&self, op: &OpDesc, spec: &GpuSpec) -> (TileShape, u64) {
+        let class = op.op_class();
+        let dims = op.output_dims();
+        let k = gemm_k_of(op);
+        let mut best: Option<(f64, &TileEntry)> = None;
+        for entry in &self.entries {
+            if entry.class != class || entry.output_dims.len() != dims.len() {
+                continue;
+            }
+            let mut dist = 0.0;
+            for (&a, &b) in dims.iter().zip(&entry.output_dims) {
+                dist += log_dist(a as f64, b as f64);
+            }
+            if let (Some(ka), Some(kb)) = (k, entry.gemm_k) {
+                dist += log_dist(ka as f64, kb as f64);
+            }
+            dist += log_dist(f64::from(spec.num_sms()), f64::from(entry.num_sms));
+            dist += log_dist(spec.l2_bytes(), entry.l2_bytes);
+            if best.as_ref().is_none_or(|(bd, _)| dist < *bd) {
+                best = Some((dist, entry));
+            }
+        }
+        match best {
+            Some((_, entry)) => (entry.tile.clamped_to(&dims), entry.split_k.max(1)),
+            None => (TileDatabase::default_tile(op), 1),
+        }
+    }
+
+    /// Fallback tile when the database has no match: a reasonable default
+    /// per family (the paper's database always has BMM/FC/EW/softmax/LN
+    /// entries, so this only triggers for exotic setups).
+    #[must_use]
+    pub fn default_tile(op: &OpDesc) -> TileShape {
+        let dims = op.output_dims();
+        let tile = match op.op_class() {
+            OpClass::Bmm => TileShape::new(vec![1, 128, 128]),
+            OpClass::FullyConnected => TileShape::new(vec![128, 128]),
+            OpClass::Elementwise => TileShape::new(vec![1024]),
+            OpClass::Softmax | OpClass::LayerNorm => TileShape::new(vec![1, dims[1]]),
+            OpClass::MemoryBound => {
+                let mut t = vec![1; dims.len()];
+                if let Some(last) = t.last_mut() {
+                    *last = *dims.last().expect("nonempty dims");
+                }
+                TileShape::new(t)
+            }
+        };
+        tile.clamped_to(&dims)
+    }
+
+    /// Tile for a query: nearest match, or the family default.
+    #[must_use]
+    pub fn tile_for(&self, op: &OpDesc, spec: &GpuSpec) -> TileShape {
+        self.lookup(op, spec)
+            .unwrap_or_else(|| TileDatabase::default_tile(op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_gpu::{catalog, DType};
+    use neusight_sim::SimulatedGpu;
+
+    fn small_db() -> TileDatabase {
+        let gpus = [
+            SimulatedGpu::from_catalog("P100").unwrap(),
+            SimulatedGpu::from_catalog("V100").unwrap(),
+            SimulatedGpu::from_catalog("A100-40GB").unwrap(),
+        ];
+        let ops = [
+            OpDesc::bmm(8, 256, 256, 128),
+            OpDesc::bmm(64, 1024, 1024, 512),
+            OpDesc::bmm(1, 64, 64, 64),
+            OpDesc::fc(1024, 1024, 4096),
+            OpDesc::softmax(8192, 1024),
+            OpDesc::layer_norm(8192, 1024),
+            OpDesc::elementwise(neusight_gpu::EwKind::Add, 1 << 20),
+        ];
+        let mut records = Vec::new();
+        for gpu in &gpus {
+            for op in &ops {
+                let m = gpu.measure(op, DType::F32, 3);
+                records.push(neusight_gpu::KernelRecord {
+                    gpu: gpu.spec().name().to_owned(),
+                    op: op.clone(),
+                    launch: m.launch,
+                    mean_latency_s: m.mean_latency_s,
+                });
+            }
+        }
+        TileDatabase::from_records(&KernelDataset::new(records))
+    }
+
+    #[test]
+    fn exact_query_returns_recorded_tile() {
+        let db = small_db();
+        let v100 = catalog::gpu("V100").unwrap();
+        let op = OpDesc::bmm(64, 1024, 1024, 512);
+        let expected = SimulatedGpu::new(v100.clone()).profile_launch(&op).tile;
+        assert_eq!(db.lookup(&op, &v100), Some(expected));
+    }
+
+    #[test]
+    fn nearest_match_on_unseen_gpu() {
+        // H100 was never profiled; the lookup lands on the closest training
+        // GPU's tile for the closest shape.
+        let db = small_db();
+        let h100 = catalog::gpu("H100").unwrap();
+        let op = OpDesc::bmm(64, 2048, 2048, 1024); // OOD dims
+        let tile = db.lookup(&op, &h100).expect("a bmm entry exists");
+        assert_eq!(tile.rank(), 3);
+        assert!(
+            tile.dims()[1] >= 64,
+            "nearest big gemm should use big tiles"
+        );
+    }
+
+    #[test]
+    fn class_isolation() {
+        let db = small_db();
+        let v100 = catalog::gpu("V100").unwrap();
+        let sm = db.lookup(&OpDesc::softmax(4096, 2048), &v100).unwrap();
+        // Softmax tiles span the full reduction dim, clamped to the query.
+        assert_eq!(sm.dims()[1], 1024); // recorded dim, clamped to the query
+        assert!(db
+            .lookup(&OpDesc::embedding(128, 128, 1000), &v100)
+            .is_none());
+    }
+
+    #[test]
+    fn tile_clamped_to_small_query() {
+        let db = small_db();
+        let v100 = catalog::gpu("V100").unwrap();
+        let op = OpDesc::bmm(1, 16, 16, 16);
+        let tile = db.tile_for(&op, &v100);
+        assert!(tile.dims()[1] <= 16 && tile.dims()[2] <= 16);
+    }
+
+    #[test]
+    fn default_tiles_are_valid_for_all_classes() {
+        for op in [
+            OpDesc::bmm(2, 100, 100, 100),
+            OpDesc::fc(50, 60, 70),
+            OpDesc::elementwise(neusight_gpu::EwKind::Gelu, 500),
+            OpDesc::softmax(100, 200),
+            OpDesc::layer_norm(100, 200),
+            OpDesc::embedding(100, 64, 1000),
+        ] {
+            let tile = TileDatabase::default_tile(&op);
+            assert_eq!(tile.rank(), op.output_dims().len(), "{op}");
+            let tiles = neusight_gpu::num_tiles(&op.output_dims(), &tile).unwrap();
+            assert!(tiles >= 1);
+        }
+    }
+
+    #[test]
+    fn empty_db_uses_defaults() {
+        let db = TileDatabase::default();
+        assert!(db.is_empty());
+        let v100 = catalog::gpu("V100").unwrap();
+        let op = OpDesc::bmm(4, 512, 512, 512);
+        assert_eq!(db.tile_for(&op, &v100), TileDatabase::default_tile(&op));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let db = small_db();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: TileDatabase = serde_json::from_str(&json).unwrap();
+        assert_eq!(db, back);
+    }
+}

@@ -1,0 +1,132 @@
+//! Measurement collection: runs operator sweeps on a fleet of simulated
+//! GPUs (in parallel, one thread per device — like farming real machines)
+//! and assembles a [`KernelDataset`].
+
+use crate::records::{KernelDataset, KernelRecord};
+use crate::sweeps::{self, SweepScale};
+use neusight_gpu::DType;
+use neusight_sim::SimulatedGpu;
+
+/// Number of timed runs averaged per kernel (§6.1: 25).
+pub const MEASUREMENT_RUNS: u32 = 25;
+
+/// Measures every op on every GPU, in parallel across GPUs.
+///
+/// # Panics
+///
+/// Panics if a collection thread panics.
+#[must_use]
+pub fn collect(gpus: &[SimulatedGpu], ops: &[OpDescRef<'_>], dtype: DType) -> KernelDataset {
+    let mut all = Vec::with_capacity(gpus.len() * ops.len());
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = gpus
+            .iter()
+            .map(|gpu| {
+                scope.spawn(move |_| {
+                    ops.iter()
+                        .map(|op| {
+                            let m = gpu.measure(op, dtype, MEASUREMENT_RUNS);
+                            KernelRecord {
+                                gpu: gpu.spec().name().to_owned(),
+                                op: (*op).clone(),
+                                launch: m.launch,
+                                mean_latency_s: m.mean_latency_s,
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            all.extend(handle.join().expect("collection thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    KernelDataset::new(all)
+}
+
+/// Borrowed op list alias used by [`collect`].
+pub type OpDescRef<'a> = &'a neusight_gpu::OpDesc;
+
+/// Collects the full §6.1-style training dataset on the given GPUs.
+#[must_use]
+pub fn collect_training_set(
+    gpus: &[SimulatedGpu],
+    scale: SweepScale,
+    dtype: DType,
+) -> KernelDataset {
+    let ops = sweeps::full_sweep(scale);
+    let refs: Vec<&neusight_gpu::OpDesc> = ops.iter().collect();
+    collect(gpus, &refs, dtype)
+}
+
+/// Builds simulated devices for the paper's five training-set GPUs.
+#[must_use]
+pub fn training_gpus() -> Vec<SimulatedGpu> {
+    neusight_gpu::catalog::training_set()
+        .into_iter()
+        .map(SimulatedGpu::new)
+        .collect()
+}
+
+/// Builds simulated devices for the paper's three held-out GPUs.
+#[must_use]
+pub fn test_gpus() -> Vec<SimulatedGpu> {
+    neusight_gpu::catalog::test_set()
+        .into_iter()
+        .map(SimulatedGpu::new)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_gpu::OpDesc;
+
+    #[test]
+    fn collects_every_gpu_times_every_op() {
+        let gpus = vec![
+            SimulatedGpu::from_catalog("P4").unwrap(),
+            SimulatedGpu::from_catalog("T4").unwrap(),
+        ];
+        let ops = [
+            OpDesc::bmm(2, 64, 64, 64),
+            OpDesc::softmax(512, 256),
+            OpDesc::fc(64, 128, 128),
+        ];
+        let refs: Vec<&OpDesc> = ops.iter().collect();
+        let ds = collect(&gpus, &refs, DType::F32);
+        assert_eq!(ds.len(), 6);
+        assert!(ds.validate().is_ok());
+        assert_eq!(ds.of_gpu("P4").len(), 3);
+    }
+
+    #[test]
+    fn tiny_training_set_collection() {
+        let gpus = training_gpus();
+        assert_eq!(gpus.len(), 5);
+        let ds = collect_training_set(&gpus[..2], SweepScale::Tiny, DType::F32);
+        assert!(!ds.is_empty());
+        assert!(ds.validate().is_ok());
+        assert_eq!(ds.gpus().len(), 2);
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        let gpus = vec![SimulatedGpu::from_catalog("V100").unwrap()];
+        let ops = [OpDesc::bmm(2, 128, 128, 128)];
+        let refs: Vec<&OpDesc> = ops.iter().collect();
+        let a = collect(&gpus, &refs, DType::F32);
+        let b = collect(&gpus, &refs, DType::F32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn test_gpus_are_the_held_out_three() {
+        let names: Vec<String> = test_gpus()
+            .iter()
+            .map(|g| g.spec().name().to_owned())
+            .collect();
+        assert_eq!(names, vec!["A100-80GB", "L4", "H100"]);
+    }
+}

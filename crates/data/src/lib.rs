@@ -1,0 +1,25 @@
+//! Training-dataset generation for NeuSight-rs.
+//!
+//! Mirrors §6.1 of the paper: operator sweeps per predictor family
+//! ([`sweeps`]), measurement on the five training-set GPUs with 25-run
+//! averaging ([`collect`]), and a serializable record format carrying only
+//! profiler-observable information ([`records`]).
+//!
+//! # Example
+//!
+//! ```
+//! use neusight_data::{collect, sweeps};
+//! use neusight_gpu::DType;
+//!
+//! let gpus = collect::training_gpus();
+//! let ds = collect::collect_training_set(&gpus[..1], sweeps::SweepScale::Tiny, DType::F32);
+//! assert!(ds.validate().is_ok());
+//! ```
+
+pub mod collect;
+pub mod records;
+pub mod sweeps;
+
+pub use collect::{collect_training_set, test_gpus, training_gpus, MEASUREMENT_RUNS};
+pub use records::{KernelDataset, KernelRecord};
+pub use sweeps::SweepScale;

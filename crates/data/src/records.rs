@@ -1,0 +1,5 @@
+//! Re-exports of the measurement-record vocabulary, which lives in
+//! [`neusight_gpu::profile`] so that predictor crates can consume datasets
+//! without depending on the simulator.
+
+pub use neusight_gpu::profile::{KernelDataset, KernelRecord};

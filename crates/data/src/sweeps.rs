@@ -1,0 +1,279 @@
+//! Operator sweeps: the synthetic kernel configurations measured to build
+//! the training set, mirroring §6.1 of the paper (scaled down so the whole
+//! pipeline trains in CPU minutes).
+//!
+//! The paper's sweep boundaries are preserved where they matter for the
+//! out-of-distribution story: **BMM dimensions stop at 1024**, so any model
+//! kernel with a larger operand (e.g. GPT-3's 2048-long attention) is OOD
+//! for every data-driven predictor, exactly as in the paper.
+
+use neusight_gpu::{EwKind, OpDesc};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Sweep density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepScale {
+    /// A handful of configs per class, for unit tests.
+    Tiny,
+    /// The standard evaluation sweep (thousands of kernels).
+    Standard,
+}
+
+impl SweepScale {
+    fn cap(self, standard: usize) -> usize {
+        match self {
+            SweepScale::Tiny => standard.min(12),
+            SweepScale::Standard => standard,
+        }
+    }
+}
+
+/// Deterministically samples `count` items from a generator over a grid.
+fn sample_grid<T>(mut all: Vec<T>, count: usize, seed: u64) -> Vec<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    all.shuffle(&mut rng);
+    all.truncate(count);
+    all
+}
+
+/// Batched-matrix-multiplication sweep: batch and dimensions up to 1024
+/// (the paper's training boundary for BMM).
+#[must_use]
+pub fn bmm_sweep(scale: SweepScale) -> Vec<OpDesc> {
+    let batches = [1u64, 2, 4, 8, 16, 32, 64, 128];
+    let dims = [16u64, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024];
+    let mut grid = Vec::new();
+    for &b in &batches {
+        for &m in &dims {
+            for &n in &dims {
+                for &k in &dims {
+                    grid.push(OpDesc::bmm(b, m, n, k));
+                }
+            }
+        }
+    }
+    let mut ops = sample_grid(grid, scale.cap(1400), 0xB33F);
+    // Reduction-shaped GEMMs (weight gradients): small outputs with deep
+    // contractions — these exercise split-K dispatch. The square-dims
+    // boundary of 1024 is preserved for the out-of-distribution study.
+    let mut reductions = Vec::new();
+    let small = [16u64, 64, 147, 256, 576, 1024];
+    let deep = [4096u64, 16384, 65536, 262_144];
+    for &m in &small {
+        for &n in &small {
+            for &k in &deep {
+                reductions.push(OpDesc::bmm(1, m, n, k));
+            }
+        }
+    }
+    ops.extend(sample_grid(reductions, scale.cap(100), 0xB340));
+    // Decode-shaped attention BMMs: one query row over a KV cache.
+    let mut decode = Vec::new();
+    for &b in &[8u64, 32, 128, 256] {
+        for &ctx in &[128u64, 512, 1024] {
+            for &hd in &[64u64, 128] {
+                decode.push(OpDesc::bmm(b, 1, ctx, hd));
+                decode.push(OpDesc::bmm(b, 1, hd, ctx));
+            }
+        }
+    }
+    ops.extend(sample_grid(decode, scale.cap(48), 0xB341));
+    ops
+}
+
+/// Fully-connected sweep: wide ranges like the paper's (batch to 8192,
+/// features to 16384).
+#[must_use]
+pub fn fc_sweep(scale: SweepScale) -> Vec<OpDesc> {
+    let batches = [
+        1u64, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
+    ];
+    let feats = [64u64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
+    let mut grid = Vec::new();
+    for &b in &batches {
+        for &i in &feats {
+            for &o in &feats {
+                grid.push(OpDesc::fc(b, i, o));
+            }
+        }
+    }
+    sample_grid(grid, scale.cap(900), 0xFC00)
+}
+
+/// Element-wise sweep across all point-wise kinds; element counts span the
+/// paper's `batch × vector` grid (512 × 512 up to 16384 × 4096).
+#[must_use]
+pub fn elementwise_sweep(scale: SweepScale) -> Vec<OpDesc> {
+    let rows = [
+        8u64, 32, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+    ];
+    let cols = [512u64, 1024, 2048, 3072, 4096];
+    let mut grid = Vec::new();
+    for &r in &rows {
+        for &c in &cols {
+            for kind in EwKind::all() {
+                grid.push(OpDesc::elementwise(kind, r * c));
+            }
+        }
+    }
+    sample_grid(grid, scale.cap(550), 0xE1E1)
+}
+
+/// Softmax sweep over the paper's row/dim grid plus smaller rows for
+/// inference-sized kernels.
+#[must_use]
+pub fn softmax_sweep(scale: SweepScale) -> Vec<OpDesc> {
+    let rows = [
+        8u64, 32, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131_072,
+    ];
+    let dims = [
+        4u64, 16, 64, 128, 256, 512, 768, 1024, 1536, 2048, 3072, 4096,
+    ];
+    let mut grid = Vec::new();
+    for &r in &rows {
+        for &d in &dims {
+            grid.push(OpDesc::softmax(r, d));
+        }
+    }
+    sample_grid(grid, scale.cap(grid_len_cap(&rows, &dims)), 0x50F7)
+}
+
+/// Layer-normalization sweep over the same grid as softmax.
+#[must_use]
+pub fn layernorm_sweep(scale: SweepScale) -> Vec<OpDesc> {
+    let rows = [
+        8u64, 32, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131_072,
+    ];
+    let dims = [
+        4u64, 16, 64, 128, 256, 512, 768, 1024, 1536, 2048, 3072, 4096,
+    ];
+    let mut grid = Vec::new();
+    for &r in &rows {
+        for &d in &dims {
+            grid.push(OpDesc::layer_norm(r, d));
+        }
+    }
+    sample_grid(grid, scale.cap(grid_len_cap(&rows, &dims)), 0x1A7E)
+}
+
+fn grid_len_cap(rows: &[u64], dims: &[u64]) -> usize {
+    rows.len() * dims.len()
+}
+
+/// Convolution sweep: implicit-GEMM shapes spanning CNN stem/middle/late
+/// stages. Records land in the fully-connected predictor family (the
+/// implicit-GEMM lowering) and in the tile database.
+#[must_use]
+pub fn conv_sweep(scale: SweepScale) -> Vec<OpDesc> {
+    let batches = [1u64, 4, 16, 64];
+    let shapes: [(u64, u64, u64, u64, u64); 8] = [
+        // (in_c, out_c, hw, kernel, stride)
+        (3, 64, 224, 7, 2),
+        (64, 64, 56, 3, 1),
+        (64, 256, 56, 1, 1),
+        (128, 128, 28, 3, 1),
+        (256, 256, 14, 3, 1),
+        (256, 1024, 14, 1, 1),
+        (512, 512, 7, 3, 1),
+        (512, 2048, 7, 1, 1),
+    ];
+    let mut grid = Vec::new();
+    for &b in &batches {
+        for &(ic, oc, hw, k, stride) in &shapes {
+            grid.push(OpDesc::conv2d(b, ic, oc, hw, k, stride, k / 2));
+        }
+    }
+    sample_grid(grid, scale.cap(32), 0xC0DE)
+}
+
+/// Every sweep combined — the full training workload set.
+#[must_use]
+pub fn full_sweep(scale: SweepScale) -> Vec<OpDesc> {
+    let mut ops = bmm_sweep(scale);
+    ops.extend(fc_sweep(scale));
+    ops.extend(elementwise_sweep(scale));
+    ops.extend(softmax_sweep(scale));
+    ops.extend(layernorm_sweep(scale));
+    ops.extend(conv_sweep(scale));
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_gpu::OpClass;
+
+    #[test]
+    fn standard_sweep_sizes() {
+        assert_eq!(bmm_sweep(SweepScale::Standard).len(), 1548);
+        assert_eq!(fc_sweep(SweepScale::Standard).len(), 900);
+        assert_eq!(elementwise_sweep(SweepScale::Standard).len(), 550);
+        assert_eq!(softmax_sweep(SweepScale::Standard).len(), 156);
+        assert_eq!(layernorm_sweep(SweepScale::Standard).len(), 156);
+    }
+
+    #[test]
+    fn tiny_sweeps_are_tiny() {
+        for ops in [
+            bmm_sweep(SweepScale::Tiny),
+            fc_sweep(SweepScale::Tiny),
+            elementwise_sweep(SweepScale::Tiny),
+        ] {
+            assert!(ops.len() <= 36 && !ops.is_empty());
+        }
+    }
+
+    #[test]
+    fn sweeps_are_deterministic() {
+        assert_eq!(
+            bmm_sweep(SweepScale::Standard),
+            bmm_sweep(SweepScale::Standard)
+        );
+        assert_eq!(fc_sweep(SweepScale::Tiny), fc_sweep(SweepScale::Tiny));
+    }
+
+    #[test]
+    fn bmm_respects_paper_boundary() {
+        // Square kernels stay within the 1024 boundary; only the
+        // reduction-shaped (weight-gradient) sub-sweep has deep k with
+        // small m/n, so square dims >= 2048 remain out of distribution.
+        for op in bmm_sweep(SweepScale::Standard) {
+            if let OpDesc::Bmm { m, n, k, .. } = op {
+                assert!(m <= 1024 && n <= 1024);
+                if k > 1024 {
+                    assert!(m <= 1024 && n <= 1024, "deep-k must be small-output");
+                }
+            } else {
+                panic!("non-bmm in bmm sweep");
+            }
+        }
+    }
+
+    #[test]
+    fn sweeps_have_correct_classes() {
+        for op in full_sweep(SweepScale::Tiny) {
+            assert!(matches!(
+                op.op_class(),
+                OpClass::Bmm
+                    | OpClass::FullyConnected
+                    | OpClass::Elementwise
+                    | OpClass::Softmax
+                    | OpClass::LayerNorm
+            ));
+        }
+    }
+
+    #[test]
+    fn elementwise_covers_multiple_kinds() {
+        let kinds: std::collections::HashSet<String> = elementwise_sweep(SweepScale::Standard)
+            .into_iter()
+            .map(|op| match op {
+                OpDesc::Elementwise { kind, .. } => kind.name().to_owned(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(kinds.len() >= 8, "only {} kinds covered", kinds.len());
+    }
+}

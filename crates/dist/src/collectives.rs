@@ -1,0 +1,148 @@
+//! Latency models for the network operators NeuSight inserts into
+//! distributed graphs (§5.1): ring all-reduce and peer-to-peer
+//! send/receive.
+//!
+//! The paper's method: measure the link *utilization* achievable on one
+//! existing server, then combine that utilization with the *peak* link
+//! bandwidth of the target server. [`LinkModel::calibrated`] plays the
+//! role of that one-time measurement (NCCL-style rings reach roughly
+//! three quarters of peak on NVLink-class fabrics).
+
+use crate::server::ServerSpec;
+use serde::{Deserialize, Serialize};
+
+/// A communication operator attached to a distributed plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CommOp {
+    /// Ring all-reduce of `bytes` across all GPUs of the server.
+    AllReduce {
+        /// Payload per GPU, bytes.
+        bytes: f64,
+    },
+    /// Point-to-point transfer of `bytes` between adjacent pipeline
+    /// stages.
+    SendRecv {
+        /// Payload, bytes.
+        bytes: f64,
+    },
+}
+
+/// Link-performance model used for *prediction*: peak bandwidth from the
+/// target server's datasheet × a utilization factor measured once on an
+/// available system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Fraction of peak per-direction bandwidth a collective achieves.
+    pub utilization: f64,
+    /// Fixed software launch overhead per collective, seconds.
+    pub software_overhead_s: f64,
+}
+
+impl LinkModel {
+    /// The calibration the paper performs on an in-hand server.
+    #[must_use]
+    pub fn calibrated() -> LinkModel {
+        LinkModel {
+            utilization: 0.75,
+            software_overhead_s: 12e-6,
+        }
+    }
+
+    /// Effective per-direction bandwidth on a server, bytes/s.
+    #[must_use]
+    pub fn effective_bw(&self, server: &ServerSpec) -> f64 {
+        server.link_bw_per_direction() * self.utilization
+    }
+
+    /// Ring all-reduce latency: each GPU sends `2 (n−1)/n × bytes` over
+    /// its link, plus per-hop latencies and the software overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server has fewer than 2 GPUs.
+    #[must_use]
+    pub fn allreduce_time(&self, bytes: f64, server: &ServerSpec) -> f64 {
+        assert!(server.num_gpus >= 2, "all-reduce needs at least 2 GPUs");
+        let n = f64::from(server.num_gpus);
+        let wire = 2.0 * (n - 1.0) / n * bytes / self.effective_bw(server);
+        let hops = 2.0 * (n - 1.0) * server.link_latency_s;
+        self.software_overhead_s + wire + hops
+    }
+
+    /// Point-to-point transfer latency between two GPUs.
+    #[must_use]
+    pub fn sendrecv_time(&self, bytes: f64, server: &ServerSpec) -> f64 {
+        self.software_overhead_s + bytes / self.effective_bw(server) + server.link_latency_s
+    }
+
+    /// Latency of any [`CommOp`].
+    #[must_use]
+    pub fn comm_time(&self, op: CommOp, server: &ServerSpec) -> f64 {
+        match op {
+            CommOp::AllReduce { bytes } => self.allreduce_time(bytes, server),
+            CommOp::SendRecv { bytes } => self.sendrecv_time(bytes, server),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{a100_nvlink_4x, h100_dgx_4x};
+    use proptest::prelude::*;
+
+    #[test]
+    fn allreduce_matches_ring_formula() {
+        let server = a100_nvlink_4x().unwrap();
+        let model = LinkModel::calibrated();
+        let bytes = 1e9;
+        let t = model.allreduce_time(bytes, &server);
+        let wire = 2.0 * 0.75 * bytes / (300e9 * 0.75);
+        assert!((t - wire - 6.0 * 3e-6 - 12e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h100_fabric_is_faster() {
+        let model = LinkModel::calibrated();
+        let a = model.allreduce_time(4e9, &a100_nvlink_4x().unwrap());
+        let h = model.allreduce_time(4e9, &h100_dgx_4x().unwrap());
+        assert!(h < a);
+        // Ratio tracks the 900/600 bandwidth ratio for large payloads.
+        assert!((a / h - 1.5).abs() < 0.05, "ratio {}", a / h);
+    }
+
+    #[test]
+    fn small_messages_dominated_by_overhead() {
+        let model = LinkModel::calibrated();
+        let server = h100_dgx_4x().unwrap();
+        let t = model.allreduce_time(1024.0, &server);
+        assert!(t > model.software_overhead_s);
+        assert!(t < 2.0 * (model.software_overhead_s + 1e-5) + 1e-4);
+    }
+
+    proptest! {
+        /// All-reduce time is monotone in payload and symmetric in its
+        /// formula (no dependence on which GPU starts the ring).
+        #[test]
+        fn allreduce_monotone(b1 in 1.0f64..1e9, extra in 0.0f64..1e9) {
+            let model = LinkModel::calibrated();
+            let server = a100_nvlink_4x().unwrap();
+            prop_assert!(
+                model.allreduce_time(b1 + extra, &server)
+                    >= model.allreduce_time(b1, &server)
+            );
+        }
+
+        /// Send/recv is always cheaper than an all-reduce of the same
+        /// payload on the same fabric.
+        #[test]
+        fn p2p_cheaper_than_allreduce(bytes in 1.0f64..1e10) {
+            let model = LinkModel::calibrated();
+            let server = h100_dgx_4x().unwrap();
+            prop_assert!(
+                model.sendrecv_time(bytes, &server)
+                    <= model.allreduce_time(bytes, &server)
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Single-server multi-GPU latency forecasting for NeuSight-rs (§5.1 and
+//! Table 6 of the paper).
+//!
+//! - [`server`]: the paper's two 4-GPU servers (A100 NVLink, H100 DGX).
+//! - [`collectives`]: ring all-reduce / send-recv latency models built
+//!   from the target server's peak link bandwidth and a one-off measured
+//!   link utilization.
+//! - [`parallel`]: data / Megatron-tensor / GPipe-pipeline training plans
+//!   (per-GPU compute graphs + inserted communication operators).
+//! - [`schedule`]: the GPipe bubble arithmetic.
+//! - [`memory`]: per-strategy OOM feasibility (the OOM cells of Table 6).
+//! - [`measure`]: simulated ground-truth execution of a plan.
+//! - [`predict`]: NeuSight-composed forecasts of the same plans.
+//!
+//! # Example
+//!
+//! ```
+//! use neusight_dist::{parallel, predict::DistForecaster, server};
+//! use neusight_baselines::RooflineBaseline;
+//! use neusight_gpu::DType;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut cfg = neusight_graph::config::gpt2_large();
+//! cfg.num_layers = 2; // keep the doctest fast
+//! let server = server::a100_nvlink_4x()?;
+//! let plan = parallel::plan_training(
+//!     &cfg, 8, 4, parallel::ParallelStrategy::Tensor, DType::F32)?;
+//! let baseline = RooflineBaseline::new(DType::F32);
+//! let forecast = DistForecaster::new(&baseline).predict_iteration(&plan, &server);
+//! assert!(forecast > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod collectives;
+pub mod measure;
+pub mod memory;
+pub mod parallel;
+pub mod predict;
+pub mod schedule;
+pub mod server;
+
+pub use collectives::{CommOp, LinkModel};
+pub use measure::SimServer;
+pub use memory::fits_server;
+pub use parallel::{plan_inference, plan_training, DistPlan, ParallelStrategy};
+pub use predict::DistForecaster;
+pub use schedule::{gpipe_bubble_fraction, gpipe_iteration_time, PipeSchedule};
+pub use server::{a100_nvlink_4x, h100_dgx_4x, ServerSpec};

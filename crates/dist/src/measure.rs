@@ -1,0 +1,169 @@
+//! Simulated *measurement* of distributed training — the ground truth
+//! side of Table 6.
+//!
+//! A [`SimServer`] executes a [`DistPlan`] on simulated devices and a
+//! simulated fabric. The fabric's true efficiency differs per NVLink
+//! generation and includes software overheads and a small replica-skew
+//! factor — none of which the prediction side knows; it only has the
+//! one-off calibration of [`LinkModel::calibrated`]. That gap is what
+//! produces the realistic few-percent distributed prediction errors.
+
+use crate::collectives::{CommOp, LinkModel};
+use crate::parallel::DistPlan;
+use crate::server::ServerSpec;
+use neusight_gpu::{DType, Generation};
+use neusight_sim::SimulatedGpu;
+
+/// A simulated multi-GPU server.
+#[derive(Debug, Clone)]
+pub struct SimServer {
+    server: ServerSpec,
+    device: SimulatedGpu,
+    fabric: LinkModel,
+    /// Slowest-replica skew of data/tensor parallel steps.
+    imbalance: f64,
+    /// Scheduler overhead added to each pipeline boundary transfer.
+    pipeline_overhead_s: f64,
+}
+
+impl SimServer {
+    /// Builds the simulated server, picking fabric characteristics by
+    /// NVLink generation (newer fabrics have more raw bandwidth but the
+    /// software stack trails the calibration GPUs).
+    #[must_use]
+    pub fn new(server: ServerSpec) -> SimServer {
+        let (utilization, software_overhead_s) = match server.gpu.generation() {
+            Generation::Hopper => (0.68, 16e-6),
+            Generation::Ampere => (0.74, 14e-6),
+            _ => (0.72, 15e-6),
+        };
+        let device = SimulatedGpu::new(server.gpu.clone());
+        SimServer {
+            server,
+            device,
+            fabric: LinkModel {
+                utilization,
+                software_overhead_s,
+            },
+            imbalance: 1.02,
+            pipeline_overhead_s: 20e-6,
+        }
+    }
+
+    /// The server description.
+    #[must_use]
+    pub fn server(&self) -> &ServerSpec {
+        &self.server
+    }
+
+    /// "Runs" one training iteration of a plan and returns the measured
+    /// latency in seconds.
+    #[must_use]
+    pub fn measure_iteration(&self, plan: &DistPlan, dtype: DType) -> f64 {
+        match plan {
+            DistPlan::Data {
+                per_gpu,
+                grad_allreduce,
+            } => {
+                let compute = self.device.execute_graph(per_gpu, dtype).total_s;
+                compute * self.imbalance + self.fabric.comm_time(*grad_allreduce, &self.server)
+            }
+            DistPlan::Tensor {
+                per_gpu,
+                collectives,
+            } => {
+                let compute = self.device.execute_graph(per_gpu, dtype).total_s;
+                let comm: f64 = collectives
+                    .iter()
+                    .map(|&op| self.fabric.comm_time(op, &self.server))
+                    .sum();
+                compute * self.imbalance + comm
+            }
+            DistPlan::Pipeline {
+                stages,
+                microbatches,
+                schedule,
+                boundary_bytes,
+            } => {
+                let runs: Vec<_> = stages
+                    .iter()
+                    .map(|stage| self.device.execute_graph(stage, dtype))
+                    .collect();
+                let fwd: Vec<f64> = runs.iter().map(|r| r.forward_s).collect();
+                let bwd: Vec<f64> = runs.iter().map(|r| r.backward_s).collect();
+                let p2p = self.fabric.comm_time(
+                    CommOp::SendRecv {
+                        bytes: *boundary_bytes,
+                    },
+                    &self.server,
+                ) + self.pipeline_overhead_s;
+                schedule.iteration_time(&fwd, &bwd, *microbatches, p2p, p2p)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::{plan_training, ParallelStrategy};
+    use crate::server::{a100_nvlink_4x, h100_dgx_4x};
+    use neusight_graph::config;
+
+    fn tiny_model() -> neusight_graph::ModelConfig {
+        let mut cfg = config::gpt2_large();
+        cfg.num_layers = 4; // keep simulation fast in tests
+        cfg
+    }
+
+    #[test]
+    fn all_strategies_measure_positive() {
+        let server = SimServer::new(a100_nvlink_4x().unwrap());
+        let cfg = tiny_model();
+        for strat in [
+            ParallelStrategy::Data,
+            ParallelStrategy::Tensor,
+            ParallelStrategy::gpipe(4),
+        ] {
+            let plan = plan_training(&cfg, 8, 4, strat, DType::F32).unwrap();
+            let t = server.measure_iteration(&plan, DType::F32);
+            assert!(t.is_finite() && t > 0.0, "{}", strat.label());
+        }
+    }
+
+    #[test]
+    fn h100_server_beats_a100_server() {
+        let cfg = tiny_model();
+        let plan = plan_training(&cfg, 8, 4, ParallelStrategy::Tensor, DType::F32).unwrap();
+        let a = SimServer::new(a100_nvlink_4x().unwrap()).measure_iteration(&plan, DType::F32);
+        let h = SimServer::new(h100_dgx_4x().unwrap()).measure_iteration(&plan, DType::F32);
+        assert!(h < a, "H100 {h} vs A100 {a}");
+    }
+
+    #[test]
+    fn tensor_parallel_spends_more_on_comm_than_data() {
+        // TP all-reduces activations every layer; DP all-reduces gradients
+        // once — with a small model and few layers, TP's comm share is
+        // larger per unit of compute.
+        let server = SimServer::new(a100_nvlink_4x().unwrap());
+        let cfg = tiny_model();
+        let dp = plan_training(&cfg, 8, 4, ParallelStrategy::Data, DType::F32).unwrap();
+        let tp = plan_training(&cfg, 8, 4, ParallelStrategy::Tensor, DType::F32).unwrap();
+        let t_dp = server.measure_iteration(&dp, DType::F32);
+        let t_tp = server.measure_iteration(&tp, DType::F32);
+        assert!(t_dp > 0.0 && t_tp > 0.0);
+    }
+
+    #[test]
+    fn pipeline_slower_than_tensor_at_few_microbatches() {
+        // With only 4 micro-batches on 4 stages, GPipe wastes ~43% in
+        // bubbles — Table 6 consistently shows PP slowest.
+        let server = SimServer::new(h100_dgx_4x().unwrap());
+        let cfg = tiny_model();
+        let tp = plan_training(&cfg, 8, 4, ParallelStrategy::Tensor, DType::F32).unwrap();
+        let pp = plan_training(&cfg, 8, 4, ParallelStrategy::gpipe(4), DType::F32).unwrap();
+        let t_tp = server.measure_iteration(&tp, DType::F32);
+        let t_pp = server.measure_iteration(&pp, DType::F32);
+        assert!(t_pp > t_tp, "pipeline {t_pp} should trail tensor {t_tp}");
+    }
+}

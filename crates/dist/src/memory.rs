@@ -1,0 +1,149 @@
+//! Per-strategy device-memory feasibility: the OOM cells of Table 6.
+//!
+//! Component scaling per strategy (`W` = parallel width):
+//!
+//! - **Data**: full optimizer states per replica; activations and logits of
+//!   the per-replica batch.
+//! - **Tensor**: states shard `1/W`; attention/FFN activations shard `1/W`
+//!   but the replicated residual stream, norms and inputs do not — modeled
+//!   as a `0.35 + 0.65/W` activation factor; vocab-sharded logits.
+//! - **Pipeline**: states shard by layer range (`≈1/W`); GPipe keeps all
+//!   in-flight micro-batch activations plus scheduling copies — modeled as
+//!   a `1.75/W` factor on full-batch activations; logits on the last
+//!   stage.
+
+use crate::parallel::ParallelStrategy;
+use crate::server::ServerSpec;
+use neusight_gpu::DType;
+use neusight_graph::ModelConfig;
+use neusight_sim::memory::training_breakdown;
+
+/// Framework / allocator / context reserve, bytes.
+const RESERVE_BYTES: f64 = 1.5e9;
+
+/// Estimated per-GPU bytes for a distributed training iteration.
+///
+/// # Panics
+///
+/// Panics if the plan is degenerate (zero width or batch).
+#[must_use]
+pub fn per_gpu_bytes(
+    cfg: &ModelConfig,
+    global_batch: u64,
+    strategy: ParallelStrategy,
+    width: u32,
+    dtype: DType,
+) -> f64 {
+    assert!(width > 0 && global_batch > 0, "degenerate plan");
+    let w = f64::from(width);
+    match strategy {
+        ParallelStrategy::Data => {
+            let per_replica = global_batch / u64::from(width);
+            let b = training_breakdown(cfg, per_replica.max(1), dtype);
+            b.states + b.activations + b.logits
+        }
+        ParallelStrategy::Tensor => {
+            let b = training_breakdown(cfg, global_batch, dtype);
+            b.states / w + b.activations * (0.35 + 0.65 / w) + b.logits / w
+        }
+        ParallelStrategy::Pipeline {
+            microbatches,
+            schedule,
+        } => {
+            // GPipe stashes every micro-batch's activations; 1F1B caps the
+            // stash at `stages` micro-batches.
+            let in_flight = schedule
+                .in_flight_microbatches(u64::from(width), microbatches)
+                .max(1);
+            #[allow(clippy::cast_precision_loss)]
+            let stash_fraction = in_flight as f64 / microbatches.max(1) as f64;
+            let b = training_breakdown(cfg, global_batch, dtype);
+            b.states / w + b.activations * stash_fraction * (1.75 / w) + b.logits
+        }
+    }
+}
+
+/// Whether a distributed training configuration fits in each GPU's memory.
+#[must_use]
+pub fn fits_server(
+    cfg: &ModelConfig,
+    global_batch: u64,
+    strategy: ParallelStrategy,
+    server: &ServerSpec,
+    dtype: DType,
+) -> bool {
+    per_gpu_bytes(cfg, global_batch, strategy, server.num_gpus, dtype) + RESERVE_BYTES
+        <= server.gpu.memory_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{a100_nvlink_4x, h100_dgx_4x};
+    use neusight_graph::config;
+
+    use crate::schedule::PipeSchedule;
+
+    const PP4: ParallelStrategy = ParallelStrategy::Pipeline {
+        microbatches: 4,
+        schedule: PipeSchedule::GPipe,
+    };
+
+    /// The OOM pattern of Table 6 (one known divergence: the paper marks
+    /// DP GPT3-XL batch 4 OOM on the H100 server; our estimator fits it —
+    /// recorded in EXPERIMENTS.md).
+    #[test]
+    fn table6_oom_pattern_a100() {
+        let a100 = a100_nvlink_4x().unwrap();
+        let gpt2 = config::gpt2_large();
+        let gpt3 = config::gpt3_xl();
+        for strat in [ParallelStrategy::Data, ParallelStrategy::Tensor, PP4] {
+            assert!(
+                fits_server(&gpt2, 8, strat, &a100, DType::F32),
+                "GPT2 b8 {} should fit A100 server",
+                strat.label()
+            );
+            assert!(
+                !fits_server(&gpt2, 16, strat, &a100, DType::F32),
+                "GPT2 b16 {} should OOM on A100 server",
+                strat.label()
+            );
+            assert!(
+                !fits_server(&gpt3, 4, strat, &a100, DType::F32),
+                "GPT3-XL b4 {} should OOM on A100 server",
+                strat.label()
+            );
+        }
+    }
+
+    #[test]
+    fn table6_oom_pattern_h100() {
+        let h100 = h100_dgx_4x().unwrap();
+        let gpt2 = config::gpt2_large();
+        let gpt3 = config::gpt3_xl();
+        for strat in [ParallelStrategy::Data, ParallelStrategy::Tensor, PP4] {
+            assert!(fits_server(&gpt2, 8, strat, &h100, DType::F32));
+            assert!(fits_server(&gpt2, 16, strat, &h100, DType::F32));
+        }
+        assert!(fits_server(
+            &gpt3,
+            4,
+            ParallelStrategy::Tensor,
+            &h100,
+            DType::F32
+        ));
+        assert!(fits_server(&gpt3, 4, PP4, &h100, DType::F32));
+    }
+
+    #[test]
+    fn sharding_reduces_footprint() {
+        let cfg = config::gpt3_xl();
+        let dp = per_gpu_bytes(&cfg, 4, ParallelStrategy::Data, 4, DType::F32);
+        let tp = per_gpu_bytes(&cfg, 4, ParallelStrategy::Tensor, 4, DType::F32);
+        // DP replicates all 1.3B-parameter optimizer states; TP shards them.
+        assert!(tp < dp * 1.6, "tp {tp} dp {dp}");
+        let wider = per_gpu_bytes(&cfg, 8, ParallelStrategy::Tensor, 8, DType::F32);
+        let narrower = per_gpu_bytes(&cfg, 8, ParallelStrategy::Tensor, 2, DType::F32);
+        assert!(wider < narrower);
+    }
+}

@@ -1,0 +1,183 @@
+//! Pipeline schedules. NeuSight inserts GPipe-style bubbles between the
+//! forward and backward micro-batches (§5.1); the paper notes the design
+//! "can be easily extended to other schedules" — [`PipeSchedule::OneFOneB`]
+//! (PipeDream-flush) is provided as that extension.
+
+use serde::{Deserialize, Serialize};
+
+/// Which pipeline schedule paces the micro-batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PipeSchedule {
+    /// GPipe: all forwards, then all backwards (§5.1 default).
+    #[default]
+    GPipe,
+    /// Non-interleaved 1F1B (PipeDream-flush): identical bubble count to
+    /// GPipe, but each stage holds at most `num_stages` micro-batches of
+    /// activations instead of all of them — a memory optimization.
+    OneFOneB,
+}
+
+impl PipeSchedule {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PipeSchedule::GPipe => "GPipe",
+            PipeSchedule::OneFOneB => "1F1B",
+        }
+    }
+
+    /// Micro-batches of activations a stage holds at peak.
+    #[must_use]
+    pub fn in_flight_microbatches(self, stages: u64, microbatches: u64) -> u64 {
+        match self {
+            PipeSchedule::GPipe => microbatches,
+            PipeSchedule::OneFOneB => stages.min(microbatches),
+        }
+    }
+
+    /// Iteration time for this schedule. Non-interleaved 1F1B has the same
+    /// bubble structure as GPipe, so both share the closed form of
+    /// [`gpipe_iteration_time`].
+    #[must_use]
+    pub fn iteration_time(
+        self,
+        stage_forward_s: &[f64],
+        stage_backward_s: &[f64],
+        microbatches: u64,
+        p2p_forward_s: f64,
+        p2p_backward_s: f64,
+    ) -> f64 {
+        gpipe_iteration_time(
+            stage_forward_s,
+            stage_backward_s,
+            microbatches,
+            p2p_forward_s,
+            p2p_backward_s,
+        )
+    }
+}
+
+/// Iteration time of a GPipe schedule.
+///
+/// With `S` stages and `M` micro-batches, the pipeline completes in
+/// `(M + S − 1)` forward slots followed by `(M + S − 1)` backward slots,
+/// where a slot is paced by the slowest stage plus the boundary transfer:
+///
+/// ```text
+/// T = (M + S − 1) × (max_f + p2p_f) + (M + S − 1) × (max_b + p2p_b)
+/// ```
+///
+/// # Panics
+///
+/// Panics if the stage lists are empty, differ in length, or
+/// `microbatches` is zero.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn gpipe_iteration_time(
+    stage_forward_s: &[f64],
+    stage_backward_s: &[f64],
+    microbatches: u64,
+    p2p_forward_s: f64,
+    p2p_backward_s: f64,
+) -> f64 {
+    assert!(!stage_forward_s.is_empty(), "need at least one stage");
+    assert_eq!(
+        stage_forward_s.len(),
+        stage_backward_s.len(),
+        "stage lists must align"
+    );
+    assert!(microbatches > 0, "need at least one micro-batch");
+    let stages = stage_forward_s.len() as f64;
+    let slots = microbatches as f64 + stages - 1.0;
+    let max_f = stage_forward_s.iter().copied().fold(0.0, f64::max);
+    let max_b = stage_backward_s.iter().copied().fold(0.0, f64::max);
+    // Boundary transfers only occur when there is more than one stage.
+    let (p2p_f, p2p_b) = if stage_forward_s.len() > 1 {
+        (p2p_forward_s, p2p_backward_s)
+    } else {
+        (0.0, 0.0)
+    };
+    slots * (max_f + p2p_f) + slots * (max_b + p2p_b)
+}
+
+/// The pipeline-bubble fraction of a GPipe schedule: the share of each
+/// device's time spent idle, `(S − 1) / (M + S − 1)`.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn gpipe_bubble_fraction(stages: usize, microbatches: u64) -> f64 {
+    assert!(stages >= 1 && microbatches >= 1, "degenerate pipeline");
+    (stages as f64 - 1.0) / (microbatches as f64 + stages as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_stage_is_sequential_execution() {
+        // One stage, M micro-batches: M × (fwd + bwd), no bubbles, no p2p.
+        let t = gpipe_iteration_time(&[2.0], &[4.0], 4, 0.5, 0.5);
+        assert!((t - 4.0 * 6.0).abs() < 1e-12);
+        assert_eq!(gpipe_bubble_fraction(1, 4), 0.0);
+    }
+
+    #[test]
+    fn four_stage_schedule_matches_formula() {
+        let f = [1.0, 1.2, 0.9, 1.1];
+        let b = [2.0, 2.2, 1.9, 2.1];
+        let t = gpipe_iteration_time(&f, &b, 4, 0.1, 0.1);
+        let slots = 4.0 + 4.0 - 1.0;
+        assert!((t - slots * (1.2 + 0.1) - slots * (2.2 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_microbatches_amortize_bubbles() {
+        let f = [1.0; 4];
+        let b = [2.0; 4];
+        let t4 = gpipe_iteration_time(&f, &b, 4, 0.0, 0.0);
+        let t16 = gpipe_iteration_time(&f, &b, 16, 0.0, 0.0);
+        // Per-micro-batch cost shrinks toward fwd+bwd = 3.
+        assert!(t4 / 4.0 > t16 / 16.0);
+        assert!(gpipe_bubble_fraction(4, 16) < gpipe_bubble_fraction(4, 4));
+    }
+
+    #[test]
+    fn one_f_one_b_matches_gpipe_latency_but_not_memory() {
+        let f = [1.0; 4];
+        let b = [2.0; 4];
+        let gpipe = PipeSchedule::GPipe.iteration_time(&f, &b, 8, 0.1, 0.1);
+        let ofob = PipeSchedule::OneFOneB.iteration_time(&f, &b, 8, 0.1, 0.1);
+        assert!((gpipe - ofob).abs() < 1e-12);
+        assert_eq!(PipeSchedule::GPipe.in_flight_microbatches(4, 8), 8);
+        assert_eq!(PipeSchedule::OneFOneB.in_flight_microbatches(4, 8), 4);
+        assert_eq!(PipeSchedule::OneFOneB.in_flight_microbatches(4, 2), 2);
+        assert_eq!(PipeSchedule::OneFOneB.label(), "1F1B");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_stages_panics() {
+        let _ = gpipe_iteration_time(&[], &[], 4, 0.0, 0.0);
+    }
+
+    proptest! {
+        /// Iteration time is monotone in every stage latency.
+        #[test]
+        fn monotone_in_stage_time(
+            base in 0.1f64..10.0, bump in 0.0f64..10.0, m in 1u64..32,
+        ) {
+            let t0 = gpipe_iteration_time(&[base, base], &[base, base], m, 0.01, 0.01);
+            let t1 = gpipe_iteration_time(&[base + bump, base], &[base, base], m, 0.01, 0.01);
+            prop_assert!(t1 >= t0);
+        }
+
+        /// Bubble fraction is in [0, 1).
+        #[test]
+        fn bubble_fraction_bounded(stages in 1usize..16, m in 1u64..64) {
+            let f = gpipe_bubble_fraction(stages, m);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Multi-GPU server descriptions (§6.2 "Distributed Execution").
+//!
+//! The paper evaluates two 4-GPU servers: A100-40GB × 4 connected by
+//! NVLink (12 links/GPU, 600 GB/s bidirectional) and an H100 DGX box
+//! (18 links/GPU, 900 GB/s bidirectional); both give full bandwidth
+//! between any pair of GPUs.
+
+use neusight_gpu::{catalog, GpuError, GpuSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single-server multi-GPU configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Display name, e.g. `"A100-40GB x4 (NVLink)"`.
+    pub name: String,
+    /// The GPU model populating the server.
+    pub gpu: GpuSpec,
+    /// Number of GPUs.
+    pub num_gpus: u32,
+    /// Bidirectional NVLink bandwidth per GPU, GB/s (datasheet number).
+    pub link_gbps_bidir: f64,
+    /// Per-hop link latency, seconds.
+    pub link_latency_s: f64,
+}
+
+impl ServerSpec {
+    /// Per-direction link bandwidth in bytes/s (half the bidirectional
+    /// figure).
+    #[must_use]
+    pub fn link_bw_per_direction(&self) -> f64 {
+        self.link_gbps_bidir * 1e9 / 2.0
+    }
+}
+
+impl fmt::Display for ServerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}x {} @ {:.0} GB/s NVLink",
+            self.name,
+            self.num_gpus,
+            self.gpu.name(),
+            self.link_gbps_bidir
+        )
+    }
+}
+
+/// The paper's A100 server: 4 × A100-40GB, 12 NVLinks each (600 GB/s
+/// bidirectional), mesh topology.
+///
+/// # Errors
+///
+/// Returns an error only if the GPU catalog is missing A100-40GB (cannot
+/// happen with the built-in catalog).
+pub fn a100_nvlink_4x() -> Result<ServerSpec, GpuError> {
+    Ok(ServerSpec {
+        name: "A100-40GB x4 (NVLink)".to_owned(),
+        gpu: catalog::gpu("A100-40GB")?,
+        num_gpus: 4,
+        link_gbps_bidir: 600.0,
+        link_latency_s: 3e-6,
+    })
+}
+
+/// The paper's H100 server: 4 × H100 in a DGX box, 18 NVLinks each
+/// (900 GB/s bidirectional).
+///
+/// # Errors
+///
+/// Returns an error only if the GPU catalog is missing H100.
+pub fn h100_dgx_4x() -> Result<ServerSpec, GpuError> {
+    Ok(ServerSpec {
+        name: "H100 x4 (DGX Box)".to_owned(),
+        gpu: catalog::gpu("H100")?,
+        num_gpus: 4,
+        link_gbps_bidir: 900.0,
+        link_latency_s: 2.5e-6,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_servers_match_spec() {
+        let a100 = a100_nvlink_4x().unwrap();
+        assert_eq!(a100.num_gpus, 4);
+        assert!((a100.link_gbps_bidir - 600.0).abs() < 1e-9);
+        assert!((a100.link_bw_per_direction() - 300e9).abs() < 1.0);
+        let h100 = h100_dgx_4x().unwrap();
+        assert!((h100.link_gbps_bidir - 900.0).abs() < 1e-9);
+        assert_eq!(h100.gpu.name(), "H100");
+    }
+
+    #[test]
+    fn display_shows_topology() {
+        let text = h100_dgx_4x().unwrap().to_string();
+        assert!(text.contains("4x H100"));
+        assert!(text.contains("900"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let server = a100_nvlink_4x().unwrap();
+        let json = serde_json::to_string(&server).unwrap();
+        let back: ServerSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(server, back);
+    }
+}

@@ -1,0 +1,216 @@
+//! Catalog of the GPUs used in the NeuSight evaluation (Table 3 of the
+//! paper), split into the training set (P4, P100, V100, T4, A100-40GB) and
+//! the held-out test set (A100-80GB, L4, H100).
+//!
+//! Values come from NVIDIA's public datasheets (FP32 peak throughput). Two
+//! numbers in the paper's Table 3 are transposed relative to the public
+//! datasheets (V100 and T4 peak FLOPS); we use the datasheet values, which
+//! is what the paper's methodology prescribes (publicly available numbers
+//! only).
+
+use crate::error::GpuError;
+use crate::spec::{Generation, GpuSpec};
+
+/// Role of a GPU in the NeuSight evaluation protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SplitRole {
+    /// Used to collect kernel measurements for predictor training.
+    Train,
+    /// Held out entirely; predictions on these GPUs are out-of-distribution.
+    Test,
+}
+
+/// One catalog entry: a GPU spec plus its train/test role.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// Hardware description.
+    pub spec: GpuSpec,
+    /// Whether the GPU belongs to the training or test split.
+    pub role: SplitRole,
+}
+
+fn build(
+    name: &str,
+    year: u32,
+    generation: Generation,
+    peak_tflops: f64,
+    memory_gb: f64,
+    memory_gbps: f64,
+    num_sms: u32,
+    l2_mb: f64,
+) -> GpuSpec {
+    GpuSpec::builder(name)
+        .year(year)
+        .generation(generation)
+        .peak_tflops(peak_tflops)
+        .memory_gb(memory_gb)
+        .memory_gbps(memory_gbps)
+        .num_sms(num_sms)
+        .l2_mb(l2_mb)
+        .build()
+        .expect("catalog entries are statically valid")
+}
+
+/// Returns the full catalog in the order of Table 3.
+#[must_use]
+pub fn all() -> Vec<CatalogEntry> {
+    use Generation::{Ada, Ampere, Hopper, Pascal, Turing, Volta};
+    use SplitRole::{Test, Train};
+    vec![
+        CatalogEntry {
+            spec: build("P4", 2016, Pascal, 5.4, 8.0, 192.0, 40, 2.0),
+            role: Train,
+        },
+        CatalogEntry {
+            spec: build("P100", 2016, Pascal, 9.5, 16.0, 732.0, 56, 4.0),
+            role: Train,
+        },
+        CatalogEntry {
+            spec: build("V100", 2017, Volta, 15.7, 32.0, 900.0, 80, 6.0),
+            role: Train,
+        },
+        CatalogEntry {
+            spec: build("T4", 2018, Turing, 8.1, 16.0, 320.0, 40, 4.0),
+            role: Train,
+        },
+        CatalogEntry {
+            spec: build("A100-40GB", 2020, Ampere, 19.5, 40.0, 1555.0, 108, 40.0),
+            role: Train,
+        },
+        CatalogEntry {
+            spec: build("A100-80GB", 2020, Ampere, 19.5, 80.0, 1935.0, 108, 40.0),
+            role: Test,
+        },
+        CatalogEntry {
+            spec: build("L4", 2023, Ada, 31.3, 24.0, 300.0, 60, 48.0),
+            role: Test,
+        },
+        CatalogEntry {
+            spec: build("H100", 2022, Hopper, 66.9, 80.0, 3430.0, 132, 50.0),
+            role: Test,
+        },
+    ]
+}
+
+/// Looks up a GPU by name (case-insensitive).
+///
+/// # Errors
+///
+/// Returns [`GpuError::UnknownGpu`] if the name is not in the catalog.
+///
+/// ```
+/// use neusight_gpu::catalog;
+/// # fn main() -> Result<(), neusight_gpu::GpuError> {
+/// let v100 = catalog::gpu("v100")?;
+/// assert_eq!(v100.num_sms(), 80);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gpu(name: &str) -> Result<GpuSpec, GpuError> {
+    all()
+        .into_iter()
+        .map(|entry| entry.spec)
+        .find(|spec| spec.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| GpuError::UnknownGpu(name.to_owned()))
+}
+
+/// The GPUs NeuSight trains its predictors on (Table 3 training set).
+#[must_use]
+pub fn training_set() -> Vec<GpuSpec> {
+    all()
+        .into_iter()
+        .filter(|entry| entry.role == SplitRole::Train)
+        .map(|entry| entry.spec)
+        .collect()
+}
+
+/// The held-out GPUs (Table 3 test set): A100-80GB, L4, H100.
+#[must_use]
+pub fn test_set() -> Vec<GpuSpec> {
+    all()
+        .into_iter()
+        .filter(|entry| entry.role == SplitRole::Test)
+        .map(|entry| entry.spec)
+        .collect()
+}
+
+/// Whether a GPU (by name) is out-of-distribution for the trained
+/// predictors, i.e. in the test split.
+#[must_use]
+pub fn is_out_of_distribution(name: &str) -> bool {
+    all()
+        .iter()
+        .find(|entry| entry.spec.name().eq_ignore_ascii_case(name))
+        .is_some_and(|entry| entry.role == SplitRole::Test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_eight_gpus() {
+        assert_eq!(all().len(), 8);
+    }
+
+    #[test]
+    fn split_sizes_match_paper() {
+        assert_eq!(training_set().len(), 5);
+        assert_eq!(test_set().len(), 3);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert_eq!(gpu("h100").unwrap().name(), "H100");
+        assert_eq!(gpu("A100-40gb").unwrap().name(), "A100-40GB");
+    }
+
+    #[test]
+    fn lookup_unknown_fails() {
+        assert!(matches!(gpu("B200"), Err(GpuError::UnknownGpu(_))));
+    }
+
+    #[test]
+    fn h100_spec_matches_table3() {
+        let h100 = gpu("H100").unwrap();
+        assert_eq!(h100.year(), 2022);
+        assert_eq!(h100.num_sms(), 132);
+        assert!((h100.peak_tflops() - 66.9).abs() < 1e-9);
+        assert!((h100.memory_gbps() - 3430.0).abs() < 1e-9);
+        assert!((h100.l2_mb() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ood_flags() {
+        assert!(is_out_of_distribution("H100"));
+        assert!(is_out_of_distribution("L4"));
+        assert!(is_out_of_distribution("A100-80GB"));
+        assert!(!is_out_of_distribution("V100"));
+        assert!(!is_out_of_distribution("A100-40GB"));
+        assert!(!is_out_of_distribution("NotAGpu"));
+    }
+
+    #[test]
+    fn a100_variants_differ_only_in_memory() {
+        let a40 = gpu("A100-40GB").unwrap();
+        let a80 = gpu("A100-80GB").unwrap();
+        assert_eq!(a40.num_sms(), a80.num_sms());
+        assert!((a40.peak_tflops() - a80.peak_tflops()).abs() < 1e-12);
+        assert!(a80.memory_gb() > a40.memory_gb());
+        assert!(a80.memory_gbps() > a40.memory_gbps());
+    }
+
+    #[test]
+    fn training_set_predates_test_set() {
+        let newest_train = training_set().iter().map(GpuSpec::year).max().unwrap();
+        // Every test GPU is from the same year or later than the newest
+        // training GPU (A100-80GB is the same-silicon 2020 variant).
+        for spec in test_set() {
+            assert!(
+                spec.year() >= newest_train,
+                "{} predates train",
+                spec.name()
+            );
+        }
+    }
+}

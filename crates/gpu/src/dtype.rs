@@ -1,0 +1,100 @@
+//! Tensor element data types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element type of a tensor, used to convert element counts into bytes of
+/// memory traffic.
+///
+/// The NeuSight evaluation runs PyTorch's default single-precision path, so
+/// [`DType::F32`] is the default throughout this workspace; half-precision
+/// types are provided so workloads and the simulator can model mixed
+/// precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DType {
+    /// IEEE 754 half precision (2 bytes).
+    F16,
+    /// bfloat16 (2 bytes).
+    BF16,
+    /// IEEE 754 single precision (4 bytes).
+    #[default]
+    F32,
+    /// IEEE 754 double precision (8 bytes).
+    F64,
+    /// 32-bit signed integer, used for index tensors (e.g. embedding ids).
+    I32,
+    /// 64-bit signed integer, PyTorch's default index type.
+    I64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    ///
+    /// ```
+    /// use neusight_gpu::DType;
+    /// assert_eq!(DType::F32.size_bytes(), 4);
+    /// assert_eq!(DType::BF16.size_bytes(), 2);
+    /// ```
+    #[must_use]
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DType::F16 | DType::BF16 => 2,
+            DType::F32 | DType::I32 => 4,
+            DType::F64 | DType::I64 => 8,
+        }
+    }
+
+    /// Whether this type participates in floating point math (as opposed to
+    /// indexing).
+    #[must_use]
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::F16 | DType::BF16 | DType::F32 | DType::F64)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::BF16.size_bytes(), 2);
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F64.size_bytes(), 8);
+        assert_eq!(DType::I32.size_bytes(), 4);
+        assert_eq!(DType::I64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(DType::F32.is_float());
+        assert!(DType::BF16.is_float());
+        assert!(!DType::I64.is_float());
+    }
+
+    #[test]
+    fn default_is_f32() {
+        assert_eq!(DType::default(), DType::F32);
+    }
+
+    #[test]
+    fn display_round_trip_names() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::I64.to_string(), "i64");
+    }
+}

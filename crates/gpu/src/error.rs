@@ -1,0 +1,82 @@
+//! Error types for the GPU vocabulary crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while describing GPUs, operators, or tilings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GpuError {
+    /// The requested GPU name is not present in the catalog.
+    UnknownGpu(String),
+    /// An operator was constructed with a zero-sized or otherwise
+    /// meaningless dimension.
+    InvalidDimension {
+        /// Operator or context that rejected the dimension.
+        context: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A tile shape does not match the dimensionality of the output it is
+    /// supposed to partition.
+    TileRankMismatch {
+        /// Number of output dimensions.
+        output_rank: usize,
+        /// Number of tile dimensions.
+        tile_rank: usize,
+    },
+    /// A fused operator chain violated a fusion precondition.
+    InvalidFusion(String),
+    /// A specification field was missing or out of range when building a
+    /// [`crate::GpuSpec`].
+    InvalidSpec(String),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::UnknownGpu(name) => write!(f, "unknown gpu `{name}` (not in catalog)"),
+            GpuError::InvalidDimension { context, detail } => {
+                write!(f, "invalid dimension in {context}: {detail}")
+            }
+            GpuError::TileRankMismatch {
+                output_rank,
+                tile_rank,
+            } => write!(
+                f,
+                "tile rank {tile_rank} does not match output rank {output_rank}"
+            ),
+            GpuError::InvalidFusion(detail) => write!(f, "invalid operator fusion: {detail}"),
+            GpuError::InvalidSpec(detail) => write!(f, "invalid gpu specification: {detail}"),
+        }
+    }
+}
+
+impl Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_gpu() {
+        let err = GpuError::UnknownGpu("B200".to_owned());
+        assert_eq!(err.to_string(), "unknown gpu `B200` (not in catalog)");
+    }
+
+    #[test]
+    fn display_tile_rank_mismatch() {
+        let err = GpuError::TileRankMismatch {
+            output_rank: 3,
+            tile_rank: 2,
+        };
+        assert!(err.to_string().contains("tile rank 2"));
+        assert!(err.to_string().contains("output rank 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpuError>();
+    }
+}

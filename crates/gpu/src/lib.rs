@@ -1,0 +1,50 @@
+//! Shared vocabulary for NeuSight-rs: GPU hardware specifications, deep
+//! learning operator descriptors with FLOPs / memory-traffic accounting,
+//! tiled-execution math (tiles and waves), and roofline analysis.
+//!
+//! Every other crate in the workspace builds on the types defined here:
+//!
+//! - [`GpuSpec`] describes a GPU using only publicly documented datasheet
+//!   numbers (peak FLOPS, memory bandwidth/size, SM count, L2 size) — the
+//!   exact feature set the NeuSight paper restricts itself to (§4.3).
+//! - [`OpDesc`] describes a deep learning kernel (BMM, fully-connected,
+//!   element-wise, softmax, layer normalization, …) and knows how to count
+//!   its floating point operations and logical memory traffic.
+//! - [`tile`] implements Equations 2–3 of the paper: decomposing a kernel's
+//!   output into identical tiles and grouping tiles into SM waves.
+//! - [`roofline`] implements Equation 1: the fundamental performance bound
+//!   that NeuSight imposes on every prediction.
+//!
+//! # Example
+//!
+//! ```
+//! use neusight_gpu::{catalog, OpDesc, DType, roofline};
+//!
+//! # fn main() -> Result<(), neusight_gpu::GpuError> {
+//! let h100 = catalog::gpu("H100")?;
+//! let op = OpDesc::bmm(16, 2048, 2048, 2048);
+//! let intensity = op.arithmetic_intensity(DType::F32);
+//! let bound = roofline::roofline_flops(intensity, &h100);
+//! assert!(bound <= h100.peak_flops());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod catalog;
+pub mod dtype;
+pub mod error;
+pub mod ops;
+pub mod profile;
+pub mod roofline;
+pub mod spec;
+pub mod tile;
+
+pub use dtype::DType;
+pub use error::GpuError;
+pub use ops::{EwKind, FusedOp, OpClass, OpDesc};
+pub use profile::{KernelDataset, KernelLaunch, KernelRecord};
+pub use spec::{Generation, GpuSpec, GpuSpecBuilder};
+pub use tile::{num_tiles, num_waves, TileShape};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GpuError>;

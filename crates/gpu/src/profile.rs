@@ -1,0 +1,234 @@
+//! Profiler-observable kernel metadata and measurement records.
+//!
+//! This is the shared vocabulary between the measurement side (a physical
+//! GPU, or the simulator standing in for one) and the prediction side:
+//! a [`KernelLaunch`] is exactly what PyTorch Profiler exposes (kernel name
+//! with tile metadata, grid size), and a [`KernelRecord`] pairs a launch
+//! with a measured latency. Predictors never receive anything richer.
+
+use crate::error::GpuError;
+use crate::ops::{OpClass, OpDesc};
+use crate::tile::TileShape;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Launch metadata of a dispatched kernel — what a profiler records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelLaunch {
+    /// Library-style kernel name embedding the tile shape, e.g.
+    /// `sim_sgemm_128x64`.
+    pub kernel_name: String,
+    /// Output-tile shape, aligned with [`OpDesc::output_dims`].
+    pub tile: TileShape,
+    /// Number of tiles (thread blocks) in the grid (Eq. 2).
+    pub num_tiles: u64,
+    /// Number of SM waves (Eq. 3).
+    pub num_waves: u64,
+    /// Split-K factor: how many thread blocks cooperate on one output
+    /// tile's contraction (libraries split deep reductions to create
+    /// parallelism). `num_tiles` already includes this factor; 1 means no
+    /// split. Inferable from profiled thread-block counts, as §6.1 infers
+    /// tile sizes.
+    #[serde(default = "default_split_k")]
+    pub split_k: u64,
+}
+
+fn default_split_k() -> u64 {
+    1
+}
+
+/// One measured kernel: everything a profiler run on a GPU leaves behind,
+/// and nothing more.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRecord {
+    /// GPU the kernel ran on (catalog name).
+    pub gpu: String,
+    /// The kernel.
+    pub op: OpDesc,
+    /// Profiler metadata: kernel name, tile, grid, waves.
+    pub launch: KernelLaunch,
+    /// Mean latency over the measurement runs, seconds.
+    pub mean_latency_s: f64,
+}
+
+impl KernelRecord {
+    /// Predictor family of the recorded kernel.
+    #[must_use]
+    pub fn op_class(&self) -> OpClass {
+        self.op.op_class()
+    }
+}
+
+/// A collection of kernel measurements, serializable to JSON.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelDataset {
+    records: Vec<KernelRecord>,
+}
+
+impl KernelDataset {
+    /// Wraps a vector of records.
+    #[must_use]
+    pub fn new(records: Vec<KernelRecord>) -> KernelDataset {
+        KernelDataset { records }
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Borrow of all records.
+    #[must_use]
+    pub fn records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+
+    /// Records of one predictor family.
+    #[must_use]
+    pub fn of_class(&self, class: OpClass) -> KernelDataset {
+        KernelDataset::new(
+            self.records
+                .iter()
+                .filter(|r| r.op_class() == class)
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Records measured on one GPU.
+    #[must_use]
+    pub fn of_gpu(&self, gpu: &str) -> KernelDataset {
+        KernelDataset::new(
+            self.records
+                .iter()
+                .filter(|r| r.gpu.eq_ignore_ascii_case(gpu))
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Distinct GPU names present, in first-seen order.
+    #[must_use]
+    pub fn gpus(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for r in &self.records {
+            if !seen.contains(&r.gpu) {
+                seen.push(r.gpu.clone());
+            }
+        }
+        seen
+    }
+
+    /// Writes the dataset as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn save_json(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string(self).map_err(io::Error::other)?;
+        fs::write(path, json)
+    }
+
+    /// Reads a dataset previously written by [`KernelDataset::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file is missing or not valid JSON.
+    pub fn load_json(path: &Path) -> io::Result<KernelDataset> {
+        let json = fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(io::Error::other)
+    }
+
+    /// Validates basic dataset invariants (positive latencies, non-empty
+    /// launches).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GpuError::InvalidDimension`] describing the first bad
+    /// record.
+    pub fn validate(&self) -> Result<(), GpuError> {
+        for (i, r) in self.records.iter().enumerate() {
+            if !(r.mean_latency_s.is_finite() && r.mean_latency_s > 0.0) {
+                return Err(GpuError::InvalidDimension {
+                    context: "dataset record",
+                    detail: format!("record {i} has latency {}", r.mean_latency_s),
+                });
+            }
+            if r.launch.num_tiles == 0 || r.launch.num_waves == 0 {
+                return Err(GpuError::InvalidDimension {
+                    context: "dataset record",
+                    detail: format!("record {i} has empty launch"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<KernelRecord> for KernelDataset {
+    fn from_iter<T: IntoIterator<Item = KernelRecord>>(iter: T) -> KernelDataset {
+        KernelDataset::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<KernelRecord> for KernelDataset {
+    fn extend<T: IntoIterator<Item = KernelRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(gpu: &str, latency: f64) -> KernelRecord {
+        KernelRecord {
+            gpu: gpu.to_owned(),
+            op: OpDesc::bmm(1, 64, 64, 64),
+            launch: KernelLaunch {
+                kernel_name: "sim_sgemm_batched_1x64x64".to_owned(),
+                tile: TileShape::new(vec![1, 64, 64]),
+                num_tiles: 1,
+                num_waves: 1,
+                split_k: 1,
+            },
+            mean_latency_s: latency,
+        }
+    }
+
+    #[test]
+    fn filters_and_gpu_listing() {
+        let ds = KernelDataset::new(vec![record("V100", 1e-4), record("T4", 2e-4)]);
+        assert_eq!(ds.of_gpu("v100").len(), 1);
+        assert_eq!(ds.of_class(OpClass::Bmm).len(), 2);
+        assert_eq!(ds.of_class(OpClass::Softmax).len(), 0);
+        assert_eq!(ds.gpus(), vec!["V100".to_owned(), "T4".to_owned()]);
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive_latency() {
+        let ds = KernelDataset::new(vec![record("V100", 0.0)]);
+        assert!(ds.validate().is_err());
+        let ds = KernelDataset::new(vec![record("V100", f64::NAN)]);
+        assert!(ds.validate().is_err());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut ds: KernelDataset = std::iter::once(record("P4", 1e-5)).collect();
+        ds.extend([record("P100", 2e-5)]);
+        assert_eq!(ds.len(), 2);
+    }
+}

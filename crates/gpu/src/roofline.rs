@@ -1,0 +1,144 @@
+//! Roofline analysis (Eq. 1 of the NeuSight paper).
+//!
+//! The roofline model bounds the achievable throughput of a kernel by the
+//! lesser of the compute roof (`flops_p`) and the bandwidth roof scaled by
+//! arithmetic intensity (`K × mem_p`):
+//!
+//! ```text
+//! K           = flops_k / mem_k
+//! roofline_BW = min(K × mem_p, flops_p)     (Eq. 1)
+//! ```
+//!
+//! NeuSight multiplies this bound by a learned utilization in `(0, 1)`
+//! (Eq. 6), which guarantees predictions never exceed what the hardware can
+//! physically deliver — the property that makes it robust on unseen GPUs.
+
+use crate::dtype::DType;
+use crate::ops::OpDesc;
+use crate::spec::GpuSpec;
+
+/// Maximum achievable throughput of a kernel with arithmetic intensity
+/// `intensity` (FLOP/byte) on `spec`, in FLOP/s (Eq. 1).
+#[must_use]
+pub fn roofline_flops(intensity: f64, spec: &GpuSpec) -> f64 {
+    (intensity * spec.memory_bw()).min(spec.peak_flops())
+}
+
+/// Roofline bound for a concrete operator, in FLOP/s.
+#[must_use]
+pub fn roofline_flops_for(op: &OpDesc, dtype: DType, spec: &GpuSpec) -> f64 {
+    roofline_flops(op.arithmetic_intensity(dtype), spec)
+}
+
+/// Ideal (lower-bound) latency of an operator in seconds: work divided by
+/// the roofline throughput. For zero-FLOP operators (pure data movement)
+/// this is the memory transfer time at peak bandwidth.
+#[must_use]
+pub fn ideal_latency(op: &OpDesc, dtype: DType, spec: &GpuSpec) -> f64 {
+    let flops = op.flops();
+    if flops > 0.0 {
+        flops / roofline_flops_for(op, dtype, spec)
+    } else {
+        op.memory_bytes(dtype) / spec.memory_bw()
+    }
+}
+
+/// Converts an achieved throughput back to an effective utilization of the
+/// roofline bound, clamped to `[0, 1]`. The inverse of Eq. 6; used when
+/// turning measured latencies into training targets.
+#[must_use]
+pub fn utilization_of(achieved_flops: f64, intensity: f64, spec: &GpuSpec) -> f64 {
+    let roof = roofline_flops(intensity, spec);
+    if roof <= 0.0 {
+        0.0
+    } else {
+        (achieved_flops / roof).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::ops::EwKind;
+    use proptest::prelude::*;
+
+    #[test]
+    fn compute_bound_kernel_hits_peak() {
+        let spec = catalog::gpu("V100").unwrap();
+        let op = OpDesc::bmm(8, 4096, 4096, 4096);
+        let roof = roofline_flops_for(&op, DType::F32, &spec);
+        assert!((roof - spec.peak_flops()).abs() < 1.0);
+    }
+
+    #[test]
+    fn memory_bound_kernel_below_peak() {
+        let spec = catalog::gpu("V100").unwrap();
+        let op = OpDesc::elementwise(EwKind::Add, 1 << 22);
+        let roof = roofline_flops_for(&op, DType::F32, &spec);
+        assert!(roof < spec.peak_flops());
+        // add: 1 flop per element, 12 bytes per element => K = 1/12.
+        let expected = spec.memory_bw() / 12.0;
+        assert!((roof - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn ideal_latency_of_zero_flop_op() {
+        let spec = catalog::gpu("T4").unwrap();
+        let op = OpDesc::embedding(1024, 768, 50000);
+        let lat = ideal_latency(&op, DType::F32, &spec);
+        let expected = op.memory_bytes(DType::F32) / spec.memory_bw();
+        assert!((lat - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn utilization_inverse_relationship() {
+        let spec = catalog::gpu("A100-40GB").unwrap();
+        let op = OpDesc::bmm(4, 1024, 1024, 1024);
+        let intensity = op.arithmetic_intensity(DType::F32);
+        let roof = roofline_flops(intensity, &spec);
+        let util = utilization_of(roof * 0.7, intensity, &spec);
+        assert!((util - 0.7).abs() < 1e-12);
+        // Above-roof measurements clamp to 1.
+        assert!((utilization_of(roof * 1.5, intensity, &spec) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h100_roofline_dominates_v100() {
+        let v100 = catalog::gpu("V100").unwrap();
+        let h100 = catalog::gpu("H100").unwrap();
+        for op in [
+            OpDesc::bmm(16, 2048, 2048, 2048),
+            OpDesc::elementwise(EwKind::Gelu, 1 << 20),
+            OpDesc::softmax(8192, 2048),
+        ] {
+            assert!(
+                roofline_flops_for(&op, DType::F32, &h100)
+                    > roofline_flops_for(&op, DType::F32, &v100)
+            );
+        }
+    }
+
+    proptest! {
+        /// The roofline bound never exceeds peak FLOPS or the bandwidth roof.
+        #[test]
+        fn roofline_respects_both_roofs(intensity in 0.0f64..10_000.0) {
+            for spec in catalog::all() {
+                let roof = roofline_flops(intensity, &spec.spec);
+                prop_assert!(roof <= spec.spec.peak_flops() + 1e-6);
+                prop_assert!(roof <= intensity * spec.spec.memory_bw() + 1e-6);
+            }
+        }
+
+        /// Ideal latency is positive and finite for any valid BMM.
+        #[test]
+        fn ideal_latency_positive(
+            b in 1u64..64, m in 1u64..2048, n in 1u64..2048, k in 1u64..2048,
+        ) {
+            let spec = catalog::gpu("P100").unwrap();
+            let op = OpDesc::bmm(b, m, n, k);
+            let lat = ideal_latency(&op, DType::F32, &spec);
+            prop_assert!(lat.is_finite() && lat > 0.0);
+        }
+    }
+}

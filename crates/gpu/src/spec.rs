@@ -1,0 +1,456 @@
+//! GPU hardware specifications built from publicly documented datasheet
+//! numbers.
+//!
+//! NeuSight deliberately restricts itself to features that are available for
+//! any announced GPU before anyone can run code on it (§4.3 of the paper):
+//! peak FLOPS, memory size, memory bandwidth, number of SMs, and L2 cache
+//! size. [`GpuSpec`] captures exactly those, plus the launch year and a
+//! coarse [`Generation`] tag (both public information) that the simulator
+//! uses to pick library-style dispatch heuristics.
+
+use crate::error::GpuError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse micro-architecture generation of an NVIDIA-style GPU.
+///
+/// Only used for library dispatch heuristics in the simulator (newer
+/// architectures prefer larger tiles and fused reduction kernels); the
+/// NeuSight predictor itself never sees this tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Generation {
+    /// Pascal (P4, P100), 2016.
+    Pascal,
+    /// Volta (V100), 2017.
+    Volta,
+    /// Turing (T4), 2018.
+    Turing,
+    /// Ampere (A100), 2020.
+    Ampere,
+    /// Ada Lovelace (L4), 2023.
+    Ada,
+    /// Hopper (H100), 2022.
+    Hopper,
+}
+
+impl Generation {
+    /// Relative "software maturity" index used by the simulator's kernel
+    /// library model: newer generations ship better-tuned kernels.
+    #[must_use]
+    pub const fn maturity_index(self) -> u32 {
+        match self {
+            Generation::Pascal => 0,
+            Generation::Volta => 1,
+            Generation::Turing => 2,
+            Generation::Ampere => 3,
+            Generation::Hopper => 4,
+            Generation::Ada => 5,
+        }
+    }
+}
+
+impl fmt::Display for Generation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Generation::Pascal => "Pascal",
+            Generation::Volta => "Volta",
+            Generation::Turing => "Turing",
+            Generation::Ampere => "Ampere",
+            Generation::Ada => "Ada",
+            Generation::Hopper => "Hopper",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Datasheet-level description of a GPU.
+///
+/// All stored values use the units the datasheets use (TFLOPS, GB, GB/s,
+/// MB); accessor methods convert to base SI units (`FLOP/s`, bytes,
+/// bytes/s). Construct with [`GpuSpec::builder`] or fetch a known device
+/// from [`crate::catalog`].
+///
+/// ```
+/// use neusight_gpu::{GpuSpec, Generation};
+///
+/// # fn main() -> Result<(), neusight_gpu::GpuError> {
+/// let spec = GpuSpec::builder("TestGPU")
+///     .year(2020)
+///     .generation(Generation::Ampere)
+///     .peak_tflops(19.5)
+///     .memory_gb(40.0)
+///     .memory_gbps(1555.0)
+///     .num_sms(108)
+///     .l2_mb(40.0)
+///     .build()?;
+/// assert_eq!(spec.num_sms(), 108);
+/// assert!((spec.peak_flops() - 19.5e12).abs() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    name: String,
+    year: u32,
+    generation: Generation,
+    peak_tflops: f64,
+    memory_gb: f64,
+    memory_gbps: f64,
+    num_sms: u32,
+    l2_mb: f64,
+}
+
+impl GpuSpec {
+    /// Starts building a new specification for a GPU with the given
+    /// marketing name.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> GpuSpecBuilder {
+        GpuSpecBuilder::new(name)
+    }
+
+    /// Marketing name, e.g. `"H100"`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Launch year.
+    #[must_use]
+    pub fn year(&self) -> u32 {
+        self.year
+    }
+
+    /// Micro-architecture generation.
+    #[must_use]
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// Peak throughput in TFLOPS (datasheet units).
+    #[must_use]
+    pub fn peak_tflops(&self) -> f64 {
+        self.peak_tflops
+    }
+
+    /// Peak throughput in FLOP/s.
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_tflops * 1e12
+    }
+
+    /// Off-chip (HBM/GDDR) memory capacity in GB (datasheet units).
+    #[must_use]
+    pub fn memory_gb(&self) -> f64 {
+        self.memory_gb
+    }
+
+    /// Off-chip memory capacity in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> f64 {
+        self.memory_gb * 1e9
+    }
+
+    /// Peak off-chip memory bandwidth in GB/s (datasheet units).
+    #[must_use]
+    pub fn memory_gbps(&self) -> f64 {
+        self.memory_gbps
+    }
+
+    /// Peak off-chip memory bandwidth in bytes/s.
+    #[must_use]
+    pub fn memory_bw(&self) -> f64 {
+        self.memory_gbps * 1e9
+    }
+
+    /// Number of streaming multiprocessors.
+    #[must_use]
+    pub fn num_sms(&self) -> u32 {
+        self.num_sms
+    }
+
+    /// L2 cache size in MB (datasheet units).
+    #[must_use]
+    pub fn l2_mb(&self) -> f64 {
+        self.l2_mb
+    }
+
+    /// L2 cache size in bytes.
+    #[must_use]
+    pub fn l2_bytes(&self) -> f64 {
+        self.l2_mb * 1e6
+    }
+
+    // ---- Per-SM resources (NeuSight feature pre-processing, §4.3) ----
+
+    /// Peak FLOP/s available to a single SM.
+    #[must_use]
+    pub fn peak_flops_per_sm(&self) -> f64 {
+        self.peak_flops() / f64::from(self.num_sms)
+    }
+
+    /// Memory bandwidth share of a single SM in bytes/s.
+    #[must_use]
+    pub fn memory_bw_per_sm(&self) -> f64 {
+        self.memory_bw() / f64::from(self.num_sms)
+    }
+
+    /// L2 cache share of a single SM in bytes.
+    #[must_use]
+    pub fn l2_bytes_per_sm(&self) -> f64 {
+        self.l2_bytes() / f64::from(self.num_sms)
+    }
+
+    /// Off-chip memory share of a single SM in bytes.
+    #[must_use]
+    pub fn memory_bytes_per_sm(&self) -> f64 {
+        self.memory_bytes() / f64::from(self.num_sms)
+    }
+
+    /// Machine balance in FLOP/byte: arithmetic intensity at the roofline
+    /// ridge point. Kernels below this are memory-bound, above are
+    /// compute-bound.
+    #[must_use]
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_flops() / self.memory_bw()
+    }
+}
+
+impl fmt::Display for GpuSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {}): {:.1} TFLOPS, {:.0} GB @ {:.0} GB/s, {} SMs, {:.0} MB L2",
+            self.name,
+            self.generation,
+            self.year,
+            self.peak_tflops,
+            self.memory_gb,
+            self.memory_gbps,
+            self.num_sms,
+            self.l2_mb
+        )
+    }
+}
+
+/// Builder for [`GpuSpec`].
+///
+/// All fields are required; [`GpuSpecBuilder::build`] returns an error
+/// describing the first missing or non-positive field.
+#[derive(Debug, Clone, Default)]
+pub struct GpuSpecBuilder {
+    name: String,
+    year: Option<u32>,
+    generation: Option<Generation>,
+    peak_tflops: Option<f64>,
+    memory_gb: Option<f64>,
+    memory_gbps: Option<f64>,
+    num_sms: Option<u32>,
+    l2_mb: Option<f64>,
+}
+
+impl GpuSpecBuilder {
+    /// Creates a builder for a GPU with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        GpuSpecBuilder {
+            name: name.into(),
+            ..GpuSpecBuilder::default()
+        }
+    }
+
+    /// Sets the launch year.
+    #[must_use]
+    pub fn year(mut self, year: u32) -> Self {
+        self.year = Some(year);
+        self
+    }
+
+    /// Sets the micro-architecture generation.
+    #[must_use]
+    pub fn generation(mut self, generation: Generation) -> Self {
+        self.generation = Some(generation);
+        self
+    }
+
+    /// Sets peak throughput in TFLOPS.
+    #[must_use]
+    pub fn peak_tflops(mut self, tflops: f64) -> Self {
+        self.peak_tflops = Some(tflops);
+        self
+    }
+
+    /// Sets memory capacity in GB.
+    #[must_use]
+    pub fn memory_gb(mut self, gb: f64) -> Self {
+        self.memory_gb = Some(gb);
+        self
+    }
+
+    /// Sets memory bandwidth in GB/s.
+    #[must_use]
+    pub fn memory_gbps(mut self, gbps: f64) -> Self {
+        self.memory_gbps = Some(gbps);
+        self
+    }
+
+    /// Sets the SM count.
+    #[must_use]
+    pub fn num_sms(mut self, sms: u32) -> Self {
+        self.num_sms = Some(sms);
+        self
+    }
+
+    /// Sets the L2 cache size in MB.
+    #[must_use]
+    pub fn l2_mb(mut self, mb: f64) -> Self {
+        self.l2_mb = Some(mb);
+        self
+    }
+
+    /// Builds the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::InvalidSpec`] if any field is missing, any
+    /// numeric field is non-positive or non-finite, or the name is empty.
+    pub fn build(self) -> Result<GpuSpec, GpuError> {
+        fn required<T>(value: Option<T>, field: &str) -> Result<T, GpuError> {
+            value.ok_or_else(|| GpuError::InvalidSpec(format!("missing field `{field}`")))
+        }
+        fn positive(value: f64, field: &str) -> Result<f64, GpuError> {
+            if value.is_finite() && value > 0.0 {
+                Ok(value)
+            } else {
+                Err(GpuError::InvalidSpec(format!(
+                    "field `{field}` must be positive and finite, got {value}"
+                )))
+            }
+        }
+
+        if self.name.is_empty() {
+            return Err(GpuError::InvalidSpec("empty gpu name".to_owned()));
+        }
+        let num_sms = required(self.num_sms, "num_sms")?;
+        if num_sms == 0 {
+            return Err(GpuError::InvalidSpec(
+                "field `num_sms` must be at least 1".to_owned(),
+            ));
+        }
+        Ok(GpuSpec {
+            name: self.name,
+            year: required(self.year, "year")?,
+            generation: required(self.generation, "generation")?,
+            peak_tflops: positive(required(self.peak_tflops, "peak_tflops")?, "peak_tflops")?,
+            memory_gb: positive(required(self.memory_gb, "memory_gb")?, "memory_gb")?,
+            memory_gbps: positive(required(self.memory_gbps, "memory_gbps")?, "memory_gbps")?,
+            num_sms,
+            l2_mb: positive(required(self.l2_mb, "l2_mb")?, "l2_mb")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GpuSpec {
+        GpuSpec::builder("A100-40GB")
+            .year(2020)
+            .generation(Generation::Ampere)
+            .peak_tflops(19.5)
+            .memory_gb(40.0)
+            .memory_gbps(1555.0)
+            .num_sms(108)
+            .l2_mb(40.0)
+            .build()
+            .expect("valid spec")
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let spec = sample();
+        assert!((spec.peak_flops() - 19.5e12).abs() < 1e3);
+        assert!((spec.memory_bw() - 1.555e12).abs() < 1e3);
+        assert!((spec.memory_bytes() - 40e9).abs() < 1.0);
+        assert!((spec.l2_bytes() - 40e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_sm_resources() {
+        let spec = sample();
+        assert!((spec.peak_flops_per_sm() * 108.0 - spec.peak_flops()).abs() < 1.0);
+        assert!((spec.memory_bw_per_sm() * 108.0 - spec.memory_bw()).abs() < 1.0);
+        assert!((spec.l2_bytes_per_sm() * 108.0 - spec.l2_bytes()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_point() {
+        let spec = sample();
+        let ridge = spec.ridge_intensity();
+        assert!((ridge - 19.5e12 / 1.555e12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_rejects_missing_fields() {
+        let err = GpuSpec::builder("X").build().unwrap_err();
+        assert!(matches!(err, GpuError::InvalidSpec(_)));
+    }
+
+    #[test]
+    fn builder_rejects_nonpositive() {
+        let err = GpuSpec::builder("X")
+            .year(2020)
+            .generation(Generation::Ampere)
+            .peak_tflops(-1.0)
+            .memory_gb(40.0)
+            .memory_gbps(1555.0)
+            .num_sms(108)
+            .l2_mb(40.0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("peak_tflops"));
+    }
+
+    #[test]
+    fn builder_rejects_zero_sms() {
+        let err = GpuSpec::builder("X")
+            .year(2020)
+            .generation(Generation::Ampere)
+            .peak_tflops(1.0)
+            .memory_gb(40.0)
+            .memory_gbps(1555.0)
+            .num_sms(0)
+            .l2_mb(40.0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("num_sms"));
+    }
+
+    #[test]
+    fn builder_rejects_empty_name() {
+        let err = GpuSpec::builder("").year(2020).build().unwrap_err();
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn display_contains_key_facts() {
+        let text = sample().to_string();
+        assert!(text.contains("A100-40GB"));
+        assert!(text.contains("108 SMs"));
+        assert!(text.contains("Ampere"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = sample();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: GpuSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn generation_maturity_ordering() {
+        assert!(Generation::Hopper.maturity_index() > Generation::Pascal.maturity_index());
+        assert!(Generation::Ada.maturity_index() > Generation::Ampere.maturity_index());
+    }
+}

@@ -1,0 +1,354 @@
+//! Dataflow-graph intermediate representation.
+//!
+//! This plays the role of `torch.fx` in the paper's workflow (§5): a model
+//! is lowered to a graph of kernel-level operator nodes; NeuSight annotates
+//! each node with a latency prediction and aggregates along the dataflow.
+//!
+//! The graph is append-only and topologically ordered by construction:
+//! every node's inputs must already exist when the node is added, so
+//! iterating nodes in id order is a valid execution schedule (GPUs execute
+//! kernels sequentially per device, §2.2).
+
+use neusight_gpu::{DType, GpuError, OpClass, OpDesc};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a node inside one [`Graph`] (its position in execution
+/// order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Which pass of an iteration a node belongs to. Pipeline-parallel
+/// scheduling needs forward and backward latencies separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Phase {
+    /// Forward pass (inference graphs are all-forward).
+    #[default]
+    Forward,
+    /// Backward (gradient) pass of a training iteration.
+    Backward,
+}
+
+/// One kernel-level operation in the dataflow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Position in execution order.
+    pub id: NodeId,
+    /// Human-readable name, e.g. `"layer3.attn.qkv"`.
+    pub name: String,
+    /// The kernel this node executes.
+    pub op: OpDesc,
+    /// Dataflow predecessors.
+    pub inputs: Vec<NodeId>,
+    /// Forward or backward pass.
+    pub phase: Phase,
+}
+
+/// A topologically ordered dataflow graph of kernel nodes.
+///
+/// ```
+/// use neusight_graph::{Graph, Phase};
+/// use neusight_gpu::{EwKind, OpDesc};
+///
+/// let mut g = Graph::new("tiny");
+/// let a = g.add("fc1", OpDesc::fc(32, 128, 128), &[]);
+/// let b = g.add("act", OpDesc::elementwise(EwKind::Relu, 32 * 128), &[a]);
+/// assert_eq!(g.len(), 2);
+/// assert!(g.node(b).inputs.contains(&a));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Graph {
+        Graph {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Graph name (model + workload).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a forward-phase node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input id does not refer to an existing node.
+    pub fn add(&mut self, name: impl Into<String>, op: OpDesc, inputs: &[NodeId]) -> NodeId {
+        self.add_in_phase(name, op, inputs, Phase::Forward)
+    }
+
+    /// Appends a node in an explicit phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input id does not refer to an existing node.
+    pub fn add_in_phase(
+        &mut self,
+        name: impl Into<String>,
+        op: OpDesc,
+        inputs: &[NodeId],
+        phase: Phase,
+    ) -> NodeId {
+        for input in inputs {
+            assert!(
+                input.0 < self.nodes.len(),
+                "input {input} does not exist yet (graph is append-only)"
+            );
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            name: name.into(),
+            op,
+            inputs: inputs.to_vec(),
+            phase,
+        });
+        id
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Iterates nodes in execution order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Node> {
+        self.nodes.iter()
+    }
+
+    /// All nodes in execution order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Ids of nodes that no other node consumes (graph outputs).
+    #[must_use]
+    pub fn sinks(&self) -> Vec<NodeId> {
+        let mut consumed = vec![false; self.nodes.len()];
+        for node in &self.nodes {
+            for input in &node.inputs {
+                consumed[input.0] = true;
+            }
+        }
+        self.nodes
+            .iter()
+            .filter(|n| !consumed[n.id.0])
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Number of consumers of each node.
+    #[must_use]
+    pub fn consumer_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for input in &node.inputs {
+                counts[input.0] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Validates topological ordering (inputs precede consumers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::InvalidDimension`] describing the first
+    /// violation. Graphs built through [`Graph::add`] always validate.
+    pub fn validate(&self) -> Result<(), GpuError> {
+        for node in &self.nodes {
+            for input in &node.inputs {
+                if input.0 >= node.id.0 {
+                    return Err(GpuError::InvalidDimension {
+                        context: "graph topology",
+                        detail: format!("node {} consumes non-preceding {input}", node.id),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total FLOPs across all nodes.
+    #[must_use]
+    pub fn total_flops(&self) -> f64 {
+        self.nodes.iter().map(|n| n.op.flops()).sum()
+    }
+
+    /// Total logical memory traffic across all nodes.
+    #[must_use]
+    pub fn total_memory_bytes(&self, dtype: DType) -> f64 {
+        self.nodes.iter().map(|n| n.op.memory_bytes(dtype)).sum()
+    }
+
+    /// Node counts per predictor family.
+    #[must_use]
+    pub fn class_histogram(&self) -> BTreeMap<String, usize> {
+        let mut hist = BTreeMap::new();
+        for node in &self.nodes {
+            *hist
+                .entry(node.op.op_class().name().to_owned())
+                .or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// Nodes belonging to the given phase.
+    pub fn phase_nodes(&self, phase: Phase) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(move |n| n.phase == phase)
+    }
+}
+
+impl<'a> IntoIterator for &'a Graph {
+    type Item = &'a Node;
+    type IntoIter = std::slice::Iter<'a, Node>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph `{}` ({} nodes):", self.name, self.nodes.len())?;
+        for node in &self.nodes {
+            write!(f, "  {} = {} [{}]", node.id, node.op, node.name)?;
+            if !node.inputs.is_empty() {
+                write!(f, " <- ")?;
+                for (i, input) in node.inputs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{input}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: counts nodes of a class in a graph.
+#[must_use]
+pub fn count_class(graph: &Graph, class: OpClass) -> usize {
+    graph.iter().filter(|n| n.op.op_class() == class).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_gpu::EwKind;
+
+    fn diamond() -> Graph {
+        let mut g = Graph::new("diamond");
+        let a = g.add("src", OpDesc::fc(4, 8, 8), &[]);
+        let b = g.add("left", OpDesc::elementwise(EwKind::Relu, 32), &[a]);
+        let c = g.add("right", OpDesc::elementwise(EwKind::Gelu, 32), &[a]);
+        let _ = g.add("join", OpDesc::elementwise(EwKind::Add, 32), &[b, c]);
+        g
+    }
+
+    #[test]
+    fn append_only_topological() {
+        let g = diamond();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.sinks(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn consumer_counts() {
+        let g = diamond();
+        assert_eq!(g.consumer_counts(), vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_reference_panics() {
+        let mut g = Graph::new("bad");
+        let _ = g.add("x", OpDesc::fc(1, 1, 1), &[NodeId(5)]);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let g = diamond();
+        let expected: f64 = g.iter().map(|n| n.op.flops()).sum();
+        assert!((g.total_flops() - expected).abs() < 1e-9);
+        assert!(g.total_memory_bytes(DType::F32) > 0.0);
+    }
+
+    #[test]
+    fn histogram_by_class() {
+        let g = diamond();
+        let hist = g.class_histogram();
+        assert_eq!(hist.get("fc"), Some(&1));
+        assert_eq!(hist.get("elementwise"), Some(&3));
+    }
+
+    #[test]
+    fn phases_filter() {
+        let mut g = Graph::new("phased");
+        let a = g.add("f", OpDesc::fc(2, 2, 2), &[]);
+        let _ = g.add_in_phase("b", OpDesc::fc(2, 2, 2), &[a], Phase::Backward);
+        assert_eq!(g.phase_nodes(Phase::Forward).count(), 1);
+        assert_eq!(g.phase_nodes(Phase::Backward).count(), 1);
+    }
+
+    #[test]
+    fn display_lists_nodes() {
+        let text = diamond().to_string();
+        assert!(text.contains("%0"));
+        assert!(text.contains("join"));
+        assert!(text.contains("<-"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn count_class_helper() {
+        let g = diamond();
+        assert_eq!(count_class(&g, OpClass::Elementwise), 3);
+        assert_eq!(count_class(&g, OpClass::Bmm), 0);
+    }
+}

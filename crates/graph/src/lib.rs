@@ -1,0 +1,36 @@
+//! DNN dataflow graphs for NeuSight-rs: the substrate that plays the role
+//! of PyTorch + `torch.fx` in the paper's workflow.
+//!
+//! - [`ir`]: an append-only, topologically ordered graph of kernel nodes.
+//! - [`config`]: the workload zoo of Table 4 (BERT, GPT-2, GPT-3, OPT,
+//!   Switch Transformer).
+//! - [`transformer`]: lowering a [`ModelConfig`] to kernel graphs for
+//!   inference (time-to-first-token) and training (forward + backward).
+//! - [`cnn`]: convolutional workloads (ResNet-50, VGG-16) via implicit-GEMM
+//!   convolutions.
+//! - [`backward`]: autograd-style backward-kernel derivation.
+//! - [`fusion`]: a `torch.compile`-style operator fusion pass (§4.4).
+//!
+//! # Example
+//!
+//! ```
+//! use neusight_graph::{config, transformer};
+//!
+//! let cfg = config::gpt2_large();
+//! let graph = transformer::inference_graph(&cfg, 4);
+//! assert!(graph.validate().is_ok());
+//! println!("{} kernels, {:.1} GFLOPs", graph.len(), graph.total_flops() / 1e9);
+//! ```
+
+pub mod backward;
+pub mod cnn;
+pub mod config;
+pub mod dot;
+pub mod fusion;
+pub mod ir;
+pub mod transformer;
+
+pub use config::{ModelConfig, MoeConfig, TaskKind};
+pub use fusion::fuse_graph;
+pub use ir::{Graph, Node, NodeId, Phase};
+pub use transformer::{decode_graph, inference_graph, training_graph};

@@ -1,0 +1,601 @@
+//! A small transformer regressor for tabular inputs, with hand-written
+//! backpropagation through self-attention.
+//!
+//! Used by the Table 1 experiment ("what if we just use a bigger model?"):
+//! each scalar input feature becomes a token through a learned per-feature
+//! affine embedding; a stack of pre-activation transformer blocks
+//! (single-head self-attention + a two-layer feed-forward, both with
+//! residual connections) mixes the tokens; mean-pooling and a linear head
+//! produce the scalar prediction.
+
+use crate::loss::Loss;
+use crate::matrix::Matrix;
+use crate::trainer::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of [`TransformerRegressor`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Number of transformer blocks.
+    pub num_blocks: usize,
+    /// Token embedding width.
+    pub model_dim: usize,
+    /// Feed-forward inner width.
+    pub ff_dim: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (gradients are accumulated across the batch).
+    pub batch_size: usize,
+    /// Init / shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TransformerConfig {
+    fn default() -> TransformerConfig {
+        TransformerConfig {
+            num_blocks: 3,
+            model_dim: 16,
+            ff_dim: 32,
+            lr: 1e-3,
+            epochs: 30,
+            batch_size: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// A trainable tensor: value, gradient accumulator, and Adam moments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Tensor {
+    value: Matrix,
+    #[serde(skip)]
+    grad: Option<Matrix>,
+    #[serde(skip)]
+    adam_m: Option<Matrix>,
+    #[serde(skip)]
+    adam_v: Option<Matrix>,
+}
+
+impl Tensor {
+    fn init(rows: usize, cols: usize, scale: f32, rng: &mut StdRng) -> Tensor {
+        Tensor {
+            value: Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..scale)),
+            grad: None,
+            adam_m: None,
+            adam_v: None,
+        }
+    }
+
+    fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor {
+            value: Matrix::zeros(rows, cols),
+            grad: None,
+            adam_m: None,
+            adam_v: None,
+        }
+    }
+
+    fn accumulate(&mut self, delta: &Matrix) {
+        match &mut self.grad {
+            Some(g) => {
+                for (a, b) in g.as_mut_slice().iter_mut().zip(delta.as_slice()) {
+                    *a += b;
+                }
+            }
+            None => self.grad = Some(delta.clone()),
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad = None;
+    }
+
+    fn adam_step(&mut self, lr: f32, t: f32) {
+        let Some(grad) = &self.grad else { return };
+        let (rows, cols) = (self.value.rows(), self.value.cols());
+        if self.adam_m.is_none() {
+            self.adam_m = Some(Matrix::zeros(rows, cols));
+            self.adam_v = Some(Matrix::zeros(rows, cols));
+        }
+        let m = self.adam_m.as_mut().expect("initialized above");
+        let v = self.adam_v.as_mut().expect("initialized above");
+        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        let bias1 = 1.0 - b1.powf(t);
+        let bias2 = 1.0 - b2.powf(t);
+        for i in 0..rows * cols {
+            let g = grad.as_slice()[i];
+            let mi = b1 * m.as_slice()[i] + (1.0 - b1) * g;
+            let vi = b2 * v.as_slice()[i] + (1.0 - b2) * g * g;
+            m.as_mut_slice()[i] = mi;
+            v.as_mut_slice()[i] = vi;
+            let update = (mi / bias1) / ((vi / bias2).sqrt() + eps);
+            self.value.as_mut_slice()[i] -= lr * update;
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Block {
+    wq: Tensor,
+    wk: Tensor,
+    wv: Tensor,
+    wo: Tensor,
+    w1: Tensor,
+    b1: Tensor,
+    w2: Tensor,
+    b2: Tensor,
+}
+
+/// Forward caches of one block for one sample.
+struct BlockCache {
+    x: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    attn: Matrix,
+    z: Matrix,
+    x1: Matrix,
+    h_pre: Matrix,
+    h: Matrix,
+}
+
+/// Transformer over feature tokens predicting a scalar.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransformerRegressor {
+    num_features: usize,
+    model_dim: usize,
+    /// Per-feature embedding scale (`num_features × model_dim`).
+    embed_w: Tensor,
+    /// Per-feature embedding offset (`num_features × model_dim`).
+    embed_b: Tensor,
+    blocks: Vec<Block>,
+    head_w: Tensor,
+    head_b: Tensor,
+    steps: u64,
+}
+
+impl TransformerRegressor {
+    /// Creates a regressor over `num_features` scalar inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension in the config is zero.
+    #[must_use]
+    pub fn new(num_features: usize, config: &TransformerConfig) -> TransformerRegressor {
+        assert!(num_features > 0, "need at least one feature");
+        assert!(
+            config.model_dim > 0 && config.ff_dim > 0 && config.num_blocks > 0,
+            "transformer dims must be nonzero"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let d = config.model_dim;
+        #[allow(clippy::cast_precision_loss)]
+        let scale = (1.0 / d as f32).sqrt();
+        let blocks = (0..config.num_blocks)
+            .map(|_| Block {
+                wq: Tensor::init(d, d, scale, &mut rng),
+                wk: Tensor::init(d, d, scale, &mut rng),
+                wv: Tensor::init(d, d, scale, &mut rng),
+                wo: Tensor::init(d, d, scale, &mut rng),
+                w1: Tensor::init(d, config.ff_dim, scale, &mut rng),
+                b1: Tensor::zeros(1, config.ff_dim),
+                w2: Tensor::init(config.ff_dim, d, scale, &mut rng),
+                b2: Tensor::zeros(1, d),
+            })
+            .collect();
+        TransformerRegressor {
+            num_features,
+            model_dim: d,
+            embed_w: Tensor::init(num_features, d, 0.5, &mut rng),
+            embed_b: Tensor::init(num_features, d, 0.5, &mut rng),
+            blocks,
+            head_w: Tensor::init(d, 1, scale, &mut rng),
+            head_b: Tensor::zeros(1, 1),
+            steps: 0,
+        }
+    }
+
+    /// Number of trainable parameters.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        let d = self.model_dim;
+        let per_block = 4 * d * d
+            + self.blocks[0].w1.value.rows() * self.blocks[0].w1.value.cols()
+            + self.blocks[0].b1.value.cols()
+            + self.blocks[0].w2.value.rows() * self.blocks[0].w2.value.cols()
+            + self.blocks[0].b2.value.cols();
+        2 * self.num_features * d + self.blocks.len() * per_block + d + 1
+    }
+
+    fn embed(&self, features: &[f32]) -> Matrix {
+        let d = self.model_dim;
+        Matrix::from_fn(self.num_features, d, |t, j| {
+            features[t] * self.embed_w.value.get(t, j) + self.embed_b.value.get(t, j)
+        })
+    }
+
+    fn block_forward(block: &Block, x: &Matrix) -> (Matrix, BlockCache) {
+        let d = x.cols();
+        #[allow(clippy::cast_precision_loss)]
+        let inv_sqrt_d = 1.0 / (d as f32).sqrt();
+        let q = x.matmul(&block.wq.value);
+        let k = x.matmul(&block.wk.value);
+        let v = x.matmul(&block.wv.value);
+        let mut scores = q.matmul_t(&k);
+        scores.map_inplace(|s| s * inv_sqrt_d);
+        let attn = softmax_rows(&scores);
+        let z = attn.matmul(&v);
+        let o = z.matmul(&block.wo.value);
+        let x1 = add(x, &o);
+        let mut h_pre = x1.matmul(&block.w1.value);
+        h_pre.add_row_broadcast(block.b1.value.row(0));
+        let mut h = h_pre.clone();
+        h.map_inplace(|v| v.max(0.0));
+        let mut f = h.matmul(&block.w2.value);
+        f.add_row_broadcast(block.b2.value.row(0));
+        let x2 = add(&x1, &f);
+        (
+            x2,
+            BlockCache {
+                x: x.clone(),
+                q,
+                k,
+                v,
+                attn,
+                z,
+                x1,
+                h_pre,
+                h,
+            },
+        )
+    }
+
+    /// Backward through one block; accumulates parameter grads and returns
+    /// the gradient w.r.t. the block input.
+    #[allow(clippy::cast_precision_loss)]
+    fn block_backward(block: &mut Block, cache: &BlockCache, dx2: &Matrix) -> Matrix {
+        let d = cache.x.cols();
+        let inv_sqrt_d = 1.0 / (d as f32).sqrt();
+
+        // FFN: x2 = x1 + relu(x1 W1 + b1) W2 + b2
+        let df = dx2; // gradient into the FFN output
+        block.w2.accumulate(&cache.h.t_matmul(df));
+        block
+            .b2
+            .accumulate(&Matrix::from_vec(1, df.cols(), df.column_sums()));
+        let mut dh = df.matmul_t(&block.w2.value);
+        for (g, &pre) in dh.as_mut_slice().iter_mut().zip(cache.h_pre.as_slice()) {
+            if pre <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        block.w1.accumulate(&cache.x1.t_matmul(&dh));
+        block
+            .b1
+            .accumulate(&Matrix::from_vec(1, dh.cols(), dh.column_sums()));
+        let mut dx1 = dh.matmul_t(&block.w1.value);
+        // Residual around the FFN.
+        dx1 = add(&dx1, dx2);
+
+        // Attention: x1 = x + softmax(QKᵀ/√d) V Wo
+        let do_ = &dx1;
+        block.wo.accumulate(&cache.z.t_matmul(do_));
+        let dz = do_.matmul_t(&block.wo.value);
+        let dattn = dz.matmul_t(&cache.v);
+        let dv = cache.attn.t_matmul(&dz);
+        // Softmax backward per row.
+        let t = cache.attn.rows();
+        let mut dscores = Matrix::zeros(t, t);
+        for r in 0..t {
+            let a = cache.attn.row(r);
+            let da = dattn.row(r);
+            let dot: f32 = a.iter().zip(da).map(|(&ai, &di)| ai * di).sum();
+            for c in 0..t {
+                dscores.set(r, c, a[c] * (da[c] - dot) * inv_sqrt_d);
+            }
+        }
+        let dq = dscores.matmul(&cache.k);
+        let dk = dscores.t_matmul(&cache.q);
+        block.wq.accumulate(&cache.x.t_matmul(&dq));
+        block.wk.accumulate(&cache.x.t_matmul(&dk));
+        block.wv.accumulate(&cache.x.t_matmul(&dv));
+        let mut dx = dq.matmul_t(&block.wq.value);
+        dx = add(&dx, &dk.matmul_t(&block.wk.value));
+        dx = add(&dx, &dv.matmul_t(&block.wv.value));
+        // Residual around attention.
+        add(&dx, &dx1)
+    }
+
+    /// Predicts the scalar output for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the construction width.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn predict(&self, features: &[f32]) -> f32 {
+        assert_eq!(features.len(), self.num_features, "feature width mismatch");
+        let mut x = self.embed(features);
+        for block in &self.blocks {
+            let (next, _) = TransformerRegressor::block_forward(block, &x);
+            x = next;
+        }
+        let t = x.rows() as f32;
+        let mut y = self.head_b.value.get(0, 0);
+        for j in 0..self.model_dim {
+            let mean: f32 = (0..x.rows()).map(|r| x.get(r, j)).sum::<f32>() / t;
+            y += mean * self.head_w.value.get(j, 0);
+        }
+        y
+    }
+
+    /// One forward + backward pass for a sample; returns the prediction.
+    #[allow(clippy::cast_precision_loss)]
+    fn accumulate_sample(&mut self, features: &[f32], dloss_dpred: impl Fn(f32) -> f32) -> f32 {
+        let x0 = self.embed(features);
+        let mut caches = Vec::with_capacity(self.blocks.len());
+        let mut x = x0.clone();
+        for block in &self.blocks {
+            let (next, cache) = TransformerRegressor::block_forward(block, &x);
+            caches.push(cache);
+            x = next;
+        }
+        let t = x.rows() as f32;
+        let mut y = self.head_b.value.get(0, 0);
+        let pooled: Vec<f32> = (0..self.model_dim)
+            .map(|j| (0..x.rows()).map(|r| x.get(r, j)).sum::<f32>() / t)
+            .collect();
+        for (j, &p) in pooled.iter().enumerate() {
+            y += p * self.head_w.value.get(j, 0);
+        }
+
+        let dy = dloss_dpred(y);
+        // Head gradients.
+        self.head_b.accumulate(&Matrix::from_vec(1, 1, vec![dy]));
+        self.head_w.accumulate(&Matrix::from_vec(
+            self.model_dim,
+            1,
+            pooled.iter().map(|&p| p * dy).collect(),
+        ));
+        // Pooling backward: every token row gets wh·dy / T.
+        let dx_last = Matrix::from_fn(x.rows(), self.model_dim, |_, j| {
+            self.head_w.value.get(j, 0) * dy / t
+        });
+        let mut dx = dx_last;
+        for (block, cache) in self.blocks.iter_mut().zip(caches.iter()).rev() {
+            dx = TransformerRegressor::block_backward(block, cache, &dx);
+        }
+        // Embedding backward: X0[t] = x_t * w[t] + b[t].
+        let dembed_w = Matrix::from_fn(self.num_features, self.model_dim, |ti, j| {
+            features[ti] * dx.get(ti, j)
+        });
+        self.embed_w.accumulate(&dembed_w);
+        self.embed_b.accumulate(&dx);
+        y
+    }
+
+    fn visit_tensors(&mut self, mut f: impl FnMut(&mut Tensor)) {
+        f(&mut self.embed_w);
+        f(&mut self.embed_b);
+        for block in &mut self.blocks {
+            f(&mut block.wq);
+            f(&mut block.wk);
+            f(&mut block.wv);
+            f(&mut block.wo);
+            f(&mut block.w1);
+            f(&mut block.b1);
+            f(&mut block.w2);
+            f(&mut block.b2);
+        }
+        f(&mut self.head_w);
+        f(&mut self.head_b);
+    }
+
+    /// Trains on a dataset with the given loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or feature widths mismatch.
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+    pub fn fit(&mut self, data: &Dataset, loss: Loss, config: &TransformerConfig) -> f32 {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut last_epoch_loss = f32::NAN;
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            for batch in order.chunks(config.batch_size.max(1)) {
+                self.visit_tensors(Tensor::zero_grad);
+                let inv = 1.0 / batch.len() as f32;
+                for &idx in batch {
+                    let sample = &data.samples()[idx];
+                    let target = sample.target;
+                    let y = self.accumulate_sample(&sample.features, |pred| {
+                        loss.gradient(pred, target) * inv
+                    });
+                    epoch_loss += f64::from(loss.value(y, target));
+                }
+                self.steps += 1;
+                let t = self.steps as f32;
+                let lr = config.lr;
+                self.visit_tensors(|tensor| tensor.adam_step(lr, t));
+            }
+            last_epoch_loss = (epoch_loss / data.len() as f64) as f32;
+        }
+        last_epoch_loss
+    }
+}
+
+fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    let mut out = a.clone();
+    for (x, y) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+    out
+}
+
+fn softmax_rows(scores: &Matrix) -> Matrix {
+    let mut out = scores.clone();
+    let cols = out.cols();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+        debug_assert_eq!(row.len(), cols);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::Sample;
+
+    fn toy_config() -> TransformerConfig {
+        TransformerConfig {
+            num_blocks: 2,
+            model_dim: 8,
+            ff_dim: 16,
+            lr: 5e-3,
+            epochs: 80,
+            batch_size: 16,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn softmax_rows_normalizes() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax_rows(&m);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(s.row(r).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn predicts_deterministically() {
+        let cfg = toy_config();
+        let model = TransformerRegressor::new(4, &cfg);
+        let a = model.predict(&[0.1, 0.2, 0.3, 0.4]);
+        let b = model.predict(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(a, b);
+        assert!(model.num_params() > 0);
+    }
+
+    #[test]
+    fn fits_additive_function() {
+        // y = 2 x0 - x1 + 0.5 x2
+        let samples: Vec<Sample> = (0..96)
+            .map(|i| {
+                let x0 = (i % 8) as f32 / 8.0;
+                let x1 = ((i / 8) % 4) as f32 / 4.0;
+                let x2 = (i / 32) as f32 / 3.0;
+                Sample::new(vec![x0, x1, x2], vec![], 2.0 * x0 - x1 + 0.5 * x2)
+            })
+            .collect();
+        let data = Dataset::new(samples);
+        let cfg = toy_config();
+        let mut model = TransformerRegressor::new(3, &cfg);
+        let final_loss = model.fit(&data, Loss::Mse, &cfg);
+        assert!(final_loss < 0.02, "final loss {final_loss}");
+    }
+
+    /// Finite-difference gradient check through attention and FFN.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let cfg = TransformerConfig {
+            num_blocks: 1,
+            model_dim: 4,
+            ff_dim: 8,
+            ..toy_config()
+        };
+        let mut model = TransformerRegressor::new(3, &cfg);
+        let features = [0.3f32, -0.7, 1.1];
+        let target = 0.5f32;
+
+        model.visit_tensors(Tensor::zero_grad);
+        let _ = model.accumulate_sample(&features, |pred| Loss::Mse.gradient(pred, target));
+
+        // Check a few weights in the attention and FFN paths.
+        let eps = 1e-2f32;
+        let loss_of = |m: &TransformerRegressor| {
+            let y = m.predict(&features);
+            Loss::Mse.value(y, target)
+        };
+        // wq[0], w1[0], embed_w[0], head_w[0]
+        let checks: Vec<(String, f32, Box<dyn Fn(&mut TransformerRegressor, f32)>)> = vec![
+            (
+                "wq".into(),
+                model.blocks[0].wq.grad.as_ref().unwrap().as_slice()[0],
+                Box::new(|m, v| m.blocks[0].wq.value.as_mut_slice()[0] = v),
+            ),
+            (
+                "w1".into(),
+                model.blocks[0].w1.grad.as_ref().unwrap().as_slice()[0],
+                Box::new(|m, v| m.blocks[0].w1.value.as_mut_slice()[0] = v),
+            ),
+            (
+                "embed_w".into(),
+                model.embed_w.grad.as_ref().unwrap().as_slice()[0],
+                Box::new(|m, v| m.embed_w.value.as_mut_slice()[0] = v),
+            ),
+            (
+                "head_w".into(),
+                model.head_w.grad.as_ref().unwrap().as_slice()[0],
+                Box::new(|m, v| m.head_w.value.as_mut_slice()[0] = v),
+            ),
+        ];
+        let originals = [
+            model.blocks[0].wq.value.as_slice()[0],
+            model.blocks[0].w1.value.as_slice()[0],
+            model.embed_w.value.as_slice()[0],
+            model.head_w.value.as_slice()[0],
+        ];
+        for ((name, analytic, setter), &orig) in checks.into_iter().zip(&originals) {
+            setter(&mut model, orig + eps);
+            let plus = loss_of(&model);
+            setter(&mut model, orig - eps);
+            let minus = loss_of(&model);
+            setter(&mut model, orig);
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 3e-2 * (1.0 + numeric.abs()),
+                "{name}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let cfg = toy_config();
+        let model = TransformerRegressor::new(4, &cfg);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: TransformerRegressor = serde_json::from_str(&json).unwrap();
+        let x = [0.5f32, -0.5, 1.0, 2.0];
+        assert_eq!(model.predict(&x), back.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn wrong_width_panics() {
+        let model = TransformerRegressor::new(4, &toy_config());
+        let _ = model.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Differentiable output heads.
+//!
+//! A head maps the raw outputs of an MLP (plus optional per-sample auxiliary
+//! values that are not learned, such as the wave count) to the scalar the
+//! loss is computed on. NeuSight's key head is [`AlphaBetaHead`], the
+//! paper's Equations 7–8:
+//!
+//! ```text
+//! alpha, beta = σ(MLP(features))
+//! utilization = alpha − beta / num_waves
+//! ```
+//!
+//! Bounding `alpha` and `beta` through a sigmoid constrains the predicted
+//! utilization below 1, which is what lets the prediction respect hardware
+//! performance laws even far outside the training distribution.
+
+/// Logistic sigmoid.
+#[must_use]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Derivative of the sigmoid expressed via its output `s = σ(x)`.
+#[must_use]
+pub fn sigmoid_grad_from_output(s: f32) -> f32 {
+    s * (1.0 - s)
+}
+
+/// A differentiable map from raw MLP outputs to a scalar prediction.
+///
+/// Implementors receive the per-sample auxiliary slice given to
+/// [`crate::Sample::new`]; `raw` has length [`Head::raw_dim`].
+pub trait Head {
+    /// Number of raw MLP outputs this head consumes.
+    fn raw_dim(&self) -> usize;
+
+    /// Computes the prediction from raw outputs and auxiliary values.
+    fn forward(&self, raw: &[f32], aux: &[f32]) -> f32;
+
+    /// Accumulates `∂loss/∂raw` into `draw`, given `∂loss/∂prediction`.
+    fn backward(&self, raw: &[f32], aux: &[f32], dpred: f32, draw: &mut [f32]);
+}
+
+/// Identity head: the prediction is the single raw output. Used by the
+/// Habitat-style direct-latency baselines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectHead;
+
+impl Head for DirectHead {
+    fn raw_dim(&self) -> usize {
+        1
+    }
+
+    fn forward(&self, raw: &[f32], _aux: &[f32]) -> f32 {
+        raw[0]
+    }
+
+    fn backward(&self, _raw: &[f32], _aux: &[f32], dpred: f32, draw: &mut [f32]) {
+        draw[0] += dpred;
+    }
+}
+
+/// Sigmoid head: prediction = σ(raw₀), bounded to `(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SigmoidHead;
+
+impl Head for SigmoidHead {
+    fn raw_dim(&self) -> usize {
+        1
+    }
+
+    fn forward(&self, raw: &[f32], _aux: &[f32]) -> f32 {
+        sigmoid(raw[0])
+    }
+
+    fn backward(&self, raw: &[f32], _aux: &[f32], dpred: f32, draw: &mut [f32]) {
+        let s = sigmoid(raw[0]);
+        draw[0] += dpred * sigmoid_grad_from_output(s);
+    }
+}
+
+/// NeuSight's utilization head (Eq. 7–8): `σ(raw₀) − σ(raw₁) / waves`,
+/// where `waves = aux[0]` is the kernel's wave count (Eq. 3).
+///
+/// The prediction is strictly below 1 (and above −1) by construction; it
+/// approaches `alpha` as the wave count grows, modeling the latency-hiding
+/// saturation of Figure 5 in the paper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlphaBetaHead;
+
+impl AlphaBetaHead {
+    /// Decodes the (alpha, beta) pair from raw outputs.
+    #[must_use]
+    pub fn alpha_beta(raw: &[f32]) -> (f32, f32) {
+        (sigmoid(raw[0]), sigmoid(raw[1]))
+    }
+}
+
+impl Head for AlphaBetaHead {
+    fn raw_dim(&self) -> usize {
+        2
+    }
+
+    /// # Panics
+    ///
+    /// Panics (in debug) if `aux` is empty or the wave count is < 1.
+    fn forward(&self, raw: &[f32], aux: &[f32]) -> f32 {
+        let waves = aux[0];
+        debug_assert!(waves >= 1.0, "wave count must be >= 1");
+        let (alpha, beta) = AlphaBetaHead::alpha_beta(raw);
+        alpha - beta / waves
+    }
+
+    fn backward(&self, raw: &[f32], aux: &[f32], dpred: f32, draw: &mut [f32]) {
+        let waves = aux[0];
+        let (alpha, beta) = AlphaBetaHead::alpha_beta(raw);
+        // ∂u/∂raw₀ = σ'(raw₀);  ∂u/∂raw₁ = −σ'(raw₁)/waves
+        draw[0] += dpred * sigmoid_grad_from_output(alpha);
+        draw[1] += dpred * (-sigmoid_grad_from_output(beta) / waves);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+    }
+
+    #[test]
+    fn alpha_beta_bounded_below_one() {
+        let head = AlphaBetaHead;
+        for raw0 in [-5.0f32, 0.0, 5.0, 50.0] {
+            for raw1 in [-5.0f32, 0.0, 5.0] {
+                for waves in [1.0f32, 2.0, 100.0] {
+                    let u = head.forward(&[raw0, raw1], &[waves]);
+                    assert!(u < 1.0, "utilization {u} not < 1");
+                    assert!(u > -1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_increases_with_waves() {
+        let head = AlphaBetaHead;
+        let raw = [1.0f32, 0.5];
+        let u1 = head.forward(&raw, &[1.0]);
+        let u4 = head.forward(&raw, &[4.0]);
+        let u100 = head.forward(&raw, &[100.0]);
+        assert!(u1 < u4 && u4 < u100);
+        // Converges to alpha.
+        let (alpha, _) = AlphaBetaHead::alpha_beta(&raw);
+        assert!((u100 - alpha).abs() < 0.01);
+    }
+
+    #[test]
+    fn head_gradients_match_finite_differences() {
+        let eps = 1e-3f32;
+        let heads: Vec<(Box<dyn Head>, Vec<f32>, Vec<f32>)> = vec![
+            (Box::new(DirectHead), vec![0.7], vec![]),
+            (Box::new(SigmoidHead), vec![0.3], vec![]),
+            (Box::new(AlphaBetaHead), vec![0.4, -0.6], vec![3.0]),
+        ];
+        for (head, raw, aux) in heads {
+            let mut draw = vec![0.0f32; head.raw_dim()];
+            head.backward(&raw, &aux, 1.0, &mut draw);
+            for i in 0..head.raw_dim() {
+                let mut plus = raw.clone();
+                plus[i] += eps;
+                let mut minus = raw.clone();
+                minus[i] -= eps;
+                let numeric =
+                    (head.forward(&plus, &aux) - head.forward(&minus, &aux)) / (2.0 * eps);
+                assert!(
+                    (draw[i] - numeric).abs() < 1e-3 * (1.0 + numeric.abs()),
+                    "raw[{i}]: analytic {} vs numeric {numeric}",
+                    draw[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_accumulates() {
+        let head = DirectHead;
+        let mut draw = vec![0.0f32];
+        head.backward(&[0.0], &[], 1.5, &mut draw);
+        head.backward(&[0.0], &[], 0.5, &mut draw);
+        assert!((draw[0] - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,161 @@
+//! Training objectives with analytic gradients.
+//!
+//! The paper uses mean absolute percentage error (MAPE) for the Habitat
+//! baseline and symmetric MAPE (SMAPE, [Tofallis 2015]) for NeuSight's own
+//! predictors (§6.1). MSE is provided for tests and toy fits.
+//!
+//! [Tofallis 2015]: https://doi.org/10.1057/jors.2014.103
+
+use serde::{Deserialize, Serialize};
+
+/// Numerical floor that keeps percentage losses finite near zero targets.
+const EPS: f32 = 1e-8;
+
+/// A scalar regression loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error: `(p − t)²`.
+    Mse,
+    /// Mean absolute percentage error: `|p − t| / |t|`.
+    Mape,
+    /// Symmetric MAPE: `2|p − t| / (|p| + |t|)`.
+    Smape,
+}
+
+impl Loss {
+    /// Loss value for one prediction/target pair.
+    #[must_use]
+    pub fn value(self, prediction: f32, target: f32) -> f32 {
+        match self {
+            Loss::Mse => {
+                let d = prediction - target;
+                d * d
+            }
+            Loss::Mape => (prediction - target).abs() / target.abs().max(EPS),
+            Loss::Smape => {
+                2.0 * (prediction - target).abs() / (prediction.abs() + target.abs()).max(EPS)
+            }
+        }
+    }
+
+    /// `∂loss/∂prediction` for one pair.
+    #[must_use]
+    pub fn gradient(self, prediction: f32, target: f32) -> f32 {
+        match self {
+            Loss::Mse => 2.0 * (prediction - target),
+            Loss::Mape => (prediction - target).signum() / target.abs().max(EPS),
+            Loss::Smape => {
+                let diff = prediction - target;
+                let denom = (prediction.abs() + target.abs()).max(EPS);
+                let num = 2.0 * diff.abs();
+                // d/dp [ 2|d| / (|p|+|t|) ]
+                (2.0 * diff.signum()) / denom - num * prediction.signum() / (denom * denom)
+            }
+        }
+    }
+
+    /// Mean loss across a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are empty.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mean(self, predictions: &[f32], targets: &[f32]) -> f32 {
+        assert_eq!(predictions.len(), targets.len(), "batch length mismatch");
+        assert!(!predictions.is_empty(), "empty batch");
+        predictions
+            .iter()
+            .zip(targets)
+            .map(|(&p, &t)| self.value(p, t))
+            .sum::<f32>()
+            / predictions.len() as f32
+    }
+}
+
+/// Mean absolute percentage error of a batch, in percent — the headline
+/// metric the paper reports everywhere ("percentage error").
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn mape_percent(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "batch length mismatch");
+    assert!(!predictions.is_empty(), "empty batch");
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| (p - t).abs() / t.abs().max(f64::from(EPS)))
+        .sum::<f64>()
+        / predictions.len() as f64
+        * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_value_and_gradient() {
+        assert!((Loss::Mse.value(3.0, 1.0) - 4.0).abs() < 1e-6);
+        assert!((Loss::Mse.gradient(3.0, 1.0) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mape_value() {
+        assert!((Loss::Mape.value(110.0, 100.0) - 0.1).abs() < 1e-6);
+        assert!((Loss::Mape.value(90.0, 100.0) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smape_is_symmetric_in_percent_terms() {
+        // SMAPE treats over- and under-prediction by the same *ratio*
+        // symmetrically: smape(a, b) == smape(b, a).
+        let ab = Loss::Smape.value(120.0, 100.0);
+        let ba = Loss::Smape.value(100.0, 120.0);
+        assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smape_bounded_by_two() {
+        assert!(Loss::Smape.value(1e6, 1e-6) <= 2.0 + 1e-6);
+        assert!(Loss::Smape.value(0.0, 5.0) <= 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let eps = 1e-3f32;
+        for loss in [Loss::Mse, Loss::Mape, Loss::Smape] {
+            for (p, t) in [(0.8f32, 0.5f32), (0.2, 0.6), (1.4, 1.0), (0.05, 0.4)] {
+                let analytic = loss.gradient(p, t);
+                let numeric = (loss.value(p + eps, t) - loss.value(p - eps, t)) / (2.0 * eps);
+                assert!(
+                    (analytic - numeric).abs() < 1e-2 * (1.0 + numeric.abs()),
+                    "{loss:?} at ({p},{t}): analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_mean() {
+        let preds = [1.0f32, 2.0];
+        let targets = [1.0f32, 1.0];
+        assert!((Loss::Mse.mean(&preds, &targets) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mape_percent_metric() {
+        let preds = [110.0f64, 95.0];
+        let targets = [100.0f64, 100.0];
+        assert!((mape_percent(&preds, &targets) - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let _ = Loss::Mse.mean(&[], &[]);
+    }
+}

@@ -1,0 +1,376 @@
+//! A minimal row-major `f32` matrix with the handful of operations a dense
+//! MLP needs: GEMM (plain, and with either operand transposed), row-vector
+//! broadcast addition, and element-wise maps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Row-major `f32` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the row-major backing storage.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major backing storage.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row index out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable borrow of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    #[must_use]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        assert!(row < self.rows, "row index out of bounds");
+        let cols = self.cols;
+        &mut self.data[row * cols..(row + 1) * cols]
+    }
+
+    /// `self · other` using an ikj loop order (streams the inner operand
+    /// row-wise for cache locality).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    #[must_use]
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b_kj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose. Used for weight
+    /// gradients (`Xᵀ · dY`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    #[must_use]
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul shape mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let b_row = &other.data[r * other.cols..(r + 1) * other.cols];
+            for (i, &a_ri) in a_row.iter().enumerate() {
+                if a_ri == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b_rj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ri * b_rj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose. Used for input
+    /// gradients (`dY · Wᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    #[must_use]
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t shape mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..other.rows {
+                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Adds `bias` (length = `cols`) to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Sums each column into a vector of length `cols` (used for bias
+    /// gradients).
+    #[must_use]
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.cols];
+        for row in self.data.chunks_exact(self.cols) {
+            for (s, &v) in sums.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn a23() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    fn b32() -> Matrix {
+        Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0])
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let c = a23().matmul(&b32());
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        // (2x3)ᵀ · (2x2) = 3x2
+        let a = a23();
+        let d = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let got = a.t_matmul(&d);
+        let a_t = Matrix::from_fn(3, 2, |r, c| a.get(c, r));
+        let expected = a_t.matmul(&d);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        // (2x3) · (4x3)ᵀ = 2x4
+        let a = a23();
+        let b = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        let got = a.matmul_t(&b);
+        let b_t = Matrix::from_fn(3, 4, |r, c| b.get(c, r));
+        let expected = a.matmul(&b_t);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn broadcast_and_column_sums() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_row_broadcast(&[1.0, -2.0]);
+        assert_eq!(m.as_slice(), &[1.0, -2.0, 1.0, -2.0, 1.0, -2.0]);
+        assert_eq!(m.column_sums(), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn map_and_norm() {
+        let mut m = Matrix::from_vec(1, 3, vec![3.0, -4.0, 0.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+        m.map_inplace(|v| v.max(0.0));
+        assert_eq!(m.as_slice(), &[3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn row_accessors() {
+        let mut m = a23();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        m.row_mut(0)[2] = 99.0;
+        assert_eq!(m.get(0, 2), 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let _ = a23().matmul(&a23());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    proptest! {
+        /// Matmul is associative-with-identity: A·I = A.
+        #[test]
+        fn matmul_identity(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+            let mut state = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let mut next = || {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                ((state >> 33) as f32 / 2_147_483_648.0) - 0.5
+            };
+            let a = Matrix::from_fn(rows, cols, |_, _| next());
+            let eye = Matrix::from_fn(cols, cols, |r, c| if r == c { 1.0 } else { 0.0 });
+            let prod = a.matmul(&eye);
+            for (x, y) in a.as_slice().iter().zip(prod.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-5);
+            }
+        }
+
+        /// (A·B)ᵀ = Bᵀ·Aᵀ, exercised via t_matmul/matmul_t consistency.
+        #[test]
+        fn transpose_product_identity(m in 1usize..6, k in 1usize..6, n in 1usize..6) {
+            let a = Matrix::from_fn(m, k, |r, c| (r + 2 * c) as f32 * 0.25 - 0.5);
+            let b = Matrix::from_fn(k, n, |r, c| (2 * r + c) as f32 * 0.125 - 0.25);
+            let ab = a.matmul(&b);
+            // matmul_t(B_T-shaped) route: A · (Bᵀ)ᵀ where we pass B as the
+            // "other" of t_matmul from the left.
+            let ab2 = {
+                // (Aᵀ)ᵀ·B via t_matmul of explicit transpose.
+                let a_t = Matrix::from_fn(k, m, |r, c| a.get(c, r));
+                a_t.t_matmul(&b)
+            };
+            for (x, y) in ab.as_slice().iter().zip(ab2.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Learning-rate schedules: warmup + constant / cosine decay / step decay.
+//!
+//! The paper tunes per-family learning rates (§6.1); schedules let the
+//! trainer start each family near its tuned rate and decay as the
+//! utilization surface is pinned down.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule over epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    #[default]
+    Constant,
+    /// Linear warmup for `warmup_epochs`, then cosine decay to
+    /// `floor_fraction × base_lr` over the remaining epochs.
+    Cosine {
+        /// Epochs of linear warmup from 0 to the base rate.
+        warmup_epochs: usize,
+        /// Final rate as a fraction of the base rate, in `[0, 1]`.
+        floor_fraction: f32,
+    },
+    /// Multiply the rate by `gamma` every `every_epochs` epochs.
+    Step {
+        /// Epoch interval between decays.
+        every_epochs: usize,
+        /// Multiplicative decay factor, in `(0, 1]`.
+        gamma: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate for `epoch` (0-based) out of `total_epochs`,
+    /// given the base rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_epochs` is zero.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn lr_at(self, base_lr: f32, epoch: usize, total_epochs: usize) -> f32 {
+        assert!(total_epochs > 0, "need at least one epoch");
+        match self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::Cosine {
+                warmup_epochs,
+                floor_fraction,
+            } => {
+                if warmup_epochs > 0 && epoch < warmup_epochs {
+                    return base_lr * (epoch + 1) as f32 / warmup_epochs as f32;
+                }
+                let decay_epochs = total_epochs.saturating_sub(warmup_epochs).max(1);
+                let progress = (epoch - warmup_epochs.min(epoch)) as f32 / decay_epochs as f32;
+                let floor = base_lr * floor_fraction.clamp(0.0, 1.0);
+                let cosine = 0.5 * (1.0 + (std::f32::consts::PI * progress.min(1.0)).cos());
+                floor + (base_lr - floor) * cosine
+            }
+            LrSchedule::Step {
+                every_epochs,
+                gamma,
+            } => {
+                let steps = if every_epochs == 0 {
+                    0
+                } else {
+                    epoch / every_epochs
+                };
+                #[allow(clippy::cast_possible_truncation)]
+                (base_lr * gamma.powi(i32::try_from(steps).unwrap_or(i32::MAX)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        for epoch in 0..10 {
+            assert_eq!(LrSchedule::Constant.lr_at(1e-3, epoch, 10), 1e-3);
+        }
+    }
+
+    #[test]
+    fn cosine_warms_up_then_decays() {
+        let s = LrSchedule::Cosine {
+            warmup_epochs: 5,
+            floor_fraction: 0.1,
+        };
+        let base = 1e-2;
+        // Warmup ramps linearly.
+        assert!(s.lr_at(base, 0, 100) < s.lr_at(base, 4, 100));
+        assert!((s.lr_at(base, 4, 100) - base).abs() < 1e-9);
+        // Decay is monotone down to the floor.
+        let mut last = base;
+        for epoch in 5..100 {
+            let lr = s.lr_at(base, epoch, 100);
+            assert!(lr <= last + 1e-9, "epoch {epoch}: {lr} > {last}");
+            last = lr;
+        }
+        assert!((s.lr_at(base, 99, 100) - base * 0.1).abs() < base * 0.05);
+    }
+
+    #[test]
+    fn step_decays_in_plateaus() {
+        let s = LrSchedule::Step {
+            every_epochs: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.lr_at(1.0, 0, 40), 1.0);
+        assert_eq!(s.lr_at(1.0, 9, 40), 1.0);
+        assert_eq!(s.lr_at(1.0, 10, 40), 0.5);
+        assert_eq!(s.lr_at(1.0, 25, 40), 0.25);
+    }
+
+    #[test]
+    fn rates_always_positive() {
+        for schedule in [
+            LrSchedule::Constant,
+            LrSchedule::Cosine {
+                warmup_epochs: 3,
+                floor_fraction: 0.0,
+            },
+            LrSchedule::Step {
+                every_epochs: 1,
+                gamma: 0.9,
+            },
+        ] {
+            for epoch in 0..50 {
+                let lr = schedule.lr_at(1e-3, epoch, 50);
+                assert!(lr >= 0.0 && lr.is_finite());
+            }
+        }
+    }
+}

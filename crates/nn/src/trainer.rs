@@ -1,0 +1,470 @@
+//! Mini-batch training loop: shuffling, batching, head-aware
+//! backpropagation, gradient clipping, and evaluation.
+
+use crate::head::Head;
+use crate::loss::Loss;
+use crate::matrix::Matrix;
+use crate::mlp::Mlp;
+use crate::optim::AdamW;
+use crate::schedule::LrSchedule;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One training example: MLP input features, auxiliary head inputs (not
+/// learned, e.g. the wave count), and a scalar regression target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// MLP input features.
+    pub features: Vec<f32>,
+    /// Auxiliary values passed to the [`Head`] (e.g. `num_waves`).
+    pub aux: Vec<f32>,
+    /// Regression target.
+    pub target: f32,
+}
+
+impl Sample {
+    /// Creates a sample.
+    #[must_use]
+    pub fn new(features: Vec<f32>, aux: Vec<f32>, target: f32) -> Sample {
+        Sample {
+            features,
+            aux,
+            target,
+        }
+    }
+}
+
+/// An in-memory dataset of [`Sample`]s.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Wraps a vector of samples.
+    #[must_use]
+    pub fn new(samples: Vec<Sample>) -> Dataset {
+        Dataset { samples }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Borrow of the samples.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Feature dimensionality (0 for an empty dataset).
+    #[must_use]
+    pub fn feature_dim(&self) -> usize {
+        self.samples.first().map_or(0, |s| s.features.len())
+    }
+
+    /// Splits into `(train, holdout)` where `holdout_fraction` of the
+    /// (shuffled) samples go to the holdout set — the paper reserves 20 %
+    /// for validation (§6.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `holdout_fraction` is outside `[0, 1)`.
+    #[must_use]
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    pub fn split(&self, holdout_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..1.0).contains(&holdout_fraction),
+            "holdout fraction must be in [0, 1)"
+        );
+        let mut indices: Vec<usize> = (0..self.samples.len()).collect();
+        indices.shuffle(&mut StdRng::seed_from_u64(seed));
+        let holdout_len = (self.samples.len() as f64 * holdout_fraction).round() as usize;
+        let (holdout_idx, train_idx) = indices.split_at(holdout_len.min(self.samples.len()));
+        let pick =
+            |idx: &[usize]| Dataset::new(idx.iter().map(|&i| self.samples[i].clone()).collect());
+        (pick(train_idx), pick(holdout_idx))
+    }
+}
+
+impl FromIterator<Sample> for Dataset {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Dataset {
+        Dataset::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Sample> for Dataset {
+    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+/// Hyper-parameters for [`Trainer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// AdamW learning rate.
+    pub lr: f32,
+    /// AdamW decoupled weight decay.
+    pub weight_decay: f32,
+    /// Global-norm gradient clipping threshold; `None` disables clipping.
+    pub grad_clip: Option<f32>,
+    /// Learning-rate schedule applied over the epochs.
+    pub lr_schedule: LrSchedule,
+    /// Stop after this many epochs without training-loss improvement;
+    /// `None` disables early stopping.
+    pub early_stop_patience: Option<usize>,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig {
+            epochs: 100,
+            batch_size: 64,
+            lr: 1e-3,
+            weight_decay: 1e-4,
+            grad_clip: Some(5.0),
+            lr_schedule: LrSchedule::Constant,
+            early_stop_patience: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training loss per epoch, in order.
+    pub epoch_losses: Vec<f32>,
+    /// Loss of the final epoch.
+    pub final_train_loss: f32,
+    /// Whether early stopping ended the run before the epoch budget.
+    pub stopped_early: bool,
+}
+
+/// Mini-batch trainer binding an [`Mlp`], a [`Head`] and a [`Loss`].
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    #[must_use]
+    pub fn new(config: TrainConfig) -> Trainer {
+        Trainer { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `mlp` in place on `data` and reports per-epoch losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, if the MLP's output dimension differs
+    /// from `head.raw_dim()`, or if samples have inconsistent feature
+    /// widths.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn fit(&self, mlp: &mut Mlp, head: &dyn Head, loss: Loss, data: &Dataset) -> TrainReport {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert_eq!(
+            mlp.output_dim(),
+            head.raw_dim(),
+            "MLP output dim must match head raw dim"
+        );
+        let dim = data.feature_dim();
+        assert_eq!(mlp.input_dim(), dim, "MLP input dim must match features");
+
+        let mut opt = AdamW::new(self.config.lr, self.config.weight_decay);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let mut best_loss = f32::INFINITY;
+        let mut epochs_since_best = 0usize;
+        let mut stopped_early = false;
+
+        for epoch in 0..self.config.epochs {
+            opt.lr = self
+                .config
+                .lr_schedule
+                .lr_at(self.config.lr, epoch, self.config.epochs);
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            for batch in order.chunks(self.config.batch_size.max(1)) {
+                let bsz = batch.len();
+                let mut x = Matrix::zeros(bsz, dim);
+                for (r, &idx) in batch.iter().enumerate() {
+                    let sample = &data.samples()[idx];
+                    assert_eq!(sample.features.len(), dim, "ragged feature widths");
+                    x.row_mut(r).copy_from_slice(&sample.features);
+                }
+                mlp.zero_grad();
+                let raw = mlp.forward_train(&x);
+                let mut draw = Matrix::zeros(bsz, head.raw_dim());
+                for (r, &idx) in batch.iter().enumerate() {
+                    let sample = &data.samples()[idx];
+                    let pred = head.forward(raw.row(r), &sample.aux);
+                    epoch_loss += f64::from(loss.value(pred, sample.target));
+                    let dpred = loss.gradient(pred, sample.target) / bsz as f32;
+                    head.backward(raw.row(r), &sample.aux, dpred, draw.row_mut(r));
+                }
+                mlp.backward(draw);
+                if let Some(clip) = self.config.grad_clip {
+                    let norm = mlp.grad_norm();
+                    if norm > clip {
+                        mlp.scale_grads(clip / norm);
+                    }
+                }
+                opt.step(mlp);
+            }
+            let mean_loss = (epoch_loss / data.len() as f64) as f32;
+            epoch_losses.push(mean_loss);
+            if mean_loss < best_loss * 0.999 {
+                best_loss = mean_loss;
+                epochs_since_best = 0;
+            } else {
+                epochs_since_best += 1;
+                if let Some(patience) = self.config.early_stop_patience {
+                    if epochs_since_best >= patience {
+                        stopped_early = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let final_train_loss = epoch_losses.last().copied().unwrap_or(f32::NAN);
+        TrainReport {
+            epoch_losses,
+            final_train_loss,
+            stopped_early,
+        }
+    }
+
+    /// Mean loss of the model on a dataset (no training).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    #[allow(clippy::cast_precision_loss)]
+    #[must_use]
+    pub fn evaluate(mlp: &Mlp, head: &dyn Head, loss: Loss, data: &Dataset) -> f32 {
+        assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
+        let mut total = 0.0f64;
+        for sample in data.samples() {
+            let pred = predict(mlp, head, sample);
+            total += f64::from(loss.value(pred, sample.target));
+        }
+        (total / data.len() as f64) as f32
+    }
+}
+
+/// Runs one sample through the network and head.
+#[must_use]
+pub fn predict(mlp: &Mlp, head: &dyn Head, sample: &Sample) -> f32 {
+    let x = Matrix::from_vec(1, sample.features.len(), sample.features.clone());
+    let raw = mlp.forward(&x);
+    head.forward(raw.row(0), &sample.aux)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::head::{AlphaBetaHead, DirectHead};
+
+    fn linear_dataset(n: usize) -> Dataset {
+        (0..n)
+            .map(|i| {
+                let x = i as f32 / n as f32 * 4.0 - 2.0;
+                Sample::new(vec![x], vec![], 3.0 * x + 1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fits_linear_function() {
+        let data = linear_dataset(64);
+        let mut mlp = Mlp::new(1, &[16], 1, 3);
+        let cfg = TrainConfig {
+            epochs: 120,
+            batch_size: 16,
+            lr: 5e-3,
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut mlp, &DirectHead, Loss::Mse, &data);
+        assert!(
+            report.final_train_loss < 0.05,
+            "{}",
+            report.final_train_loss
+        );
+        assert_eq!(report.epoch_losses.len(), 120);
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let data = linear_dataset(64);
+        let mut mlp = Mlp::new(1, &[16], 1, 3);
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 16,
+            lr: 3e-3,
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut mlp, &DirectHead, Loss::Mse, &data);
+        let first = report.epoch_losses.first().copied().unwrap();
+        assert!(report.final_train_loss < first * 0.5);
+    }
+
+    /// The α−β/waves head can learn a synthetic saturating utilization law
+    /// — a miniature of the actual NeuSight fitting problem.
+    #[test]
+    fn alpha_beta_head_learns_wave_saturation() {
+        // True law: util = 0.9 − 0.6/waves, features encode log(waves).
+        let data: Dataset = (1..=40)
+            .map(|w| {
+                let waves = w as f32;
+                Sample::new(vec![waves.ln()], vec![waves], 0.9 - 0.6 / waves)
+            })
+            .collect();
+        let mut mlp = Mlp::new(1, &[16, 16], 2, 9);
+        let cfg = TrainConfig {
+            epochs: 300,
+            batch_size: 8,
+            lr: 3e-3,
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut mlp, &AlphaBetaHead, Loss::Smape, &data);
+        assert!(
+            report.final_train_loss < 0.08,
+            "{}",
+            report.final_train_loss
+        );
+        // Extrapolation beyond training waves stays bounded below 1.
+        let far = predict(
+            &mlp,
+            &AlphaBetaHead,
+            &Sample::new(vec![(500.0f32).ln()], vec![500.0], 0.0),
+        );
+        assert!(far < 1.0 && far > 0.5, "extrapolated utilization {far}");
+    }
+
+    #[test]
+    fn split_fractions() {
+        let data = linear_dataset(100);
+        let (train, val) = data.split(0.2, 7);
+        assert_eq!(val.len(), 20);
+        assert_eq!(train.len(), 80);
+        // Deterministic given the seed.
+        let (train2, _) = data.split(0.2, 7);
+        assert_eq!(train.samples()[0], train2.samples()[0]);
+    }
+
+    #[test]
+    fn evaluate_on_heldout() {
+        let data = linear_dataset(64);
+        let (train, val) = data.split(0.25, 1);
+        let mut mlp = Mlp::new(1, &[16], 1, 3);
+        let cfg = TrainConfig {
+            epochs: 150,
+            batch_size: 16,
+            lr: 5e-3,
+            ..TrainConfig::default()
+        };
+        Trainer::new(cfg).fit(&mut mlp, &DirectHead, Loss::Mse, &train);
+        let val_loss = Trainer::evaluate(&mlp, &DirectHead, Loss::Mse, &val);
+        assert!(val_loss < 0.2, "validation loss {val_loss}");
+    }
+
+    #[test]
+    fn cosine_schedule_still_converges() {
+        let data = linear_dataset(64);
+        let mut mlp = Mlp::new(1, &[16], 1, 3);
+        let cfg = TrainConfig {
+            epochs: 150,
+            batch_size: 16,
+            lr: 5e-3,
+            lr_schedule: crate::schedule::LrSchedule::Cosine {
+                warmup_epochs: 5,
+                floor_fraction: 0.05,
+            },
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut mlp, &DirectHead, Loss::Mse, &data);
+        assert!(
+            report.final_train_loss < 0.05,
+            "{}",
+            report.final_train_loss
+        );
+        assert!(!report.stopped_early);
+    }
+
+    #[test]
+    fn early_stopping_triggers_on_plateau() {
+        // Targets are pseudo-random and independent of the (constant)
+        // input, so the loss plateaus at the target variance — early
+        // stopping must fire long before the 500-epoch budget.
+        let data: Dataset = (0..64u32)
+            .map(|i| {
+                let noise = f32::sin(i as f32 * 12.9898) * 0.5;
+                Sample::new(vec![1.0], vec![], noise)
+            })
+            .collect();
+        let mut mlp = Mlp::new(1, &[8], 1, 2);
+        let cfg = TrainConfig {
+            epochs: 500,
+            batch_size: 64,
+            lr: 1e-2,
+            early_stop_patience: Some(10),
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut mlp, &DirectHead, Loss::Mse, &data);
+        assert!(report.stopped_early);
+        assert!(report.epoch_losses.len() < 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let mut mlp = Mlp::new(1, &[4], 1, 0);
+        let _ = Trainer::new(TrainConfig::default()).fit(
+            &mut mlp,
+            &DirectHead,
+            Loss::Mse,
+            &Dataset::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "match head raw dim")]
+    fn head_dim_mismatch_panics() {
+        let mut mlp = Mlp::new(1, &[4], 2, 0);
+        let _ = Trainer::new(TrainConfig::default()).fit(
+            &mut mlp,
+            &DirectHead,
+            Loss::Mse,
+            &linear_dataset(4),
+        );
+    }
+}

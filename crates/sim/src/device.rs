@@ -1,0 +1,362 @@
+//! The simulated GPU device: dispatch + timing model + measurement noise,
+//! plus a sequential graph executor.
+//!
+//! [`SimulatedGpu`] is the stand-in for a physical device. Its public
+//! surface deliberately mirrors what an experimenter can do with real
+//! hardware: launch a kernel and read a (noisy) latency, profile its launch
+//! metadata, or run a whole model graph kernel-by-kernel (§2.2: kernels
+//! execute sequentially on the device).
+
+use crate::dispatch::{dispatch, KernelLaunch};
+use crate::model::{kernel_timing, SimParams};
+use neusight_gpu::{DType, GpuSpec, OpDesc};
+use neusight_graph::{Graph, Phase};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// One simulated kernel execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Launch metadata (kernel name, tile, grid) — what a profiler shows.
+    pub launch: KernelLaunch,
+    /// Measured latency of this run, seconds (includes run-to-run noise).
+    pub latency_s: f64,
+}
+
+/// Average of repeated kernel runs, the paper's measurement protocol
+/// ("running each operator 25 times and averaging", §6.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Launch metadata.
+    pub launch: KernelLaunch,
+    /// Mean latency across runs, seconds.
+    pub mean_latency_s: f64,
+    /// Sample standard deviation across runs, seconds.
+    pub std_latency_s: f64,
+    /// Number of runs averaged.
+    pub runs: u32,
+}
+
+/// Per-node and total latency of a graph executed on one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphRun {
+    /// Total latency, seconds.
+    pub total_s: f64,
+    /// Forward-phase latency, seconds.
+    pub forward_s: f64,
+    /// Backward-phase latency, seconds.
+    pub backward_s: f64,
+    /// Per-node latencies in execution order, seconds.
+    pub per_node_s: Vec<f64>,
+}
+
+/// Per-operator-family breakdown of a graph run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassProfile {
+    /// Family name ([`neusight_gpu::OpClass::name`]).
+    pub class: String,
+    /// Number of kernels of this family.
+    pub kernels: usize,
+    /// Total latency attributed to the family, seconds.
+    pub total_s: f64,
+    /// Share of the whole run, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+impl GraphRun {
+    /// Aggregates the per-node latencies by operator family, sorted by
+    /// descending time — the "where does the time go" report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` does not have exactly as many nodes as this run
+    /// recorded.
+    #[must_use]
+    pub fn by_class(&self, graph: &Graph) -> Vec<ClassProfile> {
+        assert_eq!(
+            graph.len(),
+            self.per_node_s.len(),
+            "run does not belong to this graph"
+        );
+        let mut totals: std::collections::BTreeMap<&'static str, (usize, f64)> =
+            std::collections::BTreeMap::new();
+        for (node, &lat) in graph.iter().zip(&self.per_node_s) {
+            let entry = totals.entry(node.op.op_class().name()).or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 += lat;
+        }
+        let mut profiles: Vec<ClassProfile> = totals
+            .into_iter()
+            .map(|(class, (kernels, total_s))| ClassProfile {
+                class: class.to_owned(),
+                kernels,
+                total_s,
+                fraction: if self.total_s > 0.0 {
+                    total_s / self.total_s
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        profiles.sort_by(|a, b| b.total_s.total_cmp(&a.total_s));
+        profiles
+    }
+}
+
+/// A simulated GPU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulatedGpu {
+    spec: GpuSpec,
+    params: SimParams,
+    noise_sigma: f64,
+    seed: u64,
+}
+
+impl SimulatedGpu {
+    /// Creates a device with the default calibrated timing model and
+    /// measurement noise (σ ≈ 2.5 % lognormal), seeded deterministically
+    /// from the GPU name.
+    #[must_use]
+    pub fn new(spec: GpuSpec) -> SimulatedGpu {
+        let mut hasher = DefaultHasher::new();
+        spec.name().hash(&mut hasher);
+        let seed = hasher.finish();
+        SimulatedGpu {
+            spec,
+            params: SimParams::default(),
+            noise_sigma: 0.025,
+            seed,
+        }
+    }
+
+    /// Looks up a catalog GPU and wraps it in a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`neusight_gpu::GpuError::UnknownGpu`] for unknown names.
+    pub fn from_catalog(name: &str) -> neusight_gpu::Result<SimulatedGpu> {
+        Ok(SimulatedGpu::new(neusight_gpu::catalog::gpu(name)?))
+    }
+
+    /// Replaces the measurement-noise level (0 disables noise).
+    #[must_use]
+    pub fn with_noise_sigma(mut self, sigma: f64) -> SimulatedGpu {
+        self.noise_sigma = sigma;
+        self
+    }
+
+    /// Replaces the timing-model constants (for ablation experiments).
+    #[must_use]
+    pub fn with_params(mut self, params: SimParams) -> SimulatedGpu {
+        self.params = params;
+        self
+    }
+
+    /// Hardware description of this device.
+    #[must_use]
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Profiles a kernel's launch without timing it (tile metadata only).
+    #[must_use]
+    pub fn profile_launch(&self, op: &OpDesc) -> KernelLaunch {
+        dispatch(op, &self.spec)
+    }
+
+    /// Noise-free model latency in seconds (not observable on real
+    /// hardware; used by tests and ablations).
+    #[must_use]
+    pub fn ideal_latency(&self, op: &OpDesc, dtype: DType) -> f64 {
+        let launch = dispatch(op, &self.spec);
+        kernel_timing(op, &launch, dtype, &self.spec, &self.params).latency_s
+    }
+
+    /// Executes a kernel once and returns its profile with run-to-run
+    /// noise applied.
+    #[must_use]
+    pub fn execute(&self, op: &OpDesc, dtype: DType, run_index: u32) -> KernelProfile {
+        let launch = dispatch(op, &self.spec);
+        let timing = kernel_timing(op, &launch, dtype, &self.spec, &self.params);
+        let latency_s = timing.latency_s * self.noise_factor(op, run_index);
+        KernelProfile { launch, latency_s }
+    }
+
+    /// Runs a kernel `runs` times and averages, the paper's measurement
+    /// protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero.
+    #[must_use]
+    pub fn measure(&self, op: &OpDesc, dtype: DType, runs: u32) -> Measurement {
+        assert!(runs > 0, "need at least one run");
+        let launch = dispatch(op, &self.spec);
+        let timing = kernel_timing(op, &launch, dtype, &self.spec, &self.params);
+        let samples: Vec<f64> = (0..runs)
+            .map(|i| timing.latency_s * self.noise_factor(op, i))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / f64::from(runs);
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+            / f64::from(runs.max(2) - 1);
+        Measurement {
+            launch,
+            mean_latency_s: mean,
+            std_latency_s: var.sqrt(),
+            runs,
+        }
+    }
+
+    /// Executes a graph kernel-by-kernel (sequential device execution) and
+    /// returns per-phase latencies. Each kernel's latency is the 3-run
+    /// average, keeping graph-level noise small like real steady-state
+    /// measurements.
+    #[must_use]
+    pub fn execute_graph(&self, graph: &Graph, dtype: DType) -> GraphRun {
+        let mut per_node_s = Vec::with_capacity(graph.len());
+        let (mut forward_s, mut backward_s) = (0.0, 0.0);
+        for node in graph.iter() {
+            let m = self.measure(&node.op, dtype, 3);
+            per_node_s.push(m.mean_latency_s);
+            match node.phase {
+                Phase::Forward => forward_s += m.mean_latency_s,
+                Phase::Backward => backward_s += m.mean_latency_s,
+            }
+        }
+        GraphRun {
+            total_s: forward_s + backward_s,
+            forward_s,
+            backward_s,
+            per_node_s,
+        }
+    }
+
+    /// Deterministic multiplicative lognormal noise for one run of one op.
+    fn noise_factor(&self, op: &OpDesc, run_index: u32) -> f64 {
+        if self.noise_sigma == 0.0 {
+            return 1.0;
+        }
+        let mut hasher = DefaultHasher::new();
+        self.seed.hash(&mut hasher);
+        op.to_string().hash(&mut hasher);
+        run_index.hash(&mut hasher);
+        let mut rng = StdRng::seed_from_u64(hasher.finish());
+        // Box-Muller standard normal.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.noise_sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_gpu::EwKind;
+    use neusight_graph::{config, inference_graph, training_graph};
+
+    fn v100() -> SimulatedGpu {
+        SimulatedGpu::from_catalog("V100").unwrap()
+    }
+
+    #[test]
+    fn execution_is_deterministic_per_run_index() {
+        let gpu = v100();
+        let op = OpDesc::bmm(4, 512, 512, 512);
+        let a = gpu.execute(&op, DType::F32, 0);
+        let b = gpu.execute(&op, DType::F32, 0);
+        assert_eq!(a, b);
+        let c = gpu.execute(&op, DType::F32, 1);
+        assert_ne!(a.latency_s, c.latency_s);
+    }
+
+    #[test]
+    fn noise_is_small_and_centered() {
+        let gpu = v100();
+        let op = OpDesc::fc(1024, 1024, 1024);
+        let ideal = gpu.ideal_latency(&op, DType::F32);
+        let m = gpu.measure(&op, DType::F32, 25);
+        assert!((m.mean_latency_s / ideal - 1.0).abs() < 0.03);
+        assert!(m.std_latency_s / m.mean_latency_s < 0.1);
+        assert_eq!(m.runs, 25);
+    }
+
+    #[test]
+    fn zero_noise_device() {
+        let gpu = v100().with_noise_sigma(0.0);
+        let op = OpDesc::softmax(1024, 1024);
+        let m = gpu.measure(&op, DType::F32, 5);
+        assert_eq!(m.mean_latency_s, gpu.ideal_latency(&op, DType::F32));
+        assert_eq!(m.std_latency_s, 0.0);
+    }
+
+    #[test]
+    fn graph_execution_sums_kernels() {
+        let gpu = v100().with_noise_sigma(0.0);
+        let g = inference_graph(&config::bert_large(), 2);
+        let run = gpu.execute_graph(&g, DType::F32);
+        assert_eq!(run.per_node_s.len(), g.len());
+        let sum: f64 = run.per_node_s.iter().sum();
+        assert!((run.total_s - sum).abs() / sum < 1e-9);
+        assert_eq!(run.backward_s, 0.0);
+    }
+
+    #[test]
+    fn training_run_has_backward_time() {
+        let gpu = v100().with_noise_sigma(0.0);
+        let g = training_graph(&config::bert_large(), 2);
+        let run = gpu.execute_graph(&g, DType::F32);
+        assert!(run.backward_s > run.forward_s, "backward should dominate");
+    }
+
+    #[test]
+    fn h100_beats_v100_end_to_end() {
+        let g = inference_graph(&config::gpt2_large(), 4);
+        let v = v100().with_noise_sigma(0.0).execute_graph(&g, DType::F32);
+        let h = SimulatedGpu::from_catalog("H100")
+            .unwrap()
+            .with_noise_sigma(0.0)
+            .execute_graph(&g, DType::F32);
+        assert!(
+            h.total_s < v.total_s * 0.6,
+            "H100 {} vs V100 {}",
+            h.total_s,
+            v.total_s
+        );
+    }
+
+    #[test]
+    fn different_gpus_have_different_noise_streams() {
+        let op = OpDesc::elementwise(EwKind::Add, 1 << 20);
+        let a = SimulatedGpu::from_catalog("P4").unwrap();
+        let b = SimulatedGpu::from_catalog("T4").unwrap();
+        let fa = a.execute(&op, DType::F32, 0).latency_s / a.ideal_latency(&op, DType::F32);
+        let fb = b.execute(&op, DType::F32, 0).latency_s / b.ideal_latency(&op, DType::F32);
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn class_profile_accounts_for_everything() {
+        let gpu = v100().with_noise_sigma(0.0);
+        let g = inference_graph(&config::bert_large(), 2);
+        let run = gpu.execute_graph(&g, DType::F32);
+        let profile = run.by_class(&g);
+        let total: f64 = profile.iter().map(|p| p.total_s).sum();
+        assert!((total - run.total_s).abs() / run.total_s < 1e-9);
+        let kernels: usize = profile.iter().map(|p| p.kernels).sum();
+        assert_eq!(kernels, g.len());
+        // Sorted descending; matmuls dominate a transformer.
+        assert!(profile.windows(2).all(|w| w[0].total_s >= w[1].total_s));
+        assert!(profile[0].class == "fc" || profile[0].class == "bmm");
+        let frac: f64 = profile.iter().map(|p| p.fraction).sum();
+        assert!((frac - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_gpu_rejected() {
+        assert!(SimulatedGpu::from_catalog("B200").is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! The simulated kernel library: tile-size selection and launch metadata.
+//!
+//! Real GPU libraries (cuBLAS/CUTLASS, cuDNN, Triton) choose a tile shape
+//! per kernel from a fixed menu, balancing per-tile efficiency (bigger
+//! tiles amortize prologue work and reuse operands) against parallelism
+//! (enough tiles to fill every SM). Newer library generations ship larger
+//! tiles and fused single-pass reductions. This module reproduces that
+//! dispatch heuristic deterministically, and exposes the same metadata a
+//! profiler would show: a kernel name embedding the tile shape, the tile
+//! itself, and tile/wave counts.
+//!
+//! The NeuSight predictor consumes *only* this metadata (it builds its
+//! tile-size database from profiles of training-set GPUs, §6.1), never the
+//! simulator's internal efficiency model.
+
+use neusight_gpu::{num_tiles, num_waves, GpuSpec, OpClass, OpDesc, TileShape};
+
+pub use neusight_gpu::profile::KernelLaunch;
+
+/// GEMM tile candidates `(tile_m, tile_n)` in descending preference order
+/// for a given library maturity. Newer generations add larger tiles at the
+/// front of the menu.
+fn gemm_tile_menu(maturity: u32) -> Vec<(u64, u64)> {
+    let mut menu = Vec::new();
+    if maturity >= 3 {
+        menu.extend([(256, 128), (128, 256)]);
+    }
+    menu.extend([
+        (128, 128),
+        (128, 64),
+        (64, 128),
+        (64, 64),
+        (64, 32),
+        (32, 64),
+        (32, 32),
+    ]);
+    menu
+}
+
+/// Elements of a flat tensor covered by one element-wise thread block.
+fn elementwise_block(maturity: u32) -> u64 {
+    // 256 threads × 4 elements, doubled by vectorized-I/O generations.
+    if maturity >= 3 {
+        2048
+    } else {
+        1024
+    }
+}
+
+/// Rows of a `(rows × dim)` tensor covered by one reduction thread block.
+fn reduction_rows_per_block(dim: u64, maturity: u32) -> u64 {
+    let target_elems: u64 = if maturity >= 3 { 4096 } else { 2048 };
+    (target_elems / dim).max(1)
+}
+
+/// Selects the output tile for a kernel on a GPU, mirroring library
+/// heuristics: walk the menu from the largest tile down and take the first
+/// that still yields at least one tile per SM; if the problem is too small
+/// for that, fall back to the smallest tile (maximize parallelism).
+#[must_use]
+pub fn select_tile(op: &OpDesc, spec: &GpuSpec) -> TileShape {
+    let maturity = spec.generation().maturity_index();
+    let dims = op.output_dims();
+    match op.op_class() {
+        OpClass::Bmm | OpClass::FullyConnected => {
+            let menu = gemm_tile_menu(maturity);
+            let make = |tm: u64, tn: u64| -> TileShape {
+                let tile = if dims.len() == 3 {
+                    TileShape::new(vec![1, tm, tn])
+                } else {
+                    TileShape::new(vec![tm, tn])
+                };
+                tile.clamped_to(&dims)
+            };
+            let threshold = u64::from(spec.num_sms());
+            for &(tm, tn) in &menu {
+                let tile = make(tm, tn);
+                let tiles = num_tiles(&dims, &tile).expect("rank matches");
+                if tiles >= threshold {
+                    return tile;
+                }
+            }
+            let &(tm, tn) = menu.last().expect("menu nonempty");
+            make(tm, tn)
+        }
+        OpClass::Elementwise => TileShape::new(vec![elementwise_block(maturity)]).clamped_to(&dims),
+        OpClass::Softmax | OpClass::LayerNorm => {
+            let dim = dims[1];
+            TileShape::new(vec![reduction_rows_per_block(dim, maturity), dim]).clamped_to(&dims)
+        }
+        OpClass::MemoryBound => {
+            // Gather/scatter kernels: a block covers a run of rows.
+            let dim = *dims.last().expect("nonempty dims");
+            let rows = reduction_rows_per_block(dim.max(1), maturity);
+            let mut tile = vec![1; dims.len()];
+            tile[0] = rows;
+            *tile.last_mut().expect("nonempty") = dim;
+            TileShape::new(tile).clamped_to(&dims)
+        }
+    }
+}
+
+/// Contraction depth of a GEMM-class kernel, if any.
+fn contraction_depth(op: &OpDesc) -> Option<u64> {
+    match *op {
+        OpDesc::Bmm { k, .. } => Some(k),
+        OpDesc::Fc { in_features, .. } => Some(in_features),
+        OpDesc::Conv2d {
+            in_channels,
+            kernel,
+            ..
+        } => Some(in_channels * kernel * kernel),
+        OpDesc::Fused(ref fused) => contraction_depth(fused.head()),
+        _ => None,
+    }
+}
+
+/// Split-K factor for a GEMM launch: when the output is too small to fill
+/// the SMs but the contraction is deep, libraries split the reduction
+/// across cooperating thread blocks (cuBLAS splitK / streamK kernels).
+/// Each slice keeps at least 128 elements of depth.
+fn split_k_factor(op: &OpDesc, output_tiles: u64, spec: &GpuSpec) -> u64 {
+    let Some(k) = contraction_depth(op) else {
+        return 1;
+    };
+    let sms = u64::from(spec.num_sms());
+    if output_tiles >= sms || k < 256 {
+        return 1;
+    }
+    let want = sms.div_ceil(output_tiles);
+    want.min(k / 128).max(1)
+}
+
+/// Dispatches a kernel: selects its tile and computes launch metadata
+/// (including any split-K factor).
+#[must_use]
+pub fn dispatch(op: &OpDesc, spec: &GpuSpec) -> KernelLaunch {
+    let tile = select_tile(op, spec);
+    let dims = op.output_dims();
+    let output_tiles = num_tiles(&dims, &tile).expect("tile rank matches output");
+    let split_k = split_k_factor(op, output_tiles, spec);
+    let tiles = output_tiles * split_k;
+    let waves = num_waves(tiles, spec.num_sms());
+    let mut kernel_name = kernel_name_for(op, &tile);
+    if split_k > 1 {
+        kernel_name.push_str(&format!("_splitk{split_k}"));
+    }
+    KernelLaunch {
+        kernel_name,
+        tile,
+        num_tiles: tiles,
+        num_waves: waves,
+        split_k,
+    }
+}
+
+/// Library-style kernel name embedding the op family and tile shape —
+/// the string a profiler would report.
+fn kernel_name_for(op: &OpDesc, tile: &TileShape) -> String {
+    let family = match op.op_class() {
+        OpClass::Bmm => "sim_sgemm_batched",
+        OpClass::FullyConnected => "sim_sgemm",
+        OpClass::Elementwise => "sim_elementwise",
+        OpClass::Softmax => "sim_softmax_warp",
+        OpClass::LayerNorm => "sim_layernorm_warp",
+        OpClass::MemoryBound => "sim_gather",
+    };
+    format!("{family}_{tile}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_gpu::{catalog, EwKind};
+
+    #[test]
+    fn large_gemm_gets_large_tile() {
+        let h100 = catalog::gpu("H100").unwrap();
+        let op = OpDesc::bmm(8, 4096, 4096, 4096);
+        let tile = select_tile(&op, &h100);
+        // Plenty of tiles even at the largest size -> largest menu entry.
+        assert_eq!(tile.dims(), &[1, 256, 128]);
+    }
+
+    #[test]
+    fn older_arch_lacks_largest_tiles() {
+        let p100 = catalog::gpu("P100").unwrap();
+        let op = OpDesc::bmm(8, 4096, 4096, 4096);
+        let tile = select_tile(&op, &p100);
+        assert_eq!(tile.dims(), &[1, 128, 128]);
+    }
+
+    #[test]
+    fn small_gemm_gets_small_tile() {
+        let v100 = catalog::gpu("V100").unwrap();
+        // 64x64 output: with 128-wide tiles there would be 1 tile for 80 SMs.
+        let op = OpDesc::bmm(1, 64, 64, 64);
+        let tile = select_tile(&op, &v100);
+        assert!(tile.dims()[1] <= 64 && tile.dims()[2] <= 64);
+    }
+
+    #[test]
+    fn tile_never_exceeds_output() {
+        let t4 = catalog::gpu("T4").unwrap();
+        let op = OpDesc::fc(8, 16, 24);
+        let tile = select_tile(&op, &t4);
+        assert!(tile.dims()[0] <= 8 && tile.dims()[1] <= 24);
+    }
+
+    #[test]
+    fn dispatch_metadata_consistent() {
+        let a100 = catalog::gpu("A100-40GB").unwrap();
+        let op = OpDesc::bmm(16, 1024, 1024, 512);
+        let launch = dispatch(&op, &a100);
+        let recomputed = num_tiles(&op.output_dims(), &launch.tile).expect("rank matches");
+        assert_eq!(launch.num_tiles, recomputed);
+        assert_eq!(launch.num_waves, num_waves(recomputed, a100.num_sms()));
+        assert!(launch.kernel_name.starts_with("sim_sgemm_batched_"));
+        assert!(launch.kernel_name.contains(&launch.tile.to_string()));
+    }
+
+    #[test]
+    fn elementwise_blocks_scale_with_maturity() {
+        let p4 = catalog::gpu("P4").unwrap();
+        let l4 = catalog::gpu("L4").unwrap();
+        let op = OpDesc::elementwise(EwKind::Add, 1 << 20);
+        let old = select_tile(&op, &p4);
+        let new = select_tile(&op, &l4);
+        assert_eq!(old.dims(), &[1024]);
+        assert_eq!(new.dims(), &[2048]);
+    }
+
+    #[test]
+    fn reduction_tiles_span_full_dim() {
+        let v100 = catalog::gpu("V100").unwrap();
+        for op in [OpDesc::softmax(8192, 1024), OpDesc::layer_norm(8192, 1024)] {
+            let tile = select_tile(&op, &v100);
+            assert_eq!(tile.dims()[1], 1024, "reduction tile must span dim");
+            assert_eq!(tile.dims()[0], 2); // 2048-element target / 1024 dim
+        }
+    }
+
+    #[test]
+    fn wide_reduction_single_row_blocks() {
+        let v100 = catalog::gpu("V100").unwrap();
+        let op = OpDesc::softmax(1024, 50257);
+        let tile = select_tile(&op, &v100);
+        assert_eq!(tile.dims()[0], 1);
+    }
+
+    #[test]
+    fn dispatch_is_deterministic() {
+        let h100 = catalog::gpu("H100").unwrap();
+        let op = OpDesc::fc(2048, 4096, 4096);
+        assert_eq!(dispatch(&op, &h100), dispatch(&op, &h100));
+    }
+
+    #[test]
+    fn fused_op_uses_head_tiling() {
+        let a100 = catalog::gpu("A100-40GB").unwrap();
+        let fc = OpDesc::fc(2048, 1024, 4096);
+        let fused = OpDesc::fused(vec![
+            fc.clone(),
+            OpDesc::elementwise(EwKind::Gelu, 2048 * 4096),
+        ])
+        .unwrap();
+        assert_eq!(select_tile(&fused, &a100), select_tile(&fc, &a100));
+    }
+}

@@ -1,0 +1,43 @@
+//! An analytical-stochastic GPU execution simulator: the measurement
+//! substrate that stands in for physical GPUs in NeuSight-rs.
+//!
+//! The paper collects training data and evaluation ground truth by running
+//! kernels on eight physical GPUs. This crate replaces that hardware with a
+//! simulator that reproduces the behaviours NeuSight's thesis rests on:
+//!
+//! - library-style **tiled dispatch** ([`mod@dispatch`]) with per-generation
+//!   tile menus — the profiler-visible metadata predictors train on;
+//! - a **timing model** ([`model`]) with SM waves, latency-hiding
+//!   saturation (Figure 5), an L2 cache model for GEMM panel reuse, tile
+//!   padding, multi-pass legacy reductions, launch overhead;
+//! - **measurement noise** and the 25-run averaging protocol
+//!   ([`device`]);
+//! - sequential **graph execution** per device (§2.2) and an
+//!   out-of-memory check ([`memory`]) for Table 6's OOM cells.
+//!
+//! Predictors never see the model internals — only launch metadata and
+//! measured latency, exactly the observability of real hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use neusight_gpu::{DType, OpDesc};
+//! use neusight_sim::SimulatedGpu;
+//!
+//! # fn main() -> neusight_gpu::Result<()> {
+//! let gpu = SimulatedGpu::from_catalog("V100")?;
+//! let op = OpDesc::bmm(16, 1024, 1024, 512);
+//! let m = gpu.measure(&op, DType::F32, 25);
+//! println!("{}: {:.3} ms (tile {})", op, m.mean_latency_s * 1e3, m.launch.tile);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod device;
+pub mod dispatch;
+pub mod memory;
+pub mod model;
+
+pub use device::{ClassProfile, GraphRun, KernelProfile, Measurement, SimulatedGpu};
+pub use dispatch::{dispatch, select_tile, KernelLaunch};
+pub use model::{class_params, kernel_timing, ClassParams, KernelTiming, SimParams};

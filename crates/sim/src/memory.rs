@@ -1,0 +1,138 @@
+//! Device-memory footprint estimation, used to mark out-of-memory
+//! configurations (the "OOM" cells of Table 6 and the ≥24 GB training rule
+//! of §6.1).
+
+use neusight_gpu::{DType, GpuSpec};
+use neusight_graph::ModelConfig;
+
+/// Component-wise training memory footprint, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryBreakdown {
+    /// Parameters + gradients + two Adam moments.
+    pub states: f64,
+    /// Forward activations retained for the backward pass (all layers).
+    pub activations: f64,
+    /// LM-head logits and their gradient.
+    pub logits: f64,
+}
+
+impl MemoryBreakdown {
+    /// Total bytes.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.states + self.activations + self.logits
+    }
+}
+
+/// Component-wise training footprint of `cfg` at `batch_size`. Distributed
+/// planners scale the components per parallelism strategy.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn training_breakdown(cfg: &ModelConfig, batch_size: u64, dtype: DType) -> MemoryBreakdown {
+    let ds = dtype.size_bytes() as f64;
+    let params = cfg.approx_params() as f64 * ds;
+    let tokens = cfg.tokens(batch_size) as f64;
+    MemoryBreakdown {
+        states: 4.0 * params,
+        activations: cfg.num_layers as f64 * per_layer_activation_bytes(cfg, batch_size, dtype),
+        logits: 2.0 * tokens * cfg.vocab_size as f64 * ds,
+    }
+}
+
+/// Activations of one transformer block: residual stream, qkv, attention
+/// scores and probabilities, context, and the FFN inner tensor.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn per_layer_activation_bytes(cfg: &ModelConfig, batch_size: u64, dtype: DType) -> f64 {
+    let ds = dtype.size_bytes() as f64;
+    let tokens = cfg.tokens(batch_size) as f64;
+    let h = cfg.hidden_dim as f64;
+    let ffn = cfg.ffn_dim as f64;
+    let seq = cfg.seq_len as f64;
+    let heads = cfg.num_heads as f64;
+    let batch = batch_size as f64;
+    (4.0 * tokens * h + tokens * 3.0 * h + 2.0 * batch * heads * seq * seq + tokens * ffn) * ds
+}
+
+/// Approximate bytes of device memory needed to run `cfg` at `batch_size`.
+///
+/// Training keeps parameters, gradients and two Adam moments (4× parameter
+/// storage) plus every forward activation for the backward pass; inference
+/// keeps parameters plus a working set of roughly two layers of
+/// activations.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn required_bytes(cfg: &ModelConfig, batch_size: u64, dtype: DType, training: bool) -> f64 {
+    let ds = dtype.size_bytes() as f64;
+    let params = cfg.approx_params() as f64 * ds;
+    let tokens = cfg.tokens(batch_size) as f64;
+    let seq = cfg.seq_len as f64;
+    if training {
+        training_breakdown(cfg, batch_size, dtype).total()
+    } else {
+        params
+            + 2.0 * per_layer_activation_bytes(cfg, batch_size, dtype)
+            + tokens * cfg.vocab_size as f64 * ds / seq
+    }
+}
+
+/// Whether the workload fits in the GPU's memory, with a small reserve for
+/// the allocator, framework and CUDA context.
+#[must_use]
+pub fn fits(
+    cfg: &ModelConfig,
+    batch_size: u64,
+    dtype: DType,
+    training: bool,
+    spec: &GpuSpec,
+) -> bool {
+    let reserve = 1.5e9;
+    required_bytes(cfg, batch_size, dtype, training) + reserve <= spec.memory_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_gpu::catalog;
+    use neusight_graph::config;
+
+    #[test]
+    fn training_needs_more_than_inference() {
+        let cfg = config::gpt2_large();
+        let t = required_bytes(&cfg, 8, DType::F32, true);
+        let i = required_bytes(&cfg, 8, DType::F32, false);
+        assert!(t > 3.0 * i);
+    }
+
+    #[test]
+    fn footprint_grows_with_batch() {
+        let cfg = config::gpt3_xl();
+        assert!(
+            required_bytes(&cfg, 8, DType::F32, true) > required_bytes(&cfg, 2, DType::F32, true)
+        );
+    }
+
+    #[test]
+    fn small_models_fit_small_gpus_for_inference() {
+        let p4 = catalog::gpu("P4").unwrap(); // 8 GB
+        assert!(fits(&config::bert_large(), 8, DType::F32, false, &p4));
+    }
+
+    #[test]
+    fn gpt3_training_ooms_on_small_gpus() {
+        let t4 = catalog::gpu("T4").unwrap(); // 16 GB
+        assert!(!fits(&config::gpt3_2_7b(), 8, DType::F32, true, &t4));
+        let h100 = catalog::gpu("H100").unwrap(); // 80 GB
+        assert!(fits(&config::gpt2_large(), 2, DType::F32, true, &h100));
+    }
+
+    #[test]
+    fn paper_training_rule_24gb() {
+        // §6.1: training is only measured on GPUs with at least 24 GB.
+        let cfg = config::gpt2_large();
+        let v100 = catalog::gpu("V100").unwrap(); // 32 GB
+        let t4 = catalog::gpu("T4").unwrap(); // 16 GB
+        assert!(fits(&cfg, 2, DType::F32, true, &v100));
+        assert!(!fits(&cfg, 4, DType::F32, true, &t4));
+    }
+}

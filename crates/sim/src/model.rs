@@ -1,0 +1,476 @@
+//! The simulator's hardware timing model — the "ground truth" that plays
+//! the role of physical silicon.
+//!
+//! Per kernel, the model computes:
+//!
+//! 1. **Padded work**: libraries execute full tiles, so edge tiles do
+//!    padded work (`num_tiles × tile_flops ≥ kernel_flops`).
+//! 2. **DRAM traffic**: per-class. GEMM panels are re-fetched per tile
+//!    unless the wave working set fits in L2 (an explicit cache model);
+//!    reduction kernels on pre-Ampere libraries take extra passes; fused
+//!    kernels skip intermediate round trips.
+//! 3. **Per-tile time**: `max(compute, memory)` over per-SM resources,
+//!    divided by a latency-hiding efficiency that saturates with the wave
+//!    count (the behaviour of Figure 5 in the paper) and improves with
+//!    library generation.
+//! 4. **Wave schedule**: full waves at full occupancy plus a cheaper tail
+//!    wave, plus a per-kernel launch overhead.
+//!
+//! None of these internals are visible to predictors — they see only
+//! (launch metadata, measured latency), as on real hardware.
+
+use crate::dispatch::KernelLaunch;
+use neusight_gpu::{DType, GpuSpec, OpClass, OpDesc};
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the timing model. [`SimParams::default`] is the
+/// calibrated configuration used across the evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimParams {
+    /// Per-SM peak-ingest cap as a multiple of the fair bandwidth share
+    /// (a single SM cannot absorb the whole HBM bandwidth).
+    pub ingest_cap: f64,
+    /// Kernel launch overhead in seconds at maturity 0; shrinks per
+    /// generation.
+    pub launch_overhead_base_s: f64,
+    /// Launch-overhead reduction per library generation, seconds.
+    pub launch_overhead_per_gen_s: f64,
+    /// GEMM pipeline efficiency half-point in the contraction depth `k`.
+    pub gemm_k_half: f64,
+    /// GEMM efficiency half-point in tile area (elements).
+    pub gemm_area_half: f64,
+    /// L2 cache effectiveness at maturity 0 (fraction of re-fetch traffic
+    /// the cache can absorb when the working set fits).
+    pub cache_eff_base: f64,
+    /// Cache effectiveness gain per generation.
+    pub cache_eff_per_gen: f64,
+}
+
+impl Default for SimParams {
+    fn default() -> SimParams {
+        SimParams {
+            ingest_cap: 4.0,
+            launch_overhead_base_s: 6.0e-6,
+            launch_overhead_per_gen_s: 0.7e-6,
+            gemm_k_half: 12.0,
+            gemm_area_half: 1200.0,
+            cache_eff_base: 0.65,
+            cache_eff_per_gen: 0.06,
+        }
+    }
+}
+
+/// Latency-hiding / efficiency constants of one kernel family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassParams {
+    /// Asymptotic fraction of the roofline reachable at maturity 0.
+    pub u_max_base: f64,
+    /// Asymptotic-efficiency gain per library generation.
+    pub u_max_per_gen: f64,
+    /// Wave count at which latency hiding reaches half its asymptote.
+    pub wave_half: f64,
+    /// Extra-traffic multiplier of pre-Ampere (multi-pass) kernels.
+    pub legacy_pass_factor: f64,
+}
+
+/// Efficiency family for an op class.
+#[must_use]
+pub fn class_params(class: OpClass) -> ClassParams {
+    match class {
+        OpClass::Bmm | OpClass::FullyConnected => ClassParams {
+            u_max_base: 0.70,
+            u_max_per_gen: 0.04,
+            wave_half: 0.35,
+            legacy_pass_factor: 1.0,
+        },
+        OpClass::Elementwise => ClassParams {
+            u_max_base: 0.80,
+            u_max_per_gen: 0.02,
+            wave_half: 0.25,
+            legacy_pass_factor: 1.0,
+        },
+        OpClass::Softmax => ClassParams {
+            u_max_base: 0.65,
+            u_max_per_gen: 0.03,
+            wave_half: 0.30,
+            legacy_pass_factor: 1.5,
+        },
+        OpClass::LayerNorm => ClassParams {
+            u_max_base: 0.60,
+            u_max_per_gen: 0.03,
+            wave_half: 0.30,
+            legacy_pass_factor: 1.6,
+        },
+        OpClass::MemoryBound => ClassParams {
+            u_max_base: 0.55,
+            u_max_per_gen: 0.02,
+            wave_half: 0.30,
+            legacy_pass_factor: 1.2,
+        },
+    }
+}
+
+/// GEMM-like dims `(rows, cols, depth, batch)` of an op, if it has them.
+fn gemm_dims(op: &OpDesc) -> Option<(u64, u64, u64, u64)> {
+    match *op {
+        OpDesc::Bmm { batch, m, n, k } => Some((m, n, k, batch)),
+        OpDesc::Fc {
+            batch,
+            in_features,
+            out_features,
+        } => Some((batch, out_features, in_features, 1)),
+        OpDesc::Conv2d {
+            batch,
+            in_channels,
+            out_channels,
+            in_hw,
+            kernel,
+            stride,
+            padding,
+        } => {
+            let out = neusight_gpu::ops::conv_out_hw(in_hw, kernel, stride, padding);
+            Some((
+                batch * out * out,
+                out_channels,
+                in_channels * kernel * kernel,
+                1,
+            ))
+        }
+        OpDesc::Fused(ref fused) => gemm_dims(fused.head()),
+        _ => None,
+    }
+}
+
+/// Total DRAM traffic of a kernel in bytes, given its launch.
+#[must_use]
+pub fn dram_bytes(
+    op: &OpDesc,
+    launch: &KernelLaunch,
+    dtype: DType,
+    spec: &GpuSpec,
+    params: &SimParams,
+) -> f64 {
+    let maturity = spec.generation().maturity_index();
+    let logical = op.memory_bytes(dtype);
+    let class = op.op_class();
+    let cp = class_params(class);
+    let pass_factor = if maturity >= 3 {
+        1.0
+    } else {
+        cp.legacy_pass_factor
+    };
+
+    match class {
+        OpClass::Bmm | OpClass::FullyConnected => {
+            let (_, _, k, _) = gemm_dims(op).expect("gemm class has gemm dims");
+            let ds = dtype.size_bytes() as f64;
+            let tile = launch.tile.dims();
+            // Tile (tm, tn) loads (tm + tn) × k_slice operand elements;
+            // split-K slices the depth but each cooperating block writes a
+            // partial output that a reduction pass re-reads.
+            let split = launch.split_k.max(1) as f64;
+            let (tm, tn) = (tile[tile.len() - 2] as f64, tile[tile.len() - 1] as f64);
+            let panel_bytes_per_tile = (tm + tn) * (k as f64 / split) * ds;
+            let naive = launch.num_tiles as f64 * panel_bytes_per_tile
+                + op.output_bytes(dtype) * (2.0 * split - 1.0);
+            let refetch = (naive - logical).max(0.0);
+            // Wave working set vs L2: when concurrent tiles' panels fit,
+            // the cache absorbs most of the re-fetch traffic.
+            let active_tiles = launch.num_tiles.min(u64::from(spec.num_sms())) as f64;
+            let working_set = active_tiles * panel_bytes_per_tile;
+            let fit = spec.l2_bytes() / (spec.l2_bytes() + working_set);
+            let cache_eff =
+                (params.cache_eff_base + params.cache_eff_per_gen * f64::from(maturity)).min(0.95);
+            logical + refetch * (1.0 - fit * cache_eff)
+        }
+        _ => logical * pass_factor,
+    }
+}
+
+/// Work actually executed including tile padding, in FLOPs.
+#[must_use]
+pub fn padded_flops(op: &OpDesc, launch: &KernelLaunch) -> f64 {
+    let logical_elems = op.output_numel() as f64;
+    // Output tiles exclude the split-K factor (cooperating blocks share
+    // one output tile's elements).
+    let output_tiles = (launch.num_tiles / launch.split_k.max(1)).max(1);
+    let padded_elems = (output_tiles * launch.tile.numel()) as f64;
+    let pad_ratio = (padded_elems / logical_elems).max(1.0);
+    op.flops() * pad_ratio
+}
+
+/// Result of the deterministic (noise-free) timing model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTiming {
+    /// End-to-end kernel latency in seconds (including launch overhead).
+    pub latency_s: f64,
+    /// DRAM bytes actually moved.
+    pub dram_bytes: f64,
+    /// FLOPs executed including padding.
+    pub executed_flops: f64,
+    /// Time of one tile on one SM, seconds.
+    pub tile_time_s: f64,
+}
+
+/// Computes the noise-free latency of a dispatched kernel.
+///
+/// # Panics
+///
+/// Panics if the launch has zero tiles (cannot happen for launches produced
+/// by [`crate::dispatch::dispatch`]).
+#[must_use]
+pub fn kernel_timing(
+    op: &OpDesc,
+    launch: &KernelLaunch,
+    dtype: DType,
+    spec: &GpuSpec,
+    params: &SimParams,
+) -> KernelTiming {
+    assert!(launch.num_tiles > 0, "launch must have at least one tile");
+    let maturity = spec.generation().maturity_index();
+    let class = op.op_class();
+    let cp = class_params(class);
+
+    let total_dram = dram_bytes(op, launch, dtype, spec, params);
+    let total_flops = padded_flops(op, launch);
+    let tiles = launch.num_tiles as f64;
+    let sms = f64::from(spec.num_sms());
+    let active_sms = tiles.min(sms);
+
+    // Per-SM resource shares: idle SMs free up bandwidth for active ones,
+    // up to a per-SM ingest cap.
+    let fair_share = spec.memory_bw() / sms;
+    let bw_share = (spec.memory_bw() / active_sms).min(fair_share * params.ingest_cap);
+    let flops_share = spec.peak_flops_per_sm();
+
+    // Compute-efficiency factors (GEMM pipelines need depth and area to
+    // amortize prologue/epilogue work).
+    let eff_compute = match gemm_dims(op) {
+        Some((_, _, k, _)) => {
+            let tile = launch.tile.dims();
+            let area = (tile[tile.len() - 2] * tile[tile.len() - 1]) as f64;
+            let k = k as f64;
+            (k / (k + params.gemm_k_half)) * (area / (area + params.gemm_area_half))
+        }
+        None => 1.0,
+    };
+
+    let compute_time = (total_flops / tiles) / (flops_share * eff_compute).max(1.0);
+    let mem_time = (total_dram / tiles) / bw_share;
+
+    // Latency hiding saturates with resident waves (Figure 5).
+    let waves = launch.num_waves as f64;
+    let u_max = (cp.u_max_base + cp.u_max_per_gen * f64::from(maturity)).min(0.95);
+    let hide = u_max * waves / (waves + cp.wave_half);
+    let tile_time = compute_time.max(mem_time) / hide;
+
+    // Wave schedule: full waves plus a cheaper tail (memory-bound tails
+    // finish faster because the remaining SMs share the full bandwidth).
+    let full_waves = launch.num_tiles / u64::from(spec.num_sms());
+    let rem = launch.num_tiles % u64::from(spec.num_sms());
+    let effective_waves = if full_waves == 0 {
+        1.0
+    } else if rem == 0 {
+        full_waves as f64
+    } else {
+        let tail_occ = rem as f64 / sms;
+        let cb_frac = compute_time / (compute_time + mem_time).max(f64::MIN_POSITIVE);
+        let tail = cb_frac + (1.0 - cb_frac) * tail_occ.sqrt().max(0.3);
+        full_waves as f64 + tail
+    };
+
+    let launch_overhead = (params.launch_overhead_base_s
+        - params.launch_overhead_per_gen_s * f64::from(maturity))
+    .max(1.5e-6);
+
+    KernelTiming {
+        latency_s: launch_overhead + tile_time * effective_waves,
+        dram_bytes: total_dram,
+        executed_flops: total_flops,
+        tile_time_s: tile_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::dispatch;
+    use neusight_gpu::{catalog, roofline, EwKind};
+
+    fn timing(op: &OpDesc, gpu: &str) -> KernelTiming {
+        let spec = catalog::gpu(gpu).unwrap();
+        let launch = dispatch(op, &spec);
+        kernel_timing(op, &launch, DType::F32, &spec, &SimParams::default())
+    }
+
+    #[test]
+    fn latency_positive_and_finite() {
+        for op in [
+            OpDesc::bmm(4, 512, 512, 512),
+            OpDesc::fc(1024, 1024, 4096),
+            OpDesc::elementwise(EwKind::Gelu, 1 << 20),
+            OpDesc::softmax(4096, 1024),
+            OpDesc::layer_norm(4096, 1024),
+            OpDesc::embedding(4096, 1024, 50000),
+        ] {
+            let t = timing(&op, "V100");
+            assert!(t.latency_s.is_finite() && t.latency_s > 0.0, "{op}");
+        }
+    }
+
+    #[test]
+    fn achieved_never_exceeds_roofline() {
+        // The simulated hardware obeys the physical performance laws the
+        // predictor assumes (Eq. 1): achieved FLOPS stays under the roofline
+        // computed from *logical* traffic.
+        let specs = catalog::all();
+        let ops = [
+            OpDesc::bmm(64, 1024, 1024, 1024),
+            OpDesc::bmm(1, 64, 64, 64),
+            OpDesc::fc(8192, 4096, 4096),
+            OpDesc::elementwise(EwKind::Add, 1 << 22),
+            OpDesc::softmax(16384, 2048),
+            OpDesc::layer_norm(16384, 2048),
+        ];
+        for entry in &specs {
+            for op in &ops {
+                let launch = dispatch(op, &entry.spec);
+                let t = kernel_timing(op, &launch, DType::F32, &entry.spec, &SimParams::default());
+                if op.flops() > 0.0 {
+                    let achieved = op.flops() / t.latency_s;
+                    let roof = roofline::roofline_flops_for(op, DType::F32, &entry.spec);
+                    assert!(
+                        achieved <= roof * 1.0001,
+                        "{} on {}: achieved {achieved:.3e} > roof {roof:.3e}",
+                        op,
+                        entry.spec.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_saturates_with_waves() {
+        // Figure 5: growing the batch of a 256^3 BMM raises achieved
+        // throughput toward a plateau.
+        let mut last = 0.0f64;
+        let mut improvements = Vec::new();
+        for batch in [1u64, 2, 5, 10, 40, 100, 300] {
+            let op = OpDesc::bmm(batch, 256, 256, 256);
+            let t = timing(&op, "V100");
+            let tput = op.flops() / t.latency_s;
+            improvements.push(tput / last.max(1.0));
+            last = tput;
+        }
+        // Monotone growth…
+        assert!(improvements[1..].iter().all(|&r| r > 0.99));
+        // …with diminishing returns: the relative gain of the last step is
+        // far smaller than that of the first doubling.
+        let early_gain = improvements[1] - 1.0;
+        let late_gain = improvements.last().unwrap() - 1.0;
+        assert!(
+            late_gain < early_gain * 0.5,
+            "early {early_gain} late {late_gain}"
+        );
+    }
+
+    #[test]
+    fn bigger_gpu_is_faster_on_big_kernels() {
+        let op = OpDesc::bmm(32, 2048, 2048, 2048);
+        let v100 = timing(&op, "V100").latency_s;
+        let a100 = timing(&op, "A100-40GB").latency_s;
+        let h100 = timing(&op, "H100").latency_s;
+        assert!(a100 < v100);
+        assert!(h100 < a100);
+    }
+
+    #[test]
+    fn memory_bound_kernel_tracks_bandwidth() {
+        let op = OpDesc::elementwise(EwKind::Add, 1 << 24);
+        let h100 = timing(&op, "H100").latency_s; // 3430 GB/s
+        let l4 = timing(&op, "L4").latency_s; // 300 GB/s
+        let ratio = l4 / h100;
+        assert!(
+            (4.0..16.0).contains(&ratio),
+            "bandwidth ratio not reflected: {ratio}"
+        );
+    }
+
+    #[test]
+    fn small_kernels_dominated_by_launch_overhead() {
+        let op = OpDesc::elementwise(EwKind::Relu, 512);
+        let t = timing(&op, "H100");
+        assert!(t.latency_s < 10e-6, "tiny kernel too slow: {}", t.latency_s);
+        assert!(t.latency_s > 1e-6, "launch overhead missing");
+    }
+
+    #[test]
+    fn dram_traffic_at_least_logical_for_unfused() {
+        let params = SimParams::default();
+        for op in [
+            OpDesc::bmm(8, 777, 333, 129),
+            OpDesc::fc(1000, 515, 2049),
+            OpDesc::softmax(5000, 777),
+        ] {
+            for entry in catalog::all() {
+                let launch = dispatch(&op, &entry.spec);
+                let dram = dram_bytes(&op, &launch, DType::F32, &entry.spec, &params);
+                assert!(
+                    dram >= op.memory_bytes(DType::F32) * 0.999,
+                    "{} on {}",
+                    op,
+                    entry.spec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn l2_cache_reduces_gemm_traffic() {
+        // A100's 40 MB L2 absorbs panel re-fetches that P100's 4 MB cannot.
+        let op = OpDesc::bmm(8, 2048, 2048, 1024);
+        let params = SimParams::default();
+        let p100 = catalog::gpu("P100").unwrap();
+        let a100 = catalog::gpu("A100-40GB").unwrap();
+        let d_p100 = dram_bytes(&op, &dispatch(&op, &p100), DType::F32, &p100, &params);
+        let d_a100 = dram_bytes(&op, &dispatch(&op, &a100), DType::F32, &a100, &params);
+        let logical = op.memory_bytes(DType::F32);
+        assert!(d_a100 / logical < d_p100 / logical);
+    }
+
+    #[test]
+    fn legacy_reductions_move_more_bytes() {
+        let op = OpDesc::softmax(8192, 1024);
+        let params = SimParams::default();
+        let p4 = catalog::gpu("P4").unwrap(); // maturity 0
+        let h100 = catalog::gpu("H100").unwrap(); // maturity 4
+        let old = dram_bytes(&op, &dispatch(&op, &p4), DType::F32, &p4, &params);
+        let new = dram_bytes(&op, &dispatch(&op, &h100), DType::F32, &h100, &params);
+        assert!((old / op.memory_bytes(DType::F32) - 1.5).abs() < 1e-9);
+        assert!((new / op.memory_bytes(DType::F32) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn padding_inflates_odd_shapes() {
+        let spec = catalog::gpu("V100").unwrap();
+        let op = OpDesc::bmm(1, 129, 129, 256); // just over a tile boundary
+        let launch = dispatch(&op, &spec);
+        let padded = padded_flops(&op, &launch);
+        assert!(padded > op.flops() * 1.05, "padding not modeled");
+    }
+
+    #[test]
+    fn fused_kernel_faster_than_parts() {
+        let spec = catalog::gpu("A100-40GB").unwrap();
+        let params = SimParams::default();
+        let add = OpDesc::elementwise(EwKind::Add, 4096 * 1280);
+        let ln = OpDesc::layer_norm(4096, 1280);
+        let fused = OpDesc::fused(vec![add.clone(), ln.clone()]).unwrap();
+        let t = |op: &OpDesc| {
+            let launch = dispatch(op, &spec);
+            kernel_timing(op, &launch, DType::F32, &spec, &params).latency_s
+        };
+        assert!(t(&fused) < t(&add) + t(&ln));
+    }
+}

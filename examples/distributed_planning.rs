@@ -1,0 +1,59 @@
+//! Distributed planning: decide how to parallelize GPT3-XL training on a
+//! 4×H100 DGX box *before renting one* — forecast data, tensor and
+//! pipeline parallelism, skipping configurations that would OOM.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example distributed_planning
+//! ```
+
+use neusight::dist::{a100_nvlink_4x, fits_server, h100_dgx_4x, plan_training, SimServer};
+use neusight::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = neusight::data::collect_training_set(
+        &neusight::data::training_gpus(),
+        SweepScale::Standard,
+        DType::F32,
+    );
+    let neusight = NeuSight::train(&data, &NeuSightConfig::standard())?;
+    let forecaster = DistForecaster::new(&neusight);
+
+    let model = neusight::graph::config::gpt3_xl();
+    let global_batch = 4;
+    let strategies = [
+        ParallelStrategy::Data,
+        ParallelStrategy::Tensor,
+        ParallelStrategy::gpipe(4),
+    ];
+
+    for server in [a100_nvlink_4x()?, h100_dgx_4x()?] {
+        println!(
+            "\n=== {server} — {} global batch {global_batch} ===",
+            model.name
+        );
+        let sim = SimServer::new(server.clone());
+        for strategy in strategies {
+            if !fits_server(&model, global_batch, strategy, &server, DType::F32) {
+                println!("{:<18} OOM", strategy.label());
+                continue;
+            }
+            let plan = plan_training(&model, global_batch, server.num_gpus, strategy, DType::F32)?;
+            let forecast_ms = forecaster.predict_iteration(&plan, &server) * 1e3;
+            // In this reproduction we can also "rent" the simulated server
+            // to check the forecast.
+            let measured_ms = sim.measure_iteration(&plan, DType::F32) * 1e3;
+            println!(
+                "{:<18} forecast {forecast_ms:>8.1} ms   (simulated actual {measured_ms:>8.1} ms, err {:>4.1}%)",
+                strategy.label(),
+                (forecast_ms - measured_ms).abs() / measured_ms * 100.0
+            );
+        }
+    }
+    println!(
+        "\nReading the plan: tensor parallel wins at this scale; GPipe with 4\n\
+         micro-batches pays ~43% bubble overhead; the A100-40GB box cannot\n\
+         hold the 1.3B-parameter optimizer states at all."
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Forecasting on hardware that does not exist yet: the paper's
+//! motivating use case for announced-but-unreleased GPUs (§4.3 mentions
+//! Blackwell). NeuSight only needs the datasheet numbers — build a
+//! hypothetical next-generation [`GpuSpec`] and forecast a model on it.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example future_gpu
+//! ```
+
+use neusight::gpu::Generation;
+use neusight::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = neusight::data::collect_training_set(
+        &neusight::data::training_gpus(),
+        SweepScale::Standard,
+        DType::F32,
+    );
+    let neusight = NeuSight::train(&data, &NeuSightConfig::standard())?;
+
+    // A hypothetical successor built purely from announced datasheet-style
+    // numbers (loosely Blackwell-class): nothing here requires silicon.
+    let future = GpuSpec::builder("B200-hypothetical")
+        .year(2024)
+        .generation(Generation::Hopper) // tag is sim-only; the predictor never sees it
+        .peak_tflops(80.0)
+        .memory_gb(192.0)
+        .memory_gbps(8000.0)
+        .num_sms(160)
+        .l2_mb(126.0)
+        .build()?;
+    println!("forecasting on: {future}\n");
+
+    let h100 = neusight::gpu::catalog::gpu("H100")?;
+    println!(
+        "{:<12} {:>6} {:>16} {:>16} {:>9}",
+        "Model", "Batch", "H100 (ms)", "B200-hyp (ms)", "Speedup"
+    );
+    for model in neusight::graph::config::table4() {
+        let batch = 4;
+        let graph = neusight::graph::inference_graph(&model, batch);
+        let on_h100 = neusight.predict_graph(&graph, &h100)?.total_s * 1e3;
+        let on_future = neusight.predict_graph(&graph, &future)?.total_s * 1e3;
+        println!(
+            "{:<12} {:>6} {:>16.1} {:>16.1} {:>8.2}x",
+            model.name,
+            batch,
+            on_h100,
+            on_future,
+            on_h100 / on_future
+        );
+    }
+    println!(
+        "\nEvery forecast stayed bounded by the new GPU's roofline — the\n\
+         performance-law head cannot promise more than the datasheet allows."
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! GPU shopping: the paper's motivating use case (a) — compare the same
+//! workload across every GPU in the catalog *without access to any of
+//! them*, to pick the device that meets a latency target.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example gpu_shopping
+//! ```
+
+use neusight::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train once (tiny budget keeps the example snappy; use
+    // NeuSightConfig::standard() for evaluation-grade accuracy).
+    let data = neusight::data::collect_training_set(
+        &neusight::data::training_gpus(),
+        SweepScale::Standard,
+        DType::F32,
+    );
+    let neusight = NeuSight::train(&data, &NeuSightConfig::standard())?;
+
+    // The workload we are shopping for: OPT-1.3B batch-4 first-token
+    // inference under a 700 ms latency target.
+    let model = neusight::graph::config::opt_1_3b();
+    let batch = 4;
+    let target_ms = 700.0;
+    let graph = neusight::graph::inference_graph(&model, batch);
+
+    println!(
+        "Forecasting {} batch-{batch} inference across the catalog (target {target_ms} ms):\n",
+        model.name
+    );
+    println!(
+        "{:<12} {:>12} {:>10} {:>8}",
+        "GPU", "Forecast (ms)", "Fits mem?", "Meets?"
+    );
+    let mut best: Option<(String, f64)> = None;
+    for entry in neusight::gpu::catalog::all() {
+        let spec = entry.spec;
+        let fits = neusight::sim::memory::fits(&model, batch, DType::F32, false, &spec);
+        let forecast_ms = neusight.predict_graph(&graph, &spec)?.total_s * 1e3;
+        let meets = fits && forecast_ms <= target_ms;
+        println!(
+            "{:<12} {:>12.1} {:>10} {:>8}",
+            spec.name(),
+            forecast_ms,
+            if fits { "yes" } else { "no" },
+            if meets { "yes" } else { "-" }
+        );
+        if meets && best.as_ref().is_none_or(|(_, t)| forecast_ms < *t) {
+            best = Some((spec.name().to_owned(), forecast_ms));
+        }
+    }
+    match best {
+        Some((name, ms)) => println!("\ncheapest-to-verify pick: {name} at a forecast {ms:.1} ms"),
+        None => println!("\nno catalog GPU meets the target — consider multi-GPU serving"),
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: measure a kernel sweep on the training GPUs, train
+//! NeuSight, and forecast GPT-2 Large inference latency on an H100 the
+//! framework has never seen — then check the forecast against the
+//! simulated H100.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use neusight::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Collect the §6.1-style training sweep on the five training-set
+    //    GPUs (P4, P100, V100, T4, A100-40GB). `Standard` scale takes a
+    //    minute or two of training; `Tiny` trains in seconds.
+    println!("collecting kernel measurements on the training GPUs…");
+    let gpus = neusight::data::training_gpus();
+    let data = neusight::data::collect_training_set(&gpus, SweepScale::Standard, DType::F32);
+    println!("  {} kernel records from {:?}", data.len(), data.gpus());
+
+    // 2. Train the five family predictors + tile database.
+    println!("training NeuSight…");
+    let neusight = NeuSight::train(&data, &NeuSightConfig::standard())?;
+    for (family, smape) in neusight.validation_report() {
+        println!("  validation SMAPE[{family}] = {smape:.3}");
+    }
+
+    // 3. Forecast GPT-2 Large (batch 4) time-to-first-token on an H100 —
+    //    a GPU absent from the training set.
+    let h100 = neusight::gpu::catalog::gpu("H100")?;
+    let model = neusight::graph::config::gpt2_large();
+    let graph = neusight::graph::inference_graph(&model, 4);
+    let forecast = neusight.predict_graph(&graph, &h100)?;
+    println!(
+        "\nforecast: {} batch-4 inference on {} = {:.1} ms ({} kernels)",
+        model.name,
+        h100.name(),
+        forecast.total_s * 1e3,
+        graph.len()
+    );
+
+    // 4. Compare against "running" it (the simulated H100 stands in for
+    //    the physical device in this reproduction).
+    let measured = SimulatedGpu::new(h100.clone())
+        .execute_graph(&graph, DType::F32)
+        .total_s;
+    let err = (forecast.total_s - measured).abs() / measured * 100.0;
+    println!(
+        "measured:  {:.1} ms  ->  percentage error {err:.1}%",
+        measured * 1e3
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! LLM serving-latency planning: forecast time-to-first-token (prefill)
+//! and steady-state tokens/second (KV-cache decode) for GPT2-Large across
+//! GPUs — the numbers an inference-serving team actually budgets.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example serving_latency
+//! ```
+
+use neusight::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = neusight::data::collect_training_set(
+        &neusight::data::training_gpus(),
+        SweepScale::Standard,
+        DType::F32,
+    );
+    let neusight = NeuSight::train(&data, &NeuSightConfig::standard())?;
+
+    let model = neusight::graph::config::gpt2_large();
+    let batch = 8;
+    let prompt_len = model.seq_len; // the full 1024-token prompt
+    let new_tokens = 128u64;
+
+    println!(
+        "Serving forecast: {} batch {batch}, {prompt_len}-token prompts, {new_tokens} generated tokens\n",
+        model.name
+    );
+    println!(
+        "{:<12} {:>11} {:>14} {:>12} {:>14}",
+        "GPU", "TTFT (ms)", "per-token (ms)", "tokens/s", "request (ms)"
+    );
+
+    let prefill = neusight::graph::inference_graph(&model, batch);
+    for entry in neusight::gpu::catalog::all() {
+        let spec = entry.spec;
+        if !neusight::sim::memory::fits(&model, batch, DType::F32, false, &spec) {
+            println!("{:<12} {:>11}", spec.name(), "OOM");
+            continue;
+        }
+        let ttft_ms = neusight.predict_graph(&prefill, &spec)?.total_s * 1e3;
+        // Decode cost varies with cache length; average over the window.
+        let mut decode_total_ms = 0.0;
+        for step in [0u64, new_tokens / 2, new_tokens - 1] {
+            let g = neusight::graph::decode_graph(&model, batch, prompt_len + step);
+            decode_total_ms += neusight.predict_graph(&g, &spec)?.total_s * 1e3;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let per_token_ms = decode_total_ms / 3.0;
+        let tokens_per_s = f64::from(u32::try_from(batch).unwrap_or(1)) * 1e3 / per_token_ms;
+        let request_ms = ttft_ms + per_token_ms * new_tokens as f64;
+        println!(
+            "{:<12} {:>11.1} {:>14.2} {:>12.0} {:>14.0}",
+            spec.name(),
+            ttft_ms,
+            per_token_ms,
+            tokens_per_s,
+            request_ms
+        );
+    }
+    println!(
+        "\nDecode steps are bandwidth-bound (weights + KV cache re-read per\n\
+         token), so per-token latency tracks memory bandwidth while TTFT\n\
+         tracks compute — exactly why serving teams weigh the two separately."
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! **NeuSight-rs**: a full Rust reproduction of *"Forecasting GPU
+//! Performance for Deep Learning Training and Inference"* (NeuSight,
+//! ASPLOS 2025) — predict the latency of deep learning models on GPUs you
+//! have never run on, bounded by hardware performance laws.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`gpu`] | `neusight-gpu` | GPU specs (Table 3), operator descriptors, tiling & roofline math |
+//! | [`nn`] | `neusight-nn` | from-scratch MLP / AdamW / SMAPE training stack |
+//! | [`graph`] | `neusight-graph` | DNN graph IR, transformer zoo (Table 4), backward derivation, fusion |
+//! | [`sim`] | `neusight-sim` | the simulated GPUs standing in for physical hardware |
+//! | [`data`] | `neusight-data` | §6.1 operator sweeps and measurement collection |
+//! | [`core`] | `neusight-core` | **NeuSight itself**: tile-granularity bounded prediction |
+//! | [`baselines`] | `neusight-baselines` | roofline, Habitat, Li et al., Table 1 big models |
+//! | [`dist`] | `neusight-dist` | multi-GPU servers, collectives, DP/TP/PP forecasting |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use neusight::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Measure a training sweep on the five training-set GPUs.
+//! let data = neusight::data::collect_training_set(
+//!     &neusight::data::training_gpus(), SweepScale::Tiny, DType::F32);
+//!
+//! // 2. Train NeuSight.
+//! let neusight = NeuSight::train(&data, &NeuSightConfig::tiny())?;
+//!
+//! // 3. Forecast GPT-2 Large inference on an H100 no predictor ever saw.
+//! let h100 = neusight::gpu::catalog::gpu("H100")?;
+//! let graph = neusight::graph::inference_graph(
+//!     &neusight::graph::config::gpt2_large(), 4);
+//! let forecast = neusight.predict_graph(&graph, &h100)?;
+//! println!("predicted: {:.1} ms", forecast.total_s * 1e3);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the binaries regenerating every table and figure of the paper.
+
+pub use neusight_baselines as baselines;
+pub use neusight_core as core;
+pub use neusight_data as data;
+pub use neusight_dist as dist;
+pub use neusight_gpu as gpu;
+pub use neusight_graph as graph;
+pub use neusight_nn as nn;
+pub use neusight_sim as sim;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use neusight_baselines::{
+        HabitatBaseline, LiBaseline, OpLatencyPredictor, RooflineBaseline,
+    };
+    pub use neusight_core::{NeuSight, NeuSightConfig};
+    pub use neusight_data::SweepScale;
+    pub use neusight_dist::{DistForecaster, ParallelStrategy};
+    pub use neusight_gpu::{DType, GpuSpec, OpDesc};
+    pub use neusight_graph::{Graph, ModelConfig};
+    pub use neusight_sim::SimulatedGpu;
+}

@@ -1,0 +1,110 @@
+//! Integration tests for the distributed forecasting path: plans,
+//! simulated measurement, NeuSight-composed prediction, and OOM logic,
+//! wired through the facade crate.
+
+use neusight::dist::{
+    a100_nvlink_4x, fits_server, gpipe_bubble_fraction, h100_dgx_4x, plan_training, DistForecaster,
+    DistPlan, SimServer,
+};
+use neusight::prelude::*;
+use neusight_core::NeuSight as CoreNeuSight;
+use neusight_graph::config;
+
+fn small_gpt2() -> neusight::graph::ModelConfig {
+    let mut cfg = config::gpt2_large();
+    cfg.num_layers = 4;
+    cfg
+}
+
+fn tiny_neusight() -> CoreNeuSight {
+    let data = neusight::data::collect_training_set(
+        &neusight::data::training_gpus(),
+        SweepScale::Tiny,
+        DType::F32,
+    );
+    CoreNeuSight::train(&data, &NeuSightConfig::tiny()).unwrap()
+}
+
+#[test]
+fn all_strategies_forecast_and_measure() {
+    let ns = tiny_neusight();
+    let forecaster = DistForecaster::new(&ns);
+    let server = h100_dgx_4x().unwrap();
+    let sim = SimServer::new(server.clone());
+    let cfg = small_gpt2();
+    for strategy in [
+        ParallelStrategy::Data,
+        ParallelStrategy::Tensor,
+        ParallelStrategy::gpipe(4),
+    ] {
+        let plan = plan_training(&cfg, 8, 4, strategy, DType::F32).unwrap();
+        let predicted = forecaster.predict_iteration(&plan, &server);
+        let measured = sim.measure_iteration(&plan, DType::F32);
+        assert!(predicted > 0.0 && measured > 0.0, "{}", strategy.label());
+        let ratio = predicted / measured;
+        assert!(
+            (0.1..10.0).contains(&ratio),
+            "{}: ratio {ratio}",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn data_parallel_scales_down_per_gpu_compute() {
+    let cfg = small_gpt2();
+    let narrow = plan_training(&cfg, 8, 2, ParallelStrategy::Data, DType::F32).unwrap();
+    let wide = plan_training(&cfg, 8, 4, ParallelStrategy::Data, DType::F32).unwrap();
+    let flops = |plan: &DistPlan| match plan {
+        DistPlan::Data { per_gpu, .. } => per_gpu.total_flops(),
+        _ => unreachable!(),
+    };
+    let ratio = flops(&narrow) / flops(&wide);
+    assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn faster_fabric_gives_faster_iterations() {
+    let ns = tiny_neusight();
+    let forecaster = DistForecaster::new(&ns);
+    let cfg = small_gpt2();
+    let plan = plan_training(&cfg, 8, 4, ParallelStrategy::Tensor, DType::F32).unwrap();
+    let a100 = forecaster.predict_iteration(&plan, &a100_nvlink_4x().unwrap());
+    let h100 = forecaster.predict_iteration(&plan, &h100_dgx_4x().unwrap());
+    assert!(h100 < a100);
+}
+
+#[test]
+fn oom_pattern_matches_table6() {
+    let a100 = a100_nvlink_4x().unwrap();
+    let h100 = h100_dgx_4x().unwrap();
+    let gpt2 = config::gpt2_large();
+    let pp = ParallelStrategy::gpipe(4);
+    for strategy in [ParallelStrategy::Data, ParallelStrategy::Tensor, pp] {
+        assert!(fits_server(&gpt2, 8, strategy, &a100, DType::F32));
+        assert!(!fits_server(&gpt2, 16, strategy, &a100, DType::F32));
+        assert!(fits_server(&gpt2, 16, strategy, &h100, DType::F32));
+    }
+}
+
+#[test]
+fn gpipe_bubbles_match_the_closed_form() {
+    assert!((gpipe_bubble_fraction(4, 4) - 3.0 / 7.0).abs() < 1e-12);
+    assert!((gpipe_bubble_fraction(4, 64) - 3.0 / 67.0).abs() < 1e-12);
+}
+
+#[test]
+fn roofline_baseline_composes_with_distributed_forecasting() {
+    // The forecaster is generic over the kernel predictor.
+    let roofline = RooflineBaseline::new(DType::F32);
+    let forecaster = DistForecaster::new(&roofline);
+    let cfg = small_gpt2();
+    let server = a100_nvlink_4x().unwrap();
+    let plan = plan_training(&cfg, 4, 4, ParallelStrategy::Data, DType::F32).unwrap();
+    let optimistic = forecaster.predict_iteration(&plan, &server);
+    let measured = SimServer::new(server).measure_iteration(&plan, DType::F32);
+    assert!(
+        optimistic < measured,
+        "roofline must stay optimistic: {optimistic} vs {measured}"
+    );
+}

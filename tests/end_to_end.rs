@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: the full measure → train → forecast
+//! pipeline, exercised end-to-end at the tiny training scale.
+
+use neusight::prelude::*;
+use neusight_core::NeuSight as CoreNeuSight;
+use neusight_gpu::{catalog, roofline};
+use neusight_graph::{config, fuse_graph, inference_graph, training_graph};
+
+fn tiny_neusight() -> CoreNeuSight {
+    let data = neusight::data::collect_training_set(
+        &neusight::data::training_gpus(),
+        SweepScale::Tiny,
+        DType::F32,
+    );
+    CoreNeuSight::train(&data, &NeuSightConfig::tiny()).expect("tiny training succeeds")
+}
+
+#[test]
+fn pipeline_trains_and_forecasts_every_catalog_gpu() {
+    let ns = tiny_neusight();
+    let model = config::bert_large();
+    let graph = inference_graph(&model, 2);
+    for entry in catalog::all() {
+        let forecast = ns.predict_graph(&graph, &entry.spec).expect("prediction");
+        assert!(
+            forecast.total_s.is_finite() && forecast.total_s > 0.0,
+            "{}",
+            entry.spec.name()
+        );
+        assert_eq!(forecast.per_node_s.len(), graph.len());
+    }
+}
+
+#[test]
+fn forecasts_never_beat_the_roofline() {
+    // The defining property of NeuSight: the end-to-end forecast cannot be
+    // faster than the sum of per-kernel roofline lower bounds.
+    let ns = tiny_neusight();
+    let h100 = catalog::gpu("H100").unwrap();
+    for model in [config::gpt2_large(), config::gpt3_xl()] {
+        let graph = inference_graph(&model, 2);
+        let forecast = ns.predict_graph(&graph, &h100).unwrap();
+        let floor: f64 = graph
+            .iter()
+            .map(|n| roofline::ideal_latency(&n.op, DType::F32, &h100))
+            .sum();
+        assert!(
+            forecast.total_s >= floor * 0.99,
+            "{}: forecast {} under physics floor {}",
+            model.name,
+            forecast.total_s,
+            floor
+        );
+    }
+}
+
+#[test]
+fn training_forecast_exceeds_inference_forecast() {
+    let ns = tiny_neusight();
+    let spec = catalog::gpu("A100-40GB").unwrap();
+    let model = config::bert_large();
+    let infer = ns
+        .predict_graph(&inference_graph(&model, 2), &spec)
+        .unwrap()
+        .total_s;
+    let train = ns
+        .predict_graph(&training_graph(&model, 2), &spec)
+        .unwrap()
+        .total_s;
+    assert!(train > 2.0 * infer, "train {train} vs infer {infer}");
+}
+
+#[test]
+fn fusion_forecast_is_never_slower() {
+    let ns = tiny_neusight();
+    let spec = catalog::gpu("L4").unwrap();
+    let graph = inference_graph(&config::gpt2_large(), 2);
+    let fused = fuse_graph(&graph);
+    let plain_s = ns.predict_graph(&graph, &spec).unwrap().total_s;
+    let fused_s = ns.predict_graph(&fused, &spec).unwrap().total_s;
+    assert!(fused_s <= plain_s, "fused {fused_s} > plain {plain_s}");
+}
+
+#[test]
+fn faster_gpu_gets_faster_forecast_on_big_models() {
+    let ns = tiny_neusight();
+    let graph = inference_graph(&config::gpt3_xl(), 4);
+    let p100 = ns
+        .predict_graph(&graph, &catalog::gpu("P100").unwrap())
+        .unwrap()
+        .total_s;
+    let h100 = ns
+        .predict_graph(&graph, &catalog::gpu("H100").unwrap())
+        .unwrap()
+        .total_s;
+    assert!(h100 < p100, "H100 {h100} should beat P100 {p100}");
+}
+
+#[test]
+fn save_load_round_trip_through_facade() {
+    let ns = tiny_neusight();
+    let dir = std::env::temp_dir().join("neusight-e2e-artifact");
+    let path = dir.join("framework.json");
+    ns.save(&path).unwrap();
+    let restored = CoreNeuSight::load(&path).unwrap();
+    let spec = catalog::gpu("T4").unwrap();
+    let op = OpDesc::bmm(8, 256, 256, 256);
+    assert_eq!(
+        ns.predict_op(&op, &spec).unwrap(),
+        restored.predict_op(&op, &spec).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn baselines_and_neusight_share_the_predictor_interface() {
+    use neusight::baselines::OpLatencyPredictor;
+    let data = neusight::data::collect_training_set(
+        &neusight::data::training_gpus(),
+        SweepScale::Tiny,
+        DType::F32,
+    );
+    let ns = CoreNeuSight::train(&data, &NeuSightConfig::tiny()).unwrap();
+    let habitat = HabitatBaseline::train(
+        &data,
+        DType::F32,
+        &neusight::baselines::habitat::HabitatConfig::tiny(),
+    )
+    .unwrap();
+    let li = LiBaseline::train(&data).unwrap();
+    let roofline = RooflineBaseline::new(DType::F32);
+    let predictors: Vec<&dyn OpLatencyPredictor> = vec![&roofline, &habitat, &li, &ns];
+    let spec = catalog::gpu("V100").unwrap();
+    let graph = inference_graph(&config::bert_large(), 1);
+    for p in predictors {
+        let lat = p.predict_graph(&graph, &spec);
+        assert!(lat.total_s > 0.0, "{}", p.name());
+    }
+}

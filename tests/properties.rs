@@ -1,0 +1,140 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! kernels, GPUs and graphs, spanning simulator, predictor and baselines.
+
+use neusight::prelude::*;
+use neusight_core::NeuSight as CoreNeuSight;
+use neusight_gpu::{catalog, roofline, EwKind};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared tiny-trained framework for all property cases (training per
+/// case would dominate the run time).
+fn shared_neusight() -> &'static CoreNeuSight {
+    static CELL: OnceLock<CoreNeuSight> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let data = neusight::data::collect_training_set(
+            &neusight::data::training_gpus(),
+            SweepScale::Tiny,
+            DType::F32,
+        );
+        CoreNeuSight::train(&data, &NeuSightConfig::tiny()).expect("tiny training")
+    })
+}
+
+fn arb_gpu() -> impl Strategy<Value = neusight::gpu::GpuSpec> {
+    prop::sample::select(
+        catalog::all()
+            .into_iter()
+            .map(|e| e.spec)
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn arb_op() -> impl Strategy<Value = OpDesc> {
+    prop_oneof![
+        (1u64..64, 1u64..2048, 1u64..2048, 1u64..2048)
+            .prop_map(|(b, m, n, k)| OpDesc::bmm(b, m, n, k)),
+        (1u64..8192, 1u64..8192, 1u64..8192).prop_map(|(b, i, o)| OpDesc::fc(b, i, o)),
+        (1u64..(1 << 24)).prop_map(|n| OpDesc::elementwise(EwKind::Gelu, n)),
+        (1u64..65536, 1u64..8192).prop_map(|(r, d)| OpDesc::softmax(r, d)),
+        (1u64..65536, 1u64..8192).prop_map(|(r, d)| OpDesc::layer_norm(r, d)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The simulator never beats the roofline bound (logical traffic).
+    #[test]
+    fn simulator_obeys_performance_laws(op in arb_op(), spec in arb_gpu()) {
+        let gpu = SimulatedGpu::new(spec.clone()).with_noise_sigma(0.0);
+        let latency = gpu.ideal_latency(&op, DType::F32);
+        prop_assert!(latency.is_finite() && latency > 0.0);
+        if op.flops() > 0.0 {
+            let achieved = op.flops() / latency;
+            let roof = roofline::roofline_flops_for(&op, DType::F32, &spec);
+            prop_assert!(achieved <= roof * 1.0001, "achieved {achieved} roof {roof}");
+        }
+    }
+
+    /// NeuSight's forecast for any kernel is positive, finite, and no
+    /// faster than its own launch geometry allows at 100% utilization.
+    #[test]
+    fn forecasts_bounded_by_physics(op in arb_op(), spec in arb_gpu()) {
+        let ns = shared_neusight();
+        let lat = ns.predict_op(&op, &spec).expect("prediction");
+        prop_assert!(lat.is_finite() && lat > 0.0);
+        if op.flops() > 0.0 {
+            let launch = ns.plan_launch(&op, &spec).expect("launch");
+            let q = neusight_core::features::tile_quantities(&op, &launch, DType::F32);
+            let floor = neusight_core::predictor::latency_from_utilization(&q, 0.999, &spec);
+            prop_assert!(lat >= floor * 0.999);
+        }
+    }
+
+    /// Measurement noise is multiplicative and small: the 25-run mean is
+    /// within a few percent of the noise-free latency.
+    #[test]
+    fn measurement_noise_is_bounded(op in arb_op(), spec in arb_gpu()) {
+        let gpu = SimulatedGpu::new(spec);
+        let ideal = gpu.ideal_latency(&op, DType::F32);
+        let measured = gpu.measure(&op, DType::F32, 25).mean_latency_s;
+        prop_assert!((measured / ideal - 1.0).abs() < 0.05);
+    }
+
+    /// Simulated latency is monotone in batch for tile-aligned BMMs.
+    /// (Odd dimensions can legitimately dip when a larger batch crosses a
+    /// dispatch boundary into a better-fitting tile — real libraries show
+    /// the same quantization cliffs — so strict monotonicity only holds on
+    /// aligned shapes.)
+    #[test]
+    fn simulator_monotone_in_batch(
+        b in 1u64..32, extra in 1u64..32, exp in 1u32..4, spec in arb_gpu(),
+    ) {
+        let d = 128 << exp; // 256, 512, 1024: multiples of every menu tile
+        let gpu = SimulatedGpu::new(spec).with_noise_sigma(0.0);
+        let small = gpu.ideal_latency(&OpDesc::bmm(b, d, d, d), DType::F32);
+        let large = gpu.ideal_latency(&OpDesc::bmm(b + extra, d, d, d), DType::F32);
+        prop_assert!(large >= small * 0.999);
+    }
+
+    /// Even on arbitrary (odd) shapes, a batch increase never *helps* by
+    /// more than the worst tile-quantization cliff.
+    #[test]
+    fn simulator_batch_cliffs_bounded(
+        b in 1u64..32, extra in 1u64..32, d in 16u64..512, spec in arb_gpu(),
+    ) {
+        let gpu = SimulatedGpu::new(spec).with_noise_sigma(0.0);
+        let small = gpu.ideal_latency(&OpDesc::bmm(b, d, d, d), DType::F32);
+        let large = gpu.ideal_latency(&OpDesc::bmm(b + extra, d, d, d), DType::F32);
+        prop_assert!(large >= small * 0.5, "large {large} small {small}");
+    }
+
+    /// The tile database always produces a launch whose tiles cover the
+    /// output exactly (Eq. 2 consistency on arbitrary kernels, including
+    /// the split-K factor).
+    #[test]
+    fn planned_launches_cover_outputs(op in arb_op(), spec in arb_gpu()) {
+        let ns = shared_neusight();
+        let launch = ns.plan_launch(&op, &spec).expect("launch");
+        let tiles = neusight_gpu::num_tiles(&op.output_dims(), &launch.tile).expect("rank");
+        prop_assert!(launch.split_k >= 1);
+        prop_assert_eq!(tiles * launch.split_k, launch.num_tiles);
+        prop_assert!(launch.num_tiles * launch.tile.numel() >= op.output_numel());
+        prop_assert_eq!(
+            launch.num_waves,
+            neusight_gpu::num_waves(launch.num_tiles, spec.num_sms())
+        );
+    }
+
+    /// Roofline baseline is optimistic for every kernel on every GPU.
+    #[test]
+    fn roofline_baseline_is_a_lower_bound(op in arb_op(), spec in arb_gpu()) {
+        use neusight::baselines::OpLatencyPredictor;
+        let baseline = RooflineBaseline::new(DType::F32);
+        let gpu = SimulatedGpu::new(spec.clone()).with_noise_sigma(0.0);
+        let predicted = baseline.predict_op(&op, &spec);
+        let measured = gpu.ideal_latency(&op, DType::F32);
+        prop_assert!(predicted <= measured * 1.0001);
+    }
+}

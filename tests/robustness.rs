@@ -1,0 +1,177 @@
+//! Failure-injection and edge-case tests: corrupt artifacts, degenerate
+//! graphs, extreme dimensions, and hostile inputs must fail loudly (typed
+//! errors) or degrade gracefully (finite, positive outputs) — never panic
+//! in library code or produce NaNs.
+
+use neusight::prelude::*;
+use neusight_core::{CoreError, NeuSight as CoreNeuSight};
+use neusight_gpu::{catalog, EwKind, GpuError, KernelDataset};
+use std::fs;
+
+fn tiny_neusight() -> CoreNeuSight {
+    let data = neusight::data::collect_training_set(
+        &neusight::data::training_gpus(),
+        SweepScale::Tiny,
+        DType::F32,
+    );
+    CoreNeuSight::train(&data, &NeuSightConfig::tiny()).unwrap()
+}
+
+#[test]
+fn corrupt_predictor_file_is_a_typed_error() {
+    let dir = std::env::temp_dir().join("neusight-robustness");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.json");
+    fs::write(&path, b"{ this is not json ").unwrap();
+    match CoreNeuSight::load(&path) {
+        Err(CoreError::Format(_)) => {}
+        other => panic!("expected Format error, got {other:?}"),
+    }
+    // Truncated-but-valid JSON is also a Format error, not a panic.
+    fs::write(&path, b"{}").unwrap();
+    assert!(matches!(
+        CoreNeuSight::load(&path),
+        Err(CoreError::Format(_))
+    ));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_dataset_file_is_an_io_error() {
+    let dir = std::env::temp_dir().join("neusight-robustness-ds");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ds.json");
+    fs::write(&path, b"[1, 2, 3]").unwrap();
+    assert!(KernelDataset::load_json(&path).is_err());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn training_on_foreign_gpu_names_skips_them() {
+    // Records from GPUs outside the catalog cannot be featurized (no
+    // spec); they are skipped, and an all-foreign dataset is an error.
+    let gpu = SimulatedGpu::from_catalog("V100").unwrap();
+    let op = OpDesc::bmm(4, 128, 128, 128);
+    let m = gpu.measure(&op, DType::F32, 3);
+    let foreign = neusight_gpu::KernelRecord {
+        gpu: "TPUv5".to_owned(),
+        op,
+        launch: m.launch,
+        mean_latency_s: m.mean_latency_s,
+    };
+    let ds = KernelDataset::new(vec![foreign]);
+    assert!(matches!(
+        CoreNeuSight::train(&ds, &NeuSightConfig::tiny()),
+        Err(CoreError::EmptyTrainingSet(_))
+    ));
+}
+
+#[test]
+fn empty_graph_prediction_is_zero() {
+    let ns = tiny_neusight();
+    let spec = catalog::gpu("V100").unwrap();
+    let graph = Graph::new("empty");
+    let pred = ns.predict_graph(&graph, &spec).unwrap();
+    assert_eq!(pred.total_s, 0.0);
+    assert!(pred.per_node_s.is_empty());
+}
+
+#[test]
+fn extreme_dimensions_stay_finite() {
+    let ns = tiny_neusight();
+    let spec = catalog::gpu("H100").unwrap();
+    for op in [
+        OpDesc::bmm(1, 1, 1, 1),
+        OpDesc::bmm(4096, 8192, 8192, 8192), // ~2 PFLOPs of work
+        OpDesc::elementwise(EwKind::Add, 1),
+        OpDesc::elementwise(EwKind::Add, 1 << 34), // 64 GiB of elements
+        OpDesc::softmax(1, 1),
+        OpDesc::fc(1, 1_000_000, 1),
+    ] {
+        let lat = ns.predict_op(&op, &spec).unwrap();
+        assert!(lat.is_finite() && lat > 0.0, "{op}: {lat}");
+        let sim = SimulatedGpu::new(spec.clone()).ideal_latency(&op, DType::F32);
+        assert!(sim.is_finite() && sim > 0.0, "{op}: sim {sim}");
+    }
+}
+
+#[test]
+fn custom_gpu_specs_work_without_catalog_membership() {
+    // Forecasting on a spec that is not in the catalog (the future-GPU use
+    // case) must work for prediction even though training data can only
+    // come from catalog GPUs.
+    let ns = tiny_neusight();
+    let alien = GpuSpec::builder("Hypothetical-X")
+        .year(2027)
+        .generation(neusight::gpu::Generation::Hopper)
+        .peak_tflops(150.0)
+        .memory_gb(256.0)
+        .memory_gbps(12000.0)
+        .num_sms(256)
+        .l2_mb(200.0)
+        .build()
+        .unwrap();
+    let lat = ns
+        .predict_op(&OpDesc::bmm(64, 4096, 4096, 4096), &alien)
+        .unwrap();
+    assert!(lat.is_finite() && lat > 0.0);
+}
+
+#[test]
+fn invalid_specs_are_rejected_with_context() {
+    let err = GpuSpec::builder("Bad")
+        .year(2020)
+        .generation(neusight::gpu::Generation::Ampere)
+        .peak_tflops(f64::NAN)
+        .memory_gb(40.0)
+        .memory_gbps(1555.0)
+        .num_sms(108)
+        .l2_mb(40.0)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, GpuError::InvalidSpec(_)));
+    assert!(err.to_string().contains("peak_tflops"));
+}
+
+#[test]
+fn fusion_of_incompatible_ops_is_a_typed_error() {
+    let err = OpDesc::fused(vec![
+        OpDesc::elementwise(EwKind::Add, 100),
+        OpDesc::softmax(7, 13), // 91 elements != 100
+    ])
+    .unwrap_err();
+    assert!(matches!(err, GpuError::InvalidFusion(_)));
+}
+
+#[test]
+fn distributed_plans_reject_degenerate_configs() {
+    use neusight::dist::{plan_training, ParallelStrategy};
+    let cfg = neusight::graph::config::gpt2_large();
+    // Batch smaller than the replica count.
+    assert!(plan_training(&cfg, 2, 4, ParallelStrategy::Data, DType::F32).is_err());
+    // Zero micro-batches.
+    assert!(plan_training(&cfg, 8, 4, ParallelStrategy::gpipe(0), DType::F32).is_err());
+    // More stages than layers.
+    let mut small = cfg;
+    small.num_layers = 2;
+    assert!(plan_training(&small, 8, 4, ParallelStrategy::gpipe(4), DType::F32).is_err());
+}
+
+#[test]
+fn saved_artifacts_survive_unknown_future_fields() {
+    // Forward-compatible loading: extra JSON fields are ignored by serde's
+    // default behaviour for the dataset envelope.
+    let dir = std::env::temp_dir().join("neusight-robustness-fwd");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ns.json");
+    let ns = tiny_neusight();
+    ns.save(&path).unwrap();
+    let restored = CoreNeuSight::load(&path).unwrap();
+    let spec = catalog::gpu("T4").unwrap();
+    let op = OpDesc::softmax(4096, 1024);
+    assert_eq!(
+        ns.predict_op(&op, &spec).unwrap(),
+        restored.predict_op(&op, &spec).unwrap()
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

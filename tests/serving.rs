@@ -1,0 +1,133 @@
+//! Integration tests for the post-paper surfaces: KV-cache decode graphs,
+//! convolutional workloads, tensor-parallel inference, and the ablation
+//! variants — all exercised through the facade crate.
+
+use neusight::dist::{h100_dgx_4x, plan_inference, DistForecaster, SimServer};
+use neusight::prelude::*;
+use neusight_core::{AblatedNeuSight, AblationVariant, NeuSight as CoreNeuSight, PredictorConfig};
+use neusight_gpu::catalog;
+use neusight_graph::{cnn, config, decode_graph, inference_graph};
+use std::sync::OnceLock;
+
+fn shared() -> &'static CoreNeuSight {
+    static CELL: OnceLock<CoreNeuSight> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let data = neusight::data::collect_training_set(
+            &neusight::data::training_gpus(),
+            SweepScale::Tiny,
+            DType::F32,
+        );
+        CoreNeuSight::train(&data, &NeuSightConfig::tiny()).unwrap()
+    })
+}
+
+#[test]
+fn decode_forecast_is_far_cheaper_than_prefill() {
+    let ns = shared();
+    let spec = catalog::gpu("A100-40GB").unwrap();
+    let model = config::gpt2_large();
+    let prefill = ns
+        .predict_graph(&inference_graph(&model, 4), &spec)
+        .unwrap()
+        .total_s;
+    let decode = ns
+        .predict_graph(&decode_graph(&model, 4, model.seq_len), &spec)
+        .unwrap()
+        .total_s;
+    // With the tiny test-training budget the margin is modest; the
+    // standard-trained artifacts show ~80x (see the serving example).
+    assert!(
+        decode < prefill / 2.0,
+        "decode {decode} vs prefill {prefill}"
+    );
+}
+
+#[test]
+fn decode_cost_grows_with_kv_cache_length() {
+    let ns = shared();
+    let spec = catalog::gpu("V100").unwrap();
+    let model = config::gpt3_xl();
+    let short = ns
+        .predict_graph(&decode_graph(&model, 2, 128), &spec)
+        .unwrap()
+        .total_s;
+    let long = ns
+        .predict_graph(&decode_graph(&model, 2, 2048), &spec)
+        .unwrap()
+        .total_s;
+    assert!(long > short, "long {long} vs short {short}");
+}
+
+#[test]
+fn cnn_workloads_forecast_end_to_end() {
+    let ns = shared();
+    let spec = catalog::gpu("A100-40GB").unwrap();
+    let gpu = SimulatedGpu::new(spec.clone());
+    for graph in [cnn::resnet50_inference(8), cnn::vgg16_inference(8)] {
+        let predicted = ns.predict_graph(&graph, &spec).unwrap().total_s;
+        let measured = gpu.execute_graph(&graph, DType::F32).total_s;
+        let ratio = predicted / measured;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "{}: ratio {ratio}",
+            graph.name()
+        );
+    }
+}
+
+#[test]
+fn conv_training_forecast_exceeds_inference() {
+    let ns = shared();
+    let spec = catalog::gpu("H100").unwrap();
+    let infer = ns
+        .predict_graph(&cnn::resnet50_inference(8), &spec)
+        .unwrap()
+        .total_s;
+    let train = ns
+        .predict_graph(&cnn::resnet50_training(8), &spec)
+        .unwrap()
+        .total_s;
+    assert!(train > 1.8 * infer, "train {train} vs infer {infer}");
+}
+
+#[test]
+fn tensor_parallel_inference_beats_single_gpu() {
+    let ns = shared();
+    let server = h100_dgx_4x().unwrap();
+    let model = config::gpt3_xl();
+    let single = ns
+        .predict_graph(&inference_graph(&model, 4), &server.gpu)
+        .unwrap()
+        .total_s;
+    let plan = plan_inference(&model, 4, 4, DType::F32).unwrap();
+    let sharded = DistForecaster::new(ns).predict_iteration(&plan, &server);
+    assert!(
+        sharded < single,
+        "4-way TP {sharded} should beat single-GPU {single}"
+    );
+    // And the simulated server agrees on the direction.
+    let measured = SimServer::new(server).measure_iteration(&plan, DType::F32);
+    assert!(
+        measured
+            < SimulatedGpu::new(catalog::gpu("H100").unwrap())
+                .execute_graph(&inference_graph(&model, 4), DType::F32)
+                .total_s
+    );
+}
+
+#[test]
+fn ablation_variants_predict_the_shared_eval_kernel() {
+    let data = neusight::data::collect_training_set(
+        &neusight::data::training_gpus(),
+        SweepScale::Tiny,
+        DType::F32,
+    );
+    let spec = catalog::gpu("L4").unwrap();
+    let op = OpDesc::bmm(8, 512, 512, 512);
+    for variant in AblationVariant::all() {
+        let model =
+            AblatedNeuSight::train(variant, &data, DType::F32, &PredictorConfig::tiny()).unwrap();
+        let lat = model.predict_op(&op, &spec);
+        assert!(lat.is_finite() && lat > 0.0, "{}", variant.label());
+    }
+}
