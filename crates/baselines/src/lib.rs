@@ -77,6 +77,19 @@ impl OpLatencyPredictor for neusight_core::NeuSight {
         neusight_core::NeuSight::predict_op(self, op, spec)
             .expect("database tiles always cover the output")
     }
+
+    /// Routes through the batched + memoized graph predictor instead of the
+    /// default per-node loop, so every trait consumer (evaluation harness,
+    /// `neusight-dist` plan evaluators) gets the fast path for free.
+    fn predict_graph(&self, graph: &Graph, spec: &neusight_gpu::GpuSpec) -> GraphLatency {
+        let pred = neusight_core::NeuSight::predict_graph(self, graph, spec)
+            .expect("database tiles always cover the output");
+        GraphLatency {
+            total_s: pred.total_s,
+            forward_s: pred.forward_s,
+            backward_s: pred.backward_s,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks of measurement collection: the
+//! work-stealing `(gpu, op)` scheduler against the serial reference path.
+//! Both produce bit-identical datasets; only wall-clock differs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neusight_data::collect_with_threads;
+use neusight_gpu::{DType, OpDesc};
+use neusight_sim::SimulatedGpu;
+use std::hint::black_box;
+
+fn sweep_ops() -> Vec<OpDesc> {
+    let mut ops = Vec::new();
+    for &d in &[64u64, 128, 192, 256] {
+        ops.push(OpDesc::bmm(4, d, d, d));
+        ops.push(OpDesc::fc(64, d, 4 * d));
+        ops.push(OpDesc::softmax(16 * d, d));
+    }
+    ops
+}
+
+fn bench_collection(c: &mut Criterion) {
+    let gpus: Vec<SimulatedGpu> = ["V100", "P100", "T4"]
+        .iter()
+        .map(|n| SimulatedGpu::from_catalog(n).expect("catalog"))
+        .collect();
+    let ops = sweep_ops();
+    let refs: Vec<&OpDesc> = ops.iter().collect();
+
+    c.bench_function("collect_3gpu_sweep_serial", |b| {
+        b.iter(|| collect_with_threads(black_box(&gpus), black_box(&refs), DType::F32, 1));
+    });
+
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    c.bench_function("collect_3gpu_sweep_work_stealing", |b| {
+        b.iter(|| collect_with_threads(black_box(&gpus), black_box(&refs), DType::F32, threads));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_collection
+}
+criterion_main!(benches);

@@ -44,6 +44,34 @@ fn bench_prediction(c: &mut Criterion) {
         });
     });
 
+    // Batched + memoized graph prediction vs the pre-batching per-node
+    // loop, on the paper's GPT-2 Large workload.
+    let gpt2 = inference_graph(&config::gpt2_large(), 8);
+    c.bench_function("predict_gpt2_graph_per_node_uncached", |b| {
+        b.iter(|| {
+            gpt2.iter()
+                .map(|node| {
+                    ns.predict_op_uncached(black_box(&node.op), black_box(&h100))
+                        .unwrap()
+                })
+                .sum::<f64>()
+        });
+    });
+    c.bench_function("predict_gpt2_graph_batched_cold", |b| {
+        b.iter(|| {
+            ns.clear_prediction_cache();
+            ns.predict_graph(black_box(&gpt2), black_box(&h100))
+                .unwrap()
+        });
+    });
+    c.bench_function("predict_gpt2_graph_memoized_warm", |b| {
+        let _ = ns.predict_graph(&gpt2, &h100).unwrap();
+        b.iter(|| {
+            ns.predict_graph(black_box(&gpt2), black_box(&h100))
+                .unwrap()
+        });
+    });
+
     let gpu = SimulatedGpu::new(h100.clone());
     c.bench_function("simulate_bert_inference_graph", |b| {
         b.iter(|| gpu.execute_graph(black_box(&graph), DType::F32));

@@ -22,6 +22,16 @@ fn regression_data(n: usize) -> Dataset {
 }
 
 fn bench_training(c: &mut Criterion) {
+    // The GEMM hot path: blocked/packed kernel vs the naive ikj reference.
+    let a = Matrix::from_fn(256, 256, |r, col| ((r * 7 + col) % 13) as f32 * 0.1 - 0.6);
+    let bm = Matrix::from_fn(256, 256, |r, col| ((r + col * 5) % 11) as f32 * 0.1 - 0.5);
+    c.bench_function("matmul_256_blocked", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&bm)));
+    });
+    c.bench_function("matmul_256_reference", |b| {
+        b.iter(|| black_box(&a).matmul_reference(black_box(&bm)));
+    });
+
     let mlp = Mlp::new(8, &[128, 128, 128, 128], 2, 0);
     let x = Matrix::from_fn(128, 8, |r, col| (r * 8 + col) as f32 * 1e-3);
     c.bench_function("mlp_forward_batch128", |b| {

@@ -1,0 +1,152 @@
+//! Hot-path performance tracker: times this PR's optimized paths against
+//! their reference implementations and records the speedups in
+//! `BENCH_perf.json`, so regressions are visible across PRs.
+//!
+//! Covered paths (one per tentpole piece):
+//! - blocked/packed GEMM vs the naive ikj reference (256×256×256)
+//! - batched + memoized `predict_graph` vs the per-node uncached loop
+//!   (GPT-2 Large inference)
+//! - work-stealing measurement collection vs the serial path
+//!
+//! ```text
+//! cargo run --release -p neusight-bench --bin perf [output.json]
+//! ```
+
+use neusight_core::{NeuSight, NeuSightConfig};
+use neusight_data::{collect_training_set, collect_with_threads, training_gpus, SweepScale};
+use neusight_gpu::{catalog, DType, OpDesc};
+use neusight_graph::{config, inference_graph};
+use neusight_nn::Matrix;
+use neusight_sim::SimulatedGpu;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock seconds for one call of `f`, after warmup.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let _ = black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let _ = black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[derive(Debug, Serialize)]
+struct Comparison {
+    baseline_ms: f64,
+    optimized_ms: f64,
+    speedup: f64,
+}
+
+impl Comparison {
+    fn new(baseline_s: f64, optimized_s: f64) -> Comparison {
+        Comparison {
+            baseline_ms: baseline_s * 1e3,
+            optimized_ms: optimized_s * 1e3,
+            speedup: baseline_s / optimized_s,
+        }
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct PerfSummary {
+    generated_by: String,
+    /// Blocked/packed GEMM vs naive ikj reference, 256×256×256.
+    matmul_256: Comparison,
+    /// Batched (deduplicated, one MLP forward per family) `predict_graph`
+    /// on a cold cache vs the per-node uncached loop, GPT-2 Large.
+    predict_graph_gpt2_large: Comparison,
+    /// Same graph served entirely from the memo cache.
+    predict_graph_gpt2_large_memoized: Comparison,
+    /// Work-stealing collection at `available_parallelism` vs serial.
+    collect_threads: usize,
+    collect_3gpu_sweep: Comparison,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_perf.json".to_owned());
+
+    // 1. GEMM: 256×256×256, the ISSUE's tracked shape.
+    let a = Matrix::from_fn(256, 256, |r, c| ((r * 7 + c) % 13) as f32 * 0.1 - 0.6);
+    let b = Matrix::from_fn(256, 256, |r, c| ((r + c * 5) % 11) as f32 * 0.1 - 0.5);
+    let reference_s = time_best(15, || a.matmul_reference(&b));
+    let blocked_s = time_best(15, || a.matmul(&b));
+    let matmul_256 = Comparison::new(reference_s, blocked_s);
+    eprintln!(
+        "matmul 256^3: reference {:.3} ms, blocked {:.3} ms ({:.2}x)",
+        matmul_256.baseline_ms, matmul_256.optimized_ms, matmul_256.speedup
+    );
+
+    // 2. Graph prediction: GPT-2 Large inference on an unseen H100.
+    let data = collect_training_set(&training_gpus(), SweepScale::Tiny, DType::F32);
+    let ns = NeuSight::train(&data, &NeuSightConfig::tiny()).expect("tiny training");
+    let h100 = catalog::gpu("H100").expect("catalog");
+    let graph = inference_graph(&config::gpt2_large(), 8);
+    let per_node_s = time_best(10, || {
+        graph
+            .iter()
+            .map(|node| ns.predict_op_uncached(&node.op, &h100).unwrap())
+            .sum::<f64>()
+    });
+    let batched_s = time_best(10, || {
+        ns.clear_prediction_cache();
+        ns.predict_graph(&graph, &h100).unwrap()
+    });
+    let _ = ns.predict_graph(&graph, &h100).unwrap(); // warm the cache
+    let memoized_s = time_best(10, || ns.predict_graph(&graph, &h100).unwrap());
+    let predict_cold = Comparison::new(per_node_s, batched_s);
+    let predict_warm = Comparison::new(per_node_s, memoized_s);
+    eprintln!(
+        "predict_graph GPT-2 Large ({} nodes): per-node {:.3} ms, batched {:.3} ms ({:.2}x), memoized {:.3} ms ({:.2}x)",
+        graph.len(),
+        predict_cold.baseline_ms,
+        predict_cold.optimized_ms,
+        predict_cold.speedup,
+        predict_warm.optimized_ms,
+        predict_warm.speedup
+    );
+
+    // 3. Collection: work-stealing over (gpu, op) items vs serial.
+    let gpus: Vec<SimulatedGpu> = ["V100", "P100", "T4"]
+        .iter()
+        .map(|n| SimulatedGpu::from_catalog(n).expect("catalog"))
+        .collect();
+    let mut ops = Vec::new();
+    for &d in &[64u64, 128, 192, 256] {
+        ops.push(OpDesc::bmm(4, d, d, d));
+        ops.push(OpDesc::fc(64, d, 4 * d));
+        ops.push(OpDesc::softmax(16 * d, d));
+    }
+    let refs: Vec<&OpDesc> = ops.iter().collect();
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let serial_s = time_best(5, || collect_with_threads(&gpus, &refs, DType::F32, 1));
+    let parallel_s = time_best(5, || {
+        collect_with_threads(&gpus, &refs, DType::F32, threads)
+    });
+    let collect_cmp = Comparison::new(serial_s, parallel_s);
+    eprintln!(
+        "collect 3 GPUs x {} ops: serial {:.3} ms, {} threads {:.3} ms ({:.2}x)",
+        ops.len(),
+        collect_cmp.baseline_ms,
+        threads,
+        collect_cmp.optimized_ms,
+        collect_cmp.speedup
+    );
+
+    let summary = PerfSummary {
+        generated_by: "cargo run --release -p neusight-bench --bin perf".to_owned(),
+        matmul_256,
+        predict_graph_gpt2_large: predict_cold,
+        predict_graph_gpt2_large_memoized: predict_warm,
+        collect_threads: threads,
+        collect_3gpu_sweep: collect_cmp,
+    };
+    let json = serde_json::to_string_pretty(&summary).expect("serializable");
+    std::fs::write(&out_path, json + "\n").expect("write summary");
+    eprintln!("wrote {out_path}");
+}

@@ -229,6 +229,45 @@ impl KernelPredictor {
         let util = self.predict_utilization(op, launch, dtype, spec);
         latency_from_utilization(&q, util, spec)
     }
+
+    /// Batched [`KernelPredictor::predict_latency`]: one MLP forward pass
+    /// over all kernels instead of one per kernel.
+    ///
+    /// Returns one latency per input, in order, each bitwise-identical to
+    /// the scalar path (the GEMM accumulates each output row independently
+    /// of the batch height).
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn predict_latency_batch(
+        &self,
+        kernels: &[(&OpDesc, &KernelLaunch)],
+        dtype: DType,
+        spec: &GpuSpec,
+    ) -> Vec<f64> {
+        let quantities: Vec<TileQuantities> = kernels
+            .iter()
+            .map(|(op, launch)| features::tile_quantities(op, launch, dtype))
+            .collect();
+        let samples: Vec<Sample> = kernels
+            .iter()
+            .zip(&quantities)
+            .map(|((op, launch), q)| {
+                let feats = self
+                    .scaler
+                    .transform(&features::extract(op, launch, dtype, spec));
+                Sample::new(feats, vec![q.num_waves as f32], 0.0)
+            })
+            .collect();
+        let utils = neusight_nn::trainer::predict_batch(&self.mlp, &AlphaBetaHead, &samples);
+        utils
+            .into_iter()
+            .zip(&quantities)
+            .map(|(util, q)| {
+                let util = f64::from(util).clamp(MIN_UTILIZATION, 0.999);
+                latency_from_utilization(q, util, spec)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -323,6 +362,41 @@ mod tests {
                 "prediction {lat} beats physics floor {floor}"
             );
         }
+    }
+
+    #[test]
+    fn batched_latency_matches_scalar_bitwise() {
+        let ds = collect_bmm(&["V100", "T4"], &[64, 128, 256]);
+        let predictor =
+            KernelPredictor::train(OpClass::Bmm, &ds, DType::F32, &PredictorConfig::tiny())
+                .unwrap();
+        let spec = catalog::gpu("V100").unwrap();
+        let gpu = SimulatedGpu::new(spec.clone());
+        let kernels: Vec<(OpDesc, KernelLaunch)> = [
+            (1u64, 64u64, 64u64),
+            (8, 256, 128),
+            (4, 512, 512),
+            (16, 96, 320),
+            (8, 256, 128), // duplicate on purpose
+        ]
+        .iter()
+        .map(|&(b, m, k)| {
+            let op = OpDesc::bmm(b, m, m, k);
+            let launch = gpu.profile_launch(&op);
+            (op, launch)
+        })
+        .collect();
+        let refs: Vec<(&OpDesc, &KernelLaunch)> =
+            kernels.iter().map(|(op, launch)| (op, launch)).collect();
+        let batched = predictor.predict_latency_batch(&refs, DType::F32, &spec);
+        assert_eq!(batched.len(), kernels.len());
+        for (lat, (op, launch)) in batched.iter().zip(&kernels) {
+            let scalar = predictor.predict_latency(op, launch, DType::F32, &spec);
+            assert_eq!(lat.to_bits(), scalar.to_bits());
+        }
+        assert!(predictor
+            .predict_latency_batch(&[], DType::F32, &spec)
+            .is_empty());
     }
 
     #[test]

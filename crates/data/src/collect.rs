@@ -1,52 +1,109 @@
 //! Measurement collection: runs operator sweeps on a fleet of simulated
-//! GPUs (in parallel, one thread per device — like farming real machines)
-//! and assembles a [`KernelDataset`].
+//! GPUs and assembles a [`KernelDataset`].
+//!
+//! Work is distributed at (gpu, op) granularity through a shared atomic
+//! cursor rather than one thread per device: a device whose sweep finishes
+//! early immediately steals pending kernels from slower devices, so the
+//! fleet stays busy until the last kernel is measured. Results are
+//! reassembled in deterministic GPU-major order, so the dataset is
+//! bit-identical to a serial sweep regardless of thread count.
 
 use crate::records::{KernelDataset, KernelRecord};
 use crate::sweeps::{self, SweepScale};
 use neusight_gpu::DType;
 use neusight_sim::SimulatedGpu;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of timed runs averaged per kernel (§6.1: 25).
 pub const MEASUREMENT_RUNS: u32 = 25;
 
-/// Measures every op on every GPU, in parallel across GPUs.
+/// Borrowed op list alias used by [`collect`].
+pub type OpDescRef<'a> = &'a neusight_gpu::OpDesc;
+
+/// Measures every op on every GPU, stealing work across however many
+/// threads the host offers.
 ///
 /// # Panics
 ///
 /// Panics if a collection thread panics.
 #[must_use]
 pub fn collect(gpus: &[SimulatedGpu], ops: &[OpDescRef<'_>], dtype: DType) -> KernelDataset {
-    let mut all = Vec::with_capacity(gpus.len() * ops.len());
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = gpus
-            .iter()
-            .map(|gpu| {
-                scope.spawn(move |_| {
-                    ops.iter()
-                        .map(|op| {
-                            let m = gpu.measure(op, dtype, MEASUREMENT_RUNS);
-                            KernelRecord {
-                                gpu: gpu.spec().name().to_owned(),
-                                op: (*op).clone(),
-                                launch: m.launch,
-                                mean_latency_s: m.mean_latency_s,
-                            }
-                        })
-                        .collect::<Vec<_>>()
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    collect_with_threads(gpus, ops, dtype, threads)
+}
+
+/// [`collect`] with an explicit worker count. Output is bit-identical for
+/// every `threads` value (including 1, the serial reference path).
+///
+/// # Panics
+///
+/// Panics if a collection thread panics.
+#[must_use]
+pub fn collect_with_threads(
+    gpus: &[SimulatedGpu],
+    ops: &[OpDescRef<'_>],
+    dtype: DType,
+    threads: usize,
+) -> KernelDataset {
+    let total = gpus.len() * ops.len();
+    if total == 0 {
+        return KernelDataset::new(Vec::new());
+    }
+    let threads = threads.clamp(1, total);
+
+    let measure_item = |item: usize| -> KernelRecord {
+        let gpu = &gpus[item / ops.len()];
+        let op = ops[item % ops.len()];
+        let m = gpu.measure(op, dtype, MEASUREMENT_RUNS);
+        KernelRecord {
+            gpu: gpu.spec().name().to_owned(),
+            op: op.clone(),
+            launch: m.launch,
+            mean_latency_s: m.mean_latency_s,
+        }
+    };
+
+    if threads == 1 {
+        return KernelDataset::new((0..total).map(measure_item).collect());
+    }
+
+    // Shared cursor over the flat (gpu-major) work grid: each worker
+    // claims the next unmeasured kernel, tagging results with their grid
+    // index so the merged dataset keeps the serial order.
+    let cursor = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, KernelRecord)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let item = cursor.fetch_add(1, Ordering::Relaxed);
+                        if item >= total {
+                            break;
+                        }
+                        mine.push((item, measure_item(item)));
+                    }
+                    mine
                 })
             })
             .collect();
         for handle in handles {
-            all.extend(handle.join().expect("collection thread panicked"));
+            per_worker.push(handle.join().expect("collection thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
-    KernelDataset::new(all)
-}
+    });
 
-/// Borrowed op list alias used by [`collect`].
-pub type OpDescRef<'a> = &'a neusight_gpu::OpDesc;
+    let mut slots: Vec<Option<KernelRecord>> = (0..total).map(|_| None).collect();
+    for (item, record) in per_worker.into_iter().flatten() {
+        slots[item] = Some(record);
+    }
+    KernelDataset::new(
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("work item left unmeasured"))
+            .collect(),
+    )
+}
 
 /// Collects the full §6.1-style training dataset on the given GPUs.
 #[must_use]
@@ -119,6 +176,35 @@ mod tests {
         let a = collect(&gpus, &refs, DType::F32);
         let b = collect(&gpus, &refs, DType::F32);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_thread_count_matches_serial_order() {
+        let gpus = vec![
+            SimulatedGpu::from_catalog("P4").unwrap(),
+            SimulatedGpu::from_catalog("T4").unwrap(),
+            SimulatedGpu::from_catalog("V100").unwrap(),
+        ];
+        let ops = [
+            OpDesc::bmm(2, 64, 64, 64),
+            OpDesc::softmax(512, 256),
+            OpDesc::fc(64, 128, 128),
+            OpDesc::layer_norm(256, 512),
+            OpDesc::elementwise(neusight_gpu::EwKind::Gelu, 1 << 16),
+        ];
+        let refs: Vec<&OpDesc> = ops.iter().collect();
+        let serial = collect_with_threads(&gpus, &refs, DType::F32, 1);
+        for threads in [2, 3, 7, 64] {
+            let parallel = collect_with_threads(&gpus, &refs, DType::F32, threads);
+            assert_eq!(serial, parallel, "thread count {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_dataset() {
+        let gpus = vec![SimulatedGpu::from_catalog("P4").unwrap()];
+        assert!(collect(&gpus, &[], DType::F32).is_empty());
+        assert!(collect(&[], &[], DType::F32).is_empty());
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub mod collect;
 pub mod records;
 pub mod sweeps;
 
-pub use collect::{collect_training_set, test_gpus, training_gpus, MEASUREMENT_RUNS};
+pub use collect::{
+    collect, collect_training_set, collect_with_threads, test_gpus, training_gpus, MEASUREMENT_RUNS,
+};
 pub use records::{KernelDataset, KernelRecord};
 pub use sweeps::SweepScale;

@@ -29,6 +29,7 @@ pub struct CatalogEntry {
     pub role: SplitRole,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build(
     name: &str,
     year: u32,

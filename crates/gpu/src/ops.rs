@@ -173,7 +173,7 @@ impl fmt::Display for OpClass {
 /// registers/shared memory, and writes only the last operator's output
 /// (plus any *side* inputs the later operators read, e.g. the second
 /// operand of a residual add or layer-norm parameters).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FusedOp {
     ops: Vec<OpDesc>,
 }
@@ -231,7 +231,7 @@ impl FusedOp {
 ///
 /// Dimensions follow the conventions of the paper's data collection (§6.1);
 /// all dimensions must be at least 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum OpDesc {
     /// Batched matrix multiplication: `batch` independent `(m×k)·(k×n)`
     /// products.

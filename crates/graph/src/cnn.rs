@@ -322,8 +322,7 @@ mod tests {
         // The last stage's convs operate at 7x7: implicit-GEMM M = 49.
         let last = g
             .iter()
-            .filter(|n| n.name.starts_with("stage4.block2") && n.name.ends_with(".conv"))
-            .next_back()
+            .rfind(|n| n.name.starts_with("stage4.block2") && n.name.ends_with(".conv"))
             .expect("stage4 exists");
         if let OpDesc::Conv2d { in_hw, .. } = last.op {
             assert_eq!(in_hw, 7);

@@ -106,6 +106,7 @@ impl fmt::Display for ModelConfig {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dense(
     name: &str,
     year: u32,

@@ -540,6 +540,7 @@ mod tests {
             Loss::Mse.value(y, target)
         };
         // wq[0], w1[0], embed_w[0], head_w[0]
+        #[allow(clippy::type_complexity)]
         let checks: Vec<(String, f32, Box<dyn Fn(&mut TransformerRegressor, f32)>)> = vec![
             (
                 "wq".into(),

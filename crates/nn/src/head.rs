@@ -161,6 +161,7 @@ mod tests {
     #[test]
     fn head_gradients_match_finite_differences() {
         let eps = 1e-3f32;
+        #[allow(clippy::type_complexity)]
         let heads: Vec<(Box<dyn Head>, Vec<f32>, Vec<f32>)> = vec![
             (Box::new(DirectHead), vec![0.7], vec![]),
             (Box::new(SigmoidHead), vec![0.3], vec![]),

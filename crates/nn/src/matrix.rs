@@ -126,8 +126,7 @@ impl Matrix {
         &mut self.data[row * cols..(row + 1) * cols]
     }
 
-    /// `self · other` using an ikj loop order (streams the inner operand
-    /// row-wise for cache locality).
+    /// `self · other`, via the blocked packing GEMM in [`gemm`].
     ///
     /// # Panics
     ///
@@ -140,19 +139,16 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ik * b_kj;
-                }
-            }
-        }
+        gemm::run(
+            &mut out.data,
+            gemm::Operand::plain(&self.data, self.cols),
+            gemm::Operand::plain(&other.data, other.cols),
+            gemm::Shape {
+                m: self.rows,
+                n: other.cols,
+                k: self.cols,
+            },
+        );
         out
     }
 
@@ -170,19 +166,16 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let b_row = &other.data[r * other.cols..(r + 1) * other.cols];
-            for (i, &a_ri) in a_row.iter().enumerate() {
-                if a_ri == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b_rj) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ri * b_rj;
-                }
-            }
-        }
+        gemm::run(
+            &mut out.data,
+            gemm::Operand::transposed(&self.data, self.cols),
+            gemm::Operand::plain(&other.data, other.cols),
+            gemm::Shape {
+                m: self.cols,
+                n: other.cols,
+                k: self.rows,
+            },
+        );
         out
     }
 
@@ -200,15 +193,43 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
+        gemm::run(
+            &mut out.data,
+            gemm::Operand::plain(&self.data, self.cols),
+            gemm::Operand::transposed(&other.data, other.cols),
+            gemm::Shape {
+                m: self.rows,
+                n: other.rows,
+                k: self.cols,
+            },
+        );
+        out
+    }
+
+    /// Textbook ikj GEMM kept as the correctness oracle for tests and the
+    /// performance baseline for benches. Unlike the pre-optimization
+    /// implementation it never skips zero multiplicands, so NaN and ±inf
+    /// in the right operand propagate per IEEE semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    #[must_use]
+    pub fn matmul_reference(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b_kj;
                 }
-                out.data[i * other.rows + j] = acc;
             }
         }
         out
@@ -258,6 +279,300 @@ impl Matrix {
 impl fmt::Display for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+/// Cache-blocked GEMM shared by [`Matrix::matmul`], [`Matrix::t_matmul`]
+/// and [`Matrix::matmul_t`].
+///
+/// The computation follows the classic three-level blocking scheme: the
+/// output is tiled into MC×NC panels, the reduction dimension into KC
+/// slabs. For each slab the B panel is packed once into KC×NR micro-panels
+/// and the A block into MR×KC micro-panels (packing also absorbs operand
+/// transposes, so the transposed variants run the same hot loop). The
+/// register microkernel then accumulates an MR×NR tile of C across a full
+/// KC slab without touching C memory, which removes the per-k load/store
+/// of the output row that dominated the old ikj loop. Large products are
+/// additionally split across threads by output row blocks; small ones
+/// stay serial because thread spawn costs more than the multiply.
+mod gemm {
+    /// Micro-tile rows held in registers (6×16 fills the 16 AVX2 `ymm`
+    /// registers: 12 accumulators + 2 B vectors + 1 broadcast).
+    const MR: usize = 6;
+    /// Micro-tile columns held in registers (two 8-lane vectors).
+    const NR: usize = 16;
+    /// Row-block size of the packed A block (L2-resident: MC·KC floats).
+    const MC: usize = 96;
+    /// Reduction-slab size (packed panels stay cache-resident).
+    const KC: usize = 256;
+    /// Column-panel size of the packed B panel.
+    const NC: usize = 512;
+    /// Below this many FLOPs (2·m·n·k) the product stays single-threaded:
+    /// spawning scoped threads costs more than the whole multiply.
+    const PARALLEL_FLOP_THRESHOLD: f64 = 2.0e7;
+
+    /// Problem dimensions: C is m×n, the reduction has length k.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Shape {
+        pub m: usize,
+        pub n: usize,
+        pub k: usize,
+    }
+
+    /// A row-major operand, optionally consumed transposed (packing
+    /// absorbs the transpose, so no materialization happens).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Operand<'a> {
+        data: &'a [f32],
+        stride: usize,
+        transposed: bool,
+    }
+
+    impl<'a> Operand<'a> {
+        /// Operand read as stored.
+        pub fn plain(data: &'a [f32], stride: usize) -> Operand<'a> {
+            Operand {
+                data,
+                stride,
+                transposed: false,
+            }
+        }
+
+        /// Operand read transposed: logical (i, j) is stored (j, i).
+        pub fn transposed(data: &'a [f32], stride: usize) -> Operand<'a> {
+            Operand {
+                data,
+                stride,
+                transposed: true,
+            }
+        }
+
+        #[inline]
+        fn get(&self, row: usize, col: usize) -> f32 {
+            if self.transposed {
+                self.data[col * self.stride + row]
+            } else {
+                self.data[row * self.stride + col]
+            }
+        }
+    }
+
+    /// Computes `out += a · b` for zero-initialized `out` (row-major m×n),
+    /// splitting row blocks across threads when the product is large
+    /// enough to amortize the spawns.
+    pub fn run(out: &mut [f32], a: Operand<'_>, b: Operand<'_>, shape: Shape) {
+        let Shape { m, n, k } = shape;
+        debug_assert_eq!(out.len(), m * n);
+        let threads = worker_count(shape);
+        if threads <= 1 {
+            serial(out, a, b, shape, 0);
+            return;
+        }
+        // Split the output into contiguous row blocks, one per worker; the
+        // blocks are disjoint so each thread owns its slice of C.
+        let rows_per = m.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut rest = out;
+            let mut row0 = 0;
+            while row0 < m {
+                let rows = rows_per.min(m - row0);
+                let (block, tail) = rest.split_at_mut(rows * n);
+                rest = tail;
+                let start = row0;
+                scope.spawn(move || {
+                    serial(block, a, b, Shape { m: rows, n, k }, start);
+                });
+                row0 += rows;
+            }
+        });
+    }
+
+    /// Number of row-block workers for this problem size.
+    fn worker_count(shape: Shape) -> usize {
+        let flops = 2.0 * shape.m as f64 * shape.n as f64 * shape.k as f64;
+        if flops < PARALLEL_FLOP_THRESHOLD {
+            return 1;
+        }
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        // No point splitting finer than one MR-row band per thread.
+        available.min(shape.m.div_ceil(MR))
+    }
+
+    /// Blocked single-threaded GEMM over rows `[row_offset, row_offset+m)`
+    /// of the logical A operand, writing a zero-based m×n `out` slice.
+    fn serial(out: &mut [f32], a: Operand<'_>, b: Operand<'_>, shape: Shape, row_offset: usize) {
+        let Shape { m, n, k } = shape;
+        let mut packed_b = vec![0.0f32; KC * NC];
+        let mut packed_a = vec![0.0f32; MC * KC];
+        let mut j0 = 0;
+        while j0 < n {
+            let nc = NC.min(n - j0);
+            let mut k0 = 0;
+            while k0 < k {
+                let kc = KC.min(k - k0);
+                pack_b(&mut packed_b, b, k0, j0, kc, nc);
+                let mut i0 = 0;
+                while i0 < m {
+                    let mc = MC.min(m - i0);
+                    pack_a(&mut packed_a, a, row_offset + i0, k0, mc, kc);
+                    multiply_block(out, &packed_a, &packed_b, i0, j0, mc, nc, kc, n);
+                    i0 += MC;
+                }
+                k0 += KC;
+            }
+            j0 += NC;
+        }
+    }
+
+    /// Packs a kc×nc block of B into KC×NR micro-panels: panel `t` holds
+    /// columns `[t·NR, t·NR+NR)` laid out k-major, zero-padded to NR.
+    fn pack_b(packed: &mut [f32], b: Operand<'_>, k0: usize, j0: usize, kc: usize, nc: usize) {
+        let panels = nc.div_ceil(NR);
+        for t in 0..panels {
+            let jbase = t * NR;
+            let width = NR.min(nc - jbase);
+            let panel = &mut packed[t * KC * NR..][..kc * NR];
+            for p in 0..kc {
+                let dst = &mut panel[p * NR..p * NR + NR];
+                for (jj, slot) in dst.iter_mut().enumerate() {
+                    *slot = if jj < width {
+                        b.get(k0 + p, j0 + jbase + jj)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+
+    /// Packs an mc×kc block of A into MR×KC micro-panels: panel `t` holds
+    /// rows `[t·MR, t·MR+MR)` laid out k-major, zero-padded to MR.
+    fn pack_a(packed: &mut [f32], a: Operand<'_>, i0: usize, k0: usize, mc: usize, kc: usize) {
+        let panels = mc.div_ceil(MR);
+        for t in 0..panels {
+            let ibase = t * MR;
+            let height = MR.min(mc - ibase);
+            let panel = &mut packed[t * MR * KC..][..kc * MR];
+            for p in 0..kc {
+                let dst = &mut panel[p * MR..p * MR + MR];
+                for (ii, slot) in dst.iter_mut().enumerate() {
+                    *slot = if ii < height {
+                        a.get(i0 + ibase + ii, k0 + p)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+
+    /// Multiplies the packed mc×kc A block by the packed kc×nc B panel,
+    /// accumulating into the (i0, j0) tile of `out` (row stride `n`).
+    #[allow(clippy::too_many_arguments)]
+    fn multiply_block(
+        out: &mut [f32],
+        packed_a: &[f32],
+        packed_b: &[f32],
+        i0: usize,
+        j0: usize,
+        mc: usize,
+        nc: usize,
+        kc: usize,
+        n: usize,
+    ) {
+        for (ta, ibase) in (0..mc).step_by(MR).enumerate() {
+            let a_panel = &packed_a[ta * MR * KC..][..kc * MR];
+            let height = MR.min(mc - ibase);
+            for (tb, jbase) in (0..nc).step_by(NR).enumerate() {
+                let b_panel = &packed_b[tb * KC * NR..][..kc * NR];
+                let width = NR.min(nc - jbase);
+                let mut acc = [[0.0f32; NR]; MR];
+                micro_kernel(a_panel, b_panel, kc, &mut acc);
+                for mi in 0..height {
+                    let row = &mut out[(i0 + ibase + mi) * n + j0 + jbase..][..width];
+                    for (o, v) in row.iter_mut().zip(&acc[mi][..width]) {
+                        *o += v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rank-kc update of one MR×NR register tile from packed micro-panels,
+    /// dispatching to the FMA kernel where the CPU supports it.
+    #[inline]
+    fn micro_kernel(a_panel: &[f32], b_panel: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: the required target features were just detected.
+            unsafe { micro_kernel_avx2(a_panel, b_panel, kc, acc) };
+            return;
+        }
+        micro_kernel_generic(a_panel, b_panel, kc, acc);
+    }
+
+    /// Portable micro-kernel; the autovectorizer handles the NR lanes.
+    #[cfg_attr(target_arch = "x86_64", allow(dead_code))]
+    fn micro_kernel_generic(
+        a_panel: &[f32],
+        b_panel: &[f32],
+        kc: usize,
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        for p in 0..kc {
+            let b_row: &[f32; NR] = b_panel[p * NR..p * NR + NR].try_into().unwrap();
+            let a_col: &[f32; MR] = a_panel[p * MR..p * MR + MR].try_into().unwrap();
+            for mi in 0..MR {
+                let a_val = a_col[mi];
+                for nj in 0..NR {
+                    acc[mi][nj] += a_val * b_row[nj];
+                }
+            }
+        }
+    }
+
+    /// AVX2+FMA micro-kernel: the 6×16 tile lives in 12 `ymm` accumulators,
+    /// each reduction step is two B-panel loads, six broadcasts and twelve
+    /// fused multiply-adds.
+    ///
+    /// Each output element is still one sequential chain over `p`, so
+    /// results do not depend on the element's position in the tile (the
+    /// basis of the batched-prediction bitwise guarantees) — though FMA
+    /// rounding differs from the generic kernel's separate multiply+add.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 and FMA.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn micro_kernel_avx2(
+        a_panel: &[f32],
+        b_panel: &[f32],
+        kc: usize,
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        use std::arch::x86_64::{
+            _mm256_broadcast_ss, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps,
+            _mm256_storeu_ps,
+        };
+        debug_assert!(a_panel.len() >= kc * MR && b_panel.len() >= kc * NR);
+        let mut acc_v = [[_mm256_setzero_ps(); 2]; MR];
+        let a_ptr = a_panel.as_ptr();
+        let b_ptr = b_panel.as_ptr();
+        for p in 0..kc {
+            let b0 = _mm256_loadu_ps(b_ptr.add(p * NR));
+            let b1 = _mm256_loadu_ps(b_ptr.add(p * NR + 8));
+            for (mi, av) in acc_v.iter_mut().enumerate() {
+                let a_val = _mm256_broadcast_ss(&*a_ptr.add(p * MR + mi));
+                av[0] = _mm256_fmadd_ps(a_val, b0, av[0]);
+                av[1] = _mm256_fmadd_ps(a_val, b1, av[1]);
+            }
+        }
+        for (av, row) in acc_v.iter().zip(acc.iter_mut()) {
+            _mm256_storeu_ps(row.as_mut_ptr(), av[0]);
+            _mm256_storeu_ps(row.as_mut_ptr().add(8), av[1]);
+        }
     }
 }
 
@@ -332,6 +647,58 @@ mod tests {
         let _ = a23().matmul(&a23());
     }
 
+    /// Regression: the old ikj loop skipped `a_ik == 0.0` as a sparsity
+    /// shortcut, which silently swallowed NaN/inf in the other operand
+    /// (IEEE requires `0.0 * NaN = NaN`). Every product path must
+    /// propagate non-finite values.
+    #[test]
+    fn zero_times_nan_propagates() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 0.0, 1.0, 0.0]);
+        let b = Matrix::from_vec(2, 2, vec![f32::NAN, 1.0, 2.0, f32::INFINITY]);
+        let c = a.matmul(&b);
+        assert!(c.get(0, 0).is_nan(), "0·NaN must stay NaN");
+        assert!(c.get(0, 1).is_nan(), "0·inf must become NaN, not 0");
+        assert!(c.get(1, 0).is_nan());
+        let r = a.matmul_reference(&b);
+        assert!(r.get(0, 0).is_nan() && r.get(1, 0).is_nan());
+        // Transposed variants share the same microkernel; spot-check one.
+        let ct = a.t_matmul(&b);
+        assert!(ct.get(0, 0).is_nan());
+        let cmt = a.matmul_t(&b);
+        assert!(cmt.get(0, 0).is_nan());
+    }
+
+    /// The blocked kernel must agree with the textbook reference on shapes
+    /// spanning every edge case of the MR/NR/MC/KC/NC tiling.
+    #[test]
+    fn blocked_gemm_matches_reference_on_tiling_edges() {
+        // Shapes straddling the micro-tile (4×8), the MC=64 row block, the
+        // KC=256 slab and the NC=512 panel boundaries.
+        let shapes = [
+            (1, 1, 1),
+            (3, 7, 5),
+            (4, 8, 16),
+            (5, 9, 17),
+            (63, 65, 255),
+            (64, 512, 256),
+            (65, 513, 257),
+            (130, 70, 300),
+        ];
+        for (m, k, n) in shapes {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 17) % 13) as f32 * 0.25 - 1.5);
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.125 - 0.625);
+            let fast = a.matmul(&b);
+            let slow = a.matmul_reference(&b);
+            for (i, (x, y)) in fast.as_slice().iter().zip(slow.as_slice()).enumerate() {
+                let scale = y.abs().max(1.0);
+                assert!(
+                    (x - y).abs() <= 1e-4 * scale,
+                    "({m}x{k})·({k}x{n}) diverged at {i}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
     #[test]
     #[should_panic(expected = "does not match")]
     fn from_vec_length_mismatch_panics() {
@@ -370,6 +737,37 @@ mod tests {
             };
             for (x, y) in ab.as_slice().iter().zip(ab2.as_slice()) {
                 prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        /// The blocked kernel agrees with the textbook reference (and so do
+        /// both transposed variants) on arbitrary shapes and data.
+        #[test]
+        fn blocked_gemm_matches_reference(
+            m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1000,
+        ) {
+            let mut state = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let mut next = || {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                ((state >> 33) as f32 / 2_147_483_648.0) - 0.5
+            };
+            let a = Matrix::from_fn(m, k, |_, _| next());
+            let b = Matrix::from_fn(k, n, |_, _| next());
+            let fast = a.matmul(&b);
+            let slow = a.matmul_reference(&b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4, "matmul {x} vs {y}");
+            }
+            // Transposed variants against explicit transposes.
+            let a_t = Matrix::from_fn(k, m, |r, c| a.get(c, r));
+            let via_t = a_t.t_matmul(&b);
+            for (x, y) in via_t.as_slice().iter().zip(slow.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4, "t_matmul {x} vs {y}");
+            }
+            let b_t = Matrix::from_fn(n, k, |r, c| b.get(c, r));
+            let via_mt = a.matmul_t(&b_t);
+            for (x, y) in via_mt.as_slice().iter().zip(slow.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4, "matmul_t {x} vs {y}");
             }
         }
     }

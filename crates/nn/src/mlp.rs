@@ -60,8 +60,9 @@ impl Dense {
 
     /// Backpropagates `dout` (gradient of the loss w.r.t. this layer's
     /// output), accumulating weight/bias gradients and returning the
-    /// gradient w.r.t. the layer input.
-    fn backward(&mut self, mut dout: Matrix) -> Matrix {
+    /// gradient w.r.t. the layer input. `dout` is masked in place by the
+    /// ReLU derivative but stays allocated, so callers can recycle it.
+    fn backward(&mut self, dout: &mut Matrix) -> Matrix {
         let input = self
             .cache_input
             .take()
@@ -78,7 +79,7 @@ impl Dense {
                 }
             }
         }
-        let grad_w = input.t_matmul(&dout);
+        let grad_w = input.t_matmul(dout);
         let grad_b = dout.column_sums();
         match &mut self.grad_weight {
             Some(existing) => {
@@ -219,10 +220,26 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics if no forward-train caches are present.
-    pub fn backward(&mut self, dout: Matrix) {
-        let mut grad = dout;
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(grad);
+    pub fn backward(&mut self, mut dout: Matrix) {
+        self.backward_in_place(&mut dout);
+    }
+
+    /// [`Mlp::backward`] borrowing the output-gradient buffer instead of
+    /// consuming it, so hot training loops can reuse one allocation for
+    /// every mini-batch. The buffer's contents are clobbered (the ReLU
+    /// mask of the last layer is applied in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward-train caches are present.
+    pub fn backward_in_place(&mut self, dout: &mut Matrix) {
+        let mut rev = self.layers.iter_mut().rev();
+        let Some(last) = rev.next() else {
+            return;
+        };
+        let mut grad = last.backward(dout);
+        for layer in rev {
+            grad = layer.backward(&mut grad);
         }
     }
 

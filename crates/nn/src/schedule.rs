@@ -59,11 +59,7 @@ impl LrSchedule {
                 every_epochs,
                 gamma,
             } => {
-                let steps = if every_epochs == 0 {
-                    0
-                } else {
-                    epoch / every_epochs
-                };
+                let steps = epoch.checked_div(every_epochs).unwrap_or(0);
                 #[allow(clippy::cast_possible_truncation)]
                 (base_lr * gamma.powi(i32::try_from(steps).unwrap_or(i32::MAX)))
             }

@@ -206,6 +206,18 @@ impl Trainer {
         let mut epochs_since_best = 0usize;
         let mut stopped_early = false;
 
+        // Mini-batch buffers are reused across all batches and epochs: at
+        // most two sizes ever occur (the full batch and one tail batch),
+        // so the per-batch allocations of the old loop collapse into these
+        // two pairs, created on first use.
+        let batch_size = self.config.batch_size.max(1);
+        let full = batch_size.min(data.len());
+        let mut full_bufs = (
+            Matrix::zeros(full, dim),
+            Matrix::zeros(full, head.raw_dim()),
+        );
+        let mut tail_bufs: Option<(Matrix, Matrix)> = None;
+
         for epoch in 0..self.config.epochs {
             opt.lr = self
                 .config
@@ -213,17 +225,24 @@ impl Trainer {
                 .lr_at(self.config.lr, epoch, self.config.epochs);
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f64;
-            for batch in order.chunks(self.config.batch_size.max(1)) {
+            for batch in order.chunks(batch_size) {
                 let bsz = batch.len();
-                let mut x = Matrix::zeros(bsz, dim);
+                let (x, draw) = if bsz == full {
+                    &mut full_bufs
+                } else {
+                    tail_bufs.get_or_insert_with(|| {
+                        (Matrix::zeros(bsz, dim), Matrix::zeros(bsz, head.raw_dim()))
+                    })
+                };
                 for (r, &idx) in batch.iter().enumerate() {
                     let sample = &data.samples()[idx];
                     assert_eq!(sample.features.len(), dim, "ragged feature widths");
                     x.row_mut(r).copy_from_slice(&sample.features);
                 }
                 mlp.zero_grad();
-                let raw = mlp.forward_train(&x);
-                let mut draw = Matrix::zeros(bsz, head.raw_dim());
+                let raw = mlp.forward_train(x);
+                // Heads accumulate into `draw`, so clear the reused buffer.
+                draw.as_mut_slice().fill(0.0);
                 for (r, &idx) in batch.iter().enumerate() {
                     let sample = &data.samples()[idx];
                     let pred = head.forward(raw.row(r), &sample.aux);
@@ -231,7 +250,7 @@ impl Trainer {
                     let dpred = loss.gradient(pred, sample.target) / bsz as f32;
                     head.backward(raw.row(r), &sample.aux, dpred, draw.row_mut(r));
                 }
-                mlp.backward(draw);
+                mlp.backward_in_place(draw);
                 if let Some(clip) = self.config.grad_clip {
                     let norm = mlp.grad_norm();
                     if norm > clip {
@@ -287,6 +306,37 @@ pub fn predict(mlp: &Mlp, head: &dyn Head, sample: &Sample) -> f32 {
     let x = Matrix::from_vec(1, sample.features.len(), sample.features.clone());
     let raw = mlp.forward(&x);
     head.forward(raw.row(0), &sample.aux)
+}
+
+/// Batched counterpart of [`predict`]: stacks all samples into one feature
+/// matrix, runs a single forward pass, and applies the head per row.
+///
+/// Each row of the GEMM accumulates over the contraction dimension in the
+/// same order regardless of how many rows the matrix has, so every returned
+/// prediction is bitwise-identical to calling [`predict`] on that sample
+/// alone.
+///
+/// # Panics
+///
+/// Panics if the samples disagree on feature dimension.
+#[must_use]
+pub fn predict_batch(mlp: &Mlp, head: &dyn Head, samples: &[Sample]) -> Vec<f32> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let dim = samples[0].features.len();
+    let mut data = Vec::with_capacity(samples.len() * dim);
+    for sample in samples {
+        assert_eq!(sample.features.len(), dim, "ragged feature vectors");
+        data.extend_from_slice(&sample.features);
+    }
+    let x = Matrix::from_vec(samples.len(), dim, data);
+    let raw = mlp.forward(&x);
+    samples
+        .iter()
+        .enumerate()
+        .map(|(r, sample)| head.forward(raw.row(r), &sample.aux))
+        .collect()
 }
 
 #[cfg(test)]
@@ -454,6 +504,28 @@ mod tests {
             Loss::Mse,
             &Dataset::default(),
         );
+    }
+
+    #[test]
+    fn predict_batch_matches_scalar_predict_bitwise() {
+        let mlp = Mlp::new(3, &[16, 16], 2, 17);
+        let samples: Vec<Sample> = (0..23)
+            .map(|i| {
+                let f = i as f32;
+                Sample::new(
+                    vec![f * 0.31 - 2.0, (f * 0.7).sin(), 1.0 / (f + 1.0)],
+                    vec![1.0 + f],
+                    0.0,
+                )
+            })
+            .collect();
+        let batched = predict_batch(&mlp, &AlphaBetaHead, &samples);
+        assert_eq!(batched.len(), samples.len());
+        for (b, sample) in batched.iter().zip(&samples) {
+            let scalar = predict(&mlp, &AlphaBetaHead, sample);
+            assert_eq!(b.to_bits(), scalar.to_bits());
+        }
+        assert!(predict_batch(&mlp, &AlphaBetaHead, &[]).is_empty());
     }
 
     #[test]

@@ -137,4 +137,59 @@ proptest! {
         let measured = gpu.ideal_latency(&op, DType::F32);
         prop_assert!(predicted <= measured * 1.0001);
     }
+
+    /// The batched + memoized `predict_graph` is bitwise-identical to the
+    /// per-node uncached path, for arbitrary graphs with duplicated ops —
+    /// on both a cold and a warm prediction cache.
+    #[test]
+    fn batched_graph_prediction_is_bitwise_exact(
+        ops in prop::collection::vec(arb_op(), 1..6),
+        dup in 1usize..4,
+        spec in arb_gpu(),
+    ) {
+        use neusight::graph::Phase;
+        let ns = shared_neusight();
+        let mut graph = Graph::new("prop");
+        for (i, op) in ops.iter().enumerate() {
+            for copy in 0..dup {
+                let phase = if (i + copy) % 2 == 0 { Phase::Forward } else { Phase::Backward };
+                graph.add_in_phase(format!("n{i}_{copy}"), op.clone(), &[], phase);
+            }
+        }
+        let cold = ns.predict_graph(&graph, &spec).expect("cold prediction");
+        let warm = ns.predict_graph(&graph, &spec).expect("warm prediction");
+        for (node, (c, w)) in graph.iter().zip(cold.per_node_s.iter().zip(&warm.per_node_s)) {
+            let scalar = ns.predict_op_uncached(&node.op, &spec).expect("per-node");
+            prop_assert_eq!(c.to_bits(), scalar.to_bits(),
+                "cold batched {} != per-node {} for {}", c, scalar, node.op);
+            prop_assert_eq!(w.to_bits(), scalar.to_bits(),
+                "warm cached {} != per-node {} for {}", w, scalar, node.op);
+        }
+    }
+
+    /// Work-stealing measurement collection is bit-identical to the serial
+    /// path for any worker count.
+    #[test]
+    fn parallel_collection_is_deterministic(
+        threads in 1usize..9,
+        dims in prop::collection::vec(16u64..256, 1..5),
+    ) {
+        let gpus: Vec<SimulatedGpu> = ["V100", "T4"]
+            .iter()
+            .map(|n| SimulatedGpu::from_catalog(n).expect("catalog"))
+            .collect();
+        let ops: Vec<OpDesc> = dims
+            .iter()
+            .map(|&d| OpDesc::bmm(1, d, d, d))
+            .collect();
+        let refs: Vec<&OpDesc> = ops.iter().collect();
+        let serial = neusight::data::collect_with_threads(&gpus, &refs, DType::F32, 1);
+        let parallel = neusight::data::collect_with_threads(&gpus, &refs, DType::F32, threads);
+        prop_assert_eq!(serial.records().len(), parallel.records().len());
+        for (s, p) in serial.records().iter().zip(parallel.records()) {
+            prop_assert_eq!(&s.gpu, &p.gpu);
+            prop_assert_eq!(&s.op, &p.op);
+            prop_assert_eq!(s.mean_latency_s.to_bits(), p.mean_latency_s.to_bits());
+        }
+    }
 }

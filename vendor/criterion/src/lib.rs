@@ -1,0 +1,143 @@
+//! Minimal vendored stand-in for the `criterion` benchmark harness.
+//!
+//! Exposes the API this workspace's benches use — `Criterion::default()
+//! .sample_size(..)`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a simple wall-clock timer instead of criterion's statistical
+//! machinery. Each benchmark reports min / mean / median over the sample
+//! set, which is enough to compare implementations in this offline build.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration setup cost is amortized; accepted for API
+/// compatibility (this harness always times the routine in isolation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: setup runs once per timed iteration.
+    SmallInput,
+    /// Large inputs: identical treatment in this harness.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// Benchmark driver: collects `sample_size` timed samples per function.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        samples.sort_unstable();
+        if samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return self;
+        }
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{name:<40} min {:>12?}  mean {:>12?}  median {:>12?}  ({} samples)",
+            min,
+            mean,
+            median,
+            samples.len()
+        );
+        self
+    }
+
+    /// Compatibility no-op: criterion's `final_summary`.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup iteration primes caches and lazy statics.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on a fresh input from `setup` each sample, without
+    /// counting the setup in the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark group: a function running each target under a
+/// shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,523 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! minimal serde facade.
+//!
+//! Implemented directly on `proc_macro` token trees (the build environment
+//! has no registry access, so `syn`/`quote` are unavailable). Supports the
+//! shapes this workspace uses: non-generic structs with named fields,
+//! tuple structs, and enums with unit / tuple / struct variants, plus the
+//! `#[serde(skip)]` and `#[serde(default = "path")]` field attributes.
+
+// Generated code is assembled line-by-line; trailing `\n` in the format
+// strings keeps each emission a single self-contained statement.
+#![allow(clippy::write_with_newline)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+    default: Option<String>,
+}
+
+/// Body of a struct or enum variant.
+enum Body {
+    Named(Vec<Field>),
+    /// Tuple body with this many fields.
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes attributes (`#[...]`), returning any `#[serde(...)]` payloads
+/// as flat token text like `skip` or `default = "path"`.
+fn take_attrs(tokens: &mut Tokens) -> Vec<String> {
+    let mut serde_payloads = Vec::new();
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        let Some(TokenTree::Group(group)) = tokens.next() else {
+            panic!("expected [...] after #");
+        };
+        let mut inner = group.stream().into_iter();
+        if let Some(TokenTree::Ident(ident)) = inner.next() {
+            if ident.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    serde_payloads.push(args.stream().to_string());
+                }
+            }
+        }
+    }
+    serde_payloads
+}
+
+/// Skips visibility modifiers (`pub`, `pub(crate)`, …).
+fn skip_visibility(tokens: &mut Tokens) {
+    if let Some(TokenTree::Ident(ident)) = tokens.peek() {
+        if ident.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type expression up to a top-level `,` (tracking `<`/`>` depth).
+fn skip_type(tokens: &mut Tokens) {
+    let mut depth = 0i32;
+    while let Some(tt) = tokens.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        tokens.next();
+    }
+}
+
+fn parse_serde_attr(payloads: &[String]) -> (bool, Option<String>) {
+    let mut skip = false;
+    let mut default = None;
+    for payload in payloads {
+        let payload = payload.trim();
+        if payload == "skip" {
+            skip = true;
+        } else if let Some(rest) = payload.strip_prefix("default") {
+            let rest = rest.trim().trim_start_matches('=').trim();
+            if rest.is_empty() {
+                default = Some("::core::default::Default::default".to_owned());
+            } else {
+                default = Some(rest.trim_matches('"').to_owned());
+            }
+        }
+    }
+    (skip, default)
+}
+
+/// Parses named fields from the token stream of a `{...}` group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let payloads = take_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        let Some(TokenTree::Punct(colon)) = tokens.next() else {
+            panic!("expected `:` after field `{name}`");
+        };
+        assert_eq!(colon.as_char(), ':', "expected `:` after field `{name}`");
+        skip_type(&mut tokens);
+        tokens.next(); // consume the trailing comma, if any
+        let (skip, default) = parse_serde_attr(&payloads);
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple body `(...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        let _ = take_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_type(&mut tokens);
+        tokens.next();
+        count += 1;
+    }
+    count
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens: Tokens = input.into_iter().peekable();
+    let _ = take_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        assert!(
+            p.as_char() != '<',
+            "vendored serde_derive does not support generic types ({name})"
+        );
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => panic!("unsupported struct body for {name}: {other:?}"),
+            };
+            Item::Struct { name, body }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.next() else {
+                panic!("expected enum body for {name}");
+            };
+            let mut inner: Tokens = g.stream().into_iter().peekable();
+            let mut variants = Vec::new();
+            loop {
+                let _ = take_attrs(&mut inner);
+                let Some(TokenTree::Ident(vname)) = inner.next() else {
+                    break;
+                };
+                let body = match inner.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        inner.next();
+                        Body::Named(fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let count = count_tuple_fields(g.stream());
+                        inner.next();
+                        Body::Tuple(count)
+                    }
+                    _ => Body::Unit,
+                };
+                // Consume the trailing comma, if any.
+                if let Some(TokenTree::Punct(p)) = inner.peek() {
+                    if p.as_char() == ',' {
+                        inner.next();
+                    }
+                }
+                variants.push(Variant {
+                    name: vname.to_string(),
+                    body,
+                });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, body } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n"
+            );
+            match body {
+                Body::Named(fields) => {
+                    out.push_str(
+                        "let mut entries: ::std::vec::Vec<(::std::string::String, \
+                         ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+                    );
+                    for f in fields.iter().filter(|f| !f.skip) {
+                        let _ = write!(
+                            out,
+                            "entries.push((\"{n}\".to_string(), \
+                             ::serde::Serialize::to_value(&self.{n})));\n",
+                            n = f.name
+                        );
+                    }
+                    out.push_str("::serde::value::Value::Object(entries)\n");
+                }
+                Body::Tuple(1) => {
+                    out.push_str("::serde::Serialize::to_value(&self.0)\n");
+                }
+                Body::Tuple(n) => {
+                    out.push_str("::serde::value::Value::Array(vec![\n");
+                    for i in 0..*n {
+                        let _ = write!(out, "::serde::Serialize::to_value(&self.{i}),\n");
+                    }
+                    out.push_str("])\n");
+                }
+                Body::Unit => out.push_str("::serde::value::Value::Null\n"),
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n\
+                 match self {{\n"
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vn} => \
+                             ::serde::value::Value::Str(\"{vn}\".to_string()),\n"
+                        );
+                    }
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        let _ = write!(
+                            out,
+                            "{name}::{vn}({binds}) => ::serde::value::Value::Object(vec![\
+                             (\"{vn}\".to_string(), {payload})]),\n",
+                            binds = binds.join(", ")
+                        );
+                    }
+                    Body::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut payload = String::from(
+                            "{ let mut entries: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            let _ = write!(
+                                payload,
+                                "entries.push((\"{n}\".to_string(), \
+                                 ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            );
+                        }
+                        payload.push_str("::serde::value::Value::Object(entries) }");
+                        let _ = write!(
+                            out,
+                            "{name}::{vn} {{ {binds} }} => ::serde::value::Value::Object(vec![\
+                             (\"{vn}\".to_string(), {payload})]),\n",
+                            binds = binds.join(", ")
+                        );
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Emits the expression that reconstructs one named-field set from
+/// `entries`, as the interior of a struct literal.
+fn named_fields_ctor(ty_label: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            let _ = write!(out, "{}: ::core::default::Default::default(),\n", f.name);
+        } else if let Some(default) = &f.default {
+            let _ = write!(
+                out,
+                "{n}: match ::serde::__private::get(entries, \"{n}\") {{\n\
+                 Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                 None => {default}(),\n\
+                 }},\n",
+                n = f.name
+            );
+        } else {
+            let _ = write!(
+                out,
+                "{n}: match ::serde::__private::get(entries, \"{n}\") {{\n\
+                 Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                 None => return ::core::result::Result::Err(\
+                 ::serde::__private::missing_field(\"{ty}\", \"{n}\")),\n\
+                 }},\n",
+                n = f.name,
+                ty = ty_label
+            );
+        }
+    }
+    out
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, body } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::value::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{\n"
+            );
+            match body {
+                Body::Named(fields) => {
+                    let _ = write!(
+                        out,
+                        "let entries = ::serde::__private::as_object(v, \"{name}\")?;\n\
+                         ::core::result::Result::Ok({name} {{\n{}\n}})\n",
+                        named_fields_ctor(name, fields)
+                    );
+                }
+                Body::Tuple(1) => {
+                    let _ = write!(
+                        out,
+                        "::core::result::Result::Ok({name}(\
+                         ::serde::Deserialize::from_value(v)?))\n"
+                    );
+                }
+                Body::Tuple(n) => {
+                    let _ = write!(
+                        out,
+                        "match v {{\n\
+                         ::serde::value::Value::Array(items) if items.len() == {n} => \
+                         ::core::result::Result::Ok({name}(\n"
+                    );
+                    for i in 0..*n {
+                        let _ = write!(out, "::serde::Deserialize::from_value(&items[{i}])?,\n");
+                    }
+                    let _ = write!(
+                        out,
+                        ")),\n other => ::core::result::Result::Err(\
+                         ::serde::__private::bad_enum(\"{name}\", other)),\n}}\n"
+                    );
+                }
+                Body::Unit => {
+                    let _ = write!(out, "::core::result::Result::Ok({name})\n");
+                }
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::value::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n"
+            );
+            let unit_variants: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.body, Body::Unit))
+                .collect();
+            if !unit_variants.is_empty() {
+                out.push_str("::serde::value::Value::Str(s) => match s.as_str() {\n");
+                for v in &unit_variants {
+                    let _ = write!(
+                        out,
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    );
+                }
+                let _ = write!(
+                    out,
+                    "_ => ::core::result::Result::Err(\
+                     ::serde::__private::bad_enum(\"{name}\", v)),\n}},\n"
+                );
+            }
+            let data_variants: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.body, Body::Unit))
+                .collect();
+            if !data_variants.is_empty() {
+                out.push_str(
+                    "::serde::value::Value::Object(outer) if outer.len() == 1 => {\n\
+                     let (tag, payload) = &outer[0];\n\
+                     match tag.as_str() {\n",
+                );
+                for v in &data_variants {
+                    let vn = &v.name;
+                    match &v.body {
+                        Body::Tuple(1) => {
+                            let _ = write!(
+                                out,
+                                "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(payload)?)),\n"
+                            );
+                        }
+                        Body::Tuple(n) => {
+                            let _ = write!(
+                                out,
+                                "\"{vn}\" => match payload {{\n\
+                                 ::serde::value::Value::Array(items) if items.len() == {n} => \
+                                 ::core::result::Result::Ok({name}::{vn}(\n"
+                            );
+                            for i in 0..*n {
+                                let _ = write!(
+                                    out,
+                                    "::serde::Deserialize::from_value(&items[{i}])?,\n"
+                                );
+                            }
+                            let _ = write!(
+                                out,
+                                ")),\n other => ::core::result::Result::Err(\
+                                 ::serde::__private::bad_enum(\"{name}\", other)),\n}},\n"
+                            );
+                        }
+                        Body::Named(fields) => {
+                            let _ = write!(
+                                out,
+                                "\"{vn}\" => {{\n\
+                                 let entries = ::serde::__private::as_object(\
+                                 payload, \"{name}::{vn}\")?;\n\
+                                 ::core::result::Result::Ok({name}::{vn} {{\n{}\n}})\n}},\n",
+                                named_fields_ctor(&format!("{name}::{vn}"), fields)
+                            );
+                        }
+                        Body::Unit => unreachable!(),
+                    }
+                }
+                let _ = write!(
+                    out,
+                    "_ => ::core::result::Result::Err(\
+                     ::serde::__private::bad_enum(\"{name}\", v)),\n}}\n}},\n"
+                );
+            }
+            let _ = write!(
+                out,
+                "other => ::core::result::Result::Err(\
+                 ::serde::__private::bad_enum(\"{name}\", other)),\n}}\n}}\n}}\n"
+            );
+        }
+    }
+    out.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
