@@ -39,6 +39,12 @@ pub trait OpLatencyPredictor {
     /// Predicted per-device latency of a graph: the sum of its kernels
     /// (sequential device execution), split by phase.
     fn predict_graph(&self, graph: &Graph, spec: &neusight_gpu::GpuSpec) -> GraphLatency {
+        let _span = neusight_obs::span!(
+            "baseline_predict_graph",
+            baseline = self.name(),
+            gpu = spec.name(),
+            nodes = graph.len()
+        );
         let (mut forward_s, mut backward_s) = (0.0, 0.0);
         for node in graph.iter() {
             let lat = self.predict_op(&node.op, spec);

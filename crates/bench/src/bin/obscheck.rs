@@ -1,0 +1,224 @@
+//! CI checker for the observability exports: validates that the files a
+//! `neusight … --trace FILE --metrics-out FILE` run emitted are
+//! well-formed and carry the signals the pipeline is supposed to record.
+//!
+//! ```text
+//! cargo run -p neusight-bench --bin obscheck -- TRACE.json METRICS.prom
+//! ```
+//!
+//! Checks (exit code 1 with a message on the first failure):
+//! - the trace file parses as JSON with a non-empty `traceEvents` array,
+//!   every event has the Chrome trace-event required keys, and a
+//!   `predict_graph` span with its pipeline children is present;
+//! - the metrics file is Prometheus text exposition: `# TYPE` headers,
+//!   parsable sample values, and a non-zero prediction-cache activity
+//!   counter (`hit` + `miss` > 0).
+
+use serde::value::Value;
+use std::process::ExitCode;
+
+/// Newtype that rides the vendored `serde_json` parser to get the raw
+/// [`Value`] tree out (the facade has no `Deserialize for Value`).
+struct Any(Value);
+
+impl serde::Deserialize for Any {
+    fn from_value(v: &Value) -> Result<Any, serde::Error> {
+        Ok(Any(v.clone()))
+    }
+}
+
+fn get<'v>(value: &'v Value, key: &str) -> Option<&'v Value> {
+    match value {
+        Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_str(value: &Value) -> Option<&str> {
+    match value {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn as_f64(value: &Value) -> Option<f64> {
+    match value {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+fn check(condition: bool, message: &str) -> Result<(), String> {
+    if condition {
+        Ok(())
+    } else {
+        Err(message.to_owned())
+    }
+}
+
+fn check_trace(text: &str) -> Result<(), String> {
+    let Any(root) =
+        serde_json::from_str(text).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = match get(&root, "traceEvents") {
+        Some(Value::Array(events)) => events,
+        _ => return Err("trace has no `traceEvents` array".to_owned()),
+    };
+    check(!events.is_empty(), "trace has zero events")?;
+    for (index, event) in events.iter().enumerate() {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            check(
+                get(event, key).is_some(),
+                &format!("event {index} is missing `{key}`"),
+            )?;
+        }
+        let ph = get(event, "ph").and_then(as_str).unwrap_or("");
+        check(
+            ph == "X" || ph == "i",
+            &format!("event {index} has unexpected phase `{ph}`"),
+        )?;
+        if ph == "X" {
+            check(
+                get(event, "dur").and_then(as_f64).is_some(),
+                &format!("duration event {index} has no numeric `dur`"),
+            )?;
+        }
+    }
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| get(e, "name").and_then(as_str))
+        .collect();
+    for required in ["predict_graph", "batch_predict", "cache_probe"] {
+        check(
+            names.contains(&required),
+            &format!("trace has no `{required}` span"),
+        )?;
+    }
+    println!("trace OK: {} events", events.len());
+    Ok(())
+}
+
+fn check_metrics(text: &str) -> Result<(), String> {
+    let mut types = 0usize;
+    let mut samples = 0usize;
+    let mut cache_activity = 0u64;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or("empty `# TYPE` line")?;
+            let kind = parts.next().ok_or(format!("`# TYPE {name}` has no kind"))?;
+            check(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                &format!("metric {name} has unknown type `{kind}`"),
+            )?;
+            types += 1;
+            continue;
+        }
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("unparsable sample line `{line}`"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("non-numeric value in `{line}`"))?;
+        check(
+            value.is_finite() && value >= 0.0,
+            &format!("negative or non-finite sample in `{line}`"),
+        )?;
+        samples += 1;
+        if name.starts_with("neusight_core_predict_cache_hit")
+            || name.starts_with("neusight_core_predict_cache_miss")
+        {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            {
+                cache_activity += value as u64;
+            }
+        }
+    }
+    check(types > 0, "metrics file has no `# TYPE` headers")?;
+    check(samples > 0, "metrics file has no samples")?;
+    check(
+        cache_activity > 0,
+        "prediction-cache hit+miss counters are all zero",
+    )?;
+    println!("metrics OK: {types} metrics, {samples} samples");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(trace_path), Some(metrics_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: obscheck TRACE.json METRICS.prom");
+        return ExitCode::FAILURE;
+    };
+    let run = || -> Result<(), String> {
+        let trace = std::fs::read_to_string(&trace_path)
+            .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+        check_trace(&trace)?;
+        let metrics = std::fs::read_to_string(&metrics_path)
+            .map_err(|e| format!("cannot read {metrics_path}: {e}"))?;
+        check_metrics(&metrics)?;
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("obscheck: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_minimal_valid_trace() {
+        let trace = r#"{"traceEvents":[
+            {"name":"predict_graph","ph":"X","ts":0.0,"dur":5.0,"pid":1,"tid":1},
+            {"name":"cache_probe","ph":"X","ts":0.5,"dur":1.0,"pid":1,"tid":1},
+            {"name":"batch_predict","ph":"X","ts":2.0,"dur":2.0,"pid":1,"tid":1}
+        ]}"#;
+        assert!(check_trace(trace).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_traces() {
+        assert!(check_trace("not json").is_err());
+        assert!(check_trace(r#"{"traceEvents":[]}"#).is_err());
+        // Missing the required pipeline spans.
+        let other = r#"{"traceEvents":[
+            {"name":"something","ph":"X","ts":0.0,"dur":1.0,"pid":1,"tid":1}
+        ]}"#;
+        assert!(check_trace(other).is_err());
+        // Duration event without `dur`.
+        let nodur = r#"{"traceEvents":[
+            {"name":"predict_graph","ph":"X","ts":0.0,"pid":1,"tid":1}
+        ]}"#;
+        assert!(check_trace(nodur).is_err());
+    }
+
+    #[test]
+    fn accepts_valid_prometheus_text() {
+        let text = "# TYPE neusight_core_predict_cache_hit counter\n\
+                    neusight_core_predict_cache_hit 39\n\
+                    # TYPE neusight_core_predict_cache_miss counter\n\
+                    neusight_core_predict_cache_miss 13\n";
+        assert!(check_metrics(text).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_metrics() {
+        assert!(check_metrics("").is_err());
+        assert!(check_metrics("# TYPE x counter\nx nope\n").is_err());
+        // Zero cache activity: the instrumented pipeline did not run.
+        let idle = "# TYPE neusight_core_predict_cache_hit counter\n\
+                    neusight_core_predict_cache_hit 0\n";
+        assert!(check_metrics(idle).is_err());
+    }
+}

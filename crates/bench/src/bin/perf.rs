@@ -123,7 +123,13 @@ fn main() {
         ops.push(OpDesc::softmax(16 * d, d));
     }
     let refs: Vec<&OpDesc> = ops.iter().collect();
-    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // Floor the worker count at 4 so the work-stealing path is actually
+    // exercised (and measured) even on single-core CI containers, where
+    // `available_parallelism` is 1 and the sweep would silently degrade
+    // to the serial loop it is being compared against.
+    let threads = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .max(4);
     let serial_s = time_best(5, || collect_with_threads(&gpus, &refs, DType::F32, 1));
     let parallel_s = time_best(5, || {
         collect_with_threads(&gpus, &refs, DType::F32, threads)

@@ -8,6 +8,8 @@
 //!                  [--predictor FILE]
 //! neusight kernel  --gpu NAME --op bmm:B,M,N,K | fc:B,I,O | softmax:R,D
 //!                  [--predictor FILE]
+//! neusight profile --model NAME --gpu NAME [--batch N] [--train] [--fused]
+//!                  [--runs N] [--predictor FILE]
 //! neusight distributed --model NAME --server a100|h100 --batch N
 //!                      --strategy dp|tp|pp|pp-1f1b [--microbatches N] [--predictor FILE]
 //! neusight compare --model NAME [--batch N] [--train] [--predictor FILE]
@@ -18,6 +20,26 @@
 //! A trained predictor is cached at `neusight-predictor.json` in the
 //! working directory by default; `train` creates it, everything else loads
 //! it (training on the fly if missing).
+//!
+//! # Observability flags (every command)
+//!
+//! Passing any of these enables the `neusight-obs` subsystem for the run
+//! (it is otherwise compiled to a no-op fast path):
+//!
+//! - `--trace FILE` — write the recorded spans as a Chrome trace-event
+//!   JSON file, loadable in `chrome://tracing` or Perfetto.
+//! - `--trace-jsonl FILE` — write the spans as JSON-lines (one span object
+//!   per line), for `jq`/`grep` pipelines.
+//! - `--metrics` — print every registered counter/gauge/histogram to
+//!   stdout in Prometheus text exposition format after the command.
+//! - `--metrics-out FILE` — write the same exposition to a file.
+//!
+//! `neusight profile` runs a model forecast under full instrumentation and
+//! prints a per-stage wall-time breakdown table (span taxonomy in
+//! DESIGN.md §Observability) plus cache/dispatch metric summaries.
+//!
+//! Model names accept any unambiguous prefix (`gpt2` → `GPT2-Large`),
+//! ignoring case and punctuation.
 
 mod args;
 
@@ -29,8 +51,11 @@ use neusight_dist::{
 };
 use neusight_gpu::{catalog, DType, OpDesc};
 use neusight_graph::{config, fuse_graph, inference_graph, training_graph};
+use neusight_obs as obs;
+use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
 const DEFAULT_PREDICTOR: &str = "neusight-predictor.json";
 
@@ -39,12 +64,17 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(e) => return fail(&e.to_string()),
     };
+    let profiling = args.positional(0) == Some("profile");
+    if profiling || observability_requested(&args) {
+        obs::set_enabled(true);
+    }
     let result = match args.positional(0) {
         Some("train") => cmd_train(&args),
         Some("gpus") => cmd_gpus(),
         Some("models") => cmd_models(),
         Some("predict") => cmd_predict(&args),
         Some("kernel") => cmd_kernel(&args),
+        Some("profile") => cmd_profile(&args),
         Some("distributed") => cmd_distributed(&args),
         Some("compare") => cmd_compare(&args),
         Some("serving") => cmd_serving(&args),
@@ -55,10 +85,51 @@ fn main() -> ExitCode {
             Ok(())
         }
     };
+    let result = result.and_then(|()| export_observability(&args));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(&e.to_string()),
     }
+}
+
+/// Whether any of the global observability flags is present.
+fn observability_requested(args: &Args) -> bool {
+    ["trace", "trace-jsonl", "metrics", "metrics-out"]
+        .iter()
+        .any(|flag| args.has(flag))
+}
+
+/// Writes/prints the requested trace and metrics exports after a command.
+fn export_observability(args: &Args) -> CliResult {
+    if !obs::enabled() {
+        return Ok(());
+    }
+    let file_arg = |flag: &str| -> Result<Option<&str>, ArgError> {
+        match args.option(flag) {
+            Some("") => Err(ArgError(format!("--{flag} needs a file path"))),
+            other => Ok(other),
+        }
+    };
+    let spans = obs::take_spans();
+    if let Some(path) = file_arg("trace")? {
+        fs::write(path, obs::export::chrome_trace(&spans))?;
+        eprintln!("wrote {} spans to {path} (chrome://tracing)", spans.len());
+    }
+    if let Some(path) = file_arg("trace-jsonl")? {
+        fs::write(path, obs::export::json_lines(&spans))?;
+        eprintln!("wrote {} spans to {path} (JSON-lines)", spans.len());
+    }
+    if args.has("metrics") || args.has("metrics-out") {
+        let text = obs::export::prometheus(&obs::metrics::snapshot());
+        if let Some(path) = file_arg("metrics-out")? {
+            fs::write(path, &text)?;
+            eprintln!("wrote metrics to {path}");
+        }
+        if args.has("metrics") {
+            print!("{text}");
+        }
+    }
+    Ok(())
 }
 
 fn fail(message: &str) -> ExitCode {
@@ -76,10 +147,16 @@ fn print_usage() {
            models       list the workload zoo (Table 4)\n\
            predict      forecast a model graph on a GPU\n\
            kernel       forecast a single kernel on a GPU\n\
+           profile      instrumented forecast with per-stage breakdown\n\
            distributed  forecast multi-GPU training on a 4-GPU server\n\
            compare      forecast one model across the whole GPU catalog\n\
            serving      forecast TTFT and tokens/second for generation\n\
            export-dot   print a model's kernel graph in Graphviz DOT\n\n\
+         observability (any command):\n\
+           --trace FILE        Chrome trace-event JSON (chrome://tracing)\n\
+           --trace-jsonl FILE  span log, one JSON object per line\n\
+           --metrics           Prometheus text exposition on stdout\n\
+           --metrics-out FILE  same exposition, written to a file\n\n\
          see the crate docs for per-command options"
     );
 }
@@ -152,6 +229,42 @@ fn resolve_gpu(args: &Args) -> Result<neusight_gpu::GpuSpec, Box<dyn std::error:
     Ok(catalog::gpu(args.require("gpu")?)?)
 }
 
+/// Lower-cases and strips punctuation so `gpt2` compares equal to the
+/// prefix of `GPT2-Large`.
+fn normalized(name: &str) -> String {
+    name.chars()
+        .filter(char::is_ascii_alphanumeric)
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+/// Looks up a Table 4 model by exact name or unambiguous normalized
+/// prefix (`gpt2` → `GPT2-Large`; `gpt3` is ambiguous and rejected).
+fn resolve_model(name: &str) -> Result<config::ModelConfig, ArgError> {
+    if let Some(model) = config::by_name(name) {
+        return Ok(model);
+    }
+    let want = normalized(name);
+    let mut matches: Vec<config::ModelConfig> = config::table4()
+        .into_iter()
+        .filter(|m| !want.is_empty() && normalized(&m.name).starts_with(&want))
+        .collect();
+    match matches.len() {
+        1 => Ok(matches.remove(0)),
+        0 => Err(ArgError(format!(
+            "unknown model `{name}` (see `neusight models`)"
+        ))),
+        _ => Err(ArgError(format!(
+            "ambiguous model `{name}`: matches {}",
+            matches
+                .iter()
+                .map(|m| m.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))),
+    }
+}
+
 fn cmd_predict(args: &Args) -> CliResult {
     let ns = load_or_train(args)?;
     let spec = resolve_gpu(args)?;
@@ -159,20 +272,7 @@ fn cmd_predict(args: &Args) -> CliResult {
     let batch: u64 = args.get_or("batch", 1)?;
     let training = args.has("train");
 
-    let mut graph = match name.to_ascii_lowercase().as_str() {
-        "resnet50" if training => neusight_graph::cnn::resnet50_training(batch),
-        "resnet50" => neusight_graph::cnn::resnet50_inference(batch),
-        "vgg16" => neusight_graph::cnn::vgg16_inference(batch),
-        _ => {
-            let model =
-                config::by_name(name).ok_or_else(|| ArgError(format!("unknown model `{name}`")))?;
-            if training {
-                training_graph(&model, batch)
-            } else {
-                inference_graph(&model, batch)
-            }
-        }
-    };
+    let mut graph = graph_for(name, batch, training)?;
     if args.has("fused") {
         graph = fuse_graph(&graph);
     }
@@ -275,7 +375,7 @@ fn cmd_kernel(args: &Args) -> CliResult {
 fn cmd_distributed(args: &Args) -> CliResult {
     let ns = load_or_train(args)?;
     let name = args.require("model")?;
-    let model = config::by_name(name).ok_or_else(|| ArgError(format!("unknown model `{name}`")))?;
+    let model = resolve_model(name)?;
     let server = match args.require("server")? {
         "a100" => a100_nvlink_4x()?,
         "h100" => h100_dgx_4x()?,
@@ -318,8 +418,7 @@ fn graph_for(name: &str, batch: u64, training: bool) -> Result<neusight_graph::G
         "resnet50" => neusight_graph::cnn::resnet50_inference(batch),
         "vgg16" => neusight_graph::cnn::vgg16_inference(batch),
         _ => {
-            let model =
-                config::by_name(name).ok_or_else(|| ArgError(format!("unknown model `{name}`")))?;
+            let model = resolve_model(name)?;
             if training {
                 training_graph(&model, batch)
             } else {
@@ -327,6 +426,94 @@ fn graph_for(name: &str, batch: u64, training: bool) -> Result<neusight_graph::G
             }
         }
     })
+}
+
+/// Runs a forecast under full instrumentation and prints the per-stage
+/// wall-time breakdown plus metric summaries (`neusight profile`).
+fn cmd_profile(args: &Args) -> CliResult {
+    let name = args.require("model")?;
+    let spec = resolve_gpu(args)?;
+    let batch: u64 = args.get_or("batch", 1)?;
+    let training = args.has("train");
+    let runs: usize = args.get_or("runs", 3)?;
+
+    let ns = load_or_train(args)?;
+    let mut graph = graph_for(name, batch, training)?;
+    if args.has("fused") {
+        graph = fuse_graph(&graph);
+    }
+
+    // Profile only the forecast: drop the spans and counters that
+    // predictor loading/training produced above.
+    let _setup = obs::take_spans();
+    obs::metrics::reset();
+
+    let cold_start = Instant::now();
+    let forecast = ns.predict_graph(&graph, &spec)?;
+    let cold_s = cold_start.elapsed().as_secs_f64();
+    let warm_start = Instant::now();
+    for _ in 0..runs {
+        let _ = ns.predict_graph(&graph, &spec)?;
+    }
+    let warm_s = warm_start.elapsed().as_secs_f64() / runs.max(1) as f64;
+
+    println!(
+        "{} on {} (batch {batch}, {}): forecast {:.3} ms across {} kernels",
+        graph.name(),
+        spec.name(),
+        if training { "training" } else { "inference" },
+        forecast.total_s * 1e3,
+        graph.len()
+    );
+    println!(
+        "predictor wall time: cold {:.3} ms, warm {:.3} ms avg over {runs} run(s)\n",
+        cold_s * 1e3,
+        warm_s * 1e3
+    );
+
+    let spans = obs::snapshot_spans();
+    let stages = obs::profile::aggregate(&spans);
+    print!("{}", obs::profile::render_table(&stages));
+
+    let snap = obs::metrics::snapshot();
+    let interesting: Vec<_> = snap
+        .counters
+        .iter()
+        .filter(|(_, value)| **value > 0)
+        .collect();
+    if !interesting.is_empty() {
+        println!("\ncounters:");
+        for (name, value) in interesting {
+            println!("  {name:<40} {value}");
+        }
+    }
+    let set_gauges: Vec<_> = snap.gauges.iter().filter(|(_, v)| **v != 0.0).collect();
+    if !set_gauges.is_empty() {
+        println!("\ngauges:");
+        for (name, value) in set_gauges {
+            println!("  {name:<40} {value}");
+        }
+    }
+    let latency_histograms: Vec<_> = snap
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .collect();
+    if !latency_histograms.is_empty() {
+        println!("\nhistograms (count / mean / ~p99):");
+        for (name, h) in latency_histograms {
+            #[allow(clippy::cast_precision_loss)]
+            let mean_us = h.sum as f64 / h.count as f64 / 1e3;
+            let p99 = obs::metrics::histogram(name).quantile_upper_bound(0.99);
+            #[allow(clippy::cast_precision_loss)]
+            let p99_us = p99 as f64 / 1e3;
+            println!(
+                "  {name:<40} {} / {mean_us:.2} us / <={p99_us:.2} us",
+                h.count
+            );
+        }
+    }
+    Ok(())
 }
 
 fn cmd_compare(args: &Args) -> CliResult {
@@ -355,7 +542,7 @@ fn cmd_compare(args: &Args) -> CliResult {
 fn cmd_serving(args: &Args) -> CliResult {
     let ns = load_or_train(args)?;
     let name = args.require("model")?;
-    let model = config::by_name(name).ok_or_else(|| ArgError(format!("unknown model `{name}`")))?;
+    let model = resolve_model(name)?;
     let batch: u64 = args.get_or("batch", 1)?;
     let tokens: u64 = args.get_or("tokens", 128)?;
     println!(
@@ -426,5 +613,19 @@ mod tests {
         assert!(parse_op("nope:1").is_err());
         assert!(parse_op("fc:1,x,3").is_err());
         assert!(parse_op("justtext").is_err());
+    }
+
+    #[test]
+    fn model_prefix_resolution() {
+        assert_eq!(resolve_model("GPT2-Large").unwrap().name, "GPT2-Large");
+        assert_eq!(resolve_model("gpt2").unwrap().name, "GPT2-Large");
+        assert_eq!(resolve_model("bert").unwrap().name, "BERT-Large");
+        assert_eq!(resolve_model("opt").unwrap().name, "OPT-1.3B");
+        assert_eq!(resolve_model("switch").unwrap().name, "SwitchTrans");
+        // `gpt3` matches GPT3-XL and GPT3-2.7B.
+        let err = resolve_model("gpt3").unwrap_err().to_string();
+        assert!(err.contains("ambiguous"), "{err}");
+        assert!(resolve_model("nonesuch").is_err());
+        assert!(resolve_model("").is_err());
     }
 }

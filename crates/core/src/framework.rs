@@ -9,14 +9,15 @@ use neusight_gpu::{
     num_tiles, num_waves, DType, GpuSpec, KernelDataset, KernelLaunch, OpClass, OpDesc,
 };
 use neusight_graph::{Graph, Phase};
+use neusight_obs as obs;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fs;
 use std::hash::{Hash, Hasher};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Training configuration for the whole framework: one
 /// [`PredictorConfig`] per family.
@@ -69,13 +70,111 @@ pub struct GraphPrediction {
     pub per_node_s: Vec<f64>,
 }
 
-/// Memoized per-kernel predictions, keyed by GPU fingerprint then op.
+/// Default bound on the number of memoized `(GPU, op)` predictions held by
+/// [`NeuSight`]; see [`NeuSight::set_prediction_cache_capacity`].
+pub const DEFAULT_PREDICTION_CACHE_CAPACITY: usize = 65_536;
+
+/// Hot-path metric handles (one registry lookup per process).
+struct CoreMetrics {
+    cache_hit: Arc<obs::Counter>,
+    cache_miss: Arc<obs::Counter>,
+    cache_eviction: Arc<obs::Counter>,
+    cache_size: Arc<obs::Gauge>,
+}
+
+fn core_metrics() -> &'static CoreMetrics {
+    static METRICS: OnceLock<CoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CoreMetrics {
+        cache_hit: obs::metrics::counter("core.predict_cache.hit"),
+        cache_miss: obs::metrics::counter("core.predict_cache.miss"),
+        cache_eviction: obs::metrics::counter("core.predict_cache.eviction"),
+        cache_size: obs::metrics::gauge("core.predict_cache.size"),
+    })
+}
+
+/// Records a predicted latency into the per-family histogram
+/// (`core.predicted_latency_ns.<family>`). Only called when enabled, so
+/// the registry lookup never lands on the disabled fast path.
+fn record_family_latency(family: &str, latency_s: f64) {
+    obs::metrics::histogram(&format!("core.predicted_latency_ns.{family}")).record_secs(latency_s);
+}
+
+/// Memoized per-kernel predictions, keyed by GPU fingerprint then op,
+/// bounded to `capacity` entries with FIFO (insertion-order) eviction.
+#[derive(Debug)]
+struct CacheInner {
+    per_gpu: HashMap<u64, HashMap<OpDesc, f64>>,
+    /// Insertion order of every live entry, oldest first.
+    order: VecDeque<(u64, OpDesc)>,
+    /// Total live entries across all GPUs.
+    len: usize,
+    capacity: usize,
+}
+
+impl Default for CacheInner {
+    fn default() -> CacheInner {
+        CacheInner {
+            per_gpu: HashMap::new(),
+            order: VecDeque::new(),
+            len: 0,
+            capacity: DEFAULT_PREDICTION_CACHE_CAPACITY,
+        }
+    }
+}
+
+impl CacheInner {
+    fn get(&self, fp: u64, op: &OpDesc) -> Option<f64> {
+        self.per_gpu.get(&fp).and_then(|m| m.get(op).copied())
+    }
+
+    /// Inserts if absent, evicting the oldest entries once over capacity.
+    fn insert(&mut self, fp: u64, op: &OpDesc, latency_s: f64) {
+        let per_gpu = self.per_gpu.entry(fp).or_default();
+        if per_gpu.contains_key(op) {
+            return;
+        }
+        per_gpu.insert(op.clone(), latency_s);
+        self.order.push_back((fp, op.clone()));
+        self.len += 1;
+        self.evict_over_capacity();
+    }
+
+    fn evict_over_capacity(&mut self) {
+        while self.len > self.capacity {
+            let Some((fp, op)) = self.order.pop_front() else {
+                break;
+            };
+            if let Some(per_gpu) = self.per_gpu.get_mut(&fp) {
+                if per_gpu.remove(&op).is_some() {
+                    self.len -= 1;
+                    core_metrics().cache_eviction.inc();
+                }
+                if per_gpu.is_empty() {
+                    self.per_gpu.remove(&fp);
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.per_gpu.clear();
+        self.order.clear();
+        self.len = 0;
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn publish_size(&self) {
+        core_metrics().cache_size.set(self.len as f64);
+    }
+}
+
+/// The shared prediction cache.
 ///
 /// Lives behind an `Arc` so clones of a trained framework share one cache
 /// (prediction is pure, so sharing is value-transparent). Skipped by serde:
 /// a loaded framework starts cold.
 #[derive(Debug, Clone, Default)]
-struct PredictionCache(Arc<Mutex<HashMap<u64, HashMap<OpDesc, f64>>>>);
+struct PredictionCache(Arc<Mutex<CacheInner>>);
 
 /// A stable identity for a [`GpuSpec`] in the prediction cache: the name
 /// plus the exact bit patterns of every numeric field, so two specs that
@@ -114,12 +213,17 @@ impl NeuSight {
     ///
     /// Returns an error if *no* family could be trained.
     pub fn train(dataset: &KernelDataset, config: &NeuSightConfig) -> Result<NeuSight> {
+        let _span = obs::span!("train_framework", records = dataset.len());
         let mut predictors = BTreeMap::new();
         for class in OpClass::trained() {
             let Some(cfg) = config.per_class.get(class.name()) else {
                 continue;
             };
-            match KernelPredictor::train(class, dataset, config.dtype, cfg) {
+            let trained = {
+                let _family_span = obs::span!("train_family", family = class.name());
+                KernelPredictor::train(class, dataset, config.dtype, cfg)
+            };
+            match trained {
                 Ok(p) => {
                     predictors.insert(class.name().to_owned(), p);
                 }
@@ -201,23 +305,26 @@ impl NeuSight {
     ///
     /// Propagates launch-planning errors.
     pub fn predict_op(&self, op: &OpDesc, spec: &GpuSpec) -> Result<f64> {
+        let _span = obs::span!(
+            "predict_op",
+            gpu = spec.name(),
+            family = op.op_class().name()
+        );
         let fp = spec_fingerprint(spec);
-        if let Some(hit) = self
-            .cache
-            .0
-            .lock()
-            .get(&fp)
-            .and_then(|per_gpu| per_gpu.get(op).copied())
-        {
+        if let Some(hit) = self.cache.0.lock().get(fp, op) {
+            core_metrics().cache_hit.inc();
             return Ok(hit);
         }
+        core_metrics().cache_miss.inc();
         let lat = self.predict_op_uncached(op, spec)?;
-        self.cache
-            .0
-            .lock()
-            .entry(fp)
-            .or_default()
-            .insert(op.clone(), lat);
+        if obs::enabled() {
+            record_family_latency(op.op_class().name(), lat);
+        }
+        {
+            let mut cache = self.cache.0.lock();
+            cache.insert(fp, op, lat);
+            cache.publish_size();
+        }
         Ok(lat)
     }
 
@@ -242,7 +349,32 @@ impl NeuSight {
 
     /// Drops all memoized predictions (e.g. between benchmark iterations).
     pub fn clear_prediction_cache(&self) {
-        self.cache.0.lock().clear();
+        let mut cache = self.cache.0.lock();
+        cache.clear();
+        cache.publish_size();
+    }
+
+    /// Number of memoized `(GPU, op)` predictions currently held.
+    #[must_use]
+    pub fn prediction_cache_len(&self) -> usize {
+        self.cache.0.lock().len
+    }
+
+    /// The prediction cache's entry bound.
+    #[must_use]
+    pub fn prediction_cache_capacity(&self) -> usize {
+        self.cache.0.lock().capacity
+    }
+
+    /// Re-bounds the prediction cache, evicting oldest-first down to the
+    /// new capacity immediately. Evictions increment the
+    /// `core.predict_cache.eviction` counter. A capacity of 0 disables
+    /// memoization entirely.
+    pub fn set_prediction_cache_capacity(&self, capacity: usize) {
+        let mut cache = self.cache.0.lock();
+        cache.capacity = capacity;
+        cache.evict_over_capacity();
+        cache.publish_size();
     }
 
     /// Predicts per-device latency of a whole dataflow graph by summing
@@ -259,50 +391,68 @@ impl NeuSight {
     ///
     /// Propagates per-kernel errors.
     pub fn predict_graph(&self, graph: &Graph, spec: &GpuSpec) -> Result<GraphPrediction> {
+        let _span = obs::span!("predict_graph", gpu = spec.name(), nodes = graph.len());
         let fp = spec_fingerprint(spec);
 
         // Deduplicate nodes: each unique op is predicted exactly once.
         let mut unique: Vec<&OpDesc> = Vec::new();
-        let mut slot_of: HashMap<&OpDesc, usize> = HashMap::new();
         let mut node_slots = Vec::with_capacity(graph.len());
-        for node in graph.iter() {
-            let next = unique.len();
-            let slot = *slot_of.entry(&node.op).or_insert(next);
-            if slot == next {
-                unique.push(&node.op);
+        {
+            let _stage = obs::span("dedup");
+            let mut slot_of: HashMap<&OpDesc, usize> = HashMap::new();
+            for node in graph.iter() {
+                let next = unique.len();
+                let slot = *slot_of.entry(&node.op).or_insert(next);
+                if slot == next {
+                    unique.push(&node.op);
+                }
+                node_slots.push(slot);
             }
-            node_slots.push(slot);
         }
 
         let mut latencies: Vec<Option<f64>> = vec![None; unique.len()];
-        if let Some(per_gpu) = self.cache.0.lock().get(&fp) {
+        {
+            let _stage = obs::span("cache_probe");
+            let cache = self.cache.0.lock();
+            let mut hits = 0u64;
             for (slot, op) in unique.iter().enumerate() {
-                latencies[slot] = per_gpu.get(*op).copied();
+                latencies[slot] = cache.get(fp, op);
+                hits += u64::from(latencies[slot].is_some());
             }
+            core_metrics().cache_hit.add(hits);
+            core_metrics().cache_miss.add(unique.len() as u64 - hits);
         }
 
         // Uncached kernels: memory-bound fallbacks are closed-form; the
         // rest are grouped by family for one batched forward pass each.
         let mut batches: BTreeMap<&str, Vec<(usize, KernelLaunch)>> = BTreeMap::new();
-        for (slot, op) in unique.iter().enumerate() {
-            if latencies[slot].is_some() {
-                continue;
-            }
-            let class = op.op_class();
-            if class == OpClass::MemoryBound
-                || op.flops() <= 0.0
-                || !self.predictors.contains_key(class.name())
-            {
-                latencies[slot] = Some(op.memory_bytes(self.dtype) / spec.memory_bw());
-            } else {
-                let launch = self.plan_launch(op, spec)?;
-                batches
-                    .entry(class.name())
-                    .or_default()
-                    .push((slot, launch));
+        {
+            let _stage = obs::span("fallback");
+            for (slot, op) in unique.iter().enumerate() {
+                if latencies[slot].is_some() {
+                    continue;
+                }
+                let class = op.op_class();
+                if class == OpClass::MemoryBound
+                    || op.flops() <= 0.0
+                    || !self.predictors.contains_key(class.name())
+                {
+                    let lat = op.memory_bytes(self.dtype) / spec.memory_bw();
+                    if obs::enabled() {
+                        record_family_latency(class.name(), lat);
+                    }
+                    latencies[slot] = Some(lat);
+                } else {
+                    let launch = self.plan_launch(op, spec)?;
+                    batches
+                        .entry(class.name())
+                        .or_default()
+                        .push((slot, launch));
+                }
             }
         }
         for (class_name, items) in &batches {
+            let _stage = obs::span!("batch_predict", family = class_name, kernels = items.len());
             let predictor = &self.predictors[*class_name];
             let kernels: Vec<(&OpDesc, &KernelLaunch)> = items
                 .iter()
@@ -310,19 +460,24 @@ impl NeuSight {
                 .collect();
             let lats = predictor.predict_latency_batch(&kernels, self.dtype, spec);
             for ((slot, _), lat) in items.iter().zip(lats) {
+                if obs::enabled() {
+                    record_family_latency(class_name, lat);
+                }
                 latencies[*slot] = Some(lat);
             }
         }
 
         {
+            let _stage = obs::span("cache_write");
             let mut cache = self.cache.0.lock();
-            let per_gpu = cache.entry(fp).or_default();
             for (op, lat) in unique.iter().zip(&latencies) {
                 let lat = lat.expect("every unique op resolved");
-                per_gpu.entry((*op).clone()).or_insert(lat);
+                cache.insert(fp, op, lat);
             }
+            cache.publish_size();
         }
 
+        let _stage = obs::span("aggregate");
         let mut per_node_s = Vec::with_capacity(graph.len());
         let (mut forward_s, mut backward_s) = (0.0, 0.0);
         for (node, &slot) in graph.iter().zip(&node_slots) {
@@ -477,6 +632,68 @@ mod tests {
             (on_a / on_b - 2.0).abs() < 1e-9,
             "doubled bandwidth must halve the fallback latency: {on_a} vs {on_b}"
         );
+    }
+
+    #[test]
+    fn prediction_cache_capacity_bounds_and_evicts_fifo() {
+        let ns = tiny_framework();
+        let spec = catalog::gpu("T4").unwrap();
+        ns.set_prediction_cache_capacity(4);
+        assert_eq!(ns.prediction_cache_capacity(), 4);
+        // Eviction counting is observable only while obs is enabled; the
+        // counter is global, but only this instance (capacity 4) evicts.
+        let evictions = neusight_obs::metrics::counter("core.predict_cache.eviction");
+        let before = evictions.get();
+        neusight_obs::set_enabled(true);
+        let ops: Vec<OpDesc> = (1..=10)
+            .map(|i| OpDesc::embedding(128 * i, 64, 1000))
+            .collect();
+        for op in &ops {
+            ns.predict_op(op, &spec).unwrap();
+        }
+        neusight_obs::set_enabled(false);
+        assert_eq!(ns.prediction_cache_len(), 4);
+        assert_eq!(evictions.get() - before, 6, "10 inserts into capacity 4");
+        // Newest entries survive (FIFO evicts oldest first): the last op
+        // is a hit, the first must re-miss but still match bitwise.
+        let warm = ns.predict_op(&ops[9], &spec).unwrap();
+        assert_eq!(
+            warm.to_bits(),
+            ns.predict_op_uncached(&ops[9], &spec).unwrap().to_bits()
+        );
+        let refilled = ns.predict_op(&ops[0], &spec).unwrap();
+        assert_eq!(
+            refilled.to_bits(),
+            ns.predict_op_uncached(&ops[0], &spec).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let ns = tiny_framework();
+        let spec = catalog::gpu("T4").unwrap();
+        ns.set_prediction_cache_capacity(0);
+        let op = OpDesc::bmm(2, 64, 64, 64);
+        let a = ns.predict_op(&op, &spec).unwrap();
+        assert_eq!(ns.prediction_cache_len(), 0);
+        assert_eq!(a.to_bits(), ns.predict_op(&op, &spec).unwrap().to_bits());
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let ns = tiny_framework();
+        let spec = catalog::gpu("V100").unwrap();
+        for i in 1..=8 {
+            ns.predict_op(&OpDesc::embedding(64 * i, 32, 500), &spec)
+                .unwrap();
+        }
+        assert_eq!(ns.prediction_cache_len(), 8);
+        ns.set_prediction_cache_capacity(3);
+        assert_eq!(ns.prediction_cache_len(), 3);
+        // predict_graph still fills and respects the bound.
+        let graph = inference_graph(&config::bert_large(), 2);
+        ns.predict_graph(&graph, &spec).unwrap();
+        assert!(ns.prediction_cache_len() <= 3);
     }
 
     #[test]

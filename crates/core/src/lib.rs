@@ -45,6 +45,6 @@ pub mod tiledb;
 
 pub use ablation::{AblatedNeuSight, AblationVariant};
 pub use error::{CoreError, Result};
-pub use framework::{GraphPrediction, NeuSight, NeuSightConfig};
+pub use framework::{GraphPrediction, NeuSight, NeuSightConfig, DEFAULT_PREDICTION_CACHE_CAPACITY};
 pub use predictor::{KernelPredictor, PredictorConfig};
 pub use tiledb::TileDatabase;

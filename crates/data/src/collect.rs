@@ -11,8 +11,17 @@
 use crate::records::{KernelDataset, KernelRecord};
 use crate::sweeps::{self, SweepScale};
 use neusight_gpu::DType;
+use neusight_obs as obs;
 use neusight_sim::SimulatedGpu;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Records one worker's tally into the collection metrics: every claimed
+/// item, plus the "steals" — items outside the worker's notional
+/// round-robin share, i.e. work it pulled off a slower peer's plate.
+fn record_worker_metrics(claimed: u64, steals: u64) {
+    obs::metrics::counter("data.collect.items").add(claimed);
+    obs::metrics::counter("data.collect.steals").add(steals);
+}
 
 /// Number of timed runs averaged per kernel (§6.1: 25).
 pub const MEASUREMENT_RUNS: u32 = 25;
@@ -50,6 +59,16 @@ pub fn collect_with_threads(
         return KernelDataset::new(Vec::new());
     }
     let threads = threads.clamp(1, total);
+    let _span = obs::span!(
+        "collect",
+        gpus = gpus.len(),
+        ops = ops.len(),
+        threads = threads
+    );
+    if obs::enabled() {
+        #[allow(clippy::cast_precision_loss)]
+        obs::metrics::gauge("data.collect.threads").set(threads as f64);
+    }
 
     let measure_item = |item: usize| -> KernelRecord {
         let gpu = &gpus[item / ops.len()];
@@ -64,7 +83,11 @@ pub fn collect_with_threads(
     };
 
     if threads == 1 {
-        return KernelDataset::new((0..total).map(measure_item).collect());
+        let records: Vec<KernelRecord> = (0..total).map(measure_item).collect();
+        if obs::enabled() {
+            record_worker_metrics(records.len() as u64, 0);
+        }
+        return KernelDataset::new(records);
     }
 
     // Shared cursor over the flat (gpu-major) work grid: each worker
@@ -74,15 +97,26 @@ pub fn collect_with_threads(
     let mut per_worker: Vec<Vec<(usize, KernelRecord)>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker| {
+                let measure_item = &measure_item;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let _span = obs::span!("collect_worker", worker = worker);
                     let mut mine = Vec::new();
+                    let mut steals = 0u64;
                     loop {
                         let item = cursor.fetch_add(1, Ordering::Relaxed);
                         if item >= total {
                             break;
                         }
+                        // Round-robin would hand item i to worker i % threads;
+                        // claiming outside that share means this worker
+                        // outpaced a peer and stole its work.
+                        steals += u64::from(item % threads != worker);
                         mine.push((item, measure_item(item)));
+                    }
+                    if obs::enabled() {
+                        record_worker_metrics(mine.len() as u64, steals);
                     }
                     mine
                 })

@@ -34,26 +34,55 @@ impl<'a, P: OpLatencyPredictor + ?Sized> DistForecaster<'a, P> {
     }
 
     /// Predicts one training-iteration latency for a plan on a server,
-    /// in seconds.
+    /// in seconds. Emits a per-rank timeline: one `rank_compute` span per
+    /// distinct rank workload (replicated ranks share one span carrying a
+    /// `ranks` field) plus `comm_estimate` spans for the collectives.
     #[must_use]
     pub fn predict_iteration(&self, plan: &DistPlan, server: &ServerSpec) -> f64 {
+        let kind = match plan {
+            DistPlan::Data { .. } => "data",
+            DistPlan::Tensor { .. } => "tensor",
+            DistPlan::Pipeline { .. } => "pipeline",
+        };
+        let _span = neusight_obs::span!(
+            "dist_predict_iteration",
+            server = server.name,
+            strategy = kind,
+            gpus = server.num_gpus
+        );
         match plan {
             DistPlan::Data {
                 per_gpu,
                 grad_allreduce,
             } => {
-                let compute = self.predictor.predict_graph(per_gpu, &server.gpu).total_s;
+                let compute = {
+                    let _rank = neusight_obs::span!(
+                        "rank_compute",
+                        ranks = format_args!("0..{}", server.num_gpus)
+                    );
+                    self.predictor.predict_graph(per_gpu, &server.gpu).total_s
+                };
+                let _comm = neusight_obs::span!("comm_estimate", op = "allreduce");
                 compute + self.link.comm_time(*grad_allreduce, server)
             }
             DistPlan::Tensor {
                 per_gpu,
                 collectives,
             } => {
-                let compute = self.predictor.predict_graph(per_gpu, &server.gpu).total_s;
-                let comm: f64 = collectives
-                    .iter()
-                    .map(|&op| self.link.comm_time(op, server))
-                    .sum();
+                let compute = {
+                    let _rank = neusight_obs::span!(
+                        "rank_compute",
+                        ranks = format_args!("0..{}", server.num_gpus)
+                    );
+                    self.predictor.predict_graph(per_gpu, &server.gpu).total_s
+                };
+                let comm: f64 = {
+                    let _comm = neusight_obs::span!("comm_estimate", ops = collectives.len());
+                    collectives
+                        .iter()
+                        .map(|&op| self.link.comm_time(op, server))
+                        .sum()
+                };
                 compute + comm
             }
             DistPlan::Pipeline {
@@ -64,10 +93,19 @@ impl<'a, P: OpLatencyPredictor + ?Sized> DistForecaster<'a, P> {
             } => {
                 let preds: Vec<_> = stages
                     .iter()
-                    .map(|stage| self.predictor.predict_graph(stage, &server.gpu))
+                    .enumerate()
+                    .map(|(rank, stage)| {
+                        let _rank = neusight_obs::span!(
+                            "rank_compute",
+                            ranks = rank,
+                            stage_kernels = stage.len()
+                        );
+                        self.predictor.predict_graph(stage, &server.gpu)
+                    })
                     .collect();
                 let fwd: Vec<f64> = preds.iter().map(|p| p.forward_s).collect();
                 let bwd: Vec<f64> = preds.iter().map(|p| p.backward_s).collect();
+                let _comm = neusight_obs::span!("comm_estimate", op = "sendrecv");
                 let p2p = self.link.comm_time(
                     CommOp::SendRecv {
                         bytes: *boundary_bytes,

@@ -108,6 +108,9 @@ pub fn all() -> Vec<CatalogEntry> {
 /// # }
 /// ```
 pub fn gpu(name: &str) -> Result<GpuSpec, GpuError> {
+    if neusight_obs::enabled() {
+        neusight_obs::metrics::counter("gpu.catalog.lookups").inc();
+    }
     all()
         .into_iter()
         .map(|entry| entry.spec)

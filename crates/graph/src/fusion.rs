@@ -38,6 +38,7 @@ fn can_follow(class: OpClass) -> bool {
 /// (4) both nodes are in the same phase.
 #[must_use]
 pub fn fuse_graph(graph: &Graph) -> Graph {
+    let _span = neusight_obs::span!("fuse_graph", nodes = graph.len());
     let consumers = graph.consumer_counts();
     // First consumer (in execution order) of each node, if any.
     let mut first_consumer: Vec<Option<NodeId>> = vec![None; graph.len()];
@@ -101,6 +102,13 @@ pub fn fuse_graph(graph: &Graph) -> Graph {
             }
         }
         chains.push(chain);
+    }
+
+    if neusight_obs::enabled() {
+        let fused_chains = chains.iter().filter(|c| c.len() > 1).count() as u64;
+        neusight_obs::metrics::counter("graph.fusion.chains").add(fused_chains);
+        neusight_obs::metrics::counter("graph.fusion.absorbed_nodes")
+            .add(absorbed.iter().filter(|&&a| a).count() as u64);
     }
 
     // Rebuild the graph with one node per chain.

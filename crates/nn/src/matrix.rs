@@ -357,6 +357,36 @@ mod gemm {
         }
     }
 
+    /// Cached handles for the `nn.gemm.dispatch.*` path counters
+    /// (scalar / AVX2 / threaded), bumped once per [`run`] call.
+    struct DispatchCounters {
+        scalar: std::sync::Arc<neusight_obs::Counter>,
+        avx2: std::sync::Arc<neusight_obs::Counter>,
+        threaded: std::sync::Arc<neusight_obs::Counter>,
+    }
+
+    fn dispatch_counters() -> &'static DispatchCounters {
+        static COUNTERS: std::sync::OnceLock<DispatchCounters> = std::sync::OnceLock::new();
+        COUNTERS.get_or_init(|| DispatchCounters {
+            scalar: neusight_obs::metrics::counter("nn.gemm.dispatch.scalar"),
+            avx2: neusight_obs::metrics::counter("nn.gemm.dispatch.avx2"),
+            threaded: neusight_obs::metrics::counter("nn.gemm.dispatch.threaded"),
+        })
+    }
+
+    /// Whether the AVX2+FMA micro-kernel will be selected on this host.
+    fn simd_kernel_available() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
     /// Computes `out += a · b` for zero-initialized `out` (row-major m×n),
     /// splitting row blocks across threads when the product is large
     /// enough to amortize the spawns.
@@ -364,6 +394,16 @@ mod gemm {
         let Shape { m, n, k } = shape;
         debug_assert_eq!(out.len(), m * n);
         let threads = worker_count(shape);
+        if neusight_obs::enabled() {
+            let counters = dispatch_counters();
+            if threads > 1 {
+                counters.threaded.inc();
+            } else if simd_kernel_available() {
+                counters.avx2.inc();
+            } else {
+                counters.scalar.inc();
+            }
+        }
         if threads <= 1 {
             serial(out, a, b, shape, 0);
             return;

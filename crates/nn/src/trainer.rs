@@ -161,6 +161,13 @@ pub struct TrainReport {
     pub stopped_early: bool,
 }
 
+/// Cached handle for the `nn.trainer.epochs` counter.
+fn epochs_counter() -> &'static std::sync::Arc<neusight_obs::Counter> {
+    static COUNTER: std::sync::OnceLock<std::sync::Arc<neusight_obs::Counter>> =
+        std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| neusight_obs::metrics::counter("nn.trainer.epochs"))
+}
+
 /// Mini-batch trainer binding an [`Mlp`], a [`Head`] and a [`Loss`].
 #[derive(Debug, Clone)]
 pub struct Trainer {
@@ -189,6 +196,12 @@ impl Trainer {
     /// widths.
     #[allow(clippy::cast_precision_loss)]
     pub fn fit(&self, mlp: &mut Mlp, head: &dyn Head, loss: Loss, data: &Dataset) -> TrainReport {
+        let _span = neusight_obs::span!(
+            "fit",
+            samples = data.len(),
+            epochs = self.config.epochs,
+            batch_size = self.config.batch_size
+        );
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         assert_eq!(
             mlp.output_dim(),
@@ -219,6 +232,8 @@ impl Trainer {
         let mut tail_bufs: Option<(Matrix, Matrix)> = None;
 
         for epoch in 0..self.config.epochs {
+            let _epoch_span = neusight_obs::span!("train_epoch", epoch = epoch);
+            epochs_counter().inc();
             opt.lr = self
                 .config
                 .lr_schedule

@@ -1,0 +1,264 @@
+//! Exporters: JSON-lines span logs, Chrome `chrome://tracing` traces, and
+//! Prometheus-style text exposition.
+//!
+//! All three are hand-rendered (this crate has no serde) but emit strictly
+//! valid output: JSON strings are escaped per RFC 8259, and the Prometheus
+//! text follows the exposition format's `# TYPE` / sample-line shape.
+
+use crate::metrics::{bucket_upper_bound, MetricsSnapshot};
+use crate::span::SpanRecord;
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion inside a JSON string literal.
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fields_json(record: &SpanRecord) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in record.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", escape_json(key), escape_json(value));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders spans as JSON-lines: one self-contained object per line, in
+/// recording order. Suited to `grep`/`jq` pipelines and append-only logs.
+#[must_use]
+pub fn json_lines(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"id\":{},\"parent\":",
+            escape_json(span.name),
+            span.id
+        );
+        match span.parent {
+            Some(parent) => {
+                let _ = write!(out, "{parent}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = writeln!(
+            out,
+            ",\"tid\":{},\"start_ns\":{},\"dur_ns\":{},\"fields\":{}}}",
+            span.thread,
+            span.start_ns,
+            span.dur_ns,
+            fields_json(span)
+        );
+    }
+    out
+}
+
+/// Renders spans in the Chrome trace-event format (the JSON object form
+/// with a `traceEvents` array), loadable in `chrome://tracing` and Perfetto.
+///
+/// Timed spans become complete (`"ph":"X"`) events; zero-duration events
+/// become thread-scoped instants (`"ph":"i"`). Timestamps are microseconds
+/// with nanosecond fractions preserved.
+#[must_use]
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let ts_us = span.start_ns as f64 / 1e3;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"neusight\",\"pid\":1,\"tid\":{},\"ts\":{ts_us:.3},",
+            escape_json(span.name),
+            span.thread
+        );
+        if span.dur_ns == 0 {
+            out.push_str("\"ph\":\"i\",\"s\":\"t\",");
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let dur_us = span.dur_ns as f64 / 1e3;
+            let _ = write!(out, "\"ph\":\"X\",\"dur\":{dur_us:.3},");
+        }
+        let _ = write!(out, "\"args\":{}}}", fields_json(span));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Flattens a dotted metric name to a Prometheus-legal one, prefixed
+/// `neusight_`: `core.predict_cache.hit` → `neusight_core_predict_cache_hit`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("neusight_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format.
+/// Histograms emit cumulative `_bucket{le="…"}` samples (only occupied
+/// buckets, plus the mandatory `+Inf`), `_sum`, and `_count`.
+#[must_use]
+pub fn prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+    }
+    for (name, hist) in &snapshot.histograms {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (index, &count) in hist.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                bucket_upper_bound(index)
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{name}_sum {}", hist.sum);
+        let _ = writeln!(out, "{name}_count {}", hist.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+    use crate::span::SpanRecord;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "batch_predict",
+                thread: 1,
+                start_ns: 1_500,
+                dur_ns: 2_000,
+                fields: vec![("family", "bmm \"quoted\"".to_owned())],
+            },
+            SpanRecord {
+                id: 3,
+                parent: Some(1),
+                name: "cache_evicted",
+                thread: 1,
+                start_ns: 4_000,
+                dur_ns: 0,
+                fields: Vec::new(),
+            },
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "predict_graph",
+                thread: 1,
+                start_ns: 1_000,
+                dur_ns: 5_000,
+                fields: vec![("gpu", "H100".to_owned())],
+            },
+        ]
+    }
+
+    #[test]
+    fn json_lines_one_object_per_span() {
+        let text = json_lines(&sample_spans());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"name\":\"batch_predict\""));
+        assert!(lines[0].contains("\"parent\":1"));
+        assert!(lines[0].contains("\\\"quoted\\\""));
+        assert!(lines[2].contains("\"parent\":null"));
+        assert!(lines[2].ends_with('}'));
+    }
+
+    #[test]
+    fn chrome_trace_has_complete_and_instant_events() {
+        let text = chrome_trace(&sample_spans());
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        assert!(text.contains("\"ph\":\"X\",\"dur\":2.000,"));
+        assert!(text.contains("\"ph\":\"i\",\"s\":\"t\""));
+        assert!(text.contains("\"ts\":1.500"));
+        assert!(text.contains("\"args\":{\"gpu\":\"H100\"}"));
+        // Balanced braces/brackets — a cheap structural validity check.
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn json_escaping_covers_control_chars() {
+        assert_eq!(escape_json("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot
+            .counters
+            .insert("core.predict_cache.hit".to_owned(), 7);
+        snapshot
+            .gauges
+            .insert("data.collect.threads".to_owned(), 4.0);
+        let mut buckets = vec![0u64; 65];
+        buckets[1] = 2;
+        buckets[11] = 3;
+        snapshot.histograms.insert(
+            "core.predicted_latency_ns.bmm".to_owned(),
+            HistogramSnapshot {
+                count: 5,
+                sum: 6_000,
+                buckets,
+            },
+        );
+        let text = prometheus(&snapshot);
+        assert!(text.contains("# TYPE neusight_core_predict_cache_hit counter"));
+        assert!(text.contains("neusight_core_predict_cache_hit 7"));
+        assert!(text.contains("# TYPE neusight_data_collect_threads gauge"));
+        assert!(text.contains("neusight_data_collect_threads 4"));
+        assert!(text.contains("# TYPE neusight_core_predicted_latency_ns_bmm histogram"));
+        assert!(text.contains("neusight_core_predicted_latency_ns_bmm_bucket{le=\"1\"} 2"));
+        assert!(text.contains("neusight_core_predicted_latency_ns_bmm_bucket{le=\"2047\"} 5"));
+        assert!(text.contains("neusight_core_predicted_latency_ns_bmm_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("neusight_core_predicted_latency_ns_bmm_sum 6000"));
+        assert!(text.contains("neusight_core_predicted_latency_ns_bmm_count 5"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-stage wall-time aggregation over recorded spans — the engine
+//! behind `neusight profile`'s breakdown table.
+
+use crate::span::SpanRecord;
+use std::collections::HashMap;
+
+/// Aggregate wall-time statistics for every span sharing one name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Span name (one row per name).
+    pub name: &'static str,
+    /// Number of spans recorded under this name.
+    pub count: u64,
+    /// Total wall time across all occurrences, nanoseconds.
+    pub total_ns: u64,
+    /// Total minus time spent in recorded child spans, nanoseconds.
+    pub self_ns: u64,
+    /// Longest single occurrence, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl StageStats {
+    /// Mean occurrence duration in nanoseconds.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Groups spans by name into [`StageStats`], sorted by total time
+/// descending. Self time subtracts only *recorded* children, so with
+/// sparse instrumentation it degrades gracefully toward total time.
+#[must_use]
+pub fn aggregate(spans: &[SpanRecord]) -> Vec<StageStats> {
+    // Sum each span's direct children first, keyed by parent id.
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for span in spans {
+        if let Some(parent) = span.parent {
+            *child_ns.entry(parent).or_insert(0) += span.dur_ns;
+        }
+    }
+    let mut by_name: HashMap<&'static str, StageStats> = HashMap::new();
+    for span in spans {
+        let children = child_ns.get(&span.id).copied().unwrap_or(0);
+        let stats = by_name.entry(span.name).or_insert(StageStats {
+            name: span.name,
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            max_ns: 0,
+        });
+        stats.count += 1;
+        stats.total_ns += span.dur_ns;
+        stats.self_ns += span.dur_ns.saturating_sub(children);
+        stats.max_ns = stats.max_ns.max(span.dur_ns);
+    }
+    let mut stages: Vec<StageStats> = by_name.into_values().collect();
+    stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(b.name)));
+    stages
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Renders the per-stage breakdown as an aligned text table.
+#[must_use]
+pub fn render_table(stages: &[StageStats]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "stage", "calls", "total (ms)", "self (ms)", "mean (us)", "max (us)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(24 + 8 + 12 * 4 + 5));
+    for stage in stages {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>12.3} {:>12.3} {:>12.2} {:>12.2}",
+            stage.name,
+            stage.count,
+            ms(stage.total_ns),
+            ms(stage.self_ns),
+            stage.mean_ns() / 1e3,
+            ms(stage.max_ns) * 1e3,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, name: &'static str, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            thread: 1,
+            start_ns: 0,
+            dur_ns,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aggregation_computes_self_time_and_ordering() {
+        let spans = vec![
+            span(1, None, "predict_graph", 10_000),
+            span(2, Some(1), "batch_predict", 6_000),
+            span(3, Some(1), "cache_probe", 1_000),
+            span(4, None, "predict_graph", 4_000),
+            span(5, Some(4), "batch_predict", 3_000),
+        ];
+        let stages = aggregate(&spans);
+        assert_eq!(stages[0].name, "predict_graph");
+        assert_eq!(stages[0].count, 2);
+        assert_eq!(stages[0].total_ns, 14_000);
+        assert_eq!(stages[0].self_ns, 14_000 - 6_000 - 1_000 - 3_000);
+        assert_eq!(stages[0].max_ns, 10_000);
+        assert_eq!(stages[1].name, "batch_predict");
+        assert_eq!(stages[1].total_ns, 9_000);
+        assert_eq!(stages[1].self_ns, 9_000);
+        assert_eq!(stages[2].name, "cache_probe");
+        assert!((stages[1].mean_ns() - 4_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_one_row_per_stage() {
+        let stages = aggregate(&[span(1, None, "a", 2_000_000), span(2, None, "b", 1_000_000)]);
+        let table = render_table(&stages);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with('a'));
+        assert!(lines[2].contains("2.000"));
+        assert!(lines[3].starts_with('b'));
+    }
+}

@@ -131,6 +131,22 @@ fn split_k_factor(op: &OpDesc, output_tiles: u64, spec: &GpuSpec) -> u64 {
     want.min(k / 128).max(1)
 }
 
+/// Cached handles for the `sim.dispatch.*` metrics.
+struct DispatchMetrics {
+    kernels: std::sync::Arc<neusight_obs::Counter>,
+    split_k: std::sync::Arc<neusight_obs::Counter>,
+    waves: std::sync::Arc<neusight_obs::Histogram>,
+}
+
+fn dispatch_metrics() -> &'static DispatchMetrics {
+    static METRICS: std::sync::OnceLock<DispatchMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| DispatchMetrics {
+        kernels: neusight_obs::metrics::counter("sim.dispatch.kernels"),
+        split_k: neusight_obs::metrics::counter("sim.dispatch.split_k"),
+        waves: neusight_obs::metrics::histogram("sim.dispatch.waves"),
+    })
+}
+
 /// Dispatches a kernel: selects its tile and computes launch metadata
 /// (including any split-K factor).
 #[must_use]
@@ -141,6 +157,14 @@ pub fn dispatch(op: &OpDesc, spec: &GpuSpec) -> KernelLaunch {
     let split_k = split_k_factor(op, output_tiles, spec);
     let tiles = output_tiles * split_k;
     let waves = num_waves(tiles, spec.num_sms());
+    if neusight_obs::enabled() {
+        let metrics = dispatch_metrics();
+        metrics.kernels.inc();
+        metrics.waves.record(waves);
+        if split_k > 1 {
+            metrics.split_k.inc();
+        }
+    }
     let mut kernel_name = kernel_name_for(op, &tile);
     if split_k > 1 {
         kernel_name.push_str(&format!("_splitk{split_k}"));

@@ -15,6 +15,7 @@
 //! | [`core`] | `neusight-core` | **NeuSight itself**: tile-granularity bounded prediction |
 //! | [`baselines`] | `neusight-baselines` | roofline, Habitat, Li et al., Table 1 big models |
 //! | [`dist`] | `neusight-dist` | multi-GPU servers, collectives, DP/TP/PP forecasting |
+//! | [`obs`] | `neusight-obs` | structured tracing, metrics, exporters, profiling (DESIGN.md §Observability) |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@ pub use neusight_dist as dist;
 pub use neusight_gpu as gpu;
 pub use neusight_graph as graph;
 pub use neusight_nn as nn;
+pub use neusight_obs as obs;
 pub use neusight_sim as sim;
 
 /// The most common imports in one place.
