@@ -1,0 +1,213 @@
+//! Load generator for the `neusight-serve` HTTP prediction service:
+//! drives `POST /v1/predict` over localhost at configurable concurrency
+//! and records throughput and latency percentiles in `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p neusight-bench --bin loadgen -- \
+//!     [--concurrency N] [--duration-s F] [--addr HOST:PORT] [--out FILE]
+//! ```
+//!
+//! By default the generator is **self-hosting**: it trains a tiny
+//! predictor, boots a server on an ephemeral loopback port in-process,
+//! warms the prediction cache, measures, then drains the server — so CI
+//! needs no orchestration. Pass `--addr` to aim at an external server
+//! instead (it must already be running and warm).
+
+use neusight_core::{NeuSight, NeuSightConfig};
+use neusight_data::{collect_training_set, training_gpus, SweepScale};
+use neusight_gpu::DType;
+use neusight_serve::{Client, RunningServer, ServeConfig, Server};
+use serde::Serialize;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// The request mix every worker cycles through. Small on purpose: after
+/// one warmup pass the server answers all of them from the memo cache,
+/// which is the steady state a capacity-planning service lives in.
+const REQUESTS: [&str; 4] = [
+    r#"{"model":"bert","gpu":"H100","batch":2}"#,
+    r#"{"model":"gpt2","gpu":"A100-80GB","batch":4}"#,
+    r#"{"model":"opt","gpu":"V100","batch":1,"train":true}"#,
+    r#"{"model":"switch","gpu":"T4","batch":2}"#,
+];
+
+#[derive(Debug, Serialize)]
+struct LatencySummary {
+    mean_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ServeSummary {
+    generated_by: String,
+    addr: String,
+    concurrency: usize,
+    duration_s: f64,
+    requests: usize,
+    errors: usize,
+    throughput_rps: f64,
+    latency: LatencySummary,
+}
+
+/// `q`-quantile of an ascending latency list (nearest-rank).
+fn percentile(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    #[allow(clippy::cast_precision_loss)]
+    let ms = sorted_ns[rank - 1] as f64 / 1e6;
+    ms
+}
+
+fn parse_args() -> (usize, f64, Option<String>, String) {
+    let mut concurrency = 32usize;
+    let mut duration_s = 3.0f64;
+    let mut addr: Option<String> = None;
+    let mut out = "BENCH_serve.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("--{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--concurrency" => concurrency = value("concurrency").parse().expect("usize"),
+            "--duration-s" => duration_s = value("duration-s").parse().expect("seconds"),
+            "--addr" => addr = Some(value("addr")),
+            "--out" => out = value("out"),
+            other => panic!("unknown flag {other} (see the bin docs)"),
+        }
+    }
+    (concurrency, duration_s, addr, out)
+}
+
+/// Boots an in-process server sized for the benchmark.
+fn self_host(concurrency: usize) -> RunningServer {
+    eprintln!("training a tiny predictor for the in-process server…");
+    let data = collect_training_set(&training_gpus(), SweepScale::Tiny, DType::F32);
+    let ns = NeuSight::train(&data, &NeuSightConfig::tiny()).expect("tiny training");
+    let config = ServeConfig {
+        workers: concurrency + 4,
+        queue_depth: (concurrency * 8).max(256),
+        ..ServeConfig::default()
+    };
+    Server::spawn(config, ns).expect("bind loopback server")
+}
+
+fn main() {
+    let (concurrency, duration_s, external_addr, out_path) = parse_args();
+
+    let hosted: Option<RunningServer> = match external_addr {
+        Some(_) => None,
+        None => Some(self_host(concurrency)),
+    };
+    let addr: SocketAddr = match (&external_addr, &hosted) {
+        (Some(text), _) => text.parse().expect("--addr must be HOST:PORT"),
+        (None, Some(server)) => server.addr(),
+        (None, None) => unreachable!(),
+    };
+
+    // Warmup: populate the memo cache (and fault in every graph) so the
+    // measured window sees the steady state.
+    let mut warm = Client::connect(addr).expect("connect for warmup");
+    for body in REQUESTS {
+        let response = warm.post_json("/v1/predict", body).expect("warmup request");
+        assert_eq!(
+            response.status,
+            200,
+            "warmup request failed: {}",
+            response.text()
+        );
+    }
+    drop(warm);
+
+    eprintln!("driving http://{addr} at {concurrency}-way concurrency for {duration_s:.1} s…");
+    let deadline = Instant::now() + Duration::from_secs_f64(duration_s);
+    let started = Instant::now();
+    let mut results: Vec<(Vec<u64>, usize)> = Vec::with_capacity(concurrency);
+    std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(concurrency);
+        for worker in 0..concurrency {
+            workers.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect worker");
+                let mut latencies_ns: Vec<u64> = Vec::with_capacity(65_536);
+                let mut errors = 0usize;
+                let mut next = worker; // stagger the mix across workers
+                while Instant::now() < deadline {
+                    let body = REQUESTS[next % REQUESTS.len()];
+                    next += 1;
+                    let sent = Instant::now();
+                    match client.post_json("/v1/predict", body) {
+                        Ok(response) if response.status == 200 => {
+                            #[allow(clippy::cast_possible_truncation)]
+                            latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                        }
+                        Ok(_) | Err(_) => errors += 1,
+                    }
+                }
+                (latencies_ns, errors)
+            }));
+        }
+        for worker in workers {
+            results.push(worker.join().expect("worker thread"));
+        }
+    });
+    let measured_s = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = 0usize;
+    for (worker_latencies, worker_errors) in results {
+        latencies.extend(worker_latencies);
+        errors += worker_errors;
+    }
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    #[allow(clippy::cast_precision_loss)]
+    let throughput_rps = requests as f64 / measured_s;
+    #[allow(clippy::cast_precision_loss)]
+    let mean_ms = if requests == 0 {
+        0.0
+    } else {
+        latencies.iter().map(|&ns| ns as f64).sum::<f64>() / requests as f64 / 1e6
+    };
+    let latency = LatencySummary {
+        mean_ms,
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+        max_ms: percentile(&latencies, 1.0),
+    };
+    eprintln!(
+        "{requests} requests in {measured_s:.2} s → {throughput_rps:.0} req/s \
+         (p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, {errors} errors)",
+        latency.p50_ms, latency.p95_ms, latency.p99_ms
+    );
+
+    if let Some(server) = hosted {
+        server.shutdown_and_join().expect("graceful drain");
+        eprintln!("in-process server drained cleanly");
+    }
+
+    let summary = ServeSummary {
+        generated_by: "cargo run --release -p neusight-bench --bin loadgen".to_owned(),
+        addr: addr.to_string(),
+        concurrency,
+        duration_s: measured_s,
+        requests,
+        errors,
+        throughput_rps,
+        latency,
+    };
+    let json = serde_json::to_string_pretty(&summary).expect("serializable");
+    std::fs::write(&out_path, json + "\n").expect("write summary");
+    eprintln!("wrote {out_path}");
+}

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! cargo run -p neusight-bench --bin obscheck -- TRACE.json METRICS.prom
+//! cargo run -p neusight-bench --bin obscheck -- serve PREDICT.json METRICS.prom
 //! ```
 //!
 //! Checks (exit code 1 with a message on the first failure):
@@ -13,6 +14,12 @@
 //! - the metrics file is Prometheus text exposition: `# TYPE` headers,
 //!   parsable sample values, and a non-zero prediction-cache activity
 //!   counter (`hit` + `miss` > 0).
+//!
+//! In `serve` mode (the CI smoke step for `neusight serve`), the first
+//! file is instead a saved `POST /v1/predict` response body — checked for
+//! the latency fields a client depends on — and the metrics file is a
+//! scraped `/metrics` page, required to show served HTTP traffic
+//! (`neusight_serve_http_requests > 0`) on top of the structural checks.
 
 use serde::value::Value;
 use std::process::ExitCode;
@@ -100,10 +107,12 @@ fn check_trace(text: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn check_metrics(text: &str) -> Result<(), String> {
+/// Structural pass over a Prometheus text page: every `# TYPE` is legal,
+/// every sample parses to a finite non-negative number. Returns the
+/// `(name, value)` samples for mode-specific checks.
+fn parse_exposition(text: &str) -> Result<Vec<(String, f64)>, String> {
     let mut types = 0usize;
-    let mut samples = 0usize;
-    let mut cache_activity = 0u64;
+    let mut samples = Vec::new();
     for line in text.lines() {
         if let Some(rest) = line.strip_prefix("# TYPE ") {
             let mut parts = rest.split_whitespace();
@@ -129,40 +138,113 @@ fn check_metrics(text: &str) -> Result<(), String> {
             value.is_finite() && value >= 0.0,
             &format!("negative or non-finite sample in `{line}`"),
         )?;
-        samples += 1;
-        if name.starts_with("neusight_core_predict_cache_hit")
-            || name.starts_with("neusight_core_predict_cache_miss")
-        {
-            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            {
-                cache_activity += value as u64;
-            }
-        }
+        samples.push((name.to_owned(), value));
     }
     check(types > 0, "metrics file has no `# TYPE` headers")?;
-    check(samples > 0, "metrics file has no samples")?;
+    check(!samples.is_empty(), "metrics file has no samples")?;
+    Ok(samples)
+}
+
+/// Sum of samples whose name starts with any of the prefixes.
+fn sample_sum(samples: &[(String, f64)], prefixes: &[&str]) -> f64 {
+    samples
+        .iter()
+        .filter(|(name, _)| prefixes.iter().any(|p| name.starts_with(p)))
+        .map(|(_, value)| value)
+        .sum()
+}
+
+fn check_metrics(text: &str) -> Result<(), String> {
+    let samples = parse_exposition(text)?;
     check(
-        cache_activity > 0,
+        sample_sum(
+            &samples,
+            &[
+                "neusight_core_predict_cache_hit",
+                "neusight_core_predict_cache_miss",
+            ],
+        ) > 0.0,
         "prediction-cache hit+miss counters are all zero",
     )?;
-    println!("metrics OK: {types} metrics, {samples} samples");
+    println!("metrics OK: {} samples", samples.len());
+    Ok(())
+}
+
+/// `/metrics` scraped from a serving process: structurally valid, and the
+/// server actually answered traffic.
+fn check_serve_metrics(text: &str) -> Result<(), String> {
+    let samples = parse_exposition(text)?;
+    check(
+        sample_sum(&samples, &["neusight_serve_http_requests"]) > 0.0,
+        "`neusight_serve_http_requests` is zero — the server saw no traffic",
+    )?;
+    check(
+        sample_sum(&samples, &["neusight_serve_request_latency_ns_count"]) > 0.0,
+        "request-latency histogram is empty",
+    )?;
+    println!("serve metrics OK: {} samples", samples.len());
+    Ok(())
+}
+
+/// A saved `POST /v1/predict` response body: the fields a capacity-planning
+/// client depends on, with sane values.
+fn check_predict_body(text: &str) -> Result<(), String> {
+    let Any(root) =
+        serde_json::from_str(text).map_err(|e| format!("predict body is not valid JSON: {e}"))?;
+    for key in ["model", "gpu", "mode"] {
+        check(
+            get(&root, key).and_then(as_str).is_some(),
+            &format!("predict body is missing string field `{key}`"),
+        )?;
+    }
+    let total_ms = get(&root, "total_ms")
+        .and_then(as_f64)
+        .ok_or("predict body has no numeric `total_ms`")?;
+    check(
+        total_ms.is_finite() && total_ms > 0.0,
+        &format!("implausible total_ms {total_ms}"),
+    )?;
+    let kernels = get(&root, "kernels")
+        .and_then(as_f64)
+        .ok_or("predict body has no numeric `kernels`")?;
+    check(kernels >= 1.0, "predict body reports zero kernels")?;
+    let forward_ms = get(&root, "forward_ms")
+        .and_then(as_f64)
+        .ok_or("predict body has no numeric `forward_ms`")?;
+    check(
+        forward_ms.is_finite() && forward_ms >= 0.0 && forward_ms <= total_ms * (1.0 + 1e-9),
+        "forward_ms exceeds total_ms",
+    )?;
+    match get(&root, "per_family_ms") {
+        Some(Value::Object(families)) => {
+            check(!families.is_empty(), "per_family_ms is empty")?;
+        }
+        _ => return Err("predict body has no `per_family_ms` object".to_owned()),
+    }
+    println!("predict body OK: {total_ms:.3} ms across {kernels} kernels");
     Ok(())
 }
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let (Some(trace_path), Some(metrics_path)) = (args.next(), args.next()) else {
-        eprintln!("usage: obscheck TRACE.json METRICS.prom");
-        return ExitCode::FAILURE;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
     };
     let run = || -> Result<(), String> {
-        let trace = std::fs::read_to_string(&trace_path)
-            .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
-        check_trace(&trace)?;
-        let metrics = std::fs::read_to_string(&metrics_path)
-            .map_err(|e| format!("cannot read {metrics_path}: {e}"))?;
-        check_metrics(&metrics)?;
-        Ok(())
+        match args.as_slice() {
+            [mode, predict_path, metrics_path] if mode == "serve" => {
+                check_predict_body(&read(predict_path)?)?;
+                check_serve_metrics(&read(metrics_path)?)
+            }
+            [trace_path, metrics_path] => {
+                check_trace(&read(trace_path)?)?;
+                check_metrics(&read(metrics_path)?)
+            }
+            _ => Err(
+                "usage: obscheck TRACE.json METRICS.prom | obscheck serve PREDICT.json METRICS.prom"
+                    .to_owned(),
+            ),
+        }
     };
     match run() {
         Ok(()) => ExitCode::SUCCESS,
@@ -220,5 +302,39 @@ mod tests {
         let idle = "# TYPE neusight_core_predict_cache_hit counter\n\
                     neusight_core_predict_cache_hit 0\n";
         assert!(check_metrics(idle).is_err());
+    }
+
+    #[test]
+    fn serve_metrics_require_served_traffic() {
+        let good = "# TYPE neusight_serve_http_requests counter\n\
+                    neusight_serve_http_requests 12\n\
+                    # TYPE neusight_serve_request_latency_ns histogram\n\
+                    neusight_serve_request_latency_ns_bucket{le=\"+Inf\"} 12\n\
+                    neusight_serve_request_latency_ns_sum 240000\n\
+                    neusight_serve_request_latency_ns_count 12\n";
+        assert!(check_serve_metrics(good).is_ok());
+        let idle = "# TYPE neusight_serve_http_requests counter\n\
+                    neusight_serve_http_requests 0\n";
+        assert!(check_serve_metrics(idle).is_err());
+        // Cache-only metrics are not evidence the server answered.
+        let wrong = "# TYPE neusight_core_predict_cache_hit counter\n\
+                     neusight_core_predict_cache_hit 9\n";
+        assert!(check_serve_metrics(wrong).is_err());
+    }
+
+    #[test]
+    fn predict_body_field_checks() {
+        let good = r#"{"model":"BERT-Large","gpu":"H100","batch":2,"mode":"inference",
+            "fused":false,"kernels":97,"total_ms":5.25,"forward_ms":5.25,
+            "backward_ms":0.0,"per_family_ms":{"bmm":3.0,"softmax":2.25}}"#;
+        assert!(check_predict_body(good).is_ok());
+        assert!(check_predict_body("not json").is_err());
+        assert!(check_predict_body(r#"{"model":"x"}"#).is_err());
+        let zero = r#"{"model":"x","gpu":"y","mode":"inference","kernels":0,
+            "total_ms":0.0,"forward_ms":0.0,"per_family_ms":{"bmm":1.0}}"#;
+        assert!(check_predict_body(zero).is_err());
+        let inverted = r#"{"model":"x","gpu":"y","mode":"inference","kernels":3,
+            "total_ms":1.0,"forward_ms":2.0,"per_family_ms":{"bmm":1.0}}"#;
+        assert!(check_predict_body(inverted).is_err());
     }
 }

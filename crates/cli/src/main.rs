@@ -15,11 +15,15 @@
 //! neusight compare --model NAME [--batch N] [--train] [--predictor FILE]
 //! neusight serving --model NAME [--batch N] [--tokens N] [--predictor FILE]
 //! neusight export-dot --model NAME [--batch N] [--train] [--fused]
+//! neusight serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!                  [--deadline-ms N] [--max-batch N] [--predictor FILE]
 //! ```
 //!
 //! A trained predictor is cached at `neusight-predictor.json` in the
 //! working directory by default; `train` creates it, everything else loads
-//! it (training on the fly if missing).
+//! it (training on the fly if missing). The global `--cache-capacity N`
+//! flag bounds the prediction memo cache (entries, FIFO eviction) for any
+//! command that loads a predictor — `serve` and `predict` share the knob.
 //!
 //! # Observability flags (every command)
 //!
@@ -78,6 +82,7 @@ fn main() -> ExitCode {
         Some("distributed") => cmd_distributed(&args),
         Some("compare") => cmd_compare(&args),
         Some("serving") => cmd_serving(&args),
+        Some("serve") => cmd_serve(&args),
         Some("export-dot") => cmd_export_dot(&args),
         Some(other) => Err(ArgError(format!("unknown command `{other}`")).into()),
         None => {
@@ -151,7 +156,11 @@ fn print_usage() {
            distributed  forecast multi-GPU training on a 4-GPU server\n\
            compare      forecast one model across the whole GPU catalog\n\
            serving      forecast TTFT and tokens/second for generation\n\
+           serve        run the HTTP prediction service (see --addr etc.)\n\
            export-dot   print a model's kernel graph in Graphviz DOT\n\n\
+         global flags:\n\
+           --predictor FILE      predictor path (default neusight-predictor.json)\n\
+           --cache-capacity N    bound the prediction memo cache (entries)\n\n\
          observability (any command):\n\
            --trace FILE        Chrome trace-event JSON (chrome://tracing)\n\
            --trace-jsonl FILE  span log, one JSON object per line\n\
@@ -165,13 +174,21 @@ type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 fn load_or_train(args: &Args) -> Result<NeuSight, Box<dyn std::error::Error>> {
     let path = args.option("predictor").unwrap_or(DEFAULT_PREDICTOR);
-    if Path::new(path).exists() {
-        return Ok(NeuSight::load(Path::new(path))?);
+    let ns = if Path::new(path).exists() {
+        NeuSight::load(Path::new(path))?
+    } else {
+        eprintln!("no predictor at {path}; training one (use `neusight train` to control this)…");
+        let ns = train_new(SweepScale::Standard)?;
+        ns.save(Path::new(path))?;
+        eprintln!("saved to {path}");
+        ns
+    };
+    if let Some(capacity) = args.option("cache-capacity") {
+        let capacity: usize = capacity
+            .parse()
+            .map_err(|_| ArgError(format!("invalid value `{capacity}` for --cache-capacity")))?;
+        ns.set_prediction_cache_capacity(capacity);
     }
-    eprintln!("no predictor at {path}; training one (use `neusight train` to control this)…");
-    let ns = train_new(SweepScale::Standard)?;
-    ns.save(Path::new(path))?;
-    eprintln!("saved to {path}");
     Ok(ns)
 }
 
@@ -573,6 +590,32 @@ fn cmd_serving(args: &Args) -> CliResult {
             tps
         );
     }
+    Ok(())
+}
+
+/// Runs the long-lived HTTP prediction service (`neusight serve`).
+///
+/// Blocks until SIGTERM/SIGINT, then drains in-flight requests before
+/// returning. Observability is force-enabled so `/metrics` has data.
+fn cmd_serve(args: &Args) -> CliResult {
+    obs::set_enabled(true);
+    let config = neusight_serve::ServeConfig {
+        addr: args.option("addr").unwrap_or("127.0.0.1:8780").to_owned(),
+        workers: args.get_or("workers", 32usize)?,
+        queue_depth: args.get_or("queue-depth", 256usize)?,
+        deadline: std::time::Duration::from_millis(args.get_or("deadline-ms", 1000u64)?),
+        max_batch: args.get_or("max-batch", 64usize)?,
+        handle_signals: true,
+        ..neusight_serve::ServeConfig::default()
+    };
+    let ns = load_or_train(args)?;
+    let server = neusight_serve::Server::bind(config, ns)?;
+    println!("serving on http://{}", server.local_addr());
+    println!("  POST /v1/predict   {{\"model\":\"gpt2\",\"gpu\":\"H100\",\"batch\":4}}");
+    println!("  GET  /v1/models    GET /v1/gpus    GET /healthz    GET /metrics");
+    println!("SIGTERM or Ctrl-C drains in-flight requests and exits");
+    server.run()?;
+    eprintln!("drained; bye");
     Ok(())
 }
 

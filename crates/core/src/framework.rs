@@ -392,21 +392,64 @@ impl NeuSight {
     /// Propagates per-kernel errors.
     pub fn predict_graph(&self, graph: &Graph, spec: &GpuSpec) -> Result<GraphPrediction> {
         let _span = obs::span!("predict_graph", gpu = spec.name(), nodes = graph.len());
-        let fp = spec_fingerprint(spec);
+        let mut predictions = self.predict_graph_batch(&[(graph, spec)])?;
+        Ok(predictions.pop().expect("one job in, one prediction out"))
+    }
 
-        // Deduplicate nodes: each unique op is predicted exactly once.
-        let mut unique: Vec<&OpDesc> = Vec::new();
-        let mut node_slots = Vec::with_capacity(graph.len());
+    /// Predicts several `(graph, GPU)` jobs in one pass, coalescing the
+    /// kernels of *all* jobs before dispatching to the MLPs: ops are
+    /// deduplicated per `(GPU, op)` across every job, memoized entries are
+    /// served from the shared cache, and the remaining unique kernels run
+    /// through **one** batched forward pass per `(GPU, family)` — however
+    /// many jobs contributed them. This is the serving layer's
+    /// micro-batching primitive: N concurrent predict requests cost one
+    /// MLP dispatch per family, not N.
+    ///
+    /// Results are positionally aligned with `jobs` and bitwise-identical
+    /// to predicting each job separately (and to the per-node
+    /// [`NeuSight::predict_op_uncached`] path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-kernel launch-planning errors.
+    pub fn predict_graph_batch(&self, jobs: &[(&Graph, &GpuSpec)]) -> Result<Vec<GraphPrediction>> {
+        // No span of its own: the stage spans below nest directly under
+        // the caller's root (`predict_graph` or the server's
+        // `serve_batch`), keeping the §5c taxonomy
+        // `predict_graph` → {dedup, cache_probe, …} intact.
+
+        // Unique GPUs by fingerprint (jobs typically share one spec).
+        let mut gpu_fps: Vec<u64> = Vec::new();
+        let mut gpu_specs: Vec<&GpuSpec> = Vec::new();
+        let mut job_gpu: Vec<usize> = Vec::with_capacity(jobs.len());
+        for (_, spec) in jobs {
+            let fp = spec_fingerprint(spec);
+            let gpu = gpu_fps.iter().position(|&g| g == fp).unwrap_or_else(|| {
+                gpu_fps.push(fp);
+                gpu_specs.push(spec);
+                gpu_fps.len() - 1
+            });
+            job_gpu.push(gpu);
+        }
+
+        // Deduplicate nodes across all jobs: each unique `(GPU, op)` is
+        // predicted exactly once.
+        let mut unique: Vec<(usize, &OpDesc)> = Vec::new();
+        let mut job_slots: Vec<Vec<usize>> = Vec::with_capacity(jobs.len());
         {
             let _stage = obs::span("dedup");
-            let mut slot_of: HashMap<&OpDesc, usize> = HashMap::new();
-            for node in graph.iter() {
-                let next = unique.len();
-                let slot = *slot_of.entry(&node.op).or_insert(next);
-                if slot == next {
-                    unique.push(&node.op);
+            let mut slot_of: HashMap<(usize, &OpDesc), usize> = HashMap::new();
+            for ((graph, _), &gpu) in jobs.iter().zip(&job_gpu) {
+                let mut slots = Vec::with_capacity(graph.len());
+                for node in graph.iter() {
+                    let next = unique.len();
+                    let slot = *slot_of.entry((gpu, &node.op)).or_insert(next);
+                    if slot == next {
+                        unique.push((gpu, &node.op));
+                    }
+                    slots.push(slot);
                 }
-                node_slots.push(slot);
+                job_slots.push(slots);
             }
         }
 
@@ -415,8 +458,8 @@ impl NeuSight {
             let _stage = obs::span("cache_probe");
             let cache = self.cache.0.lock();
             let mut hits = 0u64;
-            for (slot, op) in unique.iter().enumerate() {
-                latencies[slot] = cache.get(fp, op);
+            for (slot, (gpu, op)) in unique.iter().enumerate() {
+                latencies[slot] = cache.get(gpu_fps[*gpu], op);
                 hits += u64::from(latencies[slot].is_some());
             }
             core_metrics().cache_hit.add(hits);
@@ -424,14 +467,16 @@ impl NeuSight {
         }
 
         // Uncached kernels: memory-bound fallbacks are closed-form; the
-        // rest are grouped by family for one batched forward pass each.
-        let mut batches: BTreeMap<&str, Vec<(usize, KernelLaunch)>> = BTreeMap::new();
+        // rest are grouped by `(GPU, family)` for one batched forward pass
+        // each.
+        let mut batches: BTreeMap<(usize, &str), Vec<(usize, KernelLaunch)>> = BTreeMap::new();
         {
             let _stage = obs::span("fallback");
-            for (slot, op) in unique.iter().enumerate() {
+            for (slot, (gpu, op)) in unique.iter().enumerate() {
                 if latencies[slot].is_some() {
                     continue;
                 }
+                let spec = gpu_specs[*gpu];
                 let class = op.op_class();
                 if class == OpClass::MemoryBound
                     || op.flops() <= 0.0
@@ -445,18 +490,19 @@ impl NeuSight {
                 } else {
                     let launch = self.plan_launch(op, spec)?;
                     batches
-                        .entry(class.name())
+                        .entry((*gpu, class.name()))
                         .or_default()
                         .push((slot, launch));
                 }
             }
         }
-        for (class_name, items) in &batches {
+        for ((gpu, class_name), items) in &batches {
             let _stage = obs::span!("batch_predict", family = class_name, kernels = items.len());
+            let spec = gpu_specs[*gpu];
             let predictor = &self.predictors[*class_name];
             let kernels: Vec<(&OpDesc, &KernelLaunch)> = items
                 .iter()
-                .map(|(slot, launch)| (unique[*slot], launch))
+                .map(|(slot, launch)| (unique[*slot].1, launch))
                 .collect();
             let lats = predictor.predict_latency_batch(&kernels, self.dtype, spec);
             for ((slot, _), lat) in items.iter().zip(lats) {
@@ -470,30 +516,34 @@ impl NeuSight {
         {
             let _stage = obs::span("cache_write");
             let mut cache = self.cache.0.lock();
-            for (op, lat) in unique.iter().zip(&latencies) {
+            for ((gpu, op), lat) in unique.iter().zip(&latencies) {
                 let lat = lat.expect("every unique op resolved");
-                cache.insert(fp, op, lat);
+                cache.insert(gpu_fps[*gpu], op, lat);
             }
             cache.publish_size();
         }
 
         let _stage = obs::span("aggregate");
-        let mut per_node_s = Vec::with_capacity(graph.len());
-        let (mut forward_s, mut backward_s) = (0.0, 0.0);
-        for (node, &slot) in graph.iter().zip(&node_slots) {
-            let lat = latencies[slot].expect("every unique op resolved");
-            per_node_s.push(lat);
-            match node.phase {
-                Phase::Forward => forward_s += lat,
-                Phase::Backward => backward_s += lat,
+        let mut out = Vec::with_capacity(jobs.len());
+        for ((graph, _), slots) in jobs.iter().zip(&job_slots) {
+            let mut per_node_s = Vec::with_capacity(graph.len());
+            let (mut forward_s, mut backward_s) = (0.0, 0.0);
+            for (node, &slot) in graph.iter().zip(slots) {
+                let lat = latencies[slot].expect("every unique op resolved");
+                per_node_s.push(lat);
+                match node.phase {
+                    Phase::Forward => forward_s += lat,
+                    Phase::Backward => backward_s += lat,
+                }
             }
+            out.push(GraphPrediction {
+                total_s: forward_s + backward_s,
+                forward_s,
+                backward_s,
+                per_node_s,
+            });
         }
-        Ok(GraphPrediction {
-            total_s: forward_s + backward_s,
-            forward_s,
-            backward_s,
-            per_node_s,
-        })
+        Ok(out)
     }
 
     /// Persists the trained framework (predictor weights, scalers, tile
@@ -585,6 +635,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn graph_batch_matches_individual_predictions_bitwise() {
+        let ns = tiny_framework();
+        let v100 = catalog::gpu("V100").unwrap();
+        let h100 = catalog::gpu("H100").unwrap();
+        let g1 = inference_graph(&config::bert_large(), 2);
+        let g2 = training_graph(&config::gpt2_large(), 4);
+        let g3 = inference_graph(&config::bert_large(), 2); // duplicate of g1
+        let jobs: Vec<(&Graph, &GpuSpec)> =
+            vec![(&g1, &v100), (&g2, &v100), (&g3, &h100), (&g1, &v100)];
+        let batched = ns.predict_graph_batch(&jobs).unwrap();
+        assert_eq!(batched.len(), jobs.len());
+        // Identical jobs produce identical predictions.
+        assert_eq!(batched[0], batched[3]);
+        // Every job matches the uncached per-node reference bitwise.
+        for ((graph, spec), pred) in jobs.iter().zip(&batched) {
+            assert_eq!(pred.per_node_s.len(), graph.len());
+            for (node, lat) in graph.iter().zip(&pred.per_node_s) {
+                let scalar = ns.predict_op_uncached(&node.op, spec).unwrap();
+                assert_eq!(
+                    lat.to_bits(),
+                    scalar.to_bits(),
+                    "batched {lat} != per-node {scalar} for {}",
+                    node.op
+                );
+            }
+        }
+        // And matches the single-job path bitwise (warm or cold).
+        ns.clear_prediction_cache();
+        let single = ns.predict_graph(&g2, &v100).unwrap();
+        assert_eq!(single, batched[1]);
+    }
+
+    #[test]
+    fn empty_graph_batch_is_empty() {
+        let ns = tiny_framework();
+        assert!(ns.predict_graph_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

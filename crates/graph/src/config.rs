@@ -253,6 +253,69 @@ pub fn by_name(name: &str) -> Option<ModelConfig> {
         .find(|m| m.name.eq_ignore_ascii_case(name))
 }
 
+/// Why a model name failed to [`resolve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// No zoo entry matches the name or prefix.
+    Unknown(String),
+    /// The prefix matches more than one entry (canonical names listed).
+    Ambiguous(String, Vec<String>),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::Unknown(name) => write!(f, "unknown model `{name}`"),
+            ResolveError::Ambiguous(name, matches) => {
+                write!(
+                    f,
+                    "ambiguous model `{name}`: matches {}",
+                    matches.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Lower-cases and strips punctuation so `gpt2` compares equal to the
+/// prefix of `GPT2-Large`.
+fn normalized(name: &str) -> String {
+    name.chars()
+        .filter(char::is_ascii_alphanumeric)
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+/// Looks up a Table 4 model by exact name or unambiguous normalized
+/// prefix (`gpt2` → `GPT2-Large`; `gpt3` matches two entries and is
+/// rejected as ambiguous). This is the resolver the CLI and the serving
+/// layer share.
+///
+/// # Errors
+///
+/// [`ResolveError::Unknown`] when nothing matches,
+/// [`ResolveError::Ambiguous`] when more than one model does.
+pub fn resolve(name: &str) -> Result<ModelConfig, ResolveError> {
+    if let Some(model) = by_name(name) {
+        return Ok(model);
+    }
+    let want = normalized(name);
+    let mut matches: Vec<ModelConfig> = table4()
+        .into_iter()
+        .filter(|m| !want.is_empty() && normalized(&m.name).starts_with(&want))
+        .collect();
+    match matches.len() {
+        1 => Ok(matches.remove(0)),
+        0 => Err(ResolveError::Unknown(name.to_owned())),
+        _ => Err(ResolveError::Ambiguous(
+            name.to_owned(),
+            matches.into_iter().map(|m| m.name).collect(),
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

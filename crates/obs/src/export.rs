@@ -104,9 +104,45 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
     out
 }
 
+/// Escapes a string for use inside a Prometheus label value (`name="…"`).
+///
+/// The exposition format defines exactly three escapes — `\\`, `\"`, and
+/// `\n`; any other control character would either terminate the sample
+/// line early (`\r`) or produce an escape sequence scrapers reject, so
+/// those are replaced with U+FFFD. The result is always safe to splice
+/// between double quotes.
+#[must_use]
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 || c == '\u{7f}' => out.push('\u{fffd}'),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Whether a registry metric name can be rendered as a Prometheus sample:
+/// non-empty and made of printable ASCII (the dotted `crate.subsystem.metric`
+/// convention). Names with control characters, spaces, or non-ASCII would
+/// break the text exposition even after flattening, so the exporter skips
+/// them rather than emit an unscrapeable page.
+#[must_use]
+pub fn is_valid_metric_name(name: &str) -> bool {
+    !name.is_empty() && name.chars().all(|c| c.is_ascii_graphic())
+}
+
 /// Flattens a dotted metric name to a Prometheus-legal one, prefixed
 /// `neusight_`: `core.predict_cache.hit` → `neusight_core_predict_cache_hit`.
-fn prometheus_name(name: &str) -> String {
+/// Returns `None` for names [`is_valid_metric_name`] rejects.
+fn prometheus_name(name: &str) -> Option<String> {
+    if !is_valid_metric_name(name) {
+        return None;
+    }
     let mut out = String::with_capacity(name.len() + 9);
     out.push_str("neusight_");
     for ch in name.chars() {
@@ -116,7 +152,7 @@ fn prometheus_name(name: &str) -> String {
             out.push('_');
         }
     }
-    out
+    Some(out)
 }
 
 /// Renders a metrics snapshot in the Prometheus text exposition format.
@@ -126,15 +162,21 @@ fn prometheus_name(name: &str) -> String {
 pub fn prometheus(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
-        let name = prometheus_name(name);
+        let Some(name) = prometheus_name(name) else {
+            continue;
+        };
         let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
     }
     for (name, value) in &snapshot.gauges {
-        let name = prometheus_name(name);
+        let Some(name) = prometheus_name(name) else {
+            continue;
+        };
         let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
     }
     for (name, hist) in &snapshot.histograms {
-        let name = prometheus_name(name);
+        let Some(name) = prometheus_name(name) else {
+            continue;
+        };
         let _ = writeln!(out, "# TYPE {name} histogram");
         let mut cumulative = 0u64;
         for (index, &count) in hist.buckets.iter().enumerate() {
@@ -227,6 +269,52 @@ mod tests {
     fn json_escaping_covers_control_chars() {
         assert_eq!(escape_json("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
         assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn label_values_escape_per_exposition_format() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(
+            escape_label_value("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd",
+            "backslash, quote, and newline use the spec's escapes"
+        );
+        // CR/tab/DEL have no defined escape: replaced, never emitted raw.
+        assert_eq!(
+            escape_label_value("x\ry\tz\u{7f}"),
+            "x\u{fffd}y\u{fffd}z\u{fffd}"
+        );
+        // Non-ASCII UTF-8 passes through untouched.
+        assert_eq!(escape_label_value("gpu=Ampère"), "gpu=Ampère");
+    }
+
+    #[test]
+    fn invalid_metric_names_are_skipped_not_emitted() {
+        assert!(is_valid_metric_name("core.predict_cache.hit"));
+        assert!(!is_valid_metric_name(""));
+        assert!(!is_valid_metric_name("bad name"));
+        assert!(!is_valid_metric_name("bad\nname"));
+        assert!(!is_valid_metric_name("bäd"));
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot
+            .counters
+            .insert("serve.http.requests".to_owned(), 3);
+        snapshot.counters.insert("evil\nname".to_owned(), 9);
+        snapshot.gauges.insert(String::new(), 1.0);
+        let text = prometheus(&snapshot);
+        assert!(text.contains("neusight_serve_http_requests 3"));
+        assert!(!text.contains('\u{0}'));
+        assert!(
+            !text.contains("evil") && !text.contains(" 9"),
+            "unscrapeable names must not reach the page: {text}"
+        );
+        // Every line is a comment or `name value[ …]` — no raw controls.
+        for line in text.lines() {
+            assert!(
+                line.chars().all(|c| !c.is_control()),
+                "control char in {line:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! The micro-batching dispatcher: a single consumer thread that drains
+//! the admission queue, enforces per-request deadlines, and serves each
+//! drained batch with one [`PredictService::predict_batch`] call — so
+//! concurrent predict requests collapse into one MLP dispatch per
+//! `(GPU, op family)` instead of one per request.
+
+use crate::queue::BoundedQueue;
+use crate::service::{PredictRequest, PredictResponse, PredictService, ServeError};
+use neusight_obs as obs;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A queued predict request plus its reply slot and deadline.
+pub struct Job {
+    /// Parsed request body.
+    pub request: PredictRequest,
+    /// When the request was admitted to the queue.
+    pub enqueued: Instant,
+    /// Absolute deadline; jobs dequeued after it get a 504.
+    pub deadline: Instant,
+    /// One-shot reply channel back to the connection handler.
+    pub reply: SyncSender<Result<PredictResponse, ServeError>>,
+}
+
+/// Dispatcher tuning knobs (a subset of the server config).
+#[derive(Debug, Clone)]
+pub struct DispatchConfig {
+    /// Most requests coalesced into one service call.
+    pub max_batch: usize,
+    /// Optional wait after the first job of a batch, letting concurrent
+    /// requests pile in before dispatch (0 = serve immediately; queueing
+    /// during the previous batch provides natural coalescing).
+    pub batch_window: Duration,
+    /// Test/bench hook: artificial service time per batch, for driving
+    /// the queue into overload deterministically.
+    pub service_delay: Duration,
+}
+
+/// Metric handles the dispatcher updates per batch.
+struct DispatchMetrics {
+    queue_depth: Arc<obs::Gauge>,
+    batch_size: Arc<obs::Histogram>,
+    queue_wait_ns: Arc<obs::Histogram>,
+    timeouts: Arc<obs::Counter>,
+    batches: Arc<obs::Counter>,
+}
+
+impl DispatchMetrics {
+    fn new() -> DispatchMetrics {
+        DispatchMetrics {
+            queue_depth: obs::metrics::gauge("serve.queue.depth"),
+            batch_size: obs::metrics::histogram("serve.batch.size"),
+            queue_wait_ns: obs::metrics::histogram("serve.queue.wait_ns"),
+            timeouts: obs::metrics::counter("serve.http.timeout"),
+            batches: obs::metrics::counter("serve.dispatch.batches"),
+        }
+    }
+}
+
+/// Runs the dispatch loop until `stop` is set **and** the queue is empty
+/// — so a graceful drain serves every admitted request before the thread
+/// exits.
+pub fn run(
+    service: &PredictService,
+    queue: &BoundedQueue<Job>,
+    config: &DispatchConfig,
+    stop: &AtomicBool,
+) {
+    let metrics = DispatchMetrics::new();
+    loop {
+        let Some(first) = queue.pop_timeout(Duration::from_millis(20)) else {
+            if stop.load(Ordering::SeqCst) && queue.is_empty() {
+                return;
+            }
+            continue;
+        };
+        if !config.batch_window.is_zero() {
+            std::thread::sleep(config.batch_window);
+        }
+        let mut jobs = vec![first];
+        jobs.extend(queue.drain_up_to(config.max_batch.saturating_sub(1)));
+        serve_batch(service, config, &metrics, jobs);
+        #[allow(clippy::cast_precision_loss)]
+        metrics.queue_depth.set(queue.len() as f64);
+    }
+}
+
+/// Serves one drained batch: expired jobs get 504, the rest are predicted
+/// together and replied to individually.
+fn serve_batch(
+    service: &PredictService,
+    config: &DispatchConfig,
+    metrics: &DispatchMetrics,
+    jobs: Vec<Job>,
+) {
+    let _span = obs::span!("serve_batch", jobs = jobs.len());
+    metrics.batches.inc();
+    metrics.batch_size.record(jobs.len() as u64);
+    if !config.service_delay.is_zero() {
+        std::thread::sleep(config.service_delay);
+    }
+    let now = Instant::now();
+    let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        metrics
+            .queue_wait_ns
+            .record_secs(now.duration_since(job.enqueued).as_secs_f64());
+        if now > job.deadline {
+            metrics.timeouts.inc();
+            let _ = job.reply.send(Err(ServeError {
+                status: 504,
+                message: "deadline exceeded while queued".to_owned(),
+            }));
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let requests: Vec<PredictRequest> = live.iter().map(|j| j.request.clone()).collect();
+    let results = service.predict_batch(&requests);
+    for (job, result) in live.into_iter().zip(results) {
+        // A send failure means the handler gave up (client timeout); the
+        // prediction is already memoized, so the work is not wasted.
+        let _ = job.reply.send(result);
+    }
+}

@@ -1,0 +1,332 @@
+//! A minimal, allocation-light HTTP/1.1 codec over blocking `TcpStream`s:
+//! request parsing with bounded head/body sizes, and response writing with
+//! explicit `Content-Length` and keep-alive control.
+//!
+//! Only the slice of HTTP/1.1 the prediction service needs is implemented:
+//! `GET`/`POST`, `Content-Length` bodies (no chunked transfer), and the
+//! `Connection: close` / `keep-alive` negotiation. Everything else is
+//! rejected with a clean 4xx rather than guessed at.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Upper bound on the request line + headers, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body, bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path without the query string.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with the given (lower-case) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for the connection to close after this
+    /// exchange.
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Outcome of trying to read one request off a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request was parsed.
+    Request(Request),
+    /// The peer closed (or errored) the connection before a full request.
+    Closed,
+    /// No request arrived within the idle window — the idle reaper fires.
+    IdleTimeout,
+    /// The server is draining and no new request had started arriving.
+    Draining,
+    /// The bytes received do not parse as HTTP (response: 400) or exceed
+    /// the head/body bounds (431/413).
+    Malformed(&'static str, u16),
+}
+
+/// Reads one HTTP/1.1 request from `stream`.
+///
+/// The stream must have a read timeout set (the poll slice); each timeout
+/// tick re-checks `draining` and the accumulated idle time, so a
+/// keep-alive connection notices shutdown and idle expiry within one
+/// slice. Bytes already received keep the connection out of both reaps:
+/// once a request has started arriving it is read to completion (or until
+/// `idle` passes with no progress at all).
+pub fn read_request(
+    stream: &mut TcpStream,
+    idle: Duration,
+    draining: impl Fn() -> bool,
+) -> io::Result<ReadOutcome> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let started = Instant::now();
+    loop {
+        // Head already complete? Parse and (maybe) read the body.
+        if let Some(head_len) = find_head_end(&buf) {
+            return finish_request(stream, buf, head_len, started, idle);
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Ok(ReadOutcome::Malformed("request head too large", 431));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(ReadOutcome::Closed),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                if buf.is_empty() && draining() {
+                    return Ok(ReadOutcome::Draining);
+                }
+                if started.elapsed() >= idle {
+                    return Ok(ReadOutcome::IdleTimeout);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => return Ok(ReadOutcome::Closed),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Whether an I/O error is a read-timeout tick (platform-dependent kind).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Byte length of the head including the blank line, if complete.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Parses the completed head and reads the declared body.
+fn finish_request(
+    stream: &mut TcpStream,
+    mut buf: Vec<u8>,
+    head_len: usize,
+    started: Instant,
+    idle: Duration,
+) -> io::Result<ReadOutcome> {
+    let head = match std::str::from_utf8(&buf[..head_len]) {
+        Ok(head) => head,
+        Err(_) => return Ok(ReadOutcome::Malformed("head is not UTF-8", 400)),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(ReadOutcome::Malformed("bad request line", 400));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Malformed("unsupported HTTP version", 505));
+    }
+    let method = method.to_ascii_uppercase();
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(ReadOutcome::Malformed("bad header line", 400));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>());
+    let content_length = match content_length {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => return Ok(ReadOutcome::Malformed("bad Content-Length", 400)),
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Ok(ReadOutcome::Malformed("request body too large", 413));
+    }
+    // Read the remainder of the body past what arrived with the head.
+    let mut body: Vec<u8> = buf.split_off(head_len);
+    let mut chunk = [0u8; 4096];
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(ReadOutcome::Closed),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                if started.elapsed() >= idle {
+                    return Ok(ReadOutcome::IdleTimeout);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    body.truncate(content_length);
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// MIME type of the body.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response (used by `/metrics`).
+    #[must_use]
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": …}`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, format!("{{\"error\":{}}}", json_string(message)))
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: String) -> Response {
+        self.headers.push((name.to_owned(), value));
+        self
+    }
+
+    /// Serializes the response, with the connection disposition header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Renders a string as a JSON string literal (RFC 8259 escaping).
+#[must_use]
+pub fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+#[must_use]
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(find_head_end(b""), None);
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn reason_phrases_cover_server_statuses() {
+        for status in [200, 400, 404, 405, 413, 429, 431, 500, 503, 504, 505] {
+            assert_ne!(status_reason(status), "Unknown", "{status}");
+        }
+    }
+}

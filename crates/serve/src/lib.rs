@@ -1,0 +1,49 @@
+//! `neusight-serve`: a zero-dependency HTTP prediction service.
+//!
+//! Turns NeuSight's memoized [`predict_graph`] into a long-lived service:
+//! one process loads the MLPs and tile database once, then answers
+//! `POST /v1/predict` queries (model × GPU × batch size × train/infer) in
+//! microseconds from the warm cache — the interactive capacity-planning
+//! shape described by Habitat and the ROADMAP's production north star.
+//!
+//! Everything is `std`-only (TCP + threads), matching the repo's
+//! vendored-offline constraint. The moving parts, one module each:
+//!
+//! - [`http`] — a small, strict HTTP/1.1 codec (keep-alive, bounded
+//!   head/body, `Content-Length` bodies only).
+//! - [`queue`] — the bounded admission queue; a full queue means `429`,
+//!   never a stalled socket.
+//! - [`dispatch`] — the micro-batching dispatcher; concurrent requests
+//!   coalesce into one [`NeuSight::predict_graph_batch`] call, i.e. one
+//!   MLP forward per `(GPU, op family)`.
+//! - [`service`] — request/response types and the model/GPU/graph
+//!   resolution + prediction logic, shared by the server and direct
+//!   in-process callers.
+//! - [`server`] — accept loop, routing, deadlines, graceful drain.
+//! - [`signal`] — SIGTERM/SIGINT → atomic flag, no external crates.
+//! - [`client`] — a blocking keep-alive client for loadgen and tests.
+//!
+//! ```no_run
+//! use neusight_serve::{ServeConfig, Server};
+//! # fn demo(ns: neusight_core::NeuSight) -> std::io::Result<()> {
+//! let server = Server::bind(ServeConfig::default(), ns)?;
+//! println!("listening on http://{}", server.local_addr());
+//! server.run() // returns after SIGTERM + graceful drain
+//! # }
+//! ```
+//!
+//! [`predict_graph`]: neusight_core::NeuSight::predict_graph
+//! [`NeuSight::predict_graph_batch`]: neusight_core::NeuSight::predict_graph_batch
+
+pub mod client;
+pub mod dispatch;
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod service;
+pub mod signal;
+
+pub use client::{Client, ClientResponse};
+pub use queue::{BoundedQueue, QueueFull};
+pub use server::{RunningServer, ServeConfig, Server, ServerHandle};
+pub use service::{PredictRequest, PredictResponse, PredictService, ServeError};

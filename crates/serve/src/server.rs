@@ -1,0 +1,474 @@
+//! The HTTP server: accept loop, connection handlers, routing, and the
+//! graceful-drain state machine.
+//!
+//! # Request lifecycle
+//!
+//! 1. The acceptor hands each connection to its own handler thread
+//!    (bounded by `workers`; beyond that, connections get an immediate
+//!    503 and close).
+//! 2. The handler reads HTTP/1.1 requests in a keep-alive loop. An idle
+//!    reaper closes connections that stay silent past `idle_timeout`.
+//! 3. `POST /v1/predict` bodies are parsed and **admitted** to a bounded
+//!    queue — a full queue answers `429 Too Many Requests` with
+//!    `Retry-After` instead of stalling the socket.
+//! 4. The single dispatcher thread drains the queue in micro-batches and
+//!    serves each batch with one [`PredictService::predict_batch`] call;
+//!    jobs that outlived their deadline in the queue get `504`.
+//! 5. On SIGTERM/SIGINT (or [`ServerHandle::shutdown`]) the server stops
+//!    accepting, lets in-flight requests finish, drains the queue, and
+//!    only then joins its threads and returns.
+
+use crate::dispatch::{self, DispatchConfig, Job};
+use crate::http::{self, ReadOutcome, Request, Response};
+use crate::queue::{BoundedQueue, QueueFull};
+use crate::service::{PredictRequest, PredictService};
+use crate::signal;
+use neusight_core::NeuSight;
+use neusight_obs as obs;
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Server configuration; the CLI's `neusight serve` flags map onto this.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Maximum concurrent connection-handler threads.
+    pub workers: usize,
+    /// Admission-queue bound; beyond it, predicts get 429.
+    pub queue_depth: usize,
+    /// Per-request deadline from admission to response.
+    pub deadline: Duration,
+    /// Most predict requests coalesced into one dispatch.
+    pub max_batch: usize,
+    /// Optional dispatcher wait for batch formation (default 0: batches
+    /// form naturally from what queues during the previous dispatch).
+    pub batch_window: Duration,
+    /// Keep-alive connections idle past this are reaped.
+    pub idle_timeout: Duration,
+    /// Test/bench hook: artificial service time per batch.
+    pub service_delay: Duration,
+    /// Install SIGTERM/SIGINT handlers (the CLI sets this; tests use
+    /// [`ServerHandle::shutdown`] instead).
+    pub handle_signals: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 32,
+            queue_depth: 256,
+            deadline: Duration::from_millis(1000),
+            max_batch: 64,
+            batch_window: Duration::ZERO,
+            idle_timeout: Duration::from_secs(5),
+            service_delay: Duration::ZERO,
+            handle_signals: false,
+        }
+    }
+}
+
+/// Hot-path HTTP metric handles.
+struct HttpMetrics {
+    requests: Arc<obs::Counter>,
+    rejected_429: Arc<obs::Counter>,
+    timeouts: Arc<obs::Counter>,
+    latency_ns: Arc<obs::Histogram>,
+    connections: Arc<obs::Gauge>,
+    queue_depth: Arc<obs::Gauge>,
+}
+
+impl HttpMetrics {
+    fn new() -> HttpMetrics {
+        HttpMetrics {
+            requests: obs::metrics::counter("serve.http.requests"),
+            rejected_429: obs::metrics::counter("serve.http.429"),
+            timeouts: obs::metrics::counter("serve.http.timeout"),
+            latency_ns: obs::metrics::histogram("serve.request_latency_ns"),
+            connections: obs::metrics::gauge("serve.connections.active"),
+            queue_depth: obs::metrics::gauge("serve.queue.depth"),
+        }
+    }
+}
+
+/// State shared by the acceptor, handlers, and dispatcher.
+struct Shared {
+    config: ServeConfig,
+    service: PredictService,
+    queue: BoundedQueue<Job>,
+    /// Stop admitting new work; in-flight requests still complete.
+    draining: AtomicBool,
+    /// Terminates the dispatcher once handlers have exited.
+    dispatcher_stop: AtomicBool,
+    active_connections: AtomicUsize,
+    started: Instant,
+    metrics: HttpMetrics,
+}
+
+impl Shared {
+    fn stop_requested(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || signal::signaled()
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// Clonable shutdown/introspection handle.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begins a graceful drain: stop accepting, finish in-flight work,
+    /// then exit [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain is underway.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.shared.stop_requested()
+    }
+}
+
+impl Server {
+    /// Binds the listener and prepares the shared state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(config: ServeConfig, ns: NeuSight) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let queue = BoundedQueue::new(config.queue_depth);
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                service: PredictService::new(ns),
+                queue,
+                draining: AtomicBool::new(false),
+                dispatcher_stop: AtomicBool::new(false),
+                active_connections: AtomicUsize::new(0),
+                started: Instant::now(),
+                metrics: HttpMetrics::new(),
+                config,
+            }),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A shutdown handle usable from other threads.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Direct access to the service (e.g. cache-capacity control).
+    #[must_use]
+    pub fn service(&self) -> &PredictService {
+        &self.shared.service
+    }
+
+    /// Runs the accept loop until shutdown, then drains and joins every
+    /// thread. Returns only after the drain completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures.
+    pub fn run(self) -> io::Result<()> {
+        if self.shared.config.handle_signals {
+            signal::install();
+        }
+        self.listener.set_nonblocking(true)?;
+
+        let dispatcher = {
+            let shared = Arc::clone(&self.shared);
+            thread::spawn(move || {
+                let config = DispatchConfig {
+                    max_batch: shared.config.max_batch.max(1),
+                    batch_window: shared.config.batch_window,
+                    service_delay: shared.config.service_delay,
+                };
+                dispatch::run(
+                    &shared.service,
+                    &shared.queue,
+                    &config,
+                    &shared.dispatcher_stop,
+                );
+            })
+        };
+
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        while !self.shared.stop_requested() {
+            // Reap finished connection threads so the vec stays bounded.
+            handlers.retain(|h| !h.is_finished());
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let active = self.shared.active_connections.load(Ordering::SeqCst);
+                    if active >= self.shared.config.workers {
+                        reject_connection(stream);
+                        continue;
+                    }
+                    self.shared
+                        .active_connections
+                        .fetch_add(1, Ordering::SeqCst);
+                    let shared = Arc::clone(&self.shared);
+                    handlers.push(thread::spawn(move || handle_connection(&shared, stream)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Graceful drain: no new connections; handlers finish their
+        // current request (the dispatcher is still alive to serve queued
+        // jobs), then the dispatcher drains what is left and stops.
+        self.shared.draining.store(true, Ordering::SeqCst);
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        self.shared.dispatcher_stop.store(true, Ordering::SeqCst);
+        let _ = dispatcher.join();
+        Ok(())
+    }
+
+    /// Binds and runs on a background thread — the test/bench entry
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(config: ServeConfig, ns: NeuSight) -> io::Result<RunningServer> {
+        let server = Server::bind(config, ns)?;
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let thread = thread::spawn(move || server.run());
+        Ok(RunningServer {
+            addr,
+            handle,
+            thread,
+        })
+    }
+}
+
+/// A server running on a background thread.
+pub struct RunningServer {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    thread: JoinHandle<io::Result<()>>,
+}
+
+impl RunningServer {
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown handle.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Triggers a graceful drain and waits for the server to exit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the run loop's I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server thread itself panicked.
+    pub fn shutdown_and_join(self) -> io::Result<()> {
+        self.handle.shutdown();
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+/// 503s a connection accepted beyond the worker cap.
+fn reject_connection(mut stream: TcpStream) {
+    let _ = Response::error(503, "connection limit reached").write_to(&mut stream, false);
+    let _ = stream.flush();
+}
+
+/// Decrements the active-connection count (and gauge) on scope exit.
+struct ConnGuard<'a>(&'a Shared);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        let left = self.0.active_connections.fetch_sub(1, Ordering::SeqCst) - 1;
+        #[allow(clippy::cast_precision_loss)]
+        self.0.metrics.connections.set(left as f64);
+    }
+}
+
+/// Serves one connection's keep-alive request loop.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _guard = ConnGuard(shared);
+    #[allow(clippy::cast_precision_loss)]
+    shared
+        .metrics
+        .connections
+        .set(shared.active_connections.load(Ordering::SeqCst) as f64);
+    let _ = stream.set_nodelay(true);
+    // The read-timeout slice: how often an idle keep-alive read re-checks
+    // the drain flag and the idle clock.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    loop {
+        let outcome = http::read_request(&mut stream, shared.config.idle_timeout, || {
+            shared.stop_requested()
+        });
+        match outcome {
+            Ok(ReadOutcome::Request(request)) => {
+                let started = Instant::now();
+                let wants_close = request.wants_close();
+                let response = route(shared, &request);
+                shared
+                    .metrics
+                    .latency_ns
+                    .record_secs(started.elapsed().as_secs_f64());
+                let keep_alive = !wants_close && !shared.stop_requested();
+                if response.write_to(&mut stream, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Malformed(message, status)) => {
+                let _ = Response::error(status, message).write_to(&mut stream, false);
+                return;
+            }
+            Ok(ReadOutcome::Closed | ReadOutcome::IdleTimeout | ReadOutcome::Draining) | Err(_) => {
+                return
+            }
+        }
+    }
+}
+
+/// Maps a request to a handler.
+fn route(shared: &Shared, request: &Request) -> Response {
+    shared.metrics.requests.inc();
+    const ROUTES: [&str; 5] = [
+        "/healthz",
+        "/metrics",
+        "/v1/models",
+        "/v1/gpus",
+        "/v1/predict",
+    ];
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/predict") => predict(shared, request),
+        ("GET", "/healthz") => health(shared),
+        ("GET", "/metrics") => metrics_page(shared),
+        ("GET", "/v1/models") => Response::json(200, shared.service.models_json()),
+        ("GET", "/v1/gpus") => Response::json(200, shared.service.gpus_json()),
+        (_, path) if ROUTES.contains(&path) => {
+            let allow = if path == "/v1/predict" { "POST" } else { "GET" };
+            Response::error(405, &format!("use {allow} for {path}"))
+                .with_header("Allow", allow.to_owned())
+        }
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+/// `GET /healthz`: liveness plus drain state and queue depth.
+fn health(shared: &Shared) -> Response {
+    let status = if shared.stop_requested() {
+        "draining"
+    } else {
+        "ok"
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"{status}\",\"uptime_s\":{:.3},\"queue_depth\":{},\"queue_capacity\":{}}}",
+            shared.started.elapsed().as_secs_f64(),
+            shared.queue.len(),
+            shared.queue.capacity(),
+        ),
+    )
+}
+
+/// `GET /metrics`: the whole obs registry in Prometheus text exposition,
+/// plus a `neusight_serve_info` sample whose labels exercise the
+/// exporter's label escaping (the bind address is operator input).
+fn metrics_page(shared: &Shared) -> Response {
+    let mut text = obs::export::prometheus(&obs::metrics::snapshot());
+    text.push_str("# TYPE neusight_serve_info gauge\n");
+    text.push_str(&format!(
+        "neusight_serve_info{{addr=\"{}\",version=\"{}\"}} 1\n",
+        obs::export::escape_label_value(&shared.config.addr),
+        obs::export::escape_label_value(env!("CARGO_PKG_VERSION")),
+    ));
+    Response::text(200, text)
+}
+
+/// `POST /v1/predict`: parse, admit, and wait for the dispatcher.
+fn predict(shared: &Shared, request: &Request) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let parsed: PredictRequest = match serde_json::from_str(body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Response::error(400, &format!("bad predict request: {e}")),
+    };
+    if shared.stop_requested() {
+        return Response::error(503, "server is draining");
+    }
+    let (reply, receiver) = mpsc::sync_channel(1);
+    let now = Instant::now();
+    let job = Job {
+        request: parsed,
+        enqueued: now,
+        deadline: now + shared.config.deadline,
+        reply,
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth) => {
+            #[allow(clippy::cast_precision_loss)]
+            shared.metrics.queue_depth.set(depth as f64);
+        }
+        Err(QueueFull(_rejected)) => {
+            shared.metrics.rejected_429.inc();
+            // Hint: one deadline's worth of backoff, at least a second.
+            let retry = shared.config.deadline.as_secs().max(1);
+            return Response::error(429, "prediction queue is full")
+                .with_header("Retry-After", retry.to_string());
+        }
+    }
+    // Margin past the deadline covers the dispatcher's own 504 reply.
+    let wait = shared.config.deadline + Duration::from_millis(250);
+    match receiver.recv_timeout(wait) {
+        Ok(Ok(response)) => Response::json(
+            200,
+            serde_json::to_string(&response).expect("response serializes"),
+        ),
+        Ok(Err(e)) => Response::error(e.status, &e.message),
+        Err(_) => {
+            shared.metrics.timeouts.inc();
+            Response::error(504, "deadline exceeded")
+        }
+    }
+}

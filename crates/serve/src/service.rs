@@ -1,0 +1,471 @@
+//! The prediction service behind the HTTP routes: wire types for
+//! `/v1/predict`, name resolution shared with the CLI, a graph cache so
+//! repeated requests skip IR construction, and the batched entry point the
+//! micro-batching dispatcher calls.
+
+use neusight_core::NeuSight;
+use neusight_gpu::{catalog, GpuSpec};
+use neusight_graph::{config, workload_graph, Graph};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, PoisonError};
+
+fn default_batch() -> u64 {
+    1
+}
+
+fn default_false() -> bool {
+    false
+}
+
+/// Body of a `POST /v1/predict` request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Workload name: Table 4 (exact or unambiguous prefix), `resnet50`,
+    /// or `vgg16`.
+    pub model: String,
+    /// Catalog GPU name (`neusight gpus`).
+    pub gpu: String,
+    /// Batch size (default 1).
+    #[serde(default = "default_batch")]
+    pub batch: u64,
+    /// Forecast a training iteration (forward + backward) instead of
+    /// inference.
+    #[serde(default = "default_false")]
+    pub train: bool,
+    /// Apply the operator-fusion pass before predicting.
+    #[serde(default = "default_false")]
+    pub fused: bool,
+    /// Include the full per-node latency vector in the response.
+    #[serde(default = "default_false")]
+    pub detail: bool,
+}
+
+/// Body of a `POST /v1/predict` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// Canonical model name after prefix resolution.
+    pub model: String,
+    /// Canonical GPU name.
+    pub gpu: String,
+    /// Batch size.
+    pub batch: u64,
+    /// `"training"` or `"inference"`.
+    pub mode: String,
+    /// Whether the fused graph was predicted.
+    pub fused: bool,
+    /// Number of kernels in the predicted graph.
+    pub kernels: usize,
+    /// End-to-end forecast, milliseconds.
+    pub total_ms: f64,
+    /// Forward-phase portion, milliseconds.
+    pub forward_ms: f64,
+    /// Backward-phase portion, milliseconds.
+    pub backward_ms: f64,
+    /// Latency aggregated per op family, milliseconds.
+    pub per_family_ms: BTreeMap<String, f64>,
+    /// Per-kernel latencies in execution order, milliseconds (only when
+    /// the request set `detail`).
+    pub per_node_ms: Option<Vec<f64>>,
+}
+
+/// A service-level failure, carrying the HTTP status it maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Human-readable message for the JSON error envelope.
+    pub message: String,
+}
+
+impl ServeError {
+    /// A 400 for unresolvable names / bad parameters.
+    #[must_use]
+    pub fn bad_request(message: impl Into<String>) -> ServeError {
+        ServeError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// A 500 for unexpected prediction failures.
+    #[must_use]
+    pub fn internal(message: impl Into<String>) -> ServeError {
+        ServeError {
+            status: 500,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, self.status)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Cache key for built graphs: canonical model × batch × phase × fusion.
+type GraphKey = (String, u64, bool, bool);
+
+/// The long-lived prediction service: one trained [`NeuSight`] plus a
+/// graph cache, shared by every connection handler through the
+/// dispatcher.
+///
+/// Amortization is the whole point of the server (the ROADMAP's
+/// "millions of users" shape): the predictor weights and tile database
+/// load once, built kernel graphs are reused across requests, and the
+/// bounded memo cache inside [`NeuSight`] carries warm per-kernel
+/// predictions from any request to all later ones.
+pub struct PredictService {
+    ns: NeuSight,
+    graphs: Mutex<HashMap<GraphKey, Arc<Graph>>>,
+    specs: Mutex<HashMap<String, GpuSpec>>,
+}
+
+impl PredictService {
+    /// Wraps a trained framework.
+    #[must_use]
+    pub fn new(ns: NeuSight) -> PredictService {
+        PredictService {
+            ns,
+            graphs: Mutex::new(HashMap::new()),
+            specs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying framework (e.g. for cache-capacity control).
+    #[must_use]
+    pub fn neusight(&self) -> &NeuSight {
+        &self.ns
+    }
+
+    /// Canonical workload name for a request's `model` field.
+    ///
+    /// # Errors
+    ///
+    /// 400 with the resolver's message for unknown/ambiguous names.
+    pub fn canonical_model(name: &str) -> Result<String, ServeError> {
+        match name.to_ascii_lowercase().as_str() {
+            "resnet50" => Ok("resnet50".to_owned()),
+            "vgg16" => Ok("vgg16".to_owned()),
+            _ => config::resolve(name)
+                .map(|m| m.name)
+                .map_err(|e| ServeError::bad_request(e.to_string())),
+        }
+    }
+
+    /// Catalog spec for a request's `gpu` field (cached).
+    ///
+    /// # Errors
+    ///
+    /// 400 for names outside the catalog.
+    pub fn resolve_gpu(&self, name: &str) -> Result<GpuSpec, ServeError> {
+        let mut specs = self.specs.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(spec) = specs.get(name) {
+            return Ok(spec.clone());
+        }
+        let spec = catalog::gpu(name).map_err(|e| ServeError::bad_request(e.to_string()))?;
+        specs.insert(name.to_owned(), spec.clone());
+        Ok(spec)
+    }
+
+    /// The (cached) kernel graph for a resolved request.
+    fn graph(&self, canonical: &str, batch: u64, train: bool, fused: bool) -> Arc<Graph> {
+        let key = (canonical.to_owned(), batch, train, fused);
+        let mut graphs = self.graphs.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(graph) = graphs.get(&key) {
+            return Arc::clone(graph);
+        }
+        let graph =
+            workload_graph(canonical, batch, train).expect("canonical names always build a graph");
+        let graph = Arc::new(if fused {
+            neusight_graph::fuse_graph(&graph)
+        } else {
+            graph
+        });
+        graphs.insert(key, Arc::clone(&graph));
+        graph
+    }
+
+    /// Serves a whole micro-batch of predict requests with **one**
+    /// [`NeuSight::predict_graph_batch`] call: the kernels of every
+    /// request in the batch are deduplicated together and dispatched as
+    /// one MLP forward pass per `(GPU, op family)`. Results are
+    /// positionally aligned with `requests`.
+    pub fn predict_batch(
+        &self,
+        requests: &[PredictRequest],
+    ) -> Vec<Result<PredictResponse, ServeError>> {
+        // Resolve every request first; unresolvable ones fail without
+        // poisoning the rest of the batch.
+        type Resolved = (String, GpuSpec, Arc<Graph>);
+        let mut resolved: Vec<Result<Resolved, ServeError>> = requests
+            .iter()
+            .map(|req| {
+                if req.batch == 0 {
+                    return Err(ServeError::bad_request("batch must be >= 1"));
+                }
+                let model = Self::canonical_model(&req.model)?;
+                let spec = self.resolve_gpu(&req.gpu)?;
+                let graph = self.graph(&model, req.batch, req.train, req.fused);
+                Ok((model, spec, graph))
+            })
+            .collect();
+
+        let jobs: Vec<(&Graph, &GpuSpec)> = resolved
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|(_, spec, graph)| (graph.as_ref(), spec))
+            .collect();
+        let predictions = if jobs.is_empty() {
+            Ok(Vec::new())
+        } else {
+            self.ns.predict_graph_batch(&jobs)
+        };
+        let mut predictions = match predictions {
+            Ok(p) => p.into_iter(),
+            Err(e) => {
+                // Launch planning failed — fail every resolvable request.
+                let err = ServeError::internal(format!("prediction failed: {e}"));
+                for slot in &mut resolved {
+                    if slot.is_ok() {
+                        *slot = Err(err.clone());
+                    }
+                }
+                Vec::new().into_iter()
+            }
+        };
+
+        requests
+            .iter()
+            .zip(resolved)
+            .map(|(req, slot)| {
+                let (model, spec, graph) = slot?;
+                let pred = predictions.next().expect("one prediction per resolved job");
+                let mut per_family_ms: BTreeMap<String, f64> = BTreeMap::new();
+                for (node, lat) in graph.iter().zip(&pred.per_node_s) {
+                    *per_family_ms
+                        .entry(node.op.op_class().name().to_owned())
+                        .or_insert(0.0) += lat * 1e3;
+                }
+                Ok(PredictResponse {
+                    model,
+                    gpu: spec.name().to_owned(),
+                    batch: req.batch,
+                    mode: if req.train { "training" } else { "inference" }.to_owned(),
+                    fused: req.fused,
+                    kernels: graph.len(),
+                    total_ms: pred.total_s * 1e3,
+                    forward_ms: pred.forward_s * 1e3,
+                    backward_ms: pred.backward_s * 1e3,
+                    per_family_ms,
+                    per_node_ms: req
+                        .detail
+                        .then(|| pred.per_node_s.iter().map(|s| s * 1e3).collect()),
+                })
+            })
+            .collect()
+    }
+
+    /// JSON body for `GET /v1/models`.
+    #[must_use]
+    pub fn models_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Entry {
+            name: String,
+            family: String,
+            approx_params: Option<u64>,
+            seq_len: Option<u64>,
+        }
+        #[derive(Serialize)]
+        struct Listing {
+            models: Vec<Entry>,
+        }
+        let mut models: Vec<Entry> = config::table4()
+            .into_iter()
+            .map(|m| Entry {
+                approx_params: Some(m.approx_params()),
+                seq_len: Some(m.seq_len),
+                name: m.name,
+                family: "transformer".to_owned(),
+            })
+            .collect();
+        for cnn in ["resnet50", "vgg16"] {
+            models.push(Entry {
+                name: cnn.to_owned(),
+                family: "cnn".to_owned(),
+                approx_params: None,
+                seq_len: None,
+            });
+        }
+        serde_json::to_string(&Listing { models }).expect("static shape serializes")
+    }
+
+    /// JSON body for `GET /v1/gpus`.
+    #[must_use]
+    pub fn gpus_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Entry {
+            name: String,
+            role: String,
+            year: u32,
+            peak_tflops: f64,
+            memory_gb: f64,
+            memory_gbps: f64,
+            num_sms: u32,
+        }
+        #[derive(Serialize)]
+        struct Listing {
+            gpus: Vec<Entry>,
+        }
+        let gpus = catalog::all()
+            .into_iter()
+            .map(|entry| Entry {
+                name: entry.spec.name().to_owned(),
+                role: match entry.role {
+                    catalog::SplitRole::Train => "train".to_owned(),
+                    catalog::SplitRole::Test => "held-out".to_owned(),
+                },
+                year: entry.spec.year(),
+                peak_tflops: entry.spec.peak_tflops(),
+                memory_gb: entry.spec.memory_gb(),
+                memory_gbps: entry.spec.memory_gbps(),
+                num_sms: entry.spec.num_sms(),
+            })
+            .collect();
+        serde_json::to_string(&Listing { gpus }).expect("static shape serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_core::NeuSightConfig;
+    use neusight_data::{collect_training_set, training_gpus, SweepScale};
+    use neusight_gpu::DType;
+    use std::sync::OnceLock;
+
+    fn service() -> &'static PredictService {
+        static CELL: OnceLock<PredictService> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let data = collect_training_set(&training_gpus(), SweepScale::Tiny, DType::F32);
+            PredictService::new(
+                NeuSight::train(&data, &NeuSightConfig::tiny()).expect("tiny training"),
+            )
+        })
+    }
+
+    fn req(model: &str, gpu: &str, batch: u64, train: bool) -> PredictRequest {
+        PredictRequest {
+            model: model.to_owned(),
+            gpu: gpu.to_owned(),
+            batch,
+            train,
+            fused: false,
+            detail: false,
+        }
+    }
+
+    #[test]
+    fn request_json_round_trip_with_defaults() {
+        let parsed: PredictRequest =
+            serde_json::from_str(r#"{"model":"gpt2","gpu":"H100"}"#).unwrap();
+        assert_eq!(parsed.model, "gpt2");
+        assert_eq!(parsed.batch, 1);
+        assert!(!parsed.train && !parsed.fused && !parsed.detail);
+        let full: PredictRequest = serde_json::from_str(
+            r#"{"model":"bert","gpu":"V100","batch":8,"train":true,"fused":true,"detail":true}"#,
+        )
+        .unwrap();
+        assert!(full.train && full.fused && full.detail);
+        assert_eq!(full.batch, 8);
+    }
+
+    #[test]
+    fn batch_predictions_match_direct_predict_graph_bitwise() {
+        let svc = service();
+        let spec = catalog::gpu("V100").unwrap();
+        let requests = vec![
+            req("gpt2", "V100", 2, false),
+            req("bert", "V100", 2, true),
+            req("gpt2", "V100", 2, false), // duplicate coalesces
+        ];
+        let out = svc.predict_batch(&requests);
+        assert_eq!(out.len(), 3);
+        let gpt2 = out[0].as_ref().unwrap();
+        assert_eq!(gpt2.model, "GPT2-Large");
+        assert_eq!(gpt2.mode, "inference");
+        assert_eq!(out[2].as_ref().unwrap(), gpt2);
+        let direct = svc
+            .neusight()
+            .predict_graph(
+                &neusight_graph::inference_graph(&config::gpt2_large(), 2),
+                &spec,
+            )
+            .unwrap();
+        assert_eq!((direct.total_s * 1e3).to_bits(), gpt2.total_ms.to_bits());
+        let bert = out[1].as_ref().unwrap();
+        assert_eq!(bert.mode, "training");
+        assert!(bert.backward_ms > 0.0);
+        // Family breakdown sums back to the total (modulo float assoc).
+        let family_sum: f64 = bert.per_family_ms.values().sum();
+        assert!((family_sum - bert.total_ms).abs() < 1e-6 * bert.total_ms.max(1.0));
+    }
+
+    #[test]
+    fn bad_requests_fail_without_poisoning_the_batch() {
+        let svc = service();
+        let out = svc.predict_batch(&[
+            req("gpt2", "V100", 1, false),
+            req("nonesuch", "V100", 1, false),
+            req("gpt2", "NoSuchGPU", 1, false),
+            req("gpt3", "V100", 1, false), // ambiguous prefix
+            req("gpt2", "V100", 0, false), // zero batch
+        ]);
+        assert!(out[0].is_ok());
+        for bad in &out[1..] {
+            assert_eq!(bad.as_ref().unwrap_err().status, 400);
+        }
+        assert!(out[3].as_ref().unwrap_err().message.contains("ambiguous"));
+    }
+
+    #[test]
+    fn detail_flag_includes_per_node_vector() {
+        let svc = service();
+        let mut with_detail = req("bert", "T4", 1, false);
+        with_detail.detail = true;
+        let out = svc.predict_batch(&[with_detail, req("bert", "T4", 1, false)]);
+        let detailed = out[0].as_ref().unwrap();
+        let plain = out[1].as_ref().unwrap();
+        let nodes = detailed.per_node_ms.as_ref().unwrap();
+        assert_eq!(nodes.len(), detailed.kernels);
+        assert!(plain.per_node_ms.is_none());
+        assert_eq!(detailed.total_ms.to_bits(), plain.total_ms.to_bits());
+    }
+
+    #[test]
+    fn catalog_listings_are_valid_json() {
+        let svc = service();
+        let models = svc.models_json();
+        assert!(models.contains("GPT2-Large") && models.contains("resnet50"));
+        let gpus = svc.gpus_json();
+        assert!(gpus.contains("H100") && gpus.contains("held-out"));
+        // Round-trip through the parser to prove validity.
+        let _: serde::value::Value = parse_value(&models);
+        let _: serde::value::Value = parse_value(&gpus);
+    }
+
+    /// Parses arbitrary JSON into the vendored Value tree.
+    fn parse_value(text: &str) -> serde::value::Value {
+        struct Any(serde::value::Value);
+        impl serde::Deserialize for Any {
+            fn from_value(v: &serde::value::Value) -> Result<Any, serde::Error> {
+                Ok(Any(v.clone()))
+            }
+        }
+        let Any(v) = serde_json::from_str(text).expect("valid JSON");
+        v
+    }
+}

@@ -1,0 +1,43 @@
+//! SIGTERM/SIGINT notification without external crates: on Unix we
+//! declare the C runtime's `signal` symbol (Rust links libc already) and
+//! install a handler whose only action is an atomic store — the one thing
+//! that is async-signal-safe. The server's accept loop polls
+//! [`signaled`] and turns it into a graceful drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGTERM or SIGINT has been received since [`install`].
+#[must_use]
+pub fn signaled() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}
+
+/// Test hook: pretend a signal arrived (same observable effect).
+pub fn raise() {
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the handler for SIGTERM and SIGINT. Idempotent.
+#[cfg(unix)]
+pub fn install() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// No signals to hook on non-Unix targets; rely on programmatic shutdown.
+#[cfg(not(unix))]
+pub fn install() {}

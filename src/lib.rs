@@ -16,6 +16,7 @@
 //! | [`baselines`] | `neusight-baselines` | roofline, Habitat, Li et al., Table 1 big models |
 //! | [`dist`] | `neusight-dist` | multi-GPU servers, collectives, DP/TP/PP forecasting |
 //! | [`obs`] | `neusight-obs` | structured tracing, metrics, exporters, profiling (DESIGN.md §Observability) |
+//! | [`serve`] | `neusight-serve` | zero-dep HTTP prediction service: batching, admission control, graceful drain |
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@ pub use neusight_gpu as gpu;
 pub use neusight_graph as graph;
 pub use neusight_nn as nn;
 pub use neusight_obs as obs;
+pub use neusight_serve as serve;
 pub use neusight_sim as sim;
 
 /// The most common imports in one place.
