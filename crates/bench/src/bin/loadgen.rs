@@ -48,6 +48,9 @@ struct ServeSummary {
     duration_s: f64,
     requests: usize,
     errors: usize,
+    /// 429-triggered retries absorbed by the client's `Retry-After`
+    /// backoff — overload pressure that did *not* become an error.
+    retries: u64,
     throughput_rps: f64,
     latency: LatencySummary,
 }
@@ -133,7 +136,7 @@ fn main() {
     eprintln!("driving http://{addr} at {concurrency}-way concurrency for {duration_s:.1} s…");
     let deadline = Instant::now() + Duration::from_secs_f64(duration_s);
     let started = Instant::now();
-    let mut results: Vec<(Vec<u64>, usize)> = Vec::with_capacity(concurrency);
+    let mut results: Vec<(Vec<u64>, usize, u64)> = Vec::with_capacity(concurrency);
     std::thread::scope(|scope| {
         let mut workers = Vec::with_capacity(concurrency);
         for worker in 0..concurrency {
@@ -141,20 +144,33 @@ fn main() {
                 let mut client = Client::connect(addr).expect("connect worker");
                 let mut latencies_ns: Vec<u64> = Vec::with_capacity(65_536);
                 let mut errors = 0usize;
+                let mut retries = 0u64;
                 let mut next = worker; // stagger the mix across workers
                 while Instant::now() < deadline {
                     let body = REQUESTS[next % REQUESTS.len()];
                     next += 1;
                     let sent = Instant::now();
-                    match client.post_json("/v1/predict", body) {
-                        Ok(response) if response.status == 200 => {
-                            #[allow(clippy::cast_possible_truncation)]
-                            latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                    // Honor 429 Retry-After with a small bounded budget:
+                    // overload shows up as `retries`, not `errors`.
+                    match client.post_json_with_retry(
+                        "/v1/predict",
+                        body,
+                        3,
+                        Duration::from_millis(250),
+                    ) {
+                        Ok(outcome) => {
+                            retries += u64::from(outcome.retries);
+                            if outcome.response.status == 200 {
+                                #[allow(clippy::cast_possible_truncation)]
+                                latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                            } else {
+                                errors += 1;
+                            }
                         }
-                        Ok(_) | Err(_) => errors += 1,
+                        Err(_) => errors += 1,
                     }
                 }
-                (latencies_ns, errors)
+                (latencies_ns, errors, retries)
             }));
         }
         for worker in workers {
@@ -165,9 +181,11 @@ fn main() {
 
     let mut latencies: Vec<u64> = Vec::new();
     let mut errors = 0usize;
-    for (worker_latencies, worker_errors) in results {
+    let mut retries = 0u64;
+    for (worker_latencies, worker_errors, worker_retries) in results {
         latencies.extend(worker_latencies);
         errors += worker_errors;
+        retries += worker_retries;
     }
     latencies.sort_unstable();
     let requests = latencies.len();
@@ -188,7 +206,7 @@ fn main() {
     };
     eprintln!(
         "{requests} requests in {measured_s:.2} s → {throughput_rps:.0} req/s \
-         (p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, {errors} errors)",
+         (p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, {errors} errors, {retries} retries)",
         latency.p50_ms, latency.p95_ms, latency.p99_ms
     );
 
@@ -204,6 +222,7 @@ fn main() {
         duration_s: measured_s,
         requests,
         errors,
+        retries,
         throughput_rps,
         latency,
     };

@@ -186,6 +186,41 @@ fn check_serve_metrics(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `--metrics-out` of a `neusight chaos` run (the CI chaos smoke step):
+/// structurally valid exposition that shows the fault subsystem actually
+/// exercised — faults injected, retried, checkpointed, and resumed. Any
+/// circuit-breaker state gauge present must hold a legal encoding
+/// (0 closed / 1 half-open / 2 open).
+fn check_chaos_metrics(text: &str) -> Result<(), String> {
+    let samples = parse_exposition(text)?;
+    check(
+        sample_sum(&samples, &["neusight_fault_injected"]) > 0.0,
+        "no injected faults recorded (`neusight_fault_injected_*` all zero)",
+    )?;
+    check(
+        sample_sum(&samples, &["neusight_data_collect_retries"]) > 0.0,
+        "`neusight_data_collect_retries` is zero — injected faults were never retried",
+    )?;
+    check(
+        sample_sum(&samples, &["neusight_data_collect_checkpoints"]) > 0.0,
+        "`neusight_data_collect_checkpoints` is zero — no progress was persisted",
+    )?;
+    check(
+        sample_sum(&samples, &["neusight_data_collect_resumes"]) > 0.0,
+        "`neusight_data_collect_resumes` is zero — the abort failpoint never exercised recovery",
+    )?;
+    for (name, value) in &samples {
+        if name.ends_with("breaker_state") {
+            check(
+                *value == 0.0 || *value == 1.0 || *value == 2.0,
+                &format!("breaker gauge `{name}` holds illegal state {value}"),
+            )?;
+        }
+    }
+    println!("chaos metrics OK: {} samples", samples.len());
+    Ok(())
+}
+
 /// A saved `POST /v1/predict` response body: the fields a capacity-planning
 /// client depends on, with sane values.
 fn check_predict_body(text: &str) -> Result<(), String> {
@@ -236,12 +271,13 @@ fn main() -> ExitCode {
                 check_predict_body(&read(predict_path)?)?;
                 check_serve_metrics(&read(metrics_path)?)
             }
+            [mode, metrics_path] if mode == "chaos" => check_chaos_metrics(&read(metrics_path)?),
             [trace_path, metrics_path] => {
                 check_trace(&read(trace_path)?)?;
                 check_metrics(&read(metrics_path)?)
             }
             _ => Err(
-                "usage: obscheck TRACE.json METRICS.prom | obscheck serve PREDICT.json METRICS.prom"
+                "usage: obscheck TRACE.json METRICS.prom | obscheck serve PREDICT.json METRICS.prom | obscheck chaos METRICS.prom"
                     .to_owned(),
             ),
         }
@@ -320,6 +356,31 @@ mod tests {
         let wrong = "# TYPE neusight_core_predict_cache_hit counter\n\
                      neusight_core_predict_cache_hit 9\n";
         assert!(check_serve_metrics(wrong).is_err());
+    }
+
+    #[test]
+    fn chaos_metrics_require_exercised_fault_machinery() {
+        let good = "# TYPE neusight_fault_injected_data_collect_device counter\n\
+                    neusight_fault_injected_data_collect_device 84\n\
+                    # TYPE neusight_data_collect_retries counter\n\
+                    neusight_data_collect_retries 84\n\
+                    # TYPE neusight_data_collect_checkpoints counter\n\
+                    neusight_data_collect_checkpoints 8\n\
+                    # TYPE neusight_data_collect_resumes counter\n\
+                    neusight_data_collect_resumes 2\n\
+                    # TYPE neusight_serve_predict_breaker_state gauge\n\
+                    neusight_serve_predict_breaker_state 0\n";
+        assert!(check_chaos_metrics(good).is_ok());
+        // Faults without retries means the resilience path never ran.
+        let no_retries = "# TYPE neusight_fault_injected_data_collect_device counter\n\
+                          neusight_fault_injected_data_collect_device 84\n\
+                          # TYPE neusight_data_collect_retries counter\n\
+                          neusight_data_collect_retries 0\n";
+        assert!(check_chaos_metrics(no_retries).is_err());
+        // A breaker gauge outside {0, 1, 2} is a corrupt encoding.
+        let bad_state = good.replace("breaker_state 0", "breaker_state 7");
+        assert!(check_chaos_metrics(&bad_state).is_err());
+        assert!(check_chaos_metrics("").is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! neusight export-dot --model NAME [--batch N] [--train] [--fused]
 //! neusight serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!                  [--deadline-ms N] [--max-batch N] [--predictor FILE]
+//! neusight chaos   [--fault-spec SPEC] [--fault-seed N] [--scale tiny|standard]
 //! ```
 //!
 //! A trained predictor is cached at `neusight-predictor.json` in the
@@ -41,6 +42,19 @@
 //! `neusight profile` runs a model forecast under full instrumentation and
 //! prints a per-stage wall-time breakdown table (span taxonomy in
 //! DESIGN.md §Observability) plus cache/dispatch metric summaries.
+//!
+//! # Fault injection flags (every command)
+//!
+//! - `--fault-spec SPEC` — arm deterministic failpoints, e.g.
+//!   `data.collect.device=0.2;core.predict.mlp=1.0:count=3`.
+//! - `--fault-seed N` — seed for the fault schedule; the same seed
+//!   reproduces the same fire pattern exactly.
+//!
+//! The `NEUSIGHT_FAULT_SPEC` / `NEUSIGHT_FAULT_SEED` environment
+//! variables arm the same registry (flags win). `neusight chaos` runs a
+//! checkpointed collection sweep under injected device faults and aborts,
+//! then prints the per-failpoint hit/fire table — the quickest way to see
+//! the fault subsystem work end to end.
 //!
 //! Model names accept any unambiguous prefix (`gpt2` → `GPT2-Large`),
 //! ignoring case and punctuation.
@@ -72,6 +86,9 @@ fn main() -> ExitCode {
     if profiling || observability_requested(&args) {
         obs::set_enabled(true);
     }
+    if let Err(e) = configure_faults(&args) {
+        return fail(&e.to_string());
+    }
     let result = match args.positional(0) {
         Some("train") => cmd_train(&args),
         Some("gpus") => cmd_gpus(),
@@ -83,6 +100,7 @@ fn main() -> ExitCode {
         Some("compare") => cmd_compare(&args),
         Some("serving") => cmd_serving(&args),
         Some("serve") => cmd_serve(&args),
+        Some("chaos") => cmd_chaos(&args),
         Some("export-dot") => cmd_export_dot(&args),
         Some(other) => Err(ArgError(format!("unknown command `{other}`")).into()),
         None => {
@@ -95,6 +113,25 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(&e.to_string()),
     }
+}
+
+/// Arms the deterministic fault registry from the environment
+/// (`NEUSIGHT_FAULT_SPEC` / `NEUSIGHT_FAULT_SEED`), then from the
+/// `--fault-spec` / `--fault-seed` flags, which take precedence.
+fn configure_faults(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    neusight_fault::configure_from_env()?;
+    if let Some(text) = args.option("fault-spec") {
+        if text.is_empty() {
+            return Err(ArgError(
+                "--fault-spec needs POINT=PROB[:count=N][:after=N][:delay_ms=N][:kind=fail|delay]"
+                    .to_owned(),
+            )
+            .into());
+        }
+        let spec: neusight_fault::FaultSpec = text.parse()?;
+        neusight_fault::configure(&spec, args.get_or("fault-seed", 0u64)?);
+    }
+    Ok(())
 }
 
 /// Whether any of the global observability flags is present.
@@ -157,10 +194,13 @@ fn print_usage() {
            compare      forecast one model across the whole GPU catalog\n\
            serving      forecast TTFT and tokens/second for generation\n\
            serve        run the HTTP prediction service (see --addr etc.)\n\
+           chaos        run a collection sweep under injected faults\n\
            export-dot   print a model's kernel graph in Graphviz DOT\n\n\
          global flags:\n\
            --predictor FILE      predictor path (default neusight-predictor.json)\n\
-           --cache-capacity N    bound the prediction memo cache (entries)\n\n\
+           --cache-capacity N    bound the prediction memo cache (entries)\n\
+           --fault-spec SPEC     arm failpoints, e.g. data.collect.device=0.2\n\
+           --fault-seed N        deterministic fault schedule seed\n\n\
          observability (any command):\n\
            --trace FILE        Chrome trace-event JSON (chrome://tracing)\n\
            --trace-jsonl FILE  span log, one JSON object per line\n\
@@ -616,6 +656,94 @@ fn cmd_serve(args: &Args) -> CliResult {
     println!("SIGTERM or Ctrl-C drains in-flight requests and exits");
     server.run()?;
     eprintln!("drained; bye");
+    Ok(())
+}
+
+/// Runs a checkpointed collection sweep under injected faults and prints
+/// the failpoint hit/fire report (`neusight chaos`).
+///
+/// With no `--fault-spec`, arms a default schedule: 15 % transient device
+/// failures plus two mid-sweep aborts, exercising retry-with-backoff and
+/// checkpoint/resume in one run. The same `--fault-seed` reproduces the
+/// identical schedule, retries and all.
+fn cmd_chaos(args: &Args) -> CliResult {
+    obs::set_enabled(true);
+    if !neusight_fault::armed() {
+        let spec: neusight_fault::FaultSpec =
+            "data.collect.device=0.15;data.collect.abort=1.0:count=2".parse()?;
+        neusight_fault::configure(&spec, args.get_or("fault-seed", 0u64)?);
+    }
+    let scale = match args.option("scale").unwrap_or("tiny") {
+        "tiny" => SweepScale::Tiny,
+        "standard" => SweepScale::Standard,
+        other => return Err(ArgError(format!("unknown scale `{other}`")).into()),
+    };
+    let gpus = neusight_data::training_gpus();
+    let ops = neusight_data::sweeps::full_sweep(scale);
+    let refs: Vec<&OpDesc> = ops.iter().collect();
+    let mut checkpoint = std::env::temp_dir();
+    checkpoint.push(format!("neusight-chaos-{}.json", std::process::id()));
+    let _ = fs::remove_file(&checkpoint);
+    let mut config = neusight_data::ResumableConfig::new(checkpoint.clone());
+    // Deep enough that 15 % transient failures essentially never exhaust
+    // an item's budget (0.15^8), so the demo always converges.
+    config.retry.max_attempts = 8;
+
+    println!(
+        "chaos: collecting {} items ({} GPUs x {} ops) under fault seed {}",
+        gpus.len() * refs.len(),
+        gpus.len(),
+        refs.len(),
+        neusight_fault::seed()
+    );
+    let started = Instant::now();
+    let mut interrupts = 0u32;
+    let dataset = loop {
+        match neusight_data::collect_resumable(&gpus, &refs, DType::F32, &config) {
+            Ok(dataset) => break dataset,
+            Err(neusight_data::CollectError::Interrupted { completed, total }) => {
+                interrupts += 1;
+                println!("  interrupted at {completed}/{total}; resuming from checkpoint…");
+            }
+            Err(e) => {
+                let _ = fs::remove_file(&checkpoint);
+                return Err(e.into());
+            }
+        }
+    };
+    println!(
+        "collected {} records in {:.2} s, surviving {interrupts} interrupt(s)\n",
+        dataset.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    println!(
+        "{:<28} {:>8} {:>8}  configured as",
+        "failpoint", "hits", "fires"
+    );
+    for (name, status) in neusight_fault::all_statuses() {
+        let rendered = neusight_fault::FaultSpec::empty().with_point(&name, status.config.clone());
+        println!(
+            "{name:<28} {:>8} {:>8}  {rendered}",
+            status.hits, status.fires
+        );
+    }
+
+    let snap = obs::metrics::snapshot();
+    let relevant: Vec<_> = snap
+        .counters
+        .iter()
+        .filter(|(name, value)| {
+            **value > 0 && (name.starts_with("fault.") || name.starts_with("data.collect."))
+        })
+        .collect();
+    if !relevant.is_empty() {
+        println!("\ncounters:");
+        for (name, value) in relevant {
+            println!("  {name:<40} {value}");
+        }
+    }
+    neusight_fault::reset();
     Ok(())
 }
 

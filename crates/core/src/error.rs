@@ -19,6 +19,10 @@ pub enum CoreError {
     Io(io::Error),
     /// Artifact deserialization failure.
     Format(String),
+    /// A fault-injection failpoint fired in the prediction path (chaos
+    /// testing); callers should treat this as a transient predictor
+    /// failure.
+    FaultInjected(neusight_fault::FaultError),
 }
 
 impl fmt::Display for CoreError {
@@ -33,6 +37,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Io(e) => write!(f, "i/o error: {e}"),
             CoreError::Format(detail) => write!(f, "artifact format error: {detail}"),
+            CoreError::FaultInjected(e) => write!(f, "predictor fault: {e}"),
         }
     }
 }
@@ -42,6 +47,7 @@ impl Error for CoreError {
         match self {
             CoreError::Gpu(e) => Some(e),
             CoreError::Io(e) => Some(e),
+            CoreError::FaultInjected(e) => Some(e),
             _ => None,
         }
     }

@@ -418,6 +418,17 @@ impl NeuSight {
         // `serve_batch`), keeping the §5c taxonomy
         // `predict_graph` → {dedup, cache_probe, …} intact.
 
+        // Chaos testing: a simulated transient failure of the MLP
+        // predictor path (e.g. an accelerator fault in a real deployment).
+        // The serving layer's circuit breaker and roofline fallback key
+        // off this error.
+        if let Some(injected) = neusight_fault::fail_point!("core.predict.mlp") {
+            injected.sleep();
+            if injected.fail {
+                return Err(CoreError::FaultInjected(injected.error()));
+            }
+        }
+
         // Unique GPUs by fingerprint (jobs typically share one spec).
         let mut gpu_fps: Vec<u64> = Vec::new();
         let mut gpu_specs: Vec<&GpuSpec> = Vec::new();

@@ -1,0 +1,227 @@
+//! Checkpoint/resume for long collection sweeps.
+//!
+//! A [`CollectCheckpoint`] persists the set of already-measured grid items
+//! (flat gpu-major indices, as in [`crate::collect`]) plus a fingerprint
+//! of the sweep configuration. A killed sweep restarted against the same
+//! checkpoint path re-measures only the missing items and assembles a
+//! dataset bit-identical to an uninterrupted run: measurement on the
+//! simulator is deterministic and assembly happens in grid order, so
+//! *which process* measured an item leaves no trace in the output.
+//!
+//! Writes are atomic (temp file + rename in the destination directory),
+//! so a crash mid-save leaves either the previous checkpoint or the new
+//! one, never a torn file.
+
+use crate::collect::OpDescRef;
+use neusight_gpu::profile::KernelRecord;
+use neusight_gpu::DType;
+use neusight_sim::SimulatedGpu;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// One measured grid item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedItem {
+    /// Flat gpu-major grid index (`gpu_index * ops.len() + op_index`).
+    pub item: usize,
+    /// The measurement taken for that item.
+    pub record: KernelRecord,
+}
+
+/// Durable progress of a partially collected sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectCheckpoint {
+    /// Format version, for forward compatibility.
+    pub version: u32,
+    /// Fingerprint of (gpus, ops, dtype, runs); a resume against a
+    /// different sweep must not silently mix datasets.
+    pub fingerprint: u64,
+    /// Total grid size the sweep will produce.
+    pub total: usize,
+    /// Measured items, sorted by grid index.
+    pub completed: Vec<CompletedItem>,
+}
+
+impl CollectCheckpoint {
+    /// An empty checkpoint for a fresh sweep.
+    #[must_use]
+    pub fn new(fingerprint: u64, total: usize) -> CollectCheckpoint {
+        CollectCheckpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint,
+            total,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Merges newly measured items, keeping `completed` sorted and
+    /// deduplicated by grid index.
+    pub fn absorb(&mut self, items: Vec<CompletedItem>) {
+        self.completed.extend(items);
+        self.completed.sort_by_key(|c| c.item);
+        self.completed.dedup_by_key(|c| c.item);
+    }
+
+    /// Whether every grid item has been measured.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.completed.len() == self.total
+    }
+
+    /// Grid indices not yet measured, in grid order.
+    #[must_use]
+    pub fn remaining(&self) -> Vec<usize> {
+        let done: std::collections::HashSet<usize> =
+            self.completed.iter().map(|c| c.item).collect();
+        (0..self.total).filter(|i| !done.contains(i)).collect()
+    }
+
+    /// Atomically writes the checkpoint as JSON (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the write or rename.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(json.as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a checkpoint; `Ok(None)` when the file does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and reports unparsable files as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> io::Result<Option<CollectCheckpoint>> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        serde_json::from_str(&text)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// FNV-1a over the JSON rendering of the sweep configuration: stable
+/// across processes (no `DefaultHasher` randomization) and sensitive to
+/// every field that affects measurements.
+#[must_use]
+pub fn sweep_fingerprint(
+    gpus: &[SimulatedGpu],
+    ops: &[OpDescRef<'_>],
+    dtype: DType,
+    runs: u32,
+) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut absorb = |text: &str| {
+        for byte in text.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Field separator so concatenations can't collide.
+        hash ^= 0x1F;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for gpu in gpus {
+        absorb(gpu.spec().name());
+    }
+    for op in ops {
+        absorb(&serde_json::to_string(*op).unwrap_or_default());
+    }
+    absorb(&format!("{dtype:?}"));
+    absorb(&runs.to_string());
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_gpu::OpDesc;
+
+    #[allow(clippy::cast_precision_loss)]
+    fn record(item: usize) -> CompletedItem {
+        let gpu = SimulatedGpu::from_catalog("P4").unwrap();
+        let op = OpDesc::bmm(1, 8, 8, 8);
+        let m = gpu.measure(&op, DType::F32, 1);
+        CompletedItem {
+            item,
+            record: KernelRecord {
+                gpu: "P4".to_owned(),
+                op,
+                launch: m.launch,
+                mean_latency_s: item as f64 * 1e-6,
+            },
+        }
+    }
+
+    #[test]
+    fn absorb_sorts_and_dedups() {
+        let mut cp = CollectCheckpoint::new(1, 4);
+        cp.absorb(vec![record(3), record(1)]);
+        cp.absorb(vec![record(1), record(0)]);
+        let items: Vec<usize> = cp.completed.iter().map(|c| c.item).collect();
+        assert_eq!(items, [0, 1, 3]);
+        assert!(!cp.is_complete());
+        assert_eq!(cp.remaining(), [2]);
+        cp.absorb(vec![record(2)]);
+        assert!(cp.is_complete());
+        assert!(cp.remaining().is_empty());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("neusight-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        let _ = std::fs::remove_file(&path);
+
+        assert!(CollectCheckpoint::load(&path).unwrap().is_none());
+        let mut cp = CollectCheckpoint::new(42, 3);
+        cp.absorb(vec![record(0), record(2)]);
+        cp.save(&path).unwrap();
+        let loaded = CollectCheckpoint::load(&path).unwrap().unwrap();
+        assert_eq!(cp, loaded);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_invalid_data() {
+        let dir = std::env::temp_dir().join("neusight-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = CollectCheckpoint::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_tracks_configuration() {
+        let gpus = vec![SimulatedGpu::from_catalog("P4").unwrap()];
+        let ops = [OpDesc::bmm(1, 8, 8, 8), OpDesc::softmax(16, 16)];
+        let refs: Vec<&OpDesc> = ops.iter().collect();
+        let base = sweep_fingerprint(&gpus, &refs, DType::F32, 25);
+        assert_eq!(base, sweep_fingerprint(&gpus, &refs, DType::F32, 25));
+        assert_ne!(base, sweep_fingerprint(&gpus, &refs, DType::F16, 25));
+        assert_ne!(base, sweep_fingerprint(&gpus, &refs, DType::F32, 5));
+        assert_ne!(base, sweep_fingerprint(&gpus, &refs[..1], DType::F32, 25));
+        let more = vec![
+            SimulatedGpu::from_catalog("P4").unwrap(),
+            SimulatedGpu::from_catalog("T4").unwrap(),
+        ];
+        assert_ne!(base, sweep_fingerprint(&more, &refs, DType::F32, 25));
+    }
+}

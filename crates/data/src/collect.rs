@@ -8,12 +8,17 @@
 //! reassembled in deterministic GPU-major order, so the dataset is
 //! bit-identical to a serial sweep regardless of thread count.
 
+use crate::checkpoint::{sweep_fingerprint, CollectCheckpoint, CompletedItem};
 use crate::records::{KernelDataset, KernelRecord};
 use crate::sweeps::{self, SweepScale};
+use neusight_fault::{self as fault, FaultError, RetryError, RetryPolicy};
 use neusight_gpu::DType;
 use neusight_obs as obs;
 use neusight_sim::SimulatedGpu;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Records one worker's tally into the collection metrics: every claimed
 /// item, plus the "steals" — items outside the worker's notional
@@ -139,6 +144,308 @@ pub fn collect_with_threads(
     )
 }
 
+/// Why a resumable collection run stopped.
+#[derive(Debug)]
+pub enum CollectError {
+    /// A device kept failing past the retry budget.
+    Device {
+        /// Grid index of the item that could not be measured.
+        item: usize,
+        /// The retry failure (attempt count + last injected fault).
+        source: RetryError<FaultError>,
+    },
+    /// The `data.collect.abort` failpoint fired — a simulated process
+    /// kill between checkpoints. Resume by calling
+    /// [`collect_resumable`] again with the same checkpoint path.
+    Interrupted {
+        /// Grid items measured and checkpointed before the interrupt.
+        completed: usize,
+        /// Total grid size.
+        total: usize,
+    },
+    /// Checkpoint I/O failed.
+    Checkpoint(std::io::Error),
+    /// The checkpoint on disk belongs to a different sweep configuration.
+    Mismatch {
+        /// Fingerprint recorded in the checkpoint file.
+        found: u64,
+        /// Fingerprint of the requested sweep.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for CollectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectError::Device { item, source } => {
+                write!(f, "device failure on grid item {item}: {source}")
+            }
+            CollectError::Interrupted { completed, total } => write!(
+                f,
+                "collection interrupted at {completed}/{total} items (checkpoint saved; rerun to resume)"
+            ),
+            CollectError::Checkpoint(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CollectError::Mismatch { found, expected } => write!(
+                f,
+                "checkpoint belongs to a different sweep (fingerprint {found:#x}, expected {expected:#x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CollectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CollectError::Device { source, .. } => Some(source),
+            CollectError::Checkpoint(e) => Some(e),
+            CollectError::Interrupted { .. } | CollectError::Mismatch { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CollectError {
+    fn from(e: std::io::Error) -> CollectError {
+        CollectError::Checkpoint(e)
+    }
+}
+
+/// Configuration of a fault-tolerant, checkpointed collection run.
+#[derive(Debug, Clone)]
+pub struct ResumableConfig {
+    /// Where progress is persisted (removed on successful completion).
+    pub checkpoint_path: PathBuf,
+    /// Grid items measured between checkpoints.
+    pub chunk_size: usize,
+    /// Worker threads per chunk (0 = host parallelism).
+    pub threads: usize,
+    /// Per-item retry budget for transient device failures.
+    pub retry: RetryPolicy,
+}
+
+impl ResumableConfig {
+    /// Defaults: 64-item chunks, host parallelism, 4 zero-sleep attempts
+    /// per item with the jitter seed folded from the installed fault seed.
+    #[must_use]
+    pub fn new(checkpoint_path: PathBuf) -> ResumableConfig {
+        ResumableConfig {
+            checkpoint_path,
+            chunk_size: 64,
+            threads: 0,
+            retry: RetryPolicy {
+                seed: fault::seed(),
+                ..RetryPolicy::immediate(4)
+            },
+        }
+    }
+}
+
+/// Failpoint evaluated per measurement attempt: a transient simulated
+/// device failure (retried) or injected measurement latency.
+pub const FP_DEVICE: &str = "data.collect.device";
+
+/// Failpoint evaluated after each checkpoint save: a simulated process
+/// kill mid-sweep (the run returns [`CollectError::Interrupted`]).
+pub const FP_ABORT: &str = "data.collect.abort";
+
+/// Measures one grid item, retrying transient (injected) device failures
+/// under the given policy.
+fn measure_item_with_retry(
+    gpus: &[SimulatedGpu],
+    ops: &[OpDescRef<'_>],
+    dtype: DType,
+    item: usize,
+    retry: &RetryPolicy,
+) -> Result<KernelRecord, CollectError> {
+    // Decorrelate per-item jitter streams while keeping them a pure
+    // function of (policy seed, item).
+    let policy = RetryPolicy {
+        seed: retry.seed ^ (item as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ..retry.clone()
+    };
+    fault::retry(&policy, |attempt| {
+        if let Some(injected) = fault::fail_point!(FP_DEVICE) {
+            injected.sleep();
+            if injected.fail {
+                if attempt > 0 {
+                    obs::metrics::counter("data.collect.retries").inc();
+                }
+                return Err(injected.error());
+            }
+        }
+        if attempt > 0 {
+            obs::metrics::counter("data.collect.retries").inc();
+        }
+        let gpu = &gpus[item / ops.len()];
+        let op = ops[item % ops.len()];
+        let m = gpu.measure(op, dtype, MEASUREMENT_RUNS);
+        Ok(KernelRecord {
+            gpu: gpu.spec().name().to_owned(),
+            op: op.clone(),
+            launch: m.launch,
+            mean_latency_s: m.mean_latency_s,
+        })
+    })
+    .map_err(|source| CollectError::Device { item, source })
+}
+
+/// Measures a chunk of grid items in parallel (shared-cursor work
+/// stealing, as in [`collect_with_threads`]), returning them tagged with
+/// their grid indices. Stops early on the first unrecoverable error.
+fn measure_chunk(
+    gpus: &[SimulatedGpu],
+    ops: &[OpDescRef<'_>],
+    dtype: DType,
+    items: &[usize],
+    threads: usize,
+    retry: &RetryPolicy,
+) -> Result<Vec<CompletedItem>, CollectError> {
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        let mut out = Vec::with_capacity(items.len());
+        for &item in items {
+            let record = measure_item_with_retry(gpus, ops, dtype, item, retry)?;
+            out.push(CompletedItem { item, record });
+        }
+        return Ok(out);
+    }
+    let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let first_error: Mutex<Option<CollectError>> = Mutex::new(None);
+    let mut measured: Vec<CompletedItem> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let failed = &failed;
+                let first_error = &first_error;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&item) = items.get(slot) else { break };
+                        match measure_item_with_retry(gpus, ops, dtype, item, retry) {
+                            Ok(record) => mine.push(CompletedItem { item, record }),
+                            Err(e) => {
+                                failed.store(true, Ordering::Relaxed);
+                                let mut guard =
+                                    first_error.lock().unwrap_or_else(|p| p.into_inner());
+                                guard.get_or_insert(e);
+                                break;
+                            }
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for handle in handles {
+            measured.extend(handle.join().expect("collection thread panicked"));
+        }
+    });
+    if let Some(e) = first_error
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+    {
+        return Err(e);
+    }
+    Ok(measured)
+}
+
+/// Fault-tolerant, checkpointed variant of [`collect_with_threads`].
+///
+/// Progress is persisted to `config.checkpoint_path` after every chunk;
+/// a run killed mid-sweep (including via the `data.collect.abort`
+/// failpoint) resumes from that file and produces a dataset bit-identical
+/// to an uninterrupted run — measurement is deterministic and assembly is
+/// in grid order, so interruption leaves no trace. The checkpoint file is
+/// removed on success.
+///
+/// # Errors
+///
+/// [`CollectError::Device`] when an item exhausts its retry budget,
+/// [`CollectError::Interrupted`] when the abort failpoint fires (progress
+/// is checkpointed first), [`CollectError::Checkpoint`] /
+/// [`CollectError::Mismatch`] for checkpoint I/O or reuse problems.
+pub fn collect_resumable(
+    gpus: &[SimulatedGpu],
+    ops: &[OpDescRef<'_>],
+    dtype: DType,
+    config: &ResumableConfig,
+) -> Result<KernelDataset, CollectError> {
+    let total = gpus.len() * ops.len();
+    if total == 0 {
+        return Ok(KernelDataset::new(Vec::new()));
+    }
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        config.threads
+    };
+    let _span = obs::span!(
+        "collect_resumable",
+        gpus = gpus.len(),
+        ops = ops.len(),
+        threads = threads
+    );
+    let fingerprint = sweep_fingerprint(gpus, ops, dtype, MEASUREMENT_RUNS);
+    let mut checkpoint = match CollectCheckpoint::load(&config.checkpoint_path)? {
+        Some(cp) => {
+            if cp.fingerprint != fingerprint || cp.total != total {
+                return Err(CollectError::Mismatch {
+                    found: cp.fingerprint,
+                    expected: fingerprint,
+                });
+            }
+            obs::metrics::counter("data.collect.resumes").inc();
+            obs::event!(
+                "collect_resumed",
+                completed = cp.completed.len(),
+                total = total
+            );
+            cp
+        }
+        None => CollectCheckpoint::new(fingerprint, total),
+    };
+
+    let chunk_size = config.chunk_size.max(1);
+    while !checkpoint.is_complete() {
+        let remaining = checkpoint.remaining();
+        let chunk: Vec<usize> = remaining.into_iter().take(chunk_size).collect();
+        let measured = measure_chunk(gpus, ops, dtype, &chunk, threads, &config.retry)?;
+        checkpoint.absorb(measured);
+        checkpoint.save(&config.checkpoint_path)?;
+        obs::metrics::counter("data.collect.checkpoints").inc();
+        if !checkpoint.is_complete() {
+            if let Some(injected) = fault::fail_point!(FP_ABORT) {
+                injected.sleep();
+                if injected.fail {
+                    return Err(CollectError::Interrupted {
+                        completed: checkpoint.completed.len(),
+                        total,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut slots: Vec<Option<KernelRecord>> = (0..total).map(|_| None).collect();
+    for completed in checkpoint.completed {
+        slots[completed.item] = Some(completed.record);
+    }
+    let dataset = KernelDataset::new(
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("checkpoint claimed completeness but a slot is empty"))
+            .collect(),
+    );
+    let _ = std::fs::remove_file(&config.checkpoint_path);
+    Ok(dataset)
+}
+
 /// Collects the full §6.1-style training dataset on the given GPUs.
 #[must_use]
 pub fn collect_training_set(
@@ -239,6 +546,146 @@ mod tests {
         let gpus = vec![SimulatedGpu::from_catalog("P4").unwrap()];
         assert!(collect(&gpus, &[], DType::F32).is_empty());
         assert!(collect(&[], &[], DType::F32).is_empty());
+    }
+
+    /// Serializes tests that arm the process-global fault registry.
+    fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn small_grid() -> (Vec<SimulatedGpu>, Vec<neusight_gpu::OpDesc>) {
+        let gpus = vec![
+            SimulatedGpu::from_catalog("P4").unwrap(),
+            SimulatedGpu::from_catalog("T4").unwrap(),
+        ];
+        let ops = vec![
+            OpDesc::bmm(2, 64, 64, 64),
+            OpDesc::softmax(512, 256),
+            OpDesc::fc(64, 128, 128),
+            OpDesc::layer_norm(256, 512),
+        ];
+        (gpus, ops)
+    }
+
+    fn temp_checkpoint(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("neusight-collect-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn resumable_clean_run_matches_plain_collection() {
+        let _guard = fault_lock();
+        neusight_fault::reset();
+        let (gpus, ops) = small_grid();
+        let refs: Vec<&OpDesc> = ops.iter().collect();
+        let config = ResumableConfig {
+            chunk_size: 3,
+            threads: 2,
+            ..ResumableConfig::new(temp_checkpoint("clean.json"))
+        };
+        let resumable = collect_resumable(&gpus, &refs, DType::F32, &config).unwrap();
+        let plain = collect_with_threads(&gpus, &refs, DType::F32, 1);
+        assert_eq!(resumable, plain);
+        assert!(
+            !config.checkpoint_path.exists(),
+            "checkpoint not cleaned up"
+        );
+    }
+
+    #[test]
+    fn resumable_survives_transient_device_faults_bit_identically() {
+        let _guard = fault_lock();
+        let (gpus, ops) = small_grid();
+        let refs: Vec<&OpDesc> = ops.iter().collect();
+        let baseline = collect_with_threads(&gpus, &refs, DType::F32, 1);
+
+        let spec: neusight_fault::FaultSpec = format!("{FP_DEVICE}=0.4").parse().unwrap();
+        neusight_fault::configure(&spec, 11);
+        let config = ResumableConfig {
+            chunk_size: 2,
+            threads: 2,
+            ..ResumableConfig::new(temp_checkpoint("faulty.json"))
+        };
+        let faulted = collect_resumable(&gpus, &refs, DType::F32, &config).unwrap();
+        neusight_fault::reset();
+        assert_eq!(faulted, baseline, "retries changed the dataset");
+    }
+
+    #[test]
+    fn interrupted_run_resumes_bit_identically() {
+        let _guard = fault_lock();
+        let (gpus, ops) = small_grid();
+        let refs: Vec<&OpDesc> = ops.iter().collect();
+        let baseline = collect_with_threads(&gpus, &refs, DType::F32, 1);
+
+        // Kill the sweep after the first checkpoint, once.
+        let spec: neusight_fault::FaultSpec = format!("{FP_ABORT}=1.0:count=1").parse().unwrap();
+        neusight_fault::configure(&spec, 5);
+        let config = ResumableConfig {
+            chunk_size: 3,
+            threads: 1,
+            ..ResumableConfig::new(temp_checkpoint("interrupted.json"))
+        };
+        let err = collect_resumable(&gpus, &refs, DType::F32, &config).unwrap_err();
+        assert!(matches!(
+            err,
+            CollectError::Interrupted {
+                completed: 3,
+                total: 8
+            }
+        ));
+        assert!(
+            config.checkpoint_path.exists(),
+            "no checkpoint after interrupt"
+        );
+
+        // "Restart the process": resume from the checkpoint.
+        neusight_fault::reset();
+        let resumed = collect_resumable(&gpus, &refs, DType::F32, &config).unwrap();
+        assert_eq!(resumed, baseline, "resume is not bit-identical");
+        assert!(!config.checkpoint_path.exists());
+    }
+
+    #[test]
+    fn checkpoint_from_different_sweep_is_rejected() {
+        let _guard = fault_lock();
+        neusight_fault::reset();
+        let (gpus, ops) = small_grid();
+        let refs: Vec<&OpDesc> = ops.iter().collect();
+        let path = temp_checkpoint("mismatch.json");
+        CollectCheckpoint::new(0xDEAD, gpus.len() * refs.len())
+            .save(&path)
+            .unwrap();
+        let config = ResumableConfig::new(path.clone());
+        let err = collect_resumable(&gpus, &refs, DType::F32, &config).unwrap_err();
+        assert!(matches!(err, CollectError::Mismatch { found: 0xDEAD, .. }));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn exhausted_retry_budget_reports_device_error() {
+        let _guard = fault_lock();
+        let (gpus, ops) = small_grid();
+        let refs: Vec<&OpDesc> = ops.iter().collect();
+        let spec: neusight_fault::FaultSpec = format!("{FP_DEVICE}=1.0").parse().unwrap();
+        neusight_fault::configure(&spec, 3);
+        let config = ResumableConfig {
+            threads: 1,
+            retry: RetryPolicy::immediate(2),
+            ..ResumableConfig::new(temp_checkpoint("exhausted.json"))
+        };
+        let err = collect_resumable(&gpus, &refs, DType::F32, &config).unwrap_err();
+        neusight_fault::reset();
+        match err {
+            CollectError::Device { item: 0, source } => assert_eq!(source.attempts(), 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let _ = std::fs::remove_file(&config.checkpoint_path);
     }
 
     #[test]

@@ -16,12 +16,15 @@
 //! assert!(ds.validate().is_ok());
 //! ```
 
+pub mod checkpoint;
 pub mod collect;
 pub mod records;
 pub mod sweeps;
 
+pub use checkpoint::{sweep_fingerprint, CollectCheckpoint, CompletedItem};
 pub use collect::{
-    collect, collect_training_set, collect_with_threads, test_gpus, training_gpus, MEASUREMENT_RUNS,
+    collect, collect_resumable, collect_training_set, collect_with_threads, test_gpus,
+    training_gpus, CollectError, ResumableConfig, MEASUREMENT_RUNS,
 };
 pub use records::{KernelDataset, KernelRecord};
 pub use sweeps::SweepScale;

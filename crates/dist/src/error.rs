@@ -1,0 +1,65 @@
+//! Typed errors for distributed planning and simulated measurement.
+
+use neusight_fault::{FaultError, RetryError};
+use neusight_gpu::GpuError;
+use std::fmt;
+
+/// Failure of a distributed planning or measurement operation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DistError {
+    /// The strategy cannot divide the work (batch/heads/layers mismatch).
+    Plan(GpuError),
+    /// A collective count overflowed the host's `usize`.
+    CollectiveCount {
+        /// The count that did not fit.
+        count: u64,
+    },
+    /// A rank kept failing (dropping out) past its retry budget.
+    RankFailure {
+        /// The rank (replica or pipeline stage) that failed.
+        rank: u32,
+        /// The retry failure (attempt count + last injected fault).
+        source: RetryError<FaultError>,
+    },
+    /// A rank exceeded its per-attempt timeout on every retry.
+    RankTimeout {
+        /// The rank that timed out.
+        rank: u32,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Plan(e) => write!(f, "invalid distributed plan: {e}"),
+            DistError::CollectiveCount { count } => {
+                write!(f, "collective count {count} overflows usize")
+            }
+            DistError::RankFailure { rank, source } => {
+                write!(f, "rank {rank} dropped: {source}")
+            }
+            DistError::RankTimeout { rank, attempts } => {
+                write!(f, "rank {rank} timed out on all {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Plan(e) => Some(e),
+            DistError::RankFailure { source, .. } => Some(source),
+            DistError::CollectiveCount { .. } | DistError::RankTimeout { .. } => None,
+        }
+    }
+}
+
+impl From<GpuError> for DistError {
+    fn from(e: GpuError) -> DistError {
+        DistError::Plan(e)
+    }
+}

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod collectives;
+pub mod error;
 pub mod measure;
 pub mod memory;
 pub mod parallel;
@@ -41,7 +42,8 @@ pub mod schedule;
 pub mod server;
 
 pub use collectives::{CommOp, LinkModel};
-pub use measure::SimServer;
+pub use error::DistError;
+pub use measure::{RankPolicy, SimServer, FP_RANK_DROP, FP_RANK_SLOW};
 pub use memory::fits_server;
 pub use parallel::{plan_inference, plan_training, DistPlan, ParallelStrategy};
 pub use predict::DistForecaster;

@@ -9,10 +9,47 @@
 //! produces the realistic few-percent distributed prediction errors.
 
 use crate::collectives::{CommOp, LinkModel};
+use crate::error::DistError;
 use crate::parallel::DistPlan;
 use crate::server::ServerSpec;
+use neusight_fault::{self as fault, FaultError, RetryPolicy};
 use neusight_gpu::{DType, Generation};
+use neusight_graph::Graph;
 use neusight_sim::SimulatedGpu;
+use std::time::{Duration, Instant};
+
+/// Failpoint evaluated once per rank execution attempt, `kind=delay`: a
+/// straggling rank (injects wall-clock latency, optionally tripping the
+/// per-rank timeout).
+pub const FP_RANK_SLOW: &str = "dist.rank.slow";
+
+/// Failpoint evaluated once per rank execution attempt: a dropped rank
+/// (the attempt fails and is retried under the rank policy).
+pub const FP_RANK_DROP: &str = "dist.rank.drop";
+
+/// Fault-handling policy for [`SimServer::try_measure_iteration`]: how
+/// often a dropped/slow rank is re-executed and how long one attempt may
+/// take.
+#[derive(Debug, Clone)]
+pub struct RankPolicy {
+    /// Retry budget per rank (backoff seeded for reproducible chaos runs).
+    pub retry: RetryPolicy,
+    /// Wall-clock budget for one rank attempt; a slower attempt counts as
+    /// a failure and is retried.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for RankPolicy {
+    fn default() -> RankPolicy {
+        RankPolicy {
+            retry: RetryPolicy {
+                seed: fault::seed(),
+                ..RetryPolicy::immediate(4)
+            },
+            timeout: None,
+        }
+    }
+}
 
 /// A simulated multi-GPU server.
 #[derive(Debug, Clone)]
@@ -101,6 +138,142 @@ impl SimServer {
             }
         }
     }
+
+    /// Executes one rank's graph, injecting straggler latency
+    /// ([`FP_RANK_SLOW`]) and rank drops ([`FP_RANK_DROP`]) and retrying
+    /// under the rank policy. Simulated execution is deterministic, so a
+    /// retried rank reproduces exactly the result an unfaulted run gets.
+    fn execute_rank(
+        &self,
+        graph: &Graph,
+        dtype: DType,
+        rank: u32,
+        policy: &RankPolicy,
+    ) -> Result<neusight_sim::GraphRun, DistError> {
+        // Decorrelate per-rank jitter while staying a pure function of
+        // (policy seed, rank).
+        let retry = RetryPolicy {
+            seed: policy.retry.seed ^ u64::from(rank).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..policy.retry.clone()
+        };
+        let mut timed_out = false;
+        fault::retry(&retry, |attempt| {
+            if attempt > 0 {
+                neusight_obs::metrics::counter("dist.rank.retries").inc();
+            }
+            let started = Instant::now();
+            if let Some(injected) = fault::fail_point!(FP_RANK_SLOW) {
+                injected.sleep();
+            }
+            if let Some(injected) = fault::fail_point!(FP_RANK_DROP) {
+                injected.sleep();
+                if injected.fail {
+                    return Err(injected.error());
+                }
+            }
+            let run = self.device.execute_graph(graph, dtype);
+            if let Some(timeout) = policy.timeout {
+                if started.elapsed() > timeout {
+                    timed_out = true;
+                    return Err(FaultError {
+                        point: FP_RANK_SLOW.to_owned(),
+                    });
+                }
+            }
+            timed_out = false;
+            Ok(run)
+        })
+        .map_err(|source| {
+            if timed_out {
+                DistError::RankTimeout {
+                    rank,
+                    attempts: source.attempts(),
+                }
+            } else {
+                DistError::RankFailure { rank, source }
+            }
+        })
+    }
+
+    /// Fault-aware variant of [`measure_iteration`](Self::measure_iteration):
+    /// executes every rank (replica or pipeline stage) individually,
+    /// retrying injected rank drops and timing out injected stragglers.
+    ///
+    /// With no faults armed, the returned latency is identical to
+    /// [`measure_iteration`](Self::measure_iteration) — the per-rank
+    /// executions are deterministic and symmetric.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::RankFailure`] when a rank exhausts its retry budget,
+    /// [`DistError::RankTimeout`] when every attempt of a rank overran
+    /// `policy.timeout`.
+    pub fn try_measure_iteration(
+        &self,
+        plan: &DistPlan,
+        dtype: DType,
+        policy: &RankPolicy,
+    ) -> Result<f64, DistError> {
+        match plan {
+            DistPlan::Data {
+                per_gpu,
+                grad_allreduce,
+            } => {
+                let compute = self.slowest_replica(per_gpu, dtype, policy)?;
+                Ok(compute * self.imbalance + self.fabric.comm_time(*grad_allreduce, &self.server))
+            }
+            DistPlan::Tensor {
+                per_gpu,
+                collectives,
+            } => {
+                let compute = self.slowest_replica(per_gpu, dtype, policy)?;
+                let comm: f64 = collectives
+                    .iter()
+                    .map(|&op| self.fabric.comm_time(op, &self.server))
+                    .sum();
+                Ok(compute * self.imbalance + comm)
+            }
+            DistPlan::Pipeline {
+                stages,
+                microbatches,
+                schedule,
+                boundary_bytes,
+            } => {
+                let mut fwd = Vec::with_capacity(stages.len());
+                let mut bwd = Vec::with_capacity(stages.len());
+                for (stage, graph) in stages.iter().enumerate() {
+                    #[allow(clippy::cast_possible_truncation)]
+                    let run = self.execute_rank(graph, dtype, stage as u32, policy)?;
+                    fwd.push(run.forward_s);
+                    bwd.push(run.backward_s);
+                }
+                let p2p = self.fabric.comm_time(
+                    CommOp::SendRecv {
+                        bytes: *boundary_bytes,
+                    },
+                    &self.server,
+                ) + self.pipeline_overhead_s;
+                Ok(schedule.iteration_time(&fwd, &bwd, *microbatches, p2p, p2p))
+            }
+        }
+    }
+
+    /// Executes the replicated graph on every rank and returns the slowest
+    /// modeled compute time (identical across ranks in the simulator, but
+    /// each rank is a separate failure domain for injection).
+    fn slowest_replica(
+        &self,
+        per_gpu: &Graph,
+        dtype: DType,
+        policy: &RankPolicy,
+    ) -> Result<f64, DistError> {
+        let mut slowest = 0.0f64;
+        for rank in 0..self.server.num_gpus {
+            let run = self.execute_rank(per_gpu, dtype, rank, policy)?;
+            slowest = slowest.max(run.total_s);
+        }
+        Ok(slowest)
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +325,104 @@ mod tests {
         let t_dp = server.measure_iteration(&dp, DType::F32);
         let t_tp = server.measure_iteration(&tp, DType::F32);
         assert!(t_dp > 0.0 && t_tp > 0.0);
+    }
+
+    /// Serializes tests that arm the process-global fault registry.
+    fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn try_measure_matches_measure_without_faults() {
+        let _guard = fault_lock();
+        fault::reset();
+        let server = SimServer::new(a100_nvlink_4x().unwrap());
+        let cfg = tiny_model();
+        for strat in [
+            ParallelStrategy::Data,
+            ParallelStrategy::Tensor,
+            ParallelStrategy::gpipe(4),
+        ] {
+            let plan = plan_training(&cfg, 8, 4, strat, DType::F32).unwrap();
+            let clean = server.measure_iteration(&plan, DType::F32);
+            let faulty = server
+                .try_measure_iteration(&plan, DType::F32, &RankPolicy::default())
+                .unwrap();
+            assert_eq!(clean.to_bits(), faulty.to_bits(), "{}", strat.label());
+        }
+    }
+
+    #[test]
+    fn dropped_ranks_are_retried_to_the_same_answer() {
+        let _guard = fault_lock();
+        let server = SimServer::new(a100_nvlink_4x().unwrap());
+        let cfg = tiny_model();
+        let plan = plan_training(&cfg, 8, 4, ParallelStrategy::Tensor, DType::F32).unwrap();
+        let clean = server.measure_iteration(&plan, DType::F32);
+
+        let spec: neusight_fault::FaultSpec = format!("{FP_RANK_DROP}=0.5").parse().unwrap();
+        neusight_fault::configure(&spec, 17);
+        let measured = server
+            .try_measure_iteration(&plan, DType::F32, &RankPolicy::default())
+            .unwrap();
+        neusight_fault::reset();
+        assert_eq!(clean.to_bits(), measured.to_bits());
+    }
+
+    #[test]
+    fn permanently_dropped_rank_is_a_typed_error() {
+        let _guard = fault_lock();
+        let server = SimServer::new(a100_nvlink_4x().unwrap());
+        let cfg = tiny_model();
+        let plan = plan_training(&cfg, 8, 4, ParallelStrategy::Data, DType::F32).unwrap();
+
+        let spec: neusight_fault::FaultSpec = format!("{FP_RANK_DROP}=1.0").parse().unwrap();
+        neusight_fault::configure(&spec, 1);
+        let policy = RankPolicy {
+            retry: RetryPolicy::immediate(2),
+            timeout: None,
+        };
+        let err = server
+            .try_measure_iteration(&plan, DType::F32, &policy)
+            .unwrap_err();
+        neusight_fault::reset();
+        match err {
+            DistError::RankFailure { rank: 0, source } => assert_eq!(source.attempts(), 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chronically_slow_rank_times_out() {
+        let _guard = fault_lock();
+        let server = SimServer::new(a100_nvlink_4x().unwrap());
+        let cfg = tiny_model();
+        let plan = plan_training(&cfg, 8, 4, ParallelStrategy::Data, DType::F32).unwrap();
+
+        let spec: neusight_fault::FaultSpec = format!("{FP_RANK_SLOW}=1.0:kind=delay:delay_ms=20")
+            .parse()
+            .unwrap();
+        neusight_fault::configure(&spec, 1);
+        let policy = RankPolicy {
+            retry: RetryPolicy::immediate(2),
+            timeout: Some(Duration::from_millis(1)),
+        };
+        let err = server
+            .try_measure_iteration(&plan, DType::F32, &policy)
+            .unwrap_err();
+        neusight_fault::reset();
+        assert!(
+            matches!(
+                err,
+                DistError::RankTimeout {
+                    rank: 0,
+                    attempts: 2
+                }
+            ),
+            "unexpected error {err:?}"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! boundary activations).
 
 use crate::collectives::CommOp;
+use crate::error::DistError;
 use crate::schedule::PipeSchedule;
 use neusight_gpu::{DType, EwKind, GpuError, OpDesc};
 use neusight_graph::backward::append_backward;
@@ -103,20 +104,23 @@ pub enum DistPlan {
 ///
 /// # Errors
 ///
-/// Returns [`GpuError::InvalidDimension`] when the strategy cannot divide
-/// the work evenly (batch not divisible for DP / micro-batching, heads or
-/// FFN not divisible for TP, fewer layers than stages for PP).
+/// Returns [`DistError::Plan`] when the strategy cannot divide the work
+/// evenly (batch not divisible for DP / micro-batching, heads or FFN not
+/// divisible for TP, fewer layers than stages for PP), and
+/// [`DistError::CollectiveCount`] if the collective count overflows.
 pub fn plan_training(
     cfg: &ModelConfig,
     global_batch: u64,
     width: u32,
     strategy: ParallelStrategy,
     dtype: DType,
-) -> Result<DistPlan, GpuError> {
+) -> Result<DistPlan, DistError> {
     let w = u64::from(width);
-    let invalid = |detail: String| GpuError::InvalidDimension {
-        context: "distributed plan",
-        detail,
+    let invalid = |detail: String| {
+        DistError::Plan(GpuError::InvalidDimension {
+            context: "distributed plan",
+            detail,
+        })
     };
     match strategy {
         ParallelStrategy::Data => {
@@ -148,7 +152,8 @@ pub fn plan_training(
             let count = 4 * cfg.num_layers + 2;
             let collectives = vec![
                 CommOp::AllReduce { bytes: act_bytes };
-                usize::try_from(count).expect("small")
+                usize::try_from(count)
+                    .map_err(|_| DistError::CollectiveCount { count })?
             ];
             Ok(DistPlan::Tensor {
                 per_gpu,
@@ -194,31 +199,35 @@ pub fn plan_training(
 ///
 /// # Errors
 ///
-/// Returns [`GpuError::InvalidDimension`] if heads or FFN width do not
-/// divide across the GPUs.
+/// Returns [`DistError::Plan`] if heads or FFN width do not divide across
+/// the GPUs, and [`DistError::CollectiveCount`] if the collective count
+/// overflows.
 pub fn plan_inference(
     cfg: &ModelConfig,
     batch: u64,
     width: u32,
     dtype: DType,
-) -> Result<DistPlan, GpuError> {
+) -> Result<DistPlan, DistError> {
     let w = u64::from(width);
     if !cfg.num_heads.is_multiple_of(w) || !cfg.ffn_dim.is_multiple_of(w) {
-        return Err(GpuError::InvalidDimension {
+        return Err(DistError::Plan(GpuError::InvalidDimension {
             context: "distributed plan",
             detail: format!(
                 "{} heads / {} ffn not divisible by tensor width {w}",
                 cfg.num_heads, cfg.ffn_dim
             ),
-        });
+        }));
     }
     let per_gpu = tensor_parallel_forward_graph(cfg, batch, w);
     #[allow(clippy::cast_precision_loss)]
     let act_bytes = (cfg.tokens(batch) * cfg.hidden_dim * dtype.size_bytes()) as f64;
     // Two all-reduces per layer (attention out, FFN out) plus the head.
     let count = 2 * cfg.num_layers + 1;
-    let collectives =
-        vec![CommOp::AllReduce { bytes: act_bytes }; usize::try_from(count).expect("small")];
+    let collectives = vec![
+        CommOp::AllReduce { bytes: act_bytes };
+        usize::try_from(count)
+            .map_err(|_| DistError::CollectiveCount { count })?
+    ];
     Ok(DistPlan::Tensor {
         per_gpu,
         collectives,

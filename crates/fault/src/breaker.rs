@@ -1,0 +1,269 @@
+//! A circuit breaker: Closed → Open on consecutive failures, half-open
+//! probing after a cooldown, back to Closed on probe success.
+//!
+//! State and transition counts are exported through `neusight-obs` under
+//! `<name>.breaker.*` so dashboards can watch a protected dependency trip
+//! and recover.
+
+use neusight_obs as obs;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// Time spent Open before probing (Open → `HalfOpen`).
+    pub cooldown: Duration,
+    /// Probe successes required to close from `HalfOpen`.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(5),
+            half_open_probes: 1,
+        }
+    }
+}
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation: requests flow, failures are counted.
+    Closed,
+    /// Tripped: requests are rejected until the cooldown elapses.
+    Open,
+    /// Probing: a limited number of requests test the dependency.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Numeric encoding for the state gauge: Closed=0, `HalfOpen`=1, Open=2.
+    #[must_use]
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    probe_successes: u32,
+    probes_in_flight: u32,
+    opened_at: Option<Instant>,
+}
+
+/// A thread-safe circuit breaker protecting one dependency.
+///
+/// Call [`allow`](CircuitBreaker::allow) before each request; on `true`,
+/// report the outcome with [`record_success`](CircuitBreaker::record_success)
+/// or [`record_failure`](CircuitBreaker::record_failure). On `false`, skip
+/// the dependency (serve a fallback, shed the request).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    name: String,
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// Creates a breaker; `name` prefixes its obs metrics
+    /// (`<name>.breaker.state`, `<name>.breaker.open_total`, ...).
+    #[must_use]
+    pub fn new(name: &str, config: BreakerConfig) -> CircuitBreaker {
+        let breaker = CircuitBreaker {
+            name: name.to_owned(),
+            config,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                probe_successes: 0,
+                probes_in_flight: 0,
+                opened_at: None,
+            }),
+        };
+        obs::metrics::gauge(&format!("{name}.breaker.state")).set(BreakerState::Closed.as_gauge());
+        breaker
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn transition(&self, inner: &mut Inner, next: BreakerState) {
+        if inner.state == next {
+            return;
+        }
+        inner.state = next;
+        match next {
+            BreakerState::Open => {
+                inner.opened_at = Some(Instant::now());
+                obs::metrics::counter(&format!("{}.breaker.open_total", self.name)).inc();
+            }
+            BreakerState::HalfOpen => {
+                inner.probe_successes = 0;
+                inner.probes_in_flight = 0;
+                obs::metrics::counter(&format!("{}.breaker.half_open_total", self.name)).inc();
+            }
+            BreakerState::Closed => {
+                inner.consecutive_failures = 0;
+                inner.opened_at = None;
+                obs::metrics::counter(&format!("{}.breaker.close_total", self.name)).inc();
+            }
+        }
+        obs::metrics::gauge(&format!("{}.breaker.state", self.name)).set(next.as_gauge());
+    }
+
+    /// Whether a request may proceed. In `HalfOpen`, admits at most
+    /// `half_open_probes` concurrent probes.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let elapsed = inner.opened_at.map(|at| at.elapsed()).unwrap_or_default();
+                if elapsed >= self.config.cooldown {
+                    self.transition(&mut inner, BreakerState::HalfOpen);
+                    inner.probes_in_flight = 1;
+                    true
+                } else {
+                    obs::metrics::counter(&format!("{}.breaker.rejected_total", self.name)).inc();
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probes_in_flight < self.config.half_open_probes {
+                    inner.probes_in_flight += 1;
+                    true
+                } else {
+                    obs::metrics::counter(&format!("{}.breaker.rejected_total", self.name)).inc();
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports a successful request.
+    pub fn record_success(&self) {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => inner.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                inner.probes_in_flight = inner.probes_in_flight.saturating_sub(1);
+                inner.probe_successes += 1;
+                if inner.probe_successes >= self.config.half_open_probes {
+                    self.transition(&mut inner, BreakerState::Closed);
+                }
+            }
+            // A straggler success from before the trip; ignore.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Reports a failed request.
+    pub fn record_failure(&self) {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    self.transition(&mut inner, BreakerState::Open);
+                }
+            }
+            // Any probe failure re-opens immediately.
+            BreakerState::HalfOpen => self.transition(&mut inner, BreakerState::Open),
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Forces the breaker back to Closed (tests, admin reset).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        self.transition(&mut inner, BreakerState::Closed);
+        inner.consecutive_failures = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(
+            "test",
+            BreakerConfig {
+                failure_threshold: threshold,
+                cooldown: Duration::from_millis(cooldown_ms),
+                half_open_probes: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures() {
+        let breaker = quick(3, 60_000);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        breaker.record_failure();
+        breaker.record_failure();
+        // A success resets the consecutive count.
+        breaker.record_success();
+        breaker.record_failure();
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(!breaker.allow());
+    }
+
+    #[test]
+    fn half_open_probe_closes_or_reopens() {
+        let breaker = quick(1, 0);
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // Zero cooldown: the next allow() is a half-open probe.
+        assert!(breaker.allow());
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        // Only one probe admitted at a time.
+        assert!(!breaker.allow());
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // Probe again, succeed this time.
+        assert!(breaker.allow());
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.allow());
+    }
+
+    #[test]
+    fn reset_closes_from_open() {
+        let breaker = quick(1, 60_000);
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        breaker.reset();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(breaker.allow());
+    }
+
+    #[test]
+    fn state_gauge_encoding() {
+        assert_eq!(BreakerState::Closed.as_gauge(), 0.0);
+        assert_eq!(BreakerState::HalfOpen.as_gauge(), 1.0);
+        assert_eq!(BreakerState::Open.as_gauge(), 2.0);
+    }
+}

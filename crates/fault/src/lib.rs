@@ -1,0 +1,202 @@
+//! **neusight-fault**: deterministic fault injection and reusable
+//! resilience primitives for the whole NeuSight stack.
+//!
+//! Profiling fleets lose devices mid-sweep, distributed measurement hits
+//! slow and dropped ranks, and a long-lived prediction service sees its
+//! predictor path fault under load. This crate lets the repo *prove* it
+//! survives all of that, reproducibly:
+//!
+//! - **Failpoints** ([`fail_point!`]): named injection sites compiled into
+//!   production code paths. Disabled, a failpoint costs one `Relaxed`
+//!   atomic load (the same no-op fast path discipline as `neusight-obs`).
+//!   Armed via a [`FaultSpec`] (CLI `--fault-spec` / env
+//!   `NEUSIGHT_FAULT_SPEC`), each point fires deterministically: whether
+//!   the *n*-th hit of a point fires depends only on
+//!   `(seed, point name, n, probability)` — same `--fault-seed`, same
+//!   fault schedule, bit-for-bit.
+//! - **Retry** ([`retry`], [`Backoff`], [`RetryPolicy`]): exponential
+//!   backoff with decorrelated jitter, bounded attempt budgets, and
+//!   deadline-aware sleeping. Jitter is seeded, so retry timing is also
+//!   reproducible.
+//! - **Circuit breaker** ([`CircuitBreaker`]): Closed → Open on
+//!   consecutive failures, half-open probing after a cooldown, state and
+//!   transition counters exported through the `neusight-obs` registry.
+//!
+//! # Example
+//!
+//! ```
+//! use neusight_fault as fault;
+//!
+//! fn fragile() -> Result<u32, fault::FaultError> {
+//!     if let Some(injected) = fault::fail_point!("docs.example") {
+//!         injected.sleep(); // honors any configured delay_ms
+//!         injected.into_result()?; // Err when the point fired as a failure
+//!     }
+//!     Ok(42)
+//! }
+//!
+//! // Nothing configured: the failpoint is a single atomic load.
+//! assert_eq!(fragile().unwrap(), 42);
+//!
+//! // Arm the point at 100 % for exactly 2 fires.
+//! let spec: fault::FaultSpec = "docs.example=1.0:count=2".parse().unwrap();
+//! fault::configure(&spec, 7);
+//! assert!(fragile().is_err());
+//! assert!(fragile().is_err());
+//! assert_eq!(fragile().unwrap(), 42); // budget exhausted
+//! fault::reset();
+//! ```
+
+pub mod breaker;
+mod registry;
+pub mod retry;
+pub mod spec;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use registry::{
+    all_statuses, check, configure, configure_from_env, disarm, point_status, reset, seed,
+    InjectedFault, PointStatus, ENV_SEED, ENV_SPEC,
+};
+pub use retry::{retry, Backoff, Deadline, RetryError, RetryPolicy};
+pub use spec::{FaultSpec, PointConfig, SpecError};
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Master switch: `true` once a non-empty [`FaultSpec`] is installed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Whether any failpoint is configured. This single `Relaxed` load is the
+/// entire cost of a [`fail_point!`] in an unconfigured process.
+#[inline]
+#[must_use]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_armed(on: bool) {
+    ARMED.store(on, Ordering::Relaxed);
+}
+
+/// The error a fired failpoint injects, carrying the point name so call
+/// sites and logs can attribute the (simulated) failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// Name of the failpoint that fired.
+    pub point: String,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at failpoint `{}`", self.point)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Evaluates a named failpoint.
+///
+/// Expands to a single `Relaxed` atomic load when the subsystem is
+/// disarmed; otherwise consults the registry and yields
+/// `Option<InjectedFault>` describing what (if anything) to inject at
+/// this hit.
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        if $crate::armed() {
+            $crate::check($name)
+        } else {
+            None
+        }
+    };
+}
+
+/// SplitMix64: the deterministic mixing function behind both the fault
+/// schedule and the retry jitter. Public within the crate so every
+/// consumer derives randomness the same way.
+#[must_use]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a point name, the stable per-point seed component.
+#[must_use]
+pub(crate) fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A uniform draw in `[0, 1)` derived from `(seed, point, hit)` — the
+/// pure decision function of the fault schedule. Exposed so tests can
+/// assert the schedule independently of registry state.
+#[must_use]
+pub fn hit_draw(seed: u64, point: &str, hit: u64) -> f64 {
+    let mixed = splitmix64(seed ^ fnv1a(point) ^ hit.wrapping_mul(0xA076_1D64_78BD_642F));
+    // 53 high bits → an exactly representable f64 in [0, 1).
+    #[allow(clippy::cast_precision_loss)]
+    let unit = (mixed >> 11) as f64 / (1u64 << 53) as f64;
+    unit
+}
+
+/// Whether the `hit`-th evaluation of `point` fires at `probability`
+/// under `seed`. Deterministic: this is the whole fault schedule.
+#[must_use]
+pub fn would_fire(seed: u64, point: &str, hit: u64, probability: f64) -> bool {
+    hit_draw(seed, point, hit) < probability
+}
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes tests that touch the global registry/armed flag.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn hold() -> MutexGuard<'static, ()> {
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_failpoint_is_inert() {
+        let _guard = test_lock::hold();
+        reset();
+        assert!(fail_point!("lib.test.unconfigured").is_none());
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_uniformish() {
+        let a: Vec<bool> = (0..64).map(|n| would_fire(9, "p", n, 0.5)).collect();
+        let b: Vec<bool> = (0..64).map(|n| would_fire(9, "p", n, 0.5)).collect();
+        assert_eq!(a, b);
+        let fires = a.iter().filter(|&&f| f).count();
+        assert!((16..=48).contains(&fires), "fires={fires}");
+        // Different seeds give different schedules.
+        let c: Vec<bool> = (0..64).map(|n| would_fire(10, "p", n, 0.5)).collect();
+        assert_ne!(a, c);
+        // Probability bounds behave.
+        assert!(!would_fire(1, "p", 0, 0.0));
+        assert!(would_fire(1, "p", 0, 1.0));
+    }
+
+    #[test]
+    fn draw_in_unit_interval() {
+        for n in 0..1000 {
+            let d = hit_draw(3, "range", n);
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The process-global failpoint registry: installed [`FaultSpec`], the
+//! fault seed, and per-point hit/fire accounting.
+
+use crate::spec::{FaultSpec, PointConfig};
+use crate::{set_armed, would_fire, FaultError};
+use neusight_obs as obs;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// Environment variable holding a fault spec (same grammar as
+/// `--fault-spec`).
+pub const ENV_SPEC: &str = "NEUSIGHT_FAULT_SPEC";
+
+/// Environment variable holding the fault seed (decimal u64).
+pub const ENV_SEED: &str = "NEUSIGHT_FAULT_SEED";
+
+/// Accounting and configuration of one installed point.
+#[derive(Debug, Clone)]
+struct PointState {
+    config: PointConfig,
+    hits: u64,
+    fires: u64,
+}
+
+/// Public snapshot of one point's accounting, for summaries and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointStatus {
+    /// Installed configuration.
+    pub config: PointConfig,
+    /// Times the point was evaluated while armed.
+    pub hits: u64,
+    /// Times it actually fired.
+    pub fires: u64,
+}
+
+static SEED: AtomicU64 = AtomicU64::new(0);
+
+fn registry() -> &'static Mutex<HashMap<String, PointState>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, PointState>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, HashMap<String, PointState>> {
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What a fired failpoint asks the call site to inject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The failpoint that fired.
+    pub point: String,
+    /// Latency to inject (zero = none).
+    pub delay: Duration,
+    /// Whether to inject an error after any delay.
+    pub fail: bool,
+}
+
+impl InjectedFault {
+    /// Sleeps for the configured injected latency, if any.
+    pub fn sleep(&self) {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+    }
+
+    /// `Err` when the fault is an error injection, `Ok` for delay-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`FaultError`] when `fail` is set.
+    pub fn into_result(self) -> Result<(), FaultError> {
+        if self.fail {
+            Err(FaultError { point: self.point })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The injected error for this point (regardless of `fail`).
+    #[must_use]
+    pub fn error(&self) -> FaultError {
+        FaultError {
+            point: self.point.clone(),
+        }
+    }
+}
+
+/// Installs a spec and seed, resetting all hit/fire accounting. An empty
+/// spec disarms the subsystem (equivalent to [`reset`]).
+pub fn configure(spec: &FaultSpec, fault_seed: u64) {
+    let mut points = lock();
+    points.clear();
+    for (name, config) in spec.points() {
+        points.insert(
+            name.to_owned(),
+            PointState {
+                config: config.clone(),
+                hits: 0,
+                fires: 0,
+            },
+        );
+    }
+    SEED.store(fault_seed, Ordering::Relaxed);
+    set_armed(!points.is_empty());
+}
+
+/// Reads [`ENV_SPEC`] / [`ENV_SEED`] and installs them if present.
+/// Returns whether a spec was installed.
+///
+/// # Errors
+///
+/// Returns [`crate::SpecError`] for an unparsable spec or seed.
+pub fn configure_from_env() -> Result<bool, crate::SpecError> {
+    let Ok(text) = std::env::var(ENV_SPEC) else {
+        return Ok(false);
+    };
+    let spec: FaultSpec = text.parse()?;
+    let seed = match std::env::var(ENV_SEED) {
+        Ok(seed_text) => seed_text
+            .parse::<u64>()
+            .map_err(|_| crate::SpecError(format!("bad {ENV_SEED} value `{seed_text}`")))?,
+        Err(_) => 0,
+    };
+    configure(&spec, seed);
+    Ok(!spec.is_empty())
+}
+
+/// Clears every point and disarms the subsystem.
+pub fn reset() {
+    lock().clear();
+    set_armed(false);
+}
+
+/// Disarms without forgetting the installed spec (re-arm by calling
+/// [`configure`] again).
+pub fn disarm() {
+    set_armed(false);
+}
+
+/// The installed fault seed.
+#[must_use]
+pub fn seed() -> u64 {
+    SEED.load(Ordering::Relaxed)
+}
+
+/// Snapshot of one point's accounting (`None` if not configured).
+#[must_use]
+pub fn point_status(name: &str) -> Option<PointStatus> {
+    lock().get(name).map(|s| PointStatus {
+        config: s.config.clone(),
+        hits: s.hits,
+        fires: s.fires,
+    })
+}
+
+/// Snapshots every configured point in name order.
+#[must_use]
+pub fn all_statuses() -> Vec<(String, PointStatus)> {
+    let mut statuses: Vec<(String, PointStatus)> = lock()
+        .iter()
+        .map(|(name, s)| {
+            (
+                name.clone(),
+                PointStatus {
+                    config: s.config.clone(),
+                    hits: s.hits,
+                    fires: s.fires,
+                },
+            )
+        })
+        .collect();
+    statuses.sort_by(|a, b| a.0.cmp(&b.0));
+    statuses
+}
+
+/// Evaluates a failpoint against the registry. Prefer the
+/// [`crate::fail_point!`] macro, which short-circuits when disarmed.
+#[must_use]
+pub fn check(name: &str) -> Option<InjectedFault> {
+    let fault_seed = SEED.load(Ordering::Relaxed);
+    let mut points = lock();
+    let state = points.get_mut(name)?;
+    let hit = state.hits;
+    state.hits += 1;
+    if hit < state.config.skip_first {
+        return None;
+    }
+    if let Some(max) = state.config.max_fires {
+        if state.fires >= max {
+            return None;
+        }
+    }
+    if !would_fire(fault_seed, name, hit, state.config.probability) {
+        return None;
+    }
+    state.fires += 1;
+    let fault = InjectedFault {
+        point: name.to_owned(),
+        delay: state.config.delay,
+        fail: state.config.fail,
+    };
+    drop(points);
+    obs::metrics::counter(&format!("fault.injected.{name}")).inc();
+    Some(fault)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn unconfigured_points_never_fire() {
+        let _guard = test_lock::hold();
+        configure(
+            &FaultSpec::empty().with_point("some.point", PointConfig::always()),
+            1,
+        );
+        assert!(check("other.point").is_none());
+        reset();
+    }
+
+    #[test]
+    fn count_and_after_budgets() {
+        let _guard = test_lock::hold();
+        let config = PointConfig {
+            max_fires: Some(2),
+            skip_first: 3,
+            ..PointConfig::always()
+        };
+        configure(&FaultSpec::empty().with_point("budget", config), 1);
+        let fires: Vec<bool> = (0..8).map(|_| check("budget").is_some()).collect();
+        assert_eq!(
+            fires,
+            [false, false, false, true, true, false, false, false]
+        );
+        let status = point_status("budget").unwrap();
+        assert_eq!((status.hits, status.fires), (8, 2));
+        reset();
+    }
+
+    #[test]
+    fn identical_seed_gives_identical_schedule() {
+        let _guard = test_lock::hold();
+        let spec = FaultSpec::empty().with_point("sched", PointConfig::with_probability(0.3));
+        let run = |seed: u64| -> Vec<bool> {
+            configure(&spec, seed);
+            (0..64).map(|_| check("sched").is_some()).collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().any(|&f| f), "0.3 over 64 hits should fire");
+        reset();
+    }
+
+    #[test]
+    fn delay_only_points_do_not_error() {
+        let _guard = test_lock::hold();
+        let config = PointConfig {
+            fail: false,
+            delay: Duration::from_millis(1),
+            ..PointConfig::always()
+        };
+        configure(&FaultSpec::empty().with_point("slow", config), 1);
+        let fault = check("slow").unwrap();
+        assert!(fault.into_result().is_ok());
+        reset();
+    }
+
+    #[test]
+    fn env_configuration_round_trip() {
+        let _guard = test_lock::hold();
+        std::env::set_var(ENV_SPEC, "env.point=1.0:count=1");
+        std::env::set_var(ENV_SEED, "99");
+        assert!(configure_from_env().unwrap());
+        assert_eq!(seed(), 99);
+        assert!(crate::armed());
+        assert!(check("env.point").is_some());
+        std::env::set_var(ENV_SPEC, "not a spec");
+        assert!(configure_from_env().is_err());
+        std::env::remove_var(ENV_SPEC);
+        std::env::remove_var(ENV_SEED);
+        assert!(!configure_from_env().unwrap());
+        reset();
+    }
+}

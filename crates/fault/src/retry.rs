@@ -1,0 +1,332 @@
+//! Retry with seeded decorrelated-jitter backoff, bounded attempt
+//! budgets, and deadline-aware sleeping.
+
+use crate::splitmix64;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Exponential backoff with decorrelated jitter (the AWS architecture
+/// blog's variant): each delay is uniform in `[base, prev * 3]`, clamped
+/// to `[base, cap]`. Seeded, so the delay sequence is reproducible.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    state: u64,
+}
+
+impl Backoff {
+    /// Creates a backoff generator. `base` is clamped to at least 1 ns so
+    /// the `[base, cap]` invariant holds even for `Duration::ZERO` bases.
+    #[must_use]
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        let base = base.max(Duration::from_nanos(1));
+        let cap = cap.max(base);
+        Backoff {
+            base,
+            cap,
+            prev: base,
+            state: splitmix64(seed ^ 0x5DEE_CE66_D1CE_4E5B),
+        }
+    }
+
+    /// The next delay: uniform in `[base, min(cap, prev * 3)]`.
+    ///
+    /// Every returned delay satisfies `base <= delay <= cap`, and the
+    /// sequence is a pure function of the seed.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn next_delay(&mut self) -> Duration {
+        self.state = splitmix64(self.state);
+        #[allow(clippy::cast_precision_loss)]
+        let unit = (self.state >> 11) as f64 / (1u64 << 53) as f64;
+        let base_ns = self.base.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let cap_ns = self.cap.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let prev_ns = self.prev.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let upper = prev_ns.saturating_mul(3).clamp(base_ns, cap_ns);
+        #[allow(clippy::cast_precision_loss)]
+        let span = (upper - base_ns) as f64;
+        let delay_ns = base_ns + (unit * span) as u64;
+        let delay = Duration::from_nanos(delay_ns.min(cap_ns));
+        self.prev = delay;
+        delay
+    }
+}
+
+/// An absolute time budget for an operation and its retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    #[must_use]
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// A deadline at an absolute instant.
+    #[must_use]
+    pub fn at(at: Instant) -> Deadline {
+        Deadline { at }
+    }
+
+    /// The absolute expiry instant.
+    #[must_use]
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+
+    /// Time left, `Duration::ZERO` once expired.
+    #[must_use]
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// Whether the deadline has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.remaining().is_zero()
+    }
+}
+
+/// A bounded retry budget: attempts, backoff range, and an optional
+/// overall deadline.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Backoff lower bound.
+    pub base: Duration,
+    /// Backoff upper bound.
+    pub cap: Duration,
+    /// Jitter seed (fold the fault seed in for reproducible chaos runs).
+    pub seed: u64,
+    /// Overall wall-clock budget across all attempts and sleeps.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(20),
+            seed: 0,
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A no-sleep policy (zero-width backoff) for latency-sensitive call
+    /// sites and tests.
+    #[must_use]
+    pub fn immediate(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// One attempt, no retries.
+    #[must_use]
+    pub fn none() -> RetryPolicy {
+        RetryPolicy::immediate(1)
+    }
+}
+
+/// Why [`retry`] gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryError<E> {
+    /// Every attempt failed; carries the last error and the attempt count.
+    Exhausted {
+        /// Error from the final attempt.
+        last: E,
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// The deadline expired before the budget did; carries the last error.
+    DeadlineExceeded {
+        /// Error from the final attempt.
+        last: E,
+        /// Attempts made before expiry.
+        attempts: u32,
+    },
+}
+
+impl<E> RetryError<E> {
+    /// The error from the final attempt.
+    pub fn last(&self) -> &E {
+        match self {
+            RetryError::Exhausted { last, .. } | RetryError::DeadlineExceeded { last, .. } => last,
+        }
+    }
+
+    /// Attempts made before giving up.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        match self {
+            RetryError::Exhausted { attempts, .. }
+            | RetryError::DeadlineExceeded { attempts, .. } => *attempts,
+        }
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for RetryError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetryError::Exhausted { last, attempts } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            RetryError::DeadlineExceeded { last, attempts } => {
+                write!(f, "deadline exceeded after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl<E: fmt::Display + fmt::Debug> std::error::Error for RetryError<E> {}
+
+/// Runs `op` until it succeeds or the policy's budget is spent, sleeping
+/// the backoff delay between attempts. The closure receives the 0-based
+/// attempt index.
+///
+/// # Errors
+///
+/// [`RetryError::Exhausted`] when `max_attempts` all fail,
+/// [`RetryError::DeadlineExceeded`] when the overall deadline expires
+/// first.
+pub fn retry<T, E>(
+    policy: &RetryPolicy,
+    mut op: impl FnMut(u32) -> Result<T, E>,
+) -> Result<T, RetryError<E>> {
+    let attempts = policy.max_attempts.max(1);
+    let deadline = policy.deadline.map(Deadline::after);
+    let mut backoff = Backoff::new(policy.base, policy.cap, policy.seed);
+    let mut made = 0u32;
+    loop {
+        let result = op(made);
+        made += 1;
+        let err = match result {
+            Ok(value) => return Ok(value),
+            Err(err) => err,
+        };
+        if made >= attempts {
+            return Err(RetryError::Exhausted {
+                last: err,
+                attempts: made,
+            });
+        }
+        let mut delay = backoff.next_delay();
+        if let Some(deadline) = deadline {
+            let remaining = deadline.remaining();
+            if remaining.is_zero() {
+                return Err(RetryError::DeadlineExceeded {
+                    last: err,
+                    attempts: made,
+                });
+            }
+            delay = delay.min(remaining);
+        }
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_stays_within_bounds_and_is_deterministic() {
+        let base = Duration::from_micros(100);
+        let cap = Duration::from_millis(5);
+        let mut a = Backoff::new(base, cap, 7);
+        let mut b = Backoff::new(base, cap, 7);
+        let mut c = Backoff::new(base, cap, 8);
+        let mut diverged = false;
+        for _ in 0..64 {
+            let da = a.next_delay();
+            assert!(da >= base && da <= cap, "delay {da:?} outside bounds");
+            assert_eq!(da, b.next_delay());
+            diverged |= da != c.next_delay();
+        }
+        assert!(diverged, "different seeds should produce different jitter");
+    }
+
+    #[test]
+    fn backoff_grows_from_base_toward_cap() {
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_secs(1);
+        let mut backoff = Backoff::new(base, cap, 3);
+        let first = backoff.next_delay();
+        // First delay is bounded by prev*3 = 3*base.
+        assert!(first <= base * 3);
+        let mut max_seen = first;
+        for _ in 0..32 {
+            max_seen = max_seen.max(backoff.next_delay());
+        }
+        assert!(max_seen > base * 3, "backoff never grew: {max_seen:?}");
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_failures() {
+        let result: Result<u32, RetryError<&str>> = retry(&RetryPolicy::immediate(5), |attempt| {
+            if attempt < 3 {
+                Err("transient")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(result.unwrap(), 3);
+    }
+
+    #[test]
+    fn retry_exhausts_budget() {
+        let mut calls = 0u32;
+        let result: Result<(), RetryError<&str>> = retry(&RetryPolicy::immediate(3), |_| {
+            calls += 1;
+            Err("always")
+        });
+        let err = result.unwrap_err();
+        assert_eq!(err.attempts(), 3);
+        assert_eq!(calls, 3);
+        assert_eq!(*err.last(), "always");
+        assert!(err.to_string().contains("3 attempts"));
+    }
+
+    #[test]
+    fn retry_honors_deadline() {
+        let policy = RetryPolicy {
+            max_attempts: 1_000_000,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(5),
+            seed: 0,
+            deadline: Some(Duration::from_millis(30)),
+        };
+        let started = Instant::now();
+        let result: Result<(), RetryError<&str>> = retry(&policy, |_| Err("always"));
+        assert!(matches!(
+            result.unwrap_err(),
+            RetryError::DeadlineExceeded { .. }
+        ));
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn deadline_reports_remaining() {
+        let deadline = Deadline::after(Duration::from_secs(60));
+        assert!(!deadline.expired());
+        assert!(deadline.remaining() > Duration::from_secs(59));
+        let past = Deadline::at(Instant::now());
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Duration::ZERO);
+    }
+}

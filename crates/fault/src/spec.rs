@@ -1,0 +1,251 @@
+//! The fault-spec grammar: which failpoints fire, how often, and what
+//! they inject.
+//!
+//! A spec is a `;`- or `,`-separated list of point entries:
+//!
+//! ```text
+//! POINT=PROBABILITY[:count=N][:after=N][:delay_ms=N][:kind=fail|delay]
+//! ```
+//!
+//! - `PROBABILITY` — per-hit fire probability in `[0, 1]`.
+//! - `count=N` — stop after the point has fired `N` times (a bounded
+//!   chaos budget; default unbounded).
+//! - `after=N` — the first `N` hits never fire (lets a test interrupt a
+//!   sweep *mid*-run rather than on item 0).
+//! - `delay_ms=N` — inject this much latency on fire.
+//! - `kind=delay` — fire as latency only (no error); `kind=fail`
+//!   (default) injects an error, plus the delay if one is set.
+//!
+//! Example: `data.collect.device=0.2:count=3;serve.predict=0.1:delay_ms=2`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+use std::time::Duration;
+
+/// Configuration of one failpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointConfig {
+    /// Per-hit fire probability in `[0, 1]`.
+    pub probability: f64,
+    /// Maximum number of fires (`None` = unbounded).
+    pub max_fires: Option<u64>,
+    /// Number of initial hits that never fire.
+    pub skip_first: u64,
+    /// Latency injected on fire.
+    pub delay: Duration,
+    /// Whether a fire injects an error (`false` = delay only).
+    pub fail: bool,
+}
+
+impl PointConfig {
+    /// An always-fail point — the common test configuration.
+    #[must_use]
+    pub fn always() -> PointConfig {
+        PointConfig {
+            probability: 1.0,
+            max_fires: None,
+            skip_first: 0,
+            delay: Duration::ZERO,
+            fail: true,
+        }
+    }
+
+    /// A point firing with the given probability, unbounded.
+    #[must_use]
+    pub fn with_probability(probability: f64) -> PointConfig {
+        PointConfig {
+            probability,
+            ..PointConfig::always()
+        }
+    }
+}
+
+/// A parsed fault specification: named points and their configs, in
+/// deterministic (sorted) order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSpec {
+    points: BTreeMap<String, PointConfig>,
+}
+
+/// Fault-spec parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl FaultSpec {
+    /// An empty spec (configuring it disarms everything).
+    #[must_use]
+    pub fn empty() -> FaultSpec {
+        FaultSpec::default()
+    }
+
+    /// Adds or replaces one point.
+    #[must_use]
+    pub fn with_point(mut self, name: &str, config: PointConfig) -> FaultSpec {
+        self.points.insert(name.to_owned(), config);
+        self
+    }
+
+    /// The configured points in name order.
+    pub fn points(&self) -> impl Iterator<Item = (&str, &PointConfig)> {
+        self.points.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of configured points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points are configured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+impl FromStr for FaultSpec {
+    type Err = SpecError;
+
+    fn from_str(text: &str) -> Result<FaultSpec, SpecError> {
+        let mut spec = FaultSpec::empty();
+        for entry in text.split([';', ',']) {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (name, rest) = entry
+                .split_once('=')
+                .ok_or_else(|| SpecError(format!("`{entry}` is not POINT=PROBABILITY[...]")))?;
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(SpecError(format!("empty point name in `{entry}`")));
+            }
+            let mut fields = rest.split(':');
+            let prob_text = fields.next().unwrap_or_default().trim();
+            let probability: f64 = prob_text
+                .parse()
+                .map_err(|_| SpecError(format!("bad probability `{prob_text}` for `{name}`")))?;
+            if !(0.0..=1.0).contains(&probability) {
+                return Err(SpecError(format!(
+                    "probability {probability} for `{name}` outside [0, 1]"
+                )));
+            }
+            let mut config = PointConfig::with_probability(probability);
+            for field in fields {
+                let field = field.trim();
+                let (key, value) = field
+                    .split_once('=')
+                    .ok_or_else(|| SpecError(format!("`{field}` is not key=value")))?;
+                let parse_u64 = |v: &str| {
+                    v.parse::<u64>()
+                        .map_err(|_| SpecError(format!("bad value `{v}` for `{key}` on `{name}`")))
+                };
+                match key.trim() {
+                    "count" => config.max_fires = Some(parse_u64(value.trim())?),
+                    "after" => config.skip_first = parse_u64(value.trim())?,
+                    "delay_ms" => config.delay = Duration::from_millis(parse_u64(value.trim())?),
+                    "kind" => match value.trim() {
+                        "fail" => config.fail = true,
+                        "delay" => config.fail = false,
+                        other => {
+                            return Err(SpecError(format!(
+                                "unknown kind `{other}` for `{name}` (fail|delay)"
+                            )))
+                        }
+                    },
+                    other => {
+                        return Err(SpecError(format!(
+                            "unknown key `{other}` for `{name}` (count|after|delay_ms|kind)"
+                        )))
+                    }
+                }
+            }
+            spec.points.insert(name.to_owned(), config);
+        }
+        Ok(spec)
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (name, c) in &self.points {
+            if !first {
+                f.write_str(";")?;
+            }
+            first = false;
+            write!(f, "{name}={}", c.probability)?;
+            if let Some(count) = c.max_fires {
+                write!(f, ":count={count}")?;
+            }
+            if c.skip_first > 0 {
+                write!(f, ":after={}", c.skip_first)?;
+            }
+            if !c.delay.is_zero() {
+                write!(f, ":delay_ms={}", c.delay.as_millis())?;
+            }
+            if !c.fail {
+                f.write_str(":kind=delay")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let spec: FaultSpec =
+            "data.collect.device=0.2:count=3;serve.predict=0.1:delay_ms=2, dist.rank.slow=1:kind=delay:after=5"
+                .parse()
+                .unwrap();
+        assert_eq!(spec.len(), 3);
+        let points: Vec<_> = spec.points().collect();
+        assert_eq!(points[0].0, "data.collect.device");
+        assert_eq!(points[0].1.probability, 0.2);
+        assert_eq!(points[0].1.max_fires, Some(3));
+        assert_eq!(points[1].0, "dist.rank.slow");
+        assert!(!points[1].1.fail);
+        assert_eq!(points[1].1.skip_first, 5);
+        assert_eq!(points[2].1.delay, Duration::from_millis(2));
+        assert!(points[2].1.fail);
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let text = "a.b=0.25:count=2;c.d=1:after=3:delay_ms=7:kind=delay";
+        let spec: FaultSpec = text.parse().unwrap();
+        let reparsed: FaultSpec = spec.to_string().parse().unwrap();
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        assert!("nodice".parse::<FaultSpec>().is_err());
+        assert!("=0.5".parse::<FaultSpec>().is_err());
+        assert!("p=1.5".parse::<FaultSpec>().is_err());
+        assert!("p=-0.1".parse::<FaultSpec>().is_err());
+        assert!("p=0.5:count=x".parse::<FaultSpec>().is_err());
+        assert!("p=0.5:bogus=1".parse::<FaultSpec>().is_err());
+        assert!("p=0.5:kind=explode".parse::<FaultSpec>().is_err());
+        assert!("p=oops".parse::<FaultSpec>().is_err());
+    }
+
+    #[test]
+    fn empty_and_whitespace_specs() {
+        assert!("".parse::<FaultSpec>().unwrap().is_empty());
+        assert!(" ; , ".parse::<FaultSpec>().unwrap().is_empty());
+    }
+}

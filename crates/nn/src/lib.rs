@@ -53,4 +53,7 @@ pub use mlp::Mlp;
 pub use optim::AdamW;
 pub use scaler::StandardScaler;
 pub use schedule::LrSchedule;
-pub use trainer::{Dataset, Sample, TrainConfig, TrainReport, Trainer};
+pub use trainer::{
+    Dataset, Sample, TrainCheckpoint, TrainConfig, TrainError, TrainReport, Trainer,
+    FP_TRAIN_INTERRUPT, TRAIN_CHECKPOINT_VERSION,
+};

@@ -11,6 +11,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
 
 /// One training example: MLP input features, auxiliary head inputs (not
 /// learned, e.g. the wave count), and a scalar regression target.
@@ -161,6 +163,124 @@ pub struct TrainReport {
     pub stopped_early: bool,
 }
 
+/// Failpoint checked between epochs of [`Trainer::fit_with_checkpoint`]:
+/// arming it simulates the process dying mid-training.
+pub const FP_TRAIN_INTERRUPT: &str = "nn.train.interrupt";
+
+/// On-disk format version of [`TrainCheckpoint`].
+pub const TRAIN_CHECKPOINT_VERSION: u32 = 1;
+
+/// A failure from the checkpointing training loop
+/// ([`Trainer::fit_with_checkpoint`]).
+#[derive(Debug)]
+pub enum TrainError {
+    /// Training was interrupted (via [`FP_TRAIN_INTERRUPT`]) after
+    /// completing this many epochs; re-run to resume from the last saved
+    /// checkpoint.
+    Interrupted {
+        /// Epochs completed before the interrupt.
+        epochs_done: usize,
+    },
+    /// Saving or loading the checkpoint file failed.
+    Checkpoint(io::Error),
+    /// An existing checkpoint does not belong to this run (different
+    /// config or dataset); delete it or fix the configuration.
+    Resume(String),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Interrupted { epochs_done } => {
+                write!(f, "training interrupted after {epochs_done} epoch(s)")
+            }
+            TrainError::Checkpoint(e) => write!(f, "checkpoint I/O failed: {e}"),
+            TrainError::Resume(why) => write!(f, "checkpoint does not match this run: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Snapshot of an in-progress training run: model weights, optimizer
+/// moments, early-stopping state, and the epoch cursor. The RNG is *not*
+/// stored — resume replays the completed epochs' shuffles from the config
+/// seed, which reproduces both the generator state and the persistent
+/// index order exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Format version ([`TRAIN_CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The trainer config that produced this snapshot; resume refuses a
+    /// different one.
+    pub config: TrainConfig,
+    /// Training-set size, as a cheap integrity check.
+    pub data_len: usize,
+    /// Fully completed epochs.
+    pub epochs_done: usize,
+    /// Model weights after `epochs_done` epochs.
+    pub mlp: Mlp,
+    /// Optimizer state (first/second moments, step count).
+    pub opt: AdamW,
+    /// Mean training loss of each completed epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Best epoch loss seen so far (early stopping).
+    pub best_loss: f32,
+    /// Epochs since `best_loss` improved (early stopping).
+    pub epochs_since_best: usize,
+}
+
+impl TrainCheckpoint {
+    /// Atomically writes the checkpoint as JSON (temp file + rename), so a
+    /// crash mid-save leaves the previous checkpoint intact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = path.with_extension("tmp");
+        {
+            use io::Write;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(json.as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a checkpoint; `Ok(None)` when the file does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures; a present-but-unparsable file is
+    /// `InvalidData`.
+    pub fn load(path: &Path) -> io::Result<Option<TrainCheckpoint>> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        serde_json::from_str(&text)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Where and how often [`Trainer::fit_with_checkpoint`] persists progress.
+struct CheckpointCtx<'a> {
+    path: &'a Path,
+    every: usize,
+}
+
 /// Cached handle for the `nn.trainer.epochs` counter.
 fn epochs_counter() -> &'static std::sync::Arc<neusight_obs::Counter> {
     static COUNTER: std::sync::OnceLock<std::sync::Arc<neusight_obs::Counter>> =
@@ -194,8 +314,69 @@ impl Trainer {
     /// Panics if `data` is empty, if the MLP's output dimension differs
     /// from `head.raw_dim()`, or if samples have inconsistent feature
     /// widths.
-    #[allow(clippy::cast_precision_loss)]
     pub fn fit(&self, mlp: &mut Mlp, head: &dyn Head, loss: Loss, data: &Dataset) -> TrainReport {
+        match self.fit_inner(mlp, head, loss, data, None) {
+            Ok(report) => report,
+            // Without a checkpoint context there is no I/O and no
+            // interrupt point, so the loop cannot fail.
+            Err(e) => unreachable!("uncheckpointed training cannot fail: {e}"),
+        }
+    }
+
+    /// Like [`fit`](Trainer::fit), but persists a [`TrainCheckpoint`] to
+    /// `path` every `every_epochs` epochs (clamped to ≥ 1) and resumes
+    /// from an existing checkpoint at `path` if one is present. A resumed
+    /// run produces bitwise-identical weights and losses to an
+    /// uninterrupted one: the checkpoint carries the optimizer moments and
+    /// early-stopping state, and the shuffle RNG is replayed from the seed
+    /// past the completed epochs. The file is removed on successful
+    /// completion, so a leftover checkpoint always means "incomplete".
+    ///
+    /// The [`FP_TRAIN_INTERRUPT`] failpoint is checked between epochs;
+    /// when armed it aborts with [`TrainError::Interrupted`], simulating a
+    /// mid-training crash for chaos tests.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Checkpoint`] on save/load I/O failures,
+    /// [`TrainError::Resume`] when the checkpoint belongs to a different
+    /// config or dataset, [`TrainError::Interrupted`] when the failpoint
+    /// fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same dimension/emptiness violations as
+    /// [`fit`](Trainer::fit).
+    pub fn fit_with_checkpoint(
+        &self,
+        mlp: &mut Mlp,
+        head: &dyn Head,
+        loss: Loss,
+        data: &Dataset,
+        path: &Path,
+        every_epochs: usize,
+    ) -> Result<TrainReport, TrainError> {
+        self.fit_inner(
+            mlp,
+            head,
+            loss,
+            data,
+            Some(CheckpointCtx {
+                path,
+                every: every_epochs.max(1),
+            }),
+        )
+    }
+
+    #[allow(clippy::cast_precision_loss, clippy::too_many_lines)]
+    fn fit_inner(
+        &self,
+        mlp: &mut Mlp,
+        head: &dyn Head,
+        loss: Loss,
+        data: &Dataset,
+        ckpt: Option<CheckpointCtx<'_>>,
+    ) -> Result<TrainReport, TrainError> {
         let _span = neusight_obs::span!(
             "fit",
             samples = data.len(),
@@ -218,6 +399,42 @@ impl Trainer {
         let mut best_loss = f32::INFINITY;
         let mut epochs_since_best = 0usize;
         let mut stopped_early = false;
+        let mut start_epoch = 0usize;
+
+        if let Some(ctx) = &ckpt {
+            if let Some(saved) = TrainCheckpoint::load(ctx.path).map_err(TrainError::Checkpoint)? {
+                if saved.version != TRAIN_CHECKPOINT_VERSION {
+                    return Err(TrainError::Resume(format!(
+                        "checkpoint version {} (expected {TRAIN_CHECKPOINT_VERSION})",
+                        saved.version
+                    )));
+                }
+                if saved.config != self.config {
+                    return Err(TrainError::Resume("training config differs".to_owned()));
+                }
+                if saved.data_len != data.len() {
+                    return Err(TrainError::Resume(format!(
+                        "dataset has {} samples, checkpoint trained on {}",
+                        data.len(),
+                        saved.data_len
+                    )));
+                }
+                *mlp = saved.mlp;
+                opt = saved.opt;
+                epoch_losses = saved.epoch_losses;
+                best_loss = saved.best_loss;
+                epochs_since_best = saved.epochs_since_best;
+                start_epoch = saved.epochs_done;
+                // Replay the completed epochs' shuffles so both the RNG
+                // and the persistent index order match an uninterrupted
+                // run exactly.
+                for _ in 0..start_epoch {
+                    order.shuffle(&mut rng);
+                }
+                neusight_obs::metrics::counter("nn.trainer.resumes").inc();
+                neusight_obs::event!("train_resumed", epoch = start_epoch);
+            }
+        }
 
         // Mini-batch buffers are reused across all batches and epochs: at
         // most two sizes ever occur (the full batch and one tail batch),
@@ -231,7 +448,7 @@ impl Trainer {
         );
         let mut tail_bufs: Option<(Matrix, Matrix)> = None;
 
-        for epoch in 0..self.config.epochs {
+        for epoch in start_epoch..self.config.epochs {
             let _epoch_span = neusight_obs::span!("train_epoch", epoch = epoch);
             epochs_counter().inc();
             opt.lr = self
@@ -284,17 +501,55 @@ impl Trainer {
                 if let Some(patience) = self.config.early_stop_patience {
                     if epochs_since_best >= patience {
                         stopped_early = true;
-                        break;
                     }
                 }
             }
+            if let Some(ctx) = &ckpt {
+                let epochs_done = epoch + 1;
+                let finished = stopped_early || epochs_done == self.config.epochs;
+                if !finished && epochs_done % ctx.every == 0 {
+                    TrainCheckpoint {
+                        version: TRAIN_CHECKPOINT_VERSION,
+                        config: self.config.clone(),
+                        data_len: data.len(),
+                        epochs_done,
+                        mlp: mlp.clone(),
+                        opt: opt.clone(),
+                        epoch_losses: epoch_losses.clone(),
+                        best_loss,
+                        epochs_since_best,
+                    }
+                    .save(ctx.path)
+                    .map_err(TrainError::Checkpoint)?;
+                    neusight_obs::metrics::counter("nn.trainer.checkpoints").inc();
+                }
+                if !finished {
+                    if let Some(injected) = neusight_fault::fail_point!(FP_TRAIN_INTERRUPT) {
+                        injected.sleep();
+                        if injected.fail {
+                            return Err(TrainError::Interrupted { epochs_done });
+                        }
+                    }
+                }
+            }
+            if stopped_early {
+                break;
+            }
+        }
+        if let Some(ctx) = &ckpt {
+            match std::fs::remove_file(ctx.path) {
+                Err(e) if e.kind() != io::ErrorKind::NotFound => {
+                    return Err(TrainError::Checkpoint(e));
+                }
+                _ => {}
+            }
         }
         let final_train_loss = epoch_losses.last().copied().unwrap_or(f32::NAN);
-        TrainReport {
+        Ok(TrainReport {
             epoch_losses,
             final_train_loss,
             stopped_early,
-        }
+        })
     }
 
     /// Mean loss of the model on a dataset (no training).
@@ -541,6 +796,149 @@ mod tests {
             assert_eq!(b.to_bits(), scalar.to_bits());
         }
         assert!(predict_batch(&mlp, &AlphaBetaHead, &[]).is_empty());
+    }
+
+    /// Serializes tests that arm (or may observe) the process-global
+    /// fault registry.
+    fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Process-unique temp path for a checkpoint file.
+    fn temp_ckpt(tag: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "neusight-nn-ckpt-{}-{tag}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn small_config() -> TrainConfig {
+        TrainConfig {
+            epochs: 12,
+            batch_size: 16,
+            lr: 5e-3,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn fit_with_checkpoint_completes_and_matches_fit_bitwise() {
+        let _guard = fault_lock();
+        let data = linear_dataset(64);
+        let cfg = small_config();
+        let mut plain = Mlp::new(1, &[16], 1, 3);
+        let plain_report = Trainer::new(cfg.clone()).fit(&mut plain, &DirectHead, Loss::Mse, &data);
+        let path = temp_ckpt("complete");
+        let mut ckpt = Mlp::new(1, &[16], 1, 3);
+        let ckpt_report = Trainer::new(cfg)
+            .fit_with_checkpoint(&mut ckpt, &DirectHead, Loss::Mse, &data, &path, 3)
+            .expect("no faults armed");
+        assert!(!path.exists(), "checkpoint must be removed on completion");
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&ckpt).unwrap(),
+            "checkpointing must not perturb training"
+        );
+        for (a, b) in plain_report
+            .epoch_losses
+            .iter()
+            .zip(&ckpt_report.epoch_losses)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn resume_after_interrupt_is_bit_identical() {
+        let _guard = fault_lock();
+        let data = linear_dataset(64);
+        let cfg = small_config();
+        let mut baseline = Mlp::new(1, &[16], 1, 3);
+        let baseline_report =
+            Trainer::new(cfg.clone()).fit(&mut baseline, &DirectHead, Loss::Mse, &data);
+
+        let path = temp_ckpt("resume");
+        // Kill the run at its 5th between-epoch check (after epoch 5; the
+        // last checkpoint is epoch 4 with every=2).
+        let interrupt = neusight_fault::PointConfig {
+            skip_first: 4,
+            max_fires: Some(1),
+            ..neusight_fault::PointConfig::always()
+        };
+        neusight_fault::configure(
+            &neusight_fault::FaultSpec::empty().with_point(FP_TRAIN_INTERRUPT, interrupt),
+            11,
+        );
+        let mut first = Mlp::new(1, &[16], 1, 3);
+        let err = Trainer::new(cfg.clone())
+            .fit_with_checkpoint(&mut first, &DirectHead, Loss::Mse, &data, &path, 2)
+            .expect_err("armed interrupt must fire");
+        neusight_fault::reset();
+        match err {
+            TrainError::Interrupted { epochs_done } => assert_eq!(epochs_done, 5),
+            other => panic!("unexpected error: {other}"),
+        }
+        assert!(path.exists(), "interrupt must leave a checkpoint behind");
+
+        // Resume into a *differently seeded* fresh network: the restore
+        // must overwrite it completely.
+        let mut resumed = Mlp::new(1, &[16], 1, 99);
+        let resumed_report = Trainer::new(cfg)
+            .fit_with_checkpoint(&mut resumed, &DirectHead, Loss::Mse, &data, &path, 2)
+            .expect("resume completes");
+        assert!(!path.exists());
+        assert_eq!(
+            serde_json::to_string(&baseline).unwrap(),
+            serde_json::to_string(&resumed).unwrap(),
+            "resumed weights must match an uninterrupted run bitwise"
+        );
+        assert_eq!(
+            baseline_report.epoch_losses.len(),
+            resumed_report.epoch_losses.len()
+        );
+        for (a, b) in baseline_report
+            .epoch_losses
+            .iter()
+            .zip(&resumed_report.epoch_losses)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let _guard = fault_lock();
+        let data = linear_dataset(64);
+        let path = temp_ckpt("mismatch");
+        let interrupt = neusight_fault::PointConfig {
+            skip_first: 2,
+            max_fires: Some(1),
+            ..neusight_fault::PointConfig::always()
+        };
+        neusight_fault::configure(
+            &neusight_fault::FaultSpec::empty().with_point(FP_TRAIN_INTERRUPT, interrupt),
+            3,
+        );
+        let mut mlp = Mlp::new(1, &[16], 1, 3);
+        let _ = Trainer::new(small_config())
+            .fit_with_checkpoint(&mut mlp, &DirectHead, Loss::Mse, &data, &path, 1)
+            .expect_err("interrupt fires");
+        neusight_fault::reset();
+
+        let other_cfg = TrainConfig {
+            batch_size: 8,
+            ..small_config()
+        };
+        let err = Trainer::new(other_cfg)
+            .fit_with_checkpoint(&mut mlp, &DirectHead, Loss::Mse, &data, &path, 1)
+            .expect_err("config mismatch must be rejected");
+        assert!(matches!(err, TrainError::Resume(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

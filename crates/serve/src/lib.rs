@@ -43,7 +43,7 @@ pub mod server;
 pub mod service;
 pub mod signal;
 
-pub use client::{Client, ClientResponse};
+pub use client::{Client, ClientResponse, RetriedResponse};
 pub use queue::{BoundedQueue, QueueFull};
 pub use server::{RunningServer, ServeConfig, Server, ServerHandle};
 pub use service::{PredictRequest, PredictResponse, PredictService, ServeError};

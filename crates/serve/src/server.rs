@@ -55,6 +55,9 @@ pub struct ServeConfig {
     /// Install SIGTERM/SIGINT handlers (the CLI sets this; tests use
     /// [`ServerHandle::shutdown`] instead).
     pub handle_signals: bool,
+    /// Predictor circuit-breaker tuning (trip threshold, cooldown,
+    /// half-open probes).
+    pub breaker: neusight_fault::BreakerConfig,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +72,7 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(5),
             service_delay: Duration::ZERO,
             handle_signals: false,
+            breaker: neusight_fault::BreakerConfig::default(),
         }
     }
 }
@@ -157,7 +161,7 @@ impl Server {
             listener,
             addr,
             shared: Arc::new(Shared {
-                service: PredictService::new(ns),
+                service: PredictService::with_breaker(ns, config.breaker),
                 queue,
                 draining: AtomicBool::new(false),
                 dispatcher_stop: AtomicBool::new(false),
@@ -392,17 +396,24 @@ fn route(shared: &Shared, request: &Request) -> Response {
     }
 }
 
-/// `GET /healthz`: liveness plus drain state and queue depth.
+/// `GET /healthz`: liveness plus drain state, queue depth, and the
+/// predictor breaker's state (a breaker that is not `closed` means new
+/// predictions are served degraded).
 fn health(shared: &Shared) -> Response {
     let status = if shared.stop_requested() {
         "draining"
     } else {
         "ok"
     };
+    let breaker = match shared.service.breaker_state() {
+        neusight_fault::BreakerState::Closed => "closed",
+        neusight_fault::BreakerState::HalfOpen => "half-open",
+        neusight_fault::BreakerState::Open => "open",
+    };
     Response::json(
         200,
         format!(
-            "{{\"status\":\"{status}\",\"uptime_s\":{:.3},\"queue_depth\":{},\"queue_capacity\":{}}}",
+            "{{\"status\":\"{status}\",\"uptime_s\":{:.3},\"queue_depth\":{},\"queue_capacity\":{},\"breaker\":\"{breaker}\"}}",
             shared.started.elapsed().as_secs_f64(),
             shared.queue.len(),
             shared.queue.capacity(),
@@ -461,10 +472,12 @@ fn predict(shared: &Shared, request: &Request) -> Response {
     // Margin past the deadline covers the dispatcher's own 504 reply.
     let wait = shared.config.deadline + Duration::from_millis(250);
     match receiver.recv_timeout(wait) {
-        Ok(Ok(response)) => Response::json(
-            200,
-            serde_json::to_string(&response).expect("response serializes"),
-        ),
+        Ok(Ok(response)) => match serde_json::to_string(&response) {
+            Ok(json) => Response::json(200, json),
+            // A response that fails to serialize is a server bug; answer
+            // with a JSON 500 rather than panicking the handler thread.
+            Err(e) => Response::error(500, &format!("response serialization failed: {e}")),
+        },
         Ok(Err(e)) => Response::error(e.status, &e.message),
         Err(_) => {
             shared.metrics.timeouts.inc();

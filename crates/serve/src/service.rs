@@ -3,9 +3,12 @@
 //! repeated requests skip IR construction, and the batched entry point the
 //! micro-batching dispatcher calls.
 
+use neusight_baselines::{OpLatencyPredictor, RooflineBaseline};
 use neusight_core::NeuSight;
+use neusight_fault::{BreakerConfig, BreakerState, CircuitBreaker};
 use neusight_gpu::{catalog, GpuSpec};
 use neusight_graph::{config, workload_graph, Graph};
+use neusight_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -67,6 +70,12 @@ pub struct PredictResponse {
     /// Per-kernel latencies in execution order, milliseconds (only when
     /// the request set `detail`).
     pub per_node_ms: Option<Vec<f64>>,
+    /// `true` when the MLP predictor path was unavailable and this
+    /// response was served by the roofline fallback instead. Degraded
+    /// forecasts are coarser (no learned utilization model) but keep the
+    /// service answering.
+    #[serde(default = "default_false")]
+    pub degraded: bool,
 }
 
 /// A service-level failure, carrying the HTTP status it maps to.
@@ -122,16 +131,31 @@ pub struct PredictService {
     ns: NeuSight,
     graphs: Mutex<HashMap<GraphKey, Arc<Graph>>>,
     specs: Mutex<HashMap<String, GpuSpec>>,
+    /// Degraded-mode fallback: an analytical model with no learned state,
+    /// so it cannot share whatever failure mode took the MLP path down.
+    baseline: RooflineBaseline,
+    /// Trips after consecutive MLP-path failures; while open, requests go
+    /// straight to the roofline fallback without touching the predictor.
+    breaker: CircuitBreaker,
 }
 
 impl PredictService {
-    /// Wraps a trained framework.
+    /// Wraps a trained framework with the default breaker tuning.
     #[must_use]
     pub fn new(ns: NeuSight) -> PredictService {
+        PredictService::with_breaker(ns, BreakerConfig::default())
+    }
+
+    /// Wraps a trained framework with explicit breaker tuning.
+    #[must_use]
+    pub fn with_breaker(ns: NeuSight, config: BreakerConfig) -> PredictService {
+        let baseline = RooflineBaseline::new(ns.dtype());
         PredictService {
             ns,
             graphs: Mutex::new(HashMap::new()),
             specs: Mutex::new(HashMap::new()),
+            baseline,
+            breaker: CircuitBreaker::new("serve.predict", config),
         }
     }
 
@@ -139,6 +163,12 @@ impl PredictService {
     #[must_use]
     pub fn neusight(&self) -> &NeuSight {
         &self.ns
+    }
+
+    /// Current state of the predictor circuit breaker.
+    #[must_use]
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
     }
 
     /// Canonical workload name for a request's `model` field.
@@ -172,21 +202,33 @@ impl PredictService {
     }
 
     /// The (cached) kernel graph for a resolved request.
-    fn graph(&self, canonical: &str, batch: u64, train: bool, fused: bool) -> Arc<Graph> {
+    ///
+    /// # Errors
+    ///
+    /// 500 if graph construction fails for a name that resolved — a
+    /// service bug, but one that must answer as JSON, not a panic.
+    fn graph(
+        &self,
+        canonical: &str,
+        batch: u64,
+        train: bool,
+        fused: bool,
+    ) -> Result<Arc<Graph>, ServeError> {
         let key = (canonical.to_owned(), batch, train, fused);
         let mut graphs = self.graphs.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(graph) = graphs.get(&key) {
-            return Arc::clone(graph);
+            return Ok(Arc::clone(graph));
         }
-        let graph =
-            workload_graph(canonical, batch, train).expect("canonical names always build a graph");
+        let graph = workload_graph(canonical, batch, train).map_err(|e| {
+            ServeError::internal(format!("graph construction failed for `{canonical}`: {e}"))
+        })?;
         let graph = Arc::new(if fused {
             neusight_graph::fuse_graph(&graph)
         } else {
             graph
         });
         graphs.insert(key, Arc::clone(&graph));
-        graph
+        Ok(graph)
     }
 
     /// Serves a whole micro-batch of predict requests with **one**
@@ -201,7 +243,7 @@ impl PredictService {
         // Resolve every request first; unresolvable ones fail without
         // poisoning the rest of the batch.
         type Resolved = (String, GpuSpec, Arc<Graph>);
-        let mut resolved: Vec<Result<Resolved, ServeError>> = requests
+        let resolved: Vec<Result<Resolved, ServeError>> = requests
             .iter()
             .map(|req| {
                 if req.batch == 0 {
@@ -209,7 +251,7 @@ impl PredictService {
                 }
                 let model = Self::canonical_model(&req.model)?;
                 let spec = self.resolve_gpu(&req.gpu)?;
-                let graph = self.graph(&model, req.batch, req.train, req.fused);
+                let graph = self.graph(&model, req.batch, req.train, req.fused)?;
                 Ok((model, spec, graph))
             })
             .collect();
@@ -219,33 +261,58 @@ impl PredictService {
             .filter_map(|r| r.as_ref().ok())
             .map(|(_, spec, graph)| (graph.as_ref(), spec))
             .collect();
-        let predictions = if jobs.is_empty() {
-            Ok(Vec::new())
-        } else {
-            self.ns.predict_graph_batch(&jobs)
-        };
-        let mut predictions = match predictions {
-            Ok(p) => p.into_iter(),
-            Err(e) => {
-                // Launch planning failed — fail every resolvable request.
-                let err = ServeError::internal(format!("prediction failed: {e}"));
-                for slot in &mut resolved {
-                    if slot.is_ok() {
-                        *slot = Err(err.clone());
+
+        // MLP path, guarded by the circuit breaker. Any failure — or an
+        // open breaker — degrades the whole micro-batch to the roofline
+        // fallback instead of dropping it.
+        let mut degraded = false;
+        let mut predictions = Vec::new().into_iter();
+        if !jobs.is_empty() {
+            if self.breaker.allow() {
+                match self.ns.predict_graph_batch(&jobs) {
+                    Ok(p) => {
+                        self.breaker.record_success();
+                        predictions = p.into_iter();
+                    }
+                    Err(e) => {
+                        self.breaker.record_failure();
+                        obs::metrics::counter("serve.predict.mlp_failures").inc();
+                        obs::event!("predict_degraded", reason = e);
+                        degraded = true;
                     }
                 }
-                Vec::new().into_iter()
+            } else {
+                obs::metrics::counter("serve.predict.breaker_short_circuit").inc();
+                degraded = true;
             }
-        };
+        }
 
         requests
             .iter()
             .zip(resolved)
             .map(|(req, slot)| {
                 let (model, spec, graph) = slot?;
-                let pred = predictions.next().expect("one prediction per resolved job");
+                let (total_s, forward_s, backward_s, per_node_s) = if degraded {
+                    obs::metrics::counter("serve.degraded.responses").inc();
+                    let lat = self.baseline.predict_graph(&graph, &spec);
+                    let per_node_s: Vec<f64> = graph
+                        .iter()
+                        .map(|node| self.baseline.predict_op(&node.op, &spec))
+                        .collect();
+                    (lat.total_s, lat.forward_s, lat.backward_s, per_node_s)
+                } else {
+                    let pred = predictions.next().ok_or_else(|| {
+                        ServeError::internal("prediction missing for resolved job")
+                    })?;
+                    (
+                        pred.total_s,
+                        pred.forward_s,
+                        pred.backward_s,
+                        pred.per_node_s,
+                    )
+                };
                 let mut per_family_ms: BTreeMap<String, f64> = BTreeMap::new();
-                for (node, lat) in graph.iter().zip(&pred.per_node_s) {
+                for (node, lat) in graph.iter().zip(&per_node_s) {
                     *per_family_ms
                         .entry(node.op.op_class().name().to_owned())
                         .or_insert(0.0) += lat * 1e3;
@@ -257,13 +324,14 @@ impl PredictService {
                     mode: if req.train { "training" } else { "inference" }.to_owned(),
                     fused: req.fused,
                     kernels: graph.len(),
-                    total_ms: pred.total_s * 1e3,
-                    forward_ms: pred.forward_s * 1e3,
-                    backward_ms: pred.backward_s * 1e3,
+                    total_ms: total_s * 1e3,
+                    forward_ms: forward_s * 1e3,
+                    backward_ms: backward_s * 1e3,
                     per_family_ms,
                     per_node_ms: req
                         .detail
-                        .then(|| pred.per_node_s.iter().map(|s| s * 1e3).collect()),
+                        .then(|| per_node_s.iter().map(|s| s * 1e3).collect()),
+                    degraded,
                 })
             })
             .collect()
@@ -344,17 +412,29 @@ mod tests {
     use super::*;
     use neusight_core::NeuSightConfig;
     use neusight_data::{collect_training_set, training_gpus, SweepScale};
+    use neusight_fault::{FaultSpec, PointConfig};
     use neusight_gpu::DType;
     use std::sync::OnceLock;
+    use std::time::Duration;
+
+    fn trained() -> NeuSight {
+        static CELL: OnceLock<NeuSight> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let data = collect_training_set(&training_gpus(), SweepScale::Tiny, DType::F32);
+            NeuSight::train(&data, &NeuSightConfig::tiny()).expect("tiny training")
+        })
+        .clone()
+    }
 
     fn service() -> &'static PredictService {
         static CELL: OnceLock<PredictService> = OnceLock::new();
-        CELL.get_or_init(|| {
-            let data = collect_training_set(&training_gpus(), SweepScale::Tiny, DType::F32);
-            PredictService::new(
-                NeuSight::train(&data, &NeuSightConfig::tiny()).expect("tiny training"),
-            )
-        })
+        CELL.get_or_init(|| PredictService::new(trained()))
+    }
+
+    /// Serializes tests that arm the process-global fault registry.
+    fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn req(model: &str, gpu: &str, batch: u64, train: bool) -> PredictRequest {
@@ -385,6 +465,7 @@ mod tests {
 
     #[test]
     fn batch_predictions_match_direct_predict_graph_bitwise() {
+        let _guard = fault_lock();
         let svc = service();
         let spec = catalog::gpu("V100").unwrap();
         let requests = vec![
@@ -416,6 +497,7 @@ mod tests {
 
     #[test]
     fn bad_requests_fail_without_poisoning_the_batch() {
+        let _guard = fault_lock();
         let svc = service();
         let out = svc.predict_batch(&[
             req("gpt2", "V100", 1, false),
@@ -433,6 +515,7 @@ mod tests {
 
     #[test]
     fn detail_flag_includes_per_node_vector() {
+        let _guard = fault_lock();
         let svc = service();
         let mut with_detail = req("bert", "T4", 1, false);
         with_detail.detail = true;
@@ -443,6 +526,80 @@ mod tests {
         assert_eq!(nodes.len(), detailed.kernels);
         assert!(plain.per_node_ms.is_none());
         assert_eq!(detailed.total_ms.to_bits(), plain.total_ms.to_bits());
+    }
+
+    /// Arms `core.predict.mlp` so every MLP-path call fails.
+    fn arm_mlp_faults() {
+        neusight_fault::configure(
+            &FaultSpec::empty().with_point("core.predict.mlp", PointConfig::always()),
+            7,
+        );
+    }
+
+    #[test]
+    fn degraded_fallback_matches_roofline_bitwise() {
+        let _guard = fault_lock();
+        let svc = PredictService::new(trained());
+        arm_mlp_faults();
+        let out = svc.predict_batch(&[req("gpt2", "V100", 2, false)]);
+        neusight_fault::reset();
+        let resp = out[0].as_ref().expect("degraded, not dropped");
+        assert!(resp.degraded);
+        // The degraded forecast is exactly the roofline baseline — an
+        // independent computation over the same graph must match bitwise.
+        let spec = catalog::gpu("V100").unwrap();
+        let graph = neusight_graph::inference_graph(&config::gpt2_large(), 2);
+        let roofline = RooflineBaseline::new(svc.neusight().dtype());
+        let lat = roofline.predict_graph(&graph, &spec);
+        assert_eq!(resp.total_ms.to_bits(), (lat.total_s * 1e3).to_bits());
+        assert_eq!(resp.forward_ms.to_bits(), (lat.forward_s * 1e3).to_bits());
+    }
+
+    #[test]
+    fn breaker_trips_then_short_circuits_while_open() {
+        let _guard = fault_lock();
+        let svc = PredictService::with_breaker(
+            trained(),
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(3600),
+                half_open_probes: 1,
+            },
+        );
+        arm_mlp_faults();
+        for _ in 0..2 {
+            let out = svc.predict_batch(&[req("gpt2", "V100", 1, false)]);
+            assert!(out[0].as_ref().unwrap().degraded);
+        }
+        neusight_fault::reset();
+        assert_eq!(svc.breaker_state(), BreakerState::Open);
+        // Faults are gone, but the open breaker still short-circuits to
+        // the fallback instead of touching the predictor.
+        let out = svc.predict_batch(&[req("gpt2", "V100", 1, false)]);
+        assert!(out[0].as_ref().unwrap().degraded);
+        assert_eq!(svc.breaker_state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_probe() {
+        let _guard = fault_lock();
+        let svc = PredictService::with_breaker(
+            trained(),
+            BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::ZERO,
+                half_open_probes: 1,
+            },
+        );
+        arm_mlp_faults();
+        let out = svc.predict_batch(&[req("gpt2", "V100", 1, false)]);
+        assert!(out[0].as_ref().unwrap().degraded);
+        neusight_fault::reset();
+        // Cooldown elapsed (zero), so the next batch is a half-open probe;
+        // with faults disarmed it succeeds and closes the breaker.
+        let out = svc.predict_batch(&[req("gpt2", "V100", 1, false)]);
+        assert!(!out[0].as_ref().unwrap().degraded);
+        assert_eq!(svc.breaker_state(), BreakerState::Closed);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub use neusight_baselines as baselines;
 pub use neusight_core as core;
 pub use neusight_data as data;
 pub use neusight_dist as dist;
+pub use neusight_fault as fault;
 pub use neusight_gpu as gpu;
 pub use neusight_graph as graph;
 pub use neusight_nn as nn;

@@ -193,3 +193,86 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Decorrelated-jitter backoff: every delay lands in `[base, cap]`,
+    /// and the whole sequence is a pure function of the seed.
+    #[test]
+    fn backoff_respects_bounds_and_seed(
+        seed in 0u64..u64::MAX,
+        base_us in 0u64..5_000,
+        extra_us in 1u64..50_000,
+    ) {
+        use std::time::Duration;
+        let base = Duration::from_micros(base_us);
+        let cap = base + Duration::from_micros(extra_us);
+        let mut first = neusight::fault::Backoff::new(base, cap, seed);
+        let mut replay = neusight::fault::Backoff::new(base, cap, seed);
+        // `new` clamps a zero base to 1 ns; bounds must hold against the
+        // effective base.
+        let floor = base.max(Duration::from_nanos(1));
+        for step in 0..24 {
+            let delay = first.next_delay();
+            prop_assert!(delay >= floor, "step {step}: {delay:?} below base {floor:?}");
+            prop_assert!(delay <= cap, "step {step}: {delay:?} above cap {cap:?}");
+            prop_assert_eq!(delay, replay.next_delay(), "seeded sequence must replay");
+        }
+    }
+
+    /// Resuming a collection sweep from ANY partial checkpoint — any
+    /// subset of completed items, i.e. any interrupt point — finishes to
+    /// a dataset bit-identical to an uninterrupted run.
+    #[test]
+    fn collection_resumes_bit_identical_from_any_checkpoint(
+        done_mask in prop::collection::vec(0u32..2, 8..9),
+        dims in prop::collection::vec(16u64..128, 4..5),
+    ) {
+        let gpus: Vec<SimulatedGpu> = ["V100", "T4"]
+            .iter()
+            .map(|n| SimulatedGpu::from_catalog(n).expect("catalog"))
+            .collect();
+        let ops: Vec<OpDesc> = dims.iter().map(|&d| OpDesc::bmm(1, d, d, d)).collect();
+        let refs: Vec<&OpDesc> = ops.iter().collect();
+        let baseline = neusight::data::collect(&gpus, &refs, DType::F32);
+
+        // Forge the checkpoint an interrupted run would have left: the
+        // masked subset of the grid already measured, the rest pending.
+        let fingerprint = neusight::data::sweep_fingerprint(
+            &gpus, &refs, DType::F32, neusight::data::MEASUREMENT_RUNS,
+        );
+        let total = gpus.len() * refs.len();
+        let mut partial = neusight::data::CollectCheckpoint::new(fingerprint, total);
+        partial.absorb(
+            baseline
+                .records()
+                .iter()
+                .enumerate()
+                .zip(&done_mask)
+                .filter(|(_, done)| **done == 1)
+                .map(|((item, record), _)| neusight::data::CompletedItem {
+                    item,
+                    record: record.clone(),
+                })
+                .collect(),
+        );
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "neusight-prop-resume-{}-{}.json",
+            std::process::id(),
+            done_mask.iter().sum::<u32>()
+        ));
+        partial.save(&path).expect("save forged checkpoint");
+
+        let config = neusight::data::ResumableConfig::new(path.clone());
+        let resumed = neusight::data::collect_resumable(&gpus, &refs, DType::F32, &config)
+            .expect("resume completes");
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(
+            serde_json::to_string(&baseline).unwrap(),
+            serde_json::to_string(&resumed).unwrap(),
+            "resume from an arbitrary interrupt point must be bit-identical"
+        );
+    }
+}
