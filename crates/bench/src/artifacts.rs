@@ -42,9 +42,22 @@ fn log(msg: &str) {
     eprintln!("[artifacts] {msg}");
 }
 
+/// Reads a cached artifact: checksummed envelope or (with a warning
+/// counter) a legacy bare-JSON file from before the envelope existed.
+/// Corrupt or unreadable caches are treated as a miss — the artifact is
+/// simply rebuilt.
 fn load_json<T: serde::de::DeserializeOwned>(path: &Path) -> Option<T> {
-    let text = fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
+    let bytes = fs::read(path).ok()?;
+    let origin = path.display().to_string();
+    let decoded = match neusight_guard::envelope::decode(&bytes, &origin) {
+        Ok(decoded) => decoded,
+        Err(e) => {
+            log(&format!("warning: ignoring corrupt cache {origin}: {e}"));
+            return None;
+        }
+    };
+    let text = std::str::from_utf8(&decoded.payload).ok()?;
+    serde_json::from_str(text).ok()
 }
 
 fn save_json<T: serde::Serialize>(path: &Path, value: &T) {
@@ -53,7 +66,7 @@ fn save_json<T: serde::Serialize>(path: &Path, value: &T) {
     }
     match serde_json::to_string(value) {
         Ok(json) => {
-            if let Err(e) = fs::write(path, json) {
+            if let Err(e) = neusight_guard::envelope::write_artifact(path, json.as_bytes()) {
                 log(&format!("warning: could not cache {}: {e}", path.display()));
             }
         }
@@ -67,7 +80,7 @@ fn save_json<T: serde::Serialize>(path: &Path, value: &T) {
 /// Loads (or measures) the kernel dataset for a named GPU fleet.
 fn dataset_for(tag: &str, gpus: &[SimulatedGpu]) -> KernelDataset {
     let path = artifacts_dir().join(tag).join("dataset.json");
-    if let Ok(ds) = KernelDataset::load_json(&path) {
+    if let Some(ds) = load_json::<KernelDataset>(&path) {
         log(&format!("loaded {} ({} records)", path.display(), ds.len()));
         return ds;
     }
@@ -82,9 +95,7 @@ fn dataset_for(tag: &str, gpus: &[SimulatedGpu]) -> KernelDataset {
         ds.len(),
         start.elapsed().as_secs_f64()
     ));
-    if let Err(e) = ds.save_json(&path) {
-        log(&format!("warning: could not cache dataset: {e}"));
-    }
+    save_json(&path, &ds);
     ds
 }
 

@@ -182,6 +182,12 @@ fn check_serve_metrics(text: &str) -> Result<(), String> {
         sample_sum(&samples, &["neusight_serve_request_latency_ns_count"]) > 0.0,
         "request-latency histogram is empty",
     )?;
+    check(
+        samples
+            .iter()
+            .any(|(name, _)| name.starts_with("neusight_guard_law_clamps")),
+        "`neusight_guard_law_clamps` is missing — predictions are not running under the law guard",
+    )?;
     println!("serve metrics OK: {} samples", samples.len());
     Ok(())
 }
@@ -218,6 +224,31 @@ fn check_chaos_metrics(text: &str) -> Result<(), String> {
         }
     }
     println!("chaos metrics OK: {} samples", samples.len());
+    Ok(())
+}
+
+/// Metrics scraped from a run with the `guard.panic` failpoint armed
+/// (the CI guard smoke step): panics were actually injected, caught, and
+/// survived by restarts, and the performance-law clamp counter is
+/// exported (it may legitimately be zero — the law guard only fires on
+/// broken predictors — but the metric must exist).
+fn check_guard_metrics(text: &str) -> Result<(), String> {
+    let samples = parse_exposition(text)?;
+    check(
+        sample_sum(&samples, &["neusight_guard_panics"]) > 0.0,
+        "`neusight_guard_panics` is zero — injected panics were never caught",
+    )?;
+    check(
+        sample_sum(&samples, &["neusight_guard_worker_restarts"]) > 0.0,
+        "`neusight_guard_worker_restarts` is zero — no supervised unit was restarted",
+    )?;
+    check(
+        samples
+            .iter()
+            .any(|(name, _)| name.starts_with("neusight_guard_law_clamps")),
+        "`neusight_guard_law_clamps` sample is missing from the exposition",
+    )?;
+    println!("guard metrics OK: {} samples", samples.len());
     Ok(())
 }
 
@@ -272,12 +303,13 @@ fn main() -> ExitCode {
                 check_serve_metrics(&read(metrics_path)?)
             }
             [mode, metrics_path] if mode == "chaos" => check_chaos_metrics(&read(metrics_path)?),
+            [mode, metrics_path] if mode == "guard" => check_guard_metrics(&read(metrics_path)?),
             [trace_path, metrics_path] => {
                 check_trace(&read(trace_path)?)?;
                 check_metrics(&read(metrics_path)?)
             }
             _ => Err(
-                "usage: obscheck TRACE.json METRICS.prom | obscheck serve PREDICT.json METRICS.prom | obscheck chaos METRICS.prom"
+                "usage: obscheck TRACE.json METRICS.prom | obscheck serve PREDICT.json METRICS.prom | obscheck chaos METRICS.prom | obscheck guard METRICS.prom"
                     .to_owned(),
             ),
         }
@@ -347,8 +379,15 @@ mod tests {
                     # TYPE neusight_serve_request_latency_ns histogram\n\
                     neusight_serve_request_latency_ns_bucket{le=\"+Inf\"} 12\n\
                     neusight_serve_request_latency_ns_sum 240000\n\
-                    neusight_serve_request_latency_ns_count 12\n";
+                    neusight_serve_request_latency_ns_count 12\n\
+                    # TYPE neusight_guard_law_clamps counter\n\
+                    neusight_guard_law_clamps 0\n";
         assert!(check_serve_metrics(good).is_ok());
+        // A server whose predictions bypass the law guard is miswired.
+        let unguarded = good
+            .replace("# TYPE neusight_guard_law_clamps counter\n", "")
+            .replace("neusight_guard_law_clamps 0\n", "");
+        assert!(check_serve_metrics(&unguarded).is_err());
         let idle = "# TYPE neusight_serve_http_requests counter\n\
                     neusight_serve_http_requests 0\n";
         assert!(check_serve_metrics(idle).is_err());
@@ -381,6 +420,27 @@ mod tests {
         let bad_state = good.replace("breaker_state 0", "breaker_state 7");
         assert!(check_chaos_metrics(&bad_state).is_err());
         assert!(check_chaos_metrics("").is_err());
+    }
+
+    #[test]
+    fn guard_metrics_require_caught_panics_and_exported_clamp_counter() {
+        let good = "# TYPE neusight_guard_panics counter\n\
+                    neusight_guard_panics 5\n\
+                    # TYPE neusight_guard_worker_restarts counter\n\
+                    neusight_guard_worker_restarts 5\n\
+                    # TYPE neusight_guard_law_clamps counter\n\
+                    neusight_guard_law_clamps 0\n";
+        assert!(check_guard_metrics(good).is_ok());
+        // No caught panics means the failpoint never reached a guard.
+        let quiet = good.replace("neusight_guard_panics 5", "neusight_guard_panics 0");
+        assert!(check_guard_metrics(&quiet).is_err());
+        // The clamp counter must at least be exported.
+        let unclamped = "# TYPE neusight_guard_panics counter\n\
+                         neusight_guard_panics 5\n\
+                         # TYPE neusight_guard_worker_restarts counter\n\
+                         neusight_guard_worker_restarts 5\n";
+        assert!(check_guard_metrics(unclamped).is_err());
+        assert!(check_guard_metrics("").is_err());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! neusight serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!                  [--deadline-ms N] [--max-batch N] [--predictor FILE]
 //! neusight chaos   [--fault-spec SPEC] [--fault-seed N] [--scale tiny|standard]
+//! neusight verify-artifacts [DIR-OR-FILE]
 //! ```
 //!
 //! A trained predictor is cached at `neusight-predictor.json` in the
@@ -101,6 +102,7 @@ fn main() -> ExitCode {
         Some("serving") => cmd_serving(&args),
         Some("serve") => cmd_serve(&args),
         Some("chaos") => cmd_chaos(&args),
+        Some("verify-artifacts") => cmd_verify_artifacts(&args),
         Some("export-dot") => cmd_export_dot(&args),
         Some(other) => Err(ArgError(format!("unknown command `{other}`")).into()),
         None => {
@@ -195,6 +197,7 @@ fn print_usage() {
            serving      forecast TTFT and tokens/second for generation\n\
            serve        run the HTTP prediction service (see --addr etc.)\n\
            chaos        run a collection sweep under injected faults\n\
+           verify-artifacts  check artifact checksums under a dir (or one file)\n\
            export-dot   print a model's kernel graph in Graphviz DOT\n\n\
          global flags:\n\
            --predictor FILE      predictor path (default neusight-predictor.json)\n\
@@ -734,7 +737,10 @@ fn cmd_chaos(args: &Args) -> CliResult {
         .counters
         .iter()
         .filter(|(name, value)| {
-            **value > 0 && (name.starts_with("fault.") || name.starts_with("data.collect."))
+            **value > 0
+                && (name.starts_with("fault.")
+                    || name.starts_with("data.collect.")
+                    || name.starts_with("guard."))
         })
         .collect();
     if !relevant.is_empty() {
@@ -745,6 +751,116 @@ fn cmd_chaos(args: &Args) -> CliResult {
     }
     neusight_fault::reset();
     Ok(())
+}
+
+/// Rides the vendored `serde_json` parser to check syntactic validity
+/// (the facade has no `Deserialize for Value`, so a newtype adapts it).
+struct AnyJson;
+
+impl serde::Deserialize for AnyJson {
+    fn from_value(_: &serde::value::Value) -> Result<AnyJson, serde::Error> {
+        Ok(AnyJson)
+    }
+}
+
+/// One artifact's verification verdict.
+enum Verdict {
+    /// Envelope present, checksum and payload JSON both good.
+    Sealed,
+    /// Pre-envelope bare JSON; readable, but carries no checksum.
+    Legacy,
+    /// Corrupt, truncated, or unreadable — with the reason.
+    Failed(String),
+}
+
+fn verify_artifact(path: &Path) -> Verdict {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) => return Verdict::Failed(format!("unreadable: {e}")),
+    };
+    let decoded = match neusight_guard::envelope::decode(&bytes, &path.display().to_string()) {
+        Ok(decoded) => decoded,
+        Err(e) => return Verdict::Failed(e.to_string()),
+    };
+    // The checksum proves the payload is what the writer wrote; a JSON
+    // parse on top catches legacy files (no checksum to rely on) and
+    // corruption that happens to mimic the legacy shape, e.g. a flipped
+    // magic byte demoting an envelope to "bare JSON".
+    let text = match std::str::from_utf8(&decoded.payload) {
+        Ok(text) => text,
+        Err(e) => return Verdict::Failed(format!("payload is not UTF-8: {e}")),
+    };
+    if let Err(e) = serde_json::from_str::<AnyJson>(text) {
+        return Verdict::Failed(format!("payload is not valid JSON: {e}"));
+    }
+    if decoded.legacy {
+        Verdict::Legacy
+    } else {
+        Verdict::Sealed
+    }
+}
+
+/// Collects every `.json` file under `root` (or `root` itself when it is
+/// a file), depth-first, in sorted order for stable output.
+fn artifact_files(root: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    if root.is_file() {
+        return Ok(vec![root.to_path_buf()]);
+    }
+    let mut files = Vec::new();
+    let mut dirs = vec![root.to_path_buf()];
+    while let Some(dir) = dirs.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                dirs.push(path);
+            } else if path.extension().is_some_and(|ext| ext == "json") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Verifies every artifact under a directory (default `artifacts/`):
+/// envelope checksums must match and payloads must parse. Exits non-zero
+/// naming each corrupt file (`neusight verify-artifacts`).
+fn cmd_verify_artifacts(args: &Args) -> CliResult {
+    let root = Path::new(args.positional(1).unwrap_or("artifacts"));
+    if !root.exists() {
+        return Err(ArgError(format!("no such file or directory `{}`", root.display())).into());
+    }
+    let files = artifact_files(root)?;
+    if files.is_empty() {
+        println!("no .json artifacts under {}", root.display());
+        return Ok(());
+    }
+    let mut failed: Vec<String> = Vec::new();
+    let mut legacy = 0usize;
+    for path in &files {
+        match verify_artifact(path) {
+            Verdict::Sealed => println!("OK    {}", path.display()),
+            Verdict::Legacy => {
+                legacy += 1;
+                println!("WARN  {} (legacy bare JSON, no checksum)", path.display());
+            }
+            Verdict::Failed(reason) => {
+                println!("FAIL  {} ({reason})", path.display());
+                failed.push(path.display().to_string());
+            }
+        }
+    }
+    println!(
+        "{} artifact(s): {} ok, {legacy} legacy, {} failed",
+        files.len(),
+        files.len() - legacy - failed.len(),
+        failed.len()
+    );
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("artifact verification failed: {}", failed.join(", ")).into())
+    }
 }
 
 fn cmd_export_dot(args: &Args) -> CliResult {

@@ -19,6 +19,11 @@ pub enum CoreError {
     Io(io::Error),
     /// Artifact deserialization failure.
     Format(String),
+    /// An input rejected at the prediction entry point (non-finite,
+    /// zero-sized, or otherwise physically meaningless); the message
+    /// names the offending field. Serving layers map this to a 422, not
+    /// a 500.
+    InvalidInput(String),
     /// A fault-injection failpoint fired in the prediction path (chaos
     /// testing); callers should treat this as a transient predictor
     /// failure.
@@ -37,6 +42,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Io(e) => write!(f, "i/o error: {e}"),
             CoreError::Format(detail) => write!(f, "artifact format error: {detail}"),
+            CoreError::InvalidInput(detail) => write!(f, "invalid input: {detail}"),
             CoreError::FaultInjected(e) => write!(f, "predictor fault: {e}"),
         }
     }

@@ -6,7 +6,7 @@ use crate::error::{CoreError, Result};
 use crate::predictor::{KernelPredictor, PredictorConfig};
 use crate::tiledb::TileDatabase;
 use neusight_gpu::{
-    num_tiles, num_waves, DType, GpuSpec, KernelDataset, KernelLaunch, OpClass, OpDesc,
+    num_tiles, num_waves, roofline, DType, GpuSpec, KernelDataset, KernelLaunch, OpClass, OpDesc,
 };
 use neusight_graph::{Graph, Phase};
 use neusight_obs as obs;
@@ -90,6 +90,35 @@ fn core_metrics() -> &'static CoreMetrics {
         cache_eviction: obs::metrics::counter("core.predict_cache.eviction"),
         cache_size: obs::metrics::gauge("core.predict_cache.size"),
     })
+}
+
+/// The performance-law floor for one kernel: the roofline lower bound
+/// (Eq. 1) or the launch-overhead floor, whichever is higher. An MLP
+/// output below this is physically impossible and gets clamped (and
+/// counted) by [`neusight_guard::law::enforce_floor`] — the paper's
+/// bounding mechanism promoted to a runtime invariant, so a corrupted
+/// or drifted predictor can never report a latency the hardware could
+/// not produce. Applied identically on the scalar and batched MLP
+/// paths, preserving their bitwise equality.
+fn law_floor(op: &OpDesc, dtype: DType, spec: &GpuSpec) -> f64 {
+    roofline::ideal_latency(op, dtype, spec).max(roofline::launch_overhead_floor(spec))
+}
+
+/// Rejects operator descriptors that are physically meaningless before
+/// they reach launch planning or the MLPs: non-finite or negative FLOP
+/// counts (u64 dims can overflow into `inf` when multiplied as `f64`)
+/// and zero/non-finite memory traffic (a kernel that moves no bytes
+/// does not exist).
+fn validate_op(op: &OpDesc, dtype: DType) -> Result<()> {
+    let flops = op.flops();
+    if !flops.is_finite() || flops < 0.0 {
+        return Err(CoreError::InvalidInput(format!(
+            "field `flops`: must be finite and non-negative, got {flops} for {op}"
+        )));
+    }
+    neusight_guard::validate::require_finite_positive("memory_bytes", op.memory_bytes(dtype))
+        .map_err(|e| CoreError::InvalidInput(format!("{e} for {op}")))?;
+    Ok(())
 }
 
 /// Records a predicted latency into the per-family histogram
@@ -336,6 +365,7 @@ impl NeuSight {
     ///
     /// Propagates launch-planning errors.
     pub fn predict_op_uncached(&self, op: &OpDesc, spec: &GpuSpec) -> Result<f64> {
+        validate_op(op, self.dtype)?;
         let class = op.op_class();
         if class == OpClass::MemoryBound || op.flops() <= 0.0 {
             return Ok(op.memory_bytes(self.dtype) / spec.memory_bw());
@@ -344,7 +374,13 @@ impl NeuSight {
             return Ok(op.memory_bytes(self.dtype) / spec.memory_bw());
         };
         let launch = self.plan_launch(op, spec)?;
-        Ok(predictor.predict_latency(op, &launch, self.dtype, spec))
+        let lat = predictor.predict_latency(op, &launch, self.dtype, spec);
+        // The memory-bound fallback above *is* a performance law, so only
+        // MLP outputs pass through the guard.
+        Ok(neusight_guard::law::enforce_floor(
+            lat,
+            law_floor(op, self.dtype, spec),
+        ))
     }
 
     /// Drops all memoized predictions (e.g. between benchmark iterations).
@@ -456,6 +492,7 @@ impl NeuSight {
                     let next = unique.len();
                     let slot = *slot_of.entry((gpu, &node.op)).or_insert(next);
                     if slot == next {
+                        validate_op(&node.op, self.dtype)?;
                         unique.push((gpu, &node.op));
                     }
                     slots.push(slot);
@@ -517,6 +554,13 @@ impl NeuSight {
                 .collect();
             let lats = predictor.predict_latency_batch(&kernels, self.dtype, spec);
             for ((slot, _), lat) in items.iter().zip(lats) {
+                // Same law guard as the scalar path, same floor, applied
+                // to the same f64 — batched predictions stay bitwise
+                // identical to `predict_op_uncached`.
+                let lat = neusight_guard::law::enforce_floor(
+                    lat,
+                    law_floor(unique[*slot].1, self.dtype, spec),
+                );
                 if obs::enabled() {
                     record_family_latency(class_name, lat);
                 }
@@ -558,7 +602,10 @@ impl NeuSight {
     }
 
     /// Persists the trained framework (predictor weights, scalers, tile
-    /// database) to a JSON file.
+    /// database) as JSON wrapped in the checksummed
+    /// [`neusight_guard::envelope`], so any later corruption of the file
+    /// is detected at load time instead of producing
+    /// plausible-but-wrong latencies.
     ///
     /// # Errors
     ///
@@ -568,18 +615,44 @@ impl NeuSight {
             fs::create_dir_all(parent)?;
         }
         let json = serde_json::to_string(self).map_err(|e| CoreError::Format(e.to_string()))?;
-        fs::write(path, json)?;
+        neusight_guard::envelope::write_artifact(path, json.as_bytes()).map_err(|e| match e {
+            neusight_guard::GuardError::Io(io) => CoreError::Io(io),
+            other => CoreError::Format(other.to_string()),
+        })?;
         Ok(())
     }
 
-    /// Loads a framework saved by [`NeuSight::save`].
+    /// Loads a framework saved by [`NeuSight::save`]. Legacy bare-JSON
+    /// predictors (written before the envelope) load transparently with
+    /// a warning and the `guard.artifact.legacy.total` counter.
     ///
     /// # Errors
     ///
-    /// Returns I/O errors or a [`CoreError::Format`] for corrupt files.
+    /// Returns I/O errors (missing file included) or a
+    /// [`CoreError::Format`] for corrupt, truncated, or
+    /// version-mismatched files.
     pub fn load(path: &Path) -> Result<NeuSight> {
-        let json = fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(|e| CoreError::Format(e.to_string()))
+        let bytes = fs::read(path)?;
+        let decoded = neusight_guard::envelope::decode(&bytes, &path.display().to_string())
+            .map_err(|e| match e {
+                neusight_guard::GuardError::Io(io) => CoreError::Io(io),
+                other => CoreError::Format(other.to_string()),
+            })?;
+        let json = std::str::from_utf8(&decoded.payload)
+            .map_err(|e| CoreError::Format(format!("artifact payload is not UTF-8: {e}")))?;
+        serde_json::from_str(json).map_err(|e| CoreError::Format(e.to_string()))
+    }
+
+    /// Applies `f` to every weight and bias of every family predictor's
+    /// MLP. Exists so robustness tests can deliberately corrupt a
+    /// trained framework and prove the performance-law output guard
+    /// catches the damage; not part of the training API.
+    #[doc(hidden)]
+    pub fn map_predictor_parameters(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for predictor in self.predictors.values_mut() {
+            predictor.map_mlp_parameters(&mut f);
+        }
+        self.clear_prediction_cache();
     }
 }
 

@@ -191,6 +191,14 @@ impl KernelPredictor {
         self.class
     }
 
+    /// Applies `f` to every MLP weight and bias. Exists so robustness
+    /// tests can deliberately corrupt a trained predictor and prove the
+    /// performance-law output guard catches the damage.
+    #[doc(hidden)]
+    pub fn map_mlp_parameters(&mut self, f: impl FnMut(f32) -> f32) {
+        self.mlp.map_parameters(f);
+    }
+
     /// SMAPE on the held-out validation split after training.
     #[must_use]
     pub fn validation_smape(&self) -> f32 {

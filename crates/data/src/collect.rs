@@ -13,6 +13,7 @@ use crate::records::{KernelDataset, KernelRecord};
 use crate::sweeps::{self, SweepScale};
 use neusight_fault::{self as fault, FaultError, RetryError, RetryPolicy};
 use neusight_gpu::DType;
+use neusight_guard as guard;
 use neusight_obs as obs;
 use neusight_sim::SimulatedGpu;
 use std::fmt;
@@ -75,16 +76,27 @@ pub fn collect_with_threads(
         obs::metrics::gauge("data.collect.threads").set(threads as f64);
     }
 
+    // Each grid item is measured under panic isolation: measurement is
+    // deterministic and side-effect free, so a panicking unit (a device
+    // bug, or the `guard.panic` chaos failpoint) is simply re-run — up
+    // to a bounded restart budget — without losing the worker thread or
+    // any already-measured item.
     let measure_item = |item: usize| -> KernelRecord {
-        let gpu = &gpus[item / ops.len()];
-        let op = ops[item % ops.len()];
-        let m = gpu.measure(op, dtype, MEASUREMENT_RUNS);
-        KernelRecord {
-            gpu: gpu.spec().name().to_owned(),
-            op: op.clone(),
-            launch: m.launch,
-            mean_latency_s: m.mean_latency_s,
-        }
+        let supervisor = guard::Supervisor::new("data.collect.item", 4);
+        supervisor
+            .supervise(|| {
+                guard::inject_panic();
+                let gpu = &gpus[item / ops.len()];
+                let op = ops[item % ops.len()];
+                let m = gpu.measure(op, dtype, MEASUREMENT_RUNS);
+                KernelRecord {
+                    gpu: gpu.spec().name().to_owned(),
+                    op: op.clone(),
+                    launch: m.launch,
+                    mean_latency_s: m.mean_latency_s,
+                }
+            })
+            .unwrap_or_else(|| panic!("grid item {item} panicked past its restart budget"))
     };
 
     if threads == 1 {
@@ -275,14 +287,23 @@ fn measure_item_with_retry(
         if attempt > 0 {
             obs::metrics::counter("data.collect.retries").inc();
         }
-        let gpu = &gpus[item / ops.len()];
-        let op = ops[item % ops.len()];
-        let m = gpu.measure(op, dtype, MEASUREMENT_RUNS);
-        Ok(KernelRecord {
-            gpu: gpu.spec().name().to_owned(),
-            op: op.clone(),
-            launch: m.launch,
-            mean_latency_s: m.mean_latency_s,
+        // Panic isolation per attempt: a panicking measurement (bug or
+        // `guard.panic` chaos) is folded into the same retry budget as
+        // an injected device fault.
+        guard::catch("data.collect.measure", || {
+            guard::inject_panic();
+            let gpu = &gpus[item / ops.len()];
+            let op = ops[item % ops.len()];
+            let m = gpu.measure(op, dtype, MEASUREMENT_RUNS);
+            KernelRecord {
+                gpu: gpu.spec().name().to_owned(),
+                op: op.clone(),
+                launch: m.launch,
+                mean_latency_s: m.mean_latency_s,
+            }
+        })
+        .map_err(|message| FaultError {
+            point: format!("panic: {message}"),
         })
     })
     .map_err(|source| CollectError::Device { item, source })
@@ -330,9 +351,8 @@ fn measure_chunk(
                             Ok(record) => mine.push(CompletedItem { item, record }),
                             Err(e) => {
                                 failed.store(true, Ordering::Relaxed);
-                                let mut guard =
-                                    first_error.lock().unwrap_or_else(|p| p.into_inner());
-                                guard.get_or_insert(e);
+                                let mut slot = guard::recover_poison(first_error.lock());
+                                slot.get_or_insert(e);
                                 break;
                             }
                         }
@@ -345,11 +365,7 @@ fn measure_chunk(
             measured.extend(handle.join().expect("collection thread panicked"));
         }
     });
-    if let Some(e) = first_error
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .take()
-    {
+    if let Some(e) = guard::recover_poison(first_error.lock()).take() {
         return Err(e);
     }
     Ok(measured)

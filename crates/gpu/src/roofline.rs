@@ -43,6 +43,21 @@ pub fn ideal_latency(op: &OpDesc, dtype: DType, spec: &GpuSpec) -> f64 {
     }
 }
 
+/// A conservative lower bound on kernel launch overhead for `spec`, in
+/// seconds. Driver maturity shaves launch cost generation over
+/// generation (newer generations launch faster), but no kernel — however
+/// tiny — completes faster than this floor. Used by the performance-law
+/// output guard: an MLP prediction below
+/// `max(ideal_latency, launch_overhead_floor)` is physically impossible
+/// and gets clamped. The floor is half the nominal per-generation launch
+/// overhead, so legitimate predictions near the true overhead are never
+/// touched.
+#[must_use]
+pub fn launch_overhead_floor(spec: &GpuSpec) -> f64 {
+    let maturity = f64::from(spec.generation().maturity_index());
+    (0.5 * (6.0e-6 - 0.7e-6 * maturity)).max(1.0e-6)
+}
+
 /// Converts an achieved throughput back to an effective utilization of the
 /// roofline bound, clamped to `[0, 1]`. The inverse of Eq. 6; used when
 /// turning measured latencies into training targets.
@@ -116,6 +131,19 @@ mod tests {
                 roofline_flops_for(&op, DType::F32, &h100)
                     > roofline_flops_for(&op, DType::F32, &v100)
             );
+        }
+    }
+
+    #[test]
+    fn launch_floor_is_positive_and_shrinks_with_maturity() {
+        let pascal = catalog::gpu("P100").unwrap();
+        let hopper = catalog::gpu("H100").unwrap();
+        let old = launch_overhead_floor(&pascal);
+        let new = launch_overhead_floor(&hopper);
+        assert!(new < old, "newer generations launch faster");
+        for spec in catalog::all() {
+            let floor = launch_overhead_floor(&spec.spec);
+            assert!(floor.is_finite() && (1.0e-6..=3.0e-6).contains(&floor));
         }
     }
 

@@ -1,0 +1,378 @@
+//! The checksummed artifact envelope: `magic + schema_version +
+//! payload_len + FNV-1a checksum + payload`.
+//!
+//! Layout (little-endian, 24-byte header):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"NSG1"
+//! 4       4     schema_version  (u32, currently 1)
+//! 8       8     payload_len     (u64, bytes of payload)
+//! 16      8     checksum        (u64, FNV-1a over payload)
+//! 24      …     payload         (JSON bytes)
+//! ```
+//!
+//! FNV-1a's per-byte step `h ← (h XOR b) × prime` is a bijection on
+//! `u64` for any fixed byte, so *any* single-byte change to the payload
+//! always changes the checksum — single-byte corruption detection is
+//! exact, not probabilistic. Header corruption is caught field by field
+//! (magic, version, length) before the checksum is even consulted.
+//!
+//! Legacy artifacts written before the envelope are bare JSON; they are
+//! read through transparently (first non-whitespace byte `{` or `[`),
+//! with a warning and the `guard.artifact.legacy.total` counter.
+
+use neusight_obs as obs;
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+/// Envelope magic: "NeuSight Guard, layout 1".
+pub const MAGIC: [u8; 4] = *b"NSG1";
+
+/// Current envelope schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Header length in bytes (magic + version + payload_len + checksum).
+pub const HEADER_LEN: usize = 24;
+
+fn legacy_total() -> &'static Arc<obs::Counter> {
+    static CELL: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    CELL.get_or_init(|| obs::metrics::counter(crate::metric_names::ARTIFACT_LEGACY))
+}
+
+/// FNV-1a over `bytes` (64-bit, offset basis 0xCBF2_9CE4_8422_2325).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Typed artifact-integrity failures.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GuardError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is neither an envelope nor legacy JSON.
+    BadMagic {
+        /// First bytes actually found (up to 4).
+        found: Vec<u8>,
+    },
+    /// The file is shorter than its header claims (or than the header
+    /// itself).
+    Truncated {
+        /// Bytes the envelope requires.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The payload hash does not match the recorded checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// FNV-1a of the payload as read.
+        actual: u64,
+    },
+    /// The envelope was written by an incompatible schema version.
+    VersionMismatch {
+        /// Version this build understands.
+        expected: u32,
+        /// Version recorded in the header.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for GuardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardError::Io(e) => write!(f, "artifact i/o error: {e}"),
+            GuardError::BadMagic { found } => {
+                write!(f, "bad artifact magic {found:02x?} (not an envelope, not JSON)")
+            }
+            GuardError::Truncated { expected, actual } => {
+                write!(f, "truncated artifact: need {expected} bytes, have {actual}")
+            }
+            GuardError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "artifact checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            GuardError::VersionMismatch { expected, actual } => write!(
+                f,
+                "artifact schema version {actual} not supported (this build reads version {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GuardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GuardError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GuardError {
+    fn from(e: io::Error) -> GuardError {
+        GuardError::Io(e)
+    }
+}
+
+/// A successfully decoded artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// The artifact payload (JSON bytes).
+    pub payload: Vec<u8>,
+    /// Whether this was a legacy bare-JSON file (no checksum verified).
+    pub legacy: bool,
+}
+
+/// Wraps `payload` in an envelope.
+#[must_use]
+pub fn wrap(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verifies and strips the envelope header, returning the payload.
+///
+/// # Errors
+///
+/// [`GuardError::Truncated`] when bytes are missing,
+/// [`GuardError::BadMagic`] / [`GuardError::VersionMismatch`] for header
+/// corruption, [`GuardError::ChecksumMismatch`] for payload corruption.
+pub fn unwrap_envelope(bytes: &[u8]) -> Result<&[u8], GuardError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(GuardError::Truncated {
+            expected: HEADER_LEN,
+            actual: bytes.len(),
+        });
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(GuardError::BadMagic {
+            found: bytes[0..4].to_vec(),
+        });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != SCHEMA_VERSION {
+        return Err(GuardError::VersionMismatch {
+            expected: SCHEMA_VERSION,
+            actual: version,
+        });
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let expected_total =
+        HEADER_LEN.saturating_add(usize::try_from(payload_len).unwrap_or(usize::MAX));
+    if bytes.len() != expected_total {
+        return Err(GuardError::Truncated {
+            expected: expected_total,
+            actual: bytes.len(),
+        });
+    }
+    let recorded = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let payload = &bytes[HEADER_LEN..];
+    let actual = fnv1a(payload);
+    if recorded != actual {
+        return Err(GuardError::ChecksumMismatch {
+            expected: recorded,
+            actual,
+        });
+    }
+    Ok(payload)
+}
+
+/// Whether the bytes look like a legacy bare-JSON artifact.
+fn looks_like_legacy_json(bytes: &[u8]) -> bool {
+    bytes
+        .iter()
+        .find(|b| !b.is_ascii_whitespace())
+        .is_some_and(|b| *b == b'{' || *b == b'[')
+}
+
+/// Decodes artifact bytes: verified envelope payload, or — for legacy
+/// bare-JSON files — the bytes as-is with `legacy` set, a warning
+/// printed, and the `guard.artifact.legacy.total` counter bumped.
+/// `origin` names the artifact in the warning (typically its path).
+///
+/// # Errors
+///
+/// Envelope verification failures (see [`unwrap_envelope`]); bytes that
+/// are neither an envelope nor JSON-shaped yield [`GuardError::BadMagic`].
+pub fn decode(bytes: &[u8], origin: &str) -> Result<Decoded, GuardError> {
+    if bytes.starts_with(&MAGIC) {
+        return Ok(Decoded {
+            payload: unwrap_envelope(bytes)?.to_vec(),
+            legacy: false,
+        });
+    }
+    if looks_like_legacy_json(bytes) {
+        legacy_total().inc();
+        eprintln!(
+            "neusight-guard: `{origin}` is a legacy unchecksummed artifact; \
+             rewrite it (e.g. re-save) to enable corruption detection"
+        );
+        return Ok(Decoded {
+            payload: bytes.to_vec(),
+            legacy: true,
+        });
+    }
+    Err(GuardError::BadMagic {
+        found: bytes.iter().take(4).copied().collect(),
+    })
+}
+
+/// Reads and decodes an artifact file (envelope or legacy JSON).
+///
+/// # Errors
+///
+/// I/O failures (missing file included) as [`GuardError::Io`]; decode
+/// failures as in [`decode`].
+pub fn read_artifact(path: &Path) -> Result<Decoded, GuardError> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes, &path.display().to_string())
+}
+
+/// Writes `payload` to `path` wrapped in an envelope.
+///
+/// # Errors
+///
+/// Underlying I/O failures.
+pub fn write_artifact(path: &Path, payload: &[u8]) -> Result<(), GuardError> {
+    std::fs::write(path, wrap(payload))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Canonical FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn round_trip() {
+        let payload = br#"{"kind":"predictor","weights":[1.0,2.0]}"#;
+        let enveloped = wrap(payload);
+        assert_eq!(unwrap_envelope(&enveloped).unwrap(), payload);
+        let decoded = decode(&enveloped, "test").unwrap();
+        assert_eq!(decoded.payload, payload);
+        assert!(!decoded.legacy);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let payload = br#"{"weights":[0.25,0.5,0.75],"bias":1.0}"#;
+        let enveloped = wrap(payload);
+        for index in 0..enveloped.len() {
+            for delta in [1u8, 0x80] {
+                let mut corrupt = enveloped.clone();
+                corrupt[index] ^= delta;
+                // Detection = envelope rejects it, or it falls through to
+                // the legacy path where the payload is no longer valid
+                // JSON (a flipped magic byte can look like `{`, but the
+                // remaining binary header cannot parse as JSON).
+                match decode(&corrupt, "test") {
+                    Err(_) => {}
+                    Ok(decoded) => {
+                        assert!(
+                            decoded.legacy,
+                            "byte {index} flip accepted as a valid envelope"
+                        );
+                        assert_ne!(
+                            decoded.payload, payload,
+                            "byte {index} flip returned the original payload via legacy"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let enveloped = wrap(br#"{"x":1}"#);
+        for len in 0..enveloped.len() {
+            let err = unwrap_envelope(&enveloped[..len]).unwrap_err();
+            assert!(
+                matches!(err, GuardError::Truncated { .. }),
+                "length {len}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut enveloped = wrap(b"{}");
+        enveloped[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            unwrap_envelope(&enveloped).unwrap_err(),
+            GuardError::VersionMismatch {
+                expected: SCHEMA_VERSION,
+                actual: 99
+            }
+        ));
+    }
+
+    #[test]
+    fn checksum_mismatch_is_typed() {
+        let mut enveloped = wrap(b"{\"y\":2}");
+        let last = enveloped.len() - 1;
+        enveloped[last] ^= 0xFF;
+        assert!(matches!(
+            unwrap_envelope(&enveloped).unwrap_err(),
+            GuardError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn legacy_json_reads_through_with_counter() {
+        let _guard = crate::test_lock::hold();
+        neusight_obs::reset();
+        neusight_obs::set_enabled(true);
+        let before = legacy_total().get();
+        let decoded = decode(br#"  {"legacy":true}"#, "test").unwrap();
+        assert!(decoded.legacy);
+        assert_eq!(decoded.payload, br#"  {"legacy":true}"#);
+        assert_eq!(legacy_total().get(), before + 1);
+        neusight_obs::set_enabled(false);
+    }
+
+    #[test]
+    fn garbage_is_bad_magic() {
+        assert!(matches!(
+            decode(b"\x00\x01\x02garbage", "test").unwrap_err(),
+            GuardError::BadMagic { .. }
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_file() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("neusight-guard-env-{}.json", std::process::id()));
+        write_artifact(&path, b"{\"k\":3}").unwrap();
+        let decoded = read_artifact(&path).unwrap();
+        assert_eq!(decoded.payload, b"{\"k\":3}");
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            read_artifact(&path).unwrap_err(),
+            GuardError::Io(_)
+        ));
+    }
+}

@@ -1,0 +1,92 @@
+//! The performance-law output guard: clamp latency predictions to the
+//! hardware floor.
+//!
+//! The paper bounds per-tile MLP outputs with performance laws at
+//! *training and inference of the predictor*; this module enforces the
+//! same laws on every latency that leaves the predictor at *serving
+//! time*. A prediction below the roofline lower bound (or the kernel
+//! launch-overhead floor), or a non-finite one, is physically
+//! impossible — the GPU cannot run faster than its peak throughput lets
+//! it — so it can only come from a corrupted or drifted model. Such
+//! outputs are clamped to the floor and counted.
+
+use neusight_obs as obs;
+use std::sync::{Arc, OnceLock};
+
+fn clamps_total() -> &'static Arc<obs::Counter> {
+    static CELL: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    CELL.get_or_init(|| obs::metrics::counter(crate::metric_names::LAW_CLAMPS))
+}
+
+/// Returns `latency_s` if it is finite and at least `floor_s`;
+/// otherwise counts a violation (`guard.law.clamps.total`) and returns
+/// the floor. A non-finite or non-positive floor is treated as zero, so
+/// a broken floor computation can never *raise* predictions: it merely
+/// disables the clamp for that call.
+#[must_use]
+pub fn enforce_floor(latency_s: f64, floor_s: f64) -> f64 {
+    // Touch the counter on every call (not just violations) so the
+    // metric is registered — and scrapes show an explicit 0 — as soon
+    // as any guarded prediction runs, not only once something breaks.
+    let clamps = clamps_total();
+    let floor = if floor_s.is_finite() && floor_s > 0.0 {
+        floor_s
+    } else {
+        0.0
+    };
+    if latency_s.is_finite() && latency_s >= floor {
+        latency_s
+    } else {
+        clamps.inc();
+        floor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_lawful_latencies_through_bitwise() {
+        let lat = 3.141e-4;
+        assert_eq!(enforce_floor(lat, 1e-6).to_bits(), lat.to_bits());
+        assert_eq!(enforce_floor(lat, lat).to_bits(), lat.to_bits());
+    }
+
+    #[test]
+    fn clamps_sub_floor_latencies() {
+        assert_eq!(enforce_floor(1e-9, 2e-6), 2e-6);
+        assert_eq!(enforce_floor(0.0, 2e-6), 2e-6);
+        assert_eq!(enforce_floor(-4.0, 2e-6), 2e-6);
+    }
+
+    #[test]
+    fn clamps_non_finite_latencies() {
+        assert_eq!(enforce_floor(f64::NAN, 2e-6), 2e-6);
+        assert_eq!(enforce_floor(f64::INFINITY, 2e-6), 2e-6);
+        assert_eq!(enforce_floor(f64::NEG_INFINITY, 2e-6), 2e-6);
+    }
+
+    #[test]
+    fn broken_floor_never_raises_predictions() {
+        let lat = 5.0e-5;
+        assert_eq!(enforce_floor(lat, f64::NAN).to_bits(), lat.to_bits());
+        assert_eq!(enforce_floor(lat, f64::INFINITY).to_bits(), lat.to_bits());
+        assert_eq!(enforce_floor(lat, -1.0).to_bits(), lat.to_bits());
+        // Even a NaN prediction with a broken floor comes out finite.
+        assert_eq!(enforce_floor(f64::NAN, f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn violations_are_counted_when_obs_enabled() {
+        let _guard = crate::test_lock::hold();
+        obs::reset();
+        obs::set_enabled(true);
+        let before = clamps_total().get();
+        let _ = enforce_floor(1e-12, 1e-6);
+        let _ = enforce_floor(f64::NAN, 1e-6);
+        let _ = enforce_floor(1.0, 1e-6); // lawful: not counted
+        assert_eq!(clamps_total().get(), before + 2);
+        obs::set_enabled(false);
+    }
+}

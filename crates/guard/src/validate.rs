@@ -1,0 +1,114 @@
+//! Field-level input validation for trust-boundary entry points.
+//!
+//! Serve and core reject malformed inputs *at the boundary* with a
+//! message that names the offending field, so clients get a 422 they
+//! can act on instead of a 500 from deep inside the predictor.
+
+use std::fmt;
+
+/// A validation failure attributed to one named field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldError {
+    /// The request/graph field that failed validation.
+    pub field: &'static str,
+    /// Human-readable constraint violation.
+    pub message: String,
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "field `{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+/// `value` must lie in `[min, max]`.
+///
+/// # Errors
+///
+/// [`FieldError`] naming `field` when out of range.
+pub fn require_range(
+    field: &'static str,
+    value: u64,
+    min: u64,
+    max: u64,
+) -> Result<(), FieldError> {
+    if value < min || value > max {
+        return Err(FieldError {
+            field,
+            message: format!("must be between {min} and {max}, got {value}"),
+        });
+    }
+    Ok(())
+}
+
+/// `value` must be finite and strictly positive (rejects NaN, ±Inf,
+/// zero, and negatives).
+///
+/// # Errors
+///
+/// [`FieldError`] naming `field` otherwise.
+pub fn require_finite_positive(field: &'static str, value: f64) -> Result<(), FieldError> {
+    if !value.is_finite() || value <= 0.0 {
+        return Err(FieldError {
+            field,
+            message: format!("must be a finite positive number, got {value}"),
+        });
+    }
+    Ok(())
+}
+
+/// `value` must be non-empty and within `max_len` bytes.
+///
+/// # Errors
+///
+/// [`FieldError`] naming `field` otherwise.
+pub fn require_name(field: &'static str, value: &str, max_len: usize) -> Result<(), FieldError> {
+    if value.is_empty() {
+        return Err(FieldError {
+            field,
+            message: "must not be empty".to_owned(),
+        });
+    }
+    if value.len() > max_len {
+        return Err(FieldError {
+            field,
+            message: format!("must be at most {max_len} bytes, got {}", value.len()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_bounds_are_inclusive() {
+        assert!(require_range("batch", 1, 1, 4096).is_ok());
+        assert!(require_range("batch", 4096, 1, 4096).is_ok());
+        let err = require_range("batch", 0, 1, 4096).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "field `batch`: must be between 1 and 4096, got 0"
+        );
+        assert!(require_range("batch", 4097, 1, 4096).is_err());
+    }
+
+    #[test]
+    fn finite_positive_rejects_pathologies() {
+        assert!(require_finite_positive("flops", 1.5).is_ok());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -2.0] {
+            let err = require_finite_positive("flops", bad).unwrap_err();
+            assert_eq!(err.field, "flops");
+        }
+    }
+
+    #[test]
+    fn names_must_be_nonempty_and_bounded() {
+        assert!(require_name("model", "gpt2", 64).is_ok());
+        assert!(require_name("model", "", 64).is_err());
+        assert!(require_name("model", &"x".repeat(65), 64).is_err());
+    }
+}

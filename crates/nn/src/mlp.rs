@@ -174,6 +174,22 @@ impl Mlp {
             .sum()
     }
 
+    /// Applies `f` to every weight and bias in place. Exists so
+    /// robustness tests can deliberately corrupt a trained network and
+    /// prove the output guards catch the damage; not part of the
+    /// training API.
+    #[doc(hidden)]
+    pub fn map_parameters(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for layer in &mut self.layers {
+            for w in layer.weight.as_mut_slice() {
+                *w = f(*w);
+            }
+            for b in &mut layer.bias {
+                *b = f(*b);
+            }
+        }
+    }
+
     /// Inference-mode forward pass (no caches kept).
     ///
     /// # Panics

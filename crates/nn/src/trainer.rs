@@ -238,8 +238,11 @@ pub struct TrainCheckpoint {
 }
 
 impl TrainCheckpoint {
-    /// Atomically writes the checkpoint as JSON (temp file + rename), so a
-    /// crash mid-save leaves the previous checkpoint intact.
+    /// Atomically writes the checkpoint as JSON wrapped in the
+    /// checksummed `neusight-guard` envelope (temp file + rename), so a
+    /// crash mid-save leaves the previous checkpoint intact and a
+    /// corrupted checkpoint is detected at resume instead of silently
+    /// training from damaged weights.
     ///
     /// # Errors
     ///
@@ -251,25 +254,34 @@ impl TrainCheckpoint {
         {
             use io::Write;
             let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(json.as_bytes())?;
+            file.write_all(&neusight_guard::envelope::wrap(json.as_bytes()))?;
             file.sync_all()?;
         }
         std::fs::rename(&tmp, path)
     }
 
     /// Loads a checkpoint; `Ok(None)` when the file does not exist.
+    /// Legacy bare-JSON checkpoints load transparently with a warning
+    /// and the `guard.artifact.legacy.total` counter.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem failures; a present-but-unparsable file is
-    /// `InvalidData`.
+    /// Propagates filesystem failures; a present-but-corrupt file
+    /// (checksum, truncation, version, or JSON failure) is `InvalidData`.
     pub fn load(path: &Path) -> io::Result<Option<TrainCheckpoint>> {
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e),
         };
-        serde_json::from_str(&text)
+        let decoded = neusight_guard::envelope::decode(&bytes, &path.display().to_string())
+            .map_err(|e| match e {
+                neusight_guard::GuardError::Io(io) => io,
+                other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+            })?;
+        let json = std::str::from_utf8(&decoded.payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        serde_json::from_str(json)
             .map(Some)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }

@@ -6,6 +6,7 @@
 
 use crate::queue::BoundedQueue;
 use crate::service::{PredictRequest, PredictResponse, PredictService, ServeError};
+use neusight_guard as guard;
 use neusight_obs as obs;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::SyncSender;
@@ -121,10 +122,45 @@ fn serve_batch(
         return;
     }
     let requests: Vec<PredictRequest> = live.iter().map(|j| j.request.clone()).collect();
-    let results = service.predict_batch(&requests);
-    for (job, result) in live.into_iter().zip(results) {
-        // A send failure means the handler gave up (client timeout); the
-        // prediction is already memoized, so the work is not wasted.
-        let _ = job.reply.send(result);
+    // The batch predict runs under panic supervision (with the
+    // `guard.panic` chaos failpoint inside, so tests can kill it on
+    // purpose): a panic here must cost at most the requests in this
+    // batch, never the dispatcher thread.
+    let attempt = guard::catch("serve.dispatch.batch", || {
+        guard::inject_panic();
+        service.predict_batch(&requests)
+    });
+    match attempt {
+        Ok(results) => {
+            for (job, result) in live.into_iter().zip(results) {
+                // A send failure means the handler gave up (client
+                // timeout); the prediction is already memoized, so the
+                // work is not wasted.
+                let _ = job.reply.send(result);
+            }
+        }
+        Err(_) => {
+            // One request in the batch may be the poison pill — retry
+            // each job individually so it cannot take down its
+            // batchmates. A job that panics again is the culprit and
+            // gets a 500; the rest succeed.
+            for job in live {
+                let result = guard::catch("serve.dispatch.retry", || {
+                    guard::inject_panic();
+                    service
+                        .predict_batch(std::slice::from_ref(&job.request))
+                        .pop()
+                        .unwrap_or_else(|| {
+                            Err(ServeError::internal("predict_batch returned no result"))
+                        })
+                })
+                .unwrap_or_else(|message| {
+                    Err(ServeError::internal(format!(
+                        "prediction worker panicked: {message}"
+                    )))
+                });
+                let _ = job.reply.send(result);
+            }
+        }
     }
 }

@@ -72,21 +72,31 @@ pub enum ReadOutcome {
 /// slice. Bytes already received keep the connection out of both reaps:
 /// once a request has started arriving it is read to completion (or until
 /// `idle` passes with no progress at all).
+///
+/// `carry` holds bytes that arrived beyond the previous request's
+/// declared body (pipelining); they are consumed first and any new excess
+/// is written back, so pipelined garbage is *parsed* (and rejected) on
+/// the next call rather than silently swallowed.
 pub fn read_request(
     stream: &mut TcpStream,
     idle: Duration,
     draining: impl Fn() -> bool,
+    carry: &mut Vec<u8>,
 ) -> io::Result<ReadOutcome> {
-    let mut buf: Vec<u8> = Vec::new();
+    let mut buf: Vec<u8> = std::mem::take(carry);
     let mut chunk = [0u8; 4096];
     let started = Instant::now();
     loop {
-        // Head already complete? Parse and (maybe) read the body.
-        if let Some(head_len) = find_head_end(&buf) {
-            return finish_request(stream, buf, head_len, started, idle);
-        }
-        if buf.len() > MAX_HEAD_BYTES {
+        // Head already complete? Parse and (maybe) read the body. The
+        // size cap applies either way: a head over the bound is rejected
+        // even when its terminator happened to arrive in the same read,
+        // so the 431 contract does not depend on packet boundaries.
+        let head_end = find_head_end(&buf);
+        if head_end.unwrap_or(buf.len()) > MAX_HEAD_BYTES {
             return Ok(ReadOutcome::Malformed("request head too large", 431));
+        }
+        if let Some(head_len) = head_end {
+            return finish_request(stream, buf, head_len, started, idle, carry);
         }
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(ReadOutcome::Closed),
@@ -118,13 +128,15 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
 }
 
-/// Parses the completed head and reads the declared body.
+/// Parses the completed head and reads the declared body. Bytes past the
+/// declared body (the start of a pipelined request) go into `carry`.
 fn finish_request(
     stream: &mut TcpStream,
     mut buf: Vec<u8>,
     head_len: usize,
     started: Instant,
     idle: Duration,
+    carry: &mut Vec<u8>,
 ) -> io::Result<ReadOutcome> {
     let head = match std::str::from_utf8(&buf[..head_len]) {
         Ok(head) => head,
@@ -173,13 +185,17 @@ fn finish_request(
             Ok(n) => body.extend_from_slice(&chunk[..n]),
             Err(e) if is_timeout(&e) => {
                 if started.elapsed() >= idle {
-                    return Ok(ReadOutcome::IdleTimeout);
+                    // Unlike pre-head idling (a quiet keep-alive), a
+                    // stalled body means the client promised
+                    // Content-Length bytes and stopped sending — tell it
+                    // so before closing rather than hanging up silently.
+                    return Ok(ReadOutcome::Malformed("request body timed out", 408));
                 }
             }
             Err(e) => return Err(e),
         }
     }
-    body.truncate(content_length);
+    *carry = body.split_off(content_length.min(body.len()));
     Ok(ReadOutcome::Request(Request {
         method,
         path,
@@ -294,7 +310,9 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -325,7 +343,9 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_server_statuses() {
-        for status in [200, 400, 404, 405, 413, 429, 431, 500, 503, 504, 505] {
+        for status in [
+            200, 400, 404, 405, 408, 413, 422, 429, 431, 500, 503, 504, 505,
+        ] {
             assert_ne!(status_reason(status), "Unknown", "{status}");
         }
     }

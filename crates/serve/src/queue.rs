@@ -11,7 +11,7 @@
 //! coalesced into the next one.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// Error returned by [`BoundedQueue::try_push`] on overflow, handing the
@@ -80,10 +80,7 @@ impl<T> BoundedQueue<T> {
         if let Some(item) = q.pop_front() {
             return Some(item);
         }
-        let (mut q, _result) = self
-            .ready
-            .wait_timeout(q, timeout)
-            .unwrap_or_else(PoisonError::into_inner);
+        let (mut q, _result) = neusight_guard::recover_poison(self.ready.wait_timeout(q, timeout));
         q.pop_front()
     }
 
@@ -95,7 +92,11 @@ impl<T> BoundedQueue<T> {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        // A producer that panicked mid-push poisons the mutex; the queue
+        // state itself is still consistent (push_back/pop_front are not
+        // interruptible between invariant-breaking steps), so recover and
+        // count rather than cascading the panic to every other handler.
+        neusight_guard::recover_poison(self.inner.lock())
     }
 }
 

@@ -24,6 +24,7 @@ use crate::queue::{BoundedQueue, QueueFull};
 use crate::service::{PredictRequest, PredictService};
 use crate::signal;
 use neusight_core::NeuSight;
+use neusight_guard as guard;
 use neusight_obs as obs;
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -213,12 +214,20 @@ impl Server {
                     batch_window: shared.config.batch_window,
                     service_delay: shared.config.service_delay,
                 };
-                dispatch::run(
-                    &shared.service,
-                    &shared.queue,
-                    &config,
-                    &shared.dispatcher_stop,
-                );
+                // The dispatcher is the server's single point of failure:
+                // if this thread dies, /healthz still answers while every
+                // predict hangs until its deadline. Supervise it — a
+                // normal return is a completed drain, a panic (bug or
+                // injected chaos) gets a bounded number of restarts.
+                let supervisor = guard::Supervisor::new("serve.dispatcher", 16);
+                supervisor.supervise(|| {
+                    dispatch::run(
+                        &shared.service,
+                        &shared.queue,
+                        &config,
+                        &shared.dispatcher_stop,
+                    );
+                });
             })
         };
 
@@ -237,7 +246,20 @@ impl Server {
                         .active_connections
                         .fetch_add(1, Ordering::SeqCst);
                     let shared = Arc::clone(&self.shared);
-                    handlers.push(thread::spawn(move || handle_connection(&shared, stream)));
+                    handlers.push(thread::spawn(move || {
+                        // Keep a handle to the socket so a panicking
+                        // handler can still answer with a JSON 500
+                        // instead of silently dropping the connection.
+                        let fallback = stream.try_clone().ok();
+                        if guard::catch("serve.connection", || handle_connection(&shared, stream))
+                            .is_err()
+                        {
+                            if let Some(mut stream) = fallback {
+                                let _ = Response::error(500, "connection handler panicked")
+                                    .write_to(&mut stream, false);
+                            }
+                        }
+                    }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     thread::sleep(Duration::from_millis(2));
@@ -302,14 +324,14 @@ impl RunningServer {
     ///
     /// # Errors
     ///
-    /// Propagates the run loop's I/O errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the server thread itself panicked.
+    /// Propagates the run loop's I/O errors; a panicked server thread is
+    /// reported as an I/O error rather than cascading the panic into the
+    /// caller.
     pub fn shutdown_and_join(self) -> io::Result<()> {
         self.handle.shutdown();
-        self.thread.join().expect("server thread panicked")
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
     }
 }
 
@@ -342,10 +364,16 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     // The read-timeout slice: how often an idle keep-alive read re-checks
     // the drain flag and the idle clock.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    // Pipelined bytes beyond one request's declared body, handed to the
+    // next `read_request` call instead of being silently dropped.
+    let mut carry: Vec<u8> = Vec::new();
     loop {
-        let outcome = http::read_request(&mut stream, shared.config.idle_timeout, || {
-            shared.stop_requested()
-        });
+        let outcome = http::read_request(
+            &mut stream,
+            shared.config.idle_timeout,
+            || shared.stop_requested(),
+            &mut carry,
+        );
         match outcome {
             Ok(ReadOutcome::Request(request)) => {
                 let started = Instant::now();

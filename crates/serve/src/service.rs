@@ -11,7 +11,7 @@ use neusight_graph::{config, workload_graph, Graph};
 use neusight_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 
 fn default_batch() -> u64 {
     1
@@ -97,6 +97,17 @@ impl ServeError {
         }
     }
 
+    /// A 422 for requests that parse as JSON but fail field-level
+    /// validation (absurd sizes, empty names). The message names the
+    /// offending field so clients can fix it.
+    #[must_use]
+    pub fn unprocessable(message: impl Into<String>) -> ServeError {
+        ServeError {
+            status: 422,
+            message: message.into(),
+        }
+    }
+
     /// A 500 for unexpected prediction failures.
     #[must_use]
     pub fn internal(message: impl Into<String>) -> ServeError {
@@ -114,6 +125,15 @@ impl std::fmt::Display for ServeError {
 }
 
 impl std::error::Error for ServeError {}
+
+/// Upper bound on the `batch` field of a predict request. Far beyond any
+/// realistic training batch; exists so absurd values are rejected with a
+/// field-level 422 at the boundary instead of building astronomically
+/// sized graphs.
+pub const MAX_REQUEST_BATCH: u64 = 4096;
+
+/// Upper bound on `model` / `gpu` name length, bytes.
+pub const MAX_NAME_BYTES: usize = 256;
 
 /// Cache key for built graphs: canonical model × batch × phase × fusion.
 type GraphKey = (String, u64, bool, bool);
@@ -186,13 +206,31 @@ impl PredictService {
         }
     }
 
+    /// Field-level validation of a parsed request, before any name
+    /// resolution or graph construction.
+    ///
+    /// # Errors
+    ///
+    /// 422 naming the offending field for out-of-range batch sizes and
+    /// empty or oversized names. (Unknown-but-plausible names stay 400,
+    /// from the resolvers.)
+    pub fn validate(req: &PredictRequest) -> Result<(), ServeError> {
+        neusight_guard::validate::require_range("batch", req.batch, 1, MAX_REQUEST_BATCH)
+            .map_err(|e| ServeError::unprocessable(e.to_string()))?;
+        neusight_guard::validate::require_name("model", &req.model, MAX_NAME_BYTES)
+            .map_err(|e| ServeError::unprocessable(e.to_string()))?;
+        neusight_guard::validate::require_name("gpu", &req.gpu, MAX_NAME_BYTES)
+            .map_err(|e| ServeError::unprocessable(e.to_string()))?;
+        Ok(())
+    }
+
     /// Catalog spec for a request's `gpu` field (cached).
     ///
     /// # Errors
     ///
     /// 400 for names outside the catalog.
     pub fn resolve_gpu(&self, name: &str) -> Result<GpuSpec, ServeError> {
-        let mut specs = self.specs.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut specs = neusight_guard::recover_poison(self.specs.lock());
         if let Some(spec) = specs.get(name) {
             return Ok(spec.clone());
         }
@@ -215,7 +253,7 @@ impl PredictService {
         fused: bool,
     ) -> Result<Arc<Graph>, ServeError> {
         let key = (canonical.to_owned(), batch, train, fused);
-        let mut graphs = self.graphs.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut graphs = neusight_guard::recover_poison(self.graphs.lock());
         if let Some(graph) = graphs.get(&key) {
             return Ok(Arc::clone(graph));
         }
@@ -246,9 +284,7 @@ impl PredictService {
         let resolved: Vec<Result<Resolved, ServeError>> = requests
             .iter()
             .map(|req| {
-                if req.batch == 0 {
-                    return Err(ServeError::bad_request("batch must be >= 1"));
-                }
+                Self::validate(req)?;
                 let model = Self::canonical_model(&req.model)?;
                 let spec = self.resolve_gpu(&req.gpu)?;
                 let graph = self.graph(&model, req.batch, req.train, req.fused)?;
@@ -368,7 +404,10 @@ impl PredictService {
                 seq_len: None,
             });
         }
-        serde_json::to_string(&Listing { models }).expect("static shape serializes")
+        serde_json::to_string(&Listing { models }).unwrap_or_else(|_| {
+            obs::metrics::counter("serve.listing.serialize_failures").inc();
+            r#"{"error":"model listing serialization failed"}"#.to_owned()
+        })
     }
 
     /// JSON body for `GET /v1/gpus`.
@@ -403,7 +442,10 @@ impl PredictService {
                 num_sms: entry.spec.num_sms(),
             })
             .collect();
-        serde_json::to_string(&Listing { gpus }).expect("static shape serializes")
+        serde_json::to_string(&Listing { gpus }).unwrap_or_else(|_| {
+            obs::metrics::counter("serve.listing.serialize_failures").inc();
+            r#"{"error":"gpu listing serialization failed"}"#.to_owned()
+        })
     }
 }
 
@@ -414,7 +456,7 @@ mod tests {
     use neusight_data::{collect_training_set, training_gpus, SweepScale};
     use neusight_fault::{FaultSpec, PointConfig};
     use neusight_gpu::DType;
-    use std::sync::OnceLock;
+    use std::sync::{OnceLock, PoisonError};
     use std::time::Duration;
 
     fn trained() -> NeuSight {
@@ -505,12 +547,21 @@ mod tests {
             req("gpt2", "NoSuchGPU", 1, false),
             req("gpt3", "V100", 1, false), // ambiguous prefix
             req("gpt2", "V100", 0, false), // zero batch
+            req("gpt2", "V100", MAX_REQUEST_BATCH + 1, false), // absurd batch
+            req("", "V100", 1, false),     // empty model name
         ]);
         assert!(out[0].is_ok());
-        for bad in &out[1..] {
+        // Plausible-but-unknown names are resolver 400s...
+        for bad in &out[1..4] {
             assert_eq!(bad.as_ref().unwrap_err().status, 400);
         }
         assert!(out[3].as_ref().unwrap_err().message.contains("ambiguous"));
+        // ...while field-level violations are 422s naming the field.
+        for (bad, field) in out[4..].iter().zip(["batch", "batch", "model"]) {
+            let err = bad.as_ref().unwrap_err();
+            assert_eq!(err.status, 422, "{}", err.message);
+            assert!(err.message.contains(field), "{}", err.message);
+        }
     }
 
     #[test]

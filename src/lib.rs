@@ -16,6 +16,7 @@
 //! | [`baselines`] | `neusight-baselines` | roofline, Habitat, Li et al., Table 1 big models |
 //! | [`dist`] | `neusight-dist` | multi-GPU servers, collectives, DP/TP/PP forecasting |
 //! | [`obs`] | `neusight-obs` | structured tracing, metrics, exporters, profiling (DESIGN.md §Observability) |
+//! | [`guard`] | `neusight-guard` | trust-boundary hardening: panic supervision, checksummed artifact envelope, performance-law output guards |
 //! | [`serve`] | `neusight-serve` | zero-dep HTTP prediction service: batching, admission control, graceful drain |
 //!
 //! # Quickstart
@@ -51,6 +52,7 @@ pub use neusight_dist as dist;
 pub use neusight_fault as fault;
 pub use neusight_gpu as gpu;
 pub use neusight_graph as graph;
+pub use neusight_guard as guard;
 pub use neusight_nn as nn;
 pub use neusight_obs as obs;
 pub use neusight_serve as serve;

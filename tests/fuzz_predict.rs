@@ -1,0 +1,200 @@
+//! Deterministic structure-aware fuzzing of the `/v1/predict` endpoint.
+//!
+//! No external fuzzing engine: a fixed-seed SplitMix64 PRNG drives byte-
+//! level corruption (flips, truncation, insertion) and structured field
+//! mutation (out-of-range batches, hostile names, unknown keys) of valid
+//! request bodies. Every iteration frames the mutated body as a correct
+//! HTTP/1.1 request, so what is being fuzzed is the JSON/validation
+//! surface behind the codec, not the codec's framing (the malformed-HTTP
+//! corpus in `serve_http.rs` covers that).
+//!
+//! The contract: across all iterations the server answers every request
+//! with a status below 500 — client mistakes are 4xx, never a panic, an
+//! internal error, or a hung socket — and is still healthy afterwards.
+
+use neusight::core::{NeuSight, NeuSightConfig};
+use neusight::gpu::DType;
+use neusight::serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const SEED: u64 = 0x5EED_2026_0806;
+const ITERATIONS: usize = 2000;
+
+/// SplitMix64: tiny, deterministic, and plenty for mutation scheduling.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+}
+
+fn tiny_neusight() -> NeuSight {
+    let data = neusight::data::collect_training_set(
+        &neusight::data::training_gpus(),
+        neusight::data::SweepScale::Tiny,
+        DType::F32,
+    );
+    NeuSight::train(&data, &NeuSightConfig::tiny()).expect("tiny training")
+}
+
+/// Sends one framed request and returns the parsed status code. The body
+/// may be arbitrary bytes; `Content-Length` always matches and
+/// `Connection: close` makes read-to-EOF a complete exchange.
+fn exchange(addr: SocketAddr, body: &[u8]) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let head = format!(
+        "POST /v1/predict HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => response.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!(
+                "server hung on fuzzed body {:?} ({e})",
+                String::from_utf8_lossy(body)
+            ),
+        }
+    }
+    let text = String::from_utf8_lossy(&response);
+    let status = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse::<u16>().ok());
+    status.unwrap_or_else(|| panic!("unparseable response: {text:.120}"))
+}
+
+/// Structured mutation: assemble a request from hostile field values.
+fn structured_body(rng: &mut SplitMix64) -> Vec<u8> {
+    let models = [
+        "bert",
+        "gpt2",
+        "opt",
+        "",
+        "nonesuch",
+        "GPT3-XL",
+        "bert\\n",
+        "../../etc/passwd",
+    ];
+    let gpus = ["H100", "T4", "V100", "P100", "", "RTX9090", "h100"];
+    let batches = [
+        "0",
+        "1",
+        "2",
+        "3",
+        "4096",
+        "4097",
+        "-5",
+        "999999999",
+        "18446744073709551616",
+        "1.5",
+        "null",
+        "\"two\"",
+    ];
+    let mut body = format!(
+        "{{\"model\":\"{}\",\"gpu\":\"{}\",\"batch\":{}",
+        models[rng.below(models.len())],
+        gpus[rng.below(gpus.len())],
+        batches[rng.below(batches.len())],
+    );
+    if rng.below(3) == 0 {
+        body.push_str(",\"train\":true");
+    }
+    match rng.below(4) {
+        0 => body.push_str(",\"unknown_field\":[1,2,{\"deep\":null}]}"),
+        1 => body.push('}'),
+        2 => body.push_str("}}}}"),
+        _ => {} // unterminated object
+    }
+    body.into_bytes()
+}
+
+/// Byte-level mutation of a valid base body.
+fn corrupted_body(rng: &mut SplitMix64, base: &[u8]) -> Vec<u8> {
+    let mut body = base.to_vec();
+    match rng.below(3) {
+        0 => {
+            // Flip a byte to a random different value (possibly non-UTF8).
+            let pos = rng.below(body.len());
+            let flip = (rng.next_u64() % 255) as u8 + 1;
+            body[pos] ^= flip;
+        }
+        1 => {
+            // Truncate mid-token.
+            body.truncate(rng.below(body.len()));
+        }
+        _ => {
+            // Insert a random byte.
+            let pos = rng.below(body.len() + 1);
+            body.insert(pos, (rng.next_u64() % 256) as u8);
+        }
+    }
+    body
+}
+
+#[test]
+fn fuzzed_predict_bodies_never_cause_5xx_or_hangs() {
+    let config = ServeConfig {
+        // Generous deadline so queueing under the sequential hammer never
+        // manufactures a 504 that the fuzz contract would misread.
+        deadline: Duration::from_secs(30),
+        ..ServeConfig::default()
+    };
+    let server = Server::spawn(config, tiny_neusight()).expect("spawn server");
+    let addr = server.addr();
+
+    let bases: [&[u8]; 3] = [
+        br#"{"model":"bert","gpu":"H100","batch":2}"#,
+        br#"{"model":"gpt2","gpu":"V100","batch":1,"train":true}"#,
+        br#"{"model":"opt","gpu":"T4","batch":4}"#,
+    ];
+
+    let mut rng = SplitMix64(SEED);
+    let mut by_class = [0usize; 6]; // 2xx..=5xx, other — for the failure report
+    for iteration in 0..ITERATIONS {
+        let body = if rng.below(2) == 0 {
+            structured_body(&mut rng)
+        } else {
+            let base = bases[rng.below(bases.len())];
+            corrupted_body(&mut rng, base)
+        };
+        let status = exchange(addr, &body);
+        by_class[(status as usize / 100).min(5)] += 1;
+        assert!(
+            status < 500,
+            "iteration {iteration}: status {status} for body {:?} (classes so far: {by_class:?})",
+            String::from_utf8_lossy(&body)
+        );
+    }
+
+    // The schedule must have exercised both accepted and rejected paths.
+    assert!(by_class[2] > 0, "no request ever succeeded: {by_class:?}");
+    assert!(
+        by_class[4] > 0,
+        "no request was ever rejected: {by_class:?}"
+    );
+
+    // And the server is still fully alive.
+    let mut client = neusight::serve::Client::connect(addr).expect("connect");
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    server.shutdown_and_join().expect("clean drain");
+}

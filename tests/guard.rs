@@ -1,0 +1,287 @@
+//! End-to-end tests for the `neusight-guard` trust boundaries, at the
+//! scale the ISSUE's acceptance criteria pin down:
+//!
+//! - **Availability under chaos**: with the `guard.panic` failpoint armed
+//!   at 5 % inside the dispatch workers, a 1000-request run stays ≥ 99 %
+//!   non-5xx and `/healthz` keeps answering — panics are contained to the
+//!   requests that drew them.
+//! - **Artifact integrity**: flipping any single byte of an
+//!   envelope-wrapped predictor makes `NeuSight::load` fail; a legacy
+//!   bare-JSON predictor still loads, with the read-through counter.
+//! - **Performance-law output guard**: a predictor with deliberately
+//!   corrupted weights never emits a latency below the roofline /
+//!   launch-overhead floor, and the clamp counter is visible in
+//!   `/metrics`.
+//!
+//! The fault registry and panic hook are process-global, so the chaos
+//! test pre-trains through the shared `OnceLock` *before* arming and
+//! disarms before asserting; no other test here arms faults.
+
+use neusight::core::{NeuSight, NeuSightConfig};
+use neusight::gpu::{catalog, roofline, DType, EwKind, OpDesc};
+use neusight::guard::metric_names;
+use neusight::obs;
+use neusight::serve::{Client, ServeConfig, Server};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// One tiny training sweep shared by every test (training is
+/// deterministic, so each test trains an identical predictor from it).
+fn training_data() -> &'static neusight::data::KernelDataset {
+    static DATA: OnceLock<neusight::data::KernelDataset> = OnceLock::new();
+    DATA.get_or_init(|| {
+        neusight::data::collect_training_set(
+            &neusight::data::training_gpus(),
+            neusight::data::SweepScale::Tiny,
+            DType::F32,
+        )
+    })
+}
+
+fn tiny_neusight() -> NeuSight {
+    NeuSight::train(training_data(), &NeuSightConfig::tiny()).expect("tiny training")
+}
+
+/// A scratch file path unique to this test process and label.
+fn scratch_path(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "neusight-guard-{}-{label}.json",
+        std::process::id()
+    ))
+}
+
+fn counter_value(name: &str) -> u64 {
+    obs::metrics::counter(name).get()
+}
+
+/// Replaces the panic hook with one that swallows the injected-chaos
+/// panics (they are the *point* of the availability test and would
+/// otherwise print a thousand backtrace headers) while forwarding every
+/// genuine panic — including other tests' assertion failures — to the
+/// previous hook.
+fn quiet_injected_panics() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected panic at failpoint"));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[test]
+fn availability_holds_while_dispatch_workers_are_killed() {
+    // Train (and fill the shared dataset cache) before arming the chaos
+    // point: `collect_with_threads` has its own `guard.panic` site.
+    let ns = tiny_neusight();
+    obs::set_enabled(true);
+    quiet_injected_panics();
+    let panics_before = counter_value(metric_names::PANICS);
+
+    let config = ServeConfig {
+        // Queueing under the hammer must not manufacture 504s (a 5xx the
+        // availability budget would miscount as a crash).
+        deadline: Duration::from_secs(30),
+        ..ServeConfig::default()
+    };
+    let server = Server::spawn(config, ns).expect("spawn server");
+    let addr = server.addr();
+
+    let spec: neusight::fault::FaultSpec = "guard.panic=0.05".parse().expect("spec");
+    neusight::fault::configure(&spec, 20260806);
+
+    let bodies = [
+        r#"{"model":"bert","gpu":"H100","batch":2}"#,
+        r#"{"model":"gpt2","gpu":"V100","batch":1}"#,
+    ];
+    let mut statuses: Vec<u16> = Vec::new();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut statuses = Vec::with_capacity(125);
+                    for round in 0..125 {
+                        let body = bodies[(worker + round) % bodies.len()];
+                        let response = client
+                            .post_json("/v1/predict", body)
+                            .expect("request completes even when workers panic");
+                        statuses.push(response.status);
+                    }
+                    statuses
+                })
+            })
+            .collect();
+        for worker in workers {
+            statuses.extend(worker.join().expect("client thread"));
+        }
+    });
+    neusight::fault::reset();
+
+    assert_eq!(statuses.len(), 1000);
+    let server_errors = statuses.iter().filter(|&&s| s >= 500).count();
+    assert!(
+        server_errors <= 10,
+        "availability broke 99%: {server_errors}/1000 5xx"
+    );
+    // The chaos point demonstrably fired and was caught, rather than the
+    // run passing because nothing panicked.
+    assert!(
+        counter_value(metric_names::PANICS) > panics_before,
+        "guard.panic at 5% over 1000 requests must catch panics"
+    );
+
+    let mut client = Client::connect(addr).expect("connect after chaos");
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200, "server must survive worker panics");
+    server.shutdown_and_join().expect("clean drain");
+}
+
+#[test]
+fn every_single_byte_flip_of_a_saved_predictor_is_detected() {
+    let ns = tiny_neusight();
+    let path = scratch_path("byteflip");
+    ns.save(&path).expect("save");
+    let pristine = std::fs::read(&path).expect("read back");
+    NeuSight::load(&path).expect("pristine artifact loads");
+
+    // Every header byte, plus payload positions on a stride that keeps
+    // the test fast; the FNV-1a step is a bijection per byte, so any
+    // payload flip changes the checksum regardless of position.
+    let header = 0..24.min(pristine.len());
+    let stride = (pristine.len() / 256).max(1);
+    let payload = (24..pristine.len()).step_by(stride);
+    let mut flips = 0usize;
+    for position in header.chain(payload) {
+        for mask in [0x01u8, 0xFF] {
+            let mut corrupt = pristine.clone();
+            corrupt[position] ^= mask;
+            std::fs::write(&path, &corrupt).expect("write corrupt");
+            assert!(
+                NeuSight::load(&path).is_err(),
+                "flip at byte {position} (mask {mask:#04x}) loaded successfully"
+            );
+            flips += 1;
+        }
+    }
+    assert!(flips >= 48, "corpus too small: {flips} flips");
+
+    // Truncations are detected too, at any cut point.
+    for cut in [0, 1, 12, 23, 24, pristine.len() / 2, pristine.len() - 1] {
+        std::fs::write(&path, &pristine[..cut]).expect("write truncated");
+        assert!(
+            NeuSight::load(&path).is_err(),
+            "truncation to {cut} bytes loaded successfully"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn legacy_bare_json_predictor_loads_with_warning_counter() {
+    obs::set_enabled(true);
+    let ns = tiny_neusight();
+    let path = scratch_path("legacy");
+    // A predictor saved before the envelope existed: bare JSON on disk.
+    let json = serde_json::to_string(&ns).expect("serialize");
+    std::fs::write(&path, json.as_bytes()).expect("write legacy");
+
+    let before = counter_value(metric_names::ARTIFACT_LEGACY);
+    let loaded = NeuSight::load(&path).expect("legacy artifact loads");
+    assert!(
+        counter_value(metric_names::ARTIFACT_LEGACY) > before,
+        "legacy read-through must be counted"
+    );
+
+    // The read-through is a real load, not a lenient partial parse.
+    let spec = catalog::gpu("H100").expect("H100");
+    let op = OpDesc::bmm(1, 64, 64, 64);
+    let expected = ns.predict_op(&op, &spec).expect("predict");
+    let got = loaded.predict_op(&op, &spec).expect("predict loaded");
+    assert_eq!(expected.to_bits(), got.to_bits());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_weights_never_beat_the_performance_law_floor() {
+    obs::set_enabled(true);
+    let mut ns = tiny_neusight();
+    let dtype = ns.dtype();
+    let spec = catalog::gpu("H100").expect("H100");
+    // Tiny compute-bound ops: their roofline ideal is far below the
+    // kernel-launch floor, so an overconfident (corrupted) predictor is
+    // exactly what the clamp exists to catch.
+    let ops = [
+        OpDesc::bmm(1, 16, 16, 16),
+        OpDesc::fc(1, 32, 32),
+        OpDesc::softmax(4, 64),
+        OpDesc::layer_norm(4, 64),
+        OpDesc::elementwise(EwKind::Add, 1024),
+        OpDesc::bmm(4, 128, 128, 128),
+    ];
+
+    let clamps_before = counter_value(metric_names::LAW_CLAMPS);
+    let check_floor = |ns: &NeuSight, label: &str| {
+        for op in &ops {
+            let latency = ns.predict_op(op, &spec).expect("guarded predict");
+            let floor = roofline::ideal_latency(op, dtype, &spec)
+                .max(roofline::launch_overhead_floor(&spec));
+            assert!(
+                latency.is_finite() && latency >= floor,
+                "{label}: {op} predicted {latency:.3e}s below floor {floor:.3e}s"
+            );
+        }
+    };
+    // Constant fills collapse the α−β/waves head to ~0 utilization: the
+    // predictor turns wildly *pessimistic*, which must still be finite
+    // and floored.
+    for pattern in [0.25f32, 1.0, -0.5] {
+        ns.map_predictor_parameters(|_| pattern);
+        check_floor(&ns, &format!("constant {pattern}"));
+    }
+    // Seeded pseudorandom fills break that symmetry and produce
+    // *overconfident* utilizations — tiny ops then predict below the
+    // kernel-launch floor, which is exactly what the clamp must catch.
+    for seed in [1u64, 2, 3] {
+        let mut state = seed;
+        ns.map_predictor_parameters(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z as f64 / u64::MAX as f64) * 8.0 - 4.0) as f32
+        });
+        check_floor(&ns, &format!("random seed {seed}"));
+    }
+    assert!(
+        counter_value(metric_names::LAW_CLAMPS) > clamps_before,
+        "corrupted weights must trip the law clamp at least once"
+    );
+
+    // The clamp counter is scrapeable: a server sharing this process's
+    // registry exports it, non-zero, on /metrics.
+    let server = Server::spawn(ServeConfig::default(), tiny_neusight()).expect("spawn server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    let clamp_line = text
+        .lines()
+        .find(|l| l.starts_with("neusight_guard_law_clamps_total "))
+        .unwrap_or_else(|| panic!("no clamp sample in exposition:\n{text}"));
+    let value: f64 = clamp_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .expect("clamp sample value");
+    assert!(value > 0.0, "clamp counter exported as {clamp_line}");
+    server.shutdown_and_join().expect("clean drain");
+}

@@ -221,3 +221,155 @@ fn graceful_drain_finishes_in_flight_requests() {
     );
     server.shutdown_and_join().expect("drained exit");
 }
+
+// ---------------------------------------------------------------------------
+// Malformed-HTTP corpus: every entry is raw bytes a hostile or broken
+// client might send. The contract is uniform — a clean 4xx/5xx status
+// line (or a silent close), never a panic, never a hung connection.
+// ---------------------------------------------------------------------------
+
+/// Writes raw bytes to a fresh connection and reads whatever the server
+/// answers until it closes the socket (bounded by a read timeout so a
+/// hung server fails the test instead of wedging it).
+fn raw_exchange(addr: std::net::SocketAddr, payload: &[u8]) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    stream.write_all(payload).expect("write");
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => response.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("server hung on malformed input ({e}); got so far: {response:?}"),
+        }
+    }
+    String::from_utf8_lossy(&response).into_owned()
+}
+
+#[test]
+fn malformed_http_corpus_yields_clean_errors_never_hangs() {
+    let config = ServeConfig {
+        // Short idle window so the truncated-body case times out fast.
+        idle_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let server = Server::spawn(config, tiny_neusight()).expect("spawn server");
+    let addr = server.addr();
+
+    let oversize_head = {
+        let mut head = b"GET /healthz HTTP/1.1\r\n".to_vec();
+        // 17 KiB of one header blows the 16 KiB head cap.
+        head.extend_from_slice(b"X-Pad: ");
+        head.extend_from_slice(&vec![b'a'; 17 * 1024]);
+        head.extend_from_slice(b"\r\n\r\n");
+        head
+    };
+    let non_utf8_head = b"GET /\xff\xfe HTTP/1.1\r\n\r\n".to_vec();
+    let non_utf8_body =
+        b"POST /v1/predict HTTP/1.1\r\nContent-Length: 4\r\n\r\n\xff\xfe\xfd\xfc".to_vec();
+
+    let corpus: Vec<(&str, Vec<u8>, &str)> = vec![
+        (
+            "bad request line",
+            b"GARBAGE\r\n\r\n".to_vec(),
+            "HTTP/1.1 400 ",
+        ),
+        (
+            "unsupported version",
+            b"GET / HTTP/0.9\r\n\r\n".to_vec(),
+            "HTTP/1.1 505 ",
+        ),
+        (
+            "negative Content-Length",
+            b"POST /v1/predict HTTP/1.1\r\nContent-Length: -1\r\n\r\n".to_vec(),
+            "HTTP/1.1 400 ",
+        ),
+        (
+            "non-numeric Content-Length",
+            b"POST /v1/predict HTTP/1.1\r\nContent-Length: banana\r\n\r\n".to_vec(),
+            "HTTP/1.1 400 ",
+        ),
+        (
+            "overflowing Content-Length",
+            b"POST /v1/predict HTTP/1.1\r\nContent-Length: 99999999999999999999999\r\n\r\n"
+                .to_vec(),
+            "HTTP/1.1 400 ",
+        ),
+        (
+            "huge declared body",
+            b"POST /v1/predict HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n".to_vec(),
+            "HTTP/1.1 413 ",
+        ),
+        ("oversize head", oversize_head, "HTTP/1.1 431 "),
+        ("non-UTF8 head", non_utf8_head, "HTTP/1.1 400 "),
+        ("non-UTF8 predict body", non_utf8_body, "HTTP/1.1 400 "),
+        (
+            "truncated body (lying Content-Length)",
+            b"POST /v1/predict HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"mod".to_vec(),
+            "HTTP/1.1 408 ",
+        ),
+        (
+            "bad header line",
+            b"GET /healthz HTTP/1.1\r\nno-colon-here\r\n\r\n".to_vec(),
+            "HTTP/1.1 400 ",
+        ),
+    ];
+
+    for (name, payload, expected_prefix) in corpus {
+        let response = raw_exchange(addr, &payload);
+        assert!(
+            response.starts_with(expected_prefix),
+            "{name}: expected `{expected_prefix}…`, got: {response:.120}"
+        );
+    }
+
+    // Garbage pipelined after a valid request: the valid one is served,
+    // the garbage gets a 400, and the connection closes.
+    let pipelined = raw_exchange(addr, b"GET /healthz HTTP/1.1\r\n\r\nGARBAGE\r\n\r\n");
+    assert!(
+        pipelined.starts_with("HTTP/1.1 200 "),
+        "pipelined: {pipelined:.120}"
+    );
+    assert!(
+        pipelined.contains("HTTP/1.1 400 "),
+        "garbage tail not rejected: {pipelined:.200}"
+    );
+
+    // The server is still fully alive after the whole corpus.
+    let mut client = Client::connect(addr).expect("connect after corpus");
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    server.shutdown_and_join().expect("clean drain");
+}
+
+#[test]
+fn field_level_violations_answer_422_not_400() {
+    let server = Server::spawn(ServeConfig::default(), tiny_neusight()).expect("spawn server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    for (body, field) in [
+        (r#"{"model":"bert","gpu":"T4","batch":0}"#, "batch"),
+        (r#"{"model":"bert","gpu":"T4","batch":1000000}"#, "batch"),
+        (r#"{"model":"","gpu":"T4"}"#, "model"),
+        (r#"{"model":"bert","gpu":""}"#, "gpu"),
+    ] {
+        let response = client.post_json("/v1/predict", body).expect("predict");
+        assert_eq!(response.status, 422, "body {body}: {}", response.text());
+        assert!(
+            response.text().contains(field),
+            "422 for {body} must name `{field}`: {}",
+            response.text()
+        );
+    }
+
+    // Plausible-but-unknown names remain 400s from the resolvers.
+    let unknown = client
+        .post_json("/v1/predict", r#"{"model":"nonesuch","gpu":"T4"}"#)
+        .expect("predict");
+    assert_eq!(unknown.status, 400);
+    server.shutdown_and_join().expect("clean drain");
+}
