@@ -1,24 +1,40 @@
 //! Load generator for the `neusight-serve` HTTP prediction service:
-//! drives `POST /v1/predict` over localhost at configurable concurrency
-//! and records throughput and latency percentiles in `BENCH_serve.json`.
+//! drives `POST /v1/predict` over localhost at one or more concurrency
+//! levels and records throughput and latency percentiles.
 //!
 //! ```text
 //! cargo run --release -p neusight-bench --bin loadgen -- \
-//!     [--concurrency N] [--duration-s F] [--addr HOST:PORT] [--out FILE]
+//!     [--concurrency N[,N,...]] [--duration-s F] [--reactor] \
+//!     [--addr HOST:PORT] [--out FILE]
 //! ```
 //!
+//! A single `--concurrency` value emits the flat `BENCH_serve.json`
+//! schema; a comma-separated list runs a sweep and emits one file with a
+//! per-level `levels` array (`BENCH_serve2.json`).
+//!
 //! By default the generator is **self-hosting**: it trains a tiny
-//! predictor, boots a server on an ephemeral loopback port in-process,
-//! warms the prediction cache, measures, then drains the server — so CI
-//! needs no orchestration. Pass `--addr` to aim at an external server
-//! instead (it must already be running and warm).
+//! predictor, boots a server on an ephemeral loopback port in-process
+//! (`--reactor` selects the epoll event-loop mode), warms the prediction
+//! cache, measures, then drains the server — so CI needs no
+//! orchestration. Pass `--addr` to aim at an external server instead (it
+//! must already be running and warm).
+//!
+//! # Client design
+//!
+//! Concurrency here means **in-flight requests**, not OS threads. Each
+//! worker thread multiplexes many keep-alive connections: it writes one
+//! request on every connection it owns, then collects the responses.
+//! That keeps the generator honest at 256-way on small CI machines —
+//! 256 blocking client threads would measure the scheduler, not the
+//! server.
 
 use neusight_core::{NeuSight, NeuSightConfig};
 use neusight_data::{collect_training_set, training_gpus, SweepScale};
 use neusight_gpu::DType;
 use neusight_serve::{Client, RunningServer, ServeConfig, Server};
 use serde::Serialize;
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 /// The request mix every worker cycles through. Small on purpose: after
@@ -40,19 +56,43 @@ struct LatencySummary {
     max_ms: f64,
 }
 
+/// Flat single-level schema (`BENCH_serve.json`, kept for continuity
+/// with earlier baselines).
 #[derive(Debug, Serialize)]
 struct ServeSummary {
     generated_by: String,
     addr: String,
+    mode: String,
     concurrency: usize,
     duration_s: f64,
     requests: usize,
     errors: usize,
-    /// 429-triggered retries absorbed by the client's `Retry-After`
-    /// backoff — overload pressure that did *not* become an error.
+    /// Legacy field: 429-triggered retries. The mux client sizes the
+    /// self-hosted queue to the offered load, so overload shows up in
+    /// `errors` instead; against external servers this stays 0 too.
     retries: u64,
     throughput_rps: f64,
     latency: LatencySummary,
+}
+
+/// One concurrency level of a sweep.
+#[derive(Debug, Serialize)]
+struct LevelSummary {
+    concurrency: usize,
+    duration_s: f64,
+    requests: usize,
+    errors: usize,
+    throughput_rps: f64,
+    latency: LatencySummary,
+}
+
+/// Sweep schema (`BENCH_serve2.json`).
+#[derive(Debug, Serialize)]
+struct SweepSummary {
+    generated_by: String,
+    addr: String,
+    mode: String,
+    levels: Vec<LevelSummary>,
 }
 
 /// `q`-quantile of an ascending latency list (nearest-rank).
@@ -71,11 +111,38 @@ fn percentile(sorted_ns: &[u64], q: f64) -> f64 {
     ms
 }
 
-fn parse_args() -> (usize, f64, Option<String>, String) {
-    let mut concurrency = 32usize;
-    let mut duration_s = 3.0f64;
-    let mut addr: Option<String> = None;
-    let mut out = "BENCH_serve.json".to_owned();
+fn summarize(sorted_ns: &[u64]) -> LatencySummary {
+    #[allow(clippy::cast_precision_loss)]
+    let mean_ms = if sorted_ns.is_empty() {
+        0.0
+    } else {
+        sorted_ns.iter().map(|&ns| ns as f64).sum::<f64>() / sorted_ns.len() as f64 / 1e6
+    };
+    LatencySummary {
+        mean_ms,
+        p50_ms: percentile(sorted_ns, 0.50),
+        p95_ms: percentile(sorted_ns, 0.95),
+        p99_ms: percentile(sorted_ns, 0.99),
+        max_ms: percentile(sorted_ns, 1.0),
+    }
+}
+
+struct Args {
+    levels: Vec<usize>,
+    duration_s: f64,
+    addr: Option<String>,
+    out: String,
+    reactor: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        levels: vec![32],
+        duration_s: 3.0,
+        addr: None,
+        out: "BENCH_serve.json".to_owned(),
+        reactor: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -83,41 +150,227 @@ fn parse_args() -> (usize, f64, Option<String>, String) {
                 .unwrap_or_else(|| panic!("--{name} needs a value"))
         };
         match flag.as_str() {
-            "--concurrency" => concurrency = value("concurrency").parse().expect("usize"),
-            "--duration-s" => duration_s = value("duration-s").parse().expect("seconds"),
-            "--addr" => addr = Some(value("addr")),
-            "--out" => out = value("out"),
+            "--concurrency" => {
+                parsed.levels = value("concurrency")
+                    .split(',')
+                    .map(|level| level.trim().parse().expect("usize concurrency"))
+                    .collect();
+                assert!(!parsed.levels.is_empty(), "--concurrency needs a value");
+            }
+            "--duration-s" => parsed.duration_s = value("duration-s").parse().expect("seconds"),
+            "--addr" => parsed.addr = Some(value("addr")),
+            "--out" => parsed.out = value("out"),
+            "--reactor" => parsed.reactor = true,
             other => panic!("unknown flag {other} (see the bin docs)"),
         }
     }
-    (concurrency, duration_s, addr, out)
+    parsed
 }
 
-/// Boots an in-process server sized for the benchmark.
-fn self_host(concurrency: usize) -> RunningServer {
+/// Boots an in-process server sized for the benchmark's peak level.
+fn self_host(peak: usize, reactor: bool) -> RunningServer {
     eprintln!("training a tiny predictor for the in-process server…");
     let data = collect_training_set(&training_gpus(), SweepScale::Tiny, DType::F32);
     let ns = NeuSight::train(&data, &NeuSightConfig::tiny()).expect("tiny training");
     let config = ServeConfig {
-        workers: concurrency + 4,
-        queue_depth: (concurrency * 8).max(256),
+        workers: peak + 4,
+        queue_depth: (peak * 8).max(256),
+        reactor,
         ..ServeConfig::default()
     };
     Server::spawn(config, ns).expect("bind loopback server")
 }
 
-fn main() {
-    let (concurrency, duration_s, external_addr, out_path) = parse_args();
+/// A raw keep-alive connection the mux worker drives: request bytes go
+/// out in one write, responses are parsed just enough to get the status
+/// and skip the body.
+struct RawConn {
+    stream: TcpStream,
+    /// Unconsumed response bytes from a previous read.
+    buf: Vec<u8>,
+    /// When the currently in-flight request was written.
+    sent: Instant,
+}
 
-    let hosted: Option<RunningServer> = match external_addr {
+impl RawConn {
+    fn connect(addr: SocketAddr) -> std::io::Result<RawConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(RawConn {
+            stream,
+            buf: Vec::new(),
+            sent: Instant::now(),
+        })
+    }
+
+    fn send(&mut self, request: &[u8]) -> std::io::Result<()> {
+        self.sent = Instant::now();
+        self.stream.write_all(request)
+    }
+
+    /// Reads one full response, returning `(status, latency_ns)`.
+    fn recv(&mut self) -> std::io::Result<(u16, u64)> {
+        let mut chunk = [0u8; 4096];
+        let (head_len, status, content_length) = loop {
+            if let Some(head_end) = find_head_end(&self.buf) {
+                let head = std::str::from_utf8(&self.buf[..head_end]).map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF8 head")
+                })?;
+                break (head_end, parse_status(head)?, parse_content_length(head));
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let total = head_len + content_length;
+        while self.buf.len() < total {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        self.buf.drain(..total);
+        #[allow(clippy::cast_possible_truncation)]
+        let latency_ns = self.sent.elapsed().as_nanos() as u64;
+        Ok((status, latency_ns))
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+fn parse_status(head: &str) -> std::io::Result<u16> {
+    head.split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))
+}
+
+fn parse_content_length(head: &str) -> usize {
+    head.lines()
+        .filter_map(|line| line.split_once(':'))
+        .find(|(name, _)| name.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, value)| value.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Pre-rendered request bytes for the whole mix, matching the blocking
+/// client's wire format.
+fn request_templates(addr: SocketAddr) -> Vec<Vec<u8>> {
+    REQUESTS
+        .iter()
+        .map(|body| {
+            format!(
+                "POST /v1/predict HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .into_bytes()
+        })
+        .collect()
+}
+
+/// Drives one concurrency level: `level` in-flight requests multiplexed
+/// over `level` keep-alive connections split across a few worker threads.
+fn run_level(addr: SocketAddr, level: usize, duration_s: f64) -> LevelSummary {
+    let threads = level.min(
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .max(2),
+    );
+    let templates = request_templates(addr);
+    eprintln!(
+        "driving http://{addr} at {level}-way concurrency \
+         ({threads} mux threads) for {duration_s:.1} s…"
+    );
+    let deadline = Instant::now() + Duration::from_secs_f64(duration_s);
+    let started = Instant::now();
+    let mut results: Vec<(Vec<u64>, usize)> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let templates = &templates;
+            // Distribute the connections as evenly as possible.
+            let conns = level / threads + usize::from(worker < level % threads);
+            workers.push(scope.spawn(move || {
+                let mut conns: Vec<RawConn> = (0..conns)
+                    .map(|_| RawConn::connect(addr).expect("connect mux"))
+                    .collect();
+                let mut latencies_ns: Vec<u64> = Vec::with_capacity(262_144);
+                let mut errors = 0usize;
+                let mut next = worker; // stagger the mix across workers
+                while Instant::now() < deadline {
+                    // One round: a request in flight on every connection,
+                    // then collect the responses.
+                    for conn in &mut conns {
+                        let template = &templates[next % templates.len()];
+                        next += 1;
+                        if conn.send(template).is_err() {
+                            errors += 1;
+                        }
+                    }
+                    for conn in &mut conns {
+                        match conn.recv() {
+                            Ok((200, latency_ns)) => latencies_ns.push(latency_ns),
+                            Ok(_) | Err(_) => errors += 1,
+                        }
+                    }
+                }
+                (latencies_ns, errors)
+            }));
+        }
+        for worker in workers {
+            results.push(worker.join().expect("mux worker"));
+        }
+    });
+    let measured_s = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = 0usize;
+    for (worker_latencies, worker_errors) in results {
+        latencies.extend(worker_latencies);
+        errors += worker_errors;
+    }
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    #[allow(clippy::cast_precision_loss)]
+    let throughput_rps = requests as f64 / measured_s;
+    let latency = summarize(&latencies);
+    eprintln!(
+        "  {requests} requests in {measured_s:.2} s → {throughput_rps:.0} req/s \
+         (p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, {errors} errors)",
+        latency.p50_ms, latency.p95_ms, latency.p99_ms
+    );
+    LevelSummary {
+        concurrency: level,
+        duration_s: measured_s,
+        requests,
+        errors,
+        throughput_rps,
+        latency,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let peak = args.levels.iter().copied().max().unwrap_or(32);
+
+    let hosted: Option<RunningServer> = match args.addr {
         Some(_) => None,
-        None => Some(self_host(concurrency)),
+        None => Some(self_host(peak, args.reactor)),
     };
-    let addr: SocketAddr = match (&external_addr, &hosted) {
+    let addr: SocketAddr = match (&args.addr, &hosted) {
         (Some(text), _) => text.parse().expect("--addr must be HOST:PORT"),
         (None, Some(server)) => server.addr(),
         (None, None) => unreachable!(),
     };
+    let mode = if args.reactor { "reactor" } else { "threaded" };
 
     // Warmup: populate the memo cache (and fault in every graph) so the
     // measured window sees the steady state.
@@ -133,100 +386,48 @@ fn main() {
     }
     drop(warm);
 
-    eprintln!("driving http://{addr} at {concurrency}-way concurrency for {duration_s:.1} s…");
-    let deadline = Instant::now() + Duration::from_secs_f64(duration_s);
-    let started = Instant::now();
-    let mut results: Vec<(Vec<u64>, usize, u64)> = Vec::with_capacity(concurrency);
-    std::thread::scope(|scope| {
-        let mut workers = Vec::with_capacity(concurrency);
-        for worker in 0..concurrency {
-            workers.push(scope.spawn(move || {
-                let mut client = Client::connect(addr).expect("connect worker");
-                let mut latencies_ns: Vec<u64> = Vec::with_capacity(65_536);
-                let mut errors = 0usize;
-                let mut retries = 0u64;
-                let mut next = worker; // stagger the mix across workers
-                while Instant::now() < deadline {
-                    let body = REQUESTS[next % REQUESTS.len()];
-                    next += 1;
-                    let sent = Instant::now();
-                    // Honor 429 Retry-After with a small bounded budget:
-                    // overload shows up as `retries`, not `errors`.
-                    match client.post_json_with_retry(
-                        "/v1/predict",
-                        body,
-                        3,
-                        Duration::from_millis(250),
-                    ) {
-                        Ok(outcome) => {
-                            retries += u64::from(outcome.retries);
-                            if outcome.response.status == 200 {
-                                #[allow(clippy::cast_possible_truncation)]
-                                latencies_ns.push(sent.elapsed().as_nanos() as u64);
-                            } else {
-                                errors += 1;
-                            }
-                        }
-                        Err(_) => errors += 1,
-                    }
-                }
-                (latencies_ns, errors, retries)
-            }));
-        }
-        for worker in workers {
-            results.push(worker.join().expect("worker thread"));
-        }
-    });
-    let measured_s = started.elapsed().as_secs_f64();
-
-    let mut latencies: Vec<u64> = Vec::new();
-    let mut errors = 0usize;
-    let mut retries = 0u64;
-    for (worker_latencies, worker_errors, worker_retries) in results {
-        latencies.extend(worker_latencies);
-        errors += worker_errors;
-        retries += worker_retries;
-    }
-    latencies.sort_unstable();
-    let requests = latencies.len();
-    #[allow(clippy::cast_precision_loss)]
-    let throughput_rps = requests as f64 / measured_s;
-    #[allow(clippy::cast_precision_loss)]
-    let mean_ms = if requests == 0 {
-        0.0
-    } else {
-        latencies.iter().map(|&ns| ns as f64).sum::<f64>() / requests as f64 / 1e6
-    };
-    let latency = LatencySummary {
-        mean_ms,
-        p50_ms: percentile(&latencies, 0.50),
-        p95_ms: percentile(&latencies, 0.95),
-        p99_ms: percentile(&latencies, 0.99),
-        max_ms: percentile(&latencies, 1.0),
-    };
-    eprintln!(
-        "{requests} requests in {measured_s:.2} s → {throughput_rps:.0} req/s \
-         (p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, {errors} errors, {retries} retries)",
-        latency.p50_ms, latency.p95_ms, latency.p99_ms
-    );
+    let levels: Vec<LevelSummary> = args
+        .levels
+        .iter()
+        .map(|&level| run_level(addr, level, args.duration_s))
+        .collect();
 
     if let Some(server) = hosted {
         server.shutdown_and_join().expect("graceful drain");
         eprintln!("in-process server drained cleanly");
     }
 
-    let summary = ServeSummary {
-        generated_by: "cargo run --release -p neusight-bench --bin loadgen".to_owned(),
-        addr: addr.to_string(),
-        concurrency,
-        duration_s: measured_s,
-        requests,
-        errors,
-        retries,
-        throughput_rps,
-        latency,
+    let generated_by = "cargo run --release -p neusight-bench --bin loadgen".to_owned();
+    let json = if let [only] = levels.as_slice() {
+        // Single level: the flat legacy schema.
+        let summary = ServeSummary {
+            generated_by,
+            addr: addr.to_string(),
+            mode: mode.to_owned(),
+            concurrency: only.concurrency,
+            duration_s: only.duration_s,
+            requests: only.requests,
+            errors: only.errors,
+            retries: 0,
+            throughput_rps: only.throughput_rps,
+            latency: LatencySummary {
+                mean_ms: only.latency.mean_ms,
+                p50_ms: only.latency.p50_ms,
+                p95_ms: only.latency.p95_ms,
+                p99_ms: only.latency.p99_ms,
+                max_ms: only.latency.max_ms,
+            },
+        };
+        serde_json::to_string_pretty(&summary).expect("serializable")
+    } else {
+        let summary = SweepSummary {
+            generated_by,
+            addr: addr.to_string(),
+            mode: mode.to_owned(),
+            levels,
+        };
+        serde_json::to_string_pretty(&summary).expect("serializable")
     };
-    let json = serde_json::to_string_pretty(&summary).expect("serializable");
-    std::fs::write(&out_path, json + "\n").expect("write summary");
-    eprintln!("wrote {out_path}");
+    std::fs::write(&args.out, json + "\n").expect("write summary");
+    eprintln!("wrote {}", args.out);
 }

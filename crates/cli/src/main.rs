@@ -202,6 +202,7 @@ fn print_usage() {
          global flags:\n\
            --predictor FILE      predictor path (default neusight-predictor.json)\n\
            --cache-capacity N    bound the prediction memo cache (entries)\n\
+           --cache-shards N      prediction-cache lock shards (default 16)\n\
            --fault-spec SPEC     arm failpoints, e.g. data.collect.device=0.2\n\
            --fault-seed N        deterministic fault schedule seed\n\n\
          observability (any command):\n\
@@ -226,6 +227,12 @@ fn load_or_train(args: &Args) -> Result<NeuSight, Box<dyn std::error::Error>> {
         eprintln!("saved to {path}");
         ns
     };
+    if let Some(shards) = args.option("cache-shards") {
+        let shards: usize = shards
+            .parse()
+            .map_err(|_| ArgError(format!("invalid value `{shards}` for --cache-shards")))?;
+        ns.set_prediction_cache_shards(shards);
+    }
     if let Some(capacity) = args.option("cache-capacity") {
         let capacity: usize = capacity
             .parse()
@@ -649,11 +656,17 @@ fn cmd_serve(args: &Args) -> CliResult {
         deadline: std::time::Duration::from_millis(args.get_or("deadline-ms", 1000u64)?),
         max_batch: args.get_or("max-batch", 64usize)?,
         handle_signals: true,
+        reactor: args.has("reactor"),
         ..neusight_serve::ServeConfig::default()
     };
+    let reactor = config.reactor;
     let ns = load_or_train(args)?;
     let server = neusight_serve::Server::bind(config, ns)?;
-    println!("serving on http://{}", server.local_addr());
+    println!(
+        "serving on http://{} ({} mode)",
+        server.local_addr(),
+        if reactor { "reactor" } else { "threaded" }
+    );
     println!("  POST /v1/predict   {{\"model\":\"gpt2\",\"gpu\":\"H100\",\"batch\":4}}");
     println!("  GET  /v1/models    GET /v1/gpus    GET /healthz    GET /metrics");
     println!("SIGTERM or Ctrl-C drains in-flight requests and exits");

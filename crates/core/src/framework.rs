@@ -10,13 +10,14 @@ use neusight_gpu::{
 };
 use neusight_graph::{Graph, Phase};
 use neusight_obs as obs;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fs;
 use std::hash::{Hash, Hasher};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Training configuration for the whole framework: one
@@ -128,82 +129,290 @@ fn record_family_latency(family: &str, latency_s: f64) {
     obs::metrics::histogram(&format!("core.predicted_latency_ns.{family}")).record_secs(latency_s);
 }
 
-/// Memoized per-kernel predictions, keyed by GPU fingerprint then op,
-/// bounded to `capacity` entries with FIFO (insertion-order) eviction.
-#[derive(Debug)]
-struct CacheInner {
-    per_gpu: HashMap<u64, HashMap<OpDesc, f64>>,
-    /// Insertion order of every live entry, oldest first.
+/// Default shard count for the prediction cache. The effective count is
+/// capped so that every shard gets at least [`MIN_ENTRIES_PER_SHARD`]
+/// entries of budget — tiny caches (unit tests, `--cache-capacity 4`)
+/// collapse to a single shard and keep exact global FIFO semantics.
+pub const DEFAULT_PREDICTION_CACHE_SHARDS: usize = 16;
+
+/// Minimum per-shard capacity before the cache stops splitting further.
+const MIN_ENTRIES_PER_SHARD: usize = 1024;
+
+/// Exact point-in-time accounting for one cache shard. The invariant
+/// `inserts - evictions == entries` holds at any quiescent point because
+/// all three are updated under the shard's own lock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheShardStats {
+    /// Live entries in this shard.
+    pub entries: usize,
+    /// This shard's share of the total capacity.
+    pub capacity: usize,
+    /// Lookup hits since the last reshard.
+    pub hits: u64,
+    /// Lookup misses since the last reshard.
+    pub misses: u64,
+    /// FIFO evictions since the last reshard.
+    pub evictions: u64,
+    /// Inserts since the last reshard.
+    pub inserts: u64,
+}
+
+/// One cache shard: a small FIFO map behind its own mutex, plus ungated
+/// atomic counters (unlike the obs counters, these count even while
+/// observability is disabled, so occupancy accounting is always exact).
+#[derive(Debug, Default)]
+struct Shard {
+    inner: Mutex<ShardInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    inserts: AtomicU64,
+}
+
+/// Mutable state of one shard. Values carry a global insertion sequence
+/// number so a reshard can rebuild the exact FIFO order across shards.
+#[derive(Debug, Default)]
+struct ShardInner {
+    map: HashMap<(u64, OpDesc), (f64, u64)>,
+    /// Insertion order of this shard's live entries, oldest first.
     order: VecDeque<(u64, OpDesc)>,
-    /// Total live entries across all GPUs.
-    len: usize,
     capacity: usize,
 }
 
-impl Default for CacheInner {
-    fn default() -> CacheInner {
-        CacheInner {
-            per_gpu: HashMap::new(),
-            order: VecDeque::new(),
-            len: 0,
-            capacity: DEFAULT_PREDICTION_CACHE_CAPACITY,
-        }
-    }
+/// The shard layout: rebuilt (rarely) when capacity or shard count
+/// changes; read-locked (cheaply) on every cache access.
+#[derive(Debug)]
+struct CacheState {
+    shards: Box<[Shard]>,
+    mask: u64,
+    total_capacity: usize,
+    configured_shards: usize,
 }
 
-impl CacheInner {
-    fn get(&self, fp: u64, op: &OpDesc) -> Option<f64> {
-        self.per_gpu.get(&fp).and_then(|m| m.get(op).copied())
-    }
-
-    /// Inserts if absent, evicting the oldest entries once over capacity.
-    fn insert(&mut self, fp: u64, op: &OpDesc, latency_s: f64) {
-        let per_gpu = self.per_gpu.entry(fp).or_default();
-        if per_gpu.contains_key(op) {
-            return;
-        }
-        per_gpu.insert(op.clone(), latency_s);
-        self.order.push_back((fp, op.clone()));
-        self.len += 1;
-        self.evict_over_capacity();
-    }
-
-    fn evict_over_capacity(&mut self) {
-        while self.len > self.capacity {
-            let Some((fp, op)) = self.order.pop_front() else {
-                break;
-            };
-            if let Some(per_gpu) = self.per_gpu.get_mut(&fp) {
-                if per_gpu.remove(&op).is_some() {
-                    self.len -= 1;
-                    core_metrics().cache_eviction.inc();
-                }
-                if per_gpu.is_empty() {
-                    self.per_gpu.remove(&fp);
-                }
-            }
-        }
-    }
-
-    fn clear(&mut self) {
-        self.per_gpu.clear();
-        self.order.clear();
-        self.len = 0;
-    }
-
-    #[allow(clippy::cast_precision_loss)]
-    fn publish_size(&self) {
-        core_metrics().cache_size.set(self.len as f64);
-    }
+#[derive(Debug)]
+struct PredictionCacheInner {
+    state: RwLock<CacheState>,
+    /// Total live entries, maintained by atomic add/sub under shard locks.
+    len: AtomicUsize,
+    /// Monotonic insertion counter, shared by all shards.
+    seq: AtomicU64,
 }
 
-/// The shared prediction cache.
+/// The shared prediction cache, sharded by `(GPU fingerprint, OpDesc)`
+/// hash.
 ///
 /// Lives behind an `Arc` so clones of a trained framework share one cache
 /// (prediction is pure, so sharing is value-transparent). Skipped by serde:
 /// a loaded framework starts cold.
-#[derive(Debug, Clone, Default)]
-struct PredictionCache(Arc<Mutex<CacheInner>>);
+///
+/// The hot path takes one uncontended `RwLock` read (the shard layout)
+/// plus one shard mutex; concurrent lookups for different kernels hit
+/// different shards and proceed in parallel — the serving layer's
+/// replacement for the former single global `Mutex`.
+#[derive(Debug, Clone)]
+struct PredictionCache(Arc<PredictionCacheInner>);
+
+/// Largest power of two `<= x` (x >= 1).
+fn prev_power_of_two(x: usize) -> usize {
+    debug_assert!(x >= 1);
+    1 << (usize::BITS - 1 - x.leading_zeros())
+}
+
+/// Effective shard count for a capacity: the configured count (rounded up
+/// to a power of two), capped so each shard is budgeted at least
+/// [`MIN_ENTRIES_PER_SHARD`] entries. Capacities below the threshold use
+/// one shard, which preserves exact global FIFO order and counts.
+fn effective_shards(total_capacity: usize, configured: usize) -> usize {
+    let configured = configured.clamp(1, 1024).next_power_of_two();
+    if total_capacity < 2 * MIN_ENTRIES_PER_SHARD {
+        return 1;
+    }
+    configured.min(prev_power_of_two(total_capacity / MIN_ENTRIES_PER_SHARD))
+}
+
+impl CacheState {
+    fn new(total_capacity: usize, configured_shards: usize) -> CacheState {
+        let count = effective_shards(total_capacity, configured_shards);
+        let per_shard = total_capacity / count;
+        let shards: Box<[Shard]> = (0..count)
+            .map(|_| Shard {
+                inner: Mutex::new(ShardInner {
+                    capacity: per_shard,
+                    ..ShardInner::default()
+                }),
+                ..Shard::default()
+            })
+            .collect();
+        CacheState {
+            shards,
+            mask: (count - 1) as u64,
+            total_capacity,
+            configured_shards,
+        }
+    }
+
+    fn shard_for(&self, hash: u64) -> &Shard {
+        &self.shards[(hash & self.mask) as usize]
+    }
+}
+
+impl Default for PredictionCache {
+    fn default() -> PredictionCache {
+        PredictionCache(Arc::new(PredictionCacheInner {
+            state: RwLock::new(CacheState::new(
+                DEFAULT_PREDICTION_CACHE_CAPACITY,
+                DEFAULT_PREDICTION_CACHE_SHARDS,
+            )),
+            len: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// Shard-selection hash for a cache key. Independent of the per-shard
+/// `HashMap`'s own hashing (different `DefaultHasher` seed positions), so
+/// shard skew does not correlate with in-shard collisions.
+fn cache_key_hash(fp: u64, op: &OpDesc) -> u64 {
+    let mut h = DefaultHasher::new();
+    fp.hash(&mut h);
+    op.hash(&mut h);
+    h.finish()
+}
+
+impl PredictionCache {
+    /// Looks up one `(GPU, op)` key, counting the hit/miss on the owning
+    /// shard (always) and the global obs counters (when enabled).
+    fn get(&self, fp: u64, op: &OpDesc) -> Option<f64> {
+        let state = self.0.state.read();
+        let shard = state.shard_for(cache_key_hash(fp, op));
+        let found = shard.inner.lock().map.get(&(fp, op.clone())).map(|e| e.0);
+        if found.is_some() {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            core_metrics().cache_hit.inc();
+        } else {
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+            core_metrics().cache_miss.inc();
+        }
+        found
+    }
+
+    /// Inserts if absent, evicting this shard's oldest entries once over
+    /// its budget. All occupancy accounting happens under the shard lock,
+    /// so `inserts - evictions == entries` is exact per shard.
+    fn insert(&self, fp: u64, op: &OpDesc, latency_s: f64) {
+        let state = self.0.state.read();
+        let shard = state.shard_for(cache_key_hash(fp, op));
+        let mut inner = shard.inner.lock();
+        if inner.capacity == 0 {
+            return;
+        }
+        let key = (fp, op.clone());
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        let seq = self.0.seq.fetch_add(1, Ordering::Relaxed);
+        inner.order.push_back(key.clone());
+        inner.map.insert(key, (latency_s, seq));
+        shard.inserts.fetch_add(1, Ordering::Relaxed);
+        self.0.len.fetch_add(1, Ordering::Relaxed);
+        self.evict_shard_over_capacity(shard, &mut inner);
+    }
+
+    fn evict_shard_over_capacity(&self, shard: &Shard, inner: &mut ShardInner) {
+        while inner.map.len() > inner.capacity {
+            let Some(key) = inner.order.pop_front() else {
+                break;
+            };
+            if inner.map.remove(&key).is_some() {
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
+                self.0.len.fetch_sub(1, Ordering::Relaxed);
+                core_metrics().cache_eviction.inc();
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.0.len.load(Ordering::Relaxed)
+    }
+
+    fn capacity(&self) -> usize {
+        self.0.state.read().total_capacity
+    }
+
+    fn shard_count(&self) -> usize {
+        self.0.state.read().shards.len()
+    }
+
+    fn clear(&self) {
+        let state = self.0.state.read();
+        for shard in &state.shards {
+            let mut inner = shard.inner.lock();
+            let removed = inner.map.len();
+            inner.map.clear();
+            inner.order.clear();
+            self.0.len.fetch_sub(removed, Ordering::Relaxed);
+        }
+    }
+
+    /// Rebuilds the shard layout for a new capacity and/or configured
+    /// shard count, preserving entries (newest survive) and counting
+    /// overflow as evictions. Holds the write lock, so it is mutually
+    /// exclusive with all lookups; capacity changes are rare
+    /// (startup / tests), lookups are the hot path.
+    fn reshard(&self, total_capacity: usize, configured_shards: usize) {
+        let mut state = self.0.state.write();
+        // Drain every live entry with its insertion sequence number.
+        let mut entries: Vec<((u64, OpDesc), (f64, u64))> = Vec::with_capacity(self.len());
+        for shard in &state.shards {
+            let mut inner = shard.inner.lock();
+            entries.extend(inner.map.drain());
+            inner.order.clear();
+        }
+        self.0.len.store(0, Ordering::Relaxed);
+        // Oldest first, so re-inserting replays the exact FIFO history.
+        entries.sort_unstable_by_key(|(_, (_, seq))| *seq);
+        *state = CacheState::new(total_capacity, configured_shards);
+        for ((fp, op), (lat, seq)) in entries {
+            let shard = state.shard_for(cache_key_hash(fp, &op));
+            let mut inner = shard.inner.lock();
+            if inner.capacity == 0 {
+                core_metrics().cache_eviction.inc();
+                continue;
+            }
+            inner.order.push_back((fp, op.clone()));
+            inner.map.insert((fp, op), (lat, seq));
+            self.0.len.fetch_add(1, Ordering::Relaxed);
+            self.evict_shard_over_capacity(shard, &mut inner);
+        }
+        drop(state);
+        self.publish_size();
+    }
+
+    /// Per-shard accounting snapshot, index-aligned with the shard array.
+    fn shard_stats(&self) -> Vec<CacheShardStats> {
+        let state = self.0.state.read();
+        state
+            .shards
+            .iter()
+            .map(|shard| {
+                let inner = shard.inner.lock();
+                CacheShardStats {
+                    entries: inner.map.len(),
+                    capacity: inner.capacity,
+                    hits: shard.hits.load(Ordering::Relaxed),
+                    misses: shard.misses.load(Ordering::Relaxed),
+                    evictions: shard.evictions.load(Ordering::Relaxed),
+                    inserts: shard.inserts.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn publish_size(&self) {
+        core_metrics().cache_size.set(self.len() as f64);
+    }
+}
 
 /// A stable identity for a [`GpuSpec`] in the prediction cache: the name
 /// plus the exact bit patterns of every numeric field, so two specs that
@@ -340,20 +549,15 @@ impl NeuSight {
             family = op.op_class().name()
         );
         let fp = spec_fingerprint(spec);
-        if let Some(hit) = self.cache.0.lock().get(fp, op) {
-            core_metrics().cache_hit.inc();
+        if let Some(hit) = self.cache.get(fp, op) {
             return Ok(hit);
         }
-        core_metrics().cache_miss.inc();
         let lat = self.predict_op_uncached(op, spec)?;
         if obs::enabled() {
             record_family_latency(op.op_class().name(), lat);
         }
-        {
-            let mut cache = self.cache.0.lock();
-            cache.insert(fp, op, lat);
-            cache.publish_size();
-        }
+        self.cache.insert(fp, op, lat);
+        self.cache.publish_size();
         Ok(lat)
     }
 
@@ -385,32 +589,77 @@ impl NeuSight {
 
     /// Drops all memoized predictions (e.g. between benchmark iterations).
     pub fn clear_prediction_cache(&self) {
-        let mut cache = self.cache.0.lock();
-        cache.clear();
-        cache.publish_size();
+        self.cache.clear();
+        self.cache.publish_size();
     }
 
     /// Number of memoized `(GPU, op)` predictions currently held.
     #[must_use]
     pub fn prediction_cache_len(&self) -> usize {
-        self.cache.0.lock().len
+        self.cache.len()
     }
 
-    /// The prediction cache's entry bound.
+    /// The prediction cache's entry bound (summed across shards).
     #[must_use]
     pub fn prediction_cache_capacity(&self) -> usize {
-        self.cache.0.lock().capacity
+        self.cache.capacity()
     }
 
     /// Re-bounds the prediction cache, evicting oldest-first down to the
     /// new capacity immediately. Evictions increment the
     /// `core.predict_cache.eviction` counter. A capacity of 0 disables
     /// memoization entirely.
+    ///
+    /// Shrinking may also shrink the shard count (see
+    /// [`NeuSight::set_prediction_cache_shards`]); surviving entries keep
+    /// their original insertion order.
     pub fn set_prediction_cache_capacity(&self, capacity: usize) {
-        let mut cache = self.cache.0.lock();
-        cache.capacity = capacity;
-        cache.evict_over_capacity();
-        cache.publish_size();
+        let shards = self.cache.0.state.read().configured_shards;
+        self.cache.reshard(capacity, shards);
+    }
+
+    /// Number of live cache shards. Lookups for different kernels that
+    /// land in different shards never contend.
+    #[must_use]
+    pub fn prediction_cache_shards(&self) -> usize {
+        self.cache.shard_count()
+    }
+
+    /// Requests a shard count (rounded up to a power of two, clamped to
+    /// `1..=1024`). The effective count is additionally capped so each
+    /// shard keeps a useful FIFO window — tiny capacities always use one
+    /// shard, preserving exact global insertion-order eviction.
+    pub fn set_prediction_cache_shards(&self, shards: usize) {
+        let capacity = self.cache.capacity();
+        self.cache.reshard(capacity, shards.max(1));
+    }
+
+    /// Exact per-shard occupancy and hit/miss/eviction/insert counts.
+    /// Unlike the obs counters these are unconditional, so
+    /// `inserts - evictions == entries` holds per shard at any quiescent
+    /// point.
+    #[must_use]
+    pub fn prediction_cache_shard_stats(&self) -> Vec<CacheShardStats> {
+        self.cache.shard_stats()
+    }
+
+    /// Publishes per-shard cache gauges through obs (no-op while
+    /// observability is disabled): `core.predict_cache.entries.shard<i>`,
+    /// `.hits.shard<i>`, `.evictions.shard<i>` plus `.total` aggregates,
+    /// and the legacy `core.predict_cache.size` gauge.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn publish_cache_metrics(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        let stats = self.cache.shard_stats();
+        let entries: Vec<f64> = stats.iter().map(|s| s.entries as f64).collect();
+        let hits: Vec<f64> = stats.iter().map(|s| s.hits as f64).collect();
+        let evictions: Vec<f64> = stats.iter().map(|s| s.evictions as f64).collect();
+        obs::metrics::set_sharded_gauges("core.predict_cache.entries", &entries);
+        obs::metrics::set_sharded_gauges("core.predict_cache.hits", &hits);
+        obs::metrics::set_sharded_gauges("core.predict_cache.evictions", &evictions);
+        self.cache.publish_size();
     }
 
     /// Predicts per-device latency of a whole dataflow graph by summing
@@ -504,14 +753,11 @@ impl NeuSight {
         let mut latencies: Vec<Option<f64>> = vec![None; unique.len()];
         {
             let _stage = obs::span("cache_probe");
-            let cache = self.cache.0.lock();
-            let mut hits = 0u64;
+            // Per-key sharded lookups: concurrent batch requests probing
+            // different kernels touch different shard locks.
             for (slot, (gpu, op)) in unique.iter().enumerate() {
-                latencies[slot] = cache.get(gpu_fps[*gpu], op);
-                hits += u64::from(latencies[slot].is_some());
+                latencies[slot] = self.cache.get(gpu_fps[*gpu], op);
             }
-            core_metrics().cache_hit.add(hits);
-            core_metrics().cache_miss.add(unique.len() as u64 - hits);
         }
 
         // Uncached kernels: memory-bound fallbacks are closed-form; the
@@ -570,12 +816,11 @@ impl NeuSight {
 
         {
             let _stage = obs::span("cache_write");
-            let mut cache = self.cache.0.lock();
             for ((gpu, op), lat) in unique.iter().zip(&latencies) {
                 let lat = lat.expect("every unique op resolved");
-                cache.insert(gpu_fps[*gpu], op, lat);
+                self.cache.insert(gpu_fps[*gpu], op, lat);
             }
-            cache.publish_size();
+            self.cache.publish_size();
         }
 
         let _stage = obs::span("aggregate");
@@ -867,6 +1112,134 @@ mod tests {
         let graph = inference_graph(&config::bert_large(), 2);
         ns.predict_graph(&graph, &spec).unwrap();
         assert!(ns.prediction_cache_len() <= 3);
+    }
+
+    #[test]
+    fn sharded_cache_occupancy_accounting_is_exact() {
+        // Big enough for a real multi-shard layout: 8192 entries over 4
+        // shards of 2048 each.
+        let ns = tiny_framework();
+        let spec = catalog::gpu("T4").unwrap();
+        ns.set_prediction_cache_capacity(8192);
+        ns.set_prediction_cache_shards(4);
+        assert_eq!(ns.prediction_cache_shards(), 4);
+        // Insert well past capacity from 8 threads so inserts and
+        // evictions interleave across shards.
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let ns = ns.clone();
+                let spec = spec.clone();
+                scope.spawn(move || {
+                    for i in 0..1500u64 {
+                        let op = OpDesc::embedding(1 + t * 1500 + i, 32, 100);
+                        ns.predict_op(&op, &spec).unwrap();
+                    }
+                });
+            }
+        });
+        // The eviction-race fix: per-shard counters are updated under the
+        // shard lock, so inserts - evictions == entries exactly, per
+        // shard, and the shard sum matches the global length.
+        let stats = ns.prediction_cache_shard_stats();
+        let mut total_entries = 0usize;
+        for (i, s) in stats.iter().enumerate() {
+            assert_eq!(
+                s.inserts - s.evictions,
+                s.entries as u64,
+                "shard {i} occupancy drifted: {s:?}"
+            );
+            assert!(s.entries <= s.capacity, "shard {i} over budget: {s:?}");
+            total_entries += s.entries;
+        }
+        assert_eq!(total_entries, ns.prediction_cache_len());
+        assert_eq!(ns.prediction_cache_len(), 8192);
+    }
+
+    #[test]
+    fn tiny_capacity_collapses_to_one_shard() {
+        // Shard splitting must never shrink the FIFO window below what a
+        // small capacity promises; exact global FIFO needs one shard.
+        let ns = tiny_framework();
+        ns.set_prediction_cache_capacity(4);
+        ns.set_prediction_cache_shards(16);
+        assert_eq!(ns.prediction_cache_shards(), 1);
+        ns.set_prediction_cache_capacity(1 << 20);
+        assert_eq!(ns.prediction_cache_shards(), 16);
+    }
+
+    #[test]
+    fn reshard_preserves_entries_and_fifo_order() {
+        let ns = tiny_framework();
+        let spec = catalog::gpu("V100").unwrap();
+        let ops: Vec<OpDesc> = (1..=8)
+            .map(|i| OpDesc::embedding(64 * i, 32, 500))
+            .collect();
+        for op in &ops {
+            ns.predict_op(op, &spec).unwrap();
+        }
+        assert_eq!(ns.prediction_cache_len(), 8);
+        // Changing the shard request rebuilds the layout without losing
+        // entries...
+        ns.set_prediction_cache_shards(8);
+        assert_eq!(ns.prediction_cache_len(), 8);
+        // ...and a subsequent shrink still evicts oldest-first, proving
+        // insertion sequence numbers survived the rebuild.
+        ns.set_prediction_cache_capacity(3);
+        assert_eq!(ns.prediction_cache_len(), 3);
+        let stats = ns.prediction_cache_shard_stats();
+        assert_eq!(stats.iter().map(|s| s.entries).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn hammer_sharded_cache_bitwise_equals_uncached_64_threads() {
+        // 64 threads race predict_op over a shared working set; every
+        // result must be bitwise identical to the uncached reference path
+        // (the old Mutex cache's guarantee, now per shard).
+        let ns = tiny_framework();
+        let spec = catalog::gpu("A100-80GB").unwrap();
+        let ops: Vec<OpDesc> = (0..96)
+            .map(|i| match i % 3 {
+                0 => OpDesc::bmm(1 + i / 3, 64, 64, 64),
+                1 => OpDesc::embedding(128 * (1 + i / 3), 64, 1000),
+                _ => OpDesc::fc(64 * (1 + i / 3), 128, 256),
+            })
+            .collect();
+        let reference: Vec<u64> = ops
+            .iter()
+            .map(|op| ns.predict_op_uncached(op, &spec).unwrap().to_bits())
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..64usize {
+                let ns = ns.clone();
+                let spec = spec.clone();
+                let ops = &ops;
+                let reference = &reference;
+                scope.spawn(move || {
+                    // Each thread walks the set at a different offset so
+                    // first-insert races are spread over all keys.
+                    for round in 0..3 {
+                        for i in 0..ops.len() {
+                            let k = (i + t * 7 + round) % ops.len();
+                            let got = ns.predict_op(&ops[k], &spec).unwrap();
+                            assert_eq!(
+                                got.to_bits(),
+                                reference[k],
+                                "thread {t} diverged on op {k}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(ns.prediction_cache_len(), ops.len());
+        let stats = ns.prediction_cache_shard_stats();
+        for (i, s) in stats.iter().enumerate() {
+            assert_eq!(
+                s.inserts - s.evictions,
+                s.entries as u64,
+                "shard {i} occupancy drifted after hammer: {s:?}"
+            );
+        }
     }
 
     #[test]

@@ -5,13 +5,77 @@
 //! `(GPU, op family)` instead of one per request.
 
 use crate::queue::BoundedQueue;
-use crate::service::{PredictRequest, PredictResponse, PredictService, ServeError};
+use crate::service::{PredictRequest, PredictService, ServeError};
 use neusight_guard as guard;
 use neusight_obs as obs;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::SyncSender;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// A dispatcher reply: the serialized JSON response body, or the error to
+/// render.
+pub type ReplyResult = Result<Arc<str>, ServeError>;
+
+/// A mailbox for dispatcher completions destined for an event loop: the
+/// dispatcher pushes `(connection token, result)` pairs and fires the
+/// wake callback (the reactor's wakeup fd), and the event loop drains the
+/// batch on its next turn.
+pub struct Completions {
+    results: Mutex<Vec<(u64, ReplyResult)>>,
+    wake: Box<dyn Fn() + Send + Sync>,
+}
+
+impl Completions {
+    /// Creates a mailbox whose `wake` is invoked (outside the lock) after
+    /// every push.
+    pub fn new(wake: impl Fn() + Send + Sync + 'static) -> Arc<Completions> {
+        Arc::new(Completions {
+            results: Mutex::new(Vec::new()),
+            wake: Box::new(wake),
+        })
+    }
+
+    /// Delivers one completion and wakes the consumer.
+    pub fn push(&self, token: u64, result: ReplyResult) {
+        guard::recover_poison(self.results.lock()).push((token, result));
+        (self.wake)();
+    }
+
+    /// Takes everything delivered so far.
+    #[must_use]
+    pub fn drain(&self) -> Vec<(u64, ReplyResult)> {
+        std::mem::take(&mut *guard::recover_poison(self.results.lock()))
+    }
+}
+
+/// Where a finished job's result goes: a blocking per-request channel
+/// (thread-per-connection handlers) or a completion mailbox keyed by
+/// connection token (the reactor's event loop).
+pub enum Reply {
+    /// One-shot reply channel back to a connection-handler thread.
+    Channel(SyncSender<ReplyResult>),
+    /// Completion mailbox entry for the event loop.
+    Completion {
+        /// The reactor's generation-tagged connection token.
+        token: u64,
+        /// The event loop's mailbox.
+        completions: Arc<Completions>,
+    },
+}
+
+impl Reply {
+    /// Delivers the result. A dead receiver (handler gave up, connection
+    /// closed) is not an error: the prediction is memoized either way.
+    pub fn send(self, result: ReplyResult) {
+        match self {
+            Reply::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            Reply::Completion { token, completions } => completions.push(token, result),
+        }
+    }
+}
 
 /// A queued predict request plus its reply slot and deadline.
 pub struct Job {
@@ -21,8 +85,8 @@ pub struct Job {
     pub enqueued: Instant,
     /// Absolute deadline; jobs dequeued after it get a 504.
     pub deadline: Instant,
-    /// One-shot reply channel back to the connection handler.
-    pub reply: SyncSender<Result<PredictResponse, ServeError>>,
+    /// Where the serialized result goes.
+    pub reply: Reply,
 }
 
 /// Dispatcher tuning knobs (a subset of the server config).
@@ -110,7 +174,7 @@ fn serve_batch(
             .record_secs(now.duration_since(job.enqueued).as_secs_f64());
         if now > job.deadline {
             metrics.timeouts.inc();
-            let _ = job.reply.send(Err(ServeError {
+            job.reply.send(Err(ServeError {
                 status: 504,
                 message: "deadline exceeded while queued".to_owned(),
             }));
@@ -128,15 +192,15 @@ fn serve_batch(
     // batch, never the dispatcher thread.
     let attempt = guard::catch("serve.dispatch.batch", || {
         guard::inject_panic();
-        service.predict_batch(&requests)
+        service.predict_batch_serialized(&requests)
     });
     match attempt {
         Ok(results) => {
             for (job, result) in live.into_iter().zip(results) {
-                // A send failure means the handler gave up (client
+                // A dead receiver means the handler gave up (client
                 // timeout); the prediction is already memoized, so the
                 // work is not wasted.
-                let _ = job.reply.send(result);
+                job.reply.send(result);
             }
         }
         Err(_) => {
@@ -148,7 +212,7 @@ fn serve_batch(
                 let result = guard::catch("serve.dispatch.retry", || {
                     guard::inject_panic();
                     service
-                        .predict_batch(std::slice::from_ref(&job.request))
+                        .predict_batch_serialized(std::slice::from_ref(&job.request))
                         .pop()
                         .unwrap_or_else(|| {
                             Err(ServeError::internal("predict_batch returned no result"))
@@ -159,7 +223,7 @@ fn serve_batch(
                         "prediction worker panicked: {message}"
                     )))
                 });
-                let _ = job.reply.send(result);
+                job.reply.send(result);
             }
         }
     }

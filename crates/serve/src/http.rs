@@ -23,7 +23,10 @@ pub struct Request {
     pub method: String,
     /// Request path without the query string.
     pub path: String,
-    /// Header `(name, value)` pairs; names lower-cased.
+    /// Routing-relevant header `(name, value)` pairs, names lower-cased.
+    /// Since the in-place parser landed, only `connection: close` is
+    /// retained — `Content-Length` is consumed during body framing and
+    /// nothing else influences routing.
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
@@ -128,6 +131,113 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
 }
 
+/// A request head parsed **in place**: every field borrows from the
+/// connection's read buffer, so parsing a well-formed request allocates
+/// nothing. Routing only ever consults the method, path,
+/// `Content-Length`, and `Connection` disposition, so no header vector is
+/// materialized; the threaded path still builds a [`Request`] (allocating)
+/// from this view for compatibility.
+#[derive(Debug, Clone, Copy)]
+pub struct HeadView<'a> {
+    /// Method exactly as sent (match with [`HeadView::method_is`]).
+    pub method: &'a str,
+    /// Request path without the query string.
+    pub path: &'a str,
+    /// Bytes of the head including the `\r\n\r\n` terminator.
+    pub head_len: usize,
+    /// Declared body length (0 when absent), already bounds-checked.
+    pub content_length: usize,
+    /// Whether the client asked for `Connection: close`.
+    pub wants_close: bool,
+}
+
+impl HeadView<'_> {
+    /// Case-insensitive method match (HTTP methods are case-sensitive per
+    /// spec, but the previous parser upper-cased, so this preserves its
+    /// lenience bit-for-bit).
+    #[must_use]
+    pub fn method_is(&self, method: &str) -> bool {
+        self.method.eq_ignore_ascii_case(method)
+    }
+}
+
+/// Outcome of [`parse_head`].
+#[derive(Debug)]
+pub enum HeadParse<'a> {
+    /// The head terminator has not arrived yet (and the bound is not
+    /// exceeded) — read more bytes.
+    Incomplete,
+    /// The head does not parse; respond with the status and close.
+    Malformed(&'static str, u16),
+    /// A complete, valid head.
+    Complete(HeadView<'a>),
+}
+
+/// Parses an HTTP/1.1 request head in place from the front of `buf`.
+///
+/// Shared by the threaded reader and the reactor's per-connection state
+/// machine, so both paths reject malformed input with byte-identical
+/// status/message pairs. Error precedence (431 before anything, then 400
+/// UTF-8, 400 request line, 505 version, 400 header line, 400
+/// Content-Length, 413 body bound) matches the original reader exactly.
+#[must_use]
+pub fn parse_head(buf: &[u8]) -> HeadParse<'_> {
+    let head_end = find_head_end(buf);
+    if head_end.unwrap_or(buf.len()) > MAX_HEAD_BYTES {
+        return HeadParse::Malformed("request head too large", 431);
+    }
+    let Some(head_len) = head_end else {
+        return HeadParse::Incomplete;
+    };
+    let Ok(head) = std::str::from_utf8(&buf[..head_len]) else {
+        return HeadParse::Malformed("head is not UTF-8", 400);
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return HeadParse::Malformed("bad request line", 400);
+    };
+    if !version.starts_with("HTTP/1.") {
+        return HeadParse::Malformed("unsupported HTTP version", 505);
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    let mut content_length: Option<&str> = None;
+    let mut wants_close = false;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return HeadParse::Malformed("bad header line", 400);
+        };
+        let (name, value) = (name.trim(), value.trim());
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = Some(value);
+        } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close") {
+            wants_close = true;
+        }
+    }
+    let content_length = match content_length {
+        None => 0,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return HeadParse::Malformed("bad Content-Length", 400),
+        },
+    };
+    if content_length > MAX_BODY_BYTES {
+        return HeadParse::Malformed("request body too large", 413);
+    }
+    HeadParse::Complete(HeadView {
+        method,
+        path,
+        head_len,
+        content_length,
+        wants_close,
+    })
+}
+
 /// Parses the completed head and reads the declared body. Bytes past the
 /// declared body (the start of a pipelined request) go into `carry`.
 fn finish_request(
@@ -138,44 +248,26 @@ fn finish_request(
     idle: Duration,
     carry: &mut Vec<u8>,
 ) -> io::Result<ReadOutcome> {
-    let head = match std::str::from_utf8(&buf[..head_len]) {
-        Ok(head) => head,
-        Err(_) => return Ok(ReadOutcome::Malformed("head is not UTF-8", 400)),
-    };
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or_default();
-    let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return Ok(ReadOutcome::Malformed("bad request line", 400));
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Ok(ReadOutcome::Malformed("unsupported HTTP version", 505));
-    }
-    let method = method.to_ascii_uppercase();
-    let path = target.split('?').next().unwrap_or(target).to_owned();
-    let mut headers = Vec::new();
-    for line in lines {
-        if line.is_empty() {
-            continue;
+    let (method, path, content_length, wants_close) = match parse_head(&buf) {
+        HeadParse::Complete(view) => {
+            debug_assert_eq!(view.head_len, head_len);
+            (
+                view.method.to_ascii_uppercase(),
+                view.path.to_owned(),
+                view.content_length,
+                view.wants_close,
+            )
         }
-        let Some((name, value)) = line.split_once(':') else {
-            return Ok(ReadOutcome::Malformed("bad header line", 400));
-        };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
-    }
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>());
-    let content_length = match content_length {
-        None => 0,
-        Some(Ok(n)) => n,
-        Some(Err(_)) => return Ok(ReadOutcome::Malformed("bad Content-Length", 400)),
+        HeadParse::Malformed(msg, status) => return Ok(ReadOutcome::Malformed(msg, status)),
+        // The caller found the terminator, so the head cannot be
+        // incomplete here.
+        HeadParse::Incomplete => return Ok(ReadOutcome::Malformed("bad request line", 400)),
     };
-    if content_length > MAX_BODY_BYTES {
-        return Ok(ReadOutcome::Malformed("request body too large", 413));
-    }
+    let headers = if wants_close {
+        vec![("connection".to_owned(), "close".to_owned())]
+    } else {
+        Vec::new()
+    };
     // Read the remainder of the body past what arrived with the head.
     let mut body: Vec<u8> = buf.split_off(head_len);
     let mut chunk = [0u8; 4096];
@@ -253,13 +345,17 @@ impl Response {
         self
     }
 
-    /// Serializes the response, with the connection disposition header.
+    /// Serializes the whole response (head + body) into `out`, appending.
     ///
-    /// # Errors
-    ///
-    /// Propagates socket write errors.
-    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> io::Result<()> {
-        let mut head = format!(
+    /// The reactor reuses one write buffer per connection: `clear()` +
+    /// `render_into` produces zero steady-state allocations once the
+    /// buffer has grown to the working-set response size. The byte
+    /// sequence is identical to what [`Response::write_to`] puts on the
+    /// wire.
+    pub fn render_into(&self, out: &mut Vec<u8>, keep_alive: bool) {
+        use std::io::Write as _;
+        let _ = write!(
+            out,
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_reason(self.status),
@@ -268,14 +364,24 @@ impl Response {
             if keep_alive { "keep-alive" } else { "close" },
         );
         for (name, value) in &self.headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
         }
-        head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Serializes the response, with the connection disposition header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> io::Result<()> {
+        let mut out = Vec::with_capacity(256 + self.body.len());
+        self.render_into(&mut out, keep_alive);
+        stream.write_all(&out)?;
         stream.flush()
     }
 }
@@ -332,6 +438,64 @@ mod tests {
         assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(18));
         assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
         assert_eq!(find_head_end(b""), None);
+    }
+
+    #[test]
+    fn parse_head_borrows_and_extracts_framing() {
+        let buf = b"post /v1/predict?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 12\r\nConnection: close\r\n\r\nbody";
+        let HeadParse::Complete(view) = parse_head(buf) else {
+            panic!("expected complete head");
+        };
+        assert!(view.method_is("POST"));
+        assert_eq!(view.path, "/v1/predict");
+        assert_eq!(view.content_length, 12);
+        assert!(view.wants_close);
+        assert_eq!(&buf[view.head_len..], b"body");
+    }
+
+    #[test]
+    fn parse_head_error_precedence_matches_reader() {
+        assert!(matches!(parse_head(b"GET /"), HeadParse::Incomplete));
+        let cases: [(&[u8], u16); 5] = [
+            (b"NONSENSE\r\n\r\n", 400),
+            (b"GET / HTTP/0.9\r\n\r\n", 505),
+            (b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n", 413),
+        ];
+        for (raw, want) in cases {
+            let HeadParse::Malformed(_, status) = parse_head(raw) else {
+                panic!("{raw:?} should be malformed");
+            };
+            assert_eq!(status, want, "{raw:?}");
+        }
+        let oversized = vec![b'A'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(
+            parse_head(&oversized),
+            HeadParse::Malformed(_, 431)
+        ));
+    }
+
+    #[test]
+    fn render_into_appends_and_reuses_buffer() {
+        let resp = Response::json(200, "{\"ok\":true}".to_owned()).with_header("X-A", "1".into());
+        let mut buf = Vec::new();
+        resp.render_into(&mut buf, true);
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("X-A: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        // Clearing and re-rendering produces the same bytes in place.
+        let first = buf.clone();
+        buf.clear();
+        resp.render_into(&mut buf, true);
+        assert_eq!(buf, first);
+        buf.clear();
+        resp.render_into(&mut buf, false);
+        assert!(String::from_utf8(buf)
+            .unwrap()
+            .contains("Connection: close"));
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   resolution + prediction logic, shared by the server and direct
 //!   in-process callers.
 //! - [`server`] — accept loop, routing, deadlines, graceful drain.
+//! - `reactor` — the epoll event-loop server mode
+//!   ([`ServeConfig::reactor`]): one thread multiplexing every
+//!   connection, with `sys` (epoll/eventfd wrappers) and `timer` (a
+//!   hashed timer wheel) underneath. Linux only.
 //! - [`signal`] — SIGTERM/SIGINT → atomic flag, no external crates.
 //! - [`client`] — a blocking keep-alive client for loadgen and tests.
 //!
@@ -39,9 +43,12 @@ pub mod client;
 pub mod dispatch;
 pub mod http;
 pub mod queue;
+mod reactor;
 pub mod server;
 pub mod service;
 pub mod signal;
+mod sys;
+mod timer;
 
 pub use client::{Client, ClientResponse, RetriedResponse};
 pub use queue::{BoundedQueue, QueueFull};

@@ -59,6 +59,12 @@ pub struct ServeConfig {
     /// Predictor circuit-breaker tuning (trip threshold, cooldown,
     /// half-open probes).
     pub breaker: neusight_fault::BreakerConfig,
+    /// Serve with the epoll event loop (one reactor thread multiplexing
+    /// every connection) instead of a thread per connection. Linux only;
+    /// `workers` then bounds concurrent *connections* rather than
+    /// threads. Routing, dispatch, and responses are byte-identical
+    /// across both modes.
+    pub reactor: bool,
 }
 
 impl Default for ServeConfig {
@@ -74,18 +80,19 @@ impl Default for ServeConfig {
             service_delay: Duration::ZERO,
             handle_signals: false,
             breaker: neusight_fault::BreakerConfig::default(),
+            reactor: false,
         }
     }
 }
 
 /// Hot-path HTTP metric handles.
-struct HttpMetrics {
-    requests: Arc<obs::Counter>,
-    rejected_429: Arc<obs::Counter>,
-    timeouts: Arc<obs::Counter>,
-    latency_ns: Arc<obs::Histogram>,
-    connections: Arc<obs::Gauge>,
-    queue_depth: Arc<obs::Gauge>,
+pub(crate) struct HttpMetrics {
+    pub(crate) requests: Arc<obs::Counter>,
+    pub(crate) rejected_429: Arc<obs::Counter>,
+    pub(crate) timeouts: Arc<obs::Counter>,
+    pub(crate) latency_ns: Arc<obs::Histogram>,
+    pub(crate) connections: Arc<obs::Gauge>,
+    pub(crate) queue_depth: Arc<obs::Gauge>,
 }
 
 impl HttpMetrics {
@@ -101,22 +108,22 @@ impl HttpMetrics {
     }
 }
 
-/// State shared by the acceptor, handlers, and dispatcher.
-struct Shared {
-    config: ServeConfig,
-    service: PredictService,
-    queue: BoundedQueue<Job>,
+/// State shared by the acceptor, handlers (or reactor), and dispatcher.
+pub(crate) struct Shared {
+    pub(crate) config: ServeConfig,
+    pub(crate) service: PredictService,
+    pub(crate) queue: BoundedQueue<Job>,
     /// Stop admitting new work; in-flight requests still complete.
-    draining: AtomicBool,
+    pub(crate) draining: AtomicBool,
     /// Terminates the dispatcher once handlers have exited.
-    dispatcher_stop: AtomicBool,
-    active_connections: AtomicUsize,
-    started: Instant,
-    metrics: HttpMetrics,
+    pub(crate) dispatcher_stop: AtomicBool,
+    pub(crate) active_connections: AtomicUsize,
+    pub(crate) started: Instant,
+    pub(crate) metrics: HttpMetrics,
 }
 
 impl Shared {
-    fn stop_requested(&self) -> bool {
+    pub(crate) fn stop_requested(&self) -> bool {
         self.draining.load(Ordering::SeqCst) || signal::signaled()
     }
 }
@@ -194,20 +201,25 @@ impl Server {
         &self.shared.service
     }
 
-    /// Runs the accept loop until shutdown, then drains and joins every
-    /// thread. Returns only after the drain completes.
+    /// Runs the accept loop (thread-per-connection or reactor, per
+    /// [`ServeConfig::reactor`]) until shutdown, then drains and joins
+    /// every thread. Returns only after the drain completes.
     ///
     /// # Errors
     ///
-    /// Propagates listener configuration failures.
+    /// Propagates listener configuration failures; `reactor: true` on a
+    /// non-Linux platform reports [`io::ErrorKind::Unsupported`].
     pub fn run(self) -> io::Result<()> {
-        if self.shared.config.handle_signals {
+        let Server {
+            listener, shared, ..
+        } = self;
+        if shared.config.handle_signals {
             signal::install();
         }
-        self.listener.set_nonblocking(true)?;
+        listener.set_nonblocking(true)?;
 
         let dispatcher = {
-            let shared = Arc::clone(&self.shared);
+            let shared = Arc::clone(&shared);
             thread::spawn(move || {
                 let config = DispatchConfig {
                     max_batch: shared.config.max_batch.max(1),
@@ -231,54 +243,18 @@ impl Server {
             })
         };
 
-        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-        while !self.shared.stop_requested() {
-            // Reap finished connection threads so the vec stays bounded.
-            handlers.retain(|h| !h.is_finished());
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let active = self.shared.active_connections.load(Ordering::SeqCst);
-                    if active >= self.shared.config.workers {
-                        reject_connection(stream);
-                        continue;
-                    }
-                    self.shared
-                        .active_connections
-                        .fetch_add(1, Ordering::SeqCst);
-                    let shared = Arc::clone(&self.shared);
-                    handlers.push(thread::spawn(move || {
-                        // Keep a handle to the socket so a panicking
-                        // handler can still answer with a JSON 500
-                        // instead of silently dropping the connection.
-                        let fallback = stream.try_clone().ok();
-                        if guard::catch("serve.connection", || handle_connection(&shared, stream))
-                            .is_err()
-                        {
-                            if let Some(mut stream) = fallback {
-                                let _ = Response::error(500, "connection handler panicked")
-                                    .write_to(&mut stream, false);
-                            }
-                        }
-                    }));
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(2));
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
+        let result = if shared.config.reactor {
+            run_reactor(&shared, &listener)
+        } else {
+            run_threaded(&shared, &listener)
+        };
 
-        // Graceful drain: no new connections; handlers finish their
-        // current request (the dispatcher is still alive to serve queued
-        // jobs), then the dispatcher drains what is left and stops.
-        self.shared.draining.store(true, Ordering::SeqCst);
-        for handler in handlers {
-            let _ = handler.join();
-        }
-        self.shared.dispatcher_stop.store(true, Ordering::SeqCst);
+        // Both modes return with their connections finished; the
+        // dispatcher then drains whatever is still queued and stops.
+        shared.draining.store(true, Ordering::SeqCst);
+        shared.dispatcher_stop.store(true, Ordering::SeqCst);
         let _ = dispatcher.join();
-        Ok(())
+        result
     }
 
     /// Binds and runs on a background thread — the test/bench entry
@@ -335,8 +311,72 @@ impl RunningServer {
     }
 }
 
+/// The thread-per-connection accept loop: one handler thread per
+/// connection, bounded by `workers`. Returns after a requested drain has
+/// joined every handler.
+fn run_threaded(shared: &Arc<Shared>, listener: &TcpListener) -> io::Result<()> {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop_requested() {
+        // Reap finished connection threads so the vec stays bounded.
+        handlers.retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let active = shared.active_connections.load(Ordering::SeqCst);
+                if active >= shared.config.workers {
+                    reject_connection(stream);
+                    continue;
+                }
+                shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(shared);
+                handlers.push(thread::spawn(move || {
+                    // Keep a handle to the socket so a panicking
+                    // handler can still answer with a JSON 500
+                    // instead of silently dropping the connection.
+                    let fallback = stream.try_clone().ok();
+                    if guard::catch("serve.connection", || handle_connection(&shared, stream))
+                        .is_err()
+                    {
+                        if let Some(mut stream) = fallback {
+                            let _ = Response::error(500, "connection handler panicked")
+                                .write_to(&mut stream, false);
+                        }
+                    }
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Graceful drain: no new connections; handlers finish their current
+    // request (the dispatcher is still alive to serve queued jobs).
+    shared.draining.store(true, Ordering::SeqCst);
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    Ok(())
+}
+
+/// The epoll event-loop mode: a single reactor thread multiplexing every
+/// connection. Returns after a requested drain has closed them all.
+#[cfg(target_os = "linux")]
+fn run_reactor(shared: &Arc<Shared>, listener: &TcpListener) -> io::Result<()> {
+    crate::reactor::run(shared, listener)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn run_reactor(_shared: &Arc<Shared>, _listener: &TcpListener) -> io::Result<()> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "the reactor server mode requires Linux epoll",
+    ))
+}
+
 /// 503s a connection accepted beyond the worker cap.
-fn reject_connection(mut stream: TcpStream) {
+pub(crate) fn reject_connection(mut stream: TcpStream) {
     let _ = Response::error(503, "connection limit reached").write_to(&mut stream, false);
     let _ = stream.flush();
 }
@@ -399,8 +439,22 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
-/// Maps a request to a handler.
-fn route(shared: &Shared, request: &Request) -> Response {
+/// Outcome of the mode-agnostic routing step: either a ready response,
+/// or a parsed predict request that still needs queue admission (whose
+/// wait discipline differs between the threaded and reactor paths).
+pub(crate) enum RouteOutcome {
+    /// Answer immediately.
+    Respond(Response),
+    /// Admit to the dispatcher queue (via [`admit`]) and reply when the
+    /// job completes.
+    Predict(PredictRequest),
+}
+
+/// Maps a request to a handler — everything except the predict wait.
+/// Shared verbatim by both server modes, so routing behavior cannot
+/// diverge between them.
+pub(crate) fn route_common(shared: &Shared, method: &str, path: &str, body: &[u8]) -> RouteOutcome {
+    use RouteOutcome::Respond;
     shared.metrics.requests.inc();
     const ROUTES: [&str; 5] = [
         "/healthz",
@@ -409,18 +463,78 @@ fn route(shared: &Shared, request: &Request) -> Response {
         "/v1/gpus",
         "/v1/predict",
     ];
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/predict") => predict(shared, request),
-        ("GET", "/healthz") => health(shared),
-        ("GET", "/metrics") => metrics_page(shared),
-        ("GET", "/v1/models") => Response::json(200, shared.service.models_json()),
-        ("GET", "/v1/gpus") => Response::json(200, shared.service.gpus_json()),
+    match (method, path) {
+        ("POST", "/v1/predict") => match parse_predict_body(body) {
+            Ok(_) if shared.stop_requested() => Respond(Response::error(503, "server is draining")),
+            Ok(parsed) => RouteOutcome::Predict(parsed),
+            Err(response) => Respond(response),
+        },
+        ("GET", "/healthz") => Respond(health(shared)),
+        ("GET", "/metrics") => Respond(metrics_page(shared)),
+        ("GET", "/v1/models") => Respond(Response::json(200, shared.service.models_json())),
+        ("GET", "/v1/gpus") => Respond(Response::json(200, shared.service.gpus_json())),
         (_, path) if ROUTES.contains(&path) => {
             let allow = if path == "/v1/predict" { "POST" } else { "GET" };
-            Response::error(405, &format!("use {allow} for {path}"))
-                .with_header("Allow", allow.to_owned())
+            Respond(
+                Response::error(405, &format!("use {allow} for {path}"))
+                    .with_header("Allow", allow.to_owned()),
+            )
         }
-        _ => Response::error(404, "no such route"),
+        _ => Respond(Response::error(404, "no such route")),
+    }
+}
+
+/// Parses and UTF-8-checks a predict body.
+fn parse_predict_body(body: &[u8]) -> Result<PredictRequest, Response> {
+    let body = match std::str::from_utf8(body) {
+        Ok(body) => body,
+        Err(_) => return Err(Response::error(400, "body is not UTF-8")),
+    };
+    serde_json::from_str(body)
+        .map_err(|e| Response::error(400, &format!("bad predict request: {e}")))
+}
+
+/// Admits a parsed predict request to the dispatcher queue. On a full
+/// queue, returns the 429 (with `Retry-After`) to send instead.
+pub(crate) fn admit(
+    shared: &Shared,
+    request: PredictRequest,
+    deadline: Instant,
+    reply: dispatch::Reply,
+) -> Result<(), Response> {
+    let job = Job {
+        request,
+        enqueued: Instant::now(),
+        deadline,
+        reply,
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth) => {
+            #[allow(clippy::cast_precision_loss)]
+            shared.metrics.queue_depth.set(depth as f64);
+            Ok(())
+        }
+        Err(QueueFull(_rejected)) => {
+            shared.metrics.rejected_429.inc();
+            // Hint: one deadline's worth of backoff, at least a second.
+            let retry = shared.config.deadline.as_secs().max(1);
+            Err(Response::error(429, "prediction queue is full")
+                .with_header("Retry-After", retry.to_string()))
+        }
+    }
+}
+
+/// Maps a request to a response on the threaded path (blocking predict
+/// wait).
+fn route(shared: &Shared, request: &Request) -> Response {
+    match route_common(
+        shared,
+        request.method.as_str(),
+        request.path.as_str(),
+        &request.body,
+    ) {
+        RouteOutcome::Respond(response) => response,
+        RouteOutcome::Predict(parsed) => predict(shared, parsed),
     }
 }
 
@@ -463,49 +577,19 @@ fn metrics_page(shared: &Shared) -> Response {
     Response::text(200, text)
 }
 
-/// `POST /v1/predict`: parse, admit, and wait for the dispatcher.
-fn predict(shared: &Shared, request: &Request) -> Response {
-    let body = match std::str::from_utf8(&request.body) {
-        Ok(body) => body,
-        Err(_) => return Response::error(400, "body is not UTF-8"),
-    };
-    let parsed: PredictRequest = match serde_json::from_str(body) {
-        Ok(parsed) => parsed,
-        Err(e) => return Response::error(400, &format!("bad predict request: {e}")),
-    };
-    if shared.stop_requested() {
-        return Response::error(503, "server is draining");
-    }
+/// `POST /v1/predict` on the threaded path: admit, then block this
+/// handler thread until the dispatcher replies.
+fn predict(shared: &Shared, parsed: PredictRequest) -> Response {
     let (reply, receiver) = mpsc::sync_channel(1);
-    let now = Instant::now();
-    let job = Job {
-        request: parsed,
-        enqueued: now,
-        deadline: now + shared.config.deadline,
-        reply,
-    };
-    match shared.queue.try_push(job) {
-        Ok(depth) => {
-            #[allow(clippy::cast_precision_loss)]
-            shared.metrics.queue_depth.set(depth as f64);
-        }
-        Err(QueueFull(_rejected)) => {
-            shared.metrics.rejected_429.inc();
-            // Hint: one deadline's worth of backoff, at least a second.
-            let retry = shared.config.deadline.as_secs().max(1);
-            return Response::error(429, "prediction queue is full")
-                .with_header("Retry-After", retry.to_string());
-        }
+    let deadline = Instant::now() + shared.config.deadline;
+    if let Err(rejection) = admit(shared, parsed, deadline, dispatch::Reply::Channel(reply)) {
+        return rejection;
     }
     // Margin past the deadline covers the dispatcher's own 504 reply.
     let wait = shared.config.deadline + Duration::from_millis(250);
     match receiver.recv_timeout(wait) {
-        Ok(Ok(response)) => match serde_json::to_string(&response) {
-            Ok(json) => Response::json(200, json),
-            // A response that fails to serialize is a server bug; answer
-            // with a JSON 500 rather than panicking the handler thread.
-            Err(e) => Response::error(500, &format!("response serialization failed: {e}")),
-        },
+        // The dispatcher replies with the serialized body.
+        Ok(Ok(body)) => Response::json(200, body.to_string()),
         Ok(Err(e)) => Response::error(e.status, &e.message),
         Err(_) => {
             shared.metrics.timeouts.inc();

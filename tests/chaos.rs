@@ -166,6 +166,64 @@ fn http_request_path_survives_full_predictor_faults() {
     server.shutdown_and_join().expect("graceful drain");
 }
 
+/// The same guarantee on the reactor server, with the reactor's own
+/// failpoints armed on top of the predictor fault: delayed dispatcher
+/// wakeups, delayed + occasionally failing reads, and occasional accept
+/// failures. Every request that gets through still answers 200 with the
+/// degraded roofline prediction, the breaker shows on `/healthz`, and the
+/// drain stays clean.
+#[test]
+#[cfg(target_os = "linux")]
+fn reactor_request_path_survives_predictor_and_reactor_faults() {
+    let _guard = fault_lock();
+    let config = ServeConfig {
+        reactor: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::spawn(config, trained()).expect("bind loopback");
+    fault::configure(
+        &"core.predict.mlp=1.0;\
+          serve.reactor.wakeup=0.5:delay_ms=2:kind=delay;\
+          serve.reactor.read=0.2:delay_ms=1:kind=delay;\
+          serve.reactor.accept=0.4:count=4"
+            .parse()
+            .unwrap(),
+        77,
+    );
+    let mut served = 0usize;
+    for _ in 0..12 {
+        // An injected accept failure closes the connection before the
+        // request is read; reconnect and try again — availability means
+        // the *server* keeps answering, not that no TCP connection ever
+        // drops under injected accept faults.
+        let Ok(mut client) = Client::connect(server.addr()) else {
+            continue;
+        };
+        let Ok(response) =
+            client.post_json("/v1/predict", r#"{"model":"bert","gpu":"T4","batch":1}"#)
+        else {
+            continue;
+        };
+        assert_eq!(response.status, 200, "{}", response.text());
+        assert!(
+            response.text().contains("\"degraded\":true"),
+            "{}",
+            response.text()
+        );
+        served += 1;
+    }
+    fault::reset();
+    assert!(
+        served >= 8,
+        "accept faults are bounded at 4 fires; most requests must serve (got {served}/12)"
+    );
+    let mut client = Client::connect(server.addr()).expect("connect after faults");
+    let health = client.get("/healthz").expect("health endpoint");
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("breaker"), "{}", health.text());
+    server.shutdown_and_join().expect("graceful drain");
+}
+
 /// A collection sweep killed mid-flight (abort failpoint) and restarted
 /// produces a dataset bit-identical to an uninterrupted run, even with
 /// transient device faults forcing retries throughout.

@@ -7,6 +7,12 @@
 //! instead of stalling; and a drain triggered mid-flight finishes the
 //! in-flight request before the server exits.
 //!
+//! Every case runs against **both server modes** — thread-per-connection
+//! and the epoll reactor (`ServeConfig::reactor`, Linux only) — through
+//! the same harness, so the two implementations cannot drift apart on
+//! any behavior this file observes, down to the status lines the
+//! malformed-HTTP corpus gets back.
+//!
 //! Shutdown here uses `ServerHandle::shutdown` rather than
 //! `signal::raise()`: these tests share one process, and the signal flag
 //! is global — raising it in one test would drain every other server. The
@@ -37,8 +43,24 @@ fn tiny_neusight() -> NeuSight {
     NeuSight::train(training_data(), &NeuSightConfig::tiny()).expect("tiny training")
 }
 
+/// The server modes this platform supports. Both run the same test
+/// bodies; assertion messages carry the mode name.
+fn modes() -> Vec<(&'static str, bool)> {
+    let mut modes = vec![("threaded", false)];
+    if cfg!(target_os = "linux") {
+        modes.push(("reactor", true));
+    }
+    modes
+}
+
 #[test]
 fn concurrent_predicts_are_bitwise_identical_to_direct_predict_graph() {
+    for (mode, reactor) in modes() {
+        concurrent_predicts_case(mode, reactor);
+    }
+}
+
+fn concurrent_predicts_case(mode: &str, reactor: bool) {
     let ns = tiny_neusight();
 
     // Expected numbers straight from the framework, before the server
@@ -62,7 +84,11 @@ fn concurrent_predicts_are_bitwise_identical_to_direct_predict_graph() {
         ),
     ];
 
-    let server = Server::spawn(ServeConfig::default(), ns).expect("spawn server");
+    let config = ServeConfig {
+        reactor,
+        ..ServeConfig::default()
+    };
+    let server = Server::spawn(config, ns).expect("spawn server");
     let addr = server.addr();
 
     // Eight client threads hammer the same two requests concurrently, so
@@ -75,13 +101,13 @@ fn concurrent_predicts_are_bitwise_identical_to_direct_predict_graph() {
                 for _round in 0..3 {
                     for (body, expected_bits) in cases {
                         let response = client.post_json("/v1/predict", body).expect("predict");
-                        assert_eq!(response.status, 200, "body: {}", response.text());
+                        assert_eq!(response.status, 200, "{mode}: {}", response.text());
                         let parsed: PredictResponse =
                             serde_json::from_str(&response.text()).expect("response JSON");
                         assert_eq!(
                             parsed.total_ms.to_bits(),
                             *expected_bits,
-                            "served total_ms must be bitwise equal to direct predict_graph"
+                            "{mode}: served total_ms must be bitwise equal to direct predict_graph"
                         );
                         assert!(parsed.kernels > 0);
                     }
@@ -93,22 +119,22 @@ fn concurrent_predicts_are_bitwise_identical_to_direct_predict_graph() {
     // The read-only routes on the same (kept-alive) connection.
     let mut client = Client::connect(addr).expect("connect");
     let health = client.get("/healthz").expect("healthz");
-    assert_eq!(health.status, 200);
+    assert_eq!(health.status, 200, "{mode}");
     assert!(health.text().contains("\"status\":\"ok\""));
     let models = client.get("/v1/models").expect("models");
     assert!(models.text().contains("GPT2-Large"));
     let gpus = client.get("/v1/gpus").expect("gpus");
     assert!(gpus.text().contains("H100"));
     let metrics = client.get("/metrics").expect("metrics");
-    assert_eq!(metrics.status, 200);
+    assert_eq!(metrics.status, 200, "{mode}");
     assert!(metrics
         .text()
         .contains("# TYPE neusight_serve_http_requests counter"));
     assert!(metrics.text().contains("neusight_serve_info{addr="));
     let missing = client.get("/nope").expect("404 route");
-    assert_eq!(missing.status, 404);
+    assert_eq!(missing.status, 404, "{mode}");
     let wrong_method = client.get("/v1/predict").expect("405 route");
-    assert_eq!(wrong_method.status, 405);
+    assert_eq!(wrong_method.status, 405, "{mode}");
     assert_eq!(wrong_method.header("allow"), Some("POST"));
 
     server.shutdown_and_join().expect("clean drain");
@@ -116,12 +142,19 @@ fn concurrent_predicts_are_bitwise_identical_to_direct_predict_graph() {
 
 #[test]
 fn queue_overflow_returns_429_with_retry_after_not_a_stall() {
+    for (mode, reactor) in modes() {
+        queue_overflow_case(mode, reactor);
+    }
+}
+
+fn queue_overflow_case(mode: &str, reactor: bool) {
     let config = ServeConfig {
         queue_depth: 2,
         // Each batch takes 100 ms, so concurrent requests pile into the
         // two-slot queue and overflow deterministically.
         service_delay: Duration::from_millis(100),
         deadline: Duration::from_secs(5),
+        reactor,
         ..ServeConfig::default()
     };
     let server = Server::spawn(config, tiny_neusight()).expect("spawn server");
@@ -159,19 +192,22 @@ fn queue_overflow_returns_429_with_retry_after_not_a_stall() {
     let rejected = statuses.iter().filter(|&&s| s == 429).count();
     assert!(
         rejected > 0,
-        "queue depth 2 under 16-way fire must overflow"
+        "{mode}: queue depth 2 under 16-way fire must overflow"
     );
-    assert!(accepted > 0, "admitted requests must still be served");
+    assert!(
+        accepted > 0,
+        "{mode}: admitted requests must still be served"
+    );
     assert_eq!(
         accepted + rejected,
         statuses.len(),
-        "only 200/429 expected, got {statuses:?}"
+        "{mode}: only 200/429 expected, got {statuses:?}"
     );
     // Overload resolved by rejection, not by stalling sockets: even the
     // accepted requests only queue behind a handful of 100 ms batches.
     assert!(
         started.elapsed() < Duration::from_secs(10),
-        "overload handling took {:?}",
+        "{mode}: overload handling took {:?}",
         started.elapsed()
     );
 
@@ -180,10 +216,17 @@ fn queue_overflow_returns_429_with_retry_after_not_a_stall() {
 
 #[test]
 fn graceful_drain_finishes_in_flight_requests() {
+    for (mode, reactor) in modes() {
+        graceful_drain_case(mode, reactor);
+    }
+}
+
+fn graceful_drain_case(mode: &str, reactor: bool) {
     let config = ServeConfig {
         // Slow batches so the drain demonstrably overlaps a live request.
         service_delay: Duration::from_millis(300),
         deadline: Duration::from_secs(5),
+        reactor,
         ..ServeConfig::default()
     };
     let server = Server::spawn(config, tiny_neusight()).expect("spawn server");
@@ -209,14 +252,14 @@ fn graceful_drain_finishes_in_flight_requests() {
     let paced = pacer
         .post_json("/v1/predict", r#"{"model":"bert","gpu":"T4"}"#)
         .expect("pacing request");
-    assert_eq!(paced.status, 200);
+    assert_eq!(paced.status, 200, "{mode}");
     handle.shutdown();
 
     let response = in_flight.join().expect("request thread");
     assert_eq!(
         response.status,
         200,
-        "drain must serve admitted work, got: {}",
+        "{mode}: drain must serve admitted work, got: {}",
         response.text()
     );
     server.shutdown_and_join().expect("drained exit");
@@ -225,7 +268,8 @@ fn graceful_drain_finishes_in_flight_requests() {
 // ---------------------------------------------------------------------------
 // Malformed-HTTP corpus: every entry is raw bytes a hostile or broken
 // client might send. The contract is uniform — a clean 4xx/5xx status
-// line (or a silent close), never a panic, never a hung connection.
+// line (or a silent close), never a panic, never a hung connection — and
+// identical across both server modes.
 // ---------------------------------------------------------------------------
 
 /// Writes raw bytes to a fresh connection and reads whatever the server
@@ -252,9 +296,16 @@ fn raw_exchange(addr: std::net::SocketAddr, payload: &[u8]) -> String {
 
 #[test]
 fn malformed_http_corpus_yields_clean_errors_never_hangs() {
+    for (mode, reactor) in modes() {
+        malformed_corpus_case(mode, reactor);
+    }
+}
+
+fn malformed_corpus_case(mode: &str, reactor: bool) {
     let config = ServeConfig {
         // Short idle window so the truncated-body case times out fast.
         idle_timeout: Duration::from_millis(300),
+        reactor,
         ..ServeConfig::default()
     };
     let server = Server::spawn(config, tiny_neusight()).expect("spawn server");
@@ -323,7 +374,7 @@ fn malformed_http_corpus_yields_clean_errors_never_hangs() {
         let response = raw_exchange(addr, &payload);
         assert!(
             response.starts_with(expected_prefix),
-            "{name}: expected `{expected_prefix}…`, got: {response:.120}"
+            "{mode}/{name}: expected `{expected_prefix}…`, got: {response:.120}"
         );
     }
 
@@ -332,23 +383,33 @@ fn malformed_http_corpus_yields_clean_errors_never_hangs() {
     let pipelined = raw_exchange(addr, b"GET /healthz HTTP/1.1\r\n\r\nGARBAGE\r\n\r\n");
     assert!(
         pipelined.starts_with("HTTP/1.1 200 "),
-        "pipelined: {pipelined:.120}"
+        "{mode}: pipelined: {pipelined:.120}"
     );
     assert!(
         pipelined.contains("HTTP/1.1 400 "),
-        "garbage tail not rejected: {pipelined:.200}"
+        "{mode}: garbage tail not rejected: {pipelined:.200}"
     );
 
     // The server is still fully alive after the whole corpus.
     let mut client = Client::connect(addr).expect("connect after corpus");
     let health = client.get("/healthz").expect("healthz");
-    assert_eq!(health.status, 200);
+    assert_eq!(health.status, 200, "{mode}");
     server.shutdown_and_join().expect("clean drain");
 }
 
 #[test]
 fn field_level_violations_answer_422_not_400() {
-    let server = Server::spawn(ServeConfig::default(), tiny_neusight()).expect("spawn server");
+    for (mode, reactor) in modes() {
+        field_violations_case(mode, reactor);
+    }
+}
+
+fn field_violations_case(mode: &str, reactor: bool) {
+    let config = ServeConfig {
+        reactor,
+        ..ServeConfig::default()
+    };
+    let server = Server::spawn(config, tiny_neusight()).expect("spawn server");
     let mut client = Client::connect(server.addr()).expect("connect");
 
     for (body, field) in [
@@ -358,10 +419,15 @@ fn field_level_violations_answer_422_not_400() {
         (r#"{"model":"bert","gpu":""}"#, "gpu"),
     ] {
         let response = client.post_json("/v1/predict", body).expect("predict");
-        assert_eq!(response.status, 422, "body {body}: {}", response.text());
+        assert_eq!(
+            response.status,
+            422,
+            "{mode}: body {body}: {}",
+            response.text()
+        );
         assert!(
             response.text().contains(field),
-            "422 for {body} must name `{field}`: {}",
+            "{mode}: 422 for {body} must name `{field}`: {}",
             response.text()
         );
     }
@@ -370,6 +436,45 @@ fn field_level_violations_answer_422_not_400() {
     let unknown = client
         .post_json("/v1/predict", r#"{"model":"nonesuch","gpu":"T4"}"#)
         .expect("predict");
-    assert_eq!(unknown.status, 400);
+    assert_eq!(unknown.status, 400, "{mode}");
     server.shutdown_and_join().expect("clean drain");
+}
+
+/// Both modes serve byte-identical responses for the same request — the
+/// whole wire payload, not just the parsed numbers. Read-only routes are
+/// compared too (modulo fields that legitimately vary: uptime, metric
+/// values, the bound port).
+#[test]
+#[cfg(target_os = "linux")]
+fn reactor_and_threaded_responses_are_byte_identical() {
+    let bodies = [
+        r#"{"model":"bert","gpu":"H100","batch":2}"#,
+        r#"{"model":"gpt2","gpu":"V100","batch":1,"train":true}"#,
+        r#"{"model":"bert","gpu":"T4","batch":0}"#,
+        r#"{"model":"nonesuch","gpu":"T4"}"#,
+    ];
+    let mut captured: Vec<Vec<(u16, String)>> = Vec::new();
+    for (_, reactor) in [("threaded", false), ("reactor", true)] {
+        let config = ServeConfig {
+            reactor,
+            ..ServeConfig::default()
+        };
+        let server = Server::spawn(config, tiny_neusight()).expect("spawn server");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let mut responses = Vec::new();
+        for body in bodies {
+            let response = client.post_json("/v1/predict", body).expect("predict");
+            responses.push((response.status, response.text()));
+        }
+        for path in ["/v1/models", "/v1/gpus", "/nope"] {
+            let response = client.get(path).expect("get");
+            responses.push((response.status, response.text()));
+        }
+        captured.push(responses);
+        server.shutdown_and_join().expect("clean drain");
+    }
+    assert_eq!(
+        captured[0], captured[1],
+        "threaded and reactor modes must serve byte-identical bodies"
+    );
 }
