@@ -40,6 +40,10 @@ use std::time::{Duration, Instant};
 /// The request mix every worker cycles through. Small on purpose: after
 /// one warmup pass the server answers all of them from the memo cache,
 /// which is the steady state a capacity-planning service lives in.
+/// How many of the slowest requests each level reports, with their
+/// server-echoed `X-Request-Id` values.
+const SLOWEST_REPORTED: usize = 10;
+
 const REQUESTS: [&str; 4] = [
     r#"{"model":"bert","gpu":"H100","batch":2}"#,
     r#"{"model":"gpt2","gpu":"A100-80GB","batch":4}"#,
@@ -75,6 +79,15 @@ struct ServeSummary {
     latency: LatencySummary,
 }
 
+/// One of the slowest observed requests, with the server-assigned trace
+/// ID echoed in `X-Request-Id` — look it up in the server's flight
+/// recorder (`GET /v1/debug/traces`) for a per-stage breakdown.
+#[derive(Debug, Clone, Serialize)]
+struct SlowRequest {
+    latency_ms: f64,
+    request_id: String,
+}
+
 /// One concurrency level of a sweep.
 #[derive(Debug, Serialize)]
 struct LevelSummary {
@@ -84,6 +97,8 @@ struct LevelSummary {
     errors: usize,
     throughput_rps: f64,
     latency: LatencySummary,
+    /// The 10 slowest requests of the level, slowest first.
+    slowest: Vec<SlowRequest>,
 }
 
 /// Sweep schema (`BENCH_serve2.json`).
@@ -168,7 +183,11 @@ fn parse_args() -> Args {
 }
 
 /// Boots an in-process server sized for the benchmark's peak level.
+/// Request tracing and the flight recorder are on (the `neusight-obs`
+/// default), so the benchmark measures the traced serving path; the full
+/// span/metric profiling stack stays off, as in a production server.
 fn self_host(peak: usize, reactor: bool) -> RunningServer {
+    debug_assert!(neusight_obs::tracing(), "tracing must default on");
     eprintln!("training a tiny predictor for the in-process server…");
     let data = collect_training_set(&training_gpus(), SweepScale::Tiny, DType::F32);
     let ns = NeuSight::train(&data, &NeuSightConfig::tiny()).expect("tiny training");
@@ -209,8 +228,11 @@ impl RawConn {
         self.stream.write_all(request)
     }
 
-    /// Reads one full response, returning `(status, latency_ns)`.
-    fn recv(&mut self) -> std::io::Result<(u16, u64)> {
+    /// Reads one full response, returning `(status, latency_ns,
+    /// request_id)`. The `X-Request-Id` header is parsed (and allocated)
+    /// only when the latency reaches `id_threshold_ns` — a slowest-list
+    /// candidate — keeping the common path allocation-free.
+    fn recv(&mut self, id_threshold_ns: u64) -> std::io::Result<(u16, u64, Option<String>)> {
         let mut chunk = [0u8; 4096];
         let (head_len, status, content_length) = loop {
             if let Some(head_end) = find_head_end(&self.buf) {
@@ -233,10 +255,17 @@ impl RawConn {
             }
             self.buf.extend_from_slice(&chunk[..n]);
         }
-        self.buf.drain(..total);
         #[allow(clippy::cast_possible_truncation)]
         let latency_ns = self.sent.elapsed().as_nanos() as u64;
-        Ok((status, latency_ns))
+        let request_id = if latency_ns >= id_threshold_ns {
+            std::str::from_utf8(&self.buf[..head_len])
+                .ok()
+                .and_then(parse_request_id)
+        } else {
+            None
+        };
+        self.buf.drain(..total);
+        Ok((status, latency_ns, request_id))
     }
 }
 
@@ -257,6 +286,13 @@ fn parse_content_length(head: &str) -> usize {
         .find(|(name, _)| name.trim().eq_ignore_ascii_case("content-length"))
         .and_then(|(_, value)| value.trim().parse().ok())
         .unwrap_or(0)
+}
+
+fn parse_request_id(head: &str) -> Option<String> {
+    head.lines()
+        .filter_map(|line| line.split_once(':'))
+        .find(|(name, _)| name.trim().eq_ignore_ascii_case("x-request-id"))
+        .map(|(_, value)| value.trim().to_owned())
 }
 
 /// Pre-rendered request bytes for the whole mix, matching the blocking
@@ -291,7 +327,8 @@ fn run_level(addr: SocketAddr, level: usize, duration_s: f64) -> LevelSummary {
     );
     let deadline = Instant::now() + Duration::from_secs_f64(duration_s);
     let started = Instant::now();
-    let mut results: Vec<(Vec<u64>, usize)> = Vec::with_capacity(threads);
+    type WorkerResult = (Vec<u64>, usize, Vec<(u64, String)>);
+    let mut results: Vec<WorkerResult> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let mut workers = Vec::with_capacity(threads);
         for worker in 0..threads {
@@ -304,6 +341,9 @@ fn run_level(addr: SocketAddr, level: usize, duration_s: f64) -> LevelSummary {
                     .collect();
                 let mut latencies_ns: Vec<u64> = Vec::with_capacity(262_144);
                 let mut errors = 0usize;
+                // Slowest requests seen by this worker, slowest first:
+                // `(latency_ns, echoed X-Request-Id)`.
+                let mut slow: Vec<(u64, String)> = Vec::new();
                 let mut next = worker; // stagger the mix across workers
                 while Instant::now() < deadline {
                     // One round: a request in flight on every connection,
@@ -316,13 +356,27 @@ fn run_level(addr: SocketAddr, level: usize, duration_s: f64) -> LevelSummary {
                         }
                     }
                     for conn in &mut conns {
-                        match conn.recv() {
-                            Ok((200, latency_ns)) => latencies_ns.push(latency_ns),
+                        // Only a response slower than the current 10th
+                        // slowest needs its X-Request-Id parsed.
+                        let threshold = if slow.len() < SLOWEST_REPORTED {
+                            0
+                        } else {
+                            slow.last().map_or(0, |(ns, _)| *ns)
+                        };
+                        match conn.recv(threshold) {
+                            Ok((200, latency_ns, request_id)) => {
+                                latencies_ns.push(latency_ns);
+                                if let Some(id) = request_id {
+                                    slow.push((latency_ns, id));
+                                    slow.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+                                    slow.truncate(SLOWEST_REPORTED);
+                                }
+                            }
                             Ok(_) | Err(_) => errors += 1,
                         }
                     }
                 }
-                (latencies_ns, errors)
+                (latencies_ns, errors, slow)
             }));
         }
         for worker in workers {
@@ -333,10 +387,22 @@ fn run_level(addr: SocketAddr, level: usize, duration_s: f64) -> LevelSummary {
 
     let mut latencies: Vec<u64> = Vec::new();
     let mut errors = 0usize;
-    for (worker_latencies, worker_errors) in results {
+    let mut slow: Vec<(u64, String)> = Vec::new();
+    for (worker_latencies, worker_errors, worker_slow) in results {
         latencies.extend(worker_latencies);
         errors += worker_errors;
+        slow.extend(worker_slow);
     }
+    slow.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+    slow.truncate(SLOWEST_REPORTED);
+    #[allow(clippy::cast_precision_loss)]
+    let slowest: Vec<SlowRequest> = slow
+        .into_iter()
+        .map(|(ns, request_id)| SlowRequest {
+            latency_ms: ns as f64 / 1e6,
+            request_id,
+        })
+        .collect();
     latencies.sort_unstable();
     let requests = latencies.len();
     #[allow(clippy::cast_precision_loss)]
@@ -354,6 +420,7 @@ fn run_level(addr: SocketAddr, level: usize, duration_s: f64) -> LevelSummary {
         errors,
         throughput_rps,
         latency,
+        slowest,
     }
 }
 

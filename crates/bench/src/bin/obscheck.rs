@@ -25,6 +25,13 @@
 //! two files are loadgen summaries — the reactor sweep and a threaded
 //! comparison run — and the reactor's peak throughput must not fall
 //! below the threaded one.
+//!
+//! In `trace` mode (the CI gate for the flight recorder), the first file
+//! is a trace dump (`GET /v1/debug/traces`) — validated for schema
+//! completeness, monotone per-stage timestamps, and telescoping stage
+//! durations — and the second is a scraped `/metrics` page whose
+//! per-stage histogram sums must account for the end-to-end latency sum
+//! within 5 %.
 
 use serde::value::Value;
 use std::process::ExitCode;
@@ -296,6 +303,154 @@ fn check_predict_body(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The serving-path stage taxonomy, in pipeline order — must match
+/// `neusight_obs::trace::Stage`.
+const TRACE_STAGES: [&str; 5] = ["queue", "batch_wait", "predict", "render", "write"];
+
+/// `obscheck trace DUMP.json METRICS.prom` — the CI gate for the flight
+/// recorder: the dump (from `GET /v1/debug/traces` or a SIGUSR1/panic
+/// dump file) must be schema-complete with monotone per-stage timestamps
+/// and telescoping durations, and the per-stage latency histograms on the
+/// scraped `/metrics` page must sum to the end-to-end latency histogram
+/// within 5 % — proving the attribution accounts for (essentially) all
+/// of every request's wall time.
+fn check_trace_dump(dump_text: &str, metrics_text: &str) -> Result<(), String> {
+    let Any(root) = serde_json::from_str(dump_text)
+        .map_err(|e| format!("trace dump is not valid JSON: {e}"))?;
+    let recorded = get(&root, "recorded")
+        .and_then(as_f64)
+        .ok_or("dump has no numeric `recorded`")?;
+    let retained = get(&root, "retained")
+        .and_then(as_f64)
+        .ok_or("dump has no numeric `retained`")?;
+    let capacity = get(&root, "capacity")
+        .and_then(as_f64)
+        .ok_or("dump has no numeric `capacity`")?;
+    check(
+        recorded >= retained && retained <= capacity,
+        "dump counts are inconsistent (retained must be <= recorded and <= capacity)",
+    )?;
+
+    let stage_names: Vec<&str> = match get(&root, "stages") {
+        Some(Value::Array(stages)) => stages.iter().filter_map(as_str).collect(),
+        _ => return Err("dump has no `stages` array".to_owned()),
+    };
+    check(
+        stage_names == TRACE_STAGES,
+        &format!("dump stage set {stage_names:?} does not match {TRACE_STAGES:?}"),
+    )?;
+
+    let traces = match get(&root, "traces") {
+        Some(Value::Array(traces)) => traces,
+        _ => return Err("dump has no `traces` array".to_owned()),
+    };
+    check(!traces.is_empty(), "dump retains zero traces")?;
+    #[allow(clippy::cast_precision_loss)]
+    let trace_count = traces.len() as f64;
+    check(
+        trace_count == retained,
+        "dump `retained` disagrees with the `traces` array length",
+    )?;
+
+    for (index, trace) in traces.iter().enumerate() {
+        let id = get(trace, "id")
+            .and_then(as_str)
+            .ok_or(format!("trace {index} has no string `id`"))?;
+        check(!id.is_empty(), &format!("trace {index} has an empty id"))?;
+        let start_ns = get(trace, "start_ns")
+            .and_then(as_f64)
+            .ok_or(format!("trace {index} has no numeric `start_ns`"))?;
+        let stamps = match get(trace, "stamps") {
+            Some(Value::Array(stamps)) => stamps,
+            _ => return Err(format!("trace {index} has no `stamps` array")),
+        };
+        check(
+            stamps.len() == TRACE_STAGES.len(),
+            &format!("trace {index} has {} stamps, expected 5", stamps.len()),
+        )?;
+        // Stage timestamps must be monotone, starting at `start_ns`.
+        let mut previous = start_ns;
+        for (position, stamp) in stamps.iter().enumerate() {
+            let at =
+                as_f64(stamp).ok_or(format!("trace {index} stamp {position} is not numeric"))?;
+            check(
+                at >= previous,
+                &format!("trace {index} stamp {position} is not monotone ({at} < {previous})"),
+            )?;
+            previous = at;
+        }
+        let total_ns = get(trace, "total_ns")
+            .and_then(as_f64)
+            .ok_or(format!("trace {index} has no numeric `total_ns`"))?;
+        check(
+            total_ns == previous - start_ns,
+            &format!("trace {index} total_ns disagrees with its final stamp"),
+        )?;
+        let stages = get(trace, "stages").ok_or(format!("trace {index} has no `stages` object"))?;
+        let mut stage_sum = 0.0;
+        for name in TRACE_STAGES {
+            let ns = get(stages, &format!("{name}_ns"))
+                .and_then(as_f64)
+                .ok_or(format!("trace {index} has no numeric `{name}_ns`"))?;
+            stage_sum += ns;
+        }
+        // The stamps telescope by construction, so this is exact.
+        check(
+            stage_sum == total_ns,
+            &format!("trace {index} stage durations sum to {stage_sum}, not total {total_ns}"),
+        )?;
+        let status = get(trace, "status")
+            .and_then(as_f64)
+            .ok_or(format!("trace {index} has no numeric `status`"))?;
+        check(
+            (100.0..1000.0).contains(&status),
+            &format!("trace {index} carries implausible HTTP status {status}"),
+        )?;
+    }
+
+    if let Some(Value::Array(slowest)) = get(&root, "slowest") {
+        for (rank, entry) in slowest.iter().enumerate() {
+            check(
+                get(entry, "id").and_then(as_str).is_some()
+                    && get(entry, "total_ns").and_then(as_f64).is_some(),
+                &format!("slowest entry {rank} is missing `id` or `total_ns`"),
+            )?;
+        }
+    } else {
+        return Err("dump has no `slowest` array".to_owned());
+    }
+
+    // Cross-check against /metrics: per-stage histogram sums must account
+    // for the end-to-end sum within 5 % (both aggregate the same request
+    // population, and the stages telescope per request).
+    let samples = parse_exposition(metrics_text)?;
+    let total_sum = sample_sum(&samples, &["neusight_serve_trace_total_ns_sum"]);
+    check(
+        total_sum > 0.0,
+        "`neusight_serve_trace_total_ns` histogram is empty — no finished traces on /metrics",
+    )?;
+    let stage_sum: f64 = TRACE_STAGES
+        .iter()
+        .map(|name| sample_sum(&samples, &[&format!("neusight_serve_stage_{name}_ns_sum")]))
+        .sum();
+    let drift = (stage_sum - total_sum).abs() / total_sum;
+    check(
+        drift <= 0.05,
+        &format!(
+            "per-stage histogram sums ({stage_sum:.0} ns) drift {:.1}% from the \
+             end-to-end sum ({total_sum:.0} ns)",
+            drift * 100.0
+        ),
+    )?;
+    println!(
+        "trace dump OK: {} traces retained of {recorded:.0} recorded, \
+         stage/total drift {:.2}%",
+        traces.len(),
+        drift * 100.0
+    );
+    Ok(())
+}
+
 /// One benchmark level as `(concurrency, throughput_rps, p99_ms)`,
 /// pulled out of either loadgen schema: a sweep file carries a `levels`
 /// array, a flat file is itself one level.
@@ -386,6 +541,9 @@ fn main() -> ExitCode {
             [mode, reactor_path, threaded_path] if mode == "serve2" => {
                 check_serve_bench(&read(reactor_path)?, &read(threaded_path)?)
             }
+            [mode, dump_path, metrics_path] if mode == "trace" => {
+                check_trace_dump(&read(dump_path)?, &read(metrics_path)?)
+            }
             [mode, metrics_path] if mode == "chaos" => check_chaos_metrics(&read(metrics_path)?),
             [mode, metrics_path] if mode == "guard" => check_guard_metrics(&read(metrics_path)?),
             [trace_path, metrics_path] => {
@@ -393,7 +551,7 @@ fn main() -> ExitCode {
                 check_metrics(&read(metrics_path)?)
             }
             _ => Err(
-                "usage: obscheck TRACE.json METRICS.prom | obscheck serve PREDICT.json METRICS.prom | obscheck serve2 REACTOR.json THREADED.json | obscheck chaos METRICS.prom | obscheck guard METRICS.prom"
+                "usage: obscheck TRACE.json METRICS.prom | obscheck serve PREDICT.json METRICS.prom | obscheck serve2 REACTOR.json THREADED.json | obscheck trace DUMP.json METRICS.prom | obscheck chaos METRICS.prom | obscheck guard METRICS.prom"
                     .to_owned(),
             ),
         }
@@ -562,6 +720,77 @@ mod tests {
         ]}"#;
         assert!(check_serve_bench(no_p99, threaded_flat).is_err());
         assert!(check_serve_bench("not json", threaded_flat).is_err());
+    }
+
+    /// A schema-complete two-trace dump whose stages telescope exactly.
+    const GOOD_DUMP: &str = r#"{"capacity":4096,"recorded":2,"retained":2,
+        "stages":["queue","batch_wait","predict","render","write"],
+        "traces":[
+            {"id":"req-1","trace_id":1,"start_ns":100,"stamps":[110,120,150,155,160],
+             "stages":{"queue_ns":10,"batch_wait_ns":10,"predict_ns":30,"render_ns":5,"write_ns":5},
+             "total_ns":60,"status":200},
+            {"id":"neusight-0000000000000002","trace_id":2,"start_ns":200,"stamps":[200,200,200,210,212],
+             "stages":{"queue_ns":0,"batch_wait_ns":0,"predict_ns":0,"render_ns":10,"write_ns":2},
+             "total_ns":12,"status":200}
+        ],
+        "slowest":[{"id":"req-1","trace_id":1,"total_ns":60,"status":200}]}"#;
+
+    /// Matching metrics: stage sums (10+10+30+15+7=72) equal the
+    /// end-to-end sum exactly.
+    const GOOD_TRACE_METRICS: &str = "\
+        # TYPE neusight_serve_stage_queue_ns histogram\n\
+        neusight_serve_stage_queue_ns_sum 10\n\
+        neusight_serve_stage_queue_ns_count 2\n\
+        # TYPE neusight_serve_stage_batch_wait_ns histogram\n\
+        neusight_serve_stage_batch_wait_ns_sum 10\n\
+        neusight_serve_stage_batch_wait_ns_count 2\n\
+        # TYPE neusight_serve_stage_predict_ns histogram\n\
+        neusight_serve_stage_predict_ns_sum 30\n\
+        neusight_serve_stage_predict_ns_count 2\n\
+        # TYPE neusight_serve_stage_render_ns histogram\n\
+        neusight_serve_stage_render_ns_sum 15\n\
+        neusight_serve_stage_render_ns_count 2\n\
+        # TYPE neusight_serve_stage_write_ns histogram\n\
+        neusight_serve_stage_write_ns_sum 7\n\
+        neusight_serve_stage_write_ns_count 2\n\
+        # TYPE neusight_serve_trace_total_ns histogram\n\
+        neusight_serve_trace_total_ns_sum 72\n\
+        neusight_serve_trace_total_ns_count 2\n";
+
+    #[test]
+    fn trace_dump_gate_accepts_consistent_dump_and_metrics() {
+        assert!(check_trace_dump(GOOD_DUMP, GOOD_TRACE_METRICS).is_ok());
+    }
+
+    #[test]
+    fn trace_dump_gate_rejects_structural_failures() {
+        assert!(check_trace_dump("not json", GOOD_TRACE_METRICS).is_err());
+        // Non-monotone stamps (predict earlier than batch_wait).
+        let backwards = GOOD_DUMP.replace("[110,120,150,155,160]", "[110,120,115,155,160]");
+        assert!(check_trace_dump(&backwards, GOOD_TRACE_METRICS).is_err());
+        // Stage durations that do not telescope to the total.
+        let leaky = GOOD_DUMP.replace("\"predict_ns\":30", "\"predict_ns\":25");
+        assert!(check_trace_dump(&leaky, GOOD_TRACE_METRICS).is_err());
+        // Retained count disagreeing with the traces array.
+        let miscounted = GOOD_DUMP.replace("\"retained\":2", "\"retained\":7");
+        assert!(check_trace_dump(&miscounted, GOOD_TRACE_METRICS).is_err());
+        // Missing slowest reservoir.
+        let no_slowest = GOOD_DUMP.replace("\"slowest\"", "\"slowestX\"");
+        assert!(check_trace_dump(&no_slowest, GOOD_TRACE_METRICS).is_err());
+        // A wrong stage taxonomy is a schema break.
+        let renamed = GOOD_DUMP.replace("\"batch_wait\"", "\"batching\"");
+        assert!(check_trace_dump(&renamed, GOOD_TRACE_METRICS).is_err());
+    }
+
+    #[test]
+    fn trace_dump_gate_enforces_histogram_attribution() {
+        // Stage sums drifting >5% from the end-to-end sum fail the gate.
+        let leaky_metrics =
+            GOOD_TRACE_METRICS.replace("stage_predict_ns_sum 30", "stage_predict_ns_sum 10");
+        assert!(check_trace_dump(GOOD_DUMP, &leaky_metrics).is_err());
+        // An empty end-to-end histogram means tracing never ran.
+        let idle = GOOD_TRACE_METRICS.replace("trace_total_ns_sum 72", "trace_total_ns_sum 0");
+        assert!(check_trace_dump(GOOD_DUMP, &idle).is_err());
     }
 
     #[test]

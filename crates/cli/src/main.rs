@@ -10,6 +10,7 @@
 //!                  [--predictor FILE]
 //! neusight profile --model NAME --gpu NAME [--batch N] [--train] [--fused]
 //!                  [--runs N] [--predictor FILE]
+//! neusight profile --serve (--input DUMP.json | --addr HOST:PORT)
 //! neusight distributed --model NAME --server a100|h100 --batch N
 //!                      --strategy dp|tp|pp|pp-1f1b [--microbatches N] [--predictor FILE]
 //! neusight compare --model NAME [--batch N] [--train] [--predictor FILE]
@@ -192,6 +193,7 @@ fn print_usage() {
            predict      forecast a model graph on a GPU\n\
            kernel       forecast a single kernel on a GPU\n\
            profile      instrumented forecast with per-stage breakdown\n\
+           profile --serve  tail-latency attribution from a flight-recorder dump\n\
            distributed  forecast multi-GPU training on a 4-GPU server\n\
            compare      forecast one model across the whole GPU catalog\n\
            serving      forecast TTFT and tokens/second for generation\n\
@@ -497,7 +499,14 @@ fn graph_for(name: &str, batch: u64, training: bool) -> Result<neusight_graph::G
 
 /// Runs a forecast under full instrumentation and prints the per-stage
 /// wall-time breakdown plus metric summaries (`neusight profile`).
+///
+/// With `--serve`, analyzes a serving-path flight-recorder dump instead:
+/// per-stage latency attribution and the slowest requests, from a dump
+/// file (`--input`) or a live server (`--addr`).
 fn cmd_profile(args: &Args) -> CliResult {
+    if args.has("serve") {
+        return cmd_profile_serve(args);
+    }
     let name = args.require("model")?;
     let spec = resolve_gpu(args)?;
     let batch: u64 = args.get_or("batch", 1)?;
@@ -578,6 +587,168 @@ fn cmd_profile(args: &Args) -> CliResult {
                 "  {name:<40} {} / {mean_us:.2} us / <={p99_us:.2} us",
                 h.count
             );
+        }
+    }
+    Ok(())
+}
+
+/// Navigates the vendored serde value tree: object field lookup.
+fn json_field<'v>(v: &'v serde::value::Value, key: &str) -> Option<&'v serde::value::Value> {
+    match v {
+        serde::value::Value::Object(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, value)| value),
+        _ => None,
+    }
+}
+
+/// Coerces a JSON number to `u64` (the dump writes only non-negative
+/// integers, but floats survive a round-trip through other tools).
+#[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+fn json_u64(v: &serde::value::Value) -> Option<u64> {
+    match *v {
+        serde::value::Value::Int(i) if i >= 0 => Some(i as u64),
+        serde::value::Value::UInt(u) => Some(u),
+        serde::value::Value::Float(f) if f >= 0.0 => Some(f as u64),
+        _ => None,
+    }
+}
+
+/// `neusight profile --serve`: tail-latency attribution from a flight
+/// recorder dump — per-stage totals/means/maxes plus the slowest
+/// requests with their trace IDs.
+#[allow(clippy::cast_precision_loss)]
+fn cmd_profile_serve(args: &Args) -> CliResult {
+    struct RawJson(serde::value::Value);
+    impl serde::Deserialize for RawJson {
+        fn from_value(v: &serde::value::Value) -> Result<RawJson, serde::Error> {
+            Ok(RawJson(v.clone()))
+        }
+    }
+
+    let text = if let Some(path) = args.option("input") {
+        if path.is_empty() {
+            return Err(ArgError("--input needs a dump file path".to_owned()).into());
+        }
+        fs::read_to_string(path)?
+    } else if let Some(addr) = args.option("addr") {
+        let addr: std::net::SocketAddr = addr
+            .parse()
+            .map_err(|_| ArgError(format!("invalid --addr `{addr}`")))?;
+        let mut client = neusight_serve::Client::connect(addr)?;
+        let response = client.get("/v1/debug/traces")?;
+        if response.status != 200 {
+            return Err(
+                ArgError(format!("GET /v1/debug/traces returned {}", response.status)).into(),
+            );
+        }
+        response.text()
+    } else {
+        return Err(ArgError(
+            "profile --serve needs --input DUMP.json or --addr HOST:PORT".to_owned(),
+        )
+        .into());
+    };
+
+    let RawJson(root) = serde_json::from_str(&text)?;
+    let recorded = json_field(&root, "recorded")
+        .and_then(json_u64)
+        .unwrap_or(0);
+    let capacity = json_field(&root, "capacity")
+        .and_then(json_u64)
+        .unwrap_or(0);
+    let stage_names: Vec<String> = match json_field(&root, "stages") {
+        Some(serde::value::Value::Array(items)) => items
+            .iter()
+            .filter_map(|v| match v {
+                serde::value::Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect(),
+        _ => return Err(ArgError("dump has no `stages` array".to_owned()).into()),
+    };
+    let traces = match json_field(&root, "traces") {
+        Some(serde::value::Value::Array(items)) => items,
+        _ => return Err(ArgError("dump has no `traces` array".to_owned()).into()),
+    };
+
+    println!(
+        "flight recorder: {} recorded, {} retained (capacity {capacity})\n",
+        recorded,
+        traces.len()
+    );
+    if traces.is_empty() {
+        println!("no traces retained; send requests first (or lower the load)");
+        return Ok(());
+    }
+
+    // Per-stage aggregation across every retained trace.
+    let mut counts = vec![0u64; stage_names.len()];
+    let mut totals = vec![0u64; stage_names.len()];
+    let mut maxes = vec![0u64; stage_names.len()];
+    let mut grand_total: u64 = 0;
+    let mut e2e_max: u64 = 0;
+    for trace in traces {
+        let stages = json_field(trace, "stages");
+        for (index, name) in stage_names.iter().enumerate() {
+            let ns = stages
+                .and_then(|s| json_field(s, &format!("{name}_ns")))
+                .and_then(json_u64)
+                .unwrap_or(0);
+            if ns > 0 {
+                counts[index] += 1;
+            }
+            totals[index] += ns;
+            maxes[index] = maxes[index].max(ns);
+        }
+        let total_ns = json_field(trace, "total_ns")
+            .and_then(json_u64)
+            .unwrap_or(0);
+        grand_total += total_ns;
+        e2e_max = e2e_max.max(total_ns);
+    }
+
+    println!(
+        "{:<12} {:>7} {:>12} {:>11} {:>11} {:>7}",
+        "stage", "count", "total ms", "mean us", "max us", "share"
+    );
+    let row = |name: &str, count: u64, total: u64, max: u64| {
+        let mean_us = total as f64 / count.max(1) as f64 / 1e3;
+        let share = if grand_total > 0 {
+            100.0 * total as f64 / grand_total as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{name:<12} {count:>7} {:>12.3} {mean_us:>11.2} {:>11.2} {share:>6.1}%",
+            total as f64 / 1e6,
+            max as f64 / 1e3
+        );
+    };
+    for (index, name) in stage_names.iter().enumerate() {
+        row(name, counts[index], totals[index], maxes[index]);
+    }
+    row("end-to-end", traces.len() as u64, grand_total, e2e_max);
+
+    if let Some(serde::value::Value::Array(slowest)) = json_field(&root, "slowest") {
+        if !slowest.is_empty() {
+            println!("\nslowest requests:");
+            for (rank, entry) in slowest.iter().enumerate() {
+                let id = match json_field(entry, "id") {
+                    Some(serde::value::Value::Str(s)) => s.as_str(),
+                    _ => "?",
+                };
+                let total_ns = json_field(entry, "total_ns")
+                    .and_then(json_u64)
+                    .unwrap_or(0);
+                let status = json_field(entry, "status").and_then(json_u64).unwrap_or(0);
+                println!(
+                    "  {:>2}. {id:<40} {:>9.3} ms  status {status}",
+                    rank + 1,
+                    total_ns as f64 / 1e6
+                );
+            }
         }
     }
     Ok(())
@@ -669,6 +840,7 @@ fn cmd_serve(args: &Args) -> CliResult {
     );
     println!("  POST /v1/predict   {{\"model\":\"gpt2\",\"gpu\":\"H100\",\"batch\":4}}");
     println!("  GET  /v1/models    GET /v1/gpus    GET /healthz    GET /metrics");
+    println!("  GET  /v1/debug/traces  (flight recorder; also dumped on SIGUSR1/panic)");
     println!("SIGTERM or Ctrl-C drains in-flight requests and exits");
     server.run()?;
     eprintln!("drained; bye");

@@ -749,6 +749,7 @@ impl NeuSight {
                 job_slots.push(slots);
             }
         }
+        obs::trace::predict_mark("dedup");
 
         let mut latencies: Vec<Option<f64>> = vec![None; unique.len()];
         {
@@ -759,6 +760,7 @@ impl NeuSight {
                 latencies[slot] = self.cache.get(gpu_fps[*gpu], op);
             }
         }
+        obs::trace::predict_mark("cache_probe");
 
         // Uncached kernels: memory-bound fallbacks are closed-form; the
         // rest are grouped by `(GPU, family)` for one batched forward pass
@@ -790,6 +792,7 @@ impl NeuSight {
                 }
             }
         }
+        obs::trace::predict_mark("fallback");
         for ((gpu, class_name), items) in &batches {
             let _stage = obs::span!("batch_predict", family = class_name, kernels = items.len());
             let spec = gpu_specs[*gpu];
@@ -813,6 +816,7 @@ impl NeuSight {
                 latencies[*slot] = Some(lat);
             }
         }
+        obs::trace::predict_mark("batch_predict");
 
         {
             let _stage = obs::span("cache_write");
@@ -822,6 +826,7 @@ impl NeuSight {
             }
             self.cache.publish_size();
         }
+        obs::trace::predict_mark("cache_write");
 
         let _stage = obs::span("aggregate");
         let mut out = Vec::with_capacity(jobs.len());
@@ -843,6 +848,7 @@ impl NeuSight {
                 per_node_s,
             });
         }
+        obs::trace::predict_mark("aggregate");
         Ok(out)
     }
 

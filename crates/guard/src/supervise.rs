@@ -56,6 +56,15 @@ pub fn catch<T>(label: &str, f: impl FnOnce() -> T) -> Result<T, String> {
             let message = panic_message(payload.as_ref());
             panics_total().inc();
             eprintln!("neusight-guard: caught panic in `{label}`: {message}");
+            // Preserve the evidence: dump the flight recorder (when obs
+            // is on and traces exist) so the requests leading up to the
+            // panic survive for post-mortem analysis.
+            if let Some(path) = obs::trace::dump_on_panic() {
+                eprintln!(
+                    "neusight-guard: flight recorder dumped to {}",
+                    path.display()
+                );
+            }
             Err(message)
         }
     }

@@ -5,12 +5,12 @@
 //! valid output: JSON strings are escaped per RFC 8259, and the Prometheus
 //! text follows the exposition format's `# TYPE` / sample-line shape.
 
-use crate::metrics::{bucket_upper_bound, MetricsSnapshot};
+use crate::metrics::{bucket_upper_bound, snapshot_quantile, MetricsSnapshot};
 use crate::span::SpanRecord;
 use std::fmt::Write as _;
 
 /// Escapes a string for inclusion inside a JSON string literal.
-fn escape_json(text: &str) -> String {
+pub(crate) fn escape_json(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for ch in text.chars() {
         match ch {
@@ -193,6 +193,14 @@ pub fn prometheus(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
         let _ = writeln!(out, "{name}_sum {}", hist.sum);
         let _ = writeln!(out, "{name}_count {}", hist.count);
+        // Interpolated quantile estimates ride along as gauges (separate
+        // families — the histogram family only admits bucket/sum/count).
+        if hist.count > 0 {
+            for (suffix, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+                let value = snapshot_quantile(hist, q);
+                let _ = writeln!(out, "# TYPE {name}_{suffix} gauge\n{name}_{suffix} {value}");
+            }
+        }
     }
     out
 }
@@ -348,5 +356,11 @@ mod tests {
         assert!(text.contains("neusight_core_predicted_latency_ns_bmm_bucket{le=\"+Inf\"} 5"));
         assert!(text.contains("neusight_core_predicted_latency_ns_bmm_sum 6000"));
         assert!(text.contains("neusight_core_predicted_latency_ns_bmm_count 5"));
+        // Interpolated quantiles ride along as gauges: 2 samples at 1 and
+        // 3 in [1024, 2047] put p50 a third into the big bucket and p99
+        // at its top.
+        assert!(text.contains("# TYPE neusight_core_predicted_latency_ns_bmm_p50 gauge"));
+        assert!(text.contains("neusight_core_predicted_latency_ns_bmm_p50 1364"));
+        assert!(text.contains("neusight_core_predicted_latency_ns_bmm_p99 2047"));
     }
 }

@@ -54,10 +54,15 @@ pub mod export;
 pub mod metrics;
 pub mod profile;
 mod span;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram};
-pub use span::{event_with_fields, snapshot_spans, span, span_with_fields, take_spans};
+pub use span::{
+    dropped_spans, event_with_fields, snapshot_spans, span, span_recording, span_with_fields,
+    take_spans, MAX_RETAINED_SPANS,
+};
 pub use span::{FieldList, SpanGuard, SpanRecord};
+pub use trace::{Stage, TraceContext};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -81,6 +86,28 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
+/// Independent switch for per-request tracing (the [`trace`] module's
+/// flight recorder, stage histograms, and slowest-K reservoir). **On by
+/// default**: a server traces requests out of the box without dragging in
+/// the full span/metric profiling stack, whose cost is only worth paying
+/// in profiling runs. [`set_enabled`] implies tracing; this flag extends
+/// it to processes that leave general observability off.
+static TRACING: AtomicBool = AtomicBool::new(true);
+
+/// Whether per-request tracing is recording (see [`set_tracing`]).
+#[inline]
+#[must_use]
+pub fn tracing() -> bool {
+    ENABLED.load(Ordering::Relaxed) || TRACING.load(Ordering::Relaxed)
+}
+
+/// Turns per-request tracing on or off independently of [`set_enabled`]
+/// (on by default; ignored — effectively on — while the full subsystem is
+/// enabled).
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
 /// The process-wide monotonic epoch all span timestamps are relative to.
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -101,6 +128,7 @@ pub fn now_ns() -> u64 {
 pub fn reset() {
     span::clear_spans();
     metrics::reset();
+    trace::reset_recorder();
 }
 
 /// Opens a timed span with key/value fields, e.g.
@@ -116,7 +144,7 @@ macro_rules! span {
         $crate::span($name)
     };
     ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
-        if $crate::enabled() {
+        if $crate::span_recording() {
             $crate::span_with_fields(
                 $name,
                 vec![$((stringify!($key), format!("{}", $value))),+],
@@ -135,7 +163,7 @@ macro_rules! event {
         $crate::event_with_fields($name, ::std::vec::Vec::new())
     };
     ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
-        if $crate::enabled() {
+        if $crate::span_recording() {
             $crate::event_with_fields(
                 $name,
                 vec![$((stringify!($key), format!("{}", $value))),+],

@@ -115,6 +115,58 @@ pub fn bucket_upper_bound(index: usize) -> u64 {
     }
 }
 
+/// p50/p90/p99 of one histogram, interpolated within terminal buckets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuantileSummary {
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+/// The quantile estimate shared by live histograms and snapshots: walk
+/// the cumulative counts to the terminal bucket, then interpolate
+/// linearly between the bucket's bounds by the target's position within
+/// its count.
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+fn quantile_from_counts(counts: &[u64], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut before = 0u64;
+    for (index, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        if before + count >= target {
+            let lower = if index == 0 {
+                0
+            } else {
+                bucket_upper_bound(index - 1)
+            };
+            let upper = bucket_upper_bound(index);
+            let frac = (target - before) as f64 / count as f64;
+            return lower + (frac * (upper - lower) as f64) as u64;
+        }
+        before += count;
+    }
+    bucket_upper_bound(counts.len().saturating_sub(1))
+}
+
+/// Quantile estimate over an exported [`HistogramSnapshot`], using the
+/// same interpolation as [`Histogram::quantile_upper_bound`].
+#[must_use]
+pub fn snapshot_quantile(snapshot: &HistogramSnapshot, q: f64) -> u64 {
+    quantile_from_counts(&snapshot.buckets, snapshot.count, q)
+}
+
 impl Histogram {
     /// Records one observation. No-op while observability is disabled.
     #[inline]
@@ -122,6 +174,15 @@ impl Histogram {
         if !enabled() {
             return;
         }
+        self.record_unguarded(value);
+    }
+
+    /// Records regardless of the global enable flag. The request-tracing
+    /// path uses this: it carries its own [`crate::set_tracing`] gate, so
+    /// a server traces (and exports stage histograms) even when the span
+    /// and metric profiling stack is off.
+    #[inline]
+    pub(crate) fn record_unguarded(&self, value: u64) {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
@@ -162,28 +223,26 @@ impl Histogram {
         }
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile (`q ∈ [0,1]`),
-    /// or 0 for an empty histogram.
+    /// Estimate of the `q`-quantile (`q ∈ [0,1]`), or 0 for an empty
+    /// histogram. Interpolates linearly within the terminal bucket (rather
+    /// than returning its raw upper bound), so estimates track the data
+    /// even when a single log₂ bucket spans a 2× latency range.
     #[must_use]
-    #[allow(
-        clippy::cast_precision_loss,
-        clippy::cast_possible_truncation,
-        clippy::cast_sign_loss
-    )]
     pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.bucket_counts();
+        quantile_from_counts(&counts, self.count(), q)
+    }
+
+    /// The p50/p90/p99 convenience summary, as exported.
+    #[must_use]
+    pub fn quantiles(&self) -> QuantileSummary {
+        let counts: Vec<u64> = self.bucket_counts();
         let total = self.count();
-        if total == 0 {
-            return 0;
+        QuantileSummary {
+            p50: quantile_from_counts(&counts, total, 0.50),
+            p90: quantile_from_counts(&counts, total, 0.90),
+            p99: quantile_from_counts(&counts, total, 0.99),
         }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut cumulative = 0u64;
-        for (index, bucket) in self.buckets.iter().enumerate() {
-            cumulative += bucket.load(Ordering::Relaxed);
-            if cumulative >= target {
-                return bucket_upper_bound(index);
-            }
-        }
-        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
     }
 
     /// Copies out the bucket counts.

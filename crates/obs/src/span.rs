@@ -9,8 +9,49 @@
 
 use crate::{enabled, now_ns};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Upper bound on retained spans. A long-lived process with
+/// observability enabled (the serving path keeps it on for the flight
+/// recorder) must not accumulate span records without bound: once the
+/// recorder is full, new spans are counted in [`dropped_spans`] but not
+/// stored, and guard creation degrades to a single atomic load — the
+/// serving hot path stops paying for span bookkeeping entirely once
+/// saturated. Draining ([`take_spans`], which `neusight profile` does
+/// between measurements) or clearing ([`clear_spans`]) reopens the
+/// recorder.
+pub const MAX_RETAINED_SPANS: usize = 16_384;
+
+/// Approximate count of retained spans, maintained outside the mutex so
+/// the saturated fast path never locks.
+static RETAINED_SPANS: AtomicUsize = AtomicUsize::new(0);
+static DROPPED_SPANS: AtomicU64 = AtomicU64::new(0);
+
+/// Spans discarded because the recorder was at [`MAX_RETAINED_SPANS`]
+/// since the last drain/clear.
+#[must_use]
+pub fn dropped_spans() -> u64 {
+    DROPPED_SPANS.load(Ordering::Relaxed)
+}
+
+/// True while the recorder has room; on saturation the would-be span is
+/// counted as dropped and the caller skips it entirely (one relaxed load
+/// plus one increment per suppressed span). The `span!`/`event!` macros
+/// call this before rendering field values, so a saturated recorder also
+/// skips the per-field `format!` allocations.
+#[inline]
+#[must_use]
+pub fn span_recording() -> bool {
+    if !enabled() {
+        return false;
+    }
+    if RETAINED_SPANS.load(Ordering::Relaxed) < MAX_RETAINED_SPANS {
+        return true;
+    }
+    DROPPED_SPANS.fetch_add(1, Ordering::Relaxed);
+    false
+}
 
 /// Key/value annotations attached to a span or event. Keys are static
 /// (the span taxonomy is fixed at compile time); values are rendered at
@@ -57,17 +98,26 @@ fn recorder() -> &'static Mutex<Vec<SpanRecord>> {
 }
 
 fn push_record(record: SpanRecord) {
-    recorder()
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .push(record);
+    let mut spans = recorder().lock().unwrap_or_else(PoisonError::into_inner);
+    if spans.len() >= MAX_RETAINED_SPANS {
+        // Lost the race with concurrent recorders right at the cap.
+        DROPPED_SPANS.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    spans.push(record);
+    RETAINED_SPANS.store(spans.len(), Ordering::Relaxed);
 }
 
 /// Drains and returns every span recorded so far, oldest first (by
-/// completion time — children complete before their parents).
+/// completion time — children complete before their parents). Reopens a
+/// saturated recorder.
 #[must_use]
 pub fn take_spans() -> Vec<SpanRecord> {
-    std::mem::take(&mut *recorder().lock().unwrap_or_else(PoisonError::into_inner))
+    let mut spans = recorder().lock().unwrap_or_else(PoisonError::into_inner);
+    let taken = std::mem::take(&mut *spans);
+    RETAINED_SPANS.store(0, Ordering::Relaxed);
+    DROPPED_SPANS.store(0, Ordering::Relaxed);
+    taken
 }
 
 /// Returns a copy of the recorded spans without draining them.
@@ -79,12 +129,12 @@ pub fn snapshot_spans() -> Vec<SpanRecord> {
         .clone()
 }
 
-/// Discards all recorded spans.
+/// Discards all recorded spans. Reopens a saturated recorder.
 pub fn clear_spans() {
-    recorder()
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .clear();
+    let mut spans = recorder().lock().unwrap_or_else(PoisonError::into_inner);
+    spans.clear();
+    RETAINED_SPANS.store(0, Ordering::Relaxed);
+    DROPPED_SPANS.store(0, Ordering::Relaxed);
 }
 
 /// A live span still being timed.
@@ -154,7 +204,7 @@ pub fn span(name: &'static str) -> SpanGuard {
 /// Opens a span carrying pre-rendered fields (the [`crate::span!`] macro
 /// expansion). Returns a no-op guard when disabled.
 pub fn span_with_fields(name: &'static str, fields: FieldList) -> SpanGuard {
-    if !enabled() {
+    if !span_recording() {
         return SpanGuard::noop();
     }
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
@@ -179,7 +229,7 @@ pub fn span_with_fields(name: &'static str, fields: FieldList) -> SpanGuard {
 /// Records an instantaneous event (zero-duration span) parented to the
 /// innermost open span on this thread. No-op when disabled.
 pub fn event_with_fields(name: &'static str, fields: FieldList) {
-    if !enabled() {
+    if !span_recording() {
         return;
     }
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
@@ -206,6 +256,31 @@ mod tests {
             .iter()
             .find(|s| s.name == name)
             .unwrap_or_else(|| panic!("span {name} not recorded"))
+    }
+
+    #[test]
+    fn recorder_caps_retained_spans() {
+        let _guard = test_lock::hold();
+        crate::set_enabled(true);
+        clear_spans();
+        for _ in 0..(MAX_RETAINED_SPANS + 10) {
+            event_with_fields("tick", Vec::new());
+        }
+        assert_eq!(snapshot_spans().len(), MAX_RETAINED_SPANS);
+        assert!(dropped_spans() >= 10);
+        // Saturation also suppresses guard creation, not just the push.
+        {
+            let _g = span("saturated");
+        }
+        assert_eq!(snapshot_spans().len(), MAX_RETAINED_SPANS);
+        // Draining reopens the recorder and resets the dropped counter.
+        assert_eq!(take_spans().len(), MAX_RETAINED_SPANS);
+        assert_eq!(dropped_spans(), 0);
+        {
+            let _g = span("reopened");
+        }
+        assert_eq!(take_spans().len(), 1);
+        crate::set_enabled(false);
     }
 
     #[test]

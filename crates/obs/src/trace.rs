@@ -1,0 +1,942 @@
+//! Request-scoped tracing: per-request [`TraceContext`] breadcrumbs, a
+//! lock-free ring-buffer **flight recorder** of completed traces, and a
+//! slowest-K reservoir for tail-latency attribution.
+//!
+//! A `TraceContext` is allocated at accept time (one atomic fetch-add plus
+//! one clock read), stamped as the request crosses each serving stage
+//! (queue → batch-wait → predict → render → write), and folded into the
+//! recorder on completion. The whole structure is `Copy`, so it travels by
+//! value across the dispatcher's thread boundary — connection, job, and
+//! completion each hold their own copy and the freshest one wins.
+//!
+//! The flight recorder is a fixed array of per-slot seqlocks (atomics
+//! only, no `unsafe`, zero allocation on the hot path): writers claim a
+//! slot with a global cursor fetch-add, mark it odd while storing fields,
+//! and publish an even sequence stamped with the write's logical index.
+//! Readers retry on mismatch, so a dump taken mid-write simply skips the
+//! slot being overwritten. The last [`FLIGHT_RECORDER_CAPACITY`] completed
+//! requests are therefore always dumpable — via HTTP, on SIGUSR1, or from
+//! the panic path ([`dump_on_panic`]).
+
+use crate::metrics::{histogram, Histogram};
+use crate::now_ns;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Completed request traces retained by the flight recorder.
+pub const FLIGHT_RECORDER_CAPACITY: usize = 4096;
+
+/// Longest client-supplied `X-Request-Id` preserved per trace (bytes);
+/// longer IDs are truncated at a UTF-8 boundary.
+pub const MAX_CLIENT_ID_BYTES: usize = 64;
+
+/// Entries kept by the slowest-request reservoir.
+pub const SLOWEST_K: usize = 16;
+
+/// `MAX_CLIENT_ID_BYTES` packed into `u64` words for the atomic slots.
+const ID_WORDS: usize = MAX_CLIENT_ID_BYTES / 8;
+
+/// The serving stages a request is attributed to, in wire order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Admission to dispatcher pickup (queue wait).
+    Queue = 0,
+    /// Dispatcher pickup to batch formation (batch-window wait).
+    BatchWait = 1,
+    /// The batched prediction itself.
+    Predict = 2,
+    /// Response rendering (JSON + headers).
+    Render = 3,
+    /// Socket write of the rendered response.
+    Write = 4,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 5;
+
+    /// Every stage, in order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Queue,
+        Stage::BatchWait,
+        Stage::Predict,
+        Stage::Render,
+        Stage::Write,
+    ];
+
+    /// Stable lowercase name, used in metric names and dump JSON keys.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Queue => "queue",
+            Stage::BatchWait => "batch_wait",
+            Stage::Predict => "predict",
+            Stage::Render => "render",
+            Stage::Write => "write",
+        }
+    }
+}
+
+/// Per-request trace: an ID, the start time, and one absolute timestamp
+/// per completed stage. ~128 bytes, `Copy`, no heap.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceContext {
+    trace_id: u64,
+    start_ns: u64,
+    stamps: [u64; Stage::COUNT],
+    status: u16,
+    client_id_len: u8,
+    client_id: [u8; MAX_CLIENT_ID_BYTES],
+}
+
+/// Truncates to at most `MAX_CLIENT_ID_BYTES` at a UTF-8 boundary.
+fn truncated_id(id: &str) -> &str {
+    if id.len() <= MAX_CLIENT_ID_BYTES {
+        return id;
+    }
+    let mut end = MAX_CLIENT_ID_BYTES;
+    while !id.is_char_boundary(end) {
+        end -= 1;
+    }
+    &id[..end]
+}
+
+impl TraceContext {
+    /// Allocates a trace at accept time: one atomic fetch-add, one clock
+    /// read, and (when the client sent `X-Request-Id`) a bounded copy.
+    #[must_use]
+    pub fn start(client_id: Option<&str>) -> TraceContext {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        let mut trace = TraceContext {
+            trace_id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            start_ns: now_ns(),
+            stamps: [0; Stage::COUNT],
+            status: 0,
+            client_id_len: 0,
+            client_id: [0; MAX_CLIENT_ID_BYTES],
+        };
+        if let Some(id) = client_id {
+            let id = truncated_id(id);
+            trace.client_id[..id.len()].copy_from_slice(id.as_bytes());
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                trace.client_id_len = id.len() as u8;
+            }
+        }
+        trace
+    }
+
+    /// The process-unique numeric trace ID.
+    #[must_use]
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The client-supplied request ID, if one was sent.
+    #[must_use]
+    pub fn client_id(&self) -> Option<&str> {
+        if self.client_id_len == 0 {
+            return None;
+        }
+        std::str::from_utf8(&self.client_id[..self.client_id_len as usize]).ok()
+    }
+
+    /// The ID echoed in `X-Request-Id`: the client's own if it sent one,
+    /// else a stable `neusight-<hex>` derived from the trace ID.
+    #[must_use]
+    pub fn id_string(&self) -> String {
+        match self.client_id() {
+            Some(id) => id.to_owned(),
+            None => format!("neusight-{:016x}", self.trace_id),
+        }
+    }
+
+    /// Appends the same ID [`id_string`](Self::id_string) returns into a
+    /// byte buffer without allocating — the serving hot path echoes
+    /// `X-Request-Id` on every response and must not pay a `String` for
+    /// it.
+    pub fn write_id(&self, out: &mut Vec<u8>) {
+        if self.client_id_len > 0 {
+            out.extend_from_slice(&self.client_id[..self.client_id_len as usize]);
+            return;
+        }
+        out.extend_from_slice(b"neusight-");
+        for shift in (0..16u32).rev() {
+            #[allow(clippy::cast_possible_truncation)]
+            let nibble = ((self.trace_id >> (shift * 4)) & 0xf) as u8;
+            out.push(if nibble < 10 {
+                b'0' + nibble
+            } else {
+                b'a' + (nibble - 10)
+            });
+        }
+    }
+
+    /// Marks `stage` complete as of now. One clock read.
+    #[inline]
+    pub fn stamp(&mut self, stage: Stage) {
+        self.stamps[stage as usize] = now_ns();
+    }
+
+    /// Records the response status the request completed with.
+    pub fn set_status(&mut self, status: u16) {
+        self.status = status;
+    }
+
+    /// End-to-end nanoseconds so far (start to last stamped stage).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        let last = self.stamps.iter().copied().max().unwrap_or(0);
+        last.saturating_sub(self.start_ns)
+    }
+
+    /// Completes the trace: stages never stamped inherit the previous
+    /// stage's timestamp (zero duration), so per-stage durations always
+    /// telescope exactly to the end-to-end total. When observability is
+    /// enabled, feeds the stage histograms, the flight recorder, and the
+    /// slowest-K reservoir — all lock-free except a reservoir insert that
+    /// only the slowest requests pay.
+    pub fn finish(mut self) {
+        let mut previous = self.start_ns;
+        for stamp in &mut self.stamps {
+            if *stamp < previous {
+                *stamp = previous;
+            }
+            previous = *stamp;
+        }
+        if !crate::tracing() {
+            return;
+        }
+        let total_ns = self.stamps[Stage::COUNT - 1] - self.start_ns;
+        // Stage/total histograms record every request under full
+        // observability, and a uniform 1-in-8 sample (by the monotonically
+        // assigned trace ID) in always-on tracing mode: six histogram
+        // updates per request are the most expensive part of `finish`, and
+        // a sampled population keeps quantiles accurate at serving rates
+        // while the per-trace telescoping invariant (stage sums ≡ total
+        // sum) still holds exactly, because a sampled request contributes
+        // to all six histograms or none.
+        if crate::enabled() || self.trace_id & 7 == 0 {
+            let handles = stage_histograms();
+            let mut previous = self.start_ns;
+            for (stage, stamp) in Stage::ALL.iter().zip(self.stamps) {
+                handles.stages[*stage as usize].record_unguarded(stamp - previous);
+                previous = stamp;
+            }
+            handles.total.record_unguarded(total_ns);
+        }
+        recorder().push(&self);
+        slowest().offer(&self, total_ns);
+    }
+}
+
+/// Cached handles for the per-stage and total histograms, looked up once.
+struct StageHistograms {
+    stages: [Arc<Histogram>; Stage::COUNT],
+    total: Arc<Histogram>,
+}
+
+fn stage_histograms() -> &'static StageHistograms {
+    static CELL: OnceLock<StageHistograms> = OnceLock::new();
+    CELL.get_or_init(|| StageHistograms {
+        stages: Stage::ALL.map(|stage| histogram(&format!("serve.stage.{}_ns", stage.name()))),
+        total: histogram("serve.trace.total_ns"),
+    })
+}
+
+/// One flight-recorder slot: a seqlock over the trace's fields.
+///
+/// `seq` is `2n+1` while logical write `n` is in progress and `2n+2` once
+/// published; a reader accepts a slot only when it sees the same even
+/// value before and after copying, which rejects torn reads, overwrites
+/// in progress, and slots left stale by [`reset_recorder`].
+struct Slot {
+    seq: AtomicU64,
+    trace_id: AtomicU64,
+    start_ns: AtomicU64,
+    stamps: [AtomicU64; Stage::COUNT],
+    /// `status << 8 | client_id_len`, packed so one word covers both.
+    status_len: AtomicU64,
+    /// Client ID bytes, 8 per word, little-endian.
+    client_id: [AtomicU64; ID_WORDS],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            trace_id: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+            stamps: std::array::from_fn(|_| AtomicU64::new(0)),
+            status_len: AtomicU64::new(0),
+            client_id: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A completed trace as read back out of the recorder.
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    /// Process-unique numeric trace ID.
+    pub trace_id: u64,
+    /// Accept-time timestamp (ns since the obs epoch).
+    pub start_ns: u64,
+    /// Absolute completion timestamp of each stage, monotone by index.
+    pub stamps: [u64; Stage::COUNT],
+    /// Response status the request completed with.
+    pub status: u16,
+    /// Client-supplied request ID bytes (empty if none was sent).
+    client_id: Vec<u8>,
+}
+
+impl RecordedTrace {
+    /// The ID the request was echoed with (client's, or `neusight-<hex>`).
+    #[must_use]
+    pub fn id_string(&self) -> String {
+        if self.client_id.is_empty() {
+            format!("neusight-{:016x}", self.trace_id)
+        } else {
+            String::from_utf8_lossy(&self.client_id).into_owned()
+        }
+    }
+
+    /// End-to-end nanoseconds (write stamp minus start).
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.stamps[Stage::COUNT - 1].saturating_sub(self.start_ns)
+    }
+
+    /// Duration of one stage (telescoping: previous stamp to this one).
+    #[must_use]
+    pub fn stage_ns(&self, stage: Stage) -> u64 {
+        let index = stage as usize;
+        let previous = if index == 0 {
+            self.start_ns
+        } else {
+            self.stamps[index - 1]
+        };
+        self.stamps[index].saturating_sub(previous)
+    }
+}
+
+struct Recorder {
+    cursor: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl Recorder {
+    fn new() -> Recorder {
+        Recorder {
+            cursor: AtomicU64::new(0),
+            slots: (0..FLIGHT_RECORDER_CAPACITY)
+                .map(|_| Slot::empty())
+                .collect(),
+        }
+    }
+
+    fn push(&self, trace: &TraceContext) {
+        let n = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(n % FLIGHT_RECORDER_CAPACITY as u64) as usize];
+        slot.seq.store(2 * n + 1, Ordering::Release);
+        slot.trace_id.store(trace.trace_id, Ordering::Relaxed);
+        slot.start_ns.store(trace.start_ns, Ordering::Relaxed);
+        for (cell, stamp) in slot.stamps.iter().zip(trace.stamps) {
+            cell.store(stamp, Ordering::Relaxed);
+        }
+        slot.status_len.store(
+            (u64::from(trace.status) << 8) | u64::from(trace.client_id_len),
+            Ordering::Relaxed,
+        );
+        // Only the words the ID occupies are written (and later read):
+        // stale bytes past `client_id_len` are never observed, and the
+        // common no-client-ID request skips the whole 64-byte block — at
+        // 4096 slots that block dominates the ring's cache footprint.
+        let used_words = usize::from(trace.client_id_len).div_ceil(8);
+        for (word, chunk) in slot.client_id[..used_words]
+            .iter()
+            .zip(trace.client_id.chunks_exact(8))
+        {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(chunk);
+            word.store(u64::from_le_bytes(bytes), Ordering::Relaxed);
+        }
+        slot.seq.store(2 * n + 2, Ordering::Release);
+    }
+
+    /// Reads logical entry `n`, or `None` if it is being overwritten or
+    /// belongs to a different recorder generation.
+    fn read(&self, n: u64) -> Option<RecordedTrace> {
+        let slot = &self.slots[(n % FLIGHT_RECORDER_CAPACITY as u64) as usize];
+        let expect = 2 * n + 2;
+        if slot.seq.load(Ordering::Acquire) != expect {
+            return None;
+        }
+        let trace_id = slot.trace_id.load(Ordering::Relaxed);
+        let start_ns = slot.start_ns.load(Ordering::Relaxed);
+        let stamps = std::array::from_fn(|i| slot.stamps[i].load(Ordering::Relaxed));
+        let status_len = slot.status_len.load(Ordering::Relaxed);
+        let len = ((status_len & 0xff) as usize).min(MAX_CLIENT_ID_BYTES);
+        let mut id_bytes = [0u8; MAX_CLIENT_ID_BYTES];
+        for (chunk, word) in id_bytes
+            .chunks_exact_mut(8)
+            .zip(&slot.client_id)
+            .take(len.div_ceil(8))
+        {
+            chunk.copy_from_slice(&word.load(Ordering::Relaxed).to_le_bytes());
+        }
+        if slot.seq.load(Ordering::Acquire) != expect {
+            return None;
+        }
+        Some(RecordedTrace {
+            trace_id,
+            start_ns,
+            stamps,
+            #[allow(clippy::cast_possible_truncation)]
+            status: (status_len >> 8) as u16,
+            client_id: id_bytes[..len].to_vec(),
+        })
+    }
+
+    /// Oldest-first copy of every readable retained trace.
+    fn drain_snapshot(&self) -> (u64, Vec<RecordedTrace>) {
+        let total = self.cursor.load(Ordering::Acquire);
+        let retained = total.min(FLIGHT_RECORDER_CAPACITY as u64);
+        let mut out = Vec::with_capacity(retained as usize);
+        for n in (total - retained)..total {
+            if let Some(trace) = self.read(n) {
+                out.push(trace);
+            }
+        }
+        (total, out)
+    }
+}
+
+fn recorder() -> &'static Recorder {
+    static CELL: OnceLock<Recorder> = OnceLock::new();
+    CELL.get_or_init(Recorder::new)
+}
+
+/// One slowest-K reservoir entry.
+#[derive(Debug, Clone)]
+struct SlowEntry {
+    total_ns: u64,
+    trace_id: u64,
+    status: u16,
+    client_id: Vec<u8>,
+}
+
+impl SlowEntry {
+    fn id_string(&self) -> String {
+        if self.client_id.is_empty() {
+            format!("neusight-{:016x}", self.trace_id)
+        } else {
+            String::from_utf8_lossy(&self.client_id).into_owned()
+        }
+    }
+}
+
+/// Top-K slowest requests, by end-to-end latency. A lock-free admission
+/// gate (the current K-th latency) keeps the fast path to one relaxed
+/// load for every request that is not a tail candidate.
+struct Slowest {
+    gate: AtomicU64,
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl Slowest {
+    fn new() -> Slowest {
+        Slowest {
+            gate: AtomicU64::new(0),
+            entries: Mutex::new(Vec::with_capacity(SLOWEST_K + 1)),
+        }
+    }
+
+    fn offer(&self, trace: &TraceContext, total_ns: u64) {
+        if total_ns <= self.gate.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        entries.push(SlowEntry {
+            total_ns,
+            trace_id: trace.trace_id,
+            status: trace.status,
+            client_id: trace.client_id[..trace.client_id_len as usize].to_vec(),
+        });
+        entries.sort_by_key(|entry| std::cmp::Reverse(entry.total_ns));
+        entries.truncate(SLOWEST_K);
+        if entries.len() == SLOWEST_K {
+            self.gate
+                .store(entries.last().map_or(0, |e| e.total_ns), Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> Vec<SlowEntry> {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn clear(&self) {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.gate.store(0, Ordering::Relaxed);
+    }
+}
+
+fn slowest() -> &'static Slowest {
+    static CELL: OnceLock<Slowest> = OnceLock::new();
+    CELL.get_or_init(Slowest::new)
+}
+
+/// Clears the flight recorder and the slowest-K reservoir. Stale slots
+/// keep their old sequence numbers, which no post-reset logical index
+/// matches, so readers treat them as empty.
+pub fn reset_recorder() {
+    recorder().cursor.store(0, Ordering::Release);
+    for slot in &recorder().slots {
+        slot.seq.store(0, Ordering::Release);
+    }
+    slowest().clear();
+}
+
+/// Number of traces ever recorded (not capped by capacity).
+#[must_use]
+pub fn recorded_total() -> u64 {
+    recorder().cursor.load(Ordering::Relaxed)
+}
+
+/// Oldest-first copy of the currently retained traces.
+#[must_use]
+pub fn snapshot_traces() -> Vec<RecordedTrace> {
+    recorder().drain_snapshot().1
+}
+
+/// Renders the flight recorder (plus the slowest-K reservoir) as a JSON
+/// document — the body of `GET /v1/debug/traces` and the panic dump.
+#[must_use]
+pub fn dump_json() -> String {
+    use std::fmt::Write as _;
+    let (total, traces) = recorder().drain_snapshot();
+    let mut out = String::with_capacity(256 + traces.len() * 256);
+    let _ = write!(
+        out,
+        "{{\"capacity\":{FLIGHT_RECORDER_CAPACITY},\"recorded\":{total},\"retained\":{},\
+         \"stages\":[",
+        traces.len()
+    );
+    for (i, stage) in Stage::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", stage.name());
+    }
+    out.push_str("],\"traces\":[");
+    for (i, trace) in traces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"trace_id\":{},\"start_ns\":{},\"stamps\":[",
+            crate::export::escape_json(&trace.id_string()),
+            trace.trace_id,
+            trace.start_ns
+        );
+        for (j, stamp) in trace.stamps.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{stamp}");
+        }
+        out.push_str("],\"stages\":{");
+        for (j, stage) in Stage::ALL.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}_ns\":{}", stage.name(), trace.stage_ns(*stage));
+        }
+        let _ = write!(
+            out,
+            "}},\"total_ns\":{},\"status\":{}}}",
+            trace.total_ns(),
+            trace.status
+        );
+    }
+    out.push_str("],\"slowest\":[");
+    for (i, entry) in slowest().snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"trace_id\":{},\"total_ns\":{},\"status\":{}}}",
+            crate::export::escape_json(&entry.id_string()),
+            entry.trace_id,
+            entry.total_ns,
+            entry.status
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the slowest-K reservoir as Prometheus gauge samples, one per
+/// rank, carrying the request ID as a label — the bridge from a p99 spike
+/// on a dashboard to a dumpable trace.
+#[must_use]
+pub fn slowest_prometheus() -> String {
+    use std::fmt::Write as _;
+    let entries = slowest().snapshot();
+    if entries.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("# TYPE neusight_serve_slowest_request_ns gauge\n");
+    for (rank, entry) in entries.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "neusight_serve_slowest_request_ns{{rank=\"{rank}\",request_id=\"{}\"}} {}",
+            crate::export::escape_label_value(&entry.id_string()),
+            entry.total_ns
+        );
+    }
+    out
+}
+
+/// Explicit override for where panic/SIGUSR1 dumps land.
+static DUMP_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Sets (or with `None`, clears) the flight-recorder dump destination.
+pub fn set_panic_dump_path(path: Option<PathBuf>) {
+    *DUMP_PATH.lock().unwrap_or_else(PoisonError::into_inner) = path;
+}
+
+/// Where a dump would be written: the explicit override, then the
+/// `NEUSIGHT_FLIGHT_DUMP` environment variable, then a per-process file
+/// under the system temp directory.
+#[must_use]
+pub fn dump_path() -> PathBuf {
+    if let Some(path) = DUMP_PATH
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+    {
+        return path;
+    }
+    if let Some(path) = std::env::var_os("NEUSIGHT_FLIGHT_DUMP") {
+        return PathBuf::from(path);
+    }
+    let mut path = std::env::temp_dir();
+    path.push(format!("neusight-flight-{}.json", std::process::id()));
+    path
+}
+
+/// Writes the flight-recorder dump to `path`.
+///
+/// # Errors
+/// Propagates the filesystem error if the write fails.
+pub fn dump_to_file(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, dump_json())
+}
+
+/// Panic-path dump: writes the recorder to [`dump_path`] if observability
+/// is enabled and any trace has been recorded; returns the path written.
+/// Quietly does nothing otherwise, so non-serving panics stay file-free.
+#[must_use]
+pub fn dump_on_panic() -> Option<PathBuf> {
+    if !crate::tracing() || recorded_total() == 0 {
+        return None;
+    }
+    let path = dump_path();
+    dump_to_file(&path).ok()?;
+    Some(path)
+}
+
+/// Maximum named sub-stage marks per prediction batch.
+const MAX_MARKS: usize = 8;
+
+thread_local! {
+    static PREDICT_MARKS: std::cell::RefCell<PredictMarks> =
+        std::cell::RefCell::new(PredictMarks::default());
+}
+
+#[derive(Default)]
+struct PredictMarks {
+    active: bool,
+    begin_ns: u64,
+    marks: Vec<(&'static str, u64)>,
+}
+
+/// Opens a predict-breadcrumb window on this thread: subsequent
+/// [`predict_mark`] calls record named sub-stage boundaries until
+/// [`finish_predict_marks`] folds them into per-sub-stage histograms.
+/// The dispatcher wraps each prediction batch in one window. Breadcrumbs
+/// are profiling depth, not always-on tracing: they record only under
+/// full observability ([`crate::set_enabled`]), which `neusight serve`
+/// turns on.
+pub fn begin_predict_marks() {
+    if !crate::enabled() {
+        return;
+    }
+    PREDICT_MARKS.with(|cell| {
+        let mut marks = cell.borrow_mut();
+        marks.active = true;
+        marks.begin_ns = now_ns();
+        marks.marks.clear();
+    });
+}
+
+/// Records a named sub-stage boundary inside the current window (no-op
+/// outside one). The prediction pipeline calls this after each internal
+/// stage — dedup, cache probe, fallback, batch predict, cache write,
+/// aggregate, serialize.
+pub fn predict_mark(name: &'static str) {
+    if !crate::enabled() {
+        return;
+    }
+    PREDICT_MARKS.with(|cell| {
+        let mut marks = cell.borrow_mut();
+        if marks.active && marks.marks.len() < MAX_MARKS {
+            marks.marks.push((name, now_ns()));
+        }
+    });
+}
+
+/// Closes the window, recording each consecutive sub-stage duration into
+/// `serve.predict.stage.{name}_ns`.
+pub fn finish_predict_marks() {
+    if !crate::enabled() {
+        return;
+    }
+    PREDICT_MARKS.with(|cell| {
+        let mut state = cell.borrow_mut();
+        if !state.active {
+            return;
+        }
+        state.active = false;
+        let mut previous = state.begin_ns;
+        for (name, at) in state.marks.drain(..) {
+            mark_histogram(name).record_unguarded(at.saturating_sub(previous));
+            previous = at;
+        }
+    });
+}
+
+thread_local! {
+    /// Per-thread cache of `serve.predict.stage.{name}_ns` histogram
+    /// handles. Mark names are `&'static str` literals (a handful per
+    /// pipeline), so a linear scan on pointer-equal keys beats a registry
+    /// lookup plus a `format!` per mark per batch.
+    static MARK_HISTOGRAMS: std::cell::RefCell<Vec<(&'static str, Arc<Histogram>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn mark_histogram(name: &'static str) -> Arc<Histogram> {
+    MARK_HISTOGRAMS.with(|cell| {
+        let mut cache = cell.borrow_mut();
+        if let Some((_, handle)) = cache.iter().find(|(cached, _)| std::ptr::eq(*cached, name)) {
+            return Arc::clone(handle);
+        }
+        let handle = histogram(&format!("serve.predict.stage.{name}_ns"));
+        cache.push((name, Arc::clone(&handle)));
+        handle
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    fn finished(client_id: Option<&str>, status: u16) -> u64 {
+        let mut trace = TraceContext::start(client_id);
+        for stage in Stage::ALL {
+            trace.stamp(stage);
+        }
+        trace.set_status(status);
+        let id = trace.trace_id();
+        trace.finish();
+        id
+    }
+
+    #[test]
+    fn stage_durations_telescope_to_total() {
+        let _guard = test_lock::hold();
+        crate::set_enabled(true);
+        reset_recorder();
+        let mut trace = TraceContext::start(None);
+        trace.stamp(Stage::Queue);
+        // BatchWait and Predict never stamped: carry forward.
+        trace.stamp(Stage::Render);
+        trace.stamp(Stage::Write);
+        trace.set_status(200);
+        trace.finish();
+        crate::set_enabled(false);
+        let traces = snapshot_traces();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        let stage_sum: u64 = Stage::ALL.iter().map(|s| t.stage_ns(*s)).sum();
+        assert_eq!(stage_sum, t.total_ns(), "stage durations must telescope");
+        assert_eq!(t.stage_ns(Stage::BatchWait), 0);
+        assert_eq!(t.stage_ns(Stage::Predict), 0);
+        assert!(t.stamps.windows(2).all(|w| w[0] <= w[1]), "{:?}", t.stamps);
+        assert!(t.start_ns <= t.stamps[0]);
+        assert_eq!(t.status, 200);
+        reset_recorder();
+    }
+
+    #[test]
+    fn recorder_wraps_keeping_newest() {
+        let _guard = test_lock::hold();
+        crate::set_enabled(true);
+        reset_recorder();
+        let extra = 16;
+        let mut first_id = None;
+        for _ in 0..FLIGHT_RECORDER_CAPACITY + extra {
+            let id = finished(None, 200);
+            first_id.get_or_insert(id);
+        }
+        crate::set_enabled(false);
+        let traces = snapshot_traces();
+        assert_eq!(traces.len(), FLIGHT_RECORDER_CAPACITY);
+        assert_eq!(recorded_total(), (FLIGHT_RECORDER_CAPACITY + extra) as u64);
+        // Oldest `extra` traces were overwritten.
+        let first_id = first_id.unwrap();
+        assert_eq!(traces[0].trace_id, first_id + extra as u64);
+        assert!(traces.windows(2).all(|w| w[0].trace_id < w[1].trace_id));
+        reset_recorder();
+    }
+
+    #[test]
+    fn client_ids_are_preserved_and_truncated() {
+        let _guard = test_lock::hold();
+        crate::set_enabled(true);
+        reset_recorder();
+        finished(Some("my-request-7"), 200);
+        let long = "x".repeat(MAX_CLIENT_ID_BYTES + 40);
+        finished(Some(&long), 503);
+        let anon = TraceContext::start(None);
+        assert_eq!(
+            anon.id_string(),
+            format!("neusight-{:016x}", anon.trace_id())
+        );
+        crate::set_enabled(false);
+        let traces = snapshot_traces();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].id_string(), "my-request-7");
+        assert_eq!(traces[1].id_string(), "x".repeat(MAX_CLIENT_ID_BYTES));
+        assert_eq!(traces[1].status, 503);
+        let dump = dump_json();
+        assert!(dump.contains("\"id\":\"my-request-7\""));
+        assert!(dump.contains("\"capacity\":4096"));
+        reset_recorder();
+    }
+
+    #[test]
+    fn slowest_reservoir_keeps_top_k() {
+        let _guard = test_lock::hold();
+        crate::set_enabled(true);
+        reset_recorder();
+        for i in 0..(SLOWEST_K as u64 * 3) {
+            let mut trace = TraceContext::start(None);
+            trace.set_status(200);
+            for stage in Stage::ALL {
+                trace.stamp(stage);
+            }
+            // Synthesize distinct totals by forward-dating the last stamp.
+            trace.stamps[Stage::COUNT - 1] += i * 1_000_000;
+            trace.finish();
+        }
+        crate::set_enabled(false);
+        let entries = slowest().snapshot();
+        assert_eq!(entries.len(), SLOWEST_K);
+        assert!(entries.windows(2).all(|w| w[0].total_ns >= w[1].total_ns));
+        // The slowest ~K are the most back-dated ones: all ≥ 2K ms-ish.
+        assert!(entries.last().unwrap().total_ns >= 2 * SLOWEST_K as u64 * 1_000_000);
+        let prom = slowest_prometheus();
+        assert!(prom.starts_with("# TYPE neusight_serve_slowest_request_ns gauge"));
+        assert!(prom.contains("rank=\"0\""));
+        reset_recorder();
+        assert!(slowest_prometheus().is_empty());
+    }
+
+    #[test]
+    fn dump_on_panic_requires_tracing_and_data() {
+        let _guard = test_lock::hold();
+        crate::set_enabled(false);
+        crate::set_tracing(false);
+        reset_recorder();
+        assert!(dump_on_panic().is_none(), "tracing off: no file");
+        crate::set_tracing(true);
+        assert!(dump_on_panic().is_none(), "empty recorder: no file");
+        finished(None, 200);
+        let mut path = std::env::temp_dir();
+        path.push(format!("neusight-trace-test-{}.json", std::process::id()));
+        set_panic_dump_path(Some(path.clone()));
+        let written = dump_on_panic().expect("dump written");
+        assert_eq!(written, path);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"traces\":["));
+        let _ = std::fs::remove_file(&path);
+        set_panic_dump_path(None);
+        crate::set_enabled(false);
+        reset_recorder();
+    }
+
+    #[test]
+    fn tracing_records_without_full_obs() {
+        let _guard = test_lock::hold();
+        crate::set_enabled(false);
+        crate::set_tracing(true);
+        reset_recorder();
+        crate::metrics::reset();
+        // Trace IDs are consecutive, so 8 finishes hit the 1-in-8
+        // histogram sample exactly once; every trace reaches the
+        // recorder.
+        for _ in 0..8 {
+            finished(None, 200);
+        }
+        assert_eq!(snapshot_traces().len(), 8);
+        let snap = crate::metrics::snapshot();
+        assert_eq!(snap.histograms["serve.trace.total_ns"].count, 1);
+        assert_eq!(snap.histograms["serve.stage.queue_ns"].count, 1);
+        // General metrics stay gated off: tracing does not imply `enabled`.
+        crate::metrics::counter("obs.test.tracing_only").inc();
+        assert_eq!(crate::metrics::counter("obs.test.tracing_only").get(), 0);
+        crate::set_tracing(false);
+        reset_recorder();
+        assert!(snapshot_traces().is_empty());
+        finished(None, 200);
+        assert!(snapshot_traces().is_empty(), "tracing off records nothing");
+        crate::set_tracing(true);
+        reset_recorder();
+        crate::metrics::reset();
+    }
+
+    #[test]
+    fn predict_marks_record_substage_histograms() {
+        let _guard = test_lock::hold();
+        crate::set_enabled(true);
+        crate::metrics::reset();
+        begin_predict_marks();
+        predict_mark("dedup");
+        predict_mark("batch_predict");
+        finish_predict_marks();
+        // Marks outside a window are dropped.
+        predict_mark("orphan");
+        finish_predict_marks();
+        crate::set_enabled(false);
+        let snap = crate::metrics::snapshot();
+        assert_eq!(snap.histograms["serve.predict.stage.dedup_ns"].count, 1);
+        assert_eq!(
+            snap.histograms["serve.predict.stage.batch_predict_ns"].count,
+            1
+        );
+        assert!(!snap
+            .histograms
+            .contains_key("serve.predict.stage.orphan_ns"));
+    }
+}

@@ -18,11 +18,11 @@ use std::time::{Duration, Instant};
 pub type ReplyResult = Result<Arc<str>, ServeError>;
 
 /// A mailbox for dispatcher completions destined for an event loop: the
-/// dispatcher pushes `(connection token, result)` pairs and fires the
-/// wake callback (the reactor's wakeup fd), and the event loop drains the
-/// batch on its next turn.
+/// dispatcher pushes `(connection token, result, trace)` triples and
+/// fires the wake callback (the reactor's wakeup fd), and the event loop
+/// drains the batch on its next turn.
 pub struct Completions {
-    results: Mutex<Vec<(u64, ReplyResult)>>,
+    results: Mutex<Vec<(u64, ReplyResult, obs::TraceContext)>>,
     wake: Box<dyn Fn() + Send + Sync>,
 }
 
@@ -37,14 +37,14 @@ impl Completions {
     }
 
     /// Delivers one completion and wakes the consumer.
-    pub fn push(&self, token: u64, result: ReplyResult) {
-        guard::recover_poison(self.results.lock()).push((token, result));
+    pub fn push(&self, token: u64, result: ReplyResult, trace: obs::TraceContext) {
+        guard::recover_poison(self.results.lock()).push((token, result, trace));
         (self.wake)();
     }
 
     /// Takes everything delivered so far.
     #[must_use]
-    pub fn drain(&self) -> Vec<(u64, ReplyResult)> {
+    pub fn drain(&self) -> Vec<(u64, ReplyResult, obs::TraceContext)> {
         std::mem::take(&mut *guard::recover_poison(self.results.lock()))
     }
 }
@@ -54,7 +54,7 @@ impl Completions {
 /// connection token (the reactor's event loop).
 pub enum Reply {
     /// One-shot reply channel back to a connection-handler thread.
-    Channel(SyncSender<ReplyResult>),
+    Channel(SyncSender<(ReplyResult, obs::TraceContext)>),
     /// Completion mailbox entry for the event loop.
     Completion {
         /// The reactor's generation-tagged connection token.
@@ -65,14 +65,15 @@ pub enum Reply {
 }
 
 impl Reply {
-    /// Delivers the result. A dead receiver (handler gave up, connection
-    /// closed) is not an error: the prediction is memoized either way.
-    pub fn send(self, result: ReplyResult) {
+    /// Delivers the result along with the stage-stamped trace. A dead
+    /// receiver (handler gave up, connection closed) is not an error: the
+    /// prediction is memoized either way.
+    pub fn send(self, result: ReplyResult, trace: obs::TraceContext) {
         match self {
             Reply::Channel(tx) => {
-                let _ = tx.send(result);
+                let _ = tx.send((result, trace));
             }
-            Reply::Completion { token, completions } => completions.push(token, result),
+            Reply::Completion { token, completions } => completions.push(token, result, trace),
         }
     }
 }
@@ -87,6 +88,8 @@ pub struct Job {
     pub deadline: Instant,
     /// Where the serialized result goes.
     pub reply: Reply,
+    /// Request trace, stamped through queue/batch-wait/predict here.
+    pub trace: obs::TraceContext,
 }
 
 /// Dispatcher tuning knobs (a subset of the server config).
@@ -168,16 +171,23 @@ fn serve_batch(
     }
     let now = Instant::now();
     let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
-    for job in jobs {
+    for mut job in jobs {
+        // Dispatcher pickup ends the queue stage for every job, expired
+        // or not.
+        job.trace.stamp(obs::Stage::Queue);
         metrics
             .queue_wait_ns
             .record_secs(now.duration_since(job.enqueued).as_secs_f64());
         if now > job.deadline {
             metrics.timeouts.inc();
-            job.reply.send(Err(ServeError {
-                status: 504,
-                message: "deadline exceeded while queued".to_owned(),
-            }));
+            let Job { reply, trace, .. } = job;
+            reply.send(
+                Err(ServeError {
+                    status: 504,
+                    message: "deadline exceeded while queued".to_owned(),
+                }),
+                trace,
+            );
         } else {
             live.push(job);
         }
@@ -186,21 +196,28 @@ fn serve_batch(
         return;
     }
     let requests: Vec<PredictRequest> = live.iter().map(|j| j.request.clone()).collect();
+    for job in &mut live {
+        job.trace.stamp(obs::Stage::BatchWait);
+    }
     // The batch predict runs under panic supervision (with the
     // `guard.panic` chaos failpoint inside, so tests can kill it on
     // purpose): a panic here must cost at most the requests in this
     // batch, never the dispatcher thread.
+    obs::trace::begin_predict_marks();
     let attempt = guard::catch("serve.dispatch.batch", || {
         guard::inject_panic();
         service.predict_batch_serialized(&requests)
     });
+    obs::trace::finish_predict_marks();
     match attempt {
         Ok(results) => {
-            for (job, result) in live.into_iter().zip(results) {
+            for (mut job, result) in live.into_iter().zip(results) {
                 // A dead receiver means the handler gave up (client
                 // timeout); the prediction is already memoized, so the
                 // work is not wasted.
-                job.reply.send(result);
+                job.trace.stamp(obs::Stage::Predict);
+                let Job { reply, trace, .. } = job;
+                reply.send(result, trace);
             }
         }
         Err(_) => {
@@ -208,7 +225,7 @@ fn serve_batch(
             // each job individually so it cannot take down its
             // batchmates. A job that panics again is the culprit and
             // gets a 500; the rest succeed.
-            for job in live {
+            for mut job in live {
                 let result = guard::catch("serve.dispatch.retry", || {
                     guard::inject_panic();
                     service
@@ -223,7 +240,9 @@ fn serve_batch(
                         "prediction worker panicked: {message}"
                     )))
                 });
-                job.reply.send(result);
+                job.trace.stamp(obs::Stage::Predict);
+                let Job { reply, trace, .. } = job;
+                reply.send(result, trace);
             }
         }
     }

@@ -24,9 +24,9 @@ pub struct Request {
     /// Request path without the query string.
     pub path: String,
     /// Routing-relevant header `(name, value)` pairs, names lower-cased.
-    /// Since the in-place parser landed, only `connection: close` is
-    /// retained — `Content-Length` is consumed during body framing and
-    /// nothing else influences routing.
+    /// Since the in-place parser landed, only `connection: close` and
+    /// `x-request-id` are retained — `Content-Length` is consumed during
+    /// body framing and nothing else influences routing or tracing.
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
@@ -149,6 +149,8 @@ pub struct HeadView<'a> {
     pub content_length: usize,
     /// Whether the client asked for `Connection: close`.
     pub wants_close: bool,
+    /// The client's `X-Request-Id`, if sent (echoed back, traced).
+    pub request_id: Option<&'a str>,
 }
 
 impl HeadView<'_> {
@@ -205,6 +207,7 @@ pub fn parse_head(buf: &[u8]) -> HeadParse<'_> {
     let path = target.split('?').next().unwrap_or(target);
     let mut content_length: Option<&str> = None;
     let mut wants_close = false;
+    let mut request_id: Option<&str> = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -217,6 +220,8 @@ pub fn parse_head(buf: &[u8]) -> HeadParse<'_> {
             content_length = Some(value);
         } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close") {
             wants_close = true;
+        } else if name.eq_ignore_ascii_case("x-request-id") && !value.is_empty() {
+            request_id = Some(value);
         }
     }
     let content_length = match content_length {
@@ -235,6 +240,7 @@ pub fn parse_head(buf: &[u8]) -> HeadParse<'_> {
         head_len,
         content_length,
         wants_close,
+        request_id,
     })
 }
 
@@ -248,7 +254,7 @@ fn finish_request(
     idle: Duration,
     carry: &mut Vec<u8>,
 ) -> io::Result<ReadOutcome> {
-    let (method, path, content_length, wants_close) = match parse_head(&buf) {
+    let (method, path, content_length, wants_close, request_id) = match parse_head(&buf) {
         HeadParse::Complete(view) => {
             debug_assert_eq!(view.head_len, head_len);
             (
@@ -256,6 +262,7 @@ fn finish_request(
                 view.path.to_owned(),
                 view.content_length,
                 view.wants_close,
+                view.request_id.map(str::to_owned),
             )
         }
         HeadParse::Malformed(msg, status) => return Ok(ReadOutcome::Malformed(msg, status)),
@@ -263,11 +270,14 @@ fn finish_request(
         // incomplete here.
         HeadParse::Incomplete => return Ok(ReadOutcome::Malformed("bad request line", 400)),
     };
-    let headers = if wants_close {
+    let mut headers = if wants_close {
         vec![("connection".to_owned(), "close".to_owned())]
     } else {
         Vec::new()
     };
+    if let Some(id) = request_id {
+        headers.push(("x-request-id".to_owned(), id));
+    }
     // Read the remainder of the body past what arrived with the head.
     let mut body: Vec<u8> = buf.split_off(head_len);
     let mut chunk = [0u8; 4096];
@@ -353,6 +363,19 @@ impl Response {
     /// sequence is identical to what [`Response::write_to`] puts on the
     /// wire.
     pub fn render_into(&self, out: &mut Vec<u8>, keep_alive: bool) {
+        self.render_traced(out, keep_alive, None);
+    }
+
+    /// [`render_into`](Self::render_into), plus an `X-Request-Id` header
+    /// echoed straight from the trace — no `String` per response. The
+    /// header always lands in the same position (right after the standard
+    /// block) so both server modes emit byte-identical responses.
+    pub fn render_traced(
+        &self,
+        out: &mut Vec<u8>,
+        keep_alive: bool,
+        trace: Option<&neusight_obs::TraceContext>,
+    ) {
         use std::io::Write as _;
         let _ = write!(
             out,
@@ -363,6 +386,11 @@ impl Response {
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );
+        if let Some(trace) = trace {
+            out.extend_from_slice(b"X-Request-Id: ");
+            trace.write_id(out);
+            out.extend_from_slice(b"\r\n");
+        }
         for (name, value) in &self.headers {
             out.extend_from_slice(name.as_bytes());
             out.extend_from_slice(b": ");
@@ -379,8 +407,23 @@ impl Response {
     ///
     /// Propagates socket write errors.
     pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> io::Result<()> {
+        self.write_to_traced(stream, keep_alive, None)
+    }
+
+    /// [`write_to`](Self::write_to) with the zero-allocation
+    /// `X-Request-Id` echo of [`render_traced`](Self::render_traced).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to_traced(
+        &self,
+        stream: &mut TcpStream,
+        keep_alive: bool,
+        trace: Option<&neusight_obs::TraceContext>,
+    ) -> io::Result<()> {
         let mut out = Vec::with_capacity(256 + self.body.len());
-        self.render_into(&mut out, keep_alive);
+        self.render_traced(&mut out, keep_alive, trace);
         stream.write_all(&out)?;
         stream.flush()
     }
@@ -450,7 +493,23 @@ mod tests {
         assert_eq!(view.path, "/v1/predict");
         assert_eq!(view.content_length, 12);
         assert!(view.wants_close);
+        assert_eq!(view.request_id, None);
         assert_eq!(&buf[view.head_len..], b"body");
+    }
+
+    #[test]
+    fn parse_head_extracts_request_id() {
+        let buf = b"GET / HTTP/1.1\r\nX-Request-ID: req-42\r\n\r\n";
+        let HeadParse::Complete(view) = parse_head(buf) else {
+            panic!("expected complete head");
+        };
+        assert_eq!(view.request_id, Some("req-42"));
+        // Empty IDs are treated as absent.
+        let buf = b"GET / HTTP/1.1\r\nX-Request-Id:\r\n\r\n";
+        let HeadParse::Complete(view) = parse_head(buf) else {
+            panic!("expected complete head");
+        };
+        assert_eq!(view.request_id, None);
     }
 
     #[test]

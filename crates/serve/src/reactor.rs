@@ -39,10 +39,13 @@
 
 use crate::dispatch::{Completions, Reply};
 use crate::http::{self, HeadParse, Response};
-use crate::server::{admit, reject_connection, route_common, RouteOutcome, Shared};
+use crate::server::{
+    admit, maybe_dump_on_signal, reject_connection, route_common, RouteOutcome, Shared,
+};
 use crate::sys::{Epoll, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use crate::timer::{Timer, TimerKind, TimerWheel, TICK};
 use neusight_guard as guard;
+use neusight_obs as obs;
 use std::collections::HashMap;
 use std::io::{self, ErrorKind, Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
@@ -77,6 +80,9 @@ enum ConnState {
         ticket: u64,
         started: Instant,
         wants_close: bool,
+        /// Local copy of the request trace, used for the 504 path when
+        /// the deadline beats the dispatcher's completion.
+        trace: obs::TraceContext,
     },
     /// Flushing `write_buf` to the socket.
     Writing,
@@ -94,6 +100,9 @@ struct Conn {
     write_pos: usize,
     /// Close instead of returning to `Reading` once the write drains.
     close_after_write: bool,
+    /// Trace of the response currently in `write_buf`; taken and
+    /// finished (recorded to the flight recorder) when the write drains.
+    trace: Option<obs::TraceContext>,
     last_activity: Instant,
     /// Currently registered epoll interest (avoids redundant syscalls).
     interest: u32,
@@ -261,6 +270,12 @@ fn event_loop(shared: &Arc<Shared>, listener: &TcpListener) -> io::Result<()> {
     };
     let mut events: Vec<(u64, u32)> = Vec::new();
     let mut fired: Vec<Timer> = Vec::new();
+    // Reactor self-telemetry: how long each turn blocks in epoll, how
+    // long it spends doing work (loop lag felt by every connection), and
+    // how loaded the timer wheel is.
+    let epoll_wait_ns = obs::metrics::histogram("serve.reactor.epoll_wait_ns");
+    let loop_lag_ns = obs::metrics::histogram("serve.reactor.loop_lag_ns");
+    let wheel_occupancy = obs::metrics::gauge("serve.reactor.timer_wheel.occupancy");
 
     loop {
         if !reactor.draining && shared.stop_requested() {
@@ -269,10 +284,14 @@ fn event_loop(shared: &Arc<Shared>, listener: &TcpListener) -> io::Result<()> {
         if reactor.draining && reactor.slab.live == 0 {
             return Ok(());
         }
+        maybe_dump_on_signal();
 
         events.clear();
+        let wait_started = Instant::now();
         #[allow(clippy::cast_possible_truncation)]
         reactor.epoll.wait(TICK.as_millis() as i32, &mut events)?;
+        let woke = Instant::now();
+        epoll_wait_ns.record_secs(woke.duration_since(wait_started).as_secs_f64());
         for &(token, readiness) in &events {
             match token {
                 LISTENER_TOKEN => reactor.accept_ready(listener),
@@ -306,6 +325,9 @@ fn event_loop(shared: &Arc<Shared>, listener: &TcpListener) -> io::Result<()> {
         for timer in &fired {
             reactor.timer_fired(*timer);
         }
+        loop_lag_ns.record_secs(woke.elapsed().as_secs_f64());
+        #[allow(clippy::cast_precision_loss)]
+        wheel_occupancy.set(reactor.timers.len() as f64);
     }
 }
 
@@ -355,6 +377,7 @@ impl Reactor<'_> {
                         write_buf: Vec::new(),
                         write_pos: 0,
                         close_after_write: false,
+                        trace: None,
                         last_activity: now,
                         interest: EPOLLIN,
                     });
@@ -456,53 +479,59 @@ impl Reactor<'_> {
             if !matches!(conn.state, ConnState::Reading) {
                 return;
             }
-            let (outcome, consumed, wants_close, started) = match http::parse_head(&conn.read_buf) {
-                HeadParse::Incomplete => return,
-                HeadParse::Malformed(message, status) => {
-                    // Same contract as the threaded reader: report the
-                    // error and close.
-                    let response = Response::error(status, message);
-                    conn.read_buf.clear();
-                    conn.write_buf.clear();
-                    conn.write_pos = 0;
-                    response.render_into(&mut conn.write_buf, false);
-                    conn.close_after_write = true;
-                    conn.state = ConnState::Writing;
-                    set_interest(&self.epoll, conn, token, EPOLLOUT);
-                    self.try_write(token);
-                    return;
-                }
-                HeadParse::Complete(head) => {
-                    let total = head.head_len + head.content_length;
-                    if conn.read_buf.len() < total {
-                        // Body still arriving; the idle timer turns a
-                        // stalled body into a 408.
+            let (outcome, consumed, wants_close, started, mut trace) =
+                match http::parse_head(&conn.read_buf) {
+                    HeadParse::Incomplete => return,
+                    HeadParse::Malformed(message, status) => {
+                        // Same contract as the threaded reader: report the
+                        // error and close.
+                        let response = Response::error(status, message);
+                        conn.read_buf.clear();
+                        conn.write_buf.clear();
+                        conn.write_pos = 0;
+                        response.render_into(&mut conn.write_buf, false);
+                        conn.close_after_write = true;
+                        conn.state = ConnState::Writing;
+                        set_interest(&self.epoll, conn, token, EPOLLOUT);
+                        self.try_write(token);
                         return;
                     }
-                    let started = Instant::now();
-                    let method = head.method.to_ascii_uppercase();
-                    let body = &conn.read_buf[head.head_len..total];
-                    (
-                        route_common(self.shared, &method, head.path, body),
-                        total,
-                        head.wants_close,
-                        started,
-                    )
-                }
-            };
+                    HeadParse::Complete(head) => {
+                        let total = head.head_len + head.content_length;
+                        if conn.read_buf.len() < total {
+                            // Body still arriving; the idle timer turns a
+                            // stalled body into a 408.
+                            return;
+                        }
+                        let started = Instant::now();
+                        let trace = obs::TraceContext::start(head.request_id);
+                        let method = head.method.to_ascii_uppercase();
+                        let body = &conn.read_buf[head.head_len..total];
+                        (
+                            route_common(self.shared, &method, head.path, body),
+                            total,
+                            head.wants_close,
+                            started,
+                            trace,
+                        )
+                    }
+                };
             conn.read_buf.drain(..consumed);
             let keep_alive = !wants_close && !stop;
             match outcome {
                 RouteOutcome::Respond(response) => {
+                    trace.stamp(obs::Stage::Render);
+                    trace.set_status(response.status);
                     self.shared
                         .metrics
                         .latency_ns
                         .record_secs(started.elapsed().as_secs_f64());
                     conn.write_buf.clear();
                     conn.write_pos = 0;
-                    response.render_into(&mut conn.write_buf, keep_alive);
+                    response.render_traced(&mut conn.write_buf, keep_alive, Some(&trace));
                     conn.close_after_write = !keep_alive;
                     conn.state = ConnState::Writing;
+                    conn.trace = Some(trace);
                     set_interest(&self.epoll, conn, token, EPOLLOUT);
                     self.try_write(token);
                     // If the write drained synchronously the state is
@@ -517,12 +546,13 @@ impl Reactor<'_> {
                         token: ticket,
                         completions: Arc::clone(&self.completions),
                     };
-                    match admit(self.shared, parsed, deadline, reply) {
+                    match admit(self.shared, parsed, deadline, reply, trace) {
                         Ok(()) => {
                             conn.state = ConnState::Dispatched {
                                 ticket,
                                 started,
                                 wants_close,
+                                trace,
                             };
                             // No interest while waiting: a level-triggered
                             // fd with buffered pipelined bytes would spin.
@@ -540,15 +570,18 @@ impl Reactor<'_> {
                             return;
                         }
                         Err(rejection) => {
+                            trace.stamp(obs::Stage::Render);
+                            trace.set_status(rejection.status);
                             self.shared
                                 .metrics
                                 .latency_ns
                                 .record_secs(started.elapsed().as_secs_f64());
                             conn.write_buf.clear();
                             conn.write_pos = 0;
-                            rejection.render_into(&mut conn.write_buf, keep_alive);
+                            rejection.render_traced(&mut conn.write_buf, keep_alive, Some(&trace));
                             conn.close_after_write = !keep_alive;
                             conn.state = ConnState::Writing;
+                            conn.trace = Some(trace);
                             set_interest(&self.epoll, conn, token, EPOLLOUT);
                             self.try_write(token);
                         }
@@ -576,6 +609,15 @@ impl Reactor<'_> {
                 }
             }
             WriteStatus::Complete => {
+                // The response is fully on the wire: the write stage ends
+                // here and the trace is complete (recorded to the flight
+                // recorder and stage histograms).
+                if let Some(conn) = self.slab.get_mut(token) {
+                    if let Some(mut trace) = conn.trace.take() {
+                        trace.stamp(obs::Stage::Write);
+                        trace.finish();
+                    }
+                }
                 if close {
                     self.close_conn(token);
                     return;
@@ -594,10 +636,13 @@ impl Reactor<'_> {
     /// its connection's write buffer. Stale tickets (connection closed,
     /// deadline already fired) are dropped.
     fn deliver_completions(&mut self) {
-        for (ticket, result) in self.completions.drain() {
+        for (ticket, result, mut trace) in self.completions.drain() {
             let Some(token) = self.pending.remove(&ticket) else {
                 continue;
             };
+            // The admitted request has left the dispatcher: it is no
+            // longer in flight even if its connection is already gone.
+            self.shared.inflight_sub();
             let stop = self.shared.stop_requested();
             let Some(conn) = self.slab.get_mut(token) else {
                 continue;
@@ -606,6 +651,7 @@ impl Reactor<'_> {
                 ticket: current,
                 started,
                 wants_close,
+                ..
             } = conn.state
             else {
                 continue;
@@ -617,6 +663,8 @@ impl Reactor<'_> {
                 Ok(body) => Response::json(200, body.to_string()),
                 Err(e) => Response::error(e.status, &e.message),
             };
+            trace.stamp(obs::Stage::Render);
+            trace.set_status(response.status);
             self.shared
                 .metrics
                 .latency_ns
@@ -624,9 +672,10 @@ impl Reactor<'_> {
             let keep_alive = !wants_close && !stop && !conn.close_after_write;
             conn.write_buf.clear();
             conn.write_pos = 0;
-            response.render_into(&mut conn.write_buf, keep_alive);
+            response.render_traced(&mut conn.write_buf, keep_alive, Some(&trace));
             conn.close_after_write = !keep_alive;
             conn.state = ConnState::Writing;
+            conn.trace = Some(trace);
             set_interest(&self.epoll, conn, token, EPOLLOUT);
             self.try_write(token);
             self.process_requests(token);
@@ -695,6 +744,7 @@ impl Reactor<'_> {
         if self.pending.remove(&ticket).is_none() {
             return;
         }
+        self.shared.inflight_sub();
         let stop = self.shared.stop_requested();
         let Some(conn) = self.slab.get_mut(token) else {
             return;
@@ -703,6 +753,7 @@ impl Reactor<'_> {
             ticket: current,
             started,
             wants_close,
+            trace,
         } = conn.state
         else {
             return;
@@ -715,13 +766,19 @@ impl Reactor<'_> {
             .metrics
             .latency_ns
             .record_secs(started.elapsed().as_secs_f64());
+        // The dispatcher still owns the job's trace copy; the reactor's
+        // own copy (taken at admit time) records the timeout.
+        let mut trace = trace;
+        trace.stamp(obs::Stage::Render);
+        trace.set_status(504);
         let response = Response::error(504, "deadline exceeded");
         let keep_alive = !wants_close && !stop && !conn.close_after_write;
         conn.write_buf.clear();
         conn.write_pos = 0;
-        response.render_into(&mut conn.write_buf, keep_alive);
+        response.render_traced(&mut conn.write_buf, keep_alive, Some(&trace));
         conn.close_after_write = !keep_alive;
         conn.state = ConnState::Writing;
+        conn.trace = Some(trace);
         set_interest(&self.epoll, conn, token, EPOLLOUT);
         self.try_write(token);
         self.process_requests(token);
@@ -746,7 +803,9 @@ impl Reactor<'_> {
         if let ConnState::Dispatched { ticket, .. } = conn.state {
             // Orphan the in-flight job: its completion (the prediction is
             // memoized regardless) and deadline timer both become no-ops.
-            self.pending.remove(&ticket);
+            if self.pending.remove(&ticket).is_some() {
+                self.shared.inflight_sub();
+            }
         }
         self.shared
             .active_connections

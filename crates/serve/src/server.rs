@@ -93,6 +93,7 @@ pub(crate) struct HttpMetrics {
     pub(crate) latency_ns: Arc<obs::Histogram>,
     pub(crate) connections: Arc<obs::Gauge>,
     pub(crate) queue_depth: Arc<obs::Gauge>,
+    pub(crate) inflight: Arc<obs::Gauge>,
 }
 
 impl HttpMetrics {
@@ -104,6 +105,7 @@ impl HttpMetrics {
             latency_ns: obs::metrics::histogram("serve.request_latency_ns"),
             connections: obs::metrics::gauge("serve.connections.active"),
             queue_depth: obs::metrics::gauge("serve.queue.depth"),
+            inflight: obs::metrics::gauge("serve.requests.inflight"),
         }
     }
 }
@@ -118,6 +120,8 @@ pub(crate) struct Shared {
     /// Terminates the dispatcher once handlers have exited.
     pub(crate) dispatcher_stop: AtomicBool,
     pub(crate) active_connections: AtomicUsize,
+    /// Predict jobs admitted to the queue and not yet answered.
+    pub(crate) inflight: AtomicUsize,
     pub(crate) started: Instant,
     pub(crate) metrics: HttpMetrics,
 }
@@ -125,6 +129,23 @@ pub(crate) struct Shared {
 impl Shared {
     pub(crate) fn stop_requested(&self) -> bool {
         self.draining.load(Ordering::SeqCst) || signal::signaled()
+    }
+
+    /// Counts a predict admission (atomic truth plus the exported gauge).
+    pub(crate) fn inflight_add(&self) {
+        let now = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        #[allow(clippy::cast_precision_loss)]
+        self.metrics.inflight.set(now as f64);
+    }
+
+    /// Counts a predict completion (answered, timed out, or abandoned).
+    pub(crate) fn inflight_sub(&self) {
+        let now = self
+            .inflight
+            .fetch_sub(1, Ordering::SeqCst)
+            .saturating_sub(1);
+        #[allow(clippy::cast_precision_loss)]
+        self.metrics.inflight.set(now as f64);
     }
 }
 
@@ -174,6 +195,7 @@ impl Server {
                 draining: AtomicBool::new(false),
                 dispatcher_stop: AtomicBool::new(false),
                 active_connections: AtomicUsize::new(0),
+                inflight: AtomicUsize::new(0),
                 started: Instant::now(),
                 metrics: HttpMetrics::new(),
                 config,
@@ -317,6 +339,7 @@ impl RunningServer {
 fn run_threaded(shared: &Arc<Shared>, listener: &TcpListener) -> io::Result<()> {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     while !shared.stop_requested() {
+        maybe_dump_on_signal();
         // Reap finished connection threads so the vec stays bounded.
         handlers.retain(|h| !h.is_finished());
         match listener.accept() {
@@ -375,6 +398,22 @@ fn run_reactor(_shared: &Arc<Shared>, _listener: &TcpListener) -> io::Result<()>
     ))
 }
 
+/// Dumps the flight recorder to [`obs::trace::dump_path`] if SIGUSR1
+/// arrived since the last poll. Called from both accept/event loops.
+pub(crate) fn maybe_dump_on_signal() {
+    if !signal::take_usr1() {
+        return;
+    }
+    let path = obs::trace::dump_path();
+    match obs::trace::dump_to_file(&path) {
+        Ok(()) => eprintln!(
+            "neusight-serve: flight recorder dumped to {}",
+            path.display()
+        ),
+        Err(e) => eprintln!("neusight-serve: flight recorder dump failed: {e}"),
+    }
+}
+
 /// 503s a connection accepted beyond the worker cap.
 pub(crate) fn reject_connection(mut stream: TcpStream) {
     let _ = Response::error(503, "connection limit reached").write_to(&mut stream, false);
@@ -417,14 +456,22 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         match outcome {
             Ok(ReadOutcome::Request(request)) => {
                 let started = Instant::now();
+                let mut trace = obs::TraceContext::start(request.header("x-request-id"));
                 let wants_close = request.wants_close();
-                let response = route(shared, &request);
+                let response = route(shared, &request, &mut trace);
+                trace.stamp(obs::Stage::Render);
+                trace.set_status(response.status);
                 shared
                     .metrics
                     .latency_ns
                     .record_secs(started.elapsed().as_secs_f64());
                 let keep_alive = !wants_close && !shared.stop_requested();
-                if response.write_to(&mut stream, keep_alive).is_err() || !keep_alive {
+                let write_ok = response
+                    .write_to_traced(&mut stream, keep_alive, Some(&trace))
+                    .is_ok();
+                trace.stamp(obs::Stage::Write);
+                trace.finish();
+                if !write_ok || !keep_alive {
                     return;
                 }
             }
@@ -456,12 +503,13 @@ pub(crate) enum RouteOutcome {
 pub(crate) fn route_common(shared: &Shared, method: &str, path: &str, body: &[u8]) -> RouteOutcome {
     use RouteOutcome::Respond;
     shared.metrics.requests.inc();
-    const ROUTES: [&str; 5] = [
+    const ROUTES: [&str; 6] = [
         "/healthz",
         "/metrics",
         "/v1/models",
         "/v1/gpus",
         "/v1/predict",
+        "/v1/debug/traces",
     ];
     match (method, path) {
         ("POST", "/v1/predict") => match parse_predict_body(body) {
@@ -473,6 +521,7 @@ pub(crate) fn route_common(shared: &Shared, method: &str, path: &str, body: &[u8
         ("GET", "/metrics") => Respond(metrics_page(shared)),
         ("GET", "/v1/models") => Respond(Response::json(200, shared.service.models_json())),
         ("GET", "/v1/gpus") => Respond(Response::json(200, shared.service.gpus_json())),
+        ("GET", "/v1/debug/traces") => Respond(Response::json(200, obs::trace::dump_json())),
         (_, path) if ROUTES.contains(&path) => {
             let allow = if path == "/v1/predict" { "POST" } else { "GET" };
             Respond(
@@ -501,15 +550,18 @@ pub(crate) fn admit(
     request: PredictRequest,
     deadline: Instant,
     reply: dispatch::Reply,
+    trace: obs::TraceContext,
 ) -> Result<(), Response> {
     let job = Job {
         request,
         enqueued: Instant::now(),
         deadline,
         reply,
+        trace,
     };
     match shared.queue.try_push(job) {
         Ok(depth) => {
+            shared.inflight_add();
             #[allow(clippy::cast_precision_loss)]
             shared.metrics.queue_depth.set(depth as f64);
             Ok(())
@@ -526,7 +578,7 @@ pub(crate) fn admit(
 
 /// Maps a request to a response on the threaded path (blocking predict
 /// wait).
-fn route(shared: &Shared, request: &Request) -> Response {
+fn route(shared: &Shared, request: &Request, trace: &mut obs::TraceContext) -> Response {
     match route_common(
         shared,
         request.method.as_str(),
@@ -534,7 +586,7 @@ fn route(shared: &Shared, request: &Request) -> Response {
         &request.body,
     ) {
         RouteOutcome::Respond(response) => response,
-        RouteOutcome::Predict(parsed) => predict(shared, parsed),
+        RouteOutcome::Predict(parsed) => predict(shared, parsed, trace),
     }
 }
 
@@ -555,8 +607,9 @@ fn health(shared: &Shared) -> Response {
     Response::json(
         200,
         format!(
-            "{{\"status\":\"{status}\",\"uptime_s\":{:.3},\"queue_depth\":{},\"queue_capacity\":{},\"breaker\":\"{breaker}\"}}",
+            "{{\"status\":\"{status}\",\"uptime_s\":{:.3},\"inflight\":{},\"queue_depth\":{},\"queue_capacity\":{},\"breaker\":\"{breaker}\"}}",
             shared.started.elapsed().as_secs_f64(),
+            shared.inflight.load(Ordering::SeqCst),
             shared.queue.len(),
             shared.queue.capacity(),
         ),
@@ -568,6 +621,7 @@ fn health(shared: &Shared) -> Response {
 /// exporter's label escaping (the bind address is operator input).
 fn metrics_page(shared: &Shared) -> Response {
     let mut text = obs::export::prometheus(&obs::metrics::snapshot());
+    text.push_str(&obs::trace::slowest_prometheus());
     text.push_str("# TYPE neusight_serve_info gauge\n");
     text.push_str(&format!(
         "neusight_serve_info{{addr=\"{}\",version=\"{}\"}} 1\n",
@@ -579,19 +633,35 @@ fn metrics_page(shared: &Shared) -> Response {
 
 /// `POST /v1/predict` on the threaded path: admit, then block this
 /// handler thread until the dispatcher replies.
-fn predict(shared: &Shared, parsed: PredictRequest) -> Response {
+fn predict(shared: &Shared, parsed: PredictRequest, trace: &mut obs::TraceContext) -> Response {
     let (reply, receiver) = mpsc::sync_channel(1);
     let deadline = Instant::now() + shared.config.deadline;
-    if let Err(rejection) = admit(shared, parsed, deadline, dispatch::Reply::Channel(reply)) {
+    if let Err(rejection) = admit(
+        shared,
+        parsed,
+        deadline,
+        dispatch::Reply::Channel(reply),
+        *trace,
+    ) {
         return rejection;
     }
     // Margin past the deadline covers the dispatcher's own 504 reply.
     let wait = shared.config.deadline + Duration::from_millis(250);
     match receiver.recv_timeout(wait) {
-        // The dispatcher replies with the serialized body.
-        Ok(Ok(body)) => Response::json(200, body.to_string()),
-        Ok(Err(e)) => Response::error(e.status, &e.message),
+        // The dispatcher replies with the serialized body and the trace
+        // it stamped through queue/batch-wait/predict.
+        Ok((result, done)) => {
+            shared.inflight_sub();
+            *trace = done;
+            match result {
+                Ok(body) => Response::json(200, body.to_string()),
+                Err(e) => Response::error(e.status, &e.message),
+            }
+        }
         Err(_) => {
+            // The local trace copy still renders and echoes; the
+            // dispatcher's stamps for this request are lost with it.
+            shared.inflight_sub();
             shared.metrics.timeouts.inc();
             Response::error(504, "deadline exceeded")
         }

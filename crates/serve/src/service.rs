@@ -471,7 +471,7 @@ impl PredictService {
         }
         let results = self.predict_batch(requests);
         let mut memo = neusight_guard::recover_poison(self.responses.lock());
-        requests
+        let bodies: Vec<Result<Arc<str>, ServeError>> = requests
             .iter()
             .zip(results)
             .map(|(req, result)| {
@@ -484,7 +484,9 @@ impl PredictService {
                 memo.insert((req.clone(), response.degraded), Arc::clone(&body));
                 Ok(body)
             })
-            .collect()
+            .collect();
+        obs::trace::predict_mark("serialize");
+        bodies
     }
 
     /// JSON body for `GET /v1/models`.

@@ -8,6 +8,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 static SIGNALED: AtomicBool = AtomicBool::new(false);
 
+/// SIGUSR1 pending flag — consumed by [`take_usr1`] to trigger a
+/// flight-recorder dump from the serve loops.
+static USR1: AtomicBool = AtomicBool::new(false);
+
 /// Whether SIGTERM or SIGINT has been received since [`install`].
 #[must_use]
 pub fn signaled() -> bool {
@@ -19,12 +23,28 @@ pub fn raise() {
     SIGNALED.store(true, Ordering::SeqCst);
 }
 
+/// Consumes a pending SIGUSR1, returning whether one had arrived.
+#[must_use]
+pub fn take_usr1() -> bool {
+    USR1.swap(false, Ordering::SeqCst)
+}
+
+/// Test hook: pretend SIGUSR1 arrived (same observable effect).
+pub fn raise_usr1() {
+    USR1.store(true, Ordering::SeqCst);
+}
+
 #[cfg(unix)]
 extern "C" fn on_signal(_signum: i32) {
     SIGNALED.store(true, Ordering::SeqCst);
 }
 
-/// Installs the handler for SIGTERM and SIGINT. Idempotent.
+#[cfg(unix)]
+extern "C" fn on_usr1(_signum: i32) {
+    USR1.store(true, Ordering::SeqCst);
+}
+
+/// Installs the handlers for SIGTERM, SIGINT, and SIGUSR1. Idempotent.
 #[cfg(unix)]
 pub fn install() {
     extern "C" {
@@ -32,9 +52,14 @@ pub fn install() {
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    #[cfg(target_os = "macos")]
+    const SIGUSR1: i32 = 30;
+    #[cfg(not(target_os = "macos"))]
+    const SIGUSR1: i32 = 10;
     unsafe {
         signal(SIGTERM, on_signal);
         signal(SIGINT, on_signal);
+        signal(SIGUSR1, on_usr1);
     }
 }
 

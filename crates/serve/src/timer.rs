@@ -97,9 +97,9 @@ impl TimerWheel {
     }
 
     /// Number of scheduled (possibly stale) timers, across all slots.
-    /// Diagnostic only — the reactor never asks.
+    /// Total scheduled timers; exported by the reactor as the
+    /// `serve.reactor.timer_wheel.occupancy` gauge.
     #[must_use]
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn len(&self) -> usize {
         self.slots.iter().map(Vec::len).sum()
     }

@@ -268,3 +268,50 @@ fn interrupted_collection_resumes_bit_identical() {
         "faults, retries, and interrupts must leave no trace in the data"
     );
 }
+
+/// A panic inside the supervised prediction batch must leave a complete
+/// flight-recorder dump on disk (the guard's panic hook) — and the server
+/// keeps serving through the per-job retry.
+#[test]
+fn panicking_handler_leaves_flight_recorder_dump() {
+    let _guard = fault_lock();
+    neusight::obs::set_enabled(true);
+    let dump_path = temp_path("flight");
+    neusight::obs::trace::set_panic_dump_path(Some(dump_path.clone()));
+    let server = Server::spawn(ServeConfig::default(), trained()).expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // A healthy request first, so the recorder holds a finished trace
+    // for the panic hook to preserve.
+    let warm = client
+        .post_json("/v1/predict", r#"{"model":"bert","gpu":"T4","batch":1}"#)
+        .expect("warm request");
+    assert_eq!(warm.status, 200, "{}", warm.text());
+
+    // One injected panic in the dispatcher's batch predict: the guard
+    // catches it and dumps the recorder; the per-job retry then serves
+    // the request normally.
+    fault::configure(&"guard.panic=1.0:count=1".parse().unwrap(), 9);
+    let survived = client
+        .post_json("/v1/predict", r#"{"model":"gpt2","gpu":"V100","batch":1}"#)
+        .expect("request must survive the panicked batch");
+    fault::reset();
+    assert_eq!(survived.status, 200, "{}", survived.text());
+
+    let dumped = std::fs::read_to_string(&dump_path)
+        .expect("a caught panic must leave a flight-recorder dump file");
+    for key in ["\"capacity\"", "\"traces\"", "\"stamps\"", "\"slowest\""] {
+        assert!(
+            dumped.contains(key),
+            "incomplete flight-recorder dump, missing {key}: {dumped:.300}"
+        );
+    }
+    assert!(
+        dumped.trim_end().ends_with('}'),
+        "dump must be complete JSON, not a torn write"
+    );
+
+    neusight::obs::trace::set_panic_dump_path(None);
+    let _ = std::fs::remove_file(&dump_path);
+    server.shutdown_and_join().expect("graceful drain");
+}

@@ -478,3 +478,91 @@ fn reactor_and_threaded_responses_are_byte_identical() {
         "threaded and reactor modes must serve byte-identical bodies"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Request tracing: X-Request-Id propagation and the flight recorder work
+// identically in both server modes.
+// ---------------------------------------------------------------------------
+
+/// Both modes honor an inbound `X-Request-Id` (echoing it back verbatim),
+/// assign a `neusight-` trace id when none is sent, retain both traces in
+/// the flight recorder behind `/v1/debug/traces`, and expose the exact
+/// same stage taxonomy in the dump.
+#[test]
+fn trace_propagation_is_identical_across_modes() {
+    neusight::obs::set_enabled(true);
+    let mut captured: Vec<(u16, String)> = Vec::new();
+    for (mode, reactor) in modes() {
+        let config = ServeConfig {
+            reactor,
+            ..ServeConfig::default()
+        };
+        let server = Server::spawn(config, tiny_neusight()).expect("spawn server");
+        let addr = server.addr();
+
+        // An inbound X-Request-Id is honored end to end and echoed back.
+        let body = r#"{"model":"bert","gpu":"T4","batch":1}"#;
+        let sent_id = format!("trace-me-{mode}");
+        let raw = format!(
+            "POST /v1/predict HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nX-Request-Id: {sent_id}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let response = raw_exchange(addr, raw.as_bytes());
+        assert!(
+            response.starts_with("HTTP/1.1 200"),
+            "{mode}: {response:.200}"
+        );
+        assert!(
+            response
+                .to_ascii_lowercase()
+                .contains(&format!("x-request-id: {sent_id}")),
+            "{mode}: response must echo the inbound X-Request-Id, got: {response:.400}"
+        );
+
+        // Without an inbound id the server assigns a neusight- trace id.
+        let mut client = Client::connect(addr).expect("connect");
+        let assigned = client.post_json("/v1/predict", body).expect("predict");
+        assert_eq!(assigned.status, 200, "{mode}");
+        let id = assigned
+            .header("x-request-id")
+            .expect("server must assign a request id")
+            .to_owned();
+        assert!(id.starts_with("neusight-"), "{mode}: got id `{id}`");
+
+        // The flight recorder retained both traces, queryable by id.
+        let dump = client.get("/v1/debug/traces").expect("debug traces");
+        assert_eq!(dump.status, 200, "{mode}");
+        let text = dump.text();
+        assert!(
+            text.contains(&format!("\"id\":\"{sent_id}\"")),
+            "{mode}: flight recorder must retain the client-tagged trace: {text:.400}"
+        );
+        assert!(
+            text.contains(&format!("\"id\":\"{id}\"")),
+            "{mode}: flight recorder must retain the assigned-id trace"
+        );
+        for stage in [
+            "queue_ns",
+            "batch_wait_ns",
+            "predict_ns",
+            "render_ns",
+            "write_ns",
+        ] {
+            assert!(text.contains(stage), "{mode}: dump is missing `{stage}`");
+        }
+        let taxonomy = text
+            .split_once("\"stages\":[")
+            .and_then(|(_, rest)| rest.split_once(']'))
+            .map(|(stages, _)| stages.to_owned())
+            .expect("dump carries the stage taxonomy");
+        captured.push((assigned.status, taxonomy));
+        server.shutdown_and_join().expect("clean drain");
+    }
+    if let [threaded, reactor] = captured.as_slice() {
+        assert_eq!(
+            threaded, reactor,
+            "threaded and reactor modes must trace byte-identical stage taxonomies"
+        );
+    }
+}
