@@ -5,12 +5,23 @@
 //! ```text
 //! cargo run --release -p neusight-bench --bin loadgen -- \
 //!     [--concurrency N[,N,...]] [--duration-s F] [--reactor] \
-//!     [--addr HOST:PORT] [--out FILE]
+//!     [--addr HOST:PORT] [--out FILE] [--cluster R[,R,...]]
 //! ```
 //!
 //! A single `--concurrency` value emits the flat `BENCH_serve.json`
 //! schema; a comma-separated list runs a sweep and emits one file with a
 //! per-level `levels` array (`BENCH_serve2.json`).
+//!
+//! `--cluster 1,2,4` switches to the **multi-endpoint cluster mode**
+//! (`BENCH_cluster.json`): for each replica count it boots that many
+//! in-process serve replicas behind an in-process `neusight-router`,
+//! checks that routed responses are byte-identical to a direct
+//! single-node server, and measures aggregate req/s through the router.
+//! Replicas run with a fixed per-request `service_delay`, making the
+//! per-replica ceiling service-time-bound — so near-linear scaling with
+//! replica count is the *expected* result on any machine, including
+//! single-core CI runners, and deviations indicate router overhead or
+//! broken sharding rather than host CPU contention.
 //!
 //! By default the generator is **self-hosting**: it trains a tiny
 //! predictor, boots a server on an ephemeral loopback port in-process
@@ -31,6 +42,7 @@
 use neusight_core::{NeuSight, NeuSightConfig};
 use neusight_data::{collect_training_set, training_gpus, SweepScale};
 use neusight_gpu::DType;
+use neusight_router::{Router, RouterConfig};
 use neusight_serve::{Client, RunningServer, ServeConfig, Server};
 use serde::Serialize;
 use std::io::{Read, Write};
@@ -146,8 +158,9 @@ struct Args {
     levels: Vec<usize>,
     duration_s: f64,
     addr: Option<String>,
-    out: String,
+    out: Option<String>,
     reactor: bool,
+    cluster: Option<Vec<usize>>,
 }
 
 fn parse_args() -> Args {
@@ -155,8 +168,9 @@ fn parse_args() -> Args {
         levels: vec![32],
         duration_s: 3.0,
         addr: None,
-        out: "BENCH_serve.json".to_owned(),
+        out: None,
         reactor: false,
+        cluster: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -174,8 +188,16 @@ fn parse_args() -> Args {
             }
             "--duration-s" => parsed.duration_s = value("duration-s").parse().expect("seconds"),
             "--addr" => parsed.addr = Some(value("addr")),
-            "--out" => parsed.out = value("out"),
+            "--out" => parsed.out = Some(value("out")),
             "--reactor" => parsed.reactor = true,
+            "--cluster" => {
+                parsed.cluster = Some(
+                    value("cluster")
+                        .split(',')
+                        .map(|count| count.trim().parse().expect("usize replica count"))
+                        .collect(),
+                );
+            }
             other => panic!("unknown flag {other} (see the bin docs)"),
         }
     }
@@ -314,13 +336,23 @@ fn request_templates(addr: SocketAddr) -> Vec<Vec<u8>> {
 /// Drives one concurrency level: `level` in-flight requests multiplexed
 /// over `level` keep-alive connections split across a few worker threads.
 fn run_level(addr: SocketAddr, level: usize, duration_s: f64) -> LevelSummary {
+    run_level_with(addr, level, duration_s, &request_templates(addr))
+}
+
+/// [`run_level`] with an explicit request-template mix (cluster mode
+/// drives a wider keyspace than the default four-request mix).
+fn run_level_with(
+    addr: SocketAddr,
+    level: usize,
+    duration_s: f64,
+    templates: &[Vec<u8>],
+) -> LevelSummary {
     let threads = level.min(
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
             .max(2),
     );
-    let templates = request_templates(addr);
     eprintln!(
         "driving http://{addr} at {level}-way concurrency \
          ({threads} mux threads) for {duration_s:.1} s…"
@@ -424,8 +456,215 @@ fn run_level(addr: SocketAddr, level: usize, duration_s: f64) -> LevelSummary {
     }
 }
 
+/// Fixed in-flight requests for cluster mode — enough to keep every
+/// replica's dispatcher saturated at all measured fleet sizes.
+const CLUSTER_CONCURRENCY: usize = 64;
+
+/// Per-request dispatcher service delay in cluster mode, microseconds.
+/// This pins the per-replica throughput ceiling at ~1/delay (≈667
+/// req/s) regardless of host CPU, so replica-count scaling measures the
+/// *router and sharding*, not core count. 1.5 ms leaves the proxying
+/// CPU cost (~0.25 ms/request on one CI core) far from the bottleneck
+/// even at the 4-replica level.
+const CLUSTER_SERVICE_DELAY_US: u64 = 1500;
+
+/// The cluster request mix: the full model zoo × the full GPU catalog
+/// at batch 1 — a 64-key `(GPU, op family)` keyspace, wide enough that
+/// each replica's key share sits close to its ring arc share (pinned by
+/// a `neusight-router` ring unit test). Share balance matters directly:
+/// each replica's dispatcher is serial here, so the hottest shard's
+/// share caps fleet throughput at `1/max_share`.
+fn cluster_requests() -> Vec<String> {
+    let models = [
+        "gpt2",
+        "bert",
+        "opt",
+        "switch",
+        "resnet50",
+        "vgg16",
+        "gpt3-xl",
+        "gpt3-2.7b",
+    ];
+    let gpus = [
+        "P4",
+        "P100",
+        "V100",
+        "T4",
+        "A100-40GB",
+        "A100-80GB",
+        "L4",
+        "H100",
+    ];
+    let mut bodies = Vec::new();
+    for model in models {
+        for gpu in gpus {
+            bodies.push(format!(
+                "{{\"model\":\"{model}\",\"gpu\":\"{gpu}\",\"batch\":1}}"
+            ));
+        }
+    }
+    bodies
+}
+
+/// One replica count of the cluster sweep.
+#[derive(Debug, Serialize)]
+struct ClusterLevel {
+    replicas: usize,
+    duration_s: f64,
+    requests: usize,
+    errors: usize,
+    throughput_rps: f64,
+    latency: LatencySummary,
+}
+
+/// Cluster sweep schema (`BENCH_cluster.json`).
+#[derive(Debug, Serialize)]
+struct ClusterSummary {
+    generated_by: String,
+    mode: String,
+    concurrency: usize,
+    service_delay_us: u64,
+    /// Whether every routed response matched the direct single-node
+    /// body byte for byte.
+    bitwise_identical: bool,
+    levels: Vec<ClusterLevel>,
+}
+
+/// A serve replica tuned for the cluster benchmark (see
+/// [`CLUSTER_SERVICE_DELAY_US`]).
+fn spawn_cluster_replica(ns: &NeuSight) -> RunningServer {
+    let config = ServeConfig {
+        workers: CLUSTER_CONCURRENCY + 16,
+        queue_depth: 1024,
+        max_batch: 1,
+        service_delay: Duration::from_micros(CLUSTER_SERVICE_DELAY_US),
+        ..ServeConfig::default()
+    };
+    Server::spawn(config, ns.clone()).expect("bind cluster replica")
+}
+
+/// The multi-endpoint cluster benchmark: for each replica count, boot
+/// that many in-process replicas behind an in-process router, verify
+/// bitwise identity against a direct single-node server, and measure
+/// aggregate throughput through the router.
+fn run_cluster(counts: &[usize], duration_s: f64, out: &str) {
+    eprintln!("training a tiny predictor for the in-process cluster…");
+    let data = collect_training_set(&training_gpus(), SweepScale::Tiny, DType::F32);
+    let ns = NeuSight::train(&data, &NeuSightConfig::tiny()).expect("tiny training");
+    let bodies = cluster_requests();
+
+    // Reference bodies from a plain single-node server — the bitwise
+    // baseline every routed response must match.
+    let reference: Vec<String> = {
+        let server = spawn_cluster_replica(&ns);
+        let mut client = Client::connect(server.addr()).expect("connect reference");
+        let reference = bodies
+            .iter()
+            .map(|body| {
+                let response = client.post_json("/v1/predict", body).expect("reference");
+                assert_eq!(
+                    response.status,
+                    200,
+                    "reference failed: {}",
+                    response.text()
+                );
+                response.text()
+            })
+            .collect();
+        drop(client);
+        server.shutdown_and_join().expect("drain reference server");
+        reference
+    };
+
+    let mut bitwise_identical = true;
+    let mut levels = Vec::new();
+    for &replicas in counts {
+        assert!(replicas > 0, "--cluster replica counts must be positive");
+        let fleet: Vec<RunningServer> = (0..replicas).map(|_| spawn_cluster_replica(&ns)).collect();
+        let config = RouterConfig {
+            upstreams: fleet
+                .iter()
+                .enumerate()
+                .map(|(i, server)| (format!("replica-{i}"), server.addr()))
+                .collect(),
+            ..RouterConfig::default()
+        };
+        let router = Router::spawn(config).expect("bind router");
+        eprintln!(
+            "cluster level: {replicas} replica{} behind http://{}",
+            if replicas == 1 { "" } else { "s" },
+            router.addr()
+        );
+
+        // Warmup through the router doubles as the bitwise-identity
+        // check: every shard owner computes (and memoizes) its keys.
+        let mut warm = Client::connect(router.addr()).expect("connect router warmup");
+        for (body, expected) in bodies.iter().zip(&reference) {
+            let response = warm.post_json("/v1/predict", body).expect("router warmup");
+            assert_eq!(response.status, 200, "warmup failed: {}", response.text());
+            if response.text() != *expected {
+                bitwise_identical = false;
+                eprintln!("MISMATCH routed vs direct for {body}");
+            }
+        }
+        drop(warm);
+
+        let templates: Vec<Vec<u8>> = bodies
+            .iter()
+            .map(|body| {
+                format!(
+                    "POST /v1/predict HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+                     Content-Length: {}\r\n\r\n{body}",
+                    router.addr(),
+                    body.len()
+                )
+                .into_bytes()
+            })
+            .collect();
+        let level = run_level_with(router.addr(), CLUSTER_CONCURRENCY, duration_s, &templates);
+
+        router.shutdown_and_join().expect("drain router");
+        for server in fleet {
+            server.shutdown_and_join().expect("drain replica");
+        }
+        levels.push(ClusterLevel {
+            replicas,
+            duration_s: level.duration_s,
+            requests: level.requests,
+            errors: level.errors,
+            throughput_rps: level.throughput_rps,
+            latency: level.latency,
+        });
+    }
+
+    let summary = ClusterSummary {
+        generated_by: "cargo run --release -p neusight-bench --bin loadgen -- --cluster".to_owned(),
+        mode: "cluster".to_owned(),
+        concurrency: CLUSTER_CONCURRENCY,
+        service_delay_us: CLUSTER_SERVICE_DELAY_US,
+        bitwise_identical,
+        levels,
+    };
+    let json = serde_json::to_string_pretty(&summary).expect("serializable");
+    std::fs::write(out, json + "\n").expect("write cluster summary");
+    eprintln!("wrote {out}");
+    assert!(bitwise_identical, "routed responses diverged from direct");
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(counts) = args.cluster.clone() {
+        let out = args
+            .out
+            .clone()
+            .unwrap_or_else(|| "BENCH_cluster.json".to_owned());
+        run_cluster(&counts, args.duration_s, &out);
+        return;
+    }
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_serve.json".to_owned());
     let peak = args.levels.iter().copied().max().unwrap_or(32);
 
     let hosted: Option<RunningServer> = match args.addr {
@@ -495,6 +734,6 @@ fn main() {
         };
         serde_json::to_string_pretty(&summary).expect("serializable")
     };
-    std::fs::write(&args.out, json + "\n").expect("write summary");
-    eprintln!("wrote {}", args.out);
+    std::fs::write(&out, json + "\n").expect("write summary");
+    eprintln!("wrote {out}");
 }

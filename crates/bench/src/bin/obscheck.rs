@@ -527,6 +527,72 @@ fn check_serve_bench(reactor_text: &str, threaded_text: &str) -> Result<(), Stri
     Ok(())
 }
 
+/// `obscheck cluster BENCH_cluster.json` — the gate for the router's
+/// multi-replica sweep: the summary must attest bitwise-identical routed
+/// responses, carry error-free levels for 1, 2, and 4 replicas, and show
+/// near-linear scaling (>= 1.7x at 2 replicas, >= 3.0x at 4) over the
+/// single-replica baseline.
+fn check_cluster_bench(text: &str) -> Result<(), String> {
+    let Any(root) =
+        serde_json::from_str(text).map_err(|e| format!("cluster bench is not valid JSON: {e}"))?;
+    check(
+        get(&root, "mode").and_then(as_str) == Some("cluster"),
+        "cluster bench file does not carry `\"mode\": \"cluster\"`",
+    )?;
+    check(
+        get(&root, "bitwise_identical") == Some(&Value::Bool(true)),
+        "routed responses were not bitwise-identical to direct replica responses",
+    )?;
+    let levels = match get(&root, "levels") {
+        Some(Value::Array(levels)) if !levels.is_empty() => levels,
+        _ => return Err("cluster bench: `levels` is missing or empty".to_owned()),
+    };
+    let mut rps_of = std::collections::HashMap::<u64, f64>::new();
+    for level in levels {
+        let replicas = get(level, "replicas")
+            .and_then(as_f64)
+            .ok_or("cluster bench: level has no numeric `replicas`")?;
+        let rps = get(level, "throughput_rps")
+            .and_then(as_f64)
+            .ok_or("cluster bench: level has no numeric `throughput_rps`")?;
+        let errors = get(level, "errors")
+            .and_then(as_f64)
+            .ok_or("cluster bench: level has no numeric `errors`")?;
+        check(
+            errors == 0.0,
+            &format!("{errors} errors at {replicas} replicas — cluster must be error-free"),
+        )?;
+        check(
+            rps > 0.0,
+            &format!("zero throughput at {replicas} replicas"),
+        )?;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        rps_of.insert(replicas as u64, rps);
+    }
+    let rps = |replicas: u64| -> Result<f64, String> {
+        rps_of
+            .get(&replicas)
+            .copied()
+            .ok_or(format!("cluster bench has no {replicas}-replica level"))
+    };
+    let (one, two, four) = (rps(1)?, rps(2)?, rps(4)?);
+    check(
+        two >= 1.7 * one,
+        &format!("2-replica scaling below 1.7x ({two:.0} vs {one:.0} req/s baseline)"),
+    )?;
+    check(
+        four >= 3.0 * one,
+        &format!("4-replica scaling below 3.0x ({four:.0} vs {one:.0} req/s baseline)"),
+    )?;
+    println!(
+        "cluster bench OK: {one:.0} -> {two:.0} -> {four:.0} req/s at 1/2/4 replicas \
+         ({:.2}x, {:.2}x), responses bitwise-identical",
+        two / one,
+        four / one
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let read = |path: &str| -> Result<String, String> {
@@ -546,12 +612,13 @@ fn main() -> ExitCode {
             }
             [mode, metrics_path] if mode == "chaos" => check_chaos_metrics(&read(metrics_path)?),
             [mode, metrics_path] if mode == "guard" => check_guard_metrics(&read(metrics_path)?),
+            [mode, bench_path] if mode == "cluster" => check_cluster_bench(&read(bench_path)?),
             [trace_path, metrics_path] => {
                 check_trace(&read(trace_path)?)?;
                 check_metrics(&read(metrics_path)?)
             }
             _ => Err(
-                "usage: obscheck TRACE.json METRICS.prom | obscheck serve PREDICT.json METRICS.prom | obscheck serve2 REACTOR.json THREADED.json | obscheck trace DUMP.json METRICS.prom | obscheck chaos METRICS.prom | obscheck guard METRICS.prom"
+                "usage: obscheck TRACE.json METRICS.prom | obscheck serve PREDICT.json METRICS.prom | obscheck serve2 REACTOR.json THREADED.json | obscheck trace DUMP.json METRICS.prom | obscheck chaos METRICS.prom | obscheck guard METRICS.prom | obscheck cluster BENCH_cluster.json"
                     .to_owned(),
             ),
         }
@@ -791,6 +858,55 @@ mod tests {
         // An empty end-to-end histogram means tracing never ran.
         let idle = GOOD_TRACE_METRICS.replace("trace_total_ns_sum 72", "trace_total_ns_sum 0");
         assert!(check_trace_dump(GOOD_DUMP, &idle).is_err());
+    }
+
+    /// A cluster sweep with clean near-linear scaling: 2000 -> 3900 ->
+    /// 7800 req/s at 1/2/4 replicas (1.95x, 3.9x).
+    const GOOD_CLUSTER: &str = r#"{"generated_by":"loadgen","mode":"cluster",
+        "concurrency":64,"service_delay_us":500,"bitwise_identical":true,
+        "levels":[
+            {"replicas":1,"duration_s":3.0,"requests":6000,"errors":0,
+             "throughput_rps":2000.0,"latency":{"p50_ms":30.0,"p99_ms":45.0}},
+            {"replicas":2,"duration_s":3.0,"requests":11700,"errors":0,
+             "throughput_rps":3900.0,"latency":{"p50_ms":16.0,"p99_ms":25.0}},
+            {"replicas":4,"duration_s":3.0,"requests":23400,"errors":0,
+             "throughput_rps":7800.0,"latency":{"p50_ms":8.0,"p99_ms":14.0}}
+        ]}"#;
+
+    #[test]
+    fn cluster_gate_accepts_near_linear_scaling() {
+        assert!(check_cluster_bench(GOOD_CLUSTER).is_ok());
+    }
+
+    #[test]
+    fn cluster_gate_enforces_scaling_floors() {
+        // 2-replica throughput below 1.7x the baseline.
+        let flat2 = GOOD_CLUSTER.replace("\"throughput_rps\":3900.0", "\"throughput_rps\":3300.0");
+        assert!(check_cluster_bench(&flat2).is_err());
+        // 4-replica throughput below 3.0x the baseline.
+        let flat4 = GOOD_CLUSTER.replace("\"throughput_rps\":7800.0", "\"throughput_rps\":5900.0");
+        assert!(check_cluster_bench(&flat4).is_err());
+    }
+
+    #[test]
+    fn cluster_gate_rejects_structural_failures() {
+        assert!(check_cluster_bench("not json").is_err());
+        // Wrong mode marker.
+        let wrong_mode = GOOD_CLUSTER.replace("\"mode\":\"cluster\"", "\"mode\":\"serve\"");
+        assert!(check_cluster_bench(&wrong_mode).is_err());
+        // Routed responses diverged from direct replica responses.
+        let diverged =
+            GOOD_CLUSTER.replace("\"bitwise_identical\":true", "\"bitwise_identical\":false");
+        assert!(check_cluster_bench(&diverged).is_err());
+        // Any routed error fails the gate outright.
+        let errored = GOOD_CLUSTER.replacen("\"errors\":0", "\"errors\":3", 1);
+        assert!(check_cluster_bench(&errored).is_err());
+        // All three fleet sizes must be present.
+        let missing = GOOD_CLUSTER.replace("\"replicas\":4", "\"replicas\":3");
+        assert!(check_cluster_bench(&missing).is_err());
+        // An empty sweep never ran.
+        let empty = r#"{"mode":"cluster","bitwise_identical":true,"levels":[]}"#;
+        assert!(check_cluster_bench(empty).is_err());
     }
 
     #[test]

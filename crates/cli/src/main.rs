@@ -16,8 +16,10 @@
 //! neusight compare --model NAME [--batch N] [--train] [--predictor FILE]
 //! neusight serving --model NAME [--batch N] [--tokens N] [--predictor FILE]
 //! neusight export-dot --model NAME [--batch N] [--train] [--fused]
-//! neusight serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//! neusight serve   [--addr HOST:PORT] [--port N] [--workers N] [--queue-depth N]
 //!                  [--deadline-ms N] [--max-batch N] [--predictor FILE]
+//! neusight router  (--replicas N | --upstream HOST:PORT,HOST:PORT,…)
+//!                  [--addr HOST:PORT] [--warm-gossip] [--predictor FILE]
 //! neusight chaos   [--fault-spec SPEC] [--fault-seed N] [--scale tiny|standard]
 //! neusight verify-artifacts [DIR-OR-FILE]
 //! ```
@@ -102,6 +104,7 @@ fn main() -> ExitCode {
         Some("compare") => cmd_compare(&args),
         Some("serving") => cmd_serving(&args),
         Some("serve") => cmd_serve(&args),
+        Some("router") => cmd_router(&args),
         Some("chaos") => cmd_chaos(&args),
         Some("verify-artifacts") => cmd_verify_artifacts(&args),
         Some("export-dot") => cmd_export_dot(&args),
@@ -198,6 +201,7 @@ fn print_usage() {
            compare      forecast one model across the whole GPU catalog\n\
            serving      forecast TTFT and tokens/second for generation\n\
            serve        run the HTTP prediction service (see --addr etc.)\n\
+           router       front N serve replicas with consistent-hash routing\n\
            chaos        run a collection sweep under injected faults\n\
            verify-artifacts  check artifact checksums under a dir (or one file)\n\
            export-dot   print a model's kernel graph in Graphviz DOT\n\n\
@@ -820,8 +824,21 @@ fn cmd_serving(args: &Args) -> CliResult {
 /// returning. Observability is force-enabled so `/metrics` has data.
 fn cmd_serve(args: &Args) -> CliResult {
     obs::set_enabled(true);
+    let mut addr = args.option("addr").unwrap_or("127.0.0.1:8780").to_owned();
+    // `--port N` overrides the port of `--addr`; `--port 0` asks the OS
+    // for an ephemeral port. Either way the bound address is announced
+    // as a machine-parsable `ADDR host:port` first stdout line, so
+    // router spawn-mode and tests stop racing on fixed ports.
+    let ephemeral = args.option("port").is_some();
+    if let Some(port) = args.option("port") {
+        let port: u16 = port
+            .parse()
+            .map_err(|_| ArgError(format!("bad --port `{port}`")))?;
+        let host = addr.rsplit_once(':').map_or("127.0.0.1", |(h, _)| h);
+        addr = format!("{host}:{port}");
+    }
     let config = neusight_serve::ServeConfig {
-        addr: args.option("addr").unwrap_or("127.0.0.1:8780").to_owned(),
+        addr,
         workers: args.get_or("workers", 32usize)?,
         queue_depth: args.get_or("queue-depth", 256usize)?,
         deadline: std::time::Duration::from_millis(args.get_or("deadline-ms", 1000u64)?),
@@ -833,6 +850,11 @@ fn cmd_serve(args: &Args) -> CliResult {
     let reactor = config.reactor;
     let ns = load_or_train(args)?;
     let server = neusight_serve::Server::bind(config, ns)?;
+    if ephemeral {
+        use std::io::Write as _;
+        println!("ADDR {}", server.local_addr());
+        let _ = std::io::stdout().flush();
+    }
     println!(
         "serving on http://{} ({} mode)",
         server.local_addr(),
@@ -845,6 +867,161 @@ fn cmd_serve(args: &Args) -> CliResult {
     server.run()?;
     eprintln!("drained; bye");
     Ok(())
+}
+
+/// Runs the L7 cluster front-end (`neusight router`): consistent-hash
+/// routing of `/v1/predict` across serve replicas, health probing with
+/// drain + re-hash, and optional warm-cache gossip.
+///
+/// Two fleet shapes:
+/// - `--replicas N` spawns N child `neusight serve --port 0` processes
+///   (ephemeral ports, parsed from each child's `ADDR` line) and owns
+///   their lifecycle — SIGTERM on shutdown;
+/// - `--upstream host:port,host:port,…` attaches to replicas something
+///   else manages.
+fn cmd_router(args: &Args) -> CliResult {
+    obs::set_enabled(true);
+    neusight_serve::signal::install();
+    let mut children: Vec<std::process::Child> = Vec::new();
+    let upstreams: Vec<(String, std::net::SocketAddr)> = if let Some(list) = args.option("upstream")
+    {
+        list.split(',')
+            .enumerate()
+            .map(|(i, addr)| {
+                addr.trim()
+                    .parse()
+                    .map(|addr| (format!("replica-{i}"), addr))
+                    .map_err(|_| ArgError(format!("bad --upstream address `{addr}`")))
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        let replicas = args.get_or("replicas", 0usize)?;
+        if replicas == 0 {
+            return Err(ArgError(
+                "router needs --replicas N (spawn) or --upstream host:port,… (attach)".to_owned(),
+            )
+            .into());
+        }
+        let mut spawned = Vec::new();
+        for i in 0..replicas {
+            let (child, addr) = spawn_replica(args, i)?;
+            println!("replica-{i} on http://{addr} (pid {})", child.id());
+            children.push(child);
+            spawned.push((format!("replica-{i}"), addr));
+        }
+        spawned
+    };
+    let config = neusight_router::RouterConfig {
+        addr: args.option("addr").unwrap_or("127.0.0.1:8790").to_owned(),
+        upstreams,
+        warm_gossip: args.has("warm-gossip"),
+        ..neusight_router::RouterConfig::default()
+    };
+    let fleet = config.upstreams.len();
+    let router = neusight_router::Router::bind(config)?;
+    println!(
+        "routing on http://{} across {fleet} replica{}",
+        router.local_addr(),
+        if fleet == 1 { "" } else { "s" }
+    );
+    println!("  POST /v1/predict   sharded by (GPU, op family) consistent hashing");
+    println!("  GET  /healthz      aggregated fleet health    GET /metrics  fleet exposition");
+    println!(
+        "SIGTERM or Ctrl-C drains the router{}",
+        if children.is_empty() {
+            ""
+        } else {
+            " and its replicas"
+        }
+    );
+    let result = router.run();
+    for child in &mut children {
+        terminate_child(child);
+    }
+    for mut child in children {
+        let _ = child.wait();
+    }
+    eprintln!("router drained; bye");
+    result.map_err(Into::into)
+}
+
+/// Spawns one `neusight serve --port 0` child and parses the bound
+/// address from its `ADDR host:port` announcement line.
+fn spawn_replica(
+    args: &Args,
+    index: usize,
+) -> Result<(std::process::Child, std::net::SocketAddr), Box<dyn std::error::Error>> {
+    use std::io::BufRead as _;
+    let exe = std::env::current_exe()?;
+    let mut command = std::process::Command::new(exe);
+    command.args(["serve", "--port", "0"]);
+    if let Some(predictor) = args.option("predictor") {
+        command.args(["--predictor", predictor]);
+    }
+    if let Some(max_batch) = args.option("max-batch") {
+        command.args(["--max-batch", max_batch]);
+    }
+    if args.has("reactor") {
+        command.arg("--reactor");
+    }
+    command
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit());
+    let mut child = command.spawn()?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| ArgError(format!("replica-{index} has no stdout")))?;
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            let _ = child.kill();
+            return Err(ArgError(format!(
+                "replica-{index} exited before announcing its address"
+            ))
+            .into());
+        }
+        if let Some(addr) = line.trim().strip_prefix("ADDR ") {
+            break addr.parse::<std::net::SocketAddr>().map_err(|_| {
+                ArgError(format!("replica-{index} announced a bad address: {line}"))
+            })?;
+        }
+    };
+    // Keep draining the child's stdout so its pipe never fills.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        loop {
+            sink.clear();
+            match reader.read_line(&mut sink) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+        }
+    });
+    Ok((child, addr))
+}
+
+/// Asks a spawned replica to drain gracefully. `Child::kill` is SIGKILL,
+/// which would drop in-flight requests; the serve tier's drain path
+/// listens for SIGTERM.
+#[cfg(unix)]
+fn terminate_child(child: &mut std::process::Child) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+    #[allow(clippy::cast_possible_wrap)]
+    let pid = child.id() as i32;
+    if unsafe { kill(pid, SIGTERM) } != 0 {
+        let _ = child.kill();
+    }
+}
+
+#[cfg(not(unix))]
+fn terminate_child(child: &mut std::process::Child) {
+    let _ = child.kill();
 }
 
 /// Runs a checkpointed collection sweep under injected faults and prints

@@ -1,0 +1,68 @@
+//! Warm-cache gossip: when a replica (re)joins the ring cold, copy hot
+//! memoized responses from a live donor so its first requests hit the
+//! cache instead of rebuilding graphs.
+//!
+//! The exchange is one bounded `GET /v1/cache/export` from the donor and
+//! one `POST /v1/cache/import` to the newcomer. The payload travels
+//! inside the checksummed guard envelope end-to-end — the router relays
+//! the donor's bytes verbatim and the importer re-validates every entry,
+//! so a corrupted or tampered transfer is rejected, never installed.
+
+use neusight_obs as obs;
+use neusight_serve::Client;
+use std::io;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Copies up to one export's worth of hot cache entries from `donor` to
+/// `newcomer`. Returns how many entries the newcomer actually installed
+/// (already-present keys are skipped on its side).
+///
+/// # Errors
+///
+/// Propagates connect/exchange failures and non-200 answers from either
+/// side; the caller treats a failed warm as cosmetic (the newcomer just
+/// starts cold).
+pub fn warm(donor: SocketAddr, newcomer: SocketAddr, timeout: Duration) -> io::Result<usize> {
+    let mut from = Client::connect_timeout(donor, timeout)?;
+    let export = from.get("/v1/cache/export")?;
+    if export.status != 200 {
+        return Err(io::Error::other(format!(
+            "cache export from {donor} answered {}",
+            export.status
+        )));
+    }
+    let mut to = Client::connect_timeout(newcomer, timeout)?;
+    let import = to.post_octets("/v1/cache/import", &export.body)?;
+    if import.status != 200 {
+        return Err(io::Error::other(format!(
+            "cache import into {newcomer} answered {}: {}",
+            import.status,
+            import.text()
+        )));
+    }
+    let imported = parse_imported(&import.text())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unparsable import reply"))?;
+    obs::metrics::counter("router.gossip.rounds").inc();
+    obs::metrics::counter("router.gossip.imported").add(imported as u64);
+    Ok(imported)
+}
+
+/// Extracts `imported` from the `{"imported":N}` reply.
+fn parse_imported(body: &str) -> Option<usize> {
+    let rest = body.split("\"imported\":").nth(1)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn import_reply_parses() {
+        assert_eq!(parse_imported("{\"imported\":42}"), Some(42));
+        assert_eq!(parse_imported("{\"imported\":0}"), Some(0));
+        assert_eq!(parse_imported("{\"error\":\"nope\"}"), None);
+    }
+}

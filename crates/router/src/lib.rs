@@ -1,0 +1,52 @@
+//! `neusight-router`: the L7 cluster front-end over `neusight serve`
+//! replicas.
+//!
+//! The paper forecasts GPU performance so operators can plan clusters;
+//! this crate makes the serving tier itself scale like one. A router
+//! process fronts N serve replicas and:
+//!
+//! - routes `POST /v1/predict` by **consistent hashing** on the
+//!   `(GPU, op family)` shard key ([`ring`]), so each replica's
+//!   memoized prediction cache stays hot for its shard;
+//! - tracks replica health with per-upstream circuit breakers, active
+//!   `/healthz` probes, and decorrelated-jitter probe pacing
+//!   ([`upstream`]); a failed replica is drained out of the ring
+//!   (`router.rehash_total`) and its shard re-hashes onto survivors
+//!   with the exact minimal-disruption property;
+//! - fails over **within** a request — a request is answered 5xx only
+//!   when no live replica remains — and propagates `X-Request-Id`
+//!   trace stamps through the hop (`router.stage.route_ns`,
+//!   `router.stage.upstream_wait_ns`);
+//! - optionally warms a replica that (re)joins cold by gossiping hot
+//!   cache entries from a live donor through the checksummed guard
+//!   envelope ([`gossip`]);
+//! - aggregates `/healthz` and `/metrics` across the fleet (upstream
+//!   samples are re-labeled `replica="…"`).
+//!
+//! Chaos coverage rides the deterministic failpoints
+//! `router.upstream.{connect,read,slow}`.
+//!
+//! ```no_run
+//! use neusight_router::{Router, RouterConfig};
+//! # fn demo() -> std::io::Result<()> {
+//! let config = RouterConfig {
+//!     upstreams: vec![
+//!         ("replica-0".into(), "127.0.0.1:8784".parse().unwrap()),
+//!         ("replica-1".into(), "127.0.0.1:8785".parse().unwrap()),
+//!     ],
+//!     ..RouterConfig::default()
+//! };
+//! let router = Router::bind(config)?;
+//! println!("routing on http://{}", router.local_addr());
+//! router.run()
+//! # }
+//! ```
+
+pub mod gossip;
+pub mod proxy;
+pub mod ring;
+pub mod upstream;
+
+pub use proxy::{Router, RouterConfig, RouterHandle, RunningRouter};
+pub use ring::{HashRing, RouteKey, VNODES};
+pub use upstream::{Fleet, Upstream};

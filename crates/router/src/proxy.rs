@@ -1,0 +1,623 @@
+//! The router process: accept loop, per-connection proxying, fleet
+//! aggregation pages, and the prober thread.
+//!
+//! Each accepted connection gets a handler thread (the same shape as the
+//! serve tier's threaded mode) that keeps one upstream keep-alive
+//! connection per replica it has talked to, so the steady-state hop adds
+//! a hash + one pooled socket write, not a dial. Predict traffic routes
+//! by [`RouteKey`] over the fleet's consistent-hash ring; everything
+//! else is either answered locally (aggregated `/healthz`, `/metrics`)
+//! or forwarded to any live replica.
+
+use crate::gossip;
+use crate::ring::RouteKey;
+use crate::upstream::{fleet_status, probe_fleet, Fleet, Upstream, PROBE_INTERVAL};
+use neusight_fault::BreakerState;
+use neusight_obs as obs;
+use neusight_serve::http::{self, json_string, ReadOutcome, Request, Response};
+use neusight_serve::{Client, MultiClient, PredictRequest};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Router tuning.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Front-door listen address (port 0 = ephemeral).
+    pub addr: String,
+    /// The fleet: `(stable name, address)` per replica.
+    pub upstreams: Vec<(String, SocketAddr)>,
+    /// Connect/read timeout for upstream exchanges.
+    pub upstream_timeout: Duration,
+    /// Idle timeout for client (downstream) connections.
+    pub idle_timeout: Duration,
+    /// Cap on concurrent client connections.
+    pub workers: usize,
+    /// Warm a replica's cache from a live donor when it (re)joins.
+    pub warm_gossip: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            upstreams: Vec::new(),
+            upstream_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+            workers: 256,
+            warm_gossip: false,
+        }
+    }
+}
+
+/// State shared by the accept loop, handlers, and the prober.
+struct RouterShared {
+    config: RouterConfig,
+    fleet: Fleet,
+    stop: AtomicBool,
+    started: Instant,
+}
+
+impl RouterShared {
+    fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || neusight_serve::signal::signaled()
+    }
+}
+
+/// A bound (not yet running) router.
+pub struct Router {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+}
+
+/// Shutdown handle for a running router.
+#[derive(Clone)]
+pub struct RouterHandle {
+    shared: Arc<RouterShared>,
+}
+
+impl RouterHandle {
+    /// Requests a graceful drain: stop accepting, finish in-flight
+    /// exchanges, join handlers.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A router running on a background thread.
+pub struct RunningRouter {
+    addr: SocketAddr,
+    handle: RouterHandle,
+    thread: JoinHandle<io::Result<()>>,
+}
+
+impl RunningRouter {
+    /// The bound front-door address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown handle.
+    #[must_use]
+    pub fn handle(&self) -> RouterHandle {
+        self.handle.clone()
+    }
+
+    /// Triggers a drain and waits for the router to exit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the run loop's I/O errors; a panicked router thread is
+    /// reported as an error rather than cascading.
+    pub fn shutdown_and_join(self) -> io::Result<()> {
+        self.handle.shutdown();
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("router thread panicked"))?
+    }
+}
+
+impl Router {
+    /// Binds the front door.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures and an empty upstream list.
+    pub fn bind(config: RouterConfig) -> io::Result<Router> {
+        if config.upstreams.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one upstream replica",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let fleet = Fleet::new(config.upstreams.clone());
+        Ok(Router {
+            listener,
+            addr,
+            shared: Arc::new(RouterShared {
+                config,
+                fleet,
+                stop: AtomicBool::new(false),
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound front-door address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A shutdown handle usable from another thread.
+    #[must_use]
+    pub fn handle(&self) -> RouterHandle {
+        RouterHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the accept loop until shutdown, then drains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener failures.
+    pub fn run(self) -> io::Result<()> {
+        let Router {
+            listener, shared, ..
+        } = self;
+        listener.set_nonblocking(true)?;
+
+        let prober = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || run_prober(&shared))
+        };
+
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        while !shared.stop_requested() {
+            handlers.retain(|h| !h.is_finished());
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if handlers.len() >= shared.config.workers {
+                        let mut stream = stream;
+                        let _ = Response::error(503, "connection limit reached")
+                            .write_to(&mut stream, false);
+                        continue;
+                    }
+                    let shared = Arc::clone(&shared);
+                    handlers.push(thread::spawn(move || {
+                        if neusight_guard::catch("router.connection", || {
+                            handle_connection(&shared, stream)
+                        })
+                        .is_err()
+                        {
+                            obs::metrics::counter("router.connection.panics").inc();
+                        }
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        let _ = prober.join();
+        Ok(())
+    }
+
+    /// Binds and runs on a background thread — the test/bench entry
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(config: RouterConfig) -> io::Result<RunningRouter> {
+        let router = Router::bind(config)?;
+        let addr = router.local_addr();
+        let handle = router.handle();
+        let thread = thread::spawn(move || router.run());
+        Ok(RunningRouter {
+            addr,
+            handle,
+            thread,
+        })
+    }
+}
+
+/// The prober loop: health-checks the fleet on a fixed cadence (downed
+/// replicas additionally paced by per-endpoint backoff) and gossip-warms
+/// replicas that just came back, when enabled.
+fn run_prober(shared: &RouterShared) {
+    let addrs: Vec<SocketAddr> = shared.fleet.upstreams().iter().map(|u| u.addr).collect();
+    let mut probes = MultiClient::new(&addrs, shared.config.upstream_timeout);
+    // First pass immediately: attach mode should notice an already-dead
+    // replica before the first request arrives.
+    loop {
+        let recovered = probe_fleet(&shared.fleet, &mut probes);
+        if shared.config.warm_gossip {
+            for name in recovered {
+                warm_replica(shared, &name);
+            }
+        }
+        // Sleep in short slices so shutdown is prompt.
+        let deadline = Instant::now() + PROBE_INTERVAL;
+        while Instant::now() < deadline {
+            if shared.stop_requested() {
+                return;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        if shared.stop_requested() {
+            return;
+        }
+    }
+}
+
+/// Best-effort cache warm of a recovered replica from any *other* live
+/// donor. Failure is cosmetic: the replica just starts cold.
+fn warm_replica(shared: &RouterShared, name: &str) {
+    let Some(newcomer) = shared.fleet.get(name) else {
+        return;
+    };
+    let donor = shared
+        .fleet
+        .upstreams()
+        .iter()
+        .find(|u| u.name != name && u.is_healthy())
+        .cloned();
+    let Some(donor) = donor else { return };
+    match gossip::warm(donor.addr, newcomer.addr, shared.config.upstream_timeout) {
+        Ok(imported) => {
+            obs::event!("router_gossip_warm", replica = name, imported = imported);
+        }
+        Err(e) => {
+            obs::metrics::counter("router.gossip.failures").inc();
+            obs::event!("router_gossip_warm_failed", replica = name, error = e);
+        }
+    }
+}
+
+/// Serves one downstream connection's keep-alive loop.
+fn handle_connection(shared: &RouterShared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut carry: Vec<u8> = Vec::new();
+    // Pooled keep-alive connections to the replicas this downstream
+    // connection has routed to, keyed by replica name.
+    let mut pool: HashMap<String, Client> = HashMap::new();
+    loop {
+        let outcome = http::read_request(
+            &mut stream,
+            shared.config.idle_timeout,
+            || shared.stop_requested(),
+            &mut carry,
+        );
+        match outcome {
+            Ok(ReadOutcome::Request(request)) => {
+                obs::metrics::counter("router.requests").inc();
+                let trace = obs::TraceContext::start(request.header("x-request-id"));
+                let wants_close = request.wants_close();
+                let response = route(shared, &request, &trace, &mut pool);
+                let keep_alive = !wants_close && !shared.stop_requested();
+                let write_ok = response
+                    .write_to_traced(&mut stream, keep_alive, Some(&trace))
+                    .is_ok();
+                if !write_ok || !keep_alive {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Malformed(message, status)) => {
+                let _ = Response::error(status, message).write_to(&mut stream, false);
+                return;
+            }
+            Ok(ReadOutcome::Closed | ReadOutcome::IdleTimeout | ReadOutcome::Draining) | Err(_) => {
+                return
+            }
+        }
+    }
+}
+
+/// Routes one request to a handler.
+fn route(
+    shared: &RouterShared,
+    request: &Request,
+    trace: &obs::TraceContext,
+    pool: &mut HashMap<String, Client>,
+) -> Response {
+    const ROUTES: [&str; 5] = [
+        "/healthz",
+        "/metrics",
+        "/v1/models",
+        "/v1/gpus",
+        "/v1/predict",
+    ];
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/predict") => forward_predict(shared, request, trace, pool),
+        ("GET", "/healthz") => health(shared),
+        ("GET", "/metrics") => metrics_page(shared, pool),
+        ("GET", path @ ("/v1/models" | "/v1/gpus")) => forward_any(shared, path, pool),
+        (_, path) if ROUTES.contains(&path) => {
+            let allow = if path == "/v1/predict" { "POST" } else { "GET" };
+            Response::error(405, &format!("use {allow} for {path}"))
+                .with_header("Allow", allow.to_owned())
+        }
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+/// `POST /v1/predict`: hash the (GPU, op-family) key, forward to the
+/// shard owner, and fail over — draining the replica out of the ring —
+/// on upstream failure. A request is answered 5xx only when *no* live
+/// replica remains.
+fn forward_predict(
+    shared: &RouterShared,
+    request: &Request,
+    trace: &obs::TraceContext,
+    pool: &mut HashMap<String, Client>,
+) -> Response {
+    let routed_at = Instant::now();
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let parsed: PredictRequest = match serde_json::from_str(body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Response::error(400, &format!("bad predict request: {e}")),
+    };
+    let key = RouteKey::from_predict(&parsed.model, &parsed.gpu);
+    // Each failed attempt drains the owner and re-routes; the ring
+    // shrinks monotonically within one request, so this terminates.
+    let attempts = shared.fleet.upstreams().len().max(1);
+    for attempt in 0..attempts {
+        let Some(upstream) = shared.fleet.route(&key) else {
+            break;
+        };
+        if !upstream.breaker.allow() {
+            // Open breaker: treat like a failed attempt without an
+            // exchange — drain and re-route.
+            obs::metrics::counter("router.upstream.breaker_short_circuit").inc();
+            shared.fleet.mark_down(&upstream.name);
+            continue;
+        }
+        obs::metrics::histogram("router.stage.route_ns")
+            .record_secs(routed_at.elapsed().as_secs_f64());
+        let wait_started = Instant::now();
+        match exchange(shared, &upstream, pool, |client| {
+            client.post_json_with_id("/v1/predict", body, &trace.id_string())
+        }) {
+            Ok(reply) if reply.status < 500 => {
+                upstream.breaker.record_success();
+                obs::metrics::histogram("router.stage.upstream_wait_ns")
+                    .record_secs(wait_started.elapsed().as_secs_f64());
+                if attempt > 0 {
+                    obs::metrics::counter("router.upstream.failovers").inc();
+                }
+                return relay(reply);
+            }
+            Ok(reply) => {
+                // Upstream 5xx: predict is idempotent, so fail over.
+                upstream.breaker.record_failure();
+                obs::metrics::counter("router.upstream.status_5xx").inc();
+                shared.fleet.mark_down(&upstream.name);
+                let _ = reply;
+            }
+            Err(_) => {
+                upstream.breaker.record_failure();
+                obs::metrics::counter("router.upstream.errors").inc();
+                shared.fleet.mark_down(&upstream.name);
+            }
+        }
+        obs::metrics::counter("router.upstream.retries").inc();
+    }
+    obs::metrics::counter("router.no_live_upstream").inc();
+    Response::error(503, "no live upstream replica")
+}
+
+/// Forwards a shard-agnostic GET to any live replica.
+fn forward_any(shared: &RouterShared, path: &str, pool: &mut HashMap<String, Client>) -> Response {
+    for _ in 0..shared.fleet.upstreams().len().max(1) {
+        let Some(upstream) = shared.fleet.any_live() else {
+            break;
+        };
+        match exchange(shared, &upstream, pool, |client| client.get(path)) {
+            Ok(reply) if reply.status < 500 => return relay(reply),
+            Ok(_) | Err(_) => {
+                upstream.breaker.record_failure();
+                shared.fleet.mark_down(&upstream.name);
+            }
+        }
+    }
+    Response::error(503, "no live upstream replica")
+}
+
+/// One pooled exchange with a replica, wrapped in the chaos failpoints.
+/// Any error drops the pooled connection so the next attempt redials.
+fn exchange(
+    shared: &RouterShared,
+    upstream: &Arc<Upstream>,
+    pool: &mut HashMap<String, Client>,
+    run: impl FnOnce(&mut Client) -> io::Result<neusight_serve::ClientResponse>,
+) -> io::Result<neusight_serve::ClientResponse> {
+    if let Some(injected) = neusight_fault::fail_point!("router.upstream.connect") {
+        injected.sleep();
+        if injected.fail {
+            pool.remove(&upstream.name);
+            return Err(io::Error::other(injected.error()));
+        }
+    }
+    if !pool.contains_key(&upstream.name) {
+        let client = Client::connect_timeout(upstream.addr, shared.config.upstream_timeout)?;
+        pool.insert(upstream.name.clone(), client);
+    }
+    if let Some(injected) = neusight_fault::fail_point!("router.upstream.slow") {
+        injected.sleep();
+    }
+    let client = pool.get_mut(&upstream.name).expect("pooled above");
+    let result = run(client);
+    if let Some(injected) = neusight_fault::fail_point!("router.upstream.read") {
+        injected.sleep();
+        if injected.fail {
+            pool.remove(&upstream.name);
+            return Err(io::Error::other(injected.error()));
+        }
+    }
+    if result.is_err() {
+        pool.remove(&upstream.name);
+    }
+    result
+}
+
+/// Re-wraps an upstream reply for the downstream socket, preserving
+/// status and body bytes exactly (the bitwise-identity contract).
+fn relay(reply: neusight_serve::ClientResponse) -> Response {
+    let content_type = reply.header("content-type").unwrap_or("application/json");
+    match content_type {
+        ct if ct.starts_with("application/json") => Response::json(
+            reply.status,
+            String::from_utf8_lossy(&reply.body).into_owned(),
+        ),
+        ct if ct.starts_with("text/plain") => Response::text(
+            reply.status,
+            String::from_utf8_lossy(&reply.body).into_owned(),
+        ),
+        _ => Response::octets(reply.status, reply.body),
+    }
+}
+
+/// Aggregated fleet health.
+fn health(shared: &RouterShared) -> Response {
+    let statuses = fleet_status(&shared.fleet);
+    let live = statuses.iter().filter(|s| s.healthy).count();
+    let status = match live {
+        0 => "down",
+        n if n == statuses.len() => "ok",
+        _ => "degraded",
+    };
+    let replicas: Vec<String> = statuses
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"name\":{},\"addr\":{},\"healthy\":{},\"breaker\":{}}}",
+                json_string(&s.name),
+                json_string(&s.addr.to_string()),
+                s.healthy,
+                json_string(breaker_label(s.breaker)),
+            )
+        })
+        .collect();
+    #[allow(clippy::cast_precision_loss)]
+    let body = format!(
+        "{{\"status\":\"{status}\",\"uptime_s\":{:.3},\"live\":{live},\"total\":{},\"rehash_total\":{},\"replicas\":[{}]}}",
+        shared.started.elapsed().as_secs_f64(),
+        statuses.len(),
+        obs::metrics::counter("router.rehash_total").get(),
+        replicas.join(","),
+    );
+    let status_code = if live == 0 { 503 } else { 200 };
+    Response::json(status_code, body)
+}
+
+/// Human label for a breaker state.
+fn breaker_label(state: BreakerState) -> &'static str {
+    match state {
+        BreakerState::Closed => "closed",
+        BreakerState::Open => "open",
+        BreakerState::HalfOpen => "half-open",
+    }
+}
+
+/// The router's own registry plus every live replica's exposition,
+/// replica-labeled.
+fn metrics_page(shared: &RouterShared, pool: &mut HashMap<String, Client>) -> Response {
+    let mut text = obs::export::prometheus(&obs::metrics::snapshot());
+    text.push_str("# TYPE neusight_router_info gauge\n");
+    text.push_str(&format!(
+        "neusight_router_info{{addr=\"{}\",version=\"{}\",replicas=\"{}\"}} 1\n",
+        obs::export::escape_label_value(&shared.config.addr),
+        obs::export::escape_label_value(env!("CARGO_PKG_VERSION")),
+        shared.fleet.upstreams().len(),
+    ));
+    for upstream in shared.fleet.upstreams() {
+        if !upstream.is_healthy() {
+            continue;
+        }
+        let Ok(reply) = exchange(shared, upstream, pool, |client| client.get("/metrics")) else {
+            continue;
+        };
+        if reply.status == 200 {
+            text.push_str(&label_samples(&reply.text(), &upstream.name));
+        }
+    }
+    Response::text(200, text)
+}
+
+/// Rewrites an upstream exposition so every sample carries a
+/// `replica="<name>"` label. Comment/TYPE lines are dropped (the merged
+/// page would otherwise declare each family once per replica).
+fn label_samples(exposition: &str, replica: &str) -> String {
+    let mut out = String::with_capacity(exposition.len() + 64);
+    let label = format!("replica=\"{}\"", obs::export::escape_label_value(replica));
+    for line in exposition.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(brace) = line.find('{') {
+            // name{labels...} value → name{replica="x",labels...} value
+            out.push_str(&line[..=brace]);
+            out.push_str(&label);
+            out.push(',');
+            out.push_str(&line[brace + 1..]);
+        } else if let Some(space) = line.find(' ') {
+            // name value → name{replica="x"} value
+            out.push_str(&line[..space]);
+            out.push('{');
+            out.push_str(&label);
+            out.push('}');
+            out.push_str(&line[space..]);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_samples_injects_replica_label() {
+        let exposition = "# TYPE neusight_serve_requests counter\n\
+                          neusight_serve_requests 42\n\
+                          neusight_serve_info{addr=\"127.0.0.1:1\"} 1\n";
+        let labeled = label_samples(exposition, "replica-0");
+        assert!(!labeled.contains('#'), "comment lines are dropped");
+        assert!(labeled.contains("neusight_serve_requests{replica=\"replica-0\"} 42"));
+        assert!(
+            labeled.contains("neusight_serve_info{replica=\"replica-0\",addr=\"127.0.0.1:1\"} 1")
+        );
+    }
+
+    #[test]
+    fn bind_rejects_an_empty_fleet() {
+        let err = match Router::bind(RouterConfig::default()) {
+            Ok(_) => panic!("an empty fleet must not bind"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

@@ -1,0 +1,250 @@
+//! Replica fleet state: per-upstream health, the shared hash ring, and
+//! the active `/healthz` prober.
+//!
+//! Health has two inputs — forwarding failures (a proxy exchange that
+//! errored or answered 5xx) and active probes — and one output: ring
+//! membership. Either input can take a replica out of the ring (drain +
+//! re-hash, counted by `router.rehash_total`); only a successful probe
+//! puts it back. A per-upstream [`CircuitBreaker`] tracks the failure
+//! run-lengths and shows up in the aggregated health page, and probe
+//! pacing for downed replicas rides the decorrelated-jitter backoff
+//! inside [`neusight_serve::MultiClient`].
+
+use crate::ring::{HashRing, RouteKey};
+use neusight_fault::{BreakerConfig, BreakerState, CircuitBreaker};
+use neusight_obs as obs;
+use neusight_serve::MultiClient;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One serve replica as the router sees it.
+pub struct Upstream {
+    /// Stable ring identity (`replica-0`, …) — never the socket address,
+    /// which is ephemeral in spawn mode and would make routing depend on
+    /// OS port assignment.
+    pub name: String,
+    /// Where the replica listens.
+    pub addr: SocketAddr,
+    /// Trips on consecutive forward/probe failures.
+    pub breaker: CircuitBreaker,
+    healthy: AtomicBool,
+}
+
+impl Upstream {
+    fn new(name: String, addr: SocketAddr) -> Upstream {
+        let breaker =
+            CircuitBreaker::new(&format!("router.upstream.{name}"), BreakerConfig::default());
+        Upstream {
+            name,
+            addr,
+            breaker,
+            healthy: AtomicBool::new(true),
+        }
+    }
+
+    /// Whether the replica is currently in the ring.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+}
+
+/// The fleet: every configured upstream plus the ring of live ones.
+pub struct Fleet {
+    upstreams: Vec<Arc<Upstream>>,
+    ring: Mutex<HashRing>,
+}
+
+impl Fleet {
+    /// Builds a fleet with every upstream initially live.
+    #[must_use]
+    pub fn new(upstreams: Vec<(String, SocketAddr)>) -> Fleet {
+        let upstreams: Vec<Arc<Upstream>> = upstreams
+            .into_iter()
+            .map(|(name, addr)| Arc::new(Upstream::new(name, addr)))
+            .collect();
+        let ring = HashRing::new(upstreams.iter().map(|u| u.name.clone()));
+        Fleet {
+            upstreams,
+            ring: Mutex::new(ring),
+        }
+    }
+
+    /// All configured upstreams (live or not), in configuration order.
+    #[must_use]
+    pub fn upstreams(&self) -> &[Arc<Upstream>] {
+        &self.upstreams
+    }
+
+    /// The upstream with the given ring name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<Upstream>> {
+        self.upstreams.iter().find(|u| u.name == name).cloned()
+    }
+
+    /// Number of upstreams currently in the ring.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        neusight_guard::recover_poison(self.ring.lock()).len()
+    }
+
+    /// Routes a key to its live owner.
+    #[must_use]
+    pub fn route(&self, key: &RouteKey) -> Option<Arc<Upstream>> {
+        let name = {
+            let ring = neusight_guard::recover_poison(self.ring.lock());
+            ring.route(key)?.to_owned()
+        };
+        self.get(&name)
+    }
+
+    /// Any live upstream (for shard-agnostic passthrough routes).
+    #[must_use]
+    pub fn any_live(&self) -> Option<Arc<Upstream>> {
+        self.upstreams.iter().find(|u| u.is_healthy()).cloned()
+    }
+
+    /// Takes a replica out of the ring (drain): its keyspace re-hashes
+    /// onto the survivors. Idempotent; counts `router.rehash_total` only
+    /// on an actual transition. Returns whether the membership changed.
+    pub fn mark_down(&self, name: &str) -> bool {
+        let removed = {
+            let mut ring = neusight_guard::recover_poison(self.ring.lock());
+            ring.remove(name)
+        };
+        if removed {
+            if let Some(up) = self.get(name) {
+                up.healthy.store(false, Ordering::SeqCst);
+            }
+            obs::metrics::counter("router.rehash_total").inc();
+            obs::metrics::counter("router.upstream.marked_down").inc();
+            obs::event!("router_upstream_down", replica = name);
+        }
+        removed
+    }
+
+    /// Puts a replica back in the ring: its shard re-hashes back onto
+    /// it. Idempotent; counts a re-hash only on an actual transition.
+    pub fn mark_up(&self, name: &str) -> bool {
+        let inserted = {
+            let mut ring = neusight_guard::recover_poison(self.ring.lock());
+            ring.insert(name)
+        };
+        if inserted {
+            if let Some(up) = self.get(name) {
+                up.healthy.store(true, Ordering::SeqCst);
+            }
+            obs::metrics::counter("router.rehash_total").inc();
+            obs::metrics::counter("router.upstream.marked_up").inc();
+            obs::event!("router_upstream_up", replica = name);
+        }
+        inserted
+    }
+}
+
+/// One pass of the active prober: probes every upstream that is outside
+/// its backoff window, feeds the per-upstream breaker, and flips ring
+/// membership on transitions. Returns the names of replicas that just
+/// came (back) up — the caller may gossip-warm them.
+pub fn probe_fleet(fleet: &Fleet, probes: &mut MultiClient) -> Vec<String> {
+    let mut recovered = Vec::new();
+    for (index, upstream) in fleet.upstreams().iter().enumerate() {
+        if !probes.ready(index) {
+            continue;
+        }
+        match probes.get(index, "/healthz") {
+            Ok(response) if response.status == 200 => {
+                upstream.breaker.record_success();
+                if fleet.mark_up(&upstream.name) {
+                    recovered.push(upstream.name.clone());
+                }
+            }
+            _ => {
+                upstream.breaker.record_failure();
+                fleet.mark_down(&upstream.name);
+            }
+        }
+    }
+    recovered
+}
+
+/// Health-page snapshot of one upstream.
+pub struct UpstreamStatus {
+    /// Ring name.
+    pub name: String,
+    /// Socket address.
+    pub addr: SocketAddr,
+    /// In the ring right now?
+    pub healthy: bool,
+    /// Breaker state (`closed` / `open` / `half-open`).
+    pub breaker: BreakerState,
+}
+
+/// Snapshot of the whole fleet for the aggregated `/healthz` page.
+#[must_use]
+pub fn fleet_status(fleet: &Fleet) -> Vec<UpstreamStatus> {
+    fleet
+        .upstreams()
+        .iter()
+        .map(|u| UpstreamStatus {
+            name: u.name.clone(),
+            addr: u.addr,
+            healthy: u.is_healthy(),
+            breaker: u.breaker.state(),
+        })
+        .collect()
+}
+
+/// Interval between prober passes while everything is healthy; downed
+/// replicas are additionally paced by the per-endpoint backoff.
+pub const PROBE_INTERVAL: Duration = Duration::from_millis(100);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet_of(n: usize) -> Fleet {
+        Fleet::new(
+            (0..n)
+                .map(|i| {
+                    (
+                        format!("replica-{i}"),
+                        format!("127.0.0.1:{}", 9000 + i).parse().unwrap(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn mark_down_rehashes_once_and_survivors_take_over() {
+        obs::set_enabled(true);
+        let fleet = fleet_of(3);
+        let rehash = obs::metrics::counter("router.rehash_total");
+        let before = rehash.get();
+        let key = RouteKey::new("V100", "gpt2");
+        let owner = fleet.route(&key).expect("owner").name.clone();
+        assert!(fleet.mark_down(&owner));
+        assert!(!fleet.mark_down(&owner), "second mark_down is a no-op");
+        assert_eq!(rehash.get(), before + 1);
+        assert_eq!(fleet.live_count(), 2);
+        let successor = fleet.route(&key).expect("successor");
+        assert_ne!(successor.name, owner);
+        assert!(!fleet.get(&owner).unwrap().is_healthy());
+        // Recovery restores membership (one more re-hash).
+        assert!(fleet.mark_up(&owner));
+        assert_eq!(rehash.get(), before + 2);
+        assert_eq!(fleet.route(&key).expect("owner again").name, owner);
+    }
+
+    #[test]
+    fn all_down_routes_nowhere() {
+        let fleet = fleet_of(2);
+        assert!(fleet.mark_down("replica-0"));
+        assert!(fleet.mark_down("replica-1"));
+        assert!(fleet.route(&RouteKey::new("T4", "bert")).is_none());
+        assert!(fleet.any_live().is_none());
+    }
+}

@@ -1,10 +1,12 @@
 //! A minimal blocking HTTP/1.1 client with keep-alive — just enough to
 //! drive the server from the load generator and integration tests without
-//! external dependencies.
+//! external dependencies — plus [`MultiClient`], a fleet-of-endpoints
+//! variant with per-endpoint connection and retry state, shared by the
+//! router's health probes and the load generator's multi-endpoint mode.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Outcome of [`Client::post_json_with_retry`].
 #[derive(Debug, Clone)]
@@ -87,7 +89,7 @@ impl Client {
     ///
     /// Propagates I/O failures and malformed responses.
     pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, &[])
     }
 
     /// Issues a POST with a JSON body.
@@ -96,7 +98,43 @@ impl Client {
     ///
     /// Propagates I/O failures and malformed responses.
     pub fn post_json(&mut self, path: &str, body: &str) -> io::Result<ClientResponse> {
-        self.request("POST", path, Some(body.as_bytes()))
+        self.request(
+            "POST",
+            path,
+            Some(("application/json", body.as_bytes())),
+            &[],
+        )
+    }
+
+    /// Issues a POST with a JSON body and an `X-Request-Id` header — the
+    /// router's forwarding hop, which must propagate the downstream trace
+    /// stamp instead of letting the replica mint a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and malformed responses.
+    pub fn post_json_with_id(
+        &mut self,
+        path: &str,
+        body: &str,
+        request_id: &str,
+    ) -> io::Result<ClientResponse> {
+        self.request(
+            "POST",
+            path,
+            Some(("application/json", body.as_bytes())),
+            &[("X-Request-Id", request_id)],
+        )
+    }
+
+    /// Issues a POST with an arbitrary content type and raw body bytes
+    /// (cache gossip ships binary guard envelopes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and malformed responses.
+    pub fn post_octets(&mut self, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        self.request("POST", path, Some(("application/octet-stream", body)), &[])
     }
 
     /// Issues a POST, honoring `429 Too Many Requests`: on a 429, sleeps
@@ -137,17 +175,21 @@ impl Client {
         &mut self,
         method: &str,
         path: &str,
-        body: Option<&[u8]>,
+        body: Option<(&str, &[u8])>,
+        extra_headers: &[(&str, &str)],
     ) -> io::Result<ClientResponse> {
         let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
-        if let Some(body) = body {
-            head.push_str("Content-Type: application/json\r\n");
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if let Some((content_type, body)) = body {
+            head.push_str(&format!("Content-Type: {content_type}\r\n"));
             head.push_str(&format!("Content-Length: {}\r\n", body.len()));
         }
         head.push_str("\r\n");
         let stream = self.reader.get_mut();
         stream.write_all(head.as_bytes())?;
-        if let Some(body) = body {
+        if let Some((_, body)) = body {
             stream.write_all(body)?;
         }
         stream.flush()?;
@@ -204,5 +246,202 @@ impl Client {
             headers,
             body,
         })
+    }
+}
+
+/// A client over a *fleet* of endpoints, each with its own keep-alive
+/// connection, consecutive-failure count, and decorrelated-jitter retry
+/// pacing — so one dead replica cannot stall or reset the others' state.
+///
+/// Connections are lazy: the first request to an endpoint dials it, a
+/// failed request drops the cached connection (the next request redials),
+/// and failures start a per-endpoint backoff window during which
+/// [`MultiClient::ready`] reports `false`. Callers that respect `ready`
+/// (the router's prober does) probe dead endpoints at a decorrelated
+/// pace instead of hammering them in lockstep.
+pub struct MultiClient {
+    endpoints: Vec<Endpoint>,
+    timeout: Duration,
+}
+
+struct Endpoint {
+    addr: SocketAddr,
+    client: Option<Client>,
+    consecutive_failures: u32,
+    backoff: neusight_fault::Backoff,
+    retry_at: Option<Instant>,
+}
+
+/// Base delay for the per-endpoint failure backoff.
+const BACKOFF_BASE: Duration = Duration::from_millis(25);
+/// Cap for the per-endpoint failure backoff.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+impl Endpoint {
+    fn new(addr: SocketAddr, seed: u64) -> Endpoint {
+        Endpoint {
+            addr,
+            client: None,
+            consecutive_failures: 0,
+            backoff: neusight_fault::Backoff::new(BACKOFF_BASE, BACKOFF_CAP, seed),
+            retry_at: None,
+        }
+    }
+}
+
+impl MultiClient {
+    /// Wraps a set of endpoints; nothing is dialed until the first
+    /// request. `timeout` applies per endpoint to connects and reads.
+    #[must_use]
+    pub fn new(addrs: &[SocketAddr], timeout: Duration) -> MultiClient {
+        MultiClient {
+            endpoints: addrs
+                .iter()
+                .enumerate()
+                .map(|(index, addr)| Endpoint::new(*addr, index as u64))
+                .collect(),
+            timeout,
+        }
+    }
+
+    /// Number of endpoints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Whether the fleet is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Address of endpoint `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    #[must_use]
+    pub fn addr(&self, index: usize) -> SocketAddr {
+        self.endpoints[index].addr
+    }
+
+    /// Consecutive failed requests against endpoint `index` since its
+    /// last success.
+    #[must_use]
+    pub fn consecutive_failures(&self, index: usize) -> u32 {
+        self.endpoints[index].consecutive_failures
+    }
+
+    /// Whether endpoint `index` is outside its failure-backoff window.
+    /// Healthy endpoints are always ready; a failing endpoint becomes
+    /// ready again once its decorrelated-jitter delay elapses.
+    #[must_use]
+    pub fn ready(&self, index: usize) -> bool {
+        match self.endpoints[index].retry_at {
+            Some(at) => Instant::now() >= at,
+            None => true,
+        }
+    }
+
+    /// Issues a GET against endpoint `index`, dialing if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect and I/O failures; each failure bumps the
+    /// endpoint's consecutive-failure count and extends its backoff.
+    pub fn get(&mut self, index: usize, path: &str) -> io::Result<ClientResponse> {
+        self.exchange(index, |client| client.get(path))
+    }
+
+    /// Issues a JSON POST against endpoint `index`, dialing if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect and I/O failures; each failure bumps the
+    /// endpoint's consecutive-failure count and extends its backoff.
+    pub fn post_json(
+        &mut self,
+        index: usize,
+        path: &str,
+        body: &str,
+    ) -> io::Result<ClientResponse> {
+        self.exchange(index, |client| client.post_json(path, body))
+    }
+
+    /// Issues a binary POST against endpoint `index` (cache gossip).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect and I/O failures; each failure bumps the
+    /// endpoint's consecutive-failure count and extends its backoff.
+    pub fn post_octets(
+        &mut self,
+        index: usize,
+        path: &str,
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        self.exchange(index, |client| client.post_octets(path, body))
+    }
+
+    fn exchange(
+        &mut self,
+        index: usize,
+        run: impl FnOnce(&mut Client) -> io::Result<ClientResponse>,
+    ) -> io::Result<ClientResponse> {
+        let timeout = self.timeout;
+        let endpoint = &mut self.endpoints[index];
+        let attempt = (|| {
+            if endpoint.client.is_none() {
+                endpoint.client = Some(Client::connect_timeout(endpoint.addr, timeout)?);
+            }
+            run(endpoint.client.as_mut().expect("connected above"))
+        })();
+        match attempt {
+            Ok(response) => {
+                endpoint.consecutive_failures = 0;
+                endpoint.retry_at = None;
+                Ok(response)
+            }
+            Err(e) => {
+                // A failed exchange may have desynchronized the keep-alive
+                // stream; drop it so the next attempt redials.
+                endpoint.client = None;
+                endpoint.consecutive_failures = endpoint.consecutive_failures.saturating_add(1);
+                endpoint.retry_at = Some(Instant::now() + endpoint.backoff.next_delay());
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A dead endpoint accumulates failures and enters backoff; a second
+    /// endpoint's state is untouched.
+    #[test]
+    fn multi_client_isolates_per_endpoint_failure_state() {
+        // Bind-then-drop: the port is (almost certainly) closed, so the
+        // connect fails fast with a refusal rather than a timeout.
+        let dead = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let live_listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let live = live_listener.local_addr().unwrap();
+        let mut clients = MultiClient::new(&[dead, live], Duration::from_millis(250));
+        assert_eq!(clients.len(), 2);
+        assert_eq!(clients.addr(0), dead);
+        assert!(clients.ready(0) && clients.ready(1));
+
+        assert!(clients.get(0, "/healthz").is_err());
+        assert_eq!(clients.consecutive_failures(0), 1);
+        assert!(clients.get(0, "/healthz").is_err());
+        assert_eq!(clients.consecutive_failures(0), 2);
+        // The live endpoint never failed, so it carries no backoff.
+        assert_eq!(clients.consecutive_failures(1), 0);
+        assert!(clients.ready(1));
     }
 }

@@ -342,6 +342,18 @@ impl Response {
         }
     }
 
+    /// A binary response (used by `/v1/cache/export`: a checksummed guard
+    /// envelope is bytes, not text).
+    #[must_use]
+    pub fn octets(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/octet-stream",
+            body,
+        }
+    }
+
     /// A JSON error envelope: `{"error": …}`.
     #[must_use]
     pub fn error(status: u16, message: &str) -> Response {

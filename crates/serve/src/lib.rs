@@ -50,7 +50,7 @@ pub mod signal;
 mod sys;
 mod timer;
 
-pub use client::{Client, ClientResponse, RetriedResponse};
+pub use client::{Client, ClientResponse, MultiClient, RetriedResponse};
 pub use queue::{BoundedQueue, QueueFull};
 pub use server::{RunningServer, ServeConfig, Server, ServerHandle};
 pub use service::{PredictRequest, PredictResponse, PredictService, ServeError};

@@ -503,13 +503,15 @@ pub(crate) enum RouteOutcome {
 pub(crate) fn route_common(shared: &Shared, method: &str, path: &str, body: &[u8]) -> RouteOutcome {
     use RouteOutcome::Respond;
     shared.metrics.requests.inc();
-    const ROUTES: [&str; 6] = [
+    const ROUTES: [&str; 8] = [
         "/healthz",
         "/metrics",
         "/v1/models",
         "/v1/gpus",
         "/v1/predict",
         "/v1/debug/traces",
+        "/v1/cache/export",
+        "/v1/cache/import",
     ];
     match (method, path) {
         ("POST", "/v1/predict") => match parse_predict_body(body) {
@@ -522,8 +524,22 @@ pub(crate) fn route_common(shared: &Shared, method: &str, path: &str, body: &[u8
         ("GET", "/v1/models") => Respond(Response::json(200, shared.service.models_json())),
         ("GET", "/v1/gpus") => Respond(Response::json(200, shared.service.gpus_json())),
         ("GET", "/v1/debug/traces") => Respond(Response::json(200, obs::trace::dump_json())),
+        ("GET", "/v1/cache/export") => Respond(Response::octets(
+            200,
+            shared
+                .service
+                .export_cache(crate::service::MAX_GOSSIP_ENTRIES),
+        )),
+        ("POST", "/v1/cache/import") => Respond(match shared.service.import_cache(body) {
+            Ok(imported) => Response::json(200, format!("{{\"imported\":{imported}}}")),
+            Err(e) => Response::error(e.status, &e.message),
+        }),
         (_, path) if ROUTES.contains(&path) => {
-            let allow = if path == "/v1/predict" { "POST" } else { "GET" };
+            let allow = if path == "/v1/predict" || path == "/v1/cache/import" {
+                "POST"
+            } else {
+                "GET"
+            };
             Respond(
                 Response::error(405, &format!("use {allow} for {path}"))
                     .with_header("Allow", allow.to_owned()),

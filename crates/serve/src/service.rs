@@ -168,9 +168,11 @@ impl ResponseCache {
         self.map.get(key).cloned()
     }
 
-    fn insert(&mut self, key: (PredictRequest, bool), body: Arc<str>) {
+    /// Inserts a body unless the key is already memoized; reports whether
+    /// anything was actually added (cache gossip counts fresh entries).
+    fn insert(&mut self, key: (PredictRequest, bool), body: Arc<str>) -> bool {
         if self.map.contains_key(&key) {
-            return;
+            return false;
         }
         self.order.push_back(key.clone());
         self.map.insert(key, body);
@@ -180,8 +182,36 @@ impl ResponseCache {
             };
             self.map.remove(&oldest);
         }
+        true
     }
 }
+
+/// One gossiped cache entry: the request key and the exact serialized
+/// response body it maps to on the donor. The body ships verbatim (not
+/// re-serialized) so a warmed replica answers byte-identically to the
+/// donor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GossipEntry {
+    /// The memo key (degraded entries are never gossiped).
+    pub request: PredictRequest,
+    /// The serialized `PredictResponse` body, verbatim.
+    pub body: String,
+}
+
+/// Wire payload of `/v1/cache/export` and `/v1/cache/import`, carried
+/// inside the checksummed guard envelope.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GossipPayload {
+    /// Hot entries, newest first.
+    pub entries: Vec<GossipEntry>,
+}
+
+/// Upper bound on entries in one gossip exchange.
+pub const MAX_GOSSIP_ENTRIES: usize = 1024;
+
+/// Upper bound on summed body bytes in one gossip exchange — keeps the
+/// wrapped envelope comfortably under the codec's 1 MiB body cap.
+pub const MAX_GOSSIP_BYTES: usize = 768 * 1024;
 
 /// The long-lived prediction service: one trained [`NeuSight`] plus a
 /// graph cache, shared by every connection handler through the
@@ -563,6 +593,105 @@ impl PredictService {
             r#"{"error":"gpu listing serialization failed"}"#.to_owned()
         })
     }
+
+    /// Body for `GET /v1/cache/export`: up to `limit` hot (non-degraded)
+    /// memoized responses, newest first, wrapped in the checksummed guard
+    /// envelope. Bounded by [`MAX_GOSSIP_ENTRIES`] entries and
+    /// [`MAX_GOSSIP_BYTES`] of body bytes so the exchange always fits the
+    /// HTTP codec's body cap.
+    #[must_use]
+    pub fn export_cache(&self, limit: usize) -> Vec<u8> {
+        let limit = limit.min(MAX_GOSSIP_ENTRIES);
+        let mut entries = Vec::new();
+        let mut body_bytes = 0usize;
+        {
+            let memo = neusight_guard::recover_poison(self.responses.lock());
+            for key in memo.order.iter().rev() {
+                if entries.len() >= limit {
+                    break;
+                }
+                // Degraded bodies describe the *donor's* failure mode, not
+                // the workload; warming a healthy replica with them would
+                // poison its memo.
+                if key.1 {
+                    continue;
+                }
+                let Some(body) = memo.map.get(key) else {
+                    continue;
+                };
+                if body_bytes + body.len() > MAX_GOSSIP_BYTES {
+                    break;
+                }
+                body_bytes += body.len();
+                entries.push(GossipEntry {
+                    request: key.0.clone(),
+                    body: body.to_string(),
+                });
+            }
+        }
+        obs::metrics::counter("serve.gossip.exported").add(entries.len() as u64);
+        let payload = serde_json::to_string(&GossipPayload { entries }).unwrap_or_else(|_| {
+            obs::metrics::counter("serve.listing.serialize_failures").inc();
+            r#"{"entries":[]}"#.to_owned()
+        });
+        neusight_guard::envelope::wrap(payload.as_bytes())
+    }
+
+    /// Handles `POST /v1/cache/import`: unwraps a gossiped envelope and
+    /// seeds the response memo with its entries. Returns how many entries
+    /// were actually new. Every entry is re-validated on the way in — the
+    /// request must pass field validation and the body must parse as a
+    /// non-degraded [`PredictResponse`] — so a misbehaving donor cannot
+    /// plant garbage.
+    ///
+    /// # Errors
+    ///
+    /// 400 for a tampered/legacy envelope, unparsable payload, oversized
+    /// entry count, or any entry that fails validation.
+    pub fn import_cache(&self, bytes: &[u8]) -> Result<usize, ServeError> {
+        let decoded = neusight_guard::envelope::decode(bytes, "cache.gossip")
+            .map_err(|e| ServeError::bad_request(format!("gossip envelope rejected: {e}")))?;
+        if decoded.legacy {
+            return Err(ServeError::bad_request(
+                "gossip requires a checksummed envelope (legacy payload rejected)",
+            ));
+        }
+        let text = std::str::from_utf8(&decoded.payload)
+            .map_err(|_| ServeError::bad_request("gossip payload is not UTF-8"))?;
+        let payload: GossipPayload = serde_json::from_str(text)
+            .map_err(|e| ServeError::bad_request(format!("gossip payload unparsable: {e}")))?;
+        if payload.entries.len() > MAX_GOSSIP_ENTRIES {
+            return Err(ServeError::bad_request(format!(
+                "gossip payload carries {} entries (max {MAX_GOSSIP_ENTRIES})",
+                payload.entries.len()
+            )));
+        }
+        for entry in &payload.entries {
+            Self::validate(&entry.request)?;
+            let response: PredictResponse = serde_json::from_str(&entry.body).map_err(|e| {
+                ServeError::bad_request(format!("gossip entry body unparsable: {e}"))
+            })?;
+            if response.degraded {
+                return Err(ServeError::bad_request(
+                    "gossip entry carries a degraded response",
+                ));
+            }
+        }
+        let mut imported = 0usize;
+        {
+            let mut memo = neusight_guard::recover_poison(self.responses.lock());
+            for entry in payload.entries {
+                // Insert the donor's bytes verbatim: byte-identical answers
+                // across the fleet are the contract the router's bitwise
+                // gate checks.
+                if memo.insert((entry.request, false), entry.body.into()) {
+                    imported += 1;
+                }
+            }
+        }
+        obs::metrics::counter("serve.gossip.imported").add(imported as u64);
+        Ok(imported)
+    }
 }
 
 #[cfg(test)]
@@ -825,6 +954,62 @@ mod tests {
         // Round-trip through the parser to prove validity.
         let _: serde::value::Value = parse_value(&models);
         let _: serde::value::Value = parse_value(&gpus);
+    }
+
+    #[test]
+    fn gossip_round_trip_warms_a_cold_replica_bitwise() {
+        let _guard = fault_lock();
+        let donor = PredictService::new(trained());
+        let requests = vec![req("gpt2", "V100", 2, false), req("bert", "T4", 1, true)];
+        let donor_bodies = donor.predict_batch_serialized(&requests);
+        let envelope = donor.export_cache(MAX_GOSSIP_ENTRIES);
+
+        let newcomer = PredictService::new(trained());
+        let imported = newcomer.import_cache(&envelope).expect("import");
+        assert_eq!(imported, 2);
+        // Re-importing the same envelope adds nothing.
+        assert_eq!(newcomer.import_cache(&envelope).expect("re-import"), 0);
+        // The warmed replica now answers from the memo with the donor's
+        // exact bytes.
+        let warmed = newcomer.predict_batch_serialized(&requests);
+        for (a, b) in donor_bodies.iter().zip(&warmed) {
+            assert_eq!(
+                a.as_ref().unwrap().as_ref(),
+                b.as_ref().unwrap().as_ref(),
+                "gossiped bodies must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn gossip_import_rejects_tampered_and_garbage_envelopes() {
+        let _guard = fault_lock();
+        let svc = PredictService::new(trained());
+        svc.predict_batch_serialized(&[req("gpt2", "V100", 1, false)]);
+        let mut envelope = svc.export_cache(8);
+        // Flip a payload byte: the checksum must catch it.
+        let last = envelope.len() - 1;
+        envelope[last] ^= 0x01;
+        let err = svc.import_cache(&envelope).unwrap_err();
+        assert_eq!(err.status, 400);
+        // Raw (legacy, unchecksummed) payloads are rejected outright.
+        let err = svc.import_cache(br#"{"entries":[]}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn gossip_export_skips_degraded_entries() {
+        let _guard = fault_lock();
+        let svc = PredictService::new(trained());
+        arm_mlp_faults();
+        let degraded = svc.predict_batch_serialized(&[req("gpt2", "V100", 3, false)]);
+        neusight_fault::reset();
+        svc.breaker.reset();
+        assert!(degraded[0].as_ref().unwrap().contains("\"degraded\":true"));
+        svc.predict_batch_serialized(&[req("bert", "T4", 1, false)]);
+        let envelope = svc.export_cache(MAX_GOSSIP_ENTRIES);
+        let fresh = PredictService::new(trained());
+        assert_eq!(fresh.import_cache(&envelope).expect("import"), 1);
     }
 
     /// Parses arbitrary JSON into the vendored Value tree.

@@ -18,6 +18,7 @@
 //! | [`obs`] | `neusight-obs` | structured tracing, metrics, exporters, profiling (DESIGN.md §Observability) |
 //! | [`guard`] | `neusight-guard` | trust-boundary hardening: panic supervision, checksummed artifact envelope, performance-law output guards |
 //! | [`serve`] | `neusight-serve` | zero-dep HTTP prediction service: batching, admission control, graceful drain |
+//! | [`router`] | `neusight-router` | L7 cluster front-end: consistent-hash sharding over serve replicas, health/drain, warm-cache gossip |
 //!
 //! # Quickstart
 //!
@@ -55,6 +56,7 @@ pub use neusight_graph as graph;
 pub use neusight_guard as guard;
 pub use neusight_nn as nn;
 pub use neusight_obs as obs;
+pub use neusight_router as router;
 pub use neusight_serve as serve;
 pub use neusight_sim as sim;
 

@@ -315,3 +315,99 @@ fn panicking_handler_leaves_flight_recorder_dump() {
     let _ = std::fs::remove_file(&dump_path);
     server.shutdown_and_join().expect("graceful drain");
 }
+
+/// The router's forwarding hop under injected upstream faults
+/// (`router.upstream.{connect,read,slow}`): connect and read failures
+/// are count-bounded, so the router may briefly drain replicas and
+/// fail over, but once the schedule is spent the prober must restore
+/// the full fleet and traffic must be clean 200s again. Nothing may
+/// hang, panic, or drop a connection, and the fault counters must show
+/// the failovers actually happened.
+#[test]
+fn router_failover_survives_injected_upstream_faults() {
+    let _guard = fault_lock();
+    neusight::obs::set_enabled(true);
+    use neusight::router::{Router, RouterConfig};
+
+    let replicas: Vec<_> = (0..3)
+        .map(|_| Server::spawn(ServeConfig::default(), trained()).expect("replica"))
+        .collect();
+    let router = Router::spawn(RouterConfig {
+        upstreams: replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (format!("replica-{i}"), r.addr()))
+            .collect(),
+        ..RouterConfig::default()
+    })
+    .expect("spawn router");
+
+    let errors = neusight::obs::metrics::counter("router.upstream.errors");
+    let errors_before = errors.get();
+    fault::configure(
+        &"router.upstream.connect=0.5:count=4;\
+          router.upstream.read=0.4:count=3;\
+          router.upstream.slow=0.5:delay_ms=2:kind=delay"
+            .parse()
+            .unwrap(),
+        42,
+    );
+    let mut client = Client::connect(router.addr()).expect("connect router");
+    let mut served = 0usize;
+    for _ in 0..10 {
+        for body in [
+            r#"{"model":"bert","gpu":"T4","batch":1}"#,
+            r#"{"model":"gpt2","gpu":"V100","batch":1}"#,
+        ] {
+            let response = client
+                .post_json("/v1/predict", body)
+                .expect("a response, not a dropped connection");
+            if response.status == 200 {
+                served += 1;
+            } else {
+                // The only acceptable failure is every replica drained at
+                // once — never an unhandled 502/500 or a hang.
+                assert_eq!(response.status, 503, "{}", response.text());
+            }
+        }
+        // Paced slower than the 100 ms prober, so drained-but-healthy
+        // replicas get probed back into the ring between rounds.
+        std::thread::sleep(std::time::Duration::from_millis(120));
+    }
+    fault::reset();
+    assert!(
+        served >= 12,
+        "faults are count-bounded; most of 20 requests must serve (got {served})"
+    );
+    assert!(
+        errors.get() > errors_before,
+        "the injected connect/read faults never fired"
+    );
+
+    // With the schedule spent, the prober restores every drained replica
+    // and the fleet settles back to fully live, clean traffic.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let health = client.get("/healthz").expect("healthz");
+        if health.status == 200 && health.text().contains("\"live\":3") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fleet never recovered after faults: {}",
+            health.text()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    for _ in 0..6 {
+        let response = client
+            .post_json("/v1/predict", r#"{"model":"bert","gpu":"T4","batch":1}"#)
+            .expect("routed");
+        assert_eq!(response.status, 200, "{}", response.text());
+    }
+
+    router.shutdown_and_join().expect("router drain");
+    for replica in replicas {
+        replica.shutdown_and_join().expect("replica drain");
+    }
+}

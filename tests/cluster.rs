@@ -1,0 +1,328 @@
+//! Cluster-tier tests: a real `Router` fronting real in-process serve
+//! replicas over ephemeral sockets, plus property tests for the
+//! consistent-hash ring the router shards on.
+//!
+//! Covers the contracts ISSUE 8 pins down: responses routed through the
+//! front-end are **bitwise** identical to direct replica responses and
+//! propagate the client's `X-Request-Id` end to end; killing a replica
+//! mid-load produces zero 5xx (failover hides the loss) while
+//! `router.rehash_total` records the membership change; cache gossip
+//! warms a cold replica through the checksummed guard envelope and
+//! rejects tampered payloads; and re-hashing on membership change is
+//! *exactly* minimal — survivors keep every key they owned, for
+//! arbitrary keys and fleet sizes.
+
+use neusight::core::{NeuSight, NeuSightConfig};
+use neusight::gpu::DType;
+use neusight::router::{gossip, HashRing, RouteKey, Router, RouterConfig, RunningRouter};
+use neusight::serve::{Client, PredictResponse, RunningServer, ServeConfig, Server};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// One tiny training sweep shared by every test; `NeuSight::train` is
+/// deterministic, so each replica trains an identical predictor from it
+/// — which is exactly the property that makes routed responses bitwise
+/// comparable across replicas.
+fn training_data() -> &'static neusight::data::KernelDataset {
+    static DATA: OnceLock<neusight::data::KernelDataset> = OnceLock::new();
+    DATA.get_or_init(|| {
+        neusight::data::collect_training_set(
+            &neusight::data::training_gpus(),
+            neusight::data::SweepScale::Tiny,
+            DType::F32,
+        )
+    })
+}
+
+fn tiny_neusight() -> NeuSight {
+    NeuSight::train(training_data(), &NeuSightConfig::tiny()).expect("tiny training")
+}
+
+fn spawn_replica() -> RunningServer {
+    Server::spawn(ServeConfig::default(), tiny_neusight()).expect("spawn replica")
+}
+
+/// Spawns `n` replicas and a router fronting all of them.
+fn spawn_cluster(n: usize) -> (Vec<RunningServer>, RunningRouter) {
+    let replicas: Vec<RunningServer> = (0..n).map(|_| spawn_replica()).collect();
+    let config = RouterConfig {
+        upstreams: replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (format!("replica-{i}"), r.addr()))
+            .collect(),
+        ..RouterConfig::default()
+    };
+    let router = Router::spawn(config).expect("spawn router");
+    (replicas, router)
+}
+
+const BODIES: [&str; 6] = [
+    r#"{"model":"bert","gpu":"H100","batch":2}"#,
+    r#"{"model":"bert","gpu":"V100","batch":1}"#,
+    r#"{"model":"gpt2","gpu":"T4","batch":1}"#,
+    r#"{"model":"gpt2","gpu":"V100","batch":1,"train":true}"#,
+    r#"{"model":"resnet50","gpu":"H100","batch":4}"#,
+    r#"{"model":"vgg16","gpu":"T4","batch":2}"#,
+];
+
+#[test]
+fn routed_responses_are_bitwise_identical_and_propagate_request_ids() {
+    let (replicas, router) = spawn_cluster(3);
+
+    // Direct answers from one replica are the reference: every replica
+    // trained the same predictor, so the router may route each body to
+    // whichever replica owns its shard and must still relay these exact
+    // bytes.
+    let mut direct = Client::connect(replicas[0].addr()).expect("connect replica");
+    let mut routed = Client::connect(router.addr()).expect("connect router");
+    for (index, body) in BODIES.iter().enumerate() {
+        let reference = direct.post_json("/v1/predict", body).expect("direct");
+        assert_eq!(reference.status, 200, "{}", reference.text());
+
+        let id = format!("cluster-test-{index}");
+        let via_router = routed
+            .post_json_with_id("/v1/predict", body, &id)
+            .expect("routed");
+        assert_eq!(via_router.status, 200, "{}", via_router.text());
+        assert_eq!(
+            via_router.body, reference.body,
+            "routed bytes must be bitwise identical to a direct replica answer"
+        );
+        // The trace stamp survives both hops: client -> router -> replica
+        // and back.
+        assert_eq!(via_router.header("x-request-id"), Some(id.as_str()));
+    }
+
+    // Aggregated health: all three replicas live.
+    let health = routed.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    let text = health.text();
+    assert!(text.contains("\"status\":\"ok\""), "{text}");
+    assert!(text.contains("\"live\":3"), "{text}");
+    assert!(text.contains("\"replica-2\""), "{text}");
+
+    // Aggregated metrics: the router's own exposition plus per-replica
+    // passthrough samples tagged with a `replica` label.
+    let metrics = routed.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    assert!(text.contains("neusight_router_info{"), "{text}");
+    assert!(text.contains("replica=\"replica-0\""));
+    assert!(text.contains("replica=\"replica-2\""));
+
+    // Shard-agnostic passthrough routes still answer through the router.
+    let models = routed.get("/v1/models").expect("models");
+    assert_eq!(models.status, 200);
+    assert!(models.text().contains("GPT2-Large"));
+
+    router.shutdown_and_join().expect("router drain");
+    for replica in replicas {
+        replica.shutdown_and_join().expect("replica drain");
+    }
+}
+
+#[test]
+fn killing_a_replica_mid_load_rehashes_with_zero_5xx() {
+    neusight::obs::set_enabled(true);
+    let (mut replicas, router) = spawn_cluster(3);
+    let rehash = neusight::obs::metrics::counter("router.rehash_total");
+    let before = rehash.get();
+
+    let mut client = Client::connect(router.addr()).expect("connect router");
+    let drive = |client: &mut Client| {
+        for body in BODIES {
+            let response = client.post_json("/v1/predict", body).expect("predict");
+            assert!(
+                response.status < 500,
+                "routed request answered {} after replica loss: {}",
+                response.status,
+                response.text()
+            );
+            assert_eq!(response.status, 200, "{}", response.text());
+        }
+    };
+    drive(&mut client);
+
+    // Kill one replica while the router is live, then keep the load
+    // going: failover inside the router must hide the loss (no 5xx), and
+    // the fleet must record the drain + re-hash.
+    replicas
+        .remove(1)
+        .shutdown_and_join()
+        .expect("replica stop");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while rehash.get() == before {
+        drive(&mut client);
+        assert!(
+            Instant::now() < deadline,
+            "router never re-hashed after replica loss"
+        );
+    }
+    // The survivors now own the whole keyspace; traffic still flows.
+    drive(&mut client);
+    assert!(rehash.get() > before);
+
+    let health = client.get("/healthz").expect("healthz");
+    let text = health.text();
+    assert!(text.contains("\"status\":\"degraded\""), "{text}");
+    assert!(text.contains("\"live\":2"), "{text}");
+
+    router.shutdown_and_join().expect("router drain");
+    for replica in replicas {
+        replica.shutdown_and_join().expect("replica drain");
+    }
+}
+
+#[test]
+fn cache_gossip_warms_a_cold_replica_and_rejects_tampering() {
+    let donor = spawn_replica();
+    let cold = spawn_replica();
+
+    // Warm the donor's response cache.
+    let mut donor_client = Client::connect(donor.addr()).expect("connect donor");
+    let mut reference = Vec::new();
+    for body in &BODIES[..3] {
+        let response = donor_client.post_json("/v1/predict", body).expect("warm");
+        assert_eq!(response.status, 200, "{}", response.text());
+        reference.push(response.body);
+    }
+
+    // A fresh replica exports an envelope too — with nothing in it.
+    let mut cold_client = Client::connect(cold.addr()).expect("connect cold");
+    let empty_export = cold_client.get("/v1/cache/export").expect("empty export");
+    assert_eq!(empty_export.status, 200);
+    assert_eq!(
+        empty_export.header("content-type"),
+        Some("application/octet-stream")
+    );
+
+    // Tampered envelopes must bounce off the checksum, and raw JSON must
+    // bounce off the envelope magic — gossip never trusts bare bytes.
+    let export = donor_client.get("/v1/cache/export").expect("export");
+    assert_eq!(export.status, 200);
+    let mut tampered = export.body.clone();
+    *tampered.last_mut().expect("non-empty export") ^= 0x01;
+    let rejected = cold_client
+        .post_octets("/v1/cache/import", &tampered)
+        .expect("import tampered");
+    assert_eq!(rejected.status, 400, "{}", rejected.text());
+    let garbage = cold_client
+        .post_octets("/v1/cache/import", b"{\"entries\":[]}")
+        .expect("import garbage");
+    assert_eq!(garbage.status, 400, "{}", garbage.text());
+
+    // The real warm path: donor -> cold through the envelope.
+    let imported = gossip::warm(donor.addr(), cold.addr(), Duration::from_secs(5)).expect("warm");
+    assert!(imported >= 3, "imported only {imported} entries");
+
+    // The warmed replica now answers those requests with the donor's
+    // exact bytes (it would anyway — identical training — but the cache
+    // path must not perturb a single byte either).
+    for (body, expected) in BODIES[..3].iter().zip(&reference) {
+        let response = cold_client.post_json("/v1/predict", body).expect("warmed");
+        assert_eq!(response.status, 200);
+        assert_eq!(
+            &response.body, expected,
+            "gossiped body diverged for {body}"
+        );
+        let parsed: PredictResponse =
+            serde_json::from_str(&response.text()).expect("response JSON");
+        assert!(parsed.kernels > 0);
+    }
+
+    donor.shutdown_and_join().expect("donor drain");
+    cold.shutdown_and_join().expect("cold drain");
+}
+
+/// Deterministic share check: over a dense 4096-key grid, removing one
+/// of four replicas re-homes roughly a quarter of the keyspace — the
+/// "~1/N moves" half of the re-hash contract (the proptest below pins
+/// the "nothing else moves" half).
+#[test]
+fn removing_one_of_four_replicas_moves_about_a_quarter_of_the_keyspace() {
+    let names: Vec<String> = (0..4).map(|i| format!("replica-{i}")).collect();
+    let full = HashRing::new(names.clone());
+    let mut reduced = full.clone();
+    assert!(reduced.remove("replica-1"));
+
+    let mut moved = 0usize;
+    let mut total = 0usize;
+    for g in 0..64 {
+        for f in 0..64 {
+            let key = RouteKey::new(&format!("gpu-{g}"), &format!("family-{f}"));
+            total += 1;
+            if full.route(&key) != reduced.route(&key) {
+                moved += 1;
+            }
+        }
+    }
+    let fraction = moved as f64 / total as f64;
+    assert!(
+        (0.15..=0.40).contains(&fraction),
+        "removing 1 of 4 replicas moved {fraction:.3} of the keyspace (expected ~0.25)"
+    );
+}
+
+/// Arbitrary `(gpu, family)` key pairs: hex-rendered draws from the full
+/// `u64` space (the vendored proptest has no regex-string strategies, so
+/// strings derive from integer draws — hex digits still exercise the
+/// letter/digit mix and, below, case folding).
+fn arb_key() -> impl Strategy<Value = (String, String)> {
+    (0u64..u64::MAX, 0u64..u64::MAX)
+        .prop_map(|(g, f)| (format!("gpu-{g:x}"), format!("family-{f:x}")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For arbitrary keys and fleet sizes: every key maps to exactly one
+    /// live replica, and killing one replica re-homes *only* the keys it
+    /// owned — every survivor keeps every key it had. Re-adding the
+    /// replica restores the original assignment exactly.
+    #[test]
+    fn rehash_is_exactly_minimal_for_arbitrary_keys(
+        replica_count in 2usize..=8,
+        victim_seed in 0usize..1 << 30,
+        keys in prop::collection::vec(arb_key(), 32..128),
+    ) {
+        let names: Vec<String> = (0..replica_count).map(|i| format!("replica-{i}")).collect();
+        let victim = names[victim_seed % replica_count].clone();
+        let full = HashRing::new(names.clone());
+        let mut reduced = full.clone();
+        prop_assert!(reduced.remove(&victim));
+
+        for (gpu, family) in &keys {
+            let key = RouteKey::new(gpu, family);
+            // Exactly one live owner, and it is a current member.
+            let before = full.route(&key).expect("non-empty ring routes");
+            prop_assert!(full.contains(before));
+            let after = reduced.route(&key).expect("survivors still route");
+            prop_assert!(after != victim, "key routed to a dead replica");
+            if before != victim {
+                prop_assert_eq!(before, after, "a survivor lost a key it owned");
+            }
+        }
+
+        // Membership round trip restores the exact original assignment.
+        prop_assert!(reduced.insert(&victim));
+        for (gpu, family) in &keys {
+            let key = RouteKey::new(gpu, family);
+            prop_assert_eq!(full.route(&key), reduced.route(&key));
+        }
+    }
+
+    /// Routing is case-insensitive on both key components, so shard
+    /// affinity cannot be defeated by client-side spelling.
+    #[test]
+    fn routing_ignores_key_case(
+        (gpu, family) in arb_key(),
+        replica_count in 1usize..=6,
+    ) {
+        let ring = HashRing::new((0..replica_count).map(|i| format!("replica-{i}")));
+        let lower = RouteKey::new(&gpu.to_ascii_lowercase(), &family.to_ascii_lowercase());
+        let upper = RouteKey::new(&gpu.to_ascii_uppercase(), &family.to_ascii_uppercase());
+        prop_assert_eq!(ring.route(&lower), ring.route(&upper));
+    }
+}
