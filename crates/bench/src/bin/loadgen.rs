@@ -5,7 +5,8 @@
 //! ```text
 //! cargo run --release -p neusight-bench --bin loadgen -- \
 //!     [--concurrency N[,N,...]] [--duration-s F] [--reactor] \
-//!     [--addr HOST:PORT] [--out FILE] [--cluster R[,R,...]]
+//!     [--addr HOST:PORT] [--out FILE] [--cluster R[,R,...]] \
+//!     [--slow-replica-ms N]
 //! ```
 //!
 //! A single `--concurrency` value emits the flat `BENCH_serve.json`
@@ -22,6 +23,15 @@
 //! replica count is the *expected* result on any machine, including
 //! single-core CI runners, and deviations indicate router overhead or
 //! broken sharding rather than host CPU contention.
+//!
+//! `--slow-replica-ms 50` switches to the **tail-latency mode**
+//! (`BENCH_tail.json`): three in-process replicas, one slowed by the
+//! given per-batch service delay, behind a router measured twice — once
+//! plain, once with hedged requests enabled. A 2 % slice of the traffic
+//! routes to the slow replica, so the unhedged p99 *is* the slow
+//! replica's delay; hedging should cut it to roughly the hedge delay
+//! while duplicating only that slow slice (well under the 10 % budget).
+//! The `obscheck tail` gate enforces both.
 //!
 //! By default the generator is **self-hosting**: it trains a tiny
 //! predictor, boots a server on an ephemeral loopback port in-process
@@ -42,7 +52,7 @@
 use neusight_core::{NeuSight, NeuSightConfig};
 use neusight_data::{collect_training_set, training_gpus, SweepScale};
 use neusight_gpu::DType;
-use neusight_router::{Router, RouterConfig};
+use neusight_router::{HashRing, HedgeConfig, RouteKey, Router, RouterConfig};
 use neusight_serve::{Client, RunningServer, ServeConfig, Server};
 use serde::Serialize;
 use std::io::{Read, Write};
@@ -161,6 +171,7 @@ struct Args {
     out: Option<String>,
     reactor: bool,
     cluster: Option<Vec<usize>>,
+    slow_replica_ms: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -171,6 +182,7 @@ fn parse_args() -> Args {
         out: None,
         reactor: false,
         cluster: None,
+        slow_replica_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -197,6 +209,10 @@ fn parse_args() -> Args {
                         .map(|count| count.trim().parse().expect("usize replica count"))
                         .collect(),
                 );
+            }
+            "--slow-replica-ms" => {
+                parsed.slow_replica_ms =
+                    Some(value("slow-replica-ms").parse().expect("u64 milliseconds"));
             }
             other => panic!("unknown flag {other} (see the bin docs)"),
         }
@@ -475,6 +491,15 @@ const CLUSTER_SERVICE_DELAY_US: u64 = 1500;
 /// each replica's dispatcher is serial here, so the hottest shard's
 /// share caps fleet throughput at `1/max_share`.
 fn cluster_requests() -> Vec<String> {
+    cluster_keyspace()
+        .into_iter()
+        .map(|(_, _, body)| body)
+        .collect()
+}
+
+/// The `(model, gpu, body)` grid behind [`cluster_requests`] — tail mode
+/// needs the key components to compute each body's ring owner.
+fn cluster_keyspace() -> Vec<(&'static str, &'static str, String)> {
     let models = [
         "gpt2",
         "bert",
@@ -495,15 +520,14 @@ fn cluster_requests() -> Vec<String> {
         "L4",
         "H100",
     ];
-    let mut bodies = Vec::new();
+    let mut grid = Vec::new();
     for model in models {
         for gpu in gpus {
-            bodies.push(format!(
-                "{{\"model\":\"{model}\",\"gpu\":\"{gpu}\",\"batch\":1}}"
-            ));
+            let body = format!("{{\"model\":\"{model}\",\"gpu\":\"{gpu}\",\"batch\":1}}");
+            grid.push((model, gpu, body));
         }
     }
-    bodies
+    grid
 }
 
 /// One replica count of the cluster sweep.
@@ -651,8 +675,219 @@ fn run_cluster(counts: &[usize], duration_s: f64, out: &str) {
     assert!(bitwise_identical, "routed responses diverged from direct");
 }
 
+/// In-flight requests in tail mode. Low on purpose: the tail benchmark
+/// isolates one slow replica's latency contribution, and deep queueing
+/// at the slow replica would measure queue depth instead.
+const TAIL_CONCURRENCY: usize = 8;
+
+/// One request in `TAIL_SLOW_EVERY` targets the slow replica: the 2 %
+/// slice sits just past the p99 rank, so the unhedged p99 *is* the slow
+/// replica's delay, while the hedged duplicates stay far under the 10 %
+/// hedge budget.
+const TAIL_SLOW_EVERY: usize = 50;
+
+/// One measured pass of the tail benchmark (hedging off or on).
+#[derive(Debug, Serialize)]
+struct TailRun {
+    hedged: bool,
+    duration_s: f64,
+    requests: usize,
+    errors: usize,
+    throughput_rps: f64,
+    latency: LatencySummary,
+}
+
+/// Tail-latency schema (`BENCH_tail.json`), gated by `obscheck tail`.
+#[derive(Debug, Serialize)]
+struct TailSummary {
+    generated_by: String,
+    mode: String,
+    replicas: usize,
+    slow_replica_ms: u64,
+    hedge_delay_ms: u64,
+    concurrency: usize,
+    slow_share: f64,
+    unhedged: TailRun,
+    hedged: TailRun,
+    hedges_fired: u64,
+    hedges_won: u64,
+    /// `hedges_fired / hedged.requests` — must stay ≤ the 10 % budget.
+    hedged_fraction: f64,
+    /// `unhedged.p99 / hedged.p99` — the gate requires ≥ 2×.
+    p99_cut: f64,
+}
+
+/// Builds the tail-mode request mix for a router at `addr`: a 50-slot
+/// cycle with one body owned by `slow_name` and 49 bodies owned by the
+/// fast replicas.
+fn tail_templates(addr: SocketAddr, slow_body: &str, fast_bodies: &[String]) -> Vec<Vec<u8>> {
+    let render = |body: &str| {
+        format!(
+            "POST /v1/predict HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes()
+    };
+    let mut templates = vec![render(slow_body)];
+    for i in 0..TAIL_SLOW_EVERY - 1 {
+        templates.push(render(&fast_bodies[i % fast_bodies.len()]));
+    }
+    templates
+}
+
+/// The tail-latency benchmark: three replicas (one slowed by
+/// `slow_ms` per batch) behind a router, measured without and with
+/// hedged requests, plus the hedge counters that prove the duplicates
+/// stayed within budget.
+fn run_tail(slow_ms: u64, duration_s: f64, out: &str) {
+    assert!(slow_ms >= 10, "--slow-replica-ms below 10 ms is all noise");
+    // Counters (`router.hedge.*`) are no-ops unless obs is on; both
+    // passes run with it enabled so they pay the same overhead.
+    neusight_obs::set_enabled(true);
+    eprintln!("training a tiny predictor for the in-process tail fleet…");
+    let data = collect_training_set(&training_gpus(), SweepScale::Tiny, DType::F32);
+    let ns = NeuSight::train(&data, &NeuSightConfig::tiny()).expect("tiny training");
+
+    // Partition the cluster keyspace by ring owner so exactly one body
+    // in the mix routes to the slow replica.
+    let replicas = 3usize;
+    let names: Vec<String> = (0..replicas).map(|i| format!("replica-{i}")).collect();
+    let slow_name = names[0].clone();
+    let ring = HashRing::new(names.clone());
+    let mut slow_body: Option<String> = None;
+    let mut fast_bodies: Vec<String> = Vec::new();
+    for (model, gpu, body) in cluster_keyspace() {
+        let owner = ring
+            .route(&RouteKey::from_predict(model, gpu))
+            .expect("non-empty ring");
+        if owner == slow_name {
+            slow_body.get_or_insert(body);
+        } else {
+            fast_bodies.push(body);
+        }
+    }
+    let slow_body = slow_body.expect("ring gives every member some keys");
+
+    let spawn = |delay_ms: u64| {
+        let config = ServeConfig {
+            workers: TAIL_CONCURRENCY + 8,
+            queue_depth: 1024,
+            service_delay: Duration::from_millis(delay_ms),
+            ..ServeConfig::default()
+        };
+        Server::spawn(config, ns.clone()).expect("bind tail replica")
+    };
+    let fleet: Vec<RunningServer> = (0..replicas)
+        .map(|i| spawn(if i == 0 { slow_ms } else { 0 }))
+        .collect();
+    let upstreams: Vec<(String, SocketAddr)> = names
+        .iter()
+        .zip(&fleet)
+        .map(|(name, server)| (name.clone(), server.addr()))
+        .collect();
+    let hedge_delay_ms = (slow_ms / 10).max(2);
+
+    let measure = |hedge: HedgeConfig| -> TailRun {
+        let hedged = hedge.enabled;
+        let config = RouterConfig {
+            upstreams: upstreams.clone(),
+            hedge,
+            ..RouterConfig::default()
+        };
+        let router = Router::spawn(config).expect("bind tail router");
+        eprintln!(
+            "tail pass (hedged: {hedged}): {replicas} replicas behind http://{} \
+             ({slow_name} delayed {slow_ms} ms, hedge delay {hedge_delay_ms} ms)",
+            router.addr()
+        );
+        // Warm every key in the mix (and check it answers 200).
+        let mut warm = Client::connect(router.addr()).expect("connect tail warmup");
+        for body in std::iter::once(&slow_body).chain(&fast_bodies) {
+            let response = warm.post_json("/v1/predict", body).expect("tail warmup");
+            assert_eq!(response.status, 200, "warmup failed: {}", response.text());
+        }
+        drop(warm);
+        let templates = tail_templates(router.addr(), &slow_body, &fast_bodies);
+        let level = run_level_with(router.addr(), TAIL_CONCURRENCY, duration_s, &templates);
+        router.shutdown_and_join().expect("drain tail router");
+        TailRun {
+            hedged,
+            duration_s: level.duration_s,
+            requests: level.requests,
+            errors: level.errors,
+            throughput_rps: level.throughput_rps,
+            latency: level.latency,
+        }
+    };
+
+    let unhedged = measure(HedgeConfig::default());
+    let fired_before = neusight_obs::metrics::counter("router.hedge.fired").get();
+    let won_before = neusight_obs::metrics::counter("router.hedge.won").get();
+    let hedged = measure(HedgeConfig {
+        enabled: true,
+        delay_override: Some(Duration::from_millis(hedge_delay_ms)),
+        ..HedgeConfig::default()
+    });
+    let hedges_fired = neusight_obs::metrics::counter("router.hedge.fired").get() - fired_before;
+    let hedges_won = neusight_obs::metrics::counter("router.hedge.won").get() - won_before;
+
+    for server in fleet {
+        server.shutdown_and_join().expect("drain tail replica");
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    let hedged_fraction = if hedged.requests == 0 {
+        0.0
+    } else {
+        hedges_fired as f64 / hedged.requests as f64
+    };
+    let p99_cut = if hedged.latency.p99_ms > 0.0 {
+        unhedged.latency.p99_ms / hedged.latency.p99_ms
+    } else {
+        0.0
+    };
+    eprintln!(
+        "tail: p99 {:.2} ms → {:.2} ms ({p99_cut:.1}× cut), \
+         {hedges_fired} hedges fired / {hedges_won} won \
+         ({:.1} % of traffic)",
+        unhedged.latency.p99_ms,
+        hedged.latency.p99_ms,
+        hedged_fraction * 100.0
+    );
+
+    #[allow(clippy::cast_precision_loss)]
+    let summary = TailSummary {
+        generated_by: "cargo run --release -p neusight-bench --bin loadgen -- --slow-replica-ms"
+            .to_owned(),
+        mode: "tail".to_owned(),
+        replicas,
+        slow_replica_ms: slow_ms,
+        hedge_delay_ms,
+        concurrency: TAIL_CONCURRENCY,
+        slow_share: 1.0 / TAIL_SLOW_EVERY as f64,
+        unhedged,
+        hedged,
+        hedges_fired,
+        hedges_won,
+        hedged_fraction,
+        p99_cut,
+    };
+    let json = serde_json::to_string_pretty(&summary).expect("serializable");
+    std::fs::write(out, json + "\n").expect("write tail summary");
+    eprintln!("wrote {out}");
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(slow_ms) = args.slow_replica_ms {
+        let out = args
+            .out
+            .clone()
+            .unwrap_or_else(|| "BENCH_tail.json".to_owned());
+        run_tail(slow_ms, args.duration_s, &out);
+        return;
+    }
     if let Some(counts) = args.cluster.clone() {
         let out = args
             .out

@@ -593,6 +593,66 @@ fn check_cluster_bench(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `obscheck tail BENCH_tail.json` — the gate for the hedged-request
+/// tail benchmark: both passes must be error-free, hedging must cut the
+/// p99 by at least 2x against the slowed replica, and the duplicates
+/// must stay within the 10 % hedge budget (with at least one hedge
+/// actually winning, so the cut is attributable to hedging).
+fn check_tail_bench(text: &str) -> Result<(), String> {
+    let Any(root) =
+        serde_json::from_str(text).map_err(|e| format!("tail bench is not valid JSON: {e}"))?;
+    check(
+        get(&root, "mode").and_then(as_str) == Some("tail"),
+        "tail bench file does not carry `\"mode\": \"tail\"`",
+    )?;
+    for pass in ["unhedged", "hedged"] {
+        let run = get(&root, pass).ok_or(format!("tail bench: missing `{pass}` pass"))?;
+        let errors = get(run, "errors")
+            .and_then(as_f64)
+            .ok_or(format!("tail bench: `{pass}` has no numeric `errors`"))?;
+        check(
+            errors == 0.0,
+            &format!("{errors} errors in the {pass} pass — hedging must add zero failures"),
+        )?;
+        let requests = get(run, "requests").and_then(as_f64).unwrap_or(0.0);
+        check(
+            requests >= 100.0,
+            &format!("only {requests} requests in the {pass} pass — too few to trust a p99"),
+        )?;
+    }
+    let p99_of = |pass: &str| -> Result<f64, String> {
+        get(&root, pass)
+            .and_then(|run| get(run, "latency"))
+            .and_then(|l| get(l, "p99_ms"))
+            .and_then(as_f64)
+            .ok_or(format!("tail bench: `{pass}` has no `latency.p99_ms`"))
+    };
+    let (slow_p99, hedged_p99) = (p99_of("unhedged")?, p99_of("hedged")?);
+    check(
+        hedged_p99 > 0.0 && slow_p99 >= 2.0 * hedged_p99,
+        &format!("hedging cut p99 below 2x ({slow_p99:.2} ms -> {hedged_p99:.2} ms)"),
+    )?;
+    let fraction = get(&root, "hedged_fraction")
+        .and_then(as_f64)
+        .ok_or("tail bench: no numeric `hedged_fraction`")?;
+    check(
+        fraction <= 0.10,
+        &format!("hedged fraction {fraction:.3} exceeds the 10 % budget"),
+    )?;
+    let won = get(&root, "hedges_won").and_then(as_f64).unwrap_or(0.0);
+    check(
+        won >= 1.0,
+        "no hedge ever won — the p99 cut is not attributable to hedging",
+    )?;
+    println!(
+        "tail bench OK: p99 {slow_p99:.2} ms -> {hedged_p99:.2} ms ({:.1}x cut), \
+         hedged {:.1}% of traffic ({won:.0} wins)",
+        slow_p99 / hedged_p99,
+        fraction * 100.0
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let read = |path: &str| -> Result<String, String> {
@@ -613,12 +673,13 @@ fn main() -> ExitCode {
             [mode, metrics_path] if mode == "chaos" => check_chaos_metrics(&read(metrics_path)?),
             [mode, metrics_path] if mode == "guard" => check_guard_metrics(&read(metrics_path)?),
             [mode, bench_path] if mode == "cluster" => check_cluster_bench(&read(bench_path)?),
+            [mode, bench_path] if mode == "tail" => check_tail_bench(&read(bench_path)?),
             [trace_path, metrics_path] => {
                 check_trace(&read(trace_path)?)?;
                 check_metrics(&read(metrics_path)?)
             }
             _ => Err(
-                "usage: obscheck TRACE.json METRICS.prom | obscheck serve PREDICT.json METRICS.prom | obscheck serve2 REACTOR.json THREADED.json | obscheck trace DUMP.json METRICS.prom | obscheck chaos METRICS.prom | obscheck guard METRICS.prom | obscheck cluster BENCH_cluster.json"
+                "usage: obscheck TRACE.json METRICS.prom | obscheck serve PREDICT.json METRICS.prom | obscheck serve2 REACTOR.json THREADED.json | obscheck trace DUMP.json METRICS.prom | obscheck chaos METRICS.prom | obscheck guard METRICS.prom | obscheck cluster BENCH_cluster.json | obscheck tail BENCH_tail.json"
                     .to_owned(),
             ),
         }
@@ -907,6 +968,49 @@ mod tests {
         // An empty sweep never ran.
         let empty = r#"{"mode":"cluster","bitwise_identical":true,"levels":[]}"#;
         assert!(check_cluster_bench(empty).is_err());
+    }
+
+    /// A tail run where hedging cuts the slowed p99 ~16x while
+    /// duplicating under 1 % of traffic.
+    const GOOD_TAIL: &str = r#"{"generated_by":"loadgen","mode":"tail",
+        "replicas":3,"slow_replica_ms":50,"hedge_delay_ms":5,
+        "concurrency":8,"slow_share":0.02,
+        "unhedged":{"hedged":false,"duration_s":3.0,"requests":3000,"errors":0,
+            "throughput_rps":1000.0,"latency":{"p50_ms":0.2,"p99_ms":98.0}},
+        "hedged":{"hedged":true,"duration_s":3.0,"requests":27000,"errors":0,
+            "throughput_rps":9000.0,"latency":{"p50_ms":0.6,"p99_ms":6.0}},
+        "hedges_fired":250,"hedges_won":248,
+        "hedged_fraction":0.009,"p99_cut":16.3}"#;
+
+    #[test]
+    fn tail_gate_accepts_a_budgeted_p99_cut() {
+        assert!(check_tail_bench(GOOD_TAIL).is_ok());
+    }
+
+    #[test]
+    fn tail_gate_enforces_cut_and_budget() {
+        // Hedged p99 not at least 2x better than unhedged.
+        let weak = GOOD_TAIL.replace("\"p99_ms\":6.0", "\"p99_ms\":60.0");
+        assert!(check_tail_bench(&weak).is_err());
+        // Duplicates above the 10 % budget.
+        let greedy = GOOD_TAIL.replace("\"hedged_fraction\":0.009", "\"hedged_fraction\":0.17");
+        assert!(check_tail_bench(&greedy).is_err());
+        // A cut with zero hedge wins is not attributable to hedging.
+        let unearned = GOOD_TAIL.replace("\"hedges_won\":248", "\"hedges_won\":0");
+        assert!(check_tail_bench(&unearned).is_err());
+    }
+
+    #[test]
+    fn tail_gate_rejects_structural_failures() {
+        assert!(check_tail_bench("not json").is_err());
+        let wrong_mode = GOOD_TAIL.replace("\"mode\":\"tail\"", "\"mode\":\"cluster\"");
+        assert!(check_tail_bench(&wrong_mode).is_err());
+        // Errors in either pass fail the gate outright.
+        let errored = GOOD_TAIL.replacen("\"errors\":0", "\"errors\":2", 1);
+        assert!(check_tail_bench(&errored).is_err());
+        // Too few requests to trust a p99.
+        let thin = GOOD_TAIL.replace("\"requests\":3000", "\"requests\":40");
+        assert!(check_tail_bench(&thin).is_err());
     }
 
     #[test]

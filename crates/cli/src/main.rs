@@ -20,6 +20,7 @@
 //!                  [--deadline-ms N] [--max-batch N] [--predictor FILE]
 //! neusight router  (--replicas N | --upstream HOST:PORT,HOST:PORT,…)
 //!                  [--addr HOST:PORT] [--warm-gossip] [--predictor FILE]
+//!                  [--restart-budget N] [--hedge] [--shed-target-ms N]
 //! neusight chaos   [--fault-spec SPEC] [--fault-seed N] [--scale tiny|standard]
 //! neusight verify-artifacts [DIR-OR-FILE]
 //! ```
@@ -202,6 +203,7 @@ fn print_usage() {
            serving      forecast TTFT and tokens/second for generation\n\
            serve        run the HTTP prediction service (see --addr etc.)\n\
            router       front N serve replicas with consistent-hash routing\n\
+                        (supervised restarts; --hedge; --shed-target-ms N)\n\
            chaos        run a collection sweep under injected faults\n\
            verify-artifacts  check artifact checksums under a dir (or one file)\n\
            export-dot   print a model's kernel graph in Graphviz DOT\n\n\
@@ -876,12 +878,19 @@ fn cmd_serve(args: &Args) -> CliResult {
 /// Two fleet shapes:
 /// - `--replicas N` spawns N child `neusight serve --port 0` processes
 ///   (ephemeral ports, parsed from each child's `ADDR` line) and owns
-///   their lifecycle — SIGTERM on shutdown;
+///   their lifecycle — supervised restart on death (`--restart-budget`,
+///   default 5 per replica; 0 disables), SIGTERM on shutdown;
 /// - `--upstream host:port,host:port,…` attaches to replicas something
 ///   else manages.
+///
+/// Resilience flags: `--hedge` duplicates p99-slow predicts to the next
+/// ring owner (≤10 % extra load, budget shared with failure retries);
+/// `--shed-target-ms N` turns queue sojourn above N into replica
+/// brownout and above 2N into router-side 503 shedding.
 fn cmd_router(args: &Args) -> CliResult {
     obs::set_enabled(true);
     neusight_serve::signal::install();
+    let spec = ReplicaSpec::from_args(args);
     let mut children: Vec<std::process::Child> = Vec::new();
     let upstreams: Vec<(String, std::net::SocketAddr)> = if let Some(list) = args.option("upstream")
     {
@@ -904,25 +913,39 @@ fn cmd_router(args: &Args) -> CliResult {
         }
         let mut spawned = Vec::new();
         for i in 0..replicas {
-            let (child, addr) = spawn_replica(args, i)?;
+            let (child, addr) = spawn_replica(&spec, i)?;
             println!("replica-{i} on http://{addr} (pid {})", child.id());
             children.push(child);
             spawned.push((format!("replica-{i}"), addr));
         }
         spawned
     };
+    let restart_budget = args.get_or("restart-budget", 5u32)?;
+    let shed_target_ms = match args.option("shed-target-ms") {
+        Some(value) => Some(
+            value
+                .parse::<u64>()
+                .map_err(|_| ArgError(format!("invalid value `{value}` for --shed-target-ms")))?,
+        ),
+        None => None,
+    };
     let config = neusight_router::RouterConfig {
         addr: args.option("addr").unwrap_or("127.0.0.1:8790").to_owned(),
         upstreams,
         warm_gossip: args.has("warm-gossip"),
+        hedge: neusight_router::HedgeConfig {
+            enabled: args.has("hedge"),
+            ..neusight_router::HedgeConfig::default()
+        },
+        shed_target_ms,
         ..neusight_router::RouterConfig::default()
     };
-    let fleet = config.upstreams.len();
+    let fleet_size = config.upstreams.len();
     let router = neusight_router::Router::bind(config)?;
     println!(
-        "routing on http://{} across {fleet} replica{}",
+        "routing on http://{} across {fleet_size} replica{}",
         router.local_addr(),
-        if fleet == 1 { "" } else { "s" }
+        if fleet_size == 1 { "" } else { "s" }
     );
     println!("  POST /v1/predict   sharded by (GPU, op family) consistent hashing");
     println!("  GET  /healthz      aggregated fleet health    GET /metrics  fleet exposition");
@@ -934,7 +957,51 @@ fn cmd_router(args: &Args) -> CliResult {
             " and its replicas"
         }
     );
+
+    // Spawn mode with a restart budget: hand the children to the
+    // supervisor, which drains/respawns dead ones until shutdown and
+    // then hands the survivors back for graceful termination.
+    let stop_flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let supervisor_thread = if !children.is_empty() && restart_budget > 0 {
+        println!("supervising replicas (restart budget {restart_budget} each)");
+        let named: Vec<(String, std::process::Child)> = children
+            .drain(..)
+            .enumerate()
+            .map(|(i, child)| (format!("replica-{i}"), child))
+            .collect();
+        let supervisor = neusight_router::Supervisor::new(
+            named,
+            neusight_router::SupervisorConfig {
+                restart_budget,
+                ..neusight_router::SupervisorConfig::default()
+            },
+        );
+        let fleet = router.fleet();
+        let spec = spec.clone();
+        let stop = std::sync::Arc::clone(&stop_flag);
+        Some(std::thread::spawn(move || {
+            supervisor.run(
+                &fleet,
+                move |index| {
+                    spawn_replica(&spec, index).map_err(|e| std::io::Error::other(e.to_string()))
+                },
+                move || {
+                    stop.load(std::sync::atomic::Ordering::SeqCst)
+                        || neusight_serve::signal::signaled()
+                },
+            )
+        }))
+    } else {
+        None
+    };
+
     let result = router.run();
+    stop_flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    if let Some(handle) = supervisor_thread {
+        if let Ok(survivors) = handle.join() {
+            children.extend(survivors.into_iter().map(|(_, child)| child));
+        }
+    }
     for child in &mut children {
         terminate_child(child);
     }
@@ -945,23 +1012,59 @@ fn cmd_router(args: &Args) -> CliResult {
     result.map_err(Into::into)
 }
 
+/// The serve flags a spawned replica is launched with, owned — the
+/// supervisor respawns replicas long after the borrowed CLI args are
+/// out of reach.
+#[derive(Clone)]
+struct ReplicaSpec {
+    predictor: Option<String>,
+    max_batch: Option<String>,
+    reactor: bool,
+    cache_capacity: Option<String>,
+    cache_shards: Option<String>,
+    fault_spec: Option<String>,
+    fault_seed: Option<String>,
+}
+
+impl ReplicaSpec {
+    fn from_args(args: &Args) -> ReplicaSpec {
+        let owned = |flag: &str| args.option(flag).map(str::to_owned);
+        ReplicaSpec {
+            predictor: owned("predictor"),
+            max_batch: owned("max-batch"),
+            reactor: args.has("reactor"),
+            cache_capacity: owned("cache-capacity"),
+            cache_shards: owned("cache-shards"),
+            fault_spec: owned("fault-spec"),
+            fault_seed: owned("fault-seed"),
+        }
+    }
+}
+
 /// Spawns one `neusight serve --port 0` child and parses the bound
-/// address from its `ADDR host:port` announcement line.
+/// address from its `ADDR host:port` announcement line. Always an
+/// ephemeral port — a respawned replica must never try to rebind its
+/// predecessor's port, which may linger in `TIME_WAIT`.
 fn spawn_replica(
-    args: &Args,
+    spec: &ReplicaSpec,
     index: usize,
 ) -> Result<(std::process::Child, std::net::SocketAddr), Box<dyn std::error::Error>> {
     use std::io::BufRead as _;
     let exe = std::env::current_exe()?;
     let mut command = std::process::Command::new(exe);
     command.args(["serve", "--port", "0"]);
-    if let Some(predictor) = args.option("predictor") {
-        command.args(["--predictor", predictor]);
-    }
-    if let Some(max_batch) = args.option("max-batch") {
-        command.args(["--max-batch", max_batch]);
-    }
-    if args.has("reactor") {
+    let forward = |command: &mut std::process::Command, flag: &str, value: &Option<String>| {
+        if let Some(value) = value {
+            command.args([flag, value]);
+        }
+    };
+    forward(&mut command, "--predictor", &spec.predictor);
+    forward(&mut command, "--max-batch", &spec.max_batch);
+    forward(&mut command, "--cache-capacity", &spec.cache_capacity);
+    forward(&mut command, "--cache-shards", &spec.cache_shards);
+    forward(&mut command, "--fault-spec", &spec.fault_spec);
+    forward(&mut command, "--fault-seed", &spec.fault_seed);
+    if spec.reactor {
         command.arg("--reactor");
     }
     command

@@ -1,0 +1,170 @@
+//! Shared hedge/retry token bucket (the gRPC "retry throttling" shape).
+//!
+//! A degraded fleet must never be melted down by its own retries: if
+//! every slow request spawns a hedge and every failure a retry, load
+//! doubles exactly when capacity halves. The [`TokenBucket`] bounds that
+//! amplification to a fixed *fraction of real traffic*: each completed
+//! request deposits `ratio` tokens (in milli-token units, capped), and
+//! each hedge or retry withdraws one whole token. With `ratio = 0.1`
+//! the extra load converges to ≤ 10 % of throughput no matter how sick
+//! the fleet is — and because deposits come from requests, the budget
+//! self-scales with traffic instead of needing a rate configuration.
+//!
+//! Lock-free: one `AtomicI64` of milli-tokens, CAS on spend so two
+//! hedgers can never both spend the last token.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Milli-tokens per whole token: deposits of `ratio * 1000` stay exact
+/// for ratios down to 0.001.
+const MILLI: i64 = 1000;
+
+/// A traffic-proportional token bucket shared by hedged requests and
+/// upstream retries.
+#[derive(Debug)]
+pub struct TokenBucket {
+    /// Current balance in milli-tokens.
+    millis: AtomicI64,
+    /// Deposit per request, in milli-tokens (`ratio * 1000`).
+    deposit: i64,
+    /// Balance ceiling in milli-tokens.
+    cap: i64,
+}
+
+impl TokenBucket {
+    /// A bucket granting `ratio` extra sends per real request (e.g.
+    /// `0.1` ⇒ hedges + retries ≤ 10 % of traffic), holding at most
+    /// `burst` whole tokens. The bucket starts full so a cold router can
+    /// hedge its first slow request.
+    #[must_use]
+    pub fn new(ratio: f64, burst: u32) -> TokenBucket {
+        let ratio = ratio.clamp(0.0, 1.0);
+        #[allow(clippy::cast_possible_truncation)]
+        let deposit = (ratio * 1000.0).round() as i64;
+        let cap = i64::from(burst).max(1) * MILLI;
+        TokenBucket {
+            millis: AtomicI64::new(cap),
+            deposit,
+            cap,
+        }
+    }
+
+    /// Credits one completed request. Saturates at the cap.
+    pub fn on_request(&self) {
+        if self.deposit == 0 {
+            return;
+        }
+        let mut current = self.millis.load(Ordering::Relaxed);
+        loop {
+            let next = (current + self.deposit).min(self.cap);
+            match self.millis.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Tries to withdraw one whole token for a hedge or retry. `false`
+    /// means the budget is spent — the caller must *not* send the extra
+    /// request.
+    pub fn try_spend(&self) -> bool {
+        let mut current = self.millis.load(Ordering::Relaxed);
+        loop {
+            if current < MILLI {
+                return false;
+            }
+            match self.millis.compare_exchange_weak(
+                current,
+                current - MILLI,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Whole tokens currently available (floor).
+    #[must_use]
+    pub fn available(&self) -> u32 {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let tokens = (self.millis.load(Ordering::Relaxed).max(0) / MILLI) as u32;
+        tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_spends_down() {
+        let bucket = TokenBucket::new(0.1, 3);
+        assert_eq!(bucket.available(), 3);
+        assert!(bucket.try_spend());
+        assert!(bucket.try_spend());
+        assert!(bucket.try_spend());
+        assert!(!bucket.try_spend(), "empty bucket must refuse");
+        assert_eq!(bucket.available(), 0);
+    }
+
+    #[test]
+    fn refills_at_the_configured_ratio() {
+        let bucket = TokenBucket::new(0.1, 2);
+        while bucket.try_spend() {}
+        // 10 requests at ratio 0.1 buy exactly one token.
+        for _ in 0..9 {
+            bucket.on_request();
+            assert!(!bucket.try_spend());
+        }
+        bucket.on_request();
+        assert!(bucket.try_spend());
+        assert!(!bucket.try_spend());
+    }
+
+    #[test]
+    fn deposits_saturate_at_the_cap() {
+        let bucket = TokenBucket::new(1.0, 2);
+        for _ in 0..100 {
+            bucket.on_request();
+        }
+        assert_eq!(bucket.available(), 2);
+        assert!(bucket.try_spend());
+        assert!(bucket.try_spend());
+        assert!(!bucket.try_spend());
+    }
+
+    #[test]
+    fn long_run_extra_load_stays_at_the_ratio() {
+        let bucket = TokenBucket::new(0.1, 5);
+        // Drain the initial burst allowance.
+        while bucket.try_spend() {}
+        let mut extra = 0u32;
+        let requests = 10_000u32;
+        for _ in 0..requests {
+            bucket.on_request();
+            if bucket.try_spend() {
+                extra += 1;
+            }
+        }
+        let ratio = f64::from(extra) / f64::from(requests);
+        assert!(ratio <= 0.1 + 1e-9, "extra load ratio {ratio} above budget");
+        assert!(ratio >= 0.09, "bucket under-delivers: {ratio}");
+    }
+
+    #[test]
+    fn zero_ratio_never_grants_after_burst() {
+        let bucket = TokenBucket::new(0.0, 1);
+        assert!(bucket.try_spend());
+        for _ in 0..100 {
+            bucket.on_request();
+        }
+        assert!(!bucket.try_spend());
+    }
+}

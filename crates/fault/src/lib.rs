@@ -21,6 +21,9 @@
 //! - **Circuit breaker** ([`CircuitBreaker`]): Closed → Open on
 //!   consecutive failures, half-open probing after a cooldown, state and
 //!   transition counters exported through the `neusight-obs` registry.
+//! - **Hedge/retry budget** ([`TokenBucket`]): a traffic-proportional
+//!   token bucket shared by hedged requests and upstream retries, so the
+//!   extra load they add stays a bounded fraction of real traffic.
 //!
 //! # Example
 //!
@@ -48,11 +51,13 @@
 //! ```
 
 pub mod breaker;
+pub mod budget;
 mod registry;
 pub mod retry;
 pub mod spec;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use budget::TokenBucket;
 pub use registry::{
     all_statuses, check, configure, configure_from_env, disarm, point_status, reset, seed,
     InjectedFault, PointStatus, ENV_SEED, ENV_SPEC,

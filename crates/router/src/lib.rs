@@ -23,6 +23,21 @@
 //! - aggregates `/healthz` and `/metrics` across the fleet (upstream
 //!   samples are re-labeled `replica="…"`).
 //!
+//! The resilience tier makes the cluster self-healing:
+//!
+//! - **supervision** ([`supervisor`]): spawn-mode children that die are
+//!   drained, respawned on fresh ephemeral ports within a bounded
+//!   restart budget, re-probed back into the ring, and gossip-warmed;
+//! - **deadline propagation**: the client's `X-Deadline-Ms` budget
+//!   shrinks by measured elapsed time at each hop and expired requests
+//!   answer 504 without burning an upstream exchange;
+//! - **hedged requests** ([`hedge`]): a primary slower than the live
+//!   p99 gets one duplicate at the next ring owner, first answer wins,
+//!   capped by a token budget shared with failure retries;
+//! - **adaptive shedding**: replica queue-sojourn (CoDel-style) drives
+//!   a brownout tier (degraded roofline answers) and, at 2× the target,
+//!   router-side 503s with an honest `Retry-After`.
+//!
 //! Chaos coverage rides the deterministic failpoints
 //! `router.upstream.{connect,read,slow}`.
 //!
@@ -43,10 +58,14 @@
 //! ```
 
 pub mod gossip;
+pub mod hedge;
 pub mod proxy;
 pub mod ring;
+pub mod supervisor;
 pub mod upstream;
 
+pub use hedge::{HedgeConfig, Hedger};
 pub use proxy::{Router, RouterConfig, RouterHandle, RunningRouter};
 pub use ring::{HashRing, RouteKey, VNODES};
-pub use upstream::{Fleet, Upstream};
+pub use supervisor::{ChildProcess, Supervisor, SupervisorConfig};
+pub use upstream::{Fleet, Upstream, FLAP_THRESHOLD};

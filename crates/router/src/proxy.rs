@@ -10,17 +10,19 @@
 //! or forwarded to any live replica.
 
 use crate::gossip;
+use crate::hedge::{HedgeConfig, Hedger};
 use crate::ring::RouteKey;
 use crate::upstream::{fleet_status, probe_fleet, Fleet, Upstream, PROBE_INTERVAL};
 use neusight_fault::BreakerState;
 use neusight_obs as obs;
+use neusight_serve::deadline::{effective_budget_ms, shrink_ms};
 use neusight_serve::http::{self, json_string, ReadOutcome, Request, Response};
-use neusight_serve::{Client, MultiClient, PredictRequest};
+use neusight_serve::{Client, ClientResponse, MultiClient, PredictRequest};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -31,7 +33,8 @@ pub struct RouterConfig {
     pub addr: String,
     /// The fleet: `(stable name, address)` per replica.
     pub upstreams: Vec<(String, SocketAddr)>,
-    /// Connect/read timeout for upstream exchanges.
+    /// Connect/read timeout for upstream exchanges; also the router's
+    /// own per-request deadline when the client sends no `X-Deadline-Ms`.
     pub upstream_timeout: Duration,
     /// Idle timeout for client (downstream) connections.
     pub idle_timeout: Duration,
@@ -39,6 +42,12 @@ pub struct RouterConfig {
     pub workers: usize,
     /// Warm a replica's cache from a live donor when it (re)joins.
     pub warm_gossip: bool,
+    /// Hedged-request tuning (also carries the shared retry budget).
+    pub hedge: HedgeConfig,
+    /// Queue-sojourn target (ms) for adaptive load shedding: above the
+    /// target replicas are flipped into degraded brownout, above 2× the
+    /// router sheds with 503 + honest `Retry-After`. `None` disables.
+    pub shed_target_ms: Option<u64>,
 }
 
 impl Default for RouterConfig {
@@ -50,6 +59,8 @@ impl Default for RouterConfig {
             idle_timeout: Duration::from_secs(30),
             workers: 256,
             warm_gossip: false,
+            hedge: HedgeConfig::default(),
+            shed_target_ms: None,
         }
     }
 }
@@ -57,7 +68,8 @@ impl Default for RouterConfig {
 /// State shared by the accept loop, handlers, and the prober.
 struct RouterShared {
     config: RouterConfig,
-    fleet: Fleet,
+    fleet: Arc<Fleet>,
+    hedger: Hedger,
     stop: AtomicBool,
     started: Instant,
 }
@@ -87,6 +99,12 @@ impl RouterHandle {
     pub fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
     }
+
+    /// The shared fleet (see [`Router::fleet`]).
+    #[must_use]
+    pub fn fleet(&self) -> Arc<Fleet> {
+        Arc::clone(&self.shared.fleet)
+    }
 }
 
 /// A router running on a background thread.
@@ -107,6 +125,12 @@ impl RunningRouter {
     #[must_use]
     pub fn handle(&self) -> RouterHandle {
         self.handle.clone()
+    }
+
+    /// The shared fleet (see [`Router::fleet`]).
+    #[must_use]
+    pub fn fleet(&self) -> Arc<Fleet> {
+        self.handle.fleet()
     }
 
     /// Triggers a drain and waits for the router to exit.
@@ -138,13 +162,15 @@ impl Router {
         }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let fleet = Fleet::new(config.upstreams.clone());
+        let fleet = Arc::new(Fleet::new(config.upstreams.clone()));
+        let hedger = Hedger::new(config.hedge.clone());
         Ok(Router {
             listener,
             addr,
             shared: Arc::new(RouterShared {
                 config,
                 fleet,
+                hedger,
                 stop: AtomicBool::new(false),
                 started: Instant::now(),
             }),
@@ -155,6 +181,13 @@ impl Router {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The shared fleet — the supervisor drains/rebinds replicas through
+    /// this handle.
+    #[must_use]
+    pub fn fleet(&self) -> Arc<Fleet> {
+        Arc::clone(&self.shared.fleet)
     }
 
     /// A shutdown handle usable from another thread.
@@ -238,20 +271,29 @@ impl Router {
 }
 
 /// The prober loop: health-checks the fleet on a fixed cadence (downed
-/// replicas additionally paced by per-endpoint backoff) and gossip-warms
-/// replicas that just came back, when enabled.
+/// replicas additionally paced by per-endpoint backoff), gossip-warms
+/// replicas that just came back (when enabled), and runs the brownout
+/// half of the shed controller. Probe connections are rebuilt whenever
+/// the fleet's address generation moves — a supervised respawn lands a
+/// replica on a new ephemeral port.
 fn run_prober(shared: &RouterShared) {
-    let addrs: Vec<SocketAddr> = shared.fleet.upstreams().iter().map(|u| u.addr).collect();
-    let mut probes = MultiClient::new(&addrs, shared.config.upstream_timeout);
+    let mut generation = shared.fleet.addr_generation();
+    let mut probes = build_probes(shared);
+    let mut brownout_active = false;
     // First pass immediately: attach mode should notice an already-dead
     // replica before the first request arrives.
     loop {
+        if shared.fleet.addr_generation() != generation {
+            generation = shared.fleet.addr_generation();
+            probes = build_probes(shared);
+        }
         let recovered = probe_fleet(&shared.fleet, &mut probes);
         if shared.config.warm_gossip {
             for name in recovered {
                 warm_replica(shared, &name);
             }
         }
+        control_brownout(shared, &mut probes, &mut brownout_active);
         // Sleep in short slices so shutdown is prompt.
         let deadline = Instant::now() + PROBE_INTERVAL;
         while Instant::now() < deadline {
@@ -264,6 +306,74 @@ fn run_prober(shared: &RouterShared) {
             return;
         }
     }
+}
+
+/// Probe connections for the fleet's *current* addresses.
+fn build_probes(shared: &RouterShared) -> MultiClient {
+    let addrs: Vec<SocketAddr> = shared.fleet.upstreams().iter().map(|u| u.addr()).collect();
+    MultiClient::new(&addrs, shared.config.upstream_timeout)
+}
+
+/// Worst queue sojourn (ms) across live replicas — the congestion signal
+/// the shed controller acts on.
+fn worst_sojourn(fleet: &Fleet) -> u64 {
+    fleet
+        .upstreams()
+        .iter()
+        .filter(|u| u.is_healthy())
+        .map(|u| u.sojourn_ms())
+        .max()
+        .unwrap_or(0)
+}
+
+/// The brownout tier of adaptive shedding: when the worst replica
+/// sojourn crosses the target, flip the fleet into roofline degraded
+/// mode (cheap answers instead of queueing); restore full predictions
+/// once sojourn falls below half the target. Hard 503 shedding at 2× the
+/// target lives in [`shed_check`] on the request path.
+fn control_brownout(shared: &RouterShared, probes: &mut MultiClient, active: &mut bool) {
+    let Some(target) = shared.config.shed_target_ms else {
+        return;
+    };
+    let worst = worst_sojourn(&shared.fleet);
+    let want = if *active {
+        worst > target / 2
+    } else {
+        worst >= target
+    };
+    if want == *active {
+        return;
+    }
+    *active = want;
+    obs::metrics::gauge("router.shed.brownout").set(if want { 1.0 } else { 0.0 });
+    obs::metrics::counter("router.shed.brownout_flips").inc();
+    obs::event!("router_brownout", on = want, worst_sojourn_ms = worst);
+    let body = format!("{{\"on\":{want}}}");
+    for (index, upstream) in shared.fleet.upstreams().iter().enumerate() {
+        if upstream.is_healthy() {
+            // Best-effort: an unreachable replica will be probed out of
+            // the ring anyway.
+            let _ = probes.post_json(index, "/v1/control/brownout", &body);
+        }
+    }
+}
+
+/// The hard tier of adaptive shedding: when the worst live-replica
+/// sojourn exceeds 2× the target, answer 503 *at the router* with an
+/// honest `Retry-After` derived from the observed sojourn, instead of
+/// queueing the request behind a standing queue.
+fn shed_check(shared: &RouterShared) -> Option<Response> {
+    let target = shared.config.shed_target_ms?;
+    let worst = worst_sojourn(&shared.fleet);
+    if worst < target.saturating_mul(2) {
+        return None;
+    }
+    obs::metrics::counter("router.shed.total").inc();
+    let retry_after = worst.saturating_mul(2).div_ceil(1000).clamp(1, 30);
+    Some(
+        Response::error(503, "overloaded: queue sojourn above shed target")
+            .with_header("Retry-After", retry_after.to_string()),
+    )
 }
 
 /// Best-effort cache warm of a recovered replica from any *other* live
@@ -279,7 +389,11 @@ fn warm_replica(shared: &RouterShared, name: &str) {
         .find(|u| u.name != name && u.is_healthy())
         .cloned();
     let Some(donor) = donor else { return };
-    match gossip::warm(donor.addr, newcomer.addr, shared.config.upstream_timeout) {
+    match gossip::warm(
+        donor.addr(),
+        newcomer.addr(),
+        shared.config.upstream_timeout,
+    ) {
         Ok(imported) => {
             obs::event!("router_gossip_warm", replica = name, imported = imported);
         }
@@ -361,14 +475,24 @@ fn route(
 /// `POST /v1/predict`: hash the (GPU, op-family) key, forward to the
 /// shard owner, and fail over — draining the replica out of the ring —
 /// on upstream failure. A request is answered 5xx only when *no* live
-/// replica remains.
+/// replica remains, the retry budget runs dry, or the shed controller
+/// rejects it up front.
+///
+/// The deadline budget telescopes: the client's `X-Deadline-Ms` (capped
+/// by the router's own hop deadline) shrinks by measured elapsed time
+/// before every attempt, and the *remaining* budget is forwarded so the
+/// replica can refuse work it cannot finish in time. An expired request
+/// answers 504 immediately instead of burning an upstream exchange.
 fn forward_predict(
     shared: &RouterShared,
     request: &Request,
     trace: &obs::TraceContext,
     pool: &mut HashMap<String, Client>,
 ) -> Response {
-    let routed_at = Instant::now();
+    let arrival = Instant::now();
+    if let Some(shed) = shed_check(shared) {
+        return shed;
+    }
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return Response::error(400, "body is not UTF-8");
     };
@@ -376,6 +500,12 @@ fn forward_predict(
         Ok(parsed) => parsed,
         Err(e) => return Response::error(400, &format!("bad predict request: {e}")),
     };
+    let budget_ms = effective_budget_ms(shared.config.upstream_timeout, request.deadline_ms());
+    if budget_ms == 0 {
+        obs::metrics::counter("router.deadline.expired").inc();
+        return Response::error(504, "deadline exceeded");
+    }
+    shared.hedger.on_request();
     let key = RouteKey::from_predict(&parsed.model, &parsed.gpu);
     // Each failed attempt drains the owner and re-routes; the ring
     // shrinks monotonically within one request, so this terminates.
@@ -391,14 +521,50 @@ fn forward_predict(
             shared.fleet.mark_down(&upstream.name);
             continue;
         }
+        let remaining_ms = shrink_ms(budget_ms, arrival.elapsed());
+        if remaining_ms == 0 {
+            obs::metrics::counter("router.deadline.expired").inc();
+            return Response::error(504, "deadline exceeded");
+        }
         obs::metrics::histogram("router.stage.route_ns")
-            .record_secs(routed_at.elapsed().as_secs_f64());
+            .record_secs(arrival.elapsed().as_secs_f64());
         let wait_started = Instant::now();
-        match exchange(shared, &upstream, pool, |client| {
-            client.post_json_with_id("/v1/predict", body, &trace.id_string())
-        }) {
+        // Hedge only the first attempt: a failover retry is already a
+        // second copy of the work.
+        let hedge_plan = if attempt == 0 {
+            shared
+                .hedger
+                .hedge_delay()
+                .and_then(|delay| shared.fleet.route_successor(&key).map(|t| (delay, t)))
+        } else {
+            None
+        };
+        let (result, responder) = match hedge_plan {
+            Some((delay, target)) => hedged_exchange(
+                shared,
+                &upstream,
+                &target,
+                pool,
+                body,
+                trace,
+                remaining_ms,
+                delay,
+            ),
+            None => {
+                let result = exchange(shared, &upstream, pool, |client| {
+                    client.post_json_with_id_and_deadline(
+                        "/v1/predict",
+                        body,
+                        &trace.id_string(),
+                        remaining_ms,
+                    )
+                });
+                (result, Arc::clone(&upstream))
+            }
+        };
+        match result {
             Ok(reply) if reply.status < 500 => {
-                upstream.breaker.record_success();
+                responder.breaker.record_success();
                 obs::metrics::histogram("router.stage.upstream_wait_ns")
                     .record_secs(wait_started.elapsed().as_secs_f64());
                 if attempt > 0 {
@@ -408,21 +574,154 @@ fn forward_predict(
             }
             Ok(reply) => {
                 // Upstream 5xx: predict is idempotent, so fail over.
-                upstream.breaker.record_failure();
+                responder.breaker.record_failure();
                 obs::metrics::counter("router.upstream.status_5xx").inc();
-                shared.fleet.mark_down(&upstream.name);
+                shared.fleet.mark_down(&responder.name);
                 let _ = reply;
             }
             Err(_) => {
-                upstream.breaker.record_failure();
+                responder.breaker.record_failure();
                 obs::metrics::counter("router.upstream.errors").inc();
-                shared.fleet.mark_down(&upstream.name);
+                shared.fleet.mark_down(&responder.name);
             }
+        }
+        // A failover retry is extra upstream load; it spends from the
+        // same token budget as hedges (the gRPC retry-throttle shape),
+        // so a mass failure cannot turn into a retry storm.
+        if attempt + 1 < attempts
+            && shared.fleet.route(&key).is_some()
+            && !shared.hedger.try_spend("retry")
+        {
+            obs::metrics::counter("router.retry.budget_exhausted").inc();
+            return Response::error(503, "retry budget exhausted")
+                .with_header("Retry-After", "1".to_owned());
         }
         obs::metrics::counter("router.upstream.retries").inc();
     }
     obs::metrics::counter("router.no_live_upstream").inc();
     Response::error(503, "no live upstream replica")
+}
+
+/// What one background exchange worker reports: which copy it was, the
+/// outcome, and the connection (for pool reuse) if still clean.
+type ExchangeVerdict = (bool, io::Result<ClientResponse>, Option<Client>);
+
+/// Runs one predict exchange on a background thread, reporting through
+/// `tx`. Detached on purpose: the losing copy of a hedged pair finishes
+/// (or times out) in the background and its connection is dropped.
+#[allow(clippy::too_many_arguments)]
+fn spawn_exchange(
+    tx: &mpsc::Sender<ExchangeVerdict>,
+    is_hedge: bool,
+    timeout: Duration,
+    upstream: Arc<Upstream>,
+    client: Option<Client>,
+    body: String,
+    request_id: String,
+    deadline_ms: u64,
+) {
+    let tx = tx.clone();
+    thread::spawn(move || {
+        let (result, client) = exchange_owned(timeout, &upstream, client, |c| {
+            c.post_json_with_id_and_deadline("/v1/predict", &body, &request_id, deadline_ms)
+        });
+        let _ = tx.send((is_hedge, result, client));
+    });
+}
+
+/// A hedged predict: send to the primary, wait the hedge delay, and if
+/// it still has not answered fire one duplicate at the next ring owner
+/// (budget permitting), taking whichever answer lands first. Returns the
+/// winning result and the upstream it came from (for breaker/ring
+/// accounting). The losing copy's connection is closed, not pooled — its
+/// socket has a stale response in flight.
+#[allow(clippy::too_many_arguments)]
+fn hedged_exchange(
+    shared: &RouterShared,
+    primary: &Arc<Upstream>,
+    successor: &Arc<Upstream>,
+    pool: &mut HashMap<String, Client>,
+    body: &str,
+    trace: &obs::TraceContext,
+    deadline_ms: u64,
+    hedge_delay: Duration,
+) -> (io::Result<ClientResponse>, Arc<Upstream>) {
+    let (tx, rx) = mpsc::channel();
+    let timeout = shared.config.upstream_timeout;
+    // Overall wait: the remaining deadline (plus render slack), never
+    // longer than the socket timeout would allow anyway.
+    let overall = Duration::from_millis(deadline_ms)
+        .min(timeout)
+        .saturating_add(Duration::from_millis(250));
+    spawn_exchange(
+        &tx,
+        false,
+        timeout,
+        Arc::clone(primary),
+        pool.remove(&primary.name),
+        body.to_owned(),
+        trace.id_string(),
+        deadline_ms,
+    );
+    let mut hedged = false;
+    let first = match rx.recv_timeout(hedge_delay) {
+        Ok(verdict) => verdict,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            if shared.hedger.try_spend("hedge") {
+                hedged = true;
+                obs::metrics::counter("router.hedge.fired").inc();
+                spawn_exchange(
+                    &tx,
+                    true,
+                    timeout,
+                    Arc::clone(successor),
+                    pool.remove(&successor.name),
+                    body.to_owned(),
+                    trace.id_string(),
+                    deadline_ms,
+                );
+            }
+            match rx.recv_timeout(overall) {
+                Ok(verdict) => verdict,
+                Err(_) => {
+                    return (
+                        Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "upstream wait expired",
+                        )),
+                        Arc::clone(primary),
+                    )
+                }
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            return (
+                Err(io::Error::other("exchange worker died")),
+                Arc::clone(primary),
+            )
+        }
+    };
+    let good = |result: &io::Result<ClientResponse>| matches!(result, Ok(r) if r.status < 500);
+    let settle = |(is_hedge, result, client): ExchangeVerdict,
+                  pool: &mut HashMap<String, Client>| {
+        let winner = if is_hedge { successor } else { primary };
+        if let Some(client) = client {
+            pool.insert(winner.name.clone(), client);
+        }
+        if is_hedge && good(&result) {
+            obs::metrics::counter("router.hedge.won").inc();
+        }
+        (result, Arc::clone(winner))
+    };
+    if good(&first.1) || !hedged {
+        return settle(first, pool);
+    }
+    // First arrival failed but a second copy is in flight: give it the
+    // rest of the window before reporting the failure.
+    match rx.recv_timeout(overall) {
+        Ok(second) if good(&second.1) => settle(second, pool),
+        _ => settle(first, pool),
+    }
 }
 
 /// Forwards a shard-agnostic GET to any live replica.
@@ -442,39 +741,60 @@ fn forward_any(shared: &RouterShared, path: &str, pool: &mut HashMap<String, Cli
     Response::error(503, "no live upstream replica")
 }
 
-/// One pooled exchange with a replica, wrapped in the chaos failpoints.
-/// Any error drops the pooled connection so the next attempt redials.
+/// One exchange with a replica over an owned (optional) connection,
+/// wrapped in the chaos failpoints. Dials `upstream.addr()` — read at
+/// call time, so a supervised respawn's new port takes effect on the
+/// next dial. Returns the connection for reuse only if the exchange
+/// left it clean.
+fn exchange_owned(
+    timeout: Duration,
+    upstream: &Arc<Upstream>,
+    client: Option<Client>,
+    run: impl FnOnce(&mut Client) -> io::Result<ClientResponse>,
+) -> (io::Result<ClientResponse>, Option<Client>) {
+    if let Some(injected) = neusight_fault::fail_point!("router.upstream.connect") {
+        injected.sleep();
+        if injected.fail {
+            return (Err(io::Error::other(injected.error())), None);
+        }
+    }
+    let mut client = match client {
+        Some(client) => client,
+        None => match Client::connect_timeout(upstream.addr(), timeout) {
+            Ok(client) => client,
+            Err(e) => return (Err(e), None),
+        },
+    };
+    if let Some(injected) = neusight_fault::fail_point!("router.upstream.slow") {
+        injected.sleep();
+    }
+    let result = run(&mut client);
+    if let Some(injected) = neusight_fault::fail_point!("router.upstream.read") {
+        injected.sleep();
+        if injected.fail {
+            return (Err(io::Error::other(injected.error())), None);
+        }
+    }
+    if result.is_err() {
+        (result, None)
+    } else {
+        (result, Some(client))
+    }
+}
+
+/// One pooled exchange with a replica: takes the pooled connection (if
+/// any), runs [`exchange_owned`], and re-pools the connection when it
+/// survived. Any error drops it so the next attempt redials.
 fn exchange(
     shared: &RouterShared,
     upstream: &Arc<Upstream>,
     pool: &mut HashMap<String, Client>,
-    run: impl FnOnce(&mut Client) -> io::Result<neusight_serve::ClientResponse>,
-) -> io::Result<neusight_serve::ClientResponse> {
-    if let Some(injected) = neusight_fault::fail_point!("router.upstream.connect") {
-        injected.sleep();
-        if injected.fail {
-            pool.remove(&upstream.name);
-            return Err(io::Error::other(injected.error()));
-        }
-    }
-    if !pool.contains_key(&upstream.name) {
-        let client = Client::connect_timeout(upstream.addr, shared.config.upstream_timeout)?;
+    run: impl FnOnce(&mut Client) -> io::Result<ClientResponse>,
+) -> io::Result<ClientResponse> {
+    let pooled = pool.remove(&upstream.name);
+    let (result, client) = exchange_owned(shared.config.upstream_timeout, upstream, pooled, run);
+    if let Some(client) = client {
         pool.insert(upstream.name.clone(), client);
-    }
-    if let Some(injected) = neusight_fault::fail_point!("router.upstream.slow") {
-        injected.sleep();
-    }
-    let client = pool.get_mut(&upstream.name).expect("pooled above");
-    let result = run(client);
-    if let Some(injected) = neusight_fault::fail_point!("router.upstream.read") {
-        injected.sleep();
-        if injected.fail {
-            pool.remove(&upstream.name);
-            return Err(io::Error::other(injected.error()));
-        }
-    }
-    if result.is_err() {
-        pool.remove(&upstream.name);
     }
     result
 }

@@ -166,6 +166,30 @@ impl HashRing {
         Some(&self.members[member as usize])
     }
 
+    /// The next *distinct* member clockwise from `key`'s owner — the
+    /// hedge target: where a duplicate of a slow request goes. Walking
+    /// the point table past the owner's run of vnodes finds the member
+    /// that would inherit this key if the owner left, so a hedged answer
+    /// comes from the replica whose cache is most likely to warm this
+    /// shard next. `None` when fewer than two members exist.
+    #[must_use]
+    pub fn route_successor(&self, key: &RouteKey) -> Option<&str> {
+        if self.members.len() < 2 {
+            return None;
+        }
+        let point = key.point();
+        let start = self.points.partition_point(|&(p, _)| p < point);
+        let n = self.points.len();
+        let (_, owner) = self.points[if start == n { 0 } else { start }];
+        for step in 1..n {
+            let (_, member) = self.points[(start + step) % n];
+            if member != owner {
+                return Some(&self.members[member as usize]);
+            }
+        }
+        None
+    }
+
     /// Recomputes the point table from the member set alone. Ties on a
     /// point value break by member index, which is itself canonical
     /// (members are sorted), so the table stays history-free.
@@ -331,6 +355,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn successor_is_exactly_where_keys_go_if_the_owner_leaves() {
+        let ring = HashRing::new(replica_names(4));
+        for key in key_mix() {
+            let owner = ring.route(&key).unwrap().to_owned();
+            let successor = ring.route_successor(&key).unwrap().to_owned();
+            assert_ne!(owner, successor, "hedge target must be a distinct member");
+            // The hedge target is the member that inherits the key on the
+            // owner's departure — so a hedged answer warms the right
+            // cache for the failover case.
+            let mut without_owner = ring.clone();
+            assert!(without_owner.remove(&owner));
+            assert_eq!(without_owner.route(&key).unwrap(), successor);
+        }
+    }
+
+    #[test]
+    fn successor_needs_two_members() {
+        let solo = HashRing::new(replica_names(1));
+        assert_eq!(solo.route_successor(&RouteKey::new("V100", "gpt2")), None);
+        assert_eq!(
+            HashRing::default().route_successor(&RouteKey::new("V100", "gpt2")),
+            None
+        );
     }
 
     #[test]

@@ -3,21 +3,34 @@
 //!
 //! Health has two inputs — forwarding failures (a proxy exchange that
 //! errored or answered 5xx) and active probes — and one output: ring
-//! membership. Either input can take a replica out of the ring (drain +
-//! re-hash, counted by `router.rehash_total`); only a successful probe
-//! puts it back. A per-upstream [`CircuitBreaker`] tracks the failure
+//! membership. A forwarding failure is hard evidence (a real request
+//! died) and drains the replica immediately; probe evidence is **flap
+//! damped** — [`FLAP_THRESHOLD`] consecutive probe failures before a
+//! drain, and the same run of consecutive successes before readmission
+//! — so a GC-pause-length stall costs one slow probe, not a full
+//! re-hash. A per-upstream [`CircuitBreaker`] tracks the failure
 //! run-lengths and shows up in the aggregated health page, and probe
 //! pacing for downed replicas rides the decorrelated-jitter backoff
 //! inside [`neusight_serve::MultiClient`].
+//!
+//! Addresses are mutable: a supervised replica that dies and respawns
+//! comes back on a *new* ephemeral port under its old ring name, so the
+//! keyspace it owned re-converges onto the same shard. [`Fleet`] bumps a
+//! generation counter on every address change; the prober rebuilds its
+//! probe connections when the generation moves.
 
 use crate::ring::{HashRing, RouteKey};
 use neusight_fault::{BreakerConfig, BreakerState, CircuitBreaker};
 use neusight_obs as obs;
 use neusight_serve::MultiClient;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Consecutive probe observations required to flip ring membership in
+/// either direction.
+pub const FLAP_THRESHOLD: u32 = 3;
 
 /// One serve replica as the router sees it.
 pub struct Upstream {
@@ -25,11 +38,19 @@ pub struct Upstream {
     /// which is ephemeral in spawn mode and would make routing depend on
     /// OS port assignment.
     pub name: String,
-    /// Where the replica listens.
-    pub addr: SocketAddr,
+    /// Where the replica listens (mutable: a supervised restart lands on
+    /// a fresh ephemeral port).
+    addr: Mutex<SocketAddr>,
     /// Trips on consecutive forward/probe failures.
     pub breaker: CircuitBreaker,
     healthy: AtomicBool,
+    /// Consecutive probe failures since the last probe success.
+    probe_failures: AtomicU32,
+    /// Consecutive probe successes since the last probe failure.
+    probe_successes: AtomicU32,
+    /// Latest queue-sojourn congestion signal (ms) parsed from the
+    /// replica's `/healthz` by the prober; feeds the shed controller.
+    sojourn_ms: AtomicU64,
 }
 
 impl Upstream {
@@ -38,9 +59,12 @@ impl Upstream {
             CircuitBreaker::new(&format!("router.upstream.{name}"), BreakerConfig::default());
         Upstream {
             name,
-            addr,
+            addr: Mutex::new(addr),
             breaker,
             healthy: AtomicBool::new(true),
+            probe_failures: AtomicU32::new(0),
+            probe_successes: AtomicU32::new(0),
+            sojourn_ms: AtomicU64::new(0),
         }
     }
 
@@ -49,12 +73,27 @@ impl Upstream {
     pub fn is_healthy(&self) -> bool {
         self.healthy.load(Ordering::SeqCst)
     }
+
+    /// The replica's current socket address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        *neusight_guard::recover_poison(self.addr.lock())
+    }
+
+    /// The replica's last-probed queue sojourn (ms).
+    #[must_use]
+    pub fn sojourn_ms(&self) -> u64 {
+        self.sojourn_ms.load(Ordering::Relaxed)
+    }
 }
 
 /// The fleet: every configured upstream plus the ring of live ones.
 pub struct Fleet {
     upstreams: Vec<Arc<Upstream>>,
     ring: Mutex<HashRing>,
+    /// Bumped on every address change so address-keyed caches (the
+    /// prober's probe connections) know to rebuild.
+    addr_generation: AtomicU64,
 }
 
 impl Fleet {
@@ -69,6 +108,7 @@ impl Fleet {
         Fleet {
             upstreams,
             ring: Mutex::new(ring),
+            addr_generation: AtomicU64::new(0),
         }
     }
 
@@ -100,10 +140,43 @@ impl Fleet {
         self.get(&name)
     }
 
+    /// The *hedge target* for a key: the next distinct live ring owner
+    /// after the primary — where a duplicate of a slow request goes.
+    #[must_use]
+    pub fn route_successor(&self, key: &RouteKey) -> Option<Arc<Upstream>> {
+        let name = {
+            let ring = neusight_guard::recover_poison(self.ring.lock());
+            ring.route_successor(key)?.to_owned()
+        };
+        self.get(&name)
+    }
+
     /// Any live upstream (for shard-agnostic passthrough routes).
     #[must_use]
     pub fn any_live(&self) -> Option<Arc<Upstream>> {
         self.upstreams.iter().find(|u| u.is_healthy()).cloned()
+    }
+
+    /// Rebinds a (restarted) replica to a new address under its old ring
+    /// name and bumps the address generation. Routing is untouched —
+    /// names, not addresses, own keyspace.
+    pub fn set_addr(&self, name: &str, addr: SocketAddr) {
+        if let Some(up) = self.get(name) {
+            *neusight_guard::recover_poison(up.addr.lock()) = addr;
+            // A new address means a new process: the breaker state
+            // describes the dead predecessor, not the fresh child —
+            // without a reset the respawn would sit out the predecessor's
+            // cooldown before taking traffic.
+            up.breaker.reset();
+            self.addr_generation.fetch_add(1, Ordering::SeqCst);
+            obs::event!("router_upstream_readdressed", replica = name);
+        }
+    }
+
+    /// Current address generation (bumped by [`Fleet::set_addr`]).
+    #[must_use]
+    pub fn addr_generation(&self) -> u64 {
+        self.addr_generation.load(Ordering::SeqCst)
     }
 
     /// Takes a replica out of the ring (drain): its keyspace re-hashes
@@ -111,13 +184,20 @@ impl Fleet {
     /// on an actual transition. Returns whether the membership changed.
     pub fn mark_down(&self, name: &str) -> bool {
         let removed = {
+            // The healthy flag flips inside the ring critical section:
+            // flag and membership must never be observed out of sync (a
+            // healthy-but-ringless replica would be skipped by the
+            // prober's readmission check forever).
             let mut ring = neusight_guard::recover_poison(self.ring.lock());
-            ring.remove(name)
+            let removed = ring.remove(name);
+            if removed {
+                if let Some(up) = self.get(name) {
+                    up.healthy.store(false, Ordering::SeqCst);
+                }
+            }
+            removed
         };
         if removed {
-            if let Some(up) = self.get(name) {
-                up.healthy.store(false, Ordering::SeqCst);
-            }
             obs::metrics::counter("router.rehash_total").inc();
             obs::metrics::counter("router.upstream.marked_down").inc();
             obs::event!("router_upstream_down", replica = name);
@@ -129,13 +209,17 @@ impl Fleet {
     /// it. Idempotent; counts a re-hash only on an actual transition.
     pub fn mark_up(&self, name: &str) -> bool {
         let inserted = {
+            // Same atomicity contract as `mark_down`.
             let mut ring = neusight_guard::recover_poison(self.ring.lock());
-            ring.insert(name)
+            let inserted = ring.insert(name);
+            if inserted {
+                if let Some(up) = self.get(name) {
+                    up.healthy.store(true, Ordering::SeqCst);
+                }
+            }
+            inserted
         };
         if inserted {
-            if let Some(up) = self.get(name) {
-                up.healthy.store(true, Ordering::SeqCst);
-            }
             obs::metrics::counter("router.rehash_total").inc();
             obs::metrics::counter("router.upstream.marked_up").inc();
             obs::event!("router_upstream_up", replica = name);
@@ -144,10 +228,23 @@ impl Fleet {
     }
 }
 
+/// Parses the `"sojourn_ms":N` field out of a replica's `/healthz` body
+/// without a full JSON decode (the prober runs 10×/s per replica).
+#[must_use]
+pub(crate) fn parse_sojourn_ms(body: &str) -> Option<u64> {
+    let rest = body.split("\"sojourn_ms\":").nth(1)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// One pass of the active prober: probes every upstream that is outside
 /// its backoff window, feeds the per-upstream breaker, and flips ring
-/// membership on transitions. Returns the names of replicas that just
-/// came (back) up — the caller may gossip-warm them.
+/// membership on *damped* transitions — [`FLAP_THRESHOLD`] consecutive
+/// probe failures to drain, the same run of successes to readmit.
+/// Returns the names of replicas that just came (back) up — the caller
+/// may gossip-warm them.
 pub fn probe_fleet(fleet: &Fleet, probes: &mut MultiClient) -> Vec<String> {
     let mut recovered = Vec::new();
     for (index, upstream) in fleet.upstreams().iter().enumerate() {
@@ -156,14 +253,35 @@ pub fn probe_fleet(fleet: &Fleet, probes: &mut MultiClient) -> Vec<String> {
         }
         match probes.get(index, "/healthz") {
             Ok(response) if response.status == 200 => {
+                // The probe doubles as the breaker's trial request: it
+                // moves an Open breaker to HalfOpen once the cooldown
+                // elapses, and the success below closes it. Readmission
+                // is gated on the breaker admitting traffic — putting a
+                // replica back in the ring while its breaker still
+                // short-circuits would drain it right back out.
+                let admitted = upstream.breaker.allow();
                 upstream.breaker.record_success();
-                if fleet.mark_up(&upstream.name) {
+                if let Some(sojourn) = parse_sojourn_ms(&response.text()) {
+                    upstream.sojourn_ms.store(sojourn, Ordering::Relaxed);
+                }
+                upstream.probe_failures.store(0, Ordering::SeqCst);
+                let run = upstream.probe_successes.fetch_add(1, Ordering::SeqCst) + 1;
+                if upstream.is_healthy() {
+                    continue;
+                }
+                if admitted && run >= FLAP_THRESHOLD && fleet.mark_up(&upstream.name) {
                     recovered.push(upstream.name.clone());
                 }
             }
             _ => {
                 upstream.breaker.record_failure();
-                fleet.mark_down(&upstream.name);
+                upstream.probe_successes.store(0, Ordering::SeqCst);
+                let run = upstream.probe_failures.fetch_add(1, Ordering::SeqCst) + 1;
+                if run >= FLAP_THRESHOLD {
+                    fleet.mark_down(&upstream.name);
+                } else {
+                    obs::metrics::counter("router.probe.flap_suppressed").inc();
+                }
             }
         }
     }
@@ -190,7 +308,7 @@ pub fn fleet_status(fleet: &Fleet) -> Vec<UpstreamStatus> {
         .iter()
         .map(|u| UpstreamStatus {
             name: u.name.clone(),
-            addr: u.addr,
+            addr: u.addr(),
             healthy: u.is_healthy(),
             breaker: u.breaker.state(),
         })
@@ -246,5 +364,41 @@ mod tests {
         assert!(fleet.mark_down("replica-1"));
         assert!(fleet.route(&RouteKey::new("T4", "bert")).is_none());
         assert!(fleet.any_live().is_none());
+    }
+
+    #[test]
+    fn hedge_target_is_a_distinct_live_replica() {
+        let fleet = fleet_of(3);
+        let key = RouteKey::new("V100", "gpt2");
+        let owner = fleet.route(&key).expect("owner").name.clone();
+        let hedge = fleet.route_successor(&key).expect("hedge target");
+        assert_ne!(hedge.name, owner);
+        // With the owner drained, the hedge target inherits the key.
+        assert!(fleet.mark_down(&owner));
+        assert_eq!(fleet.route(&key).expect("new owner").name, hedge.name);
+    }
+
+    #[test]
+    fn set_addr_bumps_generation_and_keeps_routing() {
+        let fleet = fleet_of(2);
+        let key = RouteKey::new("T4", "bert");
+        let owner = fleet.route(&key).expect("owner").name.clone();
+        let generation = fleet.addr_generation();
+        let fresh: SocketAddr = "127.0.0.1:19999".parse().unwrap();
+        fleet.set_addr(&owner, fresh);
+        assert_eq!(fleet.addr_generation(), generation + 1);
+        assert_eq!(fleet.get(&owner).unwrap().addr(), fresh);
+        // Routing is name-keyed: the re-addressed replica keeps its shard.
+        assert_eq!(fleet.route(&key).expect("owner").name, owner);
+    }
+
+    #[test]
+    fn sojourn_parses_from_healthz_body() {
+        assert_eq!(
+            parse_sojourn_ms("{\"status\":\"ok\",\"sojourn_ms\":42,\"brownout\":false}"),
+            Some(42)
+        );
+        assert_eq!(parse_sojourn_ms("{\"sojourn_ms\":0}"), Some(0));
+        assert_eq!(parse_sojourn_ms("{\"status\":\"ok\"}"), None);
     }
 }

@@ -127,6 +127,31 @@ impl Client {
         )
     }
 
+    /// Issues a POST with a JSON body, an `X-Request-Id`, and an
+    /// `X-Deadline-Ms` remaining-budget header — the router's forwarding
+    /// hop when the request carries a propagated deadline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and malformed responses.
+    pub fn post_json_with_id_and_deadline(
+        &mut self,
+        path: &str,
+        body: &str,
+        request_id: &str,
+        deadline_ms: u64,
+    ) -> io::Result<ClientResponse> {
+        self.request(
+            "POST",
+            path,
+            Some(("application/json", body.as_bytes())),
+            &[
+                ("X-Request-Id", request_id),
+                ("X-Deadline-Ms", &deadline_ms.to_string()),
+            ],
+        )
+    }
+
     /// Issues a POST with an arbitrary content type and raw body bytes
     /// (cache gossip ships binary guard envelopes).
     ///

@@ -1,0 +1,64 @@
+//! Deadline-budget arithmetic shared by every hop.
+//!
+//! A request's latency budget rides an `X-Deadline-Ms` header: the
+//! client states how many milliseconds it is still willing to wait, and
+//! every hop (router, replica) subtracts its own measured elapsed time
+//! before forwarding — so the budget telescopes exactly like the PR 7
+//! stage stamps and is strictly monotone non-increasing across hops. A
+//! hop that receives (or produces) a zero budget answers `504` on the
+//! spot instead of burning a dispatcher slot on an answer nobody is
+//! waiting for.
+//!
+//! The arithmetic lives here as pure functions so the router and the
+//! serve tier cannot diverge, and so property tests can drive it with
+//! arbitrary budgets and elapsed times.
+
+use std::time::Duration;
+
+/// The budget a hop actually enforces: the client's remaining budget
+/// capped by the hop's own configured deadline (a hop never promises
+/// more patience than it has).
+#[must_use]
+pub fn effective_budget_ms(hop_deadline: Duration, header_ms: Option<u64>) -> u64 {
+    #[allow(clippy::cast_possible_truncation)]
+    let hop_ms = hop_deadline.as_millis().min(u128::from(u64::MAX)) as u64;
+    match header_ms {
+        Some(client_ms) => client_ms.min(hop_ms),
+        None => hop_ms,
+    }
+}
+
+/// The budget left to hand downstream after `elapsed` has been spent at
+/// this hop. Saturates at zero — never negative, never larger than the
+/// input.
+#[must_use]
+pub fn shrink_ms(budget_ms: u64, elapsed: Duration) -> u64 {
+    #[allow(clippy::cast_possible_truncation)]
+    let elapsed_ms = elapsed.as_millis().min(u128::from(u64::MAX)) as u64;
+    budget_ms.saturating_sub(elapsed_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_budget_takes_the_tighter_bound() {
+        let hop = Duration::from_millis(1000);
+        assert_eq!(effective_budget_ms(hop, None), 1000);
+        assert_eq!(effective_budget_ms(hop, Some(250)), 250);
+        assert_eq!(effective_budget_ms(hop, Some(5000)), 1000);
+        assert_eq!(effective_budget_ms(hop, Some(0)), 0);
+    }
+
+    #[test]
+    fn shrink_is_monotone_and_saturating() {
+        assert_eq!(shrink_ms(100, Duration::from_millis(30)), 70);
+        assert_eq!(shrink_ms(100, Duration::from_millis(100)), 0);
+        assert_eq!(shrink_ms(100, Duration::from_millis(500)), 0);
+        assert_eq!(shrink_ms(0, Duration::ZERO), 0);
+        // Sub-millisecond elapsed truncates down, never inflating the
+        // spend beyond what the clock measured.
+        assert_eq!(shrink_ms(100, Duration::from_micros(900)), 100);
+    }
+}

@@ -8,7 +8,7 @@ use crate::queue::BoundedQueue;
 use crate::service::{PredictRequest, PredictService, ServeError};
 use neusight_guard as guard;
 use neusight_obs as obs;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -111,6 +111,7 @@ struct DispatchMetrics {
     queue_depth: Arc<obs::Gauge>,
     batch_size: Arc<obs::Histogram>,
     queue_wait_ns: Arc<obs::Histogram>,
+    sojourn_ms: Arc<obs::Gauge>,
     timeouts: Arc<obs::Counter>,
     batches: Arc<obs::Counter>,
 }
@@ -121,6 +122,7 @@ impl DispatchMetrics {
             queue_depth: obs::metrics::gauge("serve.queue.depth"),
             batch_size: obs::metrics::histogram("serve.batch.size"),
             queue_wait_ns: obs::metrics::histogram("serve.queue.wait_ns"),
+            sojourn_ms: obs::metrics::gauge("serve.queue.sojourn_ms"),
             timeouts: obs::metrics::counter("serve.http.timeout"),
             batches: obs::metrics::counter("serve.dispatch.batches"),
         }
@@ -135,10 +137,16 @@ pub fn run(
     queue: &BoundedQueue<Job>,
     config: &DispatchConfig,
     stop: &AtomicBool,
+    sojourn_ms: &AtomicU64,
 ) {
     let metrics = DispatchMetrics::new();
     loop {
         let Some(first) = queue.pop_timeout(Duration::from_millis(20)) else {
+            // An empty queue means no standing backlog: clear the
+            // congestion signal so Retry-After and the router's shed
+            // controller see an honest zero.
+            sojourn_ms.store(0, Ordering::Relaxed);
+            metrics.sojourn_ms.set(0.0);
             if stop.load(Ordering::SeqCst) && queue.is_empty() {
                 return;
             }
@@ -149,7 +157,7 @@ pub fn run(
         }
         let mut jobs = vec![first];
         jobs.extend(queue.drain_up_to(config.max_batch.saturating_sub(1)));
-        serve_batch(service, config, &metrics, jobs);
+        serve_batch(service, config, &metrics, jobs, sojourn_ms);
         #[allow(clippy::cast_precision_loss)]
         metrics.queue_depth.set(queue.len() as f64);
     }
@@ -162,6 +170,7 @@ fn serve_batch(
     config: &DispatchConfig,
     metrics: &DispatchMetrics,
     jobs: Vec<Job>,
+    sojourn_ms: &AtomicU64,
 ) {
     let _span = obs::span!("serve_batch", jobs = jobs.len());
     metrics.batches.inc();
@@ -170,14 +179,18 @@ fn serve_batch(
         std::thread::sleep(config.service_delay);
     }
     let now = Instant::now();
+    // CoDel discipline: the congestion signal is the *minimum* sojourn
+    // across the batch — nonzero only when even the youngest job had to
+    // wait, i.e. a standing queue, not a transient burst.
+    let mut min_sojourn: Option<Duration> = None;
     let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
     for mut job in jobs {
         // Dispatcher pickup ends the queue stage for every job, expired
         // or not.
         job.trace.stamp(obs::Stage::Queue);
-        metrics
-            .queue_wait_ns
-            .record_secs(now.duration_since(job.enqueued).as_secs_f64());
+        let waited = now.duration_since(job.enqueued);
+        metrics.queue_wait_ns.record_secs(waited.as_secs_f64());
+        min_sojourn = Some(min_sojourn.map_or(waited, |m| m.min(waited)));
         if now > job.deadline {
             metrics.timeouts.inc();
             let Job { reply, trace, .. } = job;
@@ -191,6 +204,13 @@ fn serve_batch(
         } else {
             live.push(job);
         }
+    }
+    if let Some(waited) = min_sojourn {
+        #[allow(clippy::cast_possible_truncation)]
+        let ms = waited.as_millis().min(u128::from(u64::MAX)) as u64;
+        sojourn_ms.store(ms, Ordering::Relaxed);
+        #[allow(clippy::cast_precision_loss)]
+        metrics.sojourn_ms.set(ms as f64);
     }
     if live.is_empty() {
         return;

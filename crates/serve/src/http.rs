@@ -24,9 +24,10 @@ pub struct Request {
     /// Request path without the query string.
     pub path: String,
     /// Routing-relevant header `(name, value)` pairs, names lower-cased.
-    /// Since the in-place parser landed, only `connection: close` and
-    /// `x-request-id` are retained — `Content-Length` is consumed during
-    /// body framing and nothing else influences routing or tracing.
+    /// Since the in-place parser landed, only `connection: close`,
+    /// `x-request-id`, and `x-deadline-ms` are retained —
+    /// `Content-Length` is consumed during body framing and nothing else
+    /// influences routing, tracing, or deadlines.
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
@@ -48,6 +49,12 @@ impl Request {
     pub fn wants_close(&self) -> bool {
         self.header("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The remaining `X-Deadline-Ms` budget the client sent, if any.
+    #[must_use]
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.header("x-deadline-ms").and_then(|v| v.parse().ok())
     }
 }
 
@@ -151,6 +158,10 @@ pub struct HeadView<'a> {
     pub wants_close: bool,
     /// The client's `X-Request-Id`, if sent (echoed back, traced).
     pub request_id: Option<&'a str>,
+    /// The client's remaining `X-Deadline-Ms` budget, if sent (and
+    /// parseable — an unparseable value is treated as absent rather than
+    /// rejected, so a buggy caller degrades to the server default).
+    pub deadline_ms: Option<u64>,
 }
 
 impl HeadView<'_> {
@@ -208,6 +219,7 @@ pub fn parse_head(buf: &[u8]) -> HeadParse<'_> {
     let mut content_length: Option<&str> = None;
     let mut wants_close = false;
     let mut request_id: Option<&str> = None;
+    let mut deadline_ms: Option<u64> = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -222,6 +234,8 @@ pub fn parse_head(buf: &[u8]) -> HeadParse<'_> {
             wants_close = true;
         } else if name.eq_ignore_ascii_case("x-request-id") && !value.is_empty() {
             request_id = Some(value);
+        } else if name.eq_ignore_ascii_case("x-deadline-ms") {
+            deadline_ms = value.parse().ok();
         }
     }
     let content_length = match content_length {
@@ -241,6 +255,7 @@ pub fn parse_head(buf: &[u8]) -> HeadParse<'_> {
         content_length,
         wants_close,
         request_id,
+        deadline_ms,
     })
 }
 
@@ -254,22 +269,24 @@ fn finish_request(
     idle: Duration,
     carry: &mut Vec<u8>,
 ) -> io::Result<ReadOutcome> {
-    let (method, path, content_length, wants_close, request_id) = match parse_head(&buf) {
-        HeadParse::Complete(view) => {
-            debug_assert_eq!(view.head_len, head_len);
-            (
-                view.method.to_ascii_uppercase(),
-                view.path.to_owned(),
-                view.content_length,
-                view.wants_close,
-                view.request_id.map(str::to_owned),
-            )
-        }
-        HeadParse::Malformed(msg, status) => return Ok(ReadOutcome::Malformed(msg, status)),
-        // The caller found the terminator, so the head cannot be
-        // incomplete here.
-        HeadParse::Incomplete => return Ok(ReadOutcome::Malformed("bad request line", 400)),
-    };
+    let (method, path, content_length, wants_close, request_id, deadline_ms) =
+        match parse_head(&buf) {
+            HeadParse::Complete(view) => {
+                debug_assert_eq!(view.head_len, head_len);
+                (
+                    view.method.to_ascii_uppercase(),
+                    view.path.to_owned(),
+                    view.content_length,
+                    view.wants_close,
+                    view.request_id.map(str::to_owned),
+                    view.deadline_ms,
+                )
+            }
+            HeadParse::Malformed(msg, status) => return Ok(ReadOutcome::Malformed(msg, status)),
+            // The caller found the terminator, so the head cannot be
+            // incomplete here.
+            HeadParse::Incomplete => return Ok(ReadOutcome::Malformed("bad request line", 400)),
+        };
     let mut headers = if wants_close {
         vec![("connection".to_owned(), "close".to_owned())]
     } else {
@@ -277,6 +294,9 @@ fn finish_request(
     };
     if let Some(id) = request_id {
         headers.push(("x-request-id".to_owned(), id));
+    }
+    if let Some(ms) = deadline_ms {
+        headers.push(("x-deadline-ms".to_owned(), ms.to_string()));
     }
     // Read the remainder of the body past what arrived with the head.
     let mut body: Vec<u8> = buf.split_off(head_len);
@@ -522,6 +542,21 @@ mod tests {
             panic!("expected complete head");
         };
         assert_eq!(view.request_id, None);
+    }
+
+    #[test]
+    fn parse_head_extracts_deadline_budget() {
+        let buf = b"POST /v1/predict HTTP/1.1\r\nX-Deadline-Ms: 250\r\n\r\n";
+        let HeadParse::Complete(view) = parse_head(buf) else {
+            panic!("expected complete head");
+        };
+        assert_eq!(view.deadline_ms, Some(250));
+        // An unparseable budget degrades to absent, not a 400.
+        let buf = b"POST /v1/predict HTTP/1.1\r\nX-Deadline-Ms: soon\r\n\r\n";
+        let HeadParse::Complete(view) = parse_head(buf) else {
+            panic!("expected complete head");
+        };
+        assert_eq!(view.deadline_ms, None);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! [`NeuSight::predict_graph_batch`]: neusight_core::NeuSight::predict_graph_batch
 
 pub mod client;
+pub mod deadline;
 pub mod dispatch;
 pub mod http;
 pub mod queue;

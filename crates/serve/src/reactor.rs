@@ -479,7 +479,7 @@ impl Reactor<'_> {
             if !matches!(conn.state, ConnState::Reading) {
                 return;
             }
-            let (outcome, consumed, wants_close, started, mut trace) =
+            let (outcome, consumed, wants_close, deadline_ms, started, mut trace) =
                 match http::parse_head(&conn.read_buf) {
                     HeadParse::Incomplete => return,
                     HeadParse::Malformed(message, status) => {
@@ -511,6 +511,7 @@ impl Reactor<'_> {
                             route_common(self.shared, &method, head.path, body),
                             total,
                             head.wants_close,
+                            head.deadline_ms,
                             started,
                             trace,
                         )
@@ -539,9 +540,33 @@ impl Reactor<'_> {
                     // pipelined request; otherwise the next turn exits.
                 }
                 RouteOutcome::Predict(parsed) => {
+                    // Same budget arithmetic as the threaded path: the
+                    // client's propagated X-Deadline-Ms caps the
+                    // configured deadline, and an already-expired budget
+                    // answers 504 without burning a dispatcher slot.
+                    let budget = match crate::server::request_budget(self.shared, deadline_ms) {
+                        Ok(budget) => budget,
+                        Err(expired) => {
+                            trace.stamp(obs::Stage::Render);
+                            trace.set_status(expired.status);
+                            self.shared
+                                .metrics
+                                .latency_ns
+                                .record_secs(started.elapsed().as_secs_f64());
+                            conn.write_buf.clear();
+                            conn.write_pos = 0;
+                            expired.render_traced(&mut conn.write_buf, keep_alive, Some(&trace));
+                            conn.close_after_write = !keep_alive;
+                            conn.state = ConnState::Writing;
+                            conn.trace = Some(trace);
+                            set_interest(&self.epoll, conn, token, EPOLLOUT);
+                            self.try_write(token);
+                            continue;
+                        }
+                    };
                     let ticket = self.next_ticket;
                     self.next_ticket += 1;
-                    let deadline = Instant::now() + self.shared.config.deadline;
+                    let deadline = Instant::now() + budget;
                     let reply = Reply::Completion {
                         token: ticket,
                         completions: Arc::clone(&self.completions),

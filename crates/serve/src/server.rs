@@ -28,7 +28,7 @@ use neusight_guard as guard;
 use neusight_obs as obs;
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -122,6 +122,11 @@ pub(crate) struct Shared {
     pub(crate) active_connections: AtomicUsize,
     /// Predict jobs admitted to the queue and not yet answered.
     pub(crate) inflight: AtomicUsize,
+    /// CoDel-style congestion signal from the dispatcher: the *minimum*
+    /// queue sojourn (ms) across the most recent batch — nonzero only
+    /// while a standing queue exists. Drives the honest `Retry-After`
+    /// and the router's shed controller via `/healthz`.
+    pub(crate) sojourn_ms: AtomicU64,
     pub(crate) started: Instant,
     pub(crate) metrics: HttpMetrics,
 }
@@ -196,6 +201,7 @@ impl Server {
                 dispatcher_stop: AtomicBool::new(false),
                 active_connections: AtomicUsize::new(0),
                 inflight: AtomicUsize::new(0),
+                sojourn_ms: AtomicU64::new(0),
                 started: Instant::now(),
                 metrics: HttpMetrics::new(),
                 config,
@@ -260,6 +266,7 @@ impl Server {
                         &shared.queue,
                         &config,
                         &shared.dispatcher_stop,
+                        &shared.sojourn_ms,
                     );
                 });
             })
@@ -503,7 +510,7 @@ pub(crate) enum RouteOutcome {
 pub(crate) fn route_common(shared: &Shared, method: &str, path: &str, body: &[u8]) -> RouteOutcome {
     use RouteOutcome::Respond;
     shared.metrics.requests.inc();
-    const ROUTES: [&str; 8] = [
+    const ROUTES: [&str; 9] = [
         "/healthz",
         "/metrics",
         "/v1/models",
@@ -512,6 +519,7 @@ pub(crate) fn route_common(shared: &Shared, method: &str, path: &str, body: &[u8
         "/v1/debug/traces",
         "/v1/cache/export",
         "/v1/cache/import",
+        "/v1/control/brownout",
     ];
     match (method, path) {
         ("POST", "/v1/predict") => match parse_predict_body(body) {
@@ -534,8 +542,12 @@ pub(crate) fn route_common(shared: &Shared, method: &str, path: &str, body: &[u8
             Ok(imported) => Response::json(200, format!("{{\"imported\":{imported}}}")),
             Err(e) => Response::error(e.status, &e.message),
         }),
+        ("POST", "/v1/control/brownout") => Respond(brownout(shared, body)),
         (_, path) if ROUTES.contains(&path) => {
-            let allow = if path == "/v1/predict" || path == "/v1/cache/import" {
+            let allow = if path == "/v1/predict"
+                || path == "/v1/cache/import"
+                || path == "/v1/control/brownout"
+            {
                 "POST"
             } else {
                 "GET"
@@ -547,6 +559,24 @@ pub(crate) fn route_common(shared: &Shared, method: &str, path: &str, body: &[u8
         }
         _ => Respond(Response::error(404, "no such route")),
     }
+}
+
+/// `POST /v1/control/brownout`: flips the replica's forced-degraded
+/// (roofline-only) tier — the router's brownout lever before hard
+/// shedding. Body: `{"on":true}` / `{"on":false}`.
+fn brownout(shared: &Shared, body: &[u8]) -> Response {
+    #[derive(serde::Deserialize)]
+    struct BrownoutRequest {
+        on: bool,
+    }
+    let Ok(body) = std::str::from_utf8(body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let Ok(parsed) = serde_json::from_str::<BrownoutRequest>(body) else {
+        return Response::error(400, "expected {\"on\":true|false}");
+    };
+    shared.service.set_forced_degraded(parsed.on);
+    Response::json(200, format!("{{\"brownout\":{}}}", parsed.on))
 }
 
 /// Parses and UTF-8-checks a predict body.
@@ -584,12 +614,23 @@ pub(crate) fn admit(
         }
         Err(QueueFull(_rejected)) => {
             shared.metrics.rejected_429.inc();
-            // Hint: one deadline's worth of backoff, at least a second.
-            let retry = shared.config.deadline.as_secs().max(1);
             Err(Response::error(429, "prediction queue is full")
-                .with_header("Retry-After", retry.to_string()))
+                .with_header("Retry-After", retry_after_secs(shared).to_string()))
         }
     }
+}
+
+/// Honest backpressure hint for `Retry-After`: derived from the live
+/// queue-sojourn signal (roughly "one backlog drain, doubled for
+/// margin") rather than a constant, so clients back off proportionally
+/// to real pressure. Falls back to the configured deadline when the
+/// dispatcher has not yet observed a standing queue.
+pub(crate) fn retry_after_secs(shared: &Shared) -> u64 {
+    let sojourn_ms = shared.sojourn_ms.load(Ordering::Relaxed);
+    if sojourn_ms == 0 {
+        return shared.config.deadline.as_secs().max(1);
+    }
+    (sojourn_ms * 2).div_ceil(1000).clamp(1, 30)
 }
 
 /// Maps a request to a response on the threaded path (blocking predict
@@ -602,7 +643,7 @@ fn route(shared: &Shared, request: &Request, trace: &mut obs::TraceContext) -> R
         &request.body,
     ) {
         RouteOutcome::Respond(response) => response,
-        RouteOutcome::Predict(parsed) => predict(shared, parsed, trace),
+        RouteOutcome::Predict(parsed) => predict(shared, parsed, request.deadline_ms(), trace),
     }
 }
 
@@ -623,11 +664,13 @@ fn health(shared: &Shared) -> Response {
     Response::json(
         200,
         format!(
-            "{{\"status\":\"{status}\",\"uptime_s\":{:.3},\"inflight\":{},\"queue_depth\":{},\"queue_capacity\":{},\"breaker\":\"{breaker}\"}}",
+            "{{\"status\":\"{status}\",\"uptime_s\":{:.3},\"inflight\":{},\"queue_depth\":{},\"queue_capacity\":{},\"breaker\":\"{breaker}\",\"sojourn_ms\":{},\"brownout\":{}}}",
             shared.started.elapsed().as_secs_f64(),
             shared.inflight.load(Ordering::SeqCst),
             shared.queue.len(),
             shared.queue.capacity(),
+            shared.sojourn_ms.load(Ordering::Relaxed),
+            shared.service.forced_degraded(),
         ),
     )
 }
@@ -647,11 +690,36 @@ fn metrics_page(shared: &Shared) -> Response {
     Response::text(200, text)
 }
 
+/// The request's enforced budget, or the immediate `504` for a request
+/// that arrived already out of budget (shared by both server modes so
+/// the expired-on-arrival contract is byte-identical).
+pub(crate) fn request_budget(
+    shared: &Shared,
+    deadline_ms: Option<u64>,
+) -> Result<Duration, Response> {
+    let budget_ms = crate::deadline::effective_budget_ms(shared.config.deadline, deadline_ms);
+    if budget_ms == 0 {
+        shared.metrics.timeouts.inc();
+        obs::metrics::counter("serve.deadline.expired_on_arrival").inc();
+        return Err(Response::error(504, "deadline exceeded"));
+    }
+    Ok(Duration::from_millis(budget_ms))
+}
+
 /// `POST /v1/predict` on the threaded path: admit, then block this
 /// handler thread until the dispatcher replies.
-fn predict(shared: &Shared, parsed: PredictRequest, trace: &mut obs::TraceContext) -> Response {
+fn predict(
+    shared: &Shared,
+    parsed: PredictRequest,
+    deadline_ms: Option<u64>,
+    trace: &mut obs::TraceContext,
+) -> Response {
+    let budget = match request_budget(shared, deadline_ms) {
+        Ok(budget) => budget,
+        Err(expired) => return expired,
+    };
     let (reply, receiver) = mpsc::sync_channel(1);
-    let deadline = Instant::now() + shared.config.deadline;
+    let deadline = Instant::now() + budget;
     if let Err(rejection) = admit(
         shared,
         parsed,
@@ -662,7 +730,7 @@ fn predict(shared: &Shared, parsed: PredictRequest, trace: &mut obs::TraceContex
         return rejection;
     }
     // Margin past the deadline covers the dispatcher's own 504 reply.
-    let wait = shared.config.deadline + Duration::from_millis(250);
+    let wait = budget + Duration::from_millis(250);
     match receiver.recv_timeout(wait) {
         // The dispatcher replies with the serialized body and the trace
         // it stamped through queue/batch-wait/predict.

@@ -11,6 +11,7 @@ use neusight_graph::{config, workload_graph, Graph};
 use neusight_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 fn default_batch() -> u64 {
@@ -235,6 +236,11 @@ pub struct PredictService {
     /// Serialized response bodies for repeated requests (see
     /// [`ResponseCache`]).
     responses: Mutex<ResponseCache>,
+    /// Brownout tier: when set (by the router's shed controller via
+    /// `POST /v1/control/brownout`), every prediction is served from the
+    /// roofline fallback even though the MLP path is healthy — cheaper
+    /// answers instead of dropped requests.
+    forced_degraded: AtomicBool,
 }
 
 impl PredictService {
@@ -255,6 +261,22 @@ impl PredictService {
             baseline,
             breaker: CircuitBreaker::new("serve.predict", config),
             responses: Mutex::new(ResponseCache::new()),
+            forced_degraded: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the brownout tier is active.
+    #[must_use]
+    pub fn forced_degraded(&self) -> bool {
+        self.forced_degraded.load(Ordering::SeqCst)
+    }
+
+    /// Enters or leaves the brownout tier (idempotent).
+    pub fn set_forced_degraded(&self, on: bool) {
+        let was = self.forced_degraded.swap(on, Ordering::SeqCst);
+        obs::metrics::gauge("serve.degraded.forced").set(f64::from(u8::from(on)));
+        if was != on {
+            obs::event!("serve_brownout", on = on);
         }
     }
 
@@ -383,7 +405,13 @@ impl PredictService {
         let mut degraded = false;
         let mut predictions = Vec::new().into_iter();
         if !jobs.is_empty() {
-            if self.breaker.allow() {
+            if self.forced_degraded() {
+                // Brownout: the MLP path is healthy but the fleet is
+                // overloaded — answer from the cheap analytical tier
+                // without touching breaker accounting.
+                obs::metrics::counter("serve.predict.brownout_served").inc();
+                degraded = true;
+            } else if self.breaker.allow() {
                 match self.ns.predict_graph_batch(&jobs) {
                     Ok(p) => {
                         self.breaker.record_success();
@@ -473,7 +501,7 @@ impl PredictService {
         &self,
         requests: &[PredictRequest],
     ) -> Vec<Result<Arc<str>, ServeError>> {
-        if self.breaker_state() == BreakerState::Closed {
+        if self.breaker_state() == BreakerState::Closed && !self.forced_degraded() {
             let cached: Vec<Option<Arc<str>>> = {
                 let memo = neusight_guard::recover_poison(self.responses.lock());
                 requests

@@ -14,10 +14,15 @@
 
 use neusight::core::{NeuSight, NeuSightConfig};
 use neusight::gpu::DType;
-use neusight::router::{gossip, HashRing, RouteKey, Router, RouterConfig, RunningRouter};
+use neusight::router::{
+    gossip, ChildProcess, HashRing, HedgeConfig, RouteKey, Router, RouterConfig, RunningRouter,
+    Supervisor, SupervisorConfig,
+};
+use neusight::serve::deadline::{effective_budget_ms, shrink_ms};
 use neusight::serve::{Client, PredictResponse, RunningServer, ServeConfig, Server};
 use proptest::prelude::*;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// One tiny training sweep shared by every test; `NeuSight::train` is
@@ -236,6 +241,293 @@ fn cache_gossip_warms_a_cold_replica_and_rejects_tampering() {
     cold.shutdown_and_join().expect("cold drain");
 }
 
+/// A supervised "process" whose death is a flag the test flips — the
+/// in-process stand-in for `kill -9` on a spawn-mode child (the real
+/// SIGKILL path runs in CI's supervisor chaos smoke against the binary).
+struct TestChild {
+    dead: Arc<AtomicBool>,
+}
+
+impl ChildProcess for TestChild {
+    fn poll_exited(&mut self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+}
+
+/// The self-healing contract end to end: killing a supervised replica
+/// drains it, the supervisor respawns it on a fresh port within its
+/// restart budget, the prober readmits it after [`FLAP_THRESHOLD`]
+/// clean probes and gossip-warms its cache — all while client traffic
+/// sees zero 5xx.
+///
+/// [`FLAP_THRESHOLD`]: neusight::router::FLAP_THRESHOLD
+#[test]
+fn a_killed_replica_is_respawned_readmitted_and_rewarmed_with_zero_5xx() {
+    neusight::obs::set_enabled(true);
+    let initial: Vec<RunningServer> = (0..3).map(|_| spawn_replica()).collect();
+    let config = RouterConfig {
+        upstreams: initial
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (format!("replica-{i}"), r.addr()))
+            .collect(),
+        warm_gossip: true,
+        ..RouterConfig::default()
+    };
+    let router = Router::spawn(config).expect("spawn router");
+    let fleet = router.fleet();
+
+    // Server handles live behind a mutex so the respawn closure (on the
+    // supervisor thread) can hand replacements back for final cleanup.
+    let servers: Arc<Mutex<Vec<RunningServer>>> = Arc::new(Mutex::new(initial));
+    let death_flags: Vec<Arc<AtomicBool>> =
+        (0..3).map(|_| Arc::new(AtomicBool::new(false))).collect();
+    let children: Vec<(String, TestChild)> = death_flags
+        .iter()
+        .enumerate()
+        .map(|(i, dead)| {
+            (
+                format!("replica-{i}"),
+                TestChild {
+                    dead: Arc::clone(dead),
+                },
+            )
+        })
+        .collect();
+    let supervisor = Supervisor::new(
+        children,
+        SupervisorConfig {
+            restart_budget: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(20),
+            ..SupervisorConfig::default()
+        },
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let supervisor_thread = std::thread::spawn({
+        let fleet = Arc::clone(&fleet);
+        let servers = Arc::clone(&servers);
+        let stop = Arc::clone(&stop);
+        move || {
+            supervisor.run(
+                &fleet,
+                move |_index| {
+                    let server = spawn_replica();
+                    let addr = server.addr();
+                    servers.lock().expect("servers lock").push(server);
+                    Ok((
+                        TestChild {
+                            dead: Arc::new(AtomicBool::new(false)),
+                        },
+                        addr,
+                    ))
+                },
+                move || stop.load(Ordering::SeqCst),
+            )
+        }
+    });
+
+    let deaths = neusight::obs::metrics::counter("router.supervisor.deaths");
+    let restarts = neusight::obs::metrics::counter("router.supervisor.restarts");
+    let gossip_rounds = neusight::obs::metrics::counter("router.gossip.rounds");
+    let (deaths_before, restarts_before, gossip_before) =
+        (deaths.get(), restarts.get(), gossip_rounds.get());
+
+    let mut client = Client::connect(router.addr()).expect("connect router");
+    let drive = |client: &mut Client| {
+        for body in BODIES {
+            let response = client.post_json("/v1/predict", body).expect("predict");
+            assert_eq!(
+                response.status,
+                200,
+                "self-healing must hide the kill: {}",
+                response.text()
+            );
+        }
+    };
+    // Warm every shard so the eventual gossip donor has entries to give.
+    drive(&mut client);
+
+    // "kill -9" replica-1: tear its server down and flip its death flag.
+    let victim = servers.lock().expect("servers lock").remove(1);
+    victim.shutdown_and_join().expect("kill replica");
+    death_flags[1].store(true, Ordering::SeqCst);
+
+    // Keep load flowing until the slot restarted AND the prober
+    // readmitted the respawned replica — zero 5xx the whole way.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while restarts.get() == restarts_before || fleet.live_count() < 3 {
+        drive(&mut client);
+        assert!(
+            Instant::now() < deadline,
+            "replica never healed: restarts {} -> {}, live {}",
+            restarts_before,
+            restarts.get(),
+            fleet.live_count()
+        );
+    }
+    assert!(deaths.get() > deaths_before, "death must be observed");
+    // The prober gossip-warms *after* readmission bumps the live count
+    // (export + import is a full HTTP round trip), so give the warm the
+    // same deadline instead of asserting the instant the fleet heals.
+    while gossip_rounds.get() == gossip_before {
+        assert!(
+            Instant::now() < deadline,
+            "readmission must gossip-warm the respawned replica"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The healed fleet still answers everything.
+    drive(&mut client);
+    let health = client.get("/healthz").expect("healthz");
+    assert!(health.text().contains("\"live\":3"), "{}", health.text());
+
+    stop.store(true, Ordering::SeqCst);
+    let survivors = supervisor_thread.join().expect("supervisor thread");
+    assert_eq!(survivors.len(), 3, "all three slots end the test alive");
+    router.shutdown_and_join().expect("router drain");
+    for server in servers.lock().expect("servers lock").drain(..) {
+        server.shutdown_and_join().expect("replica drain");
+    }
+}
+
+/// Hedged requests hide one slow replica from the latency tail: the
+/// ring owner of a known key is delayed 100 ms per batch, and with a
+/// pinned 20 ms hedge delay the routed answer comes back from the
+/// successor in a fraction of the slow replica's latency — while fast
+/// traffic fires (almost) no duplicates, keeping the extra upstream
+/// load far inside the 10 % budget.
+#[test]
+fn hedging_hides_a_slow_replica_within_the_duplicate_budget() {
+    neusight::obs::set_enabled(true);
+    let slow_body = BODIES[0]; // {"model":"bert","gpu":"H100",...}
+    let names: Vec<String> = (0..3).map(|i| format!("replica-{i}")).collect();
+    let ring = HashRing::new(names.clone());
+    let slow_owner = ring
+        .route(&RouteKey::from_predict("bert", "H100"))
+        .expect("non-empty ring")
+        .to_owned();
+    let replicas: Vec<RunningServer> = names
+        .iter()
+        .map(|name| {
+            let config = ServeConfig {
+                service_delay: if *name == slow_owner {
+                    Duration::from_millis(100)
+                } else {
+                    Duration::ZERO
+                },
+                ..ServeConfig::default()
+            };
+            Server::spawn(config, tiny_neusight()).expect("spawn replica")
+        })
+        .collect();
+    let router = Router::spawn(RouterConfig {
+        upstreams: names
+            .iter()
+            .zip(&replicas)
+            .map(|(name, r)| (name.clone(), r.addr()))
+            .collect(),
+        hedge: HedgeConfig {
+            enabled: true,
+            // 20 ms: far above a debug-build fast answer, far below
+            // the slow replica's 100 ms — only slow-key requests hedge.
+            delay_override: Some(Duration::from_millis(20)),
+            ..HedgeConfig::default()
+        },
+        ..RouterConfig::default()
+    })
+    .expect("spawn router");
+
+    // Warm every key at every replica so hedge winners answer from the
+    // memo cache, and measure the slow replica's direct latency — the
+    // unhedged baseline the routed path must beat by >= 2x.
+    let slow_index = names.iter().position(|n| *n == slow_owner).unwrap();
+    let mut direct_ms = 0.0f64;
+    for (i, replica) in replicas.iter().enumerate() {
+        let mut direct = Client::connect(replica.addr()).expect("connect replica");
+        for body in BODIES {
+            let started = Instant::now();
+            let response = direct.post_json("/v1/predict", body).expect("warm");
+            assert_eq!(response.status, 200, "{}", response.text());
+            if i == slow_index && body == slow_body {
+                direct_ms = started.elapsed().as_secs_f64() * 1e3;
+            }
+        }
+    }
+    assert!(
+        direct_ms >= 80.0,
+        "the slow replica must actually be slow (measured {direct_ms:.1} ms)"
+    );
+
+    let fired = neusight::obs::metrics::counter("router.hedge.fired");
+    let won = neusight::obs::metrics::counter("router.hedge.won");
+    let (fired_before, won_before) = (fired.get(), won.get());
+
+    // 200 fast-owned requests and 5 slow-owned ones — the mix whose
+    // duplicates must stay within budget. "Fast" means *ring-owned by a
+    // fast replica*: a body other than `slow_body` can still hash to
+    // the slow owner, and every request landing there legitimately
+    // hedges — so filter by owner, not by body identity.
+    let keyed: [(&str, &str, &str); 6] = [
+        ("bert", "H100", BODIES[0]),
+        ("bert", "V100", BODIES[1]),
+        ("gpt2", "T4", BODIES[2]),
+        ("gpt2", "V100", BODIES[3]),
+        ("resnet50", "H100", BODIES[4]),
+        ("vgg16", "T4", BODIES[5]),
+    ];
+    let mut routed = Client::connect(router.addr()).expect("connect router");
+    let fast_bodies: Vec<&str> = keyed
+        .iter()
+        .filter(|(model, gpu, _)| {
+            ring.route(&RouteKey::from_predict(model, gpu))
+                .expect("non-empty ring")
+                != slow_owner
+        })
+        .map(|(_, _, body)| *body)
+        .collect();
+    assert!(!fast_bodies.is_empty(), "need at least one fast-owned body");
+    for i in 0..200 {
+        let response = routed
+            .post_json("/v1/predict", fast_bodies[i % fast_bodies.len()])
+            .expect("fast predict");
+        assert_eq!(response.status, 200, "{}", response.text());
+    }
+    let mut hedged_ms: Vec<f64> = Vec::new();
+    for _ in 0..5 {
+        let started = Instant::now();
+        let response = routed.post_json("/v1/predict", slow_body).expect("hedged");
+        assert_eq!(response.status, 200, "{}", response.text());
+        hedged_ms.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    hedged_ms.sort_by(f64::total_cmp);
+    let median = hedged_ms[hedged_ms.len() / 2];
+    assert!(
+        median * 2.0 <= direct_ms,
+        "hedging must cut the slow-key latency >= 2x \
+         (direct {direct_ms:.1} ms, hedged median {median:.1} ms)"
+    );
+    let fired_delta = fired.get() - fired_before;
+    assert!(fired_delta >= 1, "slow-key requests must fire hedges");
+    assert!(won.get() > won_before, "a hedge must win the race");
+    assert!(
+        fired_delta <= 10,
+        "{fired_delta} duplicates for 205 requests busts the ~5 % hedge slice"
+    );
+
+    // Deadline propagation rides the same path: a request arriving with
+    // a zero budget is answered 504 on the spot, not forwarded.
+    let expired = routed
+        .post_json_with_id_and_deadline("/v1/predict", slow_body, "expired-budget", 0)
+        .expect("expired deadline");
+    assert_eq!(expired.status, 504, "{}", expired.text());
+
+    router.shutdown_and_join().expect("router drain");
+    for replica in replicas {
+        replica.shutdown_and_join().expect("replica drain");
+    }
+}
+
 /// Deterministic share check: over a dense 4096-key grid, removing one
 /// of four replicas re-homes roughly a quarter of the keyspace — the
 /// "~1/N moves" half of the re-hash contract (the proptest below pins
@@ -311,6 +603,44 @@ proptest! {
             let key = RouteKey::new(gpu, family);
             prop_assert_eq!(full.route(&key), reduced.route(&key));
         }
+    }
+
+    /// Deadline budgets telescope exactly like the PR 7 stage stamps:
+    /// the effective budget never exceeds the client's or the hop's
+    /// bound, every hop's shrink is monotone non-increasing, no stage
+    /// consumes more budget than its measured elapsed time, and the
+    /// chain bottoms out at exactly zero once cumulative elapsed time
+    /// exceeds the initial budget.
+    #[test]
+    fn deadline_budgets_telescope_monotonically_across_hops(
+        hop_ms in 1u64..60_000,
+        // The vendored proptest has no `prop::option` — derive the
+        // optional client header from a (present, value) pair.
+        header_draw in (0u32..2, 0u64..120_000),
+        elapsed_ms in prop::collection::vec(0u64..5_000, 1..12),
+    ) {
+        let header_ms = (header_draw.0 == 1).then_some(header_draw.1);
+        let initial = effective_budget_ms(Duration::from_millis(hop_ms), header_ms);
+        prop_assert!(initial <= hop_ms, "a hop never promises more than it has");
+        if let Some(client_ms) = header_ms {
+            prop_assert!(initial <= client_ms, "a hop never inflates the client budget");
+        }
+        let mut budget = initial;
+        for &stage_ms in &elapsed_ms {
+            let next = shrink_ms(budget, Duration::from_millis(stage_ms));
+            prop_assert!(next <= budget, "budgets are monotone non-increasing");
+            prop_assert!(
+                budget - next <= stage_ms,
+                "a stage cannot consume more budget than its elapsed time"
+            );
+            budget = next;
+        }
+        let spent: u64 = elapsed_ms.iter().sum();
+        prop_assert_eq!(
+            budget,
+            initial.saturating_sub(spent),
+            "whole-millisecond hops telescope exactly"
+        );
     }
 
     /// Routing is case-insensitive on both key components, so shard
