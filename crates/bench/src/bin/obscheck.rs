@@ -264,6 +264,42 @@ fn check_guard_metrics(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `obscheck reload METRICS.prom` — the CI gate for the model-lifecycle
+/// chaos smoke: the `/metrics` page scraped after the reload chaos run
+/// must show (1) at least one recorded rollback — the corrupted or
+/// regressed candidate was refused by the gate, (2) at least one
+/// completed reload — the good candidate was promoted, (3) **zero**
+/// stale-epoch cache hits — a swap never served bytes computed by a
+/// previous model, and (4) a `neusight_model_info` gauge naming the
+/// serving version, with live traffic recorded throughout.
+fn check_reload_metrics(text: &str) -> Result<(), String> {
+    let samples = parse_exposition(text)?;
+    check(
+        sample_sum(&samples, &["neusight_model_rollbacks_total"]) >= 1.0,
+        "`neusight_model_rollbacks_total` is zero — the bad candidate was never refused",
+    )?;
+    check(
+        sample_sum(&samples, &["neusight_model_reloads_total"]) >= 1.0,
+        "`neusight_model_reloads_total` is zero — no candidate was ever promoted",
+    )?;
+    check(
+        sample_sum(&samples, &["neusight_model_stale_hits_total"]) == 0.0,
+        "`neusight_model_stale_hits_total` is non-zero — a stale-epoch cache entry was observed",
+    )?;
+    check(
+        samples
+            .iter()
+            .any(|(name, _)| name.starts_with("neusight_model_info{") && name.contains("version=")),
+        "`neusight_model_info` gauge is missing (or carries no version label)",
+    )?;
+    check(
+        sample_sum(&samples, &["neusight_serve_http_requests"]) > 0.0,
+        "`neusight_serve_http_requests` is zero — the reload smoke saw no live traffic",
+    )?;
+    println!("reload metrics OK: {} samples", samples.len());
+    Ok(())
+}
+
 /// A saved `POST /v1/predict` response body: the fields a capacity-planning
 /// client depends on, with sane values.
 fn check_predict_body(text: &str) -> Result<(), String> {
@@ -672,6 +708,7 @@ fn main() -> ExitCode {
             }
             [mode, metrics_path] if mode == "chaos" => check_chaos_metrics(&read(metrics_path)?),
             [mode, metrics_path] if mode == "guard" => check_guard_metrics(&read(metrics_path)?),
+            [mode, metrics_path] if mode == "reload" => check_reload_metrics(&read(metrics_path)?),
             [mode, bench_path] if mode == "cluster" => check_cluster_bench(&read(bench_path)?),
             [mode, bench_path] if mode == "tail" => check_tail_bench(&read(bench_path)?),
             [trace_path, metrics_path] => {
@@ -679,7 +716,7 @@ fn main() -> ExitCode {
                 check_metrics(&read(metrics_path)?)
             }
             _ => Err(
-                "usage: obscheck TRACE.json METRICS.prom | obscheck serve PREDICT.json METRICS.prom | obscheck serve2 REACTOR.json THREADED.json | obscheck trace DUMP.json METRICS.prom | obscheck chaos METRICS.prom | obscheck guard METRICS.prom | obscheck cluster BENCH_cluster.json | obscheck tail BENCH_tail.json"
+                "usage: obscheck TRACE.json METRICS.prom | obscheck serve PREDICT.json METRICS.prom | obscheck serve2 REACTOR.json THREADED.json | obscheck trace DUMP.json METRICS.prom | obscheck chaos METRICS.prom | obscheck guard METRICS.prom | obscheck reload METRICS.prom | obscheck cluster BENCH_cluster.json | obscheck tail BENCH_tail.json"
                     .to_owned(),
             ),
         }
@@ -811,6 +848,45 @@ mod tests {
                          neusight_guard_worker_restarts 5\n";
         assert!(check_guard_metrics(unclamped).is_err());
         assert!(check_guard_metrics("").is_err());
+    }
+
+    #[test]
+    fn reload_metrics_gate_requires_rollback_promotion_and_zero_stale_hits() {
+        let good = "# TYPE neusight_model_rollbacks_total counter\n\
+                    neusight_model_rollbacks_total 2\n\
+                    # TYPE neusight_model_reloads_total counter\n\
+                    neusight_model_reloads_total 1\n\
+                    # TYPE neusight_model_stale_hits_total counter\n\
+                    neusight_model_stale_hits_total 0\n\
+                    # TYPE neusight_model_info gauge\n\
+                    neusight_model_info{version=\"v0002\",epoch=\"3\"} 1\n\
+                    # TYPE neusight_serve_http_requests counter\n\
+                    neusight_serve_http_requests 500\n";
+        assert!(check_reload_metrics(good).is_ok());
+        // An absent stale-hits counter reads as zero (it only registers
+        // when a stale hit is observed, which must never happen).
+        let unregistered = good
+            .replace("# TYPE neusight_model_stale_hits_total counter\n", "")
+            .replace("neusight_model_stale_hits_total 0\n", "");
+        assert!(check_reload_metrics(&unregistered).is_ok());
+        // No rollback means the chaos candidate was never refused.
+        let no_rollback = good.replace("rollbacks_total 2", "rollbacks_total 0");
+        assert!(check_reload_metrics(&no_rollback).is_err());
+        // No promotion means the good candidate never served.
+        let no_promote = good.replace("reloads_total 1", "reloads_total 0");
+        assert!(check_reload_metrics(&no_promote).is_err());
+        // A single stale-epoch hit fails the gate outright.
+        let stale = good.replace("stale_hits_total 0", "stale_hits_total 1");
+        assert!(check_reload_metrics(&stale).is_err());
+        // The info gauge must name the serving version.
+        let anonymous = good.replace(
+            "neusight_model_info{version=\"v0002\",epoch=\"3\"} 1",
+            "neusight_model_info 1",
+        );
+        assert!(check_reload_metrics(&anonymous).is_err());
+        // Traffic-free runs prove nothing.
+        let idle = good.replace("http_requests 500", "http_requests 0");
+        assert!(check_reload_metrics(&idle).is_err());
     }
 
     #[test]

@@ -18,12 +18,30 @@
 //! neusight export-dot --model NAME [--batch N] [--train] [--fused]
 //! neusight serve   [--addr HOST:PORT] [--port N] [--workers N] [--queue-depth N]
 //!                  [--deadline-ms N] [--max-batch N] [--predictor FILE]
+//!                  [--models-dir DIR]
 //! neusight router  (--replicas N | --upstream HOST:PORT,HOST:PORT,…)
 //!                  [--addr HOST:PORT] [--warm-gossip] [--predictor FILE]
 //!                  [--restart-budget N] [--hedge] [--shed-target-ms N]
+//!                  [--models-dir DIR]
+//! neusight publish --version TAG [--parent TAG] [--models-dir DIR]
+//!                  [--predictor FILE] [--perturb F] [--no-golden]
 //! neusight chaos   [--fault-spec SPEC] [--fault-seed N] [--scale tiny|standard]
 //! neusight verify-artifacts [DIR-OR-FILE]
 //! ```
+//!
+//! # Model lifecycle
+//!
+//! `publish` seals a predictor into the versioned registry (`models/` by
+//! default) with a manifest: version tag, parent lineage, weight
+//! fingerprint, and the golden-set MAPE measured at publish time.
+//! `serve --models-dir DIR` boots from the registry's latest artifact
+//! instead of the bare predictor file, and `POST /v1/admin/reload` (or
+//! SIGHUP) hot-swaps to a newer version through the staged → canary →
+//! shadow gate described in DESIGN.md §11. The router's
+//! `POST /v1/admin/reload` rolls the swap across the fleet one replica
+//! at a time. `--perturb F` multiplies every trained weight by `F` at
+//! publish time — a deliberately-regressed candidate for chaos-testing
+//! the gate.
 //!
 //! A trained predictor is cached at `neusight-predictor.json` in the
 //! working directory by default; `train` creates it, everything else loads
@@ -107,6 +125,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args),
         Some("router") => cmd_router(&args),
         Some("chaos") => cmd_chaos(&args),
+        Some("publish") => cmd_publish(&args),
         Some("verify-artifacts") => cmd_verify_artifacts(&args),
         Some("export-dot") => cmd_export_dot(&args),
         Some(other) => Err(ArgError(format!("unknown command `{other}`")).into()),
@@ -205,6 +224,8 @@ fn print_usage() {
            router       front N serve replicas with consistent-hash routing\n\
                         (supervised restarts; --hedge; --shed-target-ms N)\n\
            chaos        run a collection sweep under injected faults\n\
+           publish      seal a predictor into the versioned model registry\n\
+                        (--version TAG; --perturb F for chaos candidates)\n\
            verify-artifacts  check artifact checksums under a dir (or one file)\n\
            export-dot   print a model's kernel graph in Graphviz DOT\n\n\
          global flags:\n\
@@ -235,6 +256,13 @@ fn load_or_train(args: &Args) -> Result<NeuSight, Box<dyn std::error::Error>> {
         eprintln!("saved to {path}");
         ns
     };
+    apply_cache_flags(args, &ns)?;
+    Ok(ns)
+}
+
+/// Applies the global `--cache-shards` / `--cache-capacity` flags to a
+/// loaded predictor (shared by the bare-file and registry load paths).
+fn apply_cache_flags(args: &Args, ns: &NeuSight) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(shards) = args.option("cache-shards") {
         let shards: usize = shards
             .parse()
@@ -247,7 +275,35 @@ fn load_or_train(args: &Args) -> Result<NeuSight, Box<dyn std::error::Error>> {
             .map_err(|_| ArgError(format!("invalid value `{capacity}` for --cache-capacity")))?;
         ns.set_prediction_cache_capacity(capacity);
     }
-    Ok(ns)
+    Ok(())
+}
+
+/// Loads the serving predictor: the registry's latest artifact when
+/// `--models-dir` is given (falling back to the bare predictor file on
+/// an empty registry), the bare `--predictor` file otherwise. Returns
+/// the model and, for registry loads, its version tag.
+fn load_serving_model(
+    args: &Args,
+) -> Result<(NeuSight, Option<String>), Box<dyn std::error::Error>> {
+    let Some(dir) = args.option("models-dir") else {
+        return Ok((load_or_train(args)?, None));
+    };
+    let registry = neusight_core::Registry::open(dir);
+    match registry.latest()? {
+        Some(entry) => {
+            eprintln!(
+                "loading model {} from registry {dir} (fingerprint {:#018x})",
+                entry.manifest.version, entry.manifest.fingerprint
+            );
+            let artifact = registry.load(&entry.manifest.version)?;
+            apply_cache_flags(args, &artifact.model)?;
+            Ok((artifact.model, Some(entry.manifest.version)))
+        }
+        None => {
+            eprintln!("registry {dir} is empty; falling back to --predictor");
+            Ok((load_or_train(args)?, None))
+        }
+    }
 }
 
 fn train_new(scale: SweepScale) -> Result<NeuSight, Box<dyn std::error::Error>> {
@@ -839,6 +895,7 @@ fn cmd_serve(args: &Args) -> CliResult {
         let host = addr.rsplit_once(':').map_or("127.0.0.1", |(h, _)| h);
         addr = format!("{host}:{port}");
     }
+    let (ns, model_version) = load_serving_model(args)?;
     let config = neusight_serve::ServeConfig {
         addr,
         workers: args.get_or("workers", 32usize)?,
@@ -847,10 +904,11 @@ fn cmd_serve(args: &Args) -> CliResult {
         max_batch: args.get_or("max-batch", 64usize)?,
         handle_signals: true,
         reactor: args.has("reactor"),
+        model_version,
+        models_dir: args.option("models-dir").map(std::path::PathBuf::from),
         ..neusight_serve::ServeConfig::default()
     };
     let reactor = config.reactor;
-    let ns = load_or_train(args)?;
     let server = neusight_serve::Server::bind(config, ns)?;
     if ephemeral {
         use std::io::Write as _;
@@ -865,6 +923,9 @@ fn cmd_serve(args: &Args) -> CliResult {
     println!("  POST /v1/predict   {{\"model\":\"gpt2\",\"gpu\":\"H100\",\"batch\":4}}");
     println!("  GET  /v1/models    GET /v1/gpus    GET /healthz    GET /metrics");
     println!("  GET  /v1/debug/traces  (flight recorder; also dumped on SIGUSR1/panic)");
+    println!(
+        "  POST /v1/admin/reload  GET /v1/admin/model  (hot model swap; SIGHUP = reload latest)"
+    );
     println!("SIGTERM or Ctrl-C drains in-flight requests and exits");
     server.run()?;
     eprintln!("drained; bye");
@@ -1024,6 +1085,7 @@ struct ReplicaSpec {
     cache_shards: Option<String>,
     fault_spec: Option<String>,
     fault_seed: Option<String>,
+    models_dir: Option<String>,
 }
 
 impl ReplicaSpec {
@@ -1037,6 +1099,7 @@ impl ReplicaSpec {
             cache_shards: owned("cache-shards"),
             fault_spec: owned("fault-spec"),
             fault_seed: owned("fault-seed"),
+            models_dir: owned("models-dir"),
         }
     }
 }
@@ -1064,6 +1127,7 @@ fn spawn_replica(
     forward(&mut command, "--cache-shards", &spec.cache_shards);
     forward(&mut command, "--fault-spec", &spec.fault_spec);
     forward(&mut command, "--fault-seed", &spec.fault_seed);
+    forward(&mut command, "--models-dir", &spec.models_dir);
     if spec.reactor {
         command.arg("--reactor");
     }
@@ -1230,8 +1294,9 @@ impl serde::Deserialize for AnyJson {
 
 /// One artifact's verification verdict.
 enum Verdict {
-    /// Envelope present, checksum and payload JSON both good.
-    Sealed,
+    /// Envelope present, checksum and payload JSON both good. For
+    /// registry artifacts, carries the verified manifest summary.
+    Sealed(Option<String>),
     /// Pre-envelope bare JSON; readable, but carries no checksum.
     Legacy,
     /// Corrupt, truncated, or unreadable — with the reason.
@@ -1259,10 +1324,32 @@ fn verify_artifact(path: &Path) -> Verdict {
         return Verdict::Failed(format!("payload is not valid JSON: {e}"));
     }
     if decoded.legacy {
-        Verdict::Legacy
-    } else {
-        Verdict::Sealed
+        return Verdict::Legacy;
     }
+    // A registry artifact gets the stronger check: decode the manifest
+    // and recompute the weight fingerprint against it (the envelope
+    // checksum alone cannot catch a tamper sealed before wrapping).
+    if text.starts_with("{\"manifest\"") {
+        return match neusight_core::registry::load_artifact(path) {
+            Ok(artifact) => {
+                let m = artifact.manifest;
+                let lineage = match m.parent {
+                    Some(parent) => format!(", parent {parent}"),
+                    None => String::new(),
+                };
+                let mape = match m.golden_mape {
+                    Some(g) => format!(", golden-mape {g:.4}"),
+                    None => String::new(),
+                };
+                Verdict::Sealed(Some(format!(
+                    "version {}, fingerprint {:#018x}{lineage}{mape}",
+                    m.version, m.fingerprint
+                )))
+            }
+            Err(e) => Verdict::Failed(format!("registry artifact invalid: {e}")),
+        };
+    }
+    Verdict::Sealed(None)
 }
 
 /// Collects every `.json` file under `root` (or `root` itself when it is
@@ -1287,6 +1374,47 @@ fn artifact_files(root: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
     Ok(files)
 }
 
+/// Seals a predictor into the versioned model registry
+/// (`neusight publish --version TAG`). The manifest records lineage
+/// (`--parent`), the weight fingerprint, and — unless `--no-golden` —
+/// the golden-set MAPE measured at publish time, which the serve tier's
+/// canary gate later compares against. `--perturb F` multiplies every
+/// trained weight by `F` first: the supported way to mint a
+/// deliberately-regressed candidate for chaos-testing the reload gate.
+fn cmd_publish(args: &Args) -> CliResult {
+    let version = args.require("version")?;
+    let models_dir = args.option("models-dir").unwrap_or("models");
+    let mut ns = load_or_train(args)?;
+    if let Some(perturb) = args.option("perturb") {
+        let factor: f32 = perturb
+            .parse()
+            .map_err(|_| ArgError(format!("invalid value `{perturb}` for --perturb")))?;
+        ns.map_predictor_parameters(|w| w * factor);
+        eprintln!("perturbed every weight by x{factor} (chaos candidate)");
+    }
+    let golden_mape = if args.has("no-golden") {
+        None
+    } else {
+        eprintln!("evaluating the golden op set…");
+        let mape = neusight_serve::golden_mape(&ns).map_err(ArgError)?;
+        eprintln!("golden-set MAPE: {mape:.4}");
+        Some(mape)
+    };
+    let registry = neusight_core::Registry::open(models_dir);
+    let entry = registry.publish(version, args.option("parent"), golden_mape, &ns)?;
+    println!(
+        "published {} -> {} (fingerprint {:#018x}{})",
+        entry.manifest.version,
+        entry.path.display(),
+        entry.manifest.fingerprint,
+        match entry.manifest.parent.as_deref() {
+            Some(parent) => format!(", parent {parent}"),
+            None => String::new(),
+        },
+    );
+    Ok(())
+}
+
 /// Verifies every artifact under a directory (default `artifacts/`):
 /// envelope checksums must match and payloads must parse. Exits non-zero
 /// naming each corrupt file (`neusight verify-artifacts`).
@@ -1304,7 +1432,10 @@ fn cmd_verify_artifacts(args: &Args) -> CliResult {
     let mut legacy = 0usize;
     for path in &files {
         match verify_artifact(path) {
-            Verdict::Sealed => println!("OK    {}", path.display()),
+            Verdict::Sealed(None) => println!("OK    {}", path.display()),
+            Verdict::Sealed(Some(manifest)) => {
+                println!("OK    {} ({manifest})", path.display());
+            }
             Verdict::Legacy => {
                 legacy += 1;
                 println!("WARN  {} (legacy bare JSON, no checksum)", path.display());

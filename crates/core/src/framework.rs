@@ -903,7 +903,19 @@ impl NeuSight {
         for predictor in self.predictors.values_mut() {
             predictor.map_mlp_parameters(&mut f);
         }
-        self.clear_prediction_cache();
+        // Clones share the prediction cache behind an `Arc` on the
+        // premise that prediction is pure. Mutating the weights breaks
+        // that premise, so detach into a private cold cache (same
+        // capacity layout) instead of clearing the shared one — clearing
+        // would still let this instance's now-divergent predictions
+        // poison siblings (and theirs poison us).
+        let (capacity, shards) = {
+            let state = self.cache.0.state.read();
+            (state.total_capacity, state.configured_shards)
+        };
+        let fresh = PredictionCache::default();
+        fresh.reshard(capacity, shards);
+        self.cache = fresh;
     }
 }
 

@@ -41,10 +41,12 @@ pub mod error;
 pub mod features;
 pub mod framework;
 pub mod predictor;
+pub mod registry;
 pub mod tiledb;
 
 pub use ablation::{AblatedNeuSight, AblationVariant};
 pub use error::{CoreError, Result};
 pub use framework::{GraphPrediction, NeuSight, NeuSightConfig, DEFAULT_PREDICTION_CACHE_CAPACITY};
 pub use predictor::{KernelPredictor, PredictorConfig};
+pub use registry::{ModelManifest, Registry, RegistryEntry, VersionedArtifact};
 pub use tiledb::TileDatabase;

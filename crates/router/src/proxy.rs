@@ -451,20 +451,27 @@ fn route(
     trace: &obs::TraceContext,
     pool: &mut HashMap<String, Client>,
 ) -> Response {
-    const ROUTES: [&str; 5] = [
+    const ROUTES: [&str; 7] = [
         "/healthz",
         "/metrics",
         "/v1/models",
         "/v1/gpus",
         "/v1/predict",
+        "/v1/admin/reload",
+        "/v1/admin/model",
     ];
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/predict") => forward_predict(shared, request, trace, pool),
         ("GET", "/healthz") => health(shared),
         ("GET", "/metrics") => metrics_page(shared, pool),
+        ("GET", "/v1/admin/model") => model_status(shared, pool),
+        ("POST", "/v1/admin/reload") => rolling_reload(shared, request, pool),
         ("GET", path @ ("/v1/models" | "/v1/gpus")) => forward_any(shared, path, pool),
         (_, path) if ROUTES.contains(&path) => {
-            let allow = if path == "/v1/predict" { "POST" } else { "GET" };
+            let allow = match path {
+                "/v1/predict" | "/v1/admin/reload" => "POST",
+                _ => "GET",
+            };
             Response::error(405, &format!("use {allow} for {path}"))
                 .with_header("Allow", allow.to_owned())
         }
@@ -741,6 +748,199 @@ fn forward_any(shared: &RouterShared, path: &str, pool: &mut HashMap<String, Cli
     Response::error(503, "no live upstream replica")
 }
 
+/// How long `rolling_reload` waits for one replica's shadow evaluation
+/// to settle before treating the roll as stuck.
+const RELOAD_SETTLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// `POST /v1/admin/reload`: roll a model reload across the fleet one
+/// replica at a time.
+///
+/// Per replica: drain it from the ring, forward the reload request (the
+/// replica runs its staged + canary gates while out of rotation), then
+/// readmit it. A `202` means the replica entered shadow evaluation —
+/// readmission happens *first* so live traffic can feed the shadow
+/// scorer, and the router polls `/v1/admin/model` until the state leaves
+/// `shadowing`. The roll aborts on the first replica that rejects or
+/// rolls back the candidate, leaving the remainder on the old version
+/// (version skew is tolerated: gossip refuses cross-version imports and
+/// every response carries `X-Model-Version`).
+fn rolling_reload(
+    shared: &RouterShared,
+    request: &Request,
+    pool: &mut HashMap<String, Client>,
+) -> Response {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let body = body.to_owned();
+    obs::event!("router_rolling_reload_started");
+    let mut reports: Vec<String> = Vec::new();
+    let mut promoted = 0usize;
+    let mut aborted = false;
+    for upstream in shared.fleet.upstreams() {
+        if aborted {
+            reports.push(replica_report(&upstream.name, "not-attempted", None));
+            continue;
+        }
+        if !upstream.is_healthy() {
+            // A downed replica is the supervisor's problem; when it
+            // respawns it loads the registry's latest artifact anyway.
+            reports.push(replica_report(&upstream.name, "skipped-unhealthy", None));
+            continue;
+        }
+        let drained = shared.fleet.mark_down(&upstream.name);
+        let reply = exchange(shared, upstream, pool, |client| {
+            client.post_json("/v1/admin/reload", &body)
+        });
+        if drained {
+            shared.fleet.mark_up(&upstream.name);
+        }
+        let (outcome, version) = match reply {
+            Ok(reply) if reply.status == 200 => ("promoted".to_owned(), reply_version(&reply.body)),
+            Ok(reply) if reply.status == 202 => {
+                let candidate = reply_version(&reply.body);
+                settle_shadow(shared, upstream, pool, candidate.as_deref())
+            }
+            Ok(reply) => (
+                format!("rejected-{}", reply.status),
+                reply_version(&reply.body),
+            ),
+            Err(e) => (format!("error-{}", e.kind()), None),
+        };
+        if outcome == "promoted" {
+            promoted += 1;
+            obs::metrics::counter("router.reload.replicas").inc();
+        } else {
+            aborted = true;
+            obs::metrics::counter("router.reload.aborted").inc();
+            obs::event!(
+                "router_rolling_reload_aborted",
+                replica = upstream.name.as_str(),
+                outcome = outcome.as_str()
+            );
+        }
+        reports.push(replica_report(&upstream.name, &outcome, version.as_deref()));
+    }
+    let status = if aborted { 409 } else { 200 };
+    let body = format!(
+        "{{\"status\":{},\"promoted\":{promoted},\"replicas\":[{}]}}",
+        json_string(if aborted { "aborted" } else { "complete" }),
+        reports.join(","),
+    );
+    Response::json(status, body)
+}
+
+/// One replica's line in the rolling-reload report.
+fn replica_report(name: &str, outcome: &str, version: Option<&str>) -> String {
+    let version = match version {
+        Some(v) => json_string(v),
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{\"name\":{},\"outcome\":{},\"version\":{version}}}",
+        json_string(name),
+        json_string(outcome),
+    )
+}
+
+/// Pulls a `"field":"value"` string field out of a compact JSON reply
+/// body without a full decode. The bodies scanned here are the serve
+/// tier's own admin pages, and the fields read — version tags (charset
+/// `[A-Za-z0-9._-]`), lifecycle state names — can never contain escaped
+/// quotes, so scanning to the next `"` is exact.
+fn scan_string_field(body: &[u8], field: &str) -> Option<String> {
+    let text = std::str::from_utf8(body).ok()?;
+    let needle = format!("\"{field}\":\"");
+    let rest = text.split(needle.as_str()).nth(1)?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_owned())
+}
+
+/// Pulls the `"version"` field out of a reload/status reply body.
+fn reply_version(body: &[u8]) -> Option<String> {
+    scan_string_field(body, "version")
+}
+
+/// Waits for a replica's shadow evaluation to settle (the readmitted
+/// replica needs live traffic, which keeps flowing while we poll).
+/// Returns `("promoted", v)` when the candidate version ends up serving,
+/// otherwise the terminal outcome.
+fn settle_shadow(
+    shared: &RouterShared,
+    upstream: &Arc<Upstream>,
+    pool: &mut HashMap<String, Client>,
+    candidate: Option<&str>,
+) -> (String, Option<String>) {
+    let deadline = Instant::now() + RELOAD_SETTLE_TIMEOUT;
+    while Instant::now() < deadline && !shared.stop_requested() {
+        let Ok(reply) = exchange(shared, upstream, pool, |client| {
+            client.get("/v1/admin/model")
+        }) else {
+            thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        let Some(state) = scan_string_field(&reply.body, "state") else {
+            thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        if state != "shadowing" {
+            let serving = scan_string_field(&reply.body, "version");
+            let won = match (candidate, serving.as_deref()) {
+                (Some(want), Some(got)) => want == got,
+                // No version to compare (registry-latest reload): a
+                // terminal non-shadow state that is not a rollback event
+                // counts as promotion.
+                _ => !scan_string_field(&reply.body, "last_transition")
+                    .unwrap_or_default()
+                    .contains("rollback"),
+            };
+            let outcome = if won { "promoted" } else { "rolled-back" };
+            return (outcome.to_owned(), serving);
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    ("shadow-timeout".to_owned(), None)
+}
+
+/// `GET /v1/admin/model`: every replica's model status side by side,
+/// plus the distinct serving versions (more than one = mid-roll skew).
+fn model_status(shared: &RouterShared, pool: &mut HashMap<String, Client>) -> Response {
+    let mut entries: Vec<String> = Vec::new();
+    let mut versions: Vec<String> = Vec::new();
+    for upstream in shared.fleet.upstreams() {
+        let status = if upstream.is_healthy() {
+            match exchange(shared, upstream, pool, |client| {
+                client.get("/v1/admin/model")
+            }) {
+                Ok(reply) if reply.status == 200 => {
+                    if let Some(version) = reply_version(&reply.body) {
+                        if !versions.contains(&version) {
+                            versions.push(version);
+                        }
+                    }
+                    String::from_utf8_lossy(&reply.body).into_owned()
+                }
+                _ => "null".to_owned(),
+            }
+        } else {
+            "null".to_owned()
+        };
+        entries.push(format!(
+            "{{\"name\":{},\"model\":{status}}}",
+            json_string(&upstream.name)
+        ));
+    }
+    let versions: Vec<String> = versions.iter().map(|v| json_string(v)).collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"versions\":[{}],\"replicas\":[{}]}}",
+            versions.join(","),
+            entries.join(","),
+        ),
+    )
+}
+
 /// One exchange with a replica over an owned (optional) connection,
 /// wrapped in the chaos failpoints. Dials `upstream.addr()` — read at
 /// call time, so a supervised respawn's new port takes effect on the
@@ -800,10 +1000,13 @@ fn exchange(
 }
 
 /// Re-wraps an upstream reply for the downstream socket, preserving
-/// status and body bytes exactly (the bitwise-identity contract).
+/// status and body bytes exactly (the bitwise-identity contract) and the
+/// replica's `X-Model-Version` stamp — clients observing a rolling model
+/// swap through the router see exactly which generation answered.
 fn relay(reply: neusight_serve::ClientResponse) -> Response {
+    let model_version = reply.header("x-model-version").map(str::to_owned);
     let content_type = reply.header("content-type").unwrap_or("application/json");
-    match content_type {
+    let response = match content_type {
         ct if ct.starts_with("application/json") => Response::json(
             reply.status,
             String::from_utf8_lossy(&reply.body).into_owned(),
@@ -813,6 +1016,10 @@ fn relay(reply: neusight_serve::ClientResponse) -> Response {
             String::from_utf8_lossy(&reply.body).into_owned(),
         ),
         _ => Response::octets(reply.status, reply.body),
+    };
+    match model_version {
+        Some(version) => response.with_header("X-Model-Version", version),
+        None => response,
     }
 }
 

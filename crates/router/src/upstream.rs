@@ -393,6 +393,27 @@ mod tests {
     }
 
     #[test]
+    fn set_addr_resets_the_breaker_for_the_fresh_process() {
+        let fleet = fleet_of(2);
+        let up = fleet.get("replica-0").unwrap();
+        // Trip the breaker the way a dying replica would: a run of
+        // forwarding failures past the threshold.
+        for _ in 0..10 {
+            up.breaker.record_failure();
+        }
+        assert_eq!(up.breaker.state(), BreakerState::Open);
+        assert!(!up.breaker.allow(), "open breaker short-circuits");
+        // The supervisor respawns the replica on a new port: the breaker
+        // state described the dead predecessor, so rebinding must reset
+        // it — otherwise the fresh child sits out the old cooldown.
+        fleet.set_addr("replica-0", "127.0.0.1:18888".parse().unwrap());
+        assert_eq!(up.breaker.state(), BreakerState::Closed);
+        assert!(up.breaker.allow(), "fresh process takes traffic at once");
+        // An unknown name is a no-op, not a panic.
+        fleet.set_addr("replica-99", "127.0.0.1:18889".parse().unwrap());
+    }
+
+    #[test]
     fn sojourn_parses_from_healthz_body() {
         assert_eq!(
             parse_sojourn_ms("{\"status\":\"ok\",\"sojourn_ms\":42,\"brownout\":false}"),

@@ -61,4 +61,35 @@ mod tests {
         // spend beyond what the clock measured.
         assert_eq!(shrink_ms(100, Duration::from_micros(900)), 100);
     }
+
+    #[test]
+    fn huge_budgets_saturate_instead_of_wrapping() {
+        // A client may legally send X-Deadline-Ms: 18446744073709551615;
+        // the u128→u64 narrowing must clamp, never truncate bits.
+        assert_eq!(effective_budget_ms(Duration::MAX, None), u64::MAX);
+        assert_eq!(effective_budget_ms(Duration::MAX, Some(u64::MAX)), u64::MAX);
+        assert_eq!(
+            effective_budget_ms(Duration::from_millis(10), Some(u64::MAX)),
+            10,
+            "the hop's own deadline still caps an absurd client budget"
+        );
+        assert_eq!(shrink_ms(u64::MAX, Duration::ZERO), u64::MAX);
+        assert_eq!(shrink_ms(u64::MAX, Duration::MAX), 0);
+    }
+
+    #[test]
+    fn elapsed_beyond_budget_mid_hop_yields_zero_not_underflow() {
+        // A hop that stalls longer than the entire remaining budget
+        // (queue pause, slow gate) forwards exactly zero — the next hop
+        // answers 504 instead of inheriting a wrapped-around eternity.
+        assert_eq!(shrink_ms(5, Duration::from_secs(3600)), 0);
+        let budget = effective_budget_ms(Duration::from_millis(50), Some(25));
+        assert_eq!(budget, 25);
+        assert_eq!(shrink_ms(budget, Duration::from_millis(26)), 0);
+        // Chaining shrinks is monotone: once zero, always zero.
+        assert_eq!(
+            shrink_ms(shrink_ms(25, Duration::from_millis(30)), Duration::ZERO),
+            0
+        );
+    }
 }

@@ -488,7 +488,9 @@ pub fn json_string(text: &str) -> String {
 pub fn status_reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
+        409 => "Conflict",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",

@@ -43,6 +43,8 @@ pub mod client;
 pub mod deadline;
 pub mod dispatch;
 pub mod http;
+pub mod lifecycle;
+pub mod model;
 pub mod queue;
 mod reactor;
 pub mod server;
@@ -52,6 +54,10 @@ mod sys;
 mod timer;
 
 pub use client::{Client, ClientResponse, MultiClient, RetriedResponse};
+pub use lifecycle::{
+    golden_mape, golden_ops, golden_sanity, LifecycleConfig, ReloadOutcome, ReloadRequest,
+};
+pub use model::{ModelEpoch, ModelHandle};
 pub use queue::{BoundedQueue, QueueFull};
 pub use server::{RunningServer, ServeConfig, Server, ServerHandle};
 pub use service::{PredictRequest, PredictResponse, PredictService, ServeError};

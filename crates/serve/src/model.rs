@@ -1,0 +1,243 @@
+//! Epoch-tagged model handle: the serving predictor behind an atomic
+//! `Arc` swap.
+//!
+//! Every loaded predictor is wrapped in a [`ModelEpoch`] carrying a
+//! monotonically increasing epoch number. The epoch — not the version
+//! string — is what keys the serve response memo and isolates the
+//! framework's internal prediction cache (a freshly deserialized
+//! [`NeuSight`] starts with a cold private cache), so a hot swap can
+//! never serve bytes computed by a previous model: entries from an old
+//! epoch are purged on swap and, defensively, counted as
+//! `model.stale_hits.total` if one were ever observed (the acceptance
+//! bar for that counter is **zero**).
+//!
+//! Rollback is itself a swap: the previous epoch's weights come back
+//! under a *new* epoch number, so caches warmed by the failed candidate
+//! cannot leak into the restored model either.
+
+use neusight_baselines::RooflineBaseline;
+use neusight_core::NeuSight;
+use neusight_obs as obs;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One immutable serving generation: a predictor, the version tag it was
+/// published under, and the epoch it serves as.
+pub struct ModelEpoch {
+    version: String,
+    epoch: u64,
+    ns: NeuSight,
+    /// Degraded-tier fallback matched to this model's dtype, so a swap
+    /// to (say) an fp16-trained predictor also swaps the roofline floor.
+    baseline: RooflineBaseline,
+}
+
+impl ModelEpoch {
+    fn new(version: String, epoch: u64, ns: NeuSight) -> ModelEpoch {
+        let baseline = RooflineBaseline::new(ns.dtype());
+        ModelEpoch {
+            version,
+            epoch,
+            ns,
+            baseline,
+        }
+    }
+
+    /// The registry version tag this generation was loaded from.
+    #[must_use]
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// The process-local serving epoch (monotone across swaps and
+    /// rollbacks; never reused).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The analytical fallback tier for this generation.
+    #[must_use]
+    pub fn baseline(&self) -> &RooflineBaseline {
+        &self.baseline
+    }
+}
+
+impl Deref for ModelEpoch {
+    type Target = NeuSight;
+
+    fn deref(&self) -> &NeuSight {
+        &self.ns
+    }
+}
+
+impl std::fmt::Debug for ModelEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelEpoch")
+            .field("version", &self.version)
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The atomic swap point between request handling and model lifecycle.
+///
+/// Readers take a cheap `Arc` clone of the current generation and use it
+/// for the whole request — a concurrent swap cannot change the model
+/// under a half-served batch. Writers (`swap`, `rollback`) retain the
+/// displaced generation so one level of rollback is always possible.
+#[derive(Debug)]
+pub struct ModelHandle {
+    current: RwLock<Arc<ModelEpoch>>,
+    previous: Mutex<Option<Arc<ModelEpoch>>>,
+    next_epoch: AtomicU64,
+}
+
+impl ModelHandle {
+    /// Wraps the initial model as epoch 1.
+    #[must_use]
+    pub fn new(version: impl Into<String>, ns: NeuSight) -> ModelHandle {
+        ModelHandle {
+            current: RwLock::new(Arc::new(ModelEpoch::new(version.into(), 1, ns))),
+            previous: Mutex::new(None),
+            next_epoch: AtomicU64::new(2),
+        }
+    }
+
+    /// The serving generation (cheap: one `RwLock` read + `Arc` clone).
+    #[must_use]
+    pub fn current(&self) -> Arc<ModelEpoch> {
+        let guard = neusight_guard::recover_poison(self.current.read());
+        Arc::clone(&guard)
+    }
+
+    /// Version tag of the serving generation.
+    #[must_use]
+    pub fn version(&self) -> String {
+        self.current().version.clone()
+    }
+
+    /// Epoch number of the serving generation.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.current().epoch
+    }
+
+    /// Version tag of the retained (rollback) generation, if any.
+    #[must_use]
+    pub fn previous_version(&self) -> Option<String> {
+        neusight_guard::recover_poison(self.previous.lock())
+            .as_ref()
+            .map(|m| m.version.clone())
+    }
+
+    /// Atomically installs `ns` as the serving model under a fresh
+    /// epoch, retaining the displaced generation for rollback. Returns
+    /// the new generation.
+    pub fn swap(&self, version: impl Into<String>, ns: NeuSight) -> Arc<ModelEpoch> {
+        let epoch = self.next_epoch.fetch_add(1, Ordering::SeqCst);
+        let next = Arc::new(ModelEpoch::new(version.into(), epoch, ns));
+        let displaced = {
+            let mut current = neusight_guard::recover_poison(self.current.write());
+            std::mem::replace(&mut *current, Arc::clone(&next))
+        };
+        *neusight_guard::recover_poison(self.previous.lock()) = Some(displaced);
+        obs::metrics::gauge("model.epoch").set(epoch as f64);
+        next
+    }
+
+    /// Restores the retained generation (same weights, **new** epoch).
+    /// Returns the restored generation, or `None` when there is nothing
+    /// to roll back to (the failed generation then stays in place —
+    /// callers must treat that as an error, and with the staged gate in
+    /// front of every swap it cannot happen in practice).
+    pub fn rollback(&self) -> Option<Arc<ModelEpoch>> {
+        let retained = neusight_guard::recover_poison(self.previous.lock()).take()?;
+        let epoch = self.next_epoch.fetch_add(1, Ordering::SeqCst);
+        let restored = Arc::new(ModelEpoch::new(
+            retained.version.clone(),
+            epoch,
+            retained.ns.clone(),
+        ));
+        let failed = {
+            let mut current = neusight_guard::recover_poison(self.current.write());
+            std::mem::replace(&mut *current, Arc::clone(&restored))
+        };
+        *neusight_guard::recover_poison(self.previous.lock()) = Some(failed);
+        obs::metrics::gauge("model.epoch").set(epoch as f64);
+        Some(restored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neusight_baselines::OpLatencyPredictor;
+    use neusight_core::NeuSightConfig;
+    use neusight_data::{collect_training_set, training_gpus, SweepScale};
+    use neusight_gpu::DType;
+    use std::sync::OnceLock;
+
+    fn trained() -> NeuSight {
+        static CELL: OnceLock<NeuSight> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let data = collect_training_set(&training_gpus(), SweepScale::Tiny, DType::F32);
+            NeuSight::train(&data, &NeuSightConfig::tiny()).expect("tiny training")
+        })
+        .clone()
+    }
+
+    #[test]
+    fn swap_bumps_epoch_and_retains_previous() {
+        let handle = ModelHandle::new("v0", trained());
+        assert_eq!(handle.epoch(), 1);
+        assert_eq!(handle.version(), "v0");
+        assert_eq!(handle.previous_version(), None);
+
+        let next = handle.swap("v1", trained());
+        assert_eq!(next.epoch(), 2);
+        assert_eq!(handle.version(), "v1");
+        assert_eq!(handle.previous_version(), Some("v0".to_owned()));
+    }
+
+    #[test]
+    fn rollback_restores_weights_under_a_fresh_epoch() {
+        let handle = ModelHandle::new("v0", trained());
+        handle.swap("v1", trained());
+        let restored = handle.rollback().expect("previous retained");
+        assert_eq!(restored.version(), "v0");
+        assert_eq!(restored.epoch(), 3, "rollback must not reuse epoch 1");
+        assert_eq!(handle.epoch(), 3);
+        // The failed generation is retained, so a roll-forward is also
+        // possible; a second rollback returns to v1.
+        assert_eq!(handle.previous_version(), Some("v1".to_owned()));
+        assert!(handle.rollback().is_some());
+        assert_eq!(handle.version(), "v1");
+        assert_eq!(handle.epoch(), 4);
+    }
+
+    #[test]
+    fn rollback_without_history_is_refused() {
+        let handle = ModelHandle::new("v0", trained());
+        assert!(handle.rollback().is_none());
+        assert_eq!(handle.version(), "v0");
+    }
+
+    #[test]
+    fn epoch_deref_reaches_the_framework() {
+        let handle = ModelHandle::new("v0", trained());
+        let current = handle.current();
+        assert_eq!(current.dtype(), DType::F32);
+        assert!(
+            current
+                .baseline()
+                .predict_graph(
+                    &neusight_graph::inference_graph(&neusight_graph::config::gpt2_large(), 1),
+                    &neusight_gpu::catalog::gpu("V100").unwrap(),
+                )
+                .total_s
+                > 0.0
+        );
+    }
+}

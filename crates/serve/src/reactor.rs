@@ -285,6 +285,7 @@ fn event_loop(shared: &Arc<Shared>, listener: &TcpListener) -> io::Result<()> {
             return Ok(());
         }
         maybe_dump_on_signal();
+        crate::server::maybe_reload_on_signal(shared);
 
         events.clear();
         let wait_started = Instant::now();
@@ -685,7 +686,7 @@ impl Reactor<'_> {
                 continue;
             }
             let response = match result {
-                Ok(body) => Response::json(200, body.to_string()),
+                Ok(body) => crate::server::predict_response(self.shared, &body),
                 Err(e) => Response::error(e.status, &e.message),
             };
             trace.stamp(obs::Stage::Render);

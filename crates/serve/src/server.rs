@@ -65,6 +65,16 @@ pub struct ServeConfig {
     /// threads. Routing, dispatch, and responses are byte-identical
     /// across both modes.
     pub reactor: bool,
+    /// Registry version tag of the initial model (`None` for bare
+    /// weights loaded outside the registry).
+    pub model_version: Option<String>,
+    /// Versioned model registry directory backing `POST /v1/admin/reload`
+    /// and SIGHUP reloads; `None` disables registry reloads (explicit
+    /// `path` reloads still work).
+    pub models_dir: Option<std::path::PathBuf>,
+    /// Reload-gate tuning (canary slack, shadow budget, observation
+    /// window).
+    pub lifecycle: crate::lifecycle::LifecycleConfig,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +91,9 @@ impl Default for ServeConfig {
             handle_signals: false,
             breaker: neusight_fault::BreakerConfig::default(),
             reactor: false,
+            model_version: None,
+            models_dir: None,
+            lifecycle: crate::lifecycle::LifecycleConfig::default(),
         }
     }
 }
@@ -195,7 +208,15 @@ impl Server {
             listener,
             addr,
             shared: Arc::new(Shared {
-                service: PredictService::with_breaker(ns, config.breaker),
+                service: PredictService::with_version(
+                    config
+                        .model_version
+                        .clone()
+                        .unwrap_or_else(|| crate::service::UNVERSIONED.to_owned()),
+                    ns,
+                    config.breaker,
+                    config.lifecycle.clone(),
+                ),
                 queue,
                 draining: AtomicBool::new(false),
                 dispatcher_stop: AtomicBool::new(false),
@@ -347,6 +368,7 @@ fn run_threaded(shared: &Arc<Shared>, listener: &TcpListener) -> io::Result<()> 
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     while !shared.stop_requested() {
         maybe_dump_on_signal();
+        maybe_reload_on_signal(shared);
         // Reap finished connection threads so the vec stays bounded.
         handlers.retain(|h| !h.is_finished());
         match listener.accept() {
@@ -419,6 +441,24 @@ pub(crate) fn maybe_dump_on_signal() {
         ),
         Err(e) => eprintln!("neusight-serve: flight recorder dump failed: {e}"),
     }
+}
+
+/// Stages a reload of the latest registry version if SIGHUP arrived
+/// since the last poll. Called from both accept/event loops; the gate
+/// itself (golden sanity + canary) is a few milliseconds of CPU, cheap
+/// enough for the accept loop.
+pub(crate) fn maybe_reload_on_signal(shared: &Shared) {
+    if !signal::take_hup() {
+        return;
+    }
+    let outcome = shared.service.reload(
+        shared.config.models_dir.as_deref(),
+        &crate::lifecycle::ReloadRequest::default(),
+    );
+    eprintln!(
+        "neusight-serve: SIGHUP reload -> {} {}",
+        outcome.status, outcome.body
+    );
 }
 
 /// 503s a connection accepted beyond the worker cap.
@@ -510,7 +550,7 @@ pub(crate) enum RouteOutcome {
 pub(crate) fn route_common(shared: &Shared, method: &str, path: &str, body: &[u8]) -> RouteOutcome {
     use RouteOutcome::Respond;
     shared.metrics.requests.inc();
-    const ROUTES: [&str; 9] = [
+    const ROUTES: [&str; 11] = [
         "/healthz",
         "/metrics",
         "/v1/models",
@@ -520,6 +560,8 @@ pub(crate) fn route_common(shared: &Shared, method: &str, path: &str, body: &[u8
         "/v1/cache/export",
         "/v1/cache/import",
         "/v1/control/brownout",
+        "/v1/admin/reload",
+        "/v1/admin/model",
     ];
     match (method, path) {
         ("POST", "/v1/predict") => match parse_predict_body(body) {
@@ -543,10 +585,15 @@ pub(crate) fn route_common(shared: &Shared, method: &str, path: &str, body: &[u8
             Err(e) => Response::error(e.status, &e.message),
         }),
         ("POST", "/v1/control/brownout") => Respond(brownout(shared, body)),
+        ("POST", "/v1/admin/reload") => Respond(reload(shared, body)),
+        ("GET", "/v1/admin/model") => {
+            Respond(Response::json(200, shared.service.model_status_json()))
+        }
         (_, path) if ROUTES.contains(&path) => {
             let allow = if path == "/v1/predict"
                 || path == "/v1/cache/import"
                 || path == "/v1/control/brownout"
+                || path == "/v1/admin/reload"
             {
                 "POST"
             } else {
@@ -577,6 +624,27 @@ fn brownout(shared: &Shared, body: &[u8]) -> Response {
     };
     shared.service.set_forced_degraded(parsed.on);
     Response::json(200, format!("{{\"brownout\":{}}}", parsed.on))
+}
+
+/// `POST /v1/admin/reload`: stages a candidate model through the
+/// lifecycle gate (see [`crate::lifecycle`]). An empty body reloads the
+/// latest registry version with default settings.
+fn reload(shared: &Shared, body: &[u8]) -> Response {
+    let parsed = if body.iter().all(u8::is_ascii_whitespace) {
+        crate::lifecycle::ReloadRequest::default()
+    } else {
+        let Ok(body) = std::str::from_utf8(body) else {
+            return Response::error(400, "body is not UTF-8");
+        };
+        match serde_json::from_str(body) {
+            Ok(parsed) => parsed,
+            Err(e) => return Response::error(400, &format!("bad reload request: {e}")),
+        }
+    };
+    let outcome = shared
+        .service
+        .reload(shared.config.models_dir.as_deref(), &parsed);
+    Response::json(outcome.status, outcome.body)
 }
 
 /// Parses and UTF-8-checks a predict body.
@@ -664,13 +732,16 @@ fn health(shared: &Shared) -> Response {
     Response::json(
         200,
         format!(
-            "{{\"status\":\"{status}\",\"uptime_s\":{:.3},\"inflight\":{},\"queue_depth\":{},\"queue_capacity\":{},\"breaker\":\"{breaker}\",\"sojourn_ms\":{},\"brownout\":{}}}",
+            "{{\"status\":\"{status}\",\"uptime_s\":{:.3},\"inflight\":{},\"queue_depth\":{},\"queue_capacity\":{},\"breaker\":\"{breaker}\",\"sojourn_ms\":{},\"brownout\":{},\"model_version\":{},\"model_epoch\":{},\"lifecycle\":\"{}\"}}",
             shared.started.elapsed().as_secs_f64(),
             shared.inflight.load(Ordering::SeqCst),
             shared.queue.len(),
             shared.queue.capacity(),
             shared.sojourn_ms.load(Ordering::Relaxed),
             shared.service.forced_degraded(),
+            http::json_string(&shared.service.model_version()),
+            shared.service.model_epoch(),
+            shared.service.lifecycle.state_name(),
         ),
     )
 }
@@ -687,7 +758,20 @@ fn metrics_page(shared: &Shared) -> Response {
         obs::export::escape_label_value(&shared.config.addr),
         obs::export::escape_label_value(env!("CARGO_PKG_VERSION")),
     ));
+    text.push_str("# TYPE neusight_model_info gauge\n");
+    text.push_str(&format!(
+        "neusight_model_info{{version=\"{}\",epoch=\"{}\"}} 1\n",
+        obs::export::escape_label_value(&shared.service.model_version()),
+        shared.service.model_epoch(),
+    ));
     Response::text(200, text)
+}
+
+/// Renders a successful predict body, stamping the `X-Model-Version`
+/// header (shared by both server modes so the header cannot diverge).
+pub(crate) fn predict_response(shared: &Shared, body: &str) -> Response {
+    Response::json(200, body.to_string())
+        .with_header("X-Model-Version", shared.service.model_version())
 }
 
 /// The request's enforced budget, or the immediate `504` for a request
@@ -738,7 +822,7 @@ fn predict(
             shared.inflight_sub();
             *trace = done;
             match result {
-                Ok(body) => Response::json(200, body.to_string()),
+                Ok(body) => predict_response(shared, &body),
                 Err(e) => Response::error(e.status, &e.message),
             }
         }

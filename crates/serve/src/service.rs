@@ -3,7 +3,9 @@
 //! repeated requests skip IR construction, and the batched entry point the
 //! micro-batching dispatcher calls.
 
-use neusight_baselines::{OpLatencyPredictor, RooflineBaseline};
+use crate::lifecycle::{Lifecycle, LifecycleConfig};
+use crate::model::{ModelEpoch, ModelHandle};
+use neusight_baselines::OpLatencyPredictor;
 use neusight_core::NeuSight;
 use neusight_fault::{BreakerConfig, BreakerState, CircuitBreaker};
 use neusight_gpu::{catalog, GpuSpec};
@@ -144,17 +146,27 @@ type GraphKey = (String, u64, bool, bool);
 /// keeps worst-case memory bounded against adversarial request streams.
 const RESPONSE_CACHE_CAPACITY: usize = 8192;
 
+/// Memo key: the model epoch the body was computed under, the request,
+/// and the degraded flag it was served with.
+type MemoKey = (u64, PredictRequest, bool);
+
 /// A bounded FIFO memo of fully serialized response bodies, keyed by the
-/// request plus the degraded flag it was served under.
+/// model epoch plus the request plus the degraded flag it was served
+/// under.
 ///
-/// Prediction is pure, so for a repeated request the entire JSON body is
-/// a function of `(request, degraded)` — the serving hot path can skip
-/// graph walking *and* serialization and answer with a shared `Arc<str>`.
-/// Serialization goes through the same `serde_json::to_string` call as
-/// the uncached path, so cached bytes are identical by construction.
+/// Prediction is pure *per model generation*, so for a repeated request
+/// the entire JSON body is a function of `(epoch, request, degraded)` —
+/// the serving hot path can skip graph walking *and* serialization and
+/// answer with a shared `Arc<str>`. Serialization goes through the same
+/// `serde_json::to_string` call as the uncached path, so cached bytes
+/// are identical by construction. Epochs in the key mean a model swap
+/// can never replay bodies from the displaced weights; old-epoch entries
+/// are purged eagerly on swap and a defensive check counts any stale
+/// body that would somehow survive as `model.stale_hits.total` (the
+/// acceptance bar for that counter is zero).
 struct ResponseCache {
-    map: HashMap<(PredictRequest, bool), Arc<str>>,
-    order: VecDeque<(PredictRequest, bool)>,
+    map: HashMap<MemoKey, (u64, Arc<str>)>,
+    order: VecDeque<MemoKey>,
 }
 
 impl ResponseCache {
@@ -165,18 +177,27 @@ impl ResponseCache {
         }
     }
 
-    fn get(&self, key: &(PredictRequest, bool)) -> Option<Arc<str>> {
-        self.map.get(key).cloned()
+    fn get(&self, key: &MemoKey) -> Option<Arc<str>> {
+        let (stamped_epoch, body) = self.map.get(key)?;
+        if *stamped_epoch != key.0 {
+            // Unreachable by construction (the epoch is part of the key),
+            // but the whole point of the counter is to prove that in
+            // production rather than assume it.
+            obs::metrics::counter("model.stale_hits.total").inc();
+            return None;
+        }
+        Some(Arc::clone(body))
     }
 
     /// Inserts a body unless the key is already memoized; reports whether
     /// anything was actually added (cache gossip counts fresh entries).
-    fn insert(&mut self, key: (PredictRequest, bool), body: Arc<str>) -> bool {
+    fn insert(&mut self, key: MemoKey, body: Arc<str>) -> bool {
         if self.map.contains_key(&key) {
             return false;
         }
         self.order.push_back(key.clone());
-        self.map.insert(key, body);
+        let epoch = key.0;
+        self.map.insert(key, (epoch, body));
         while self.map.len() > RESPONSE_CACHE_CAPACITY {
             let Some(oldest) = self.order.pop_front() else {
                 break;
@@ -184,6 +205,16 @@ impl ResponseCache {
             self.map.remove(&oldest);
         }
         true
+    }
+
+    /// Drops every entry not computed under `epoch` — called on model
+    /// swap and rollback so a displaced generation's bodies cannot
+    /// outlive it.
+    fn purge_other_epochs(&mut self, epoch: u64) -> usize {
+        let before = self.map.len();
+        self.map.retain(|key, _| key.0 == epoch);
+        self.order.retain(|key| key.0 == epoch);
+        before - self.map.len()
     }
 }
 
@@ -203,6 +234,13 @@ pub struct GossipEntry {
 /// inside the checksummed guard envelope.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GossipPayload {
+    /// Registry version tag of the donor's serving model. Importers
+    /// refuse payloads from a different version — after a weight change
+    /// a warm-gossip must not seed predictions computed by the old
+    /// model. Defaults to empty for payloads from pre-lifecycle donors,
+    /// which are therefore refused by versioned receivers.
+    #[serde(default)]
+    pub model_version: String,
     /// Hot entries, newest first.
     pub entries: Vec<GossipEntry>,
 }
@@ -224,15 +262,15 @@ pub const MAX_GOSSIP_BYTES: usize = 768 * 1024;
 /// bounded memo cache inside [`NeuSight`] carries warm per-kernel
 /// predictions from any request to all later ones.
 pub struct PredictService {
-    ns: NeuSight,
+    /// The serving model generation behind an epoch-tagged atomic swap
+    /// (see [`ModelHandle`]); the degraded-tier roofline baseline rides
+    /// inside each generation so it always matches the serving dtype.
+    pub(crate) model: ModelHandle,
     graphs: Mutex<HashMap<GraphKey, Arc<Graph>>>,
     specs: Mutex<HashMap<String, GpuSpec>>,
-    /// Degraded-mode fallback: an analytical model with no learned state,
-    /// so it cannot share whatever failure mode took the MLP path down.
-    baseline: RooflineBaseline,
     /// Trips after consecutive MLP-path failures; while open, requests go
     /// straight to the roofline fallback without touching the predictor.
-    breaker: CircuitBreaker,
+    pub(crate) breaker: CircuitBreaker,
     /// Serialized response bodies for repeated requests (see
     /// [`ResponseCache`]).
     responses: Mutex<ResponseCache>,
@@ -241,7 +279,14 @@ pub struct PredictService {
     /// roofline fallback even though the MLP path is healthy — cheaper
     /// answers instead of dropped requests.
     forced_degraded: AtomicBool,
+    /// Reload gate + shadow-scoring + post-promotion observation state
+    /// (see [`crate::lifecycle`]).
+    pub(crate) lifecycle: Lifecycle,
 }
+
+/// Version tag used when a service is constructed from bare weights
+/// (tests, `--model` single-file mode) rather than the registry.
+pub const UNVERSIONED: &str = "unversioned";
 
 impl PredictService {
     /// Wraps a trained framework with the default breaker tuning.
@@ -253,16 +298,78 @@ impl PredictService {
     /// Wraps a trained framework with explicit breaker tuning.
     #[must_use]
     pub fn with_breaker(ns: NeuSight, config: BreakerConfig) -> PredictService {
-        let baseline = RooflineBaseline::new(ns.dtype());
+        PredictService::with_version(UNVERSIONED, ns, config, LifecycleConfig::default())
+    }
+
+    /// Wraps a trained framework under an explicit registry version tag
+    /// with explicit breaker and lifecycle tuning.
+    #[must_use]
+    pub fn with_version(
+        version: impl Into<String>,
+        ns: NeuSight,
+        config: BreakerConfig,
+        lifecycle: LifecycleConfig,
+    ) -> PredictService {
         PredictService {
-            ns,
+            model: ModelHandle::new(version, ns),
             graphs: Mutex::new(HashMap::new()),
             specs: Mutex::new(HashMap::new()),
-            baseline,
             breaker: CircuitBreaker::new("serve.predict", config),
             responses: Mutex::new(ResponseCache::new()),
             forced_degraded: AtomicBool::new(false),
+            lifecycle: Lifecycle::new(lifecycle),
         }
+    }
+
+    /// Version tag of the serving model generation.
+    #[must_use]
+    pub fn model_version(&self) -> String {
+        self.model.version()
+    }
+
+    /// Epoch number of the serving model generation.
+    #[must_use]
+    pub fn model_epoch(&self) -> u64 {
+        self.model.epoch()
+    }
+
+    /// Atomically installs `ns` as the serving model under a fresh epoch
+    /// and purges every memoized response from older generations.
+    /// Returns the new generation.
+    pub fn install_model(&self, version: &str, ns: NeuSight) -> Arc<ModelEpoch> {
+        let next = self.model.swap(version, ns);
+        let purged =
+            neusight_guard::recover_poison(self.responses.lock()).purge_other_epochs(next.epoch());
+        obs::metrics::counter("model.reloads.total").inc();
+        obs::event!(
+            "model_swap",
+            version = next.version(),
+            epoch = next.epoch(),
+            purged = purged
+        );
+        next
+    }
+
+    /// Rolls the serving model back to the retained previous generation
+    /// (same weights, fresh epoch), purging the failed generation's
+    /// memoized responses, bumping `model.rollbacks.total`, and dumping
+    /// the flight recorder for the post-mortem. Returns `None` when no
+    /// previous generation is retained.
+    pub fn rollback_model(&self, reason: &str) -> Option<Arc<ModelEpoch>> {
+        let restored = self.model.rollback()?;
+        neusight_guard::recover_poison(self.responses.lock()).purge_other_epochs(restored.epoch());
+        obs::metrics::counter("model.rollbacks.total").inc();
+        obs::event!(
+            "model_rollback",
+            version = restored.version(),
+            epoch = restored.epoch(),
+            reason = reason
+        );
+        let path = obs::trace::dump_path();
+        if let Err(e) = obs::trace::dump_to_file(&path) {
+            obs::event!("model_rollback_dump_failed", error = e);
+        }
+        Some(restored)
     }
 
     /// Whether the brownout tier is active.
@@ -280,10 +387,12 @@ impl PredictService {
         }
     }
 
-    /// The underlying framework (e.g. for cache-capacity control).
+    /// The serving model generation (derefs to the underlying
+    /// [`NeuSight`], e.g. for cache-capacity control). The `Arc` pins
+    /// one generation: a concurrent swap does not change it.
     #[must_use]
-    pub fn neusight(&self) -> &NeuSight {
-        &self.ns
+    pub fn neusight(&self) -> Arc<ModelEpoch> {
+        self.model.current()
     }
 
     /// Current state of the predictor circuit breaker.
@@ -346,7 +455,7 @@ impl PredictService {
     ///
     /// 500 if graph construction fails for a name that resolved — a
     /// service bug, but one that must answer as JSON, not a panic.
-    fn graph(
+    pub(crate) fn graph(
         &self,
         canonical: &str,
         batch: u64,
@@ -377,6 +486,18 @@ impl PredictService {
     /// positionally aligned with `requests`.
     pub fn predict_batch(
         &self,
+        requests: &[PredictRequest],
+    ) -> Vec<Result<PredictResponse, ServeError>> {
+        let current = self.model.current();
+        self.predict_batch_with(&current, requests)
+    }
+
+    /// [`PredictService::predict_batch`] pinned to one model generation,
+    /// so a concurrent swap cannot change the predictor (or which epoch
+    /// the caller memoizes under) halfway through a batch.
+    fn predict_batch_with(
+        &self,
+        current: &ModelEpoch,
         requests: &[PredictRequest],
     ) -> Vec<Result<PredictResponse, ServeError>> {
         // Resolve every request first; unresolvable ones fail without
@@ -412,7 +533,7 @@ impl PredictService {
                 obs::metrics::counter("serve.predict.brownout_served").inc();
                 degraded = true;
             } else if self.breaker.allow() {
-                match self.ns.predict_graph_batch(&jobs) {
+                match current.predict_graph_batch(&jobs) {
                     Ok(p) => {
                         self.breaker.record_success();
                         predictions = p.into_iter();
@@ -437,10 +558,11 @@ impl PredictService {
                 let (model, spec, graph) = slot?;
                 let (total_s, forward_s, backward_s, per_node_s) = if degraded {
                     obs::metrics::counter("serve.degraded.responses").inc();
-                    let lat = self.baseline.predict_graph(&graph, &spec);
+                    let baseline = current.baseline();
+                    let lat = baseline.predict_graph(&graph, &spec);
                     let per_node_s: Vec<f64> = graph
                         .iter()
-                        .map(|node| self.baseline.predict_op(&node.op, &spec))
+                        .map(|node| baseline.predict_op(&node.op, &spec))
                         .collect();
                     (lat.total_s, lat.forward_s, lat.backward_s, per_node_s)
                 } else {
@@ -501,20 +623,27 @@ impl PredictService {
         &self,
         requests: &[PredictRequest],
     ) -> Vec<Result<Arc<str>, ServeError>> {
+        // Pin one model generation for the whole batch: the prediction,
+        // the memo keys, and the shadow comparison all see the same
+        // epoch even if a swap lands concurrently.
+        let current = self.model.current();
         if self.breaker_state() == BreakerState::Closed && !self.forced_degraded() {
             let cached: Vec<Option<Arc<str>>> = {
                 let memo = neusight_guard::recover_poison(self.responses.lock());
                 requests
                     .iter()
-                    .map(|req| memo.get(&(req.clone(), false)))
+                    .map(|req| memo.get(&(current.epoch(), req.clone(), false)))
                     .collect()
             };
             if !cached.is_empty() && cached.iter().all(Option::is_some) {
-                match self.ns.predict_graph_batch(&[]) {
+                match current.predict_graph_batch(&[]) {
                     Ok(_) => {
                         self.breaker.record_success();
                         obs::metrics::counter("serve.response_cache.hits").add(cached.len() as u64);
-                        return cached.into_iter().map(|body| Ok(body.unwrap())).collect();
+                        let bodies: Vec<Result<Arc<str>, ServeError>> =
+                            cached.into_iter().map(|body| Ok(body.unwrap())).collect();
+                        self.lifecycle_after_batch(&current, requests, &bodies);
+                        return bodies;
                     }
                     Err(e) => {
                         // The probe tripped a fault: account for it like a
@@ -527,23 +656,29 @@ impl PredictService {
                 }
             }
         }
-        let results = self.predict_batch(requests);
-        let mut memo = neusight_guard::recover_poison(self.responses.lock());
-        let bodies: Vec<Result<Arc<str>, ServeError>> = requests
-            .iter()
-            .zip(results)
-            .map(|(req, result)| {
-                let response = result?;
-                let body: Arc<str> = serde_json::to_string(&response)
-                    .map_err(|e| {
-                        ServeError::internal(format!("response serialization failed: {e}"))
-                    })?
-                    .into();
-                memo.insert((req.clone(), response.degraded), Arc::clone(&body));
-                Ok(body)
-            })
-            .collect();
+        let results = self.predict_batch_with(&current, requests);
+        let bodies: Vec<Result<Arc<str>, ServeError>> = {
+            let mut memo = neusight_guard::recover_poison(self.responses.lock());
+            requests
+                .iter()
+                .zip(results)
+                .map(|(req, result)| {
+                    let response = result?;
+                    let body: Arc<str> = serde_json::to_string(&response)
+                        .map_err(|e| {
+                            ServeError::internal(format!("response serialization failed: {e}"))
+                        })?
+                        .into();
+                    memo.insert(
+                        (current.epoch(), req.clone(), response.degraded),
+                        Arc::clone(&body),
+                    );
+                    Ok(body)
+                })
+                .collect()
+        };
         obs::trace::predict_mark("serialize");
+        self.lifecycle_after_batch(&current, requests, &bodies);
         bodies
     }
 
@@ -630,6 +765,7 @@ impl PredictService {
     #[must_use]
     pub fn export_cache(&self, limit: usize) -> Vec<u8> {
         let limit = limit.min(MAX_GOSSIP_ENTRIES);
+        let current = self.model.current();
         let mut entries = Vec::new();
         let mut body_bytes = 0usize;
         {
@@ -640,11 +776,13 @@ impl PredictService {
                 }
                 // Degraded bodies describe the *donor's* failure mode, not
                 // the workload; warming a healthy replica with them would
-                // poison its memo.
-                if key.1 {
+                // poison its memo. Bodies from a displaced epoch (purged
+                // on swap, but a swap may race this export) must not ship
+                // under the current version tag either.
+                if key.2 || key.0 != current.epoch() {
                     continue;
                 }
-                let Some(body) = memo.map.get(key) else {
+                let Some((_, body)) = memo.map.get(key) else {
                     continue;
                 };
                 if body_bytes + body.len() > MAX_GOSSIP_BYTES {
@@ -652,15 +790,19 @@ impl PredictService {
                 }
                 body_bytes += body.len();
                 entries.push(GossipEntry {
-                    request: key.0.clone(),
+                    request: key.1.clone(),
                     body: body.to_string(),
                 });
             }
         }
         obs::metrics::counter("serve.gossip.exported").add(entries.len() as u64);
-        let payload = serde_json::to_string(&GossipPayload { entries }).unwrap_or_else(|_| {
+        let payload = GossipPayload {
+            model_version: current.version().to_owned(),
+            entries,
+        };
+        let payload = serde_json::to_string(&payload).unwrap_or_else(|_| {
             obs::metrics::counter("serve.listing.serialize_failures").inc();
-            r#"{"entries":[]}"#.to_owned()
+            r#"{"model_version":"","entries":[]}"#.to_owned()
         });
         neusight_guard::envelope::wrap(payload.as_bytes())
     }
@@ -688,6 +830,15 @@ impl PredictService {
             .map_err(|_| ServeError::bad_request("gossip payload is not UTF-8"))?;
         let payload: GossipPayload = serde_json::from_str(text)
             .map_err(|e| ServeError::bad_request(format!("gossip payload unparsable: {e}")))?;
+        let current = self.model.current();
+        if payload.model_version != current.version() {
+            obs::metrics::counter("serve.gossip.version_refused").inc();
+            return Err(ServeError::bad_request(format!(
+                "gossip model version `{}` does not match serving version `{}`",
+                payload.model_version,
+                current.version()
+            )));
+        }
         if payload.entries.len() > MAX_GOSSIP_ENTRIES {
             return Err(ServeError::bad_request(format!(
                 "gossip payload carries {} entries (max {MAX_GOSSIP_ENTRIES})",
@@ -711,8 +862,10 @@ impl PredictService {
             for entry in payload.entries {
                 // Insert the donor's bytes verbatim: byte-identical answers
                 // across the fleet are the contract the router's bitwise
-                // gate checks.
-                if memo.insert((entry.request, false), entry.body.into()) {
+                // gate checks. Keyed under the *current* epoch — the
+                // version check above proved the donor serves the same
+                // weights.
+                if memo.insert((current.epoch(), entry.request, false), entry.body.into()) {
                     imported += 1;
                 }
             }
@@ -725,6 +878,7 @@ impl PredictService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use neusight_baselines::RooflineBaseline;
     use neusight_core::NeuSightConfig;
     use neusight_data::{collect_training_set, training_gpus, SweepScale};
     use neusight_fault::{FaultSpec, PointConfig};

@@ -12,6 +12,10 @@ static SIGNALED: AtomicBool = AtomicBool::new(false);
 /// flight-recorder dump from the serve loops.
 static USR1: AtomicBool = AtomicBool::new(false);
 
+/// SIGHUP pending flag — consumed by [`take_hup`] to trigger a model
+/// reload from the registry in the serve loops.
+static HUP: AtomicBool = AtomicBool::new(false);
+
 /// Whether SIGTERM or SIGINT has been received since [`install`].
 #[must_use]
 pub fn signaled() -> bool {
@@ -34,6 +38,17 @@ pub fn raise_usr1() {
     USR1.store(true, Ordering::SeqCst);
 }
 
+/// Consumes a pending SIGHUP, returning whether one had arrived.
+#[must_use]
+pub fn take_hup() -> bool {
+    HUP.swap(false, Ordering::SeqCst)
+}
+
+/// Test hook: pretend SIGHUP arrived (same observable effect).
+pub fn raise_hup() {
+    HUP.store(true, Ordering::SeqCst);
+}
+
 #[cfg(unix)]
 extern "C" fn on_signal(_signum: i32) {
     SIGNALED.store(true, Ordering::SeqCst);
@@ -44,12 +59,19 @@ extern "C" fn on_usr1(_signum: i32) {
     USR1.store(true, Ordering::SeqCst);
 }
 
-/// Installs the handlers for SIGTERM, SIGINT, and SIGUSR1. Idempotent.
+#[cfg(unix)]
+extern "C" fn on_hup(_signum: i32) {
+    HUP.store(true, Ordering::SeqCst);
+}
+
+/// Installs the handlers for SIGTERM, SIGINT, SIGUSR1, and SIGHUP.
+/// Idempotent.
 #[cfg(unix)]
 pub fn install() {
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     #[cfg(target_os = "macos")]
@@ -60,6 +82,7 @@ pub fn install() {
         signal(SIGTERM, on_signal);
         signal(SIGINT, on_signal);
         signal(SIGUSR1, on_usr1);
+        signal(SIGHUP, on_hup);
     }
 }
 
